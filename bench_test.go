@@ -1,0 +1,293 @@
+// Package repro's root benchmark harness: one benchmark per experiment of
+// EXPERIMENTS.md (regenerating the corresponding table end to end), plus
+// micro-benchmarks of the hot components (simplex, demand oracles, rounding,
+// ρ measurement).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/baseline"
+	"repro/internal/exp"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/market"
+	"repro/internal/mechanism"
+	"repro/internal/models"
+	"repro/internal/sched"
+	"repro/internal/serialize"
+	"repro/internal/valuation"
+)
+
+// benchExperiment runs one experiment table per iteration.
+func benchExperiment(b *testing.B, id string) {
+	e := exp.Find(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if table := e.Run(true); len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1UnweightedRounding(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2WeightedRounding(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3DiskRho(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE4ProtocolRho(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5PhysicalRho(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6PowerControl(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7Baselines(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8Asymmetric(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9Mechanism(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10Hardness(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11IntegralityGap(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12ModelZooRho(b *testing.B)       { benchExperiment(b, "E12") }
+func BenchmarkE13Scheduling(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14RuntimeScaling(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15MarketSimulation(b *testing.B)  { benchExperiment(b, "E15") }
+func BenchmarkA1RhoAblation(b *testing.B)        { benchExperiment(b, "A1") }
+func BenchmarkA2SamplingAblation(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkA3LocalRatioAblation(b *testing.B) { benchExperiment(b, "A3") }
+func BenchmarkA4LiteralAblation(b *testing.B)    { benchExperiment(b, "A4") }
+func BenchmarkE16Revenue(b *testing.B)           { benchExperiment(b, "E16") }
+
+// --- micro-benchmarks ---
+
+func benchInstance(seed int64, n, k int) *auction.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 100, 2, 8)
+	conf := models.Protocol(links, 1)
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := auction.NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func BenchmarkSimplexDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n = 60, 80
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = rng.Float64()
+	}
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float64()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := lp.NewMaximize(c)
+		for _, r := range rows {
+			p.AddConstraint(r, lp.LE, 10)
+		}
+		if _, _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnGenerationLP(b *testing.B) {
+	in := benchInstance(1, 40, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SolveLP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundingSampled(b *testing.B) {
+	in := benchInstance(2, 40, 4)
+	sol, err := in.SolveLP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.RoundOnce(sol, rng)
+	}
+}
+
+func BenchmarkRoundingDerandomized(b *testing.B) {
+	in := benchInstance(3, 40, 4)
+	sol, err := in.SolveLP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.RoundDerandomized(sol)
+	}
+}
+
+func BenchmarkDemandOracleMix(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	const k = 16
+	bidders := valuation.RandomMix(rng, 50, k, 1, 10)
+	prices := make([]float64, k)
+	for j := range prices {
+		prices[j] = rng.Float64() * 5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range bidders {
+			v.Demand(prices)
+		}
+	}
+}
+
+func BenchmarkMeasureRhoDisk(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	centers := geom.UniformPoints(rng, 100, 100)
+	radii := make([]float64, 100)
+	for i := range radii {
+		radii[i] = 2 + rng.Float64()*8
+	}
+	conf := models.Disk(centers, radii)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conf.Binary.MeasureRho(conf.Pi, 28)
+	}
+}
+
+func BenchmarkAssignPowers(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	links := geom.UniformLinks(rng, 30, 300, 1, 5)
+	params := models.DefaultSINR()
+	conf := models.PowerControl(links, params)
+	var set []int
+	for _, v := range rng.Perm(30) {
+		cand := append(set, v)
+		if conf.W.IsIndependent(cand) {
+			set = cand
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := models.AssignPowers(links, set, params); !ok {
+			b.Fatal("independent set must be power-feasible")
+		}
+	}
+}
+
+func BenchmarkPhysicalConflictGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	links := geom.UniformLinks(rng, 100, 200, 1, 8)
+	params := models.DefaultSINR()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		models.Physical(links, models.UniformPower, params)
+	}
+}
+
+func BenchmarkLocalRatioMWIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomGNP(rng, 200, 0.1)
+	pi := g.DegeneracyOrdering()
+	weights := make([]float64, 200)
+	for v := range weights {
+		weights[v] = rng.Float64() * 10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.LocalRatioMWIS(g, pi, weights)
+	}
+}
+
+func BenchmarkFirstFitColoring(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomGNP(rng, 300, 0.05)
+	pi := g.DegeneracyOrdering()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.FirstFit(g, pi)
+	}
+}
+
+func BenchmarkMechanismRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	centers := geom.UniformPoints(rng, 6, 60)
+	radii := make([]float64, 6)
+	for i := range radii {
+		radii[i] = 4 + rng.Float64()*8
+	}
+	conf := models.Disk(centers, radii)
+	bidders := make([]valuation.Valuation, 6)
+	for i := range bidders {
+		bidders[i] = valuation.RandomAdditive(rng, 2, 1, 10)
+	}
+	in, err := auction.NewInstance(conf, 2, bidders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mechanism.Run(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarketEpochs(b *testing.B) {
+	cfg := market.DefaultConfig(11)
+	cfg.Epochs = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := market.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeRoundTrip(b *testing.B) {
+	in := benchInstance(12, 40, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := serialize.Write(&buf, in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := serialize.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactOPTSmall(b *testing.B) {
+	in := benchInstance(13, 10, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.ExactOPT(in)
+	}
+}

@@ -1,0 +1,59 @@
+// Command auctionsim regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	auctionsim [-quick] [-run E1,E5,...]
+//
+// Without -run, all experiments are executed in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *run == "" {
+		selected = exp.All
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e := exp.Find(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "auctionsim: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(*quick)
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.Render())
+			fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

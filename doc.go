@@ -1,0 +1,19 @@
+// Package repro reproduces "Approximation Algorithms for Secondary Spectrum
+// Auctions" (Hoefer, Kesselheim, Vöcking; SPAA 2011) as a production-quality
+// Go library, using only the standard library.
+//
+// The repository implements the paper's LP-based approximation framework for
+// combinatorial auctions with (edge-weighted) conflict graphs — including
+// every interference model of its Section 4, the truthful-in-expectation
+// mechanism of Section 5, the asymmetric-channel variant of Section 6, and
+// the baselines and hardness constructions its analysis is measured against.
+//
+// Start at internal/core for the API front door, README.md for the
+// architecture, DESIGN.md for the system inventory and paper-to-code map,
+// and EXPERIMENTS.md for the claim-by-claim reproduction record. This root
+// package holds the repository-level test and benchmark harness:
+//
+//	go test ./...                # full suite
+//	go test -bench=. -benchmem . # one benchmark per experiment table
+//	go run ./cmd/auctionsim      # regenerate every experiment table
+package repro

@@ -1,0 +1,88 @@
+// Asymmetric: per-channel interference (Section 6).
+//
+// In a real secondary market, different channels see different interference:
+// a TV-band channel has a licensed broadcaster in the north of the city (so
+// northern operators conflict more), while a radar band constrains the
+// airport district. This example builds one conflict graph per channel by
+// thresholding distances differently per band, then runs the O(kρ)
+// asymmetric pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/valuation"
+)
+
+func main() {
+	const (
+		n = 16
+		k = 3
+	)
+	rng := rand.New(rand.NewSource(21))
+	pts := geom.UniformPoints(rng, n, 100)
+
+	// Channel 0: short-range interference everywhere.
+	// Channel 1: long-range interference in the "north" (y > 50).
+	// Channel 2: long-range interference in the "airport" corner.
+	channels := make([]*graph.Graph, k)
+	for j := range channels {
+		channels[j] = graph.New(n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := pts[i].Dist(pts[j])
+			if d < 15 {
+				channels[0].AddEdge(i, j)
+			}
+			if d < 40 && pts[i].Y > 50 && pts[j].Y > 50 {
+				channels[1].AddEdge(i, j)
+			}
+			if d < 40 && pts[i].X < 40 && pts[i].Y < 40 && pts[j].X < 40 && pts[j].Y < 40 {
+				channels[2].AddEdge(i, j)
+			}
+		}
+	}
+
+	// Certify ρ under the identity ordering: the maximum per-channel
+	// backward degree upper-bounds the inductive independence.
+	pi := graph.IdentityOrdering(n)
+	rho := 1.0
+	for _, ch := range channels {
+		for v := 0; v < n; v++ {
+			if b := float64(len(ch.Backward(v, pi))); b > rho {
+				rho = b
+			}
+		}
+	}
+
+	bidders := make([]valuation.Valuation, n)
+	for i := range bidders {
+		bidders[i] = valuation.RandomAdditive(rng, k, 1, 10)
+	}
+	in, err := auction.NewAsymmetricInstance(channels, pi, rho, bidders)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := in.Solve(auction.Options{Derandomize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("asymmetric channels: n=%d operators, k=%d bands, rho ≤ %.0f\n", n, k, rho)
+	for j, name := range []string{"short-range", "north TV band", "airport radar"} {
+		fmt.Printf("  band %d (%s): %d conflict edges, reused by %v\n",
+			j, name, channels[j].M(), res.Alloc.ChannelSet(j))
+	}
+	fmt.Printf("LP bound %.2f, welfare %.2f (guarantee factor %.0f)\n",
+		res.LP.Value, res.Welfare, res.Factor)
+	if !in.Feasible(res.Alloc) {
+		log.Fatal("allocation infeasible — this is a bug")
+	}
+	fmt.Println("allocation verified feasible per band")
+}

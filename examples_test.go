@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun compiles and executes every example end to end, asserting
+// a clean exit and a key line of expected output. Guards the examples
+// against rot; skipped under -short because each run pays a build.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "allocation verified feasible"},
+		{"cellular", "allocation feasible: true"},
+		{"sinrlinks", "feasible powers found: true"},
+		{"truthful", "truthful in expectation"},
+		{"asymmetric", "allocation verified feasible per band"},
+		{"market", "total welfare"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = "."
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatal("example timed out")
+			}
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/baseline"
+	"repro/internal/geom"
+	"repro/internal/mechanism"
+	"repro/internal/models"
+	"repro/internal/serialize"
+	"repro/internal/valuation"
+)
+
+// TestEndToEndAllModels runs the full pipeline — model construction, LP,
+// rounding, feasibility — across every interference model of Section 4.
+func TestEndToEndAllModels(t *testing.T) {
+	const (
+		n = 14
+		k = 2
+	)
+	rng := rand.New(rand.NewSource(42))
+	centers := geom.UniformPoints(rng, n, 80)
+	radii := make([]float64, n)
+	for i := range radii {
+		radii[i] = 3 + rng.Float64()*6
+	}
+	links := geom.UniformLinks(rng, n, 100, 2, 7)
+	civPts := geom.PoissonDiskPoints(rng, n, 80, 4)
+
+	confs := []*models.Conflict{
+		models.Disk(centers, radii),
+		models.Distance2Disk(centers, radii),
+		models.Protocol(links, 1),
+		models.IEEE80211(links, 1),
+		models.Physical(links, models.UniformPower, models.DefaultSINR()),
+		models.Physical(links, models.LinearPower, models.DefaultSINR()),
+		models.PowerControl(links, models.DefaultSINR()),
+	}
+	if civ, err := models.Civilized(civPts, 12, 4); err == nil {
+		confs = append(confs, civ)
+	} else {
+		t.Fatalf("civilized construction: %v", err)
+	}
+
+	for _, conf := range confs {
+		conf := conf
+		t.Run(conf.Model, func(t *testing.T) {
+			bidders := valuation.RandomMix(rng, conf.N(), k, 1, 10)
+			in, err := auction.NewInstance(conf, k, bidders)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := auction.Solve(in, auction.Options{Seed: 1, Samples: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !in.Feasible(res.Alloc) {
+				t.Fatal("infeasible allocation")
+			}
+			der, _ := in.RoundDerandomized(res.LP)
+			if !in.Feasible(der) {
+				t.Fatal("infeasible derandomized allocation")
+			}
+			if w := der.Welfare(in.Bidders); w < res.LP.Value/res.Factor-1e-9 {
+				t.Fatalf("derandomized welfare %g below guarantee %g", w, res.LP.Value/res.Factor)
+			}
+		})
+	}
+}
+
+// TestSerializeSolveRoundTrip stores an instance, reloads it, and verifies
+// the solved LP value and a derandomized welfare match the original.
+func TestSerializeSolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	links := geom.UniformLinks(rng, 12, 90, 2, 7)
+	conf := models.Protocol(links, 1)
+	bidders := valuation.RandomMix(rng, 12, 3, 1, 10)
+	in, err := auction.NewInstance(conf, 3, bidders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := serialize.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := serialize.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := auction.Solve(in, auction.Options{Derandomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := auction.Solve(loaded, auction.Options{Derandomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LP.Value-b.LP.Value) > 1e-6*(1+a.LP.Value) {
+		t.Fatalf("LP value changed across serialization: %g vs %g", a.LP.Value, b.LP.Value)
+	}
+	if math.Abs(a.Welfare-b.Welfare) > 1e-6*(1+a.Welfare) {
+		t.Fatalf("welfare changed across serialization: %g vs %g", a.Welfare, b.Welfare)
+	}
+}
+
+// TestPipelineAgainstExactOPT verifies the whole stack on instances small
+// enough for ground truth: LP ≥ OPT ≥ welfare ≥ LP/α.
+func TestPipelineAgainstExactOPT(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		links := geom.UniformLinks(rng, 9, 70, 2, 7)
+		conf := models.Protocol(links, 1)
+		bidders := valuation.RandomMix(rng, 9, 2, 1, 10)
+		in, err := auction.NewInstance(conf, 2, bidders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt := baseline.ExactOPT(in)
+		res, err := auction.Solve(in, auction.Options{Derandomize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LP.Value < opt-1e-6 {
+			t.Fatalf("seed %d: LP %g below OPT %g", seed, res.LP.Value, opt)
+		}
+		if res.Welfare > opt+1e-6 {
+			t.Fatalf("seed %d: welfare %g above OPT %g", seed, res.Welfare, opt)
+		}
+		if res.Welfare < res.LP.Value/res.Factor-1e-9 {
+			t.Fatalf("seed %d: welfare %g below guarantee", seed, res.Welfare)
+		}
+	}
+}
+
+// TestMechanismOnWeightedModel runs the Lavi–Swamy layer on a physical-model
+// (edge-weighted) instance — the hardest configuration it supports.
+func TestMechanismOnWeightedModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	links := geom.UniformLinks(rng, 6, 120, 1, 5)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	bidders := make([]valuation.Valuation, 6)
+	for i := range bidders {
+		bidders[i] = valuation.RandomAdditive(rng, 2, 1, 10)
+	}
+	in, err := auction.NewInstance(conf, 2, bidders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mechanism.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DecompositionError > 1e-5 {
+		t.Fatalf("decomposition error %g", out.DecompositionError)
+	}
+	total := 0.0
+	for _, wa := range out.Distribution {
+		total += wa.Lambda
+		if !in.Feasible(wa.Alloc) {
+			t.Fatal("infeasible support allocation")
+		}
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("lottery mass %g", total)
+	}
+}

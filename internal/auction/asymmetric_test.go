@@ -1,0 +1,210 @@
+package auction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+func testAsymmetric(seed int64, n, d, k int) *AsymmetricInstance {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.RandomBoundedDegree(rng, n, d, n*d*3)
+	channels, pi, rho := models.AsymmetricHardness(g, k)
+	bidders := make([]valuation.Valuation, n)
+	for i := range bidders {
+		bidders[i] = valuation.NewSingleMinded(k, valuation.Full(k), 1+rng.Float64())
+	}
+	in, err := NewAsymmetricInstance(channels, pi, rho, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestNewAsymmetricValidation(t *testing.T) {
+	g1, g2 := graph.Path(3), graph.Path(3)
+	pi := graph.IdentityOrdering(3)
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1, 1}),
+		valuation.NewAdditive([]float64{1, 1}),
+		valuation.NewAdditive([]float64{1, 1}),
+	}
+	if _, err := NewAsymmetricInstance([]*graph.Graph{g1, g2}, pi, 1, bidders); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	if _, err := NewAsymmetricInstance(nil, pi, 1, bidders); err == nil {
+		t.Fatal("no channels accepted")
+	}
+	if _, err := NewAsymmetricInstance([]*graph.Graph{g1, graph.Path(4)}, pi, 1, bidders); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := NewAsymmetricInstance([]*graph.Graph{g1, g2}, pi, 0, bidders); err == nil {
+		t.Fatal("rho=0 accepted")
+	}
+	if _, err := NewAsymmetricInstance([]*graph.Graph{g1, g2}, pi, 1, bidders[:2]); err == nil {
+		t.Fatal("bidder count mismatch accepted")
+	}
+	badBidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1}),
+		valuation.NewAdditive([]float64{1, 1}),
+		valuation.NewAdditive([]float64{1, 1}),
+	}
+	if _, err := NewAsymmetricInstance([]*graph.Graph{g1, g2}, pi, 1, badBidders); err == nil {
+		t.Fatal("bidder k mismatch accepted")
+	}
+}
+
+func TestAsymmetricFeasible(t *testing.T) {
+	// Channel 0: edge {0,1}; channel 1: edge {1,2}.
+	g0, g1 := graph.New(3), graph.New(3)
+	g0.AddEdge(0, 1)
+	g1.AddEdge(1, 2)
+	pi := graph.IdentityOrdering(3)
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1, 1}),
+		valuation.NewAdditive([]float64{1, 1}),
+		valuation.NewAdditive([]float64{1, 1}),
+	}
+	in, err := NewAsymmetricInstance([]*graph.Graph{g0, g1}, pi, 1, bidders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 and 1 may share channel 1 but not channel 0.
+	ok := Allocation{valuation.FromChannels(1), valuation.FromChannels(1), valuation.Empty}
+	if !in.Feasible(ok) {
+		t.Fatal("channel-1 sharing of {0,1} must be feasible")
+	}
+	bad := Allocation{valuation.FromChannels(0), valuation.FromChannels(0), valuation.Empty}
+	if in.Feasible(bad) {
+		t.Fatal("channel-0 sharing of {0,1} must be infeasible")
+	}
+}
+
+func TestAsymmetricSolve(t *testing.T) {
+	in := testAsymmetric(1, 10, 4, 2)
+	res, err := in.Solve(Options{Seed: 1, Samples: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(res.Alloc) {
+		t.Fatal("infeasible")
+	}
+	if res.LP.Value <= 0 {
+		t.Fatal("expected positive LP value")
+	}
+	if res.Welfare > res.LP.Value+1e-9 {
+		t.Fatal("welfare exceeds LP upper bound")
+	}
+	if res.Factor != 4*float64(in.K)*in.Rho {
+		t.Fatal("factor wrong")
+	}
+}
+
+// TestAsymmetricRoundingFeasible: every rounding is feasible across seeds.
+func TestAsymmetricRoundingFeasible(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := testAsymmetric(seed, 12, 5, 3)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 30; trial++ {
+			s := in.RoundOnce(sol, rng)
+			if !in.Feasible(s) {
+				t.Fatalf("seed %d trial %d infeasible", seed, trial)
+			}
+		}
+	}
+}
+
+// TestAsymmetricExpectedGuarantee: averaged over many roundings, the welfare
+// meets the O(kρ) guarantee with slack (the proof bounds the expectation by
+// b*/(4kρ); we require the empirical mean to clear half of that to keep the
+// test robust against sampling noise).
+func TestAsymmetricExpectedGuarantee(t *testing.T) {
+	in := testAsymmetric(2, 12, 4, 2)
+	sol, err := in.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const trials = 400
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		s := in.RoundOnce(sol, rng)
+		total += s.Welfare(in.Bidders)
+	}
+	mean := total / trials
+	want := sol.Value / in.ApproximationFactor() / 2
+	if mean < want {
+		t.Fatalf("mean welfare %g below relaxed guarantee %g", mean, want)
+	}
+}
+
+// TestAsymmetricDerandomizedGuarantee asserts the 4kρ guarantee
+// deterministically for the derandomized asymmetric rounding.
+func TestAsymmetricDerandomizedGuarantee(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := testAsymmetric(seed, 12, 4, 2)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := in.RoundDerandomized(sol)
+		if !in.Feasible(s) {
+			t.Fatalf("seed %d: infeasible", seed)
+		}
+		bound := sol.Value / in.ApproximationFactor()
+		if w := s.Welfare(in.Bidders); w < bound-1e-9 {
+			t.Fatalf("seed %d: welfare %g below guarantee %g", seed, w, bound)
+		}
+	}
+}
+
+func TestAsymmetricSolveDerandomized(t *testing.T) {
+	in := testAsymmetric(3, 10, 4, 2)
+	res, err := in.Solve(Options{Derandomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(res.Alloc) {
+		t.Fatal("infeasible")
+	}
+	if res.Welfare < res.LP.Value/res.Factor-1e-9 {
+		t.Fatal("derandomized asymmetric solve misses its guarantee")
+	}
+}
+
+// TestAsymmetricWelfareIsIndependentSet: in the Theorem 18 construction,
+// winners (full-bundle holders) must form an independent set of the base
+// graph (union of channels).
+func TestAsymmetricWelfareIsIndependentSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomBoundedDegree(rng, 10, 4, 120)
+	channels, pi, rho := models.AsymmetricHardness(g, 2)
+	bidders := make([]valuation.Valuation, 10)
+	for i := range bidders {
+		bidders[i] = valuation.NewSingleMinded(2, valuation.Full(2), 1)
+	}
+	in, err := NewAsymmetricInstance(channels, pi, rho, bidders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Solve(Options{Seed: 3, Samples: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var winners []int
+	for v, tb := range res.Alloc {
+		if tb == valuation.Full(2) {
+			winners = append(winners, v)
+		}
+	}
+	if !g.IsIndependent(winners) {
+		t.Fatalf("winners %v not independent in the base graph", winners)
+	}
+}

@@ -1,0 +1,441 @@
+package auction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// testInstance builds a small protocol-model instance with a mixed bidder
+// population.
+func testInstance(seed int64, n, k int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 60, 2, 8)
+	conf := models.Protocol(links, 1)
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// testWeightedInstance builds a small physical-model instance.
+func testWeightedInstance(seed int64, n, k int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 120, 1, 6)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	conf := models.CliqueConflict(3)
+	good := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1, 2}),
+		valuation.NewAdditive([]float64{1, 2}),
+		valuation.NewAdditive([]float64{1, 2}),
+	}
+	if _, err := NewInstance(conf, 2, good); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	if _, err := NewInstance(nil, 2, good); err == nil {
+		t.Fatal("nil conflict accepted")
+	}
+	if _, err := NewInstance(conf, 0, good); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewInstance(conf, 2, good[:2]); err == nil {
+		t.Fatal("bidder count mismatch accepted")
+	}
+	bad := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1}),
+		valuation.NewAdditive([]float64{1, 2}),
+		valuation.NewAdditive([]float64{1, 2}),
+	}
+	if _, err := NewInstance(conf, 2, bad); err == nil {
+		t.Fatal("bidder k mismatch accepted")
+	}
+	confBad := models.CliqueConflict(3)
+	confBad.RhoBound = 0
+	if _, err := NewInstance(confBad, 2, good); err == nil {
+		t.Fatal("rho=0 accepted")
+	}
+}
+
+func TestAllocationHelpers(t *testing.T) {
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1, 2}),
+		valuation.NewAdditive([]float64{3, 4}),
+	}
+	s := Allocation{valuation.FromChannels(0), valuation.FromChannels(0, 1)}
+	if w := s.Welfare(bidders); w != 1+7 {
+		t.Fatalf("welfare = %g, want 8", w)
+	}
+	if set := s.ChannelSet(0); len(set) != 2 {
+		t.Fatalf("channel 0 set = %v", set)
+	}
+	if set := s.ChannelSet(1); len(set) != 1 || set[0] != 1 {
+		t.Fatalf("channel 1 set = %v", set)
+	}
+	c := s.Clone()
+	c[0] = valuation.Empty
+	if s[0] == valuation.Empty {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestFeasibleClique(t *testing.T) {
+	conf := models.CliqueConflict(2)
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1}),
+		valuation.NewAdditive([]float64{1}),
+	}
+	in, _ := NewInstance(conf, 1, bidders)
+	if !in.Feasible(Allocation{valuation.FromChannels(0), valuation.Empty}) {
+		t.Fatal("single winner must be feasible")
+	}
+	if in.Feasible(Allocation{valuation.FromChannels(0), valuation.FromChannels(0)}) {
+		t.Fatal("two clique bidders on one channel must be infeasible")
+	}
+	if in.Feasible(Allocation{valuation.FromChannels(0)}) {
+		t.Fatal("wrong-length allocation accepted")
+	}
+}
+
+// explicitLPValue solves the relaxation with every bundle enumerated as an
+// explicit column — the ground truth the demand-oracle column generation
+// must match.
+func explicitLPValue(t *testing.T, in *Instance) float64 {
+	t.Helper()
+	sol, err := in.SolveLPExplicit()
+	if err != nil {
+		t.Fatalf("explicit LP: %v", err)
+	}
+	return sol.Value
+}
+
+func TestSolveLPExplicitRejectsLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conf := models.CliqueConflict(2)
+	bidders := valuation.RandomMix(rng, 2, 17, 1, 2)
+	in, _ := NewInstance(conf, 17, bidders)
+	if _, err := in.SolveLPExplicit(); err == nil {
+		t.Fatal("k=17 accepted")
+	}
+}
+
+func TestSolveLPExplicitRoundable(t *testing.T) {
+	// The explicit solution feeds the same rounding pipeline.
+	in := testInstance(4, 8, 2)
+	sol, err := in.SolveLPExplicit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := in.RoundDerandomized(sol)
+	if !in.Feasible(s) {
+		t.Fatal("infeasible")
+	}
+	if w := s.Welfare(in.Bidders); w < sol.Value/in.ApproximationFactor()-1e-9 {
+		t.Fatalf("welfare %g below guarantee", w)
+	}
+}
+
+// TestColumnGenerationMatchesExplicitLP is the core pricing-correctness
+// test: the demand-oracle column generation must reach the optimum of the
+// full exponential-size LP.
+func TestColumnGenerationMatchesExplicitLP(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		in := testInstance(seed, 7, 3)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := explicitLPValue(t, in)
+		if math.Abs(sol.Value-want) > 1e-6*(1+want) {
+			t.Fatalf("seed %d: colgen value %g != explicit %g", seed, sol.Value, want)
+		}
+	}
+}
+
+func TestColumnGenerationMatchesExplicitLPWeighted(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := testWeightedInstance(seed, 6, 2)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := explicitLPValue(t, in)
+		if math.Abs(sol.Value-want) > 1e-6*(1+want) {
+			t.Fatalf("seed %d: colgen value %g != explicit %g", seed, sol.Value, want)
+		}
+	}
+}
+
+// TestLemma1 verifies Lemma 1: every feasible allocation, written as a 0/1
+// vector, satisfies the LP constraints with the model's certified ρ. Random
+// feasible allocations are produced greedily.
+func TestLemma1(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in *Instance
+		if seed%2 == 0 {
+			in = testInstance(seed, 10, 3)
+		} else {
+			in = testWeightedInstance(seed, 8, 2)
+		}
+		// Build a random feasible allocation greedily.
+		s := make(Allocation, in.N())
+		for _, v := range rng.Perm(in.N()) {
+			tb := valuation.Bundle(rng.Intn(1 << uint(in.K)))
+			trial := s.Clone()
+			trial[v] = tb
+			if in.Feasible(trial) {
+				s = trial
+			}
+		}
+		// Encode as an integral LP solution.
+		var cols []Column
+		var x []float64
+		for v, tb := range s {
+			if tb != valuation.Empty {
+				cols = append(cols, Column{V: v, T: tb, Value: in.Bidders[v].Value(tb)})
+				x = append(x, 1)
+			}
+		}
+		sol := &LPSolution{Columns: cols, X: x}
+		return in.CheckLPFeasible(sol, 1e-9) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLPSolutionFeasible: SolveLP outputs satisfy their own constraints.
+func TestLPSolutionFeasible(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := testInstance(seed, 12, 4)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.CheckLPFeasible(sol, 1e-6); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestLPUpperBoundsOPT: b* must be an upper bound on any feasible welfare
+// (tested against greedy feasible allocations).
+func TestLPUpperBoundsOPT(t *testing.T) {
+	check := func(seed int64) bool {
+		in := testInstance(seed, 8, 2)
+		sol, err := in.SolveLP()
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		s := make(Allocation, in.N())
+		for _, v := range rng.Perm(in.N()) {
+			zero := make([]float64, in.K)
+			want, _ := in.Bidders[v].Demand(zero)
+			trial := s.Clone()
+			trial[v] = want
+			if in.Feasible(trial) {
+				s = trial
+			}
+		}
+		return s.Welfare(in.Bidders) <= sol.Value+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundingAlwaysFeasible: every sampled rounding is feasible, across
+// unweighted and weighted instances.
+func TestRoundingAlwaysFeasible(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, weighted := range []bool{false, true} {
+			var in *Instance
+			if weighted {
+				in = testWeightedInstance(seed, 8, 3)
+			} else {
+				in = testInstance(seed, 10, 3)
+			}
+			sol, err := in.SolveLP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 25; trial++ {
+				s, _ := in.RoundOnce(sol, rng)
+				if !in.Feasible(s) {
+					t.Fatalf("seed %d weighted=%v trial %d: infeasible rounding", seed, weighted, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestDerandomizedGuaranteeUnweighted asserts Theorem 3 deterministically:
+// the derandomized rounding achieves welfare ≥ b*/(8√k·ρ).
+func TestDerandomizedGuaranteeUnweighted(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		in := testInstance(seed, 12, 4)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := in.RoundDerandomized(sol)
+		if !in.Feasible(s) {
+			t.Fatalf("seed %d: derandomized allocation infeasible", seed)
+		}
+		bound := sol.Value / in.ApproximationFactor()
+		if w := s.Welfare(in.Bidders); w < bound-1e-9 {
+			t.Fatalf("seed %d: welfare %g below guarantee %g", seed, w, bound)
+		}
+	}
+}
+
+// TestDerandomizedGuaranteeWeighted asserts Lemmas 7+8 deterministically.
+func TestDerandomizedGuaranteeWeighted(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := testWeightedInstance(seed, 10, 3)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, iters := in.RoundDerandomized(sol)
+		if !in.Feasible(s) {
+			t.Fatalf("seed %d: infeasible", seed)
+		}
+		logN := math.Ceil(math.Log2(float64(in.N())))
+		if float64(iters) > logN+1 {
+			t.Fatalf("seed %d: Algorithm 3 used %d iterations, bound %g", seed, iters, logN)
+		}
+		bound := sol.Value / in.ApproximationFactor()
+		if w := s.Welfare(in.Bidders); w < bound-1e-9 {
+			t.Fatalf("seed %d: welfare %g below guarantee %g", seed, w, bound)
+		}
+	}
+}
+
+// TestMakeFeasibleInvariants: Algorithm 3 outputs are feasible and use at
+// most ⌈log₂ n⌉ iterations on partly-feasible inputs.
+func TestMakeFeasibleInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := testWeightedInstance(seed, 12, 2)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans := buildPlans(in, sol)
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 10; trial++ {
+			for l := 0; l < 2; l++ {
+				partly := in.resolveWeighted(plans[l].sample(rng))
+				if !in.PartlyFeasible(partly) {
+					t.Fatal("resolveWeighted must produce partly-feasible allocations")
+				}
+				s, iters := in.MakeFeasible(partly)
+				if !in.Feasible(s) {
+					t.Fatal("MakeFeasible output infeasible")
+				}
+				logN := int(math.Ceil(math.Log2(float64(in.N()))))
+				if iters > logN+1 {
+					t.Fatalf("Algorithm 3 used %d iterations, want ≤ %d", iters, logN+1)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	in := testInstance(3, 10, 3)
+	res, err := Solve(in, Options{Seed: 1, Samples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(res.Alloc) {
+		t.Fatal("infeasible result")
+	}
+	if res.Welfare <= 0 || res.LP.Value < res.Welfare-1e-9 {
+		t.Fatalf("welfare %g vs LP %g inconsistent", res.Welfare, res.LP.Value)
+	}
+	if res.Factor != in.ApproximationFactor() {
+		t.Fatal("factor not propagated")
+	}
+	// Derandomized path.
+	res2, err := Solve(in, Options{Derandomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Welfare < res2.LP.Value/res2.Factor-1e-9 {
+		t.Fatal("derandomized solve misses its guarantee")
+	}
+}
+
+func TestSolveEmptyMarket(t *testing.T) {
+	conf := models.CliqueConflict(3)
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{0, 0}),
+		valuation.NewAdditive([]float64{0, 0}),
+		valuation.NewAdditive([]float64{0, 0}),
+	}
+	in, _ := NewInstance(conf, 2, bidders)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Welfare != 0 || res.LP.Value != 0 {
+		t.Fatal("empty market must clear at zero")
+	}
+}
+
+func TestApproximationFactor(t *testing.T) {
+	in := testInstance(1, 8, 4)
+	want := 8 * math.Sqrt(4) * in.Conf.RhoBound
+	if got := in.ApproximationFactor(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("factor = %g, want %g", got, want)
+	}
+	wIn := testWeightedInstance(1, 8, 4)
+	logN := math.Ceil(math.Log2(8))
+	wantW := 16 * math.Sqrt(4) * wIn.Conf.RhoBound * logN
+	if got := wIn.ApproximationFactor(); math.Abs(got-wantW) > 1e-9 {
+		t.Fatalf("weighted factor = %g, want %g", got, wantW)
+	}
+}
+
+func TestCliqueLPMatchesCombinatorialAuction(t *testing.T) {
+	// A clique with k=1 is a single-item auction; the LP value must be at
+	// least the best bid and at most twice it (capacity row + the last
+	// vertex's interference row each allow 1 unit).
+	conf := models.CliqueConflict(4)
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{3}),
+		valuation.NewAdditive([]float64{7}),
+		valuation.NewAdditive([]float64{5}),
+		valuation.NewAdditive([]float64{1}),
+	}
+	in, _ := NewInstance(conf, 1, bidders)
+	sol, err := in.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value < 7-1e-9 {
+		t.Fatalf("LP value %g below best bid 7", sol.Value)
+	}
+	if sol.Value > 14+1e-9 {
+		t.Fatalf("LP value %g exceeds 2×best bid", sol.Value)
+	}
+}

@@ -1,0 +1,47 @@
+package auction
+
+import (
+	"testing"
+)
+
+// TestColGenOptimalityCertificate re-derives the optimality certificate of
+// the column generation on instances too large for explicit enumeration:
+// at the returned optimum, no bidder's demand oracle can find a bundle with
+// positive reduced cost (utility at the bidder-specific prices exceeding the
+// capacity dual). This is exactly the dual-separation argument of
+// Section 2.2: no violated dual constraint exists, hence the restricted LP
+// optimum is the optimum of the full exponential LP.
+func TestColGenOptimalityCertificate(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, weighted := range []bool{false, true} {
+			var in *Instance
+			if weighted {
+				in = testWeightedInstance(seed, 14, 4)
+			} else {
+				in = testInstance(seed, 20, 5)
+			}
+			sol, err := in.SolveLP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sol.Columns) == 0 {
+				continue
+			}
+			// Re-solve the master on the final column set to obtain duals.
+			b := newLPBuilder(in)
+			msol, status, err := b.buildMaster(sol.Columns).Solve()
+			if err != nil {
+				t.Fatalf("master %v: %v", status, err)
+			}
+			for v := 0; v < in.N(); v++ {
+				prices := b.prices(v, msol.Dual)
+				_, util := in.Bidders[v].Demand(prices)
+				z := msol.Dual[b.capRow[v]]
+				if util-z > 1e-5 {
+					t.Fatalf("seed %d weighted=%v: bidder %d has reduced cost %g > 0 at optimum",
+						seed, weighted, v, util-z)
+				}
+			}
+		}
+	}
+}

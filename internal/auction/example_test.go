@@ -1,0 +1,40 @@
+package auction_test
+
+import (
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// ExampleSolve runs a tiny two-channel disk-graph auction end to end.
+func ExampleSolve() {
+	// Three base stations on a line; the outer two are out of each other's
+	// range, the middle one overlaps both.
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 20, Y: 0}}
+	radii := []float64{4, 7, 4}
+	conf := models.Disk(centers, radii)
+
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{5, 1}),
+		valuation.NewAdditive([]float64{4, 4}),
+		valuation.NewAdditive([]float64{1, 6}),
+	}
+	in, err := auction.NewInstance(conf, 2, bidders)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := auction.Solve(in, auction.Options{Derandomize: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("feasible: %v\n", in.Feasible(res.Alloc))
+	fmt.Printf("welfare within factor: %v\n", res.Welfare >= res.LP.Value/res.Factor)
+	// Output:
+	// feasible: true
+	// welfare within factor: true
+}

@@ -1,0 +1,70 @@
+package auction
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTheorem3Expectation checks Theorem 3's statement about the
+// *expectation*: averaged over many independent roundings, welfare is at
+// least b*/(8√k·ρ). We require the empirical mean to clear 70% of the bound
+// to keep the test robust against sampling noise (the proof's constants are
+// loose, so the realized mean is typically far above the bound).
+func TestTheorem3Expectation(t *testing.T) {
+	in := testInstance(11, 16, 4)
+	sol, err := in.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const trials = 2000
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		s, _ := in.RoundOnce(sol, rng)
+		total += s.Welfare(in.Bidders)
+	}
+	mean := total / trials
+	bound := sol.Value / in.ApproximationFactor()
+	if mean < 0.7*bound {
+		t.Fatalf("empirical mean %g below 0.7×guarantee %g", mean, bound)
+	}
+}
+
+// TestLemma7Expectation does the same for the weighted rounding: the mean
+// over many roundings must clear 70% of b*/(16√kρ⌈log n⌉).
+func TestLemma7Expectation(t *testing.T) {
+	in := testWeightedInstance(13, 12, 3)
+	sol, err := in.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const trials = 1500
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		s, _ := in.RoundOnce(sol, rng)
+		total += s.Welfare(in.Bidders)
+	}
+	mean := total / trials
+	bound := sol.Value / in.ApproximationFactor()
+	if mean < 0.7*bound {
+		t.Fatalf("empirical mean %g below 0.7×guarantee %g", mean, bound)
+	}
+}
+
+// TestParallelSamplingDeterministic: Solve with the same options must return
+// the same welfare regardless of scheduling (per-sample seeding).
+func TestParallelSamplingDeterministic(t *testing.T) {
+	in := testInstance(17, 14, 3)
+	var prev float64
+	for trial := 0; trial < 3; trial++ {
+		res, err := Solve(in, Options{Seed: 5, Samples: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial > 0 && res.Welfare != prev {
+			t.Fatalf("run %d: welfare %g != %g", trial, res.Welfare, prev)
+		}
+		prev = res.Welfare
+	}
+}

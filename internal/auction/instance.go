@@ -1,0 +1,173 @@
+// Package auction implements the paper's primary contribution: approximation
+// algorithms for combinatorial auctions with (edge-weighted) conflict graphs
+// (Problem 1).
+//
+// The pipeline is:
+//
+//  1. Build the LP relaxation (1)/(4) over the model's ordering π and
+//     inductive independence bound ρ, with one variable per (bidder, bundle)
+//     pair. Solve it by column generation: the pricing step queries each
+//     bidder's demand oracle at the bidder-specific channel prices
+//     p_{v,j} = Σ_{u: v∈Γπ(u)} w̄(v,u)·y_{u,j}, exactly the dual separation
+//     of Section 2.2.
+//  2. Round the fractional optimum with Algorithm 1 (unweighted,
+//     Theorem 3: expected value ≥ b*/8√kρ) or Algorithm 2 + Algorithm 3
+//     (weighted, Lemmas 7+8: ≥ b*/16√kρ⌈log n⌉), either by sampling or
+//     derandomized via the method of conditional expectations.
+//
+// Asymmetric channels (Section 6) are handled by SolveAsymmetric with the
+// k·ρ scaling.
+package auction
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// Instance is a combinatorial auction with conflict graph: n bidders (the
+// vertices of the conflict graph), k symmetric channels, and a valuation
+// (with demand oracle) per bidder.
+type Instance struct {
+	Conf    *models.Conflict
+	K       int
+	Bidders []valuation.Valuation
+}
+
+// NewInstance validates and assembles an instance.
+func NewInstance(conf *models.Conflict, k int, bidders []valuation.Valuation) (*Instance, error) {
+	if conf == nil {
+		return nil, fmt.Errorf("auction: nil conflict structure")
+	}
+	if k < 1 || k > valuation.MaxChannels {
+		return nil, fmt.Errorf("auction: k=%d out of range [1,%d]", k, valuation.MaxChannels)
+	}
+	if len(bidders) != conf.N() {
+		return nil, fmt.Errorf("auction: %d bidders for %d vertices", len(bidders), conf.N())
+	}
+	for i, b := range bidders {
+		if b.K() != k {
+			return nil, fmt.Errorf("auction: bidder %d has %d channels, instance has %d", i, b.K(), k)
+		}
+	}
+	if conf.RhoBound <= 0 {
+		return nil, fmt.Errorf("auction: non-positive rho bound %g", conf.RhoBound)
+	}
+	return &Instance{Conf: conf, K: k, Bidders: bidders}, nil
+}
+
+// N returns the number of bidders.
+func (in *Instance) N() int { return len(in.Bidders) }
+
+// Unweighted reports whether the instance uses a binary conflict graph.
+func (in *Instance) Unweighted() bool { return in.Conf.Binary != nil }
+
+// Allocation assigns each bidder a bundle of channels (possibly empty).
+type Allocation []valuation.Bundle
+
+// Welfare returns the social welfare Σ_v b_v(S(v)) of the allocation under
+// the given bidders.
+func (s Allocation) Welfare(bidders []valuation.Valuation) float64 {
+	total := 0.0
+	for v, t := range s {
+		if t != valuation.Empty {
+			total += bidders[v].Value(t)
+		}
+	}
+	return total
+}
+
+// ChannelSet returns the bidders assigned channel j.
+func (s Allocation) ChannelSet(j int) []int {
+	var out []int
+	for v, t := range s {
+		if t.Has(j) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the allocation.
+func (s Allocation) Clone() Allocation {
+	out := make(Allocation, len(s))
+	copy(out, s)
+	return out
+}
+
+// Feasible reports whether the allocation is feasible for the instance: for
+// every channel, the set of bidders assigned to it is independent in the
+// conflict graph (unweighted or weighted sense).
+func (in *Instance) Feasible(s Allocation) bool {
+	if len(s) != in.N() {
+		return false
+	}
+	for j := 0; j < in.K; j++ {
+		set := s.ChannelSet(j)
+		if in.Conf.Binary != nil {
+			if !in.Conf.Binary.IsIndependent(set) {
+				return false
+			}
+		} else if !in.Conf.W.IsIndependent(set) {
+			return false
+		}
+	}
+	return true
+}
+
+// coef returns the LP coefficient of vertex u in vertex v's interference
+// constraint: 1 for a conflict edge in the unweighted LP (1b), the symmetric
+// weight w̄(u,v) in the weighted LP (4b).
+func (in *Instance) coef(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if in.Conf.Binary != nil {
+		if in.Conf.Binary.HasEdge(u, v) {
+			return 1
+		}
+		return 0
+	}
+	return in.Conf.W.Wbar(u, v)
+}
+
+// backwardSupport returns vertices u with π(u) < π(v) and coef(u,v) > 0.
+func (in *Instance) backwardSupport(v int) []int {
+	var out []int
+	for u := 0; u < in.N(); u++ {
+		if u != v && in.Conf.Pi.Before(u, v) && in.coef(u, v) > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// forwardSupport returns vertices w with π(v) < π(w) and coef(v,w) > 0,
+// i.e. the vertices whose constraints bidder v's columns appear in.
+func (in *Instance) forwardSupport(v int) []int {
+	var out []int
+	for w := 0; w < in.N(); w++ {
+		if w != v && in.Conf.Pi.Before(v, w) && in.coef(v, w) > 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ApproximationFactor returns the factor α the paper proves for this
+// instance class: 8√k·ρ for unweighted conflict graphs (Theorem 3) and
+// 16√k·ρ·⌈log₂ n⌉ for weighted ones (Lemmas 7 and 8).
+func (in *Instance) ApproximationFactor() float64 {
+	sqrtK := math.Sqrt(float64(in.K))
+	if in.Unweighted() {
+		return 8 * sqrtK * in.Conf.RhoBound
+	}
+	logN := math.Max(1, math.Ceil(math.Log2(float64(in.N()))))
+	return 16 * sqrtK * in.Conf.RhoBound * logN
+}
+
+// ordering is a convenience accessor.
+func (in *Instance) ordering() graph.Ordering { return in.Conf.Pi }

@@ -1,0 +1,81 @@
+package auction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/valuation"
+)
+
+// TestLiteralResolutionDominated: for the same tentative draw, the final-set
+// resolution keeps a superset of the literal (paper-printed) resolution's
+// winners, so its welfare is at least as high — per sample, not just in
+// expectation.
+func TestLiteralResolutionDominated(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		in := testInstance(seed, 14, 3)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans := buildPlans(in, sol)
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 40; trial++ {
+			for l := 0; l < 2; l++ {
+				tentative := plans[l].sample(rng)
+				literal := in.resolveUnweightedLiteral(tentative.Clone())
+				final := in.resolveUnweighted(tentative.Clone())
+				if !in.Feasible(literal) || !in.Feasible(final) {
+					t.Fatal("infeasible resolution output")
+				}
+				for v := 0; v < in.N(); v++ {
+					if literal[v] != valuation.Empty && final[v] == valuation.Empty {
+						t.Fatalf("literal kept %d but final-set removed it", v)
+					}
+				}
+				if literal.Welfare(in.Bidders) > final.Welfare(in.Bidders)+1e-9 {
+					t.Fatal("literal welfare exceeds final-set welfare")
+				}
+			}
+		}
+	}
+}
+
+// TestLiteralWeightedFeasible: the literal weighted resolution satisfies
+// Condition (5) and MakeFeasible turns it into a feasible allocation.
+func TestLiteralWeightedFeasible(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		in := testWeightedInstance(seed, 10, 2)
+		sol, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			s, _ := in.RoundOnceLiteral(sol, rng)
+			if !in.Feasible(s) {
+				t.Fatal("literal weighted rounding infeasible")
+			}
+		}
+	}
+}
+
+// TestLiteralPartlyFeasibleCondition: the printed Algorithm 2 resolution
+// produces allocations satisfying Condition (5).
+func TestLiteralPartlyFeasibleCondition(t *testing.T) {
+	in := testWeightedInstance(7, 12, 2)
+	sol, err := in.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := buildPlans(in, sol)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		for l := 0; l < 2; l++ {
+			s := in.resolveWeightedLiteral(plans[l].sample(rng))
+			if !in.PartlyFeasible(s) {
+				t.Fatal("literal resolution violates Condition (5)")
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package auction
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/valuation"
+)
+
+// Column is one LP variable x_{v,T}: bidder V receives bundle T, worth
+// Value = b_V(T).
+type Column struct {
+	V     int
+	T     valuation.Bundle
+	Value float64
+}
+
+// LPSolution is the fractional optimum of the relaxation (1)/(4), restricted
+// to the generated columns (which, at termination of column generation,
+// carry an optimal basis of the full exponential LP).
+type LPSolution struct {
+	// Columns are the generated (bidder, bundle) variables.
+	Columns []Column
+	// X are the optimal values of the columns, aligned with Columns.
+	X []float64
+	// Value is the LP optimum b*.
+	Value float64
+	// Rounds is the number of column-generation rounds performed.
+	Rounds int
+	// ColumnsGenerated is the total number of columns priced in.
+	ColumnsGenerated int
+}
+
+const (
+	colGenTol       = 1e-7
+	maxColGenRounds = 300
+)
+
+// lpBuilder caches the row layout of the master LP for an instance.
+type lpBuilder struct {
+	in *Instance
+	// interfRow[v*k+j] is the master row index of constraint (v,j), or -1
+	// if the constraint is trivial (empty backward support).
+	interfRow []int
+	// capRow[v] is the master row index of Σ_T x_{v,T} ≤ 1.
+	capRow []int
+	// numRows is the total number of master rows.
+	numRows int
+	// back[v] caches backwardSupport(v); fwd[v] caches forwardSupport(v).
+	back, fwd [][]int
+}
+
+func newLPBuilder(in *Instance) *lpBuilder {
+	n, k := in.N(), in.K
+	b := &lpBuilder{
+		in:        in,
+		interfRow: make([]int, n*k),
+		capRow:    make([]int, n),
+		back:      make([][]int, n),
+		fwd:       make([][]int, n),
+	}
+	row := 0
+	for v := 0; v < n; v++ {
+		b.back[v] = in.backwardSupport(v)
+		b.fwd[v] = in.forwardSupport(v)
+		for j := 0; j < k; j++ {
+			if len(b.back[v]) == 0 {
+				b.interfRow[v*k+j] = -1
+				continue
+			}
+			b.interfRow[v*k+j] = row
+			row++
+		}
+	}
+	for v := 0; v < n; v++ {
+		b.capRow[v] = row
+		row++
+	}
+	b.numRows = row
+	return b
+}
+
+// buildMaster assembles the restricted master LP over the given columns.
+func (b *lpBuilder) buildMaster(cols []Column) *lp.Problem {
+	in := b.in
+	k := in.K
+	obj := make([]float64, len(cols))
+	for i, c := range cols {
+		obj[i] = c.Value
+	}
+	p := lp.NewMaximize(obj)
+	rows := make([][]float64, b.numRows)
+	for r := range rows {
+		rows[r] = make([]float64, len(cols))
+	}
+	for i, c := range cols {
+		// Interference rows: column (u,T) appears in row (v,j) for every
+		// forward vertex v of u and every channel j ∈ T, with coefficient
+		// coef(u,v).
+		for _, v := range b.fwd[c.V] {
+			w := in.coef(c.V, v)
+			for _, j := range c.T.Channels() {
+				if r := b.interfRow[v*k+j]; r >= 0 {
+					rows[r][i] = w
+				}
+			}
+		}
+		rows[b.capRow[c.V]][i] = 1
+	}
+	for r := 0; r < b.numRows; r++ {
+		rhs := 1.0
+		if r < b.capRow[0] {
+			rhs = in.Conf.RhoBound
+		}
+		p.AddConstraint(rows[r], lp.LE, rhs)
+	}
+	return p
+}
+
+// prices computes bidder v's bidder-specific channel prices from the duals:
+// p_{v,j} = Σ_{w: v ∈ Γπ(w)} coef(v,w) · y_{w,j}.
+func (b *lpBuilder) prices(v int, dual []float64) []float64 {
+	k := b.in.K
+	p := make([]float64, k)
+	for _, w := range b.fwd[v] {
+		c := b.in.coef(v, w)
+		for j := 0; j < k; j++ {
+			if r := b.interfRow[w*k+j]; r >= 0 {
+				if y := dual[r]; y > 0 {
+					p[j] += c * y
+				}
+			}
+		}
+	}
+	return p
+}
+
+// SolveLP computes the optimum of the LP relaxation by column generation
+// with the bidders' demand oracles.
+func (in *Instance) SolveLP() (*LPSolution, error) {
+	return in.solveLPWith(in.Bidders)
+}
+
+// solveLPWith runs column generation for an alternative valuation profile
+// over the same conflict structure (used by the Lavi–Swamy decomposition,
+// which reprices columns with dual weights).
+func (in *Instance) solveLPWith(bidders []valuation.Valuation) (*LPSolution, error) {
+	b := newLPBuilder(in)
+	seen := make(map[colKey]bool)
+	var cols []Column
+
+	addCol := func(v int, t valuation.Bundle) bool {
+		if t == valuation.Empty {
+			return false
+		}
+		key := colKey{v, t}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		cols = append(cols, Column{V: v, T: t, Value: bidders[v].Value(t)})
+		return true
+	}
+
+	// Seed: each bidder's favorite bundle at zero prices.
+	zero := make([]float64, in.K)
+	for v := range bidders {
+		if t, util := bidders[v].Demand(zero); util > colGenTol {
+			addCol(v, t)
+		}
+	}
+	if len(cols) == 0 {
+		return &LPSolution{}, nil
+	}
+
+	var sol *lp.Solution
+	rounds := 0
+	for ; rounds < maxColGenRounds; rounds++ {
+		p := b.buildMaster(cols)
+		s, status, err := p.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("auction: master LP %v: %w", status, err)
+		}
+		sol = s
+		added := false
+		for v := range bidders {
+			prices := b.prices(v, s.Dual)
+			t, util := bidders[v].Demand(prices)
+			z := s.Dual[b.capRow[v]]
+			if util-z > colGenTol && addCol(v, t) {
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	if sol == nil {
+		return &LPSolution{}, nil
+	}
+	return &LPSolution{
+		Columns:          cols,
+		X:                sol.X,
+		Value:            sol.Objective,
+		Rounds:           rounds + 1,
+		ColumnsGenerated: len(cols),
+	}, nil
+}
+
+type colKey struct {
+	v int
+	t valuation.Bundle
+}
+
+// SolveLPExplicit solves the relaxation with every bundle written out as an
+// explicit column — the "constant number of channels" route of Section 5,
+// where bidders are asked for all 2^k−1 bundle values up front. Cost is
+// exponential in k; it refuses k > 16. Column generation (SolveLP) reaches
+// the same optimum with only oracle access and is the default; this variant
+// exists for ground-truthing and for tiny k.
+func (in *Instance) SolveLPExplicit() (*LPSolution, error) {
+	if in.K > 16 {
+		return nil, fmt.Errorf("auction: explicit LP needs k ≤ 16, got %d", in.K)
+	}
+	var cols []Column
+	for v := 0; v < in.N(); v++ {
+		for m := 1; m < 1<<uint(in.K); m++ {
+			t := valuation.Bundle(m)
+			if val := in.Bidders[v].Value(t); val > 0 {
+				cols = append(cols, Column{V: v, T: t, Value: val})
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return &LPSolution{}, nil
+	}
+	b := newLPBuilder(in)
+	sol, status, err := b.buildMaster(cols).Solve()
+	if err != nil {
+		return nil, fmt.Errorf("auction: explicit LP %v: %w", status, err)
+	}
+	return &LPSolution{
+		Columns:          cols,
+		X:                sol.X,
+		Value:            sol.Objective,
+		Rounds:           1,
+		ColumnsGenerated: len(cols),
+	}, nil
+}
+
+// CheckLPFeasible verifies that (Columns, X) satisfies the relaxation's
+// constraints up to tolerance; used by tests and the decomposition.
+func (in *Instance) CheckLPFeasible(s *LPSolution, tol float64) error {
+	n, k := in.N(), in.K
+	capSum := make([]float64, n)
+	interf := make([]float64, n*k)
+	for i, c := range s.Columns {
+		x := s.X[i]
+		if x < -tol {
+			return fmt.Errorf("auction: negative x[%d]=%g", i, x)
+		}
+		capSum[c.V] += x
+		for _, v := range in.forwardSupport(c.V) {
+			w := in.coef(c.V, v)
+			for _, j := range c.T.Channels() {
+				interf[v*k+j] += w * x
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if capSum[v] > 1+tol {
+			return fmt.Errorf("auction: capacity of %d is %g > 1", v, capSum[v])
+		}
+		for j := 0; j < k; j++ {
+			if interf[v*k+j] > in.Conf.RhoBound+tol {
+				return fmt.Errorf("auction: interference row (%d,%d) is %g > rho=%g",
+					v, j, interf[v*k+j], in.Conf.RhoBound)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package auction
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/valuation"
+)
+
+// option is one rounding choice for a bidder: pick bundle t with probability
+// prob (the scaled LP value); with the remaining probability the bidder gets
+// nothing.
+type option struct {
+	t     valuation.Bundle
+	prob  float64
+	value float64
+}
+
+// roundingPlan holds the per-bidder options of one half of the
+// size-decomposition (|T| ≤ √k or |T| > √k) at the scheme's scaling.
+type roundingPlan struct {
+	opts [][]option // indexed by bidder
+}
+
+// buildPlans decomposes the LP solution into the two halves of
+// Algorithms 1/2 and scales them into probability distributions:
+// x/(2√k·ρ) for unweighted instances, x/(4√k·ρ) for weighted ones.
+func buildPlans(in *Instance, sol *LPSolution) [2]*roundingPlan {
+	n := in.N()
+	scale := 2 * math.Sqrt(float64(in.K)) * in.Conf.RhoBound
+	if !in.Unweighted() {
+		scale *= 2
+	}
+	sqrtK := math.Sqrt(float64(in.K))
+	var plans [2]*roundingPlan
+	for l := 0; l < 2; l++ {
+		plans[l] = &roundingPlan{opts: make([][]option, n)}
+	}
+	for i, c := range sol.Columns {
+		x := sol.X[i]
+		if x <= 1e-12 || c.T == valuation.Empty {
+			continue
+		}
+		l := 0
+		if float64(c.T.Size()) > sqrtK {
+			l = 1
+		}
+		plans[l].opts[c.V] = append(plans[l].opts[c.V], option{
+			t:     c.T,
+			prob:  x / scale,
+			value: c.Value,
+		})
+	}
+	return plans
+}
+
+// sample draws a tentative allocation: each bidder independently picks
+// bundle T with probability opts.prob, or nothing.
+func (p *roundingPlan) sample(rng *rand.Rand) Allocation {
+	s := make(Allocation, len(p.opts))
+	for v, opts := range p.opts {
+		u := rng.Float64()
+		acc := 0.0
+		for _, o := range opts {
+			acc += o.prob
+			if u < acc {
+				s[v] = o.t
+				break
+			}
+		}
+	}
+	return s
+}
+
+// resolveUnweighted is the conflict-resolution stage of Algorithm 1:
+// processing vertices in π order, a vertex loses its bundle if any backward
+// neighbor (with its already-final bundle) shares a channel. The result is a
+// feasible allocation.
+func (in *Instance) resolveUnweighted(s Allocation) Allocation {
+	g := in.Conf.Binary
+	for _, v := range in.ordering().Perm {
+		if s[v] == valuation.Empty {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if in.ordering().Before(u, v) && s[u].Intersects(s[v]) {
+				s[v] = valuation.Empty
+				break
+			}
+		}
+	}
+	return s
+}
+
+// resolveWeighted is the partial conflict-resolution stage of Algorithm 2:
+// processing vertices in π order, a vertex loses its bundle if the summed
+// symmetric weight w̄ of backward vertices sharing a channel reaches 1/2.
+// The result is a partly-feasible allocation (Condition 5).
+func (in *Instance) resolveWeighted(s Allocation) Allocation {
+	w := in.Conf.W
+	for _, v := range in.ordering().Perm {
+		if s[v] == valuation.Empty {
+			continue
+		}
+		sum := 0.0
+		for u := 0; u < in.N(); u++ {
+			if u != v && in.ordering().Before(u, v) && s[u].Intersects(s[v]) {
+				sum += w.Wbar(u, v)
+			}
+		}
+		if sum >= 0.5 {
+			s[v] = valuation.Empty
+		}
+	}
+	return s
+}
+
+// PartlyFeasible reports whether the allocation satisfies Condition (5):
+// for every vertex, the summed symmetric weight of earlier vertices sharing
+// a channel is below 1/2.
+func (in *Instance) PartlyFeasible(s Allocation) bool {
+	w := in.Conf.W
+	for v := 0; v < in.N(); v++ {
+		if s[v] == valuation.Empty {
+			continue
+		}
+		sum := 0.0
+		for u := 0; u < in.N(); u++ {
+			if u != v && in.ordering().Before(u, v) && s[u].Intersects(s[v]) {
+				sum += w.Wbar(u, v)
+			}
+		}
+		if sum >= 0.5 {
+			return false
+		}
+	}
+	return true
+}
+
+// MakeFeasible is Algorithm 3: it turns a partly-feasible allocation into a
+// fully feasible one, losing at most a ⌈log₂ n⌉ factor (Lemma 8). It
+// decomposes the input into candidate allocations S₁, S₂, …; each vertex
+// keeps its bundle in exactly one candidate; the best candidate is returned
+// together with the number of iterations used.
+func (in *Instance) MakeFeasible(s Allocation) (Allocation, int) {
+	n := in.N()
+	w := in.Conf.W
+	perm := in.ordering().Perm
+	inV := make([]bool, n) // V′: vertices not yet placed in any candidate
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if s[v] != valuation.Empty {
+			inV[v] = true
+			remaining++
+		}
+	}
+	var best Allocation
+	bestWelfare := math.Inf(-1)
+	iters := 0
+	for remaining > 0 && iters <= n+1 {
+		iters++
+		roster := make([]bool, n)
+		copy(roster, inV)
+		si := make(Allocation, n)
+		for v := 0; v < n; v++ {
+			if roster[v] {
+				si[v] = s[v]
+			}
+		}
+		// Process vertices of the roster by decreasing π.
+		for idx := n - 1; idx >= 0; idx-- {
+			v := perm[idx]
+			if !roster[v] {
+				continue
+			}
+			sum := 0.0
+			for u := 0; u < n; u++ {
+				if u != v && roster[u] && si[u].Intersects(si[v]) {
+					sum += w.Wbar(u, v)
+				}
+			}
+			if sum < 1 {
+				inV[v] = false // v stays in si, leaves V′
+				remaining--
+			} else {
+				si[v] = valuation.Empty // v is dropped from si, stays in V′
+			}
+		}
+		if wf := si.Welfare(in.Bidders); wf > bestWelfare {
+			best, bestWelfare = si, wf
+		}
+	}
+	if best == nil {
+		best = make(Allocation, n)
+	}
+	return best, iters
+}
+
+// RoundOnce performs one randomized rounding of the LP solution: both halves
+// of the decomposition are sampled, conflicts resolved (Algorithm 1 for
+// unweighted instances; Algorithm 2 + Algorithm 3 for weighted ones), and
+// the better allocation is returned with the maximum Algorithm 3 iteration
+// count observed.
+func (in *Instance) RoundOnce(sol *LPSolution, rng *rand.Rand) (Allocation, int) {
+	plans := buildPlans(in, sol)
+	var best Allocation
+	bestWelfare := math.Inf(-1)
+	maxIters := 0
+	for l := 0; l < 2; l++ {
+		s := plans[l].sample(rng)
+		s, iters := in.finishRounding(s)
+		if iters > maxIters {
+			maxIters = iters
+		}
+		if wf := s.Welfare(in.Bidders); wf > bestWelfare {
+			best, bestWelfare = s, wf
+		}
+	}
+	return best, maxIters
+}
+
+// finishRounding applies the conflict-resolution pipeline appropriate for
+// the instance type to a tentative allocation.
+func (in *Instance) finishRounding(s Allocation) (Allocation, int) {
+	if in.Unweighted() {
+		return in.resolveUnweighted(s), 0
+	}
+	s = in.resolveWeighted(s)
+	return in.MakeFeasible(s)
+}
+
+// resolveUnweightedLiteral is Algorithm 1's conflict resolution exactly as
+// printed: removal decisions compare against the *tentative* bundles of
+// backward neighbors, even if those neighbors were themselves removed. The
+// π-order final-set rule used by resolveUnweighted keeps a superset of the
+// winners, so this literal variant exists for the fidelity ablation (A4) and
+// still satisfies Theorem 3's analysis.
+func (in *Instance) resolveUnweightedLiteral(s Allocation) Allocation {
+	g := in.Conf.Binary
+	tentative := s.Clone()
+	out := s.Clone()
+	for v := 0; v < in.N(); v++ {
+		if tentative[v] == valuation.Empty {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if in.ordering().Before(u, v) && tentative[u].Intersects(tentative[v]) {
+				out[v] = valuation.Empty
+				break
+			}
+		}
+	}
+	return out
+}
+
+// resolveWeightedLiteral is Algorithm 2's partial conflict resolution as
+// printed, against tentative bundles.
+func (in *Instance) resolveWeightedLiteral(s Allocation) Allocation {
+	w := in.Conf.W
+	tentative := s.Clone()
+	out := s.Clone()
+	for v := 0; v < in.N(); v++ {
+		if tentative[v] == valuation.Empty {
+			continue
+		}
+		sum := 0.0
+		for u := 0; u < in.N(); u++ {
+			if u != v && in.ordering().Before(u, v) && tentative[u].Intersects(tentative[v]) {
+				sum += w.Wbar(u, v)
+			}
+		}
+		if sum >= 0.5 {
+			out[v] = valuation.Empty
+		}
+	}
+	return out
+}
+
+// RoundOnceLiteral is RoundOnce with the paper-literal (tentative-set)
+// conflict resolution. Per sample its winners are a subset of RoundOnce's
+// for the same tentative draw, so it is dominated; it exists to quantify how
+// much the final-set refinement buys (ablation A4).
+func (in *Instance) RoundOnceLiteral(sol *LPSolution, rng *rand.Rand) (Allocation, int) {
+	plans := buildPlans(in, sol)
+	var best Allocation
+	bestWelfare := math.Inf(-1)
+	maxIters := 0
+	for l := 0; l < 2; l++ {
+		s := plans[l].sample(rng)
+		var iters int
+		if in.Unweighted() {
+			s = in.resolveUnweightedLiteral(s)
+		} else {
+			s = in.resolveWeightedLiteral(s)
+			s, iters = in.MakeFeasible(s)
+		}
+		if iters > maxIters {
+			maxIters = iters
+		}
+		if wf := s.Welfare(in.Bidders); wf > bestWelfare {
+			best, bestWelfare = s, wf
+		}
+	}
+	return best, maxIters
+}
+
+// RoundDerandomized rounds the LP solution deterministically by the method
+// of conditional expectations over the pessimistic estimator from the proofs
+// of Theorem 3 / Lemma 7:
+//
+//	Φ = Σ_v Σ_T b_{v,T}·p_{v,T}·(1 − Σ_{u∈Γπ(v)} c(u,v)·Pr[share])
+//
+// with penalty coefficient c(u,v)=1 for unweighted instances and
+// c(u,v)=2·w̄(u,v) for weighted ones. Processing vertices in π order, all
+// terms are multilinear in the per-vertex choices, so each conditional value
+// is exact; the final allocation's welfare is at least the initial Φ, i.e.
+// at least b*/(8√kρ) resp. b*/(16√kρ) before Algorithm 3.
+func (in *Instance) RoundDerandomized(sol *LPSolution) (Allocation, int) {
+	plans := buildPlans(in, sol)
+	var best Allocation
+	bestWelfare := math.Inf(-1)
+	maxIters := 0
+	for l := 0; l < 2; l++ {
+		s := in.derandomizeOne(plans[l])
+		s, iters := in.finishRounding(s)
+		if iters > maxIters {
+			maxIters = iters
+		}
+		if wf := s.Welfare(in.Bidders); wf > bestWelfare {
+			best, bestWelfare = s, wf
+		}
+	}
+	return best, maxIters
+}
+
+// penCoef returns the estimator's penalty coefficient c(u,v).
+func (in *Instance) penCoef(u, v int) float64 {
+	if in.Unweighted() {
+		if in.Conf.Binary.HasEdge(u, v) {
+			return 1
+		}
+		return 0
+	}
+	return 2 * in.Conf.W.Wbar(u, v)
+}
+
+// derandomizeOne fixes bidder choices one by one in π order, each time
+// picking the option (a bundle or the empty set) that maximizes the
+// conditional estimator. Only two parts of Φ depend on v's choice:
+//
+//   - v's own term b(1 − pen_v(T)), where pen_v sums the penalty
+//     coefficients of backward vertices already fixed to a sharing bundle;
+//   - the terms of forward vertices w, each reduced by
+//     c(v,w)·Σ_{T'∩T≠∅} p_{w,T'}·b_{w,T'} when v picks T (the subtracted
+//     expectation term is constant across v's options and is dropped).
+func (in *Instance) derandomizeOne(plan *roundingPlan) Allocation {
+	n := in.N()
+	chosen := make(Allocation, n)
+	for _, v := range in.ordering().Perm {
+		opts := plan.opts[v]
+		if len(opts) == 0 {
+			continue
+		}
+		bestScore := 0.0 // the empty set scores exactly 0
+		bestT := valuation.Empty
+		for _, o := range opts {
+			pen := 0.0
+			for _, u := range in.backwardSupport(v) {
+				if chosen[u].Intersects(o.t) {
+					pen += in.penCoef(u, v)
+				}
+			}
+			score := o.value * (1 - pen)
+			for _, w := range in.forwardSupport(v) {
+				c := in.penCoef(v, w)
+				if c == 0 {
+					continue
+				}
+				loss := 0.0
+				for _, ow := range plan.opts[w] {
+					if ow.t.Intersects(o.t) {
+						loss += ow.prob * ow.value
+					}
+				}
+				score -= c * loss
+			}
+			if score > bestScore {
+				bestScore, bestT = score, o.t
+			}
+		}
+		chosen[v] = bestT
+	}
+	return chosen
+}

@@ -1,0 +1,109 @@
+package auction
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Options configure Solve.
+type Options struct {
+	// Seed seeds the rounding RNG (ignored when Derandomize is set).
+	Seed int64
+	// Samples is the number of independent randomized roundings; the best
+	// allocation is kept. Defaults to 1 when zero.
+	Samples int
+	// Derandomize switches to the deterministic rounding by conditional
+	// expectations, which meets the proven guarantee with certainty.
+	Derandomize bool
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Alloc is the feasible allocation found.
+	Alloc Allocation
+	// Welfare is its social welfare.
+	Welfare float64
+	// LP is the fractional optimum used for rounding; LP.Value is the upper
+	// bound b* on the optimal welfare.
+	LP *LPSolution
+	// Factor is the proven approximation factor α for this instance class;
+	// the paper guarantees (expected) Welfare ≥ LP.Value/Factor.
+	Factor float64
+	// Alg3Iterations is the maximum number of Algorithm 3 iterations used
+	// (0 for unweighted instances); Lemma 8 bounds it by ⌈log₂ n⌉.
+	Alg3Iterations int
+}
+
+// Solve runs the full pipeline: column-generation LP, randomized or
+// derandomized rounding, conflict resolution.
+func Solve(in *Instance, opt Options) (*Result, error) {
+	sol, err := in.SolveLP()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{LP: sol, Factor: in.ApproximationFactor()}
+	if len(sol.Columns) == 0 {
+		res.Alloc = make(Allocation, in.N())
+		return res, nil
+	}
+	if opt.Derandomize {
+		res.Alloc, res.Alg3Iterations = in.RoundDerandomized(sol)
+	} else {
+		samples := opt.Samples
+		if samples < 1 {
+			samples = 1
+		}
+		best, iters := in.roundBestOf(sol, opt.Seed, samples)
+		res.Alloc, res.Alg3Iterations = best, iters
+	}
+	res.Welfare = res.Alloc.Welfare(in.Bidders)
+	if !in.Feasible(res.Alloc) {
+		return nil, fmt.Errorf("auction: internal error: rounded allocation infeasible")
+	}
+	return res, nil
+}
+
+// roundBestOf draws the given number of independent roundings and returns
+// the best. Samples run in parallel across GOMAXPROCS workers; determinism
+// is preserved by seeding each sample's generator as seed+index, so the
+// result does not depend on scheduling.
+func (in *Instance) roundBestOf(sol *LPSolution, seed int64, samples int) (Allocation, int) {
+	type outcome struct {
+		alloc   Allocation
+		welfare float64
+		iters   int
+	}
+	results := make([]outcome, samples)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > samples {
+		workers = samples
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(seed + int64(i)))
+				s, iters := in.RoundOnce(sol, rng)
+				results[i] = outcome{alloc: s, welfare: s.Welfare(in.Bidders), iters: iters}
+			}
+		}()
+	}
+	for i := 0; i < samples; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	best, bestWelfare, bestIters := Allocation(nil), math.Inf(-1), 0
+	for _, r := range results {
+		if r.welfare > bestWelfare {
+			best, bestWelfare, bestIters = r.alloc, r.welfare, r.iters
+		}
+	}
+	return best, bestIters
+}

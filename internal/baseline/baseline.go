@@ -1,0 +1,260 @@
+// Package baseline implements the comparison algorithms the paper's results
+// are measured against: per-channel greedy allocation, the edge-based LP of
+// Section 2.1 (whose integrality gap is n/2 on cliques), an exact
+// branch-and-bound solver that provides ground-truth optima on small
+// instances, and a random feasible allocation.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/auction"
+	"repro/internal/lp"
+	"repro/internal/valuation"
+)
+
+// Greedy allocates channels one at a time: for each channel, bidders are
+// sorted by the marginal value of adding that channel to their current
+// bundle, and are admitted greedily while the channel's user set stays
+// independent. A natural practical heuristic with no worst-case guarantee
+// in terms of ρ and k.
+func Greedy(in *auction.Instance) auction.Allocation {
+	n := in.N()
+	s := make(auction.Allocation, n)
+	for j := 0; j < in.K; j++ {
+		type cand struct {
+			v    int
+			gain float64
+		}
+		cands := make([]cand, 0, n)
+		for v := 0; v < n; v++ {
+			gain := in.Bidders[v].Value(s[v].With(j)) - in.Bidders[v].Value(s[v])
+			if gain > 0 {
+				cands = append(cands, cand{v, gain})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].gain != cands[b].gain {
+				return cands[a].gain > cands[b].gain
+			}
+			return cands[a].v < cands[b].v
+		})
+		var chosen []int
+		for _, c := range cands {
+			trial := append(chosen, c.v)
+			ok := false
+			if in.Conf.Binary != nil {
+				ok = in.Conf.Binary.IsIndependent(trial)
+			} else {
+				ok = in.Conf.W.IsIndependent(trial)
+			}
+			if ok {
+				chosen = trial
+				s[c.v] = s[c.v].With(j)
+			}
+		}
+	}
+	return s
+}
+
+// EdgeLP solves the edge-based LP relaxation of Section 2.1 for the
+// single-channel weighted independent set problem,
+//
+//	max Σ b_v x_v   s.t.  x_u + x_v ≤ 1 on edges, 0 ≤ x ≤ 1,
+//
+// and rounds it greedily by decreasing x (ties by value). It returns the
+// chosen independent set, its value, and the LP optimum. The LP bound is
+// weak: on a clique it is n/2 regardless of the instance, the integrality
+// gap the paper contrasts with its ρ-based LP.
+//
+// Only defined for unweighted instances with k = 1.
+func EdgeLP(in *auction.Instance) (set []int, value, lpOpt float64, err error) {
+	if in.Conf.Binary == nil || in.K != 1 {
+		return nil, 0, 0, fmt.Errorf("baseline: EdgeLP requires an unweighted instance with k=1")
+	}
+	g := in.Conf.Binary
+	n := in.N()
+	b := make([]float64, n)
+	for v := 0; v < n; v++ {
+		b[v] = in.Bidders[v].Value(valuation.FromChannels(0))
+	}
+	p := lp.NewMaximize(b)
+	coeff := make([]float64, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v > u {
+				coeff[u], coeff[v] = 1, 1
+				p.AddConstraint(coeff, lp.LE, 1)
+				coeff[u], coeff[v] = 0, 0
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		coeff[v] = 1
+		p.AddConstraint(coeff, lp.LE, 1)
+		coeff[v] = 0
+	}
+	sol, status, err := p.Solve()
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("baseline: edge LP %v: %w", status, err)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b2 int) bool {
+		xa, xb := sol.X[order[a]], sol.X[order[b2]]
+		if xa != xb {
+			return xa > xb
+		}
+		return b[order[a]] > b[order[b2]]
+	})
+	for _, v := range order {
+		if sol.X[v] <= 1e-9 || b[v] <= 0 {
+			continue
+		}
+		trial := append(set, v)
+		if g.IsIndependent(trial) {
+			set = trial
+			value += b[v]
+		}
+	}
+	return set, value, sol.Objective, nil
+}
+
+// Random assigns, in a random vertex order, each bidder its favorite bundle
+// among those that keep the allocation feasible, considering only the full
+// demand-at-zero-prices bundle and its single channels. A weak but fair
+// "no optimization" baseline.
+func Random(in *auction.Instance, rng *rand.Rand) auction.Allocation {
+	n := in.N()
+	s := make(auction.Allocation, n)
+	zero := make([]float64, in.K)
+	for _, v := range rng.Perm(n) {
+		want, _ := in.Bidders[v].Demand(zero)
+		if want == valuation.Empty {
+			continue
+		}
+		trial := s.Clone()
+		trial[v] = want
+		if in.Feasible(trial) {
+			s = trial
+			continue
+		}
+		// Fall back to the best feasible single channel.
+		bestJ, bestVal := -1, 0.0
+		for _, j := range want.Channels() {
+			trial[v] = valuation.FromChannels(j)
+			if in.Feasible(trial) {
+				if val := in.Bidders[v].Value(trial[v]); val > bestVal {
+					bestJ, bestVal = j, val
+				}
+			}
+		}
+		if bestJ >= 0 {
+			s[v] = valuation.FromChannels(bestJ)
+		} else {
+			trial[v] = valuation.Empty
+		}
+	}
+	return s
+}
+
+// ExactOPT computes the optimal welfare by branch and bound over per-bidder
+// bundle choices. Exponential in n·2^k: intended for ground-truth on small
+// instances (n ≤ ~14, k ≤ 4). Bidders are processed in decreasing order of
+// their best standalone value, and the search prunes with the optimistic
+// bound "current + Σ remaining best values".
+func ExactOPT(in *auction.Instance) (auction.Allocation, float64) {
+	n := in.N()
+	if in.K > 16 {
+		panic("baseline: ExactOPT supports k ≤ 16")
+	}
+	numBundles := 1 << uint(in.K)
+	// Candidate bundles and values per bidder, best first.
+	type choice struct {
+		t   valuation.Bundle
+		val float64
+	}
+	choices := make([][]choice, n)
+	bestVal := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for m := 1; m < numBundles; m++ {
+			t := valuation.Bundle(m)
+			if val := in.Bidders[v].Value(t); val > 0 {
+				choices[v] = append(choices[v], choice{t, val})
+				if val > bestVal[v] {
+					bestVal[v] = val
+				}
+			}
+		}
+		sort.Slice(choices[v], func(a, b int) bool { return choices[v][a].val > choices[v][b].val })
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return bestVal[order[a]] > bestVal[order[b]] })
+	suffixBest := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixBest[i] = suffixBest[i+1] + bestVal[order[i]]
+	}
+
+	cur := make(auction.Allocation, n)
+	best := make(auction.Allocation, n)
+	bestWelfare := 0.0
+	// channelSets[j] tracks the bidders currently on channel j.
+	channelSets := make([][]int, in.K)
+
+	feasibleWith := func(v int, t valuation.Bundle) bool {
+		for _, j := range t.Channels() {
+			set := append(channelSets[j], v)
+			if in.Conf.Binary != nil {
+				if !in.Conf.Binary.IsIndependent(set) {
+					return false
+				}
+			} else if !in.Conf.W.IsIndependent(set) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var rec func(i int, welfare float64)
+	rec = func(i int, welfare float64) {
+		if welfare > bestWelfare {
+			bestWelfare = welfare
+			copy(best, cur)
+		}
+		if i == n || welfare+suffixBest[i] <= bestWelfare+1e-12 {
+			return
+		}
+		v := order[i]
+		for _, c := range choices[v] {
+			if welfare+c.val+suffixBest[i+1] <= bestWelfare+1e-12 {
+				break // choices are sorted; nothing later can help
+			}
+			if !feasibleWith(v, c.t) {
+				continue
+			}
+			cur[v] = c.t
+			for _, j := range c.t.Channels() {
+				channelSets[j] = append(channelSets[j], v)
+			}
+			rec(i+1, welfare+c.val)
+			for _, j := range c.t.Channels() {
+				channelSets[j] = channelSets[j][:len(channelSets[j])-1]
+			}
+			cur[v] = valuation.Empty
+		}
+		rec(i+1, welfare) // v gets nothing
+	}
+	rec(0, 0)
+	if math.IsInf(bestWelfare, -1) {
+		bestWelfare = 0
+	}
+	return best, bestWelfare
+}

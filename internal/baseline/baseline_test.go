@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+func smallInstance(seed int64, n, k int) *auction.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 60, 2, 8)
+	conf := models.Protocol(links, 1)
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := auction.NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestGreedyFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		in := smallInstance(seed, 10, 3)
+		return in.Feasible(Greedy(in))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyNontrivial(t *testing.T) {
+	in := smallInstance(1, 10, 3)
+	if Greedy(in).Welfare(in.Bidders) <= 0 {
+		t.Fatal("greedy found nothing on a market with positive bids")
+	}
+}
+
+func TestRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for seed := int64(1); seed <= 10; seed++ {
+		in := smallInstance(seed, 8, 2)
+		if !in.Feasible(Random(in, rng)) {
+			t.Fatalf("seed %d: infeasible", seed)
+		}
+	}
+}
+
+func TestExactOPTKnownInstance(t *testing.T) {
+	// Path 0-1-2, k=1, values 3, 5, 4: OPT = 3+4 = 7 ({0,2}).
+	conf := models.GeneralGraphConflict(graph.Path(3))
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{3}),
+		valuation.NewAdditive([]float64{5}),
+		valuation.NewAdditive([]float64{4}),
+	}
+	in, err := auction.NewInstance(conf, 1, bidders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, opt := ExactOPT(in)
+	if opt != 7 {
+		t.Fatalf("OPT = %g, want 7", opt)
+	}
+	if !in.Feasible(alloc) || alloc.Welfare(bidders) != 7 {
+		t.Fatal("returned allocation inconsistent")
+	}
+}
+
+func TestExactOPTDominatesHeuristics(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		in := smallInstance(seed, 8, 2)
+		_, opt := ExactOPT(in)
+		if g := Greedy(in).Welfare(in.Bidders); g > opt+1e-9 {
+			t.Fatalf("greedy %g beats OPT %g", g, opt)
+		}
+		res, err := auction.Solve(in, auction.Options{Seed: seed, Samples: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Welfare > opt+1e-9 {
+			t.Fatalf("rounding %g beats OPT %g", res.Welfare, opt)
+		}
+		if res.LP.Value < opt-1e-6 {
+			t.Fatalf("LP %g below OPT %g — not a relaxation?", res.LP.Value, opt)
+		}
+	}
+}
+
+func TestEdgeLPCliqueGap(t *testing.T) {
+	// Unit-value clique: OPT = 1 but the edge LP allows x ≡ 1/2, value n/2.
+	n := 10
+	conf := models.CliqueConflict(n)
+	bidders := make([]valuation.Valuation, n)
+	for i := range bidders {
+		bidders[i] = valuation.NewAdditive([]float64{1})
+	}
+	in, _ := auction.NewInstance(conf, 1, bidders)
+	set, value, lpOpt, err := EdgeLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lpOpt-float64(n)/2) > 1e-6 {
+		t.Fatalf("edge LP = %g, want %g", lpOpt, float64(n)/2)
+	}
+	if len(set) != 1 || value != 1 {
+		t.Fatalf("rounded set %v value %g, want a single vertex of value 1", set, value)
+	}
+}
+
+func TestEdgeLPRejectsUnsupported(t *testing.T) {
+	in := smallInstance(1, 6, 2) // k=2 unsupported
+	if _, _, _, err := EdgeLP(in); err == nil {
+		t.Fatal("k=2 accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	links := geom.UniformLinks(rng, 5, 60, 1, 4)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	bidders := valuation.RandomMix(rng, 5, 1, 1, 5)
+	win, _ := auction.NewInstance(conf, 1, bidders)
+	if _, _, _, err := EdgeLP(win); err == nil {
+		t.Fatal("weighted instance accepted")
+	}
+}
+
+func TestEdgeLPUpperBoundsOPT(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := smallInstance(seed, 9, 1)
+		_, _, lpOpt, err := EdgeLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt := ExactOPT(in)
+		if lpOpt < opt-1e-6 {
+			t.Fatalf("edge LP %g below OPT %g", lpOpt, opt)
+		}
+	}
+}
+
+func TestExactOPTPanicsOnLargeK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(1))
+	conf := models.CliqueConflict(2)
+	bidders := valuation.RandomMix(rng, 2, 17, 1, 2)
+	in, _ := auction.NewInstance(conf, 17, bidders)
+	ExactOPT(in)
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/graph"
+	"repro/internal/valuation"
+)
+
+// LocalRatioMWIS is the opportunity-cost algorithm of Akcoglu, Aspnes,
+// DasGupta and Kao (also Ye–Borodin's elimination-graph framework), which
+// the paper's related-work section contrasts with its LP approach: a
+// ρ-approximation for maximum weight independent set — the k = 1 case of
+// Problem 1 — on graphs whose ordering π certifies inductive independence ρ.
+//
+// It processes vertices in decreasing π order: each vertex with positive
+// adjusted weight is pushed on a stack and its weight subtracted from its
+// backward neighbors (local-ratio decomposition on the support
+// {v} ∪ Γπ(v)); the stack is then popped (increasing π) adding vertices
+// greedily while independent.
+//
+// As the paper notes, the algorithm is not monotone, so unlike the LP
+// rounding it cannot be plugged into the Lavi–Swamy framework; it is also
+// inherently single-channel. Both limitations are what make the LP approach
+// the paper's contribution.
+func LocalRatioMWIS(g *graph.Graph, pi graph.Ordering, weights []float64) []int {
+	n := g.N()
+	adjusted := make([]float64, n)
+	copy(adjusted, weights)
+	var stack []int
+	// Decreasing π order.
+	for idx := n - 1; idx >= 0; idx-- {
+		v := pi.Perm[idx]
+		if adjusted[v] <= 0 {
+			continue
+		}
+		stack = append(stack, v)
+		delta := adjusted[v]
+		for _, u := range g.Neighbors(v) {
+			if pi.Before(u, v) {
+				adjusted[u] -= delta
+			}
+		}
+	}
+	// Pop (LIFO → increasing π), adding greedily while independent.
+	var set []int
+	for i := len(stack) - 1; i >= 0; i-- {
+		v := stack[i]
+		if cand := append(set, v); g.IsIndependent(cand) {
+			set = cand
+		}
+	}
+	return set
+}
+
+// LocalRatio applies LocalRatioMWIS to a single-channel unweighted auction
+// instance, returning the allocation and its welfare. It guarantees
+// welfare ≥ OPT/ρ for the instance's certified ρ.
+func LocalRatio(in *auction.Instance) (auction.Allocation, float64, error) {
+	if in.Conf.Binary == nil || in.K != 1 {
+		return nil, 0, fmt.Errorf("baseline: LocalRatio requires an unweighted instance with k=1")
+	}
+	n := in.N()
+	weights := make([]float64, n)
+	for v := 0; v < n; v++ {
+		weights[v] = in.Bidders[v].Value(valuation.FromChannels(0))
+	}
+	set := LocalRatioMWIS(in.Conf.Binary, in.Conf.Pi, weights)
+	s := make(auction.Allocation, n)
+	value := 0.0
+	for _, v := range set {
+		s[v] = valuation.FromChannels(0)
+		value += weights[v]
+	}
+	return s, value, nil
+}
+
+// LocalRatioPerChannel extends the local-ratio algorithm to k channels as a
+// heuristic: channels are processed in order, each running LocalRatioMWIS
+// with the bidders' marginal values for adding that channel to their current
+// bundle. Per-channel it inherits the ρ guarantee on the marginals, but no
+// end-to-end guarantee in terms of √k is claimed — this is exactly the gap
+// the paper's LP rounding closes.
+func LocalRatioPerChannel(in *auction.Instance) (auction.Allocation, error) {
+	if in.Conf.Binary == nil {
+		return nil, fmt.Errorf("baseline: LocalRatioPerChannel requires an unweighted instance")
+	}
+	n := in.N()
+	s := make(auction.Allocation, n)
+	weights := make([]float64, n)
+	for j := 0; j < in.K; j++ {
+		for v := 0; v < n; v++ {
+			weights[v] = in.Bidders[v].Value(s[v].With(j)) - in.Bidders[v].Value(s[v])
+		}
+		for _, v := range LocalRatioMWIS(in.Conf.Binary, in.Conf.Pi, weights) {
+			s[v] = s[v].With(j)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+func TestLocalRatioMWISPath(t *testing.T) {
+	// Path 0-1-2 with weights 3, 5, 4: the algorithm must find a set of
+	// weight at least OPT/ρ = 7/2; in fact it finds {0,2} here.
+	g := graph.Path(3)
+	set := LocalRatioMWIS(g, g.DegeneracyOrdering(), []float64{3, 5, 4})
+	if !g.IsIndependent(set) {
+		t.Fatal("output not independent")
+	}
+	total := 0.0
+	for _, v := range set {
+		total += []float64{3, 5, 4}[v]
+	}
+	if total < 3.5 {
+		t.Fatalf("weight %g below OPT/rho = 3.5", total)
+	}
+}
+
+func TestLocalRatioMWISAllNegative(t *testing.T) {
+	g := graph.Clique(4)
+	set := LocalRatioMWIS(g, graph.IdentityOrdering(4), []float64{-1, 0, -3, 0})
+	if len(set) != 0 {
+		t.Fatalf("set = %v, want empty for non-positive weights", set)
+	}
+}
+
+// Property (Akcoglu et al.): local ratio is a ρ-approximation of maximum
+// weight independent set under an ordering certifying ρ.
+func TestQuickLocalRatioGuarantee(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g := graph.RandomGNP(rng, n, 0.4)
+		pi := g.DegeneracyOrdering()
+		rho, ok := g.MeasureRho(pi, 14)
+		if !ok || rho == 0 {
+			rho = 1
+		}
+		weights := make([]float64, n)
+		for v := range weights {
+			weights[v] = rng.Float64() * 10
+		}
+		set := LocalRatioMWIS(g, pi, weights)
+		if !g.IsIndependent(set) {
+			return false
+		}
+		got := 0.0
+		for _, v := range set {
+			got += weights[v]
+		}
+		// Exact OPT by branching over vertices.
+		opt := exactMWIS(g, weights)
+		return got >= opt/float64(rho)-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exactMWIS computes the maximum weight independent set by branch and bound.
+func exactMWIS(g *graph.Graph, w []float64) float64 {
+	n := g.N()
+	best := 0.0
+	var rec func(v int, cur float64, chosen []int)
+	rec = func(v int, cur float64, chosen []int) {
+		if cur > best {
+			best = cur
+		}
+		if v == n {
+			return
+		}
+		// Optimistic bound: add all remaining positive weights.
+		bound := cur
+		for u := v; u < n; u++ {
+			if w[u] > 0 {
+				bound += w[u]
+			}
+		}
+		if bound <= best {
+			return
+		}
+		if w[v] > 0 {
+			ok := true
+			for _, u := range chosen {
+				if g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(v+1, cur+w[v], append(chosen, v))
+			}
+		}
+		rec(v+1, cur, chosen)
+	}
+	rec(0, 0, nil)
+	return best
+}
+
+func TestLocalRatioInstanceWrapper(t *testing.T) {
+	in := smallInstance(3, 10, 1)
+	s, value, err := LocalRatio(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(s) {
+		t.Fatal("infeasible")
+	}
+	if v := s.Welfare(in.Bidders); v != value {
+		t.Fatalf("welfare %g != reported %g", v, value)
+	}
+	// Guarantee against exact OPT.
+	_, opt := ExactOPT(in)
+	if value < opt/in.Conf.RhoBound-1e-9 {
+		t.Fatalf("value %g below OPT/rho = %g", value, opt/in.Conf.RhoBound)
+	}
+	// k>1 rejected.
+	if _, _, err := LocalRatio(smallInstance(1, 6, 2)); err == nil {
+		t.Fatal("k=2 accepted")
+	}
+}
+
+func TestLocalRatioPerChannel(t *testing.T) {
+	in := smallInstance(5, 10, 3)
+	s, err := LocalRatioPerChannel(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(s) {
+		t.Fatal("infeasible")
+	}
+	if s.Welfare(in.Bidders) <= 0 {
+		t.Fatal("expected positive welfare")
+	}
+	// Weighted instances rejected.
+	rng := rand.New(rand.NewSource(1))
+	links := geom.UniformLinks(rng, 6, 60, 1, 4)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	bidders := valuation.RandomMix(rng, 6, 2, 1, 5)
+	win, _ := auction.NewInstance(conf, 2, bidders)
+	if _, err := LocalRatioPerChannel(win); err == nil {
+		t.Fatal("weighted instance accepted")
+	}
+}

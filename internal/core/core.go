@@ -1,0 +1,71 @@
+// Package core is the front door to the paper's primary contribution: the
+// LP-based approximation framework for combinatorial auctions with conflict
+// graphs (Hoefer, Kesselheim, Vöcking, SPAA 2011).
+//
+// The implementation lives in focused packages; core re-exports the central
+// types and entry points so a downstream user needs a single import for the
+// common path:
+//
+//   - instance assembly and solving  → repro/internal/auction
+//   - interference models (Section 4) → repro/internal/models
+//   - truthful mechanism (Section 5)  → repro/internal/mechanism
+//
+// Typical use:
+//
+//	conf := models.Disk(centers, radii)          // conflict graph + π + ρ
+//	in, _ := core.NewInstance(conf, k, bidders)  // bidders implement Valuation
+//	res, _ := core.Solve(in, core.Options{Derandomize: true})
+//	// res.Alloc is feasible; res.Welfare ≥ res.LP.Value / res.Factor.
+package core
+
+import (
+	"repro/internal/auction"
+	"repro/internal/mechanism"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// Re-exported types. See the originating packages for full documentation.
+type (
+	// Instance is a combinatorial auction with conflict graph (Problem 1).
+	Instance = auction.Instance
+	// AsymmetricInstance has one conflict graph per channel (Section 6).
+	AsymmetricInstance = auction.AsymmetricInstance
+	// Allocation assigns each bidder a bundle of channels.
+	Allocation = auction.Allocation
+	// Options configure Solve.
+	Options = auction.Options
+	// Result is Solve's outcome: allocation, welfare, LP bound, factor.
+	Result = auction.Result
+	// LPSolution is the fractional optimum of relaxation (1)/(4).
+	LPSolution = auction.LPSolution
+	// Conflict is an interference model's output: weighted conflict graph,
+	// ordering π, certified inductive independence bound ρ.
+	Conflict = models.Conflict
+	// Valuation is a bidder valuation with an exact demand oracle.
+	Valuation = valuation.Valuation
+	// Bundle is a set of channels.
+	Bundle = valuation.Bundle
+	// MechanismOutcome is the truthful-in-expectation mechanism's result.
+	MechanismOutcome = mechanism.Outcome
+)
+
+// NewInstance validates and assembles an auction instance.
+func NewInstance(conf *Conflict, k int, bidders []Valuation) (*Instance, error) {
+	return auction.NewInstance(conf, k, bidders)
+}
+
+// Solve runs the full pipeline: column-generation LP over the bidders'
+// demand oracles, then randomized or derandomized rounding with conflict
+// resolution (Algorithms 1–3). The returned allocation is always feasible
+// and, with Options.Derandomize, meets the paper's approximation guarantee
+// deterministically.
+func Solve(in *Instance, opt Options) (*Result, error) {
+	return auction.Solve(in, opt)
+}
+
+// RunMechanism executes the Lavi–Swamy truthful-in-expectation mechanism of
+// Section 5 on the declared valuations.
+func RunMechanism(in *Instance) (*MechanismOutcome, error) {
+	return mechanism.Run(in)
+}

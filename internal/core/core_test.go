@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// TestFrontDoor exercises the re-exported API end to end: build, solve,
+// verify the guarantee, run the mechanism.
+func TestFrontDoor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := geom.UniformPoints(rng, 8, 60)
+	radii := make([]float64, 8)
+	for i := range radii {
+		radii[i] = 4 + rng.Float64()*6
+	}
+	conf := models.Disk(centers, radii)
+	bidders := make([]Valuation, 8)
+	for i := range bidders {
+		bidders[i] = valuation.RandomAdditive(rng, 2, 1, 10)
+	}
+	in, err := NewInstance(conf, 2, bidders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, Options{Derandomize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Feasible(res.Alloc) {
+		t.Fatal("infeasible allocation")
+	}
+	if res.Welfare < res.LP.Value/res.Factor-1e-9 {
+		t.Fatalf("welfare %g misses guarantee %g", res.Welfare, res.LP.Value/res.Factor)
+	}
+	out, err := RunMechanism(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DecompositionError > 1e-5 {
+		t.Fatalf("decomposition error %g", out.DecompositionError)
+	}
+}

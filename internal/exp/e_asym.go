@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// E8 — Theorem 18. Asymmetric channels: each channel has its own conflict
+// graph, the guarantee degrades to O(k·ρ), and the Theorem 18 construction
+// (edges of a bounded-degree graph split across channels, bidders valuing
+// only the full bundle) shows this is essentially tight. The table runs the
+// construction and reports welfare (= independent-set size recovered)
+// against the exact maximum independent set and the 4kρ bound.
+func E8(quick bool) *Table {
+	t := &Table{
+		ID:     "E8",
+		Title:  "asymmetric channels (Theorem 18 construction)",
+		Claim:  "welfare ≥ b*/(4kρ); the construction ties welfare to independent sets of the base graph",
+		Header: []string{"n", "d", "k", "rho", "max IS", "b*(LP)", "welfare", "IS/welfare", "bound 4kρ"},
+	}
+	type cfg struct{ n, d, k int }
+	cfgs := []cfg{{12, 4, 2}, {14, 6, 3}, {16, 6, 2}}
+	if quick {
+		cfgs = cfgs[:1]
+	}
+	for _, c := range cfgs {
+		rng := rand.New(rand.NewSource(int64(c.n * c.d)))
+		g := graph.RandomBoundedDegree(rng, c.n, c.d, c.n*c.d*3)
+		channels, pi, rho := models.AsymmetricHardness(g, c.k)
+		bidders := make([]valuation.Valuation, c.n)
+		for i := range bidders {
+			bidders[i] = valuation.NewSingleMinded(c.k, valuation.Full(c.k), 1)
+		}
+		in, err := auction.NewAsymmetricInstance(channels, pi, rho, bidders)
+		if err != nil {
+			panic(err)
+		}
+		res, err := in.Solve(auction.Options{Seed: 5, Samples: 60})
+		if err != nil {
+			panic(err)
+		}
+		maxIS := g.MaxIndependentSetSize()
+		t.AddRow(fmt.Sprintf("%d", c.n), fmt.Sprintf("%d", c.d), fmt.Sprintf("%d", c.k),
+			fmt.Sprintf("%.0f", rho), fmt.Sprintf("%d", maxIS), f2(res.LP.Value),
+			f2(res.Welfare), f2(ratio(float64(maxIS), res.Welfare)),
+			f2(4*float64(c.k)*rho))
+	}
+	t.Notes = append(t.Notes,
+		"a bidder wins value 1 only with the full channel bundle, so welfare counts vertices that are independent in every per-channel graph simultaneously — exactly an independent set of the base graph")
+	return t
+}

@@ -1,0 +1,207 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/baseline"
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// E12 — the Section 4 model zoo. Measures the inductive independence of
+// every binary interference model in one table: disk graphs, distance-2
+// coloring on disk graphs, (r,s)-civilized graphs, the protocol model, the
+// IEEE 802.11 bidirectional model, and distance-2 matching. Every measured
+// value must stay below the model's certified bound — this is the empirical
+// backbone of the paper's claim that wireless conflict graphs have small ρ.
+func E12(quick bool) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "inductive independence across all binary models (Section 4)",
+		Claim:  "every wireless model certifies a small constant ρ; measured values stay below the certified bounds",
+		Header: []string{"model", "n", "edges", "measured rho", "certified bound"},
+	}
+	n := 60
+	if quick {
+		n = 30
+	}
+	rng := rand.New(rand.NewSource(2024))
+	add := func(conf *models.Conflict) {
+		rho, ok := conf.Binary.MeasureRho(conf.Pi, 26)
+		val := fmt.Sprintf("%d", rho)
+		if !ok {
+			val = "n/a"
+		}
+		t.AddRow(conf.Model, fmt.Sprintf("%d", conf.N()),
+			fmt.Sprintf("%d", conf.Binary.M()), val, f2(conf.RhoBound))
+	}
+
+	centers := geom.UniformPoints(rng, n, 100)
+	radii := make([]float64, n)
+	for i := range radii {
+		radii[i] = 2 + rng.Float64()*6
+	}
+	add(models.Disk(centers, radii))
+	add(models.Distance2Disk(centers, radii))
+
+	civPts := geom.PoissonDiskPoints(rng, n, 100, 4)
+	civ, err := models.Civilized(civPts, 10, 4)
+	if err != nil {
+		panic(err)
+	}
+	add(civ)
+
+	links := geom.UniformLinks(rng, n, 120, 2, 8)
+	add(models.Protocol(links, 1))
+	add(models.IEEE80211(links, 1))
+
+	// Distance-2 matching: bidders are edges of a disk graph.
+	dg := models.Disk(centers, radii).Binary
+	var edges [][2]int
+	for v := 0; v < n && len(edges) < n; v++ {
+		for _, u := range dg.Neighbors(v) {
+			if u > v {
+				edges = append(edges, [2]int{v, u})
+				break
+			}
+		}
+	}
+	if len(edges) > 0 {
+		d2m, err := models.Distance2Matching(centers, radii, edges)
+		if err != nil {
+			panic(err)
+		}
+		add(d2m)
+	}
+	t.Notes = append(t.Notes,
+		"measured rho is exact (branch and bound per backward neighborhood); n/a = neighborhood too large")
+	return t
+}
+
+// A1 — ablation: LP right-hand side ρ. The LP uses the model's certified
+// bound; substituting the (smaller) measured ρ tightens the upper bound b*
+// and the rounding probabilities. The table quantifies how much of the
+// looseness comes from the certificate rather than the algorithm. (With the
+// measured ρ the RHS is still sound for Lemma 1, since the measured value
+// is the true inductive independence of the generated graph.)
+func A1(quick bool) *Table {
+	t := &Table{
+		ID:     "A1",
+		Title:  "ablation: certified vs measured ρ in the LP",
+		Claim:  "a tighter (measured) ρ shrinks b* and improves the realized ratio — the certificate, not the LP, is the loose part",
+		Header: []string{"n", "k", "rho", "b*(LP)", "welfare", "b*/welfare"},
+	}
+	n, k := 32, 4
+	if quick {
+		n, k = 20, 2
+	}
+	for _, use := range []string{"certified", "measured"} {
+		// A dense deployment (small area, large Δ) so the interference
+		// rows actually bind and the ρ value matters.
+		rng := rand.New(rand.NewSource(42))
+		links := geom.UniformLinks(rng, n, 25, 2, 10)
+		conf := models.Protocol(links, 2.0)
+		in, err := auction.NewInstance(conf, k, valuation.RandomMix(rng, n, k, 1, 10))
+		if err != nil {
+			panic(err)
+		}
+		if use == "measured" {
+			if rho, ok := in.Conf.Binary.MeasureRho(in.Conf.Pi, 32); ok && rho >= 1 {
+				in.Conf.RhoBound = float64(rho)
+			} else {
+				use = "measured n/a, kept certified"
+			}
+		}
+		res, err := auction.Solve(in, auction.Options{Seed: 7, Samples: 20})
+		if err != nil {
+			panic(err)
+		}
+		der, _ := in.RoundDerandomized(res.LP)
+		if w := der.Welfare(in.Bidders); w > res.Welfare {
+			res.Welfare = w
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+			fmt.Sprintf("%s %.0f", use, in.Conf.RhoBound),
+			f2(res.LP.Value), f2(res.Welfare), f2(ratio(res.LP.Value, res.Welfare)))
+	}
+	return t
+}
+
+// A2 — ablation: sampling effort vs derandomization. Sweeps the number of
+// rounding samples and compares against the single deterministic
+// conditional-expectations rounding.
+func A2(quick bool) *Table {
+	t := &Table{
+		ID:     "A2",
+		Title:  "ablation: rounding samples vs derandomization",
+		Claim:  "few samples suffice in practice; the derandomized rounding matches them with a worst-case guarantee",
+		Header: []string{"rounding", "welfare", "b*/welfare"},
+	}
+	n, k := 32, 4
+	if quick {
+		n, k = 20, 2
+	}
+	in := protocolInstance(77, n, k, 1.0)
+	sol, err := in.SolveLP()
+	if err != nil {
+		panic(err)
+	}
+	samples := []int{1, 5, 25, 100}
+	if quick {
+		samples = []int{1, 10}
+	}
+	for _, s := range samples {
+		rng := rand.New(rand.NewSource(1))
+		best := 0.0
+		for i := 0; i < s; i++ {
+			a, _ := in.RoundOnce(sol, rng)
+			if w := a.Welfare(in.Bidders); w > best {
+				best = w
+			}
+		}
+		t.AddRow(fmt.Sprintf("best of %d samples", s), f2(best), f2(ratio(sol.Value, best)))
+	}
+	der, _ := in.RoundDerandomized(sol)
+	dw := der.Welfare(in.Bidders)
+	t.AddRow("derandomized", f2(dw), f2(ratio(sol.Value, dw)))
+	return t
+}
+
+// A3 — ablation: LP rounding vs local ratio on the k = 1 case. The
+// opportunity-cost algorithm (Akcoglu et al.; related work) is a
+// ρ-approximation for a single channel but is neither monotone nor
+// multi-channel; the table shows both achieve similar quality where the
+// comparison is defined.
+func A3(quick bool) *Table {
+	t := &Table{
+		ID:     "A3",
+		Title:  "ablation: LP rounding vs local-ratio (k=1)",
+		Claim:  "both meet the ρ guarantee on single-channel instances; the LP approach additionally scales to k channels and to the Lavi–Swamy mechanism",
+		Header: []string{"seed", "n", "OPT", "LP rounding", "local ratio", "greedy"},
+	}
+	seeds := []int64{1, 2, 3, 4}
+	n := 12
+	if quick {
+		seeds = seeds[:2]
+		n = 10
+	}
+	for _, seed := range seeds {
+		in := protocolInstance(seed, n, 1, 1.0)
+		_, opt := baseline.ExactOPT(in)
+		res, err := auction.Solve(in, auction.Options{Derandomize: true})
+		if err != nil {
+			panic(err)
+		}
+		_, lrVal, err := baseline.LocalRatio(in)
+		if err != nil {
+			panic(err)
+		}
+		greedy := baseline.Greedy(in).Welfare(in.Bidders)
+		t.AddRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", n),
+			f2(opt), f2(res.Welfare), f2(lrVal), f2(greedy))
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks the produced tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			table := e.Run(true)
+			if table.ID != e.ID {
+				t.Fatalf("table ID %q != %q", table.ID, e.ID)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, r := range table.Rows {
+				if len(r) != len(table.Header) {
+					t.Fatalf("row %v has %d cells, header has %d", r, len(r), len(table.Header))
+				}
+			}
+			out := table.Render()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, "claim:") {
+				t.Fatal("render missing id or claim")
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find("E1") == nil || Find("E11") == nil {
+		t.Fatal("known experiments not found")
+	}
+	if Find("E99") != nil {
+		t.Fatal("unknown experiment found")
+	}
+}
+
+// TestE1RatiosWithinBound parses E1's table and asserts the measured ratio
+// is below the proven bound in every row — the headline Theorem 3 check.
+func TestE1RatiosWithinBound(t *testing.T) {
+	table := E1(true)
+	for _, r := range table.Rows {
+		// The ratio cell is "mean ± ci"; the claim concerns the mean.
+		mean := strings.Fields(r[5])[0]
+		ratio, err1 := strconv.ParseFloat(mean, 64)
+		bound, err2 := strconv.ParseFloat(r[6], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", r)
+		}
+		if ratio > bound {
+			t.Fatalf("ratio %g exceeds bound %g", ratio, bound)
+		}
+	}
+}
+
+// TestE3RhoAtMostFive asserts Proposition 9 on the experiment output.
+func TestE3RhoAtMostFive(t *testing.T) {
+	table := E3(true)
+	for _, r := range table.Rows {
+		rho, err := strconv.Atoi(r[3])
+		if err != nil {
+			continue // n/a row
+		}
+		if rho > 5 {
+			t.Fatalf("disk rho %d > 5", rho)
+		}
+	}
+}
+
+// TestE4RhoWithinBound asserts Proposition 13 on the experiment output.
+func TestE4RhoWithinBound(t *testing.T) {
+	table := E4(true)
+	for _, r := range table.Rows {
+		rho, err := strconv.Atoi(r[3])
+		if err != nil {
+			continue
+		}
+		bound, err := strconv.ParseFloat(r[4], 64)
+		if err != nil {
+			t.Fatalf("unparseable bound in %v", r)
+		}
+		if float64(rho) > bound {
+			t.Fatalf("protocol rho %d > bound %g", rho, bound)
+		}
+	}
+}
+
+// TestE9Truthful asserts the mechanism experiment reports no profitable
+// deviation and an exact decomposition.
+func TestE9Truthful(t *testing.T) {
+	table := E9(true)
+	for _, r := range table.Rows {
+		derr, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatalf("unparseable decomposition error %q", r[2])
+		}
+		if derr > 1e-5 {
+			t.Fatalf("decomposition error %g too large", derr)
+		}
+		gain, err := strconv.ParseFloat(r[5], 64)
+		if err != nil {
+			t.Fatalf("unparseable deviation gain %q", r[5])
+		}
+		if gain > 1e-6 {
+			t.Fatalf("profitable deviation %g found", gain)
+		}
+	}
+}
+
+// TestE6AllChannelsFeasible asserts Theorem 17's end-to-end promise: every
+// assigned channel admits feasible powers.
+func TestE6AllChannelsFeasible(t *testing.T) {
+	table := E6(true)
+	for _, r := range table.Rows {
+		frac := r[5]
+		parts := strings.Split(frac, "/")
+		if len(parts) != 2 || parts[0] != parts[1] {
+			t.Fatalf("not all channels feasible: %q", frac)
+		}
+	}
+}

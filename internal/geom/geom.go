@@ -1,0 +1,245 @@
+// Package geom provides the geometric substrate for the spectrum auction
+// models: points in the plane, metrics (Euclidean and general), and
+// deterministic random instance generators.
+//
+// Every generator takes an explicit *rand.Rand so experiments are exactly
+// reproducible from a seed.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a point in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y)
+}
+
+// Metric is a finite metric space over indices 0..Len()-1.
+type Metric interface {
+	// Dist returns the distance between elements i and j.
+	Dist(i, j int) float64
+	// Len returns the number of elements.
+	Len() int
+}
+
+// EuclideanMetric is the metric induced by a set of points in the plane.
+type EuclideanMetric []Point
+
+// Dist implements Metric.
+func (m EuclideanMetric) Dist(i, j int) float64 { return m[i].Dist(m[j]) }
+
+// Len implements Metric.
+func (m EuclideanMetric) Len() int { return len(m) }
+
+// MatrixMetric is an explicit distance matrix. It is the caller's
+// responsibility that the matrix is symmetric and satisfies the triangle
+// inequality; Validate checks both.
+type MatrixMetric [][]float64
+
+// Dist implements Metric.
+func (m MatrixMetric) Dist(i, j int) float64 { return m[i][j] }
+
+// Len implements Metric.
+func (m MatrixMetric) Len() int { return len(m) }
+
+// Validate reports whether the matrix is a metric: square, zero diagonal,
+// symmetric, non-negative, and satisfying the triangle inequality.
+func (m MatrixMetric) Validate() error {
+	n := len(m)
+	for i := 0; i < n; i++ {
+		if len(m[i]) != n {
+			return fmt.Errorf("geom: row %d has length %d, want %d", i, len(m[i]), n)
+		}
+		if m[i][i] != 0 {
+			return fmt.Errorf("geom: nonzero diagonal at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m[i][j] < 0 {
+				return fmt.Errorf("geom: negative distance (%d,%d)", i, j)
+			}
+			if math.Abs(m[i][j]-m[j][i]) > 1e-9 {
+				return fmt.Errorf("geom: asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for l := 0; l < n; l++ {
+				if m[i][j] > m[i][l]+m[l][j]+1e-9 {
+					return fmt.Errorf("geom: triangle inequality violated (%d,%d,%d)", i, j, l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UniformPoints returns n points drawn uniformly at random from the square
+// [0,side] x [0,side].
+func UniformPoints(rng *rand.Rand, n int, side float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return pts
+}
+
+// ClusteredPoints returns n points grouped around `clusters` uniformly placed
+// centers; each point is offset from its center by a Gaussian with the given
+// standard deviation. This mimics hot-spot demand in a secondary spectrum
+// market (many devices near the same base stations).
+func ClusteredPoints(rng *rand.Rand, n, clusters int, side, stddev float64) []Point {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := UniformPoints(rng, clusters, side)
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(clusters)]
+		pts[i] = Point{
+			X: clamp(c.X+rng.NormFloat64()*stddev, 0, side),
+			Y: clamp(c.Y+rng.NormFloat64()*stddev, 0, side),
+		}
+	}
+	return pts
+}
+
+// GridPoints returns the points of a rows x cols grid with the given spacing,
+// anchored at the origin. Useful for worst-case-ish regular deployments.
+func GridPoints(rows, cols int, spacing float64) []Point {
+	pts := make([]Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+		}
+	}
+	return pts
+}
+
+// PerturbedMetric builds a general (non-Euclidean) metric from a Euclidean
+// one by multiplying each distance with an independent factor in
+// [1, 1+eps] and re-closing it under shortest paths so the triangle
+// inequality holds again. It models irregular signal propagation
+// (walls, terrain) that breaks plain geometry but keeps a metric.
+func PerturbedMetric(rng *rand.Rand, base Metric, eps float64) MatrixMetric {
+	n := base.Len()
+	d := make(MatrixMetric, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			f := 1 + rng.Float64()*eps
+			v := base.Dist(i, j) * f
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+	// Floyd–Warshall closure restores the triangle inequality.
+	for l := 0; l < n; l++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if s := d[i][l] + d[l][j]; s < d[i][j] {
+					d[i][j] = s
+				}
+			}
+		}
+	}
+	return d
+}
+
+// PoissonDiskPoints returns up to n points in [0,side]^2 with pairwise
+// separation at least minSep, by dart throwing with rejection. These are
+// exactly the vertex sets of (r,s)-civilized graphs with s = minSep. Fewer
+// than n points are returned if the box cannot absorb more darts.
+func PoissonDiskPoints(rng *rand.Rand, n int, side, minSep float64) []Point {
+	var pts []Point
+	maxAttempts := 200 * n
+	for att := 0; att < maxAttempts && len(pts) < n; att++ {
+		cand := Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		ok := true
+		for _, p := range pts {
+			if p.Dist(cand) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, cand)
+		}
+	}
+	return pts
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Link is a sender/receiver pair in the plane, the "user" of link-based
+// interference models (protocol model, physical model).
+type Link struct {
+	Sender, Receiver Point
+}
+
+// Length returns the sender-receiver distance of the link.
+func (l Link) Length() float64 { return l.Sender.Dist(l.Receiver) }
+
+// UniformLinks places n links with senders uniform in [0,side]^2 and
+// receivers at distance in [minLen,maxLen] in a uniformly random direction.
+func UniformLinks(rng *rand.Rand, n int, side, minLen, maxLen float64) []Link {
+	links := make([]Link, n)
+	for i := range links {
+		s := Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		r := minLen + rng.Float64()*(maxLen-minLen)
+		phi := rng.Float64() * 2 * math.Pi
+		links[i] = Link{
+			Sender:   s,
+			Receiver: Point{X: s.X + r*math.Cos(phi), Y: s.Y + r*math.Sin(phi)},
+		}
+	}
+	return links
+}
+
+// NestedLinks generates links whose lengths span several orders of magnitude
+// (length doubling every few links). Physical-model instances with widely
+// varying link lengths are the hard regime for SINR scheduling and exercise
+// the O(log n) inductive-independence bound of Proposition 15.
+func NestedLinks(rng *rand.Rand, n int, baseLen float64) []Link {
+	links := make([]Link, n)
+	scale := baseLen
+	for i := range links {
+		if i > 0 && i%4 == 0 {
+			scale *= 2
+		}
+		s := Point{X: rng.Float64() * scale * 10, Y: rng.Float64() * scale * 10}
+		phi := rng.Float64() * 2 * math.Pi
+		links[i] = Link{
+			Sender:   s,
+			Receiver: Point{X: s.X + scale*math.Cos(phi), Y: s.Y + scale*math.Sin(phi)},
+		}
+	}
+	return links
+}

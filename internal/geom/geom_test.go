@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	a, b := Point{0, 0}, Point{3, 4}
+	if d := a.Dist(b); d != 5 {
+		t.Fatalf("Dist = %g, want 5", d)
+	}
+	if d := a.Dist(a); d != 0 {
+		t.Fatalf("self distance = %g, want 0", d)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := (Point{1, 2}).String(); s != "(1.000, 2.000)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEuclideanMetric(t *testing.T) {
+	m := EuclideanMetric{{0, 0}, {3, 4}, {0, 8}}
+	if m.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+	if m.Dist(0, 1) != 5 {
+		t.Fatal("Dist wrong")
+	}
+}
+
+func TestMatrixMetricValidate(t *testing.T) {
+	good := MatrixMetric{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid metric rejected: %v", err)
+	}
+	bad := MatrixMetric{{0, 5, 1}, {5, 0, 1}, {1, 1, 0}} // 5 > 1+1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("triangle violation accepted")
+	}
+	asym := MatrixMetric{{0, 1}, {2, 0}}
+	if err := asym.Validate(); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	diag := MatrixMetric{{1, 1}, {1, 0}}
+	if err := diag.Validate(); err == nil {
+		t.Fatal("nonzero diagonal accepted")
+	}
+	ragged := MatrixMetric{{0, 1}, {1}}
+	if err := ragged.Validate(); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	neg := MatrixMetric{{0, -1}, {-1, 0}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+}
+
+func TestUniformPointsInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := UniformPoints(rng, 200, 50)
+	if len(pts) != 200 {
+		t.Fatal("count wrong")
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 50 || p.Y < 0 || p.Y > 50 {
+			t.Fatalf("point %v outside box", p)
+		}
+	}
+}
+
+func TestClusteredPointsInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := ClusteredPoints(rng, 100, 4, 80, 5)
+	if len(pts) != 100 {
+		t.Fatal("count wrong")
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 80 || p.Y < 0 || p.Y > 80 {
+			t.Fatalf("point %v outside box", p)
+		}
+	}
+	// Degenerate cluster count is clamped.
+	pts = ClusteredPoints(rng, 5, 0, 10, 1)
+	if len(pts) != 5 {
+		t.Fatal("clamped cluster count broken")
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	pts := GridPoints(2, 3, 1.5)
+	if len(pts) != 6 {
+		t.Fatalf("len = %d, want 6", len(pts))
+	}
+	if pts[0] != (Point{0, 0}) || pts[5] != (Point{3, 1.5}) {
+		t.Fatalf("grid layout wrong: %v", pts)
+	}
+}
+
+// Property: PerturbedMetric always yields a valid metric.
+func TestQuickPerturbedMetric(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		base := EuclideanMetric(UniformPoints(rng, n, 10))
+		m := PerturbedMetric(rng, base, 0.5)
+		if m.Len() != n {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: perturbed distances never drop below a shortest path in the
+// original metric and never exceed (1+eps) times the direct distance.
+func TestQuickPerturbedMetricBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		base := EuclideanMetric(UniformPoints(rng, n, 10))
+		const eps = 0.3
+		m := PerturbedMetric(rng, base, eps)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if m[i][j] > base.Dist(i, j)*(1+eps)+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformLinksLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	links := UniformLinks(rng, 100, 100, 2, 9)
+	for _, l := range links {
+		d := l.Length()
+		if d < 2-1e-9 || d > 9+1e-9 {
+			t.Fatalf("link length %g outside [2,9]", d)
+		}
+	}
+}
+
+func TestNestedLinksGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	links := NestedLinks(rng, 20, 1)
+	if math.Abs(links[0].Length()-1) > 1e-9 {
+		t.Fatalf("first link length %g, want 1", links[0].Length())
+	}
+	if links[19].Length() <= links[0].Length() {
+		t.Fatal("lengths must grow")
+	}
+	// Lengths double every 4 links: link 16..19 has length 2^4.
+	if math.Abs(links[19].Length()-16) > 1e-9 {
+		t.Fatalf("link 19 length %g, want 16", links[19].Length())
+	}
+}
+
+func TestMatrixMetricDist(t *testing.T) {
+	m := MatrixMetric{{0, 2}, {2, 0}}
+	if m.Dist(0, 1) != 2 || m.Dist(1, 1) != 0 {
+		t.Fatal("MatrixMetric.Dist wrong")
+	}
+}
+
+func TestPoissonDiskPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := PoissonDiskPoints(rng, 40, 100, 5)
+	if len(pts) == 0 {
+		t.Fatal("no points generated")
+	}
+	for i := range pts {
+		if pts[i].X < 0 || pts[i].X > 100 || pts[i].Y < 0 || pts[i].Y > 100 {
+			t.Fatalf("point %v outside box", pts[i])
+		}
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) < 5 {
+				t.Fatalf("points %d,%d at distance %g < 5", i, j, pts[i].Dist(pts[j]))
+			}
+		}
+	}
+	// An over-packed request saturates below n rather than looping forever.
+	dense := PoissonDiskPoints(rng, 10000, 10, 5)
+	if len(dense) >= 10000 {
+		t.Fatal("impossible packing claimed")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-1, 0, 5) != 0 || clamp(7, 0, 5) != 5 || clamp(3, 0, 5) != 3 {
+		t.Fatal("clamp wrong")
+	}
+}

@@ -1,0 +1,329 @@
+// Package graph implements the (edge-weighted) conflict graphs of Hoefer,
+// Kesselheim and Vöcking (SPAA 2011), together with independent-set checks,
+// vertex orderings, and measurement of the inductive independence number ρ.
+//
+// Two graph flavours exist:
+//
+//   - Graph: an unweighted, undirected conflict graph. A set M is
+//     independent if no two of its vertices are adjacent.
+//   - Weighted: a directed, edge-weighted conflict graph with weights
+//     w(u,v) ≥ 0. A set M is independent if Σ_{u∈M} w(u,v) < 1 for every
+//     v ∈ M (Section 3 of the paper).
+//
+// An Ordering π certifies an inductive independence bound ρ when for every
+// vertex v, every independent set inside v's backward neighborhood has size
+// (unweighted) or summed symmetric weight w̄ (weighted) at most ρ.
+package graph
+
+import "fmt"
+
+const wordBits = 64
+
+// bitset is a fixed-size set of vertex indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+wordBits-1)/wordBits) }
+
+func (b bitset) set(i int)      { b[i/wordBits] |= 1 << (uint(i) % wordBits) }
+func (b bitset) clear(i int)    { b[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+func (b bitset) has(i int) bool { return b[i/wordBits]&(1<<(uint(i)%wordBits)) != 0 }
+
+// Graph is an unweighted, undirected conflict graph on vertices 0..n-1.
+// The zero value is not usable; construct with New.
+type Graph struct {
+	n   int
+	adj []bitset
+	nbr [][]int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g := &Graph{n: n, adj: make([]bitset, n), nbr: make([][]int, n)}
+	for i := range g.adj {
+		g.adj[i] = newBitset(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u,v}. Self-loops and duplicate edges
+// are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || g.adj[u].has(v) {
+		return
+	}
+	g.adj[u].set(v)
+	g.adj[v].set(u)
+	g.nbr[u] = append(g.nbr[u], v)
+	g.nbr[v] = append(g.nbr[v], u)
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return u != v && g.adj[u].has(v) }
+
+// Neighbors returns the neighbor list of v. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int { return g.nbr[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.nbr[v]) }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, l := range g.nbr {
+		total += len(l)
+	}
+	return total / 2
+}
+
+// AvgDegree returns the average vertex degree d̄.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.n)
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, l := range g.nbr {
+		if len(l) > d {
+			d = len(l)
+		}
+	}
+	return d
+}
+
+// IsIndependent reports whether the vertex set is independent.
+func (g *Graph) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Ordering is a vertex ordering π. Perm[i] is the vertex at position i, and
+// Rank[v] is the position of vertex v, i.e. π(v). Backward neighbors of v are
+// neighbors u with Rank[u] < Rank[v].
+type Ordering struct {
+	Perm []int
+	Rank []int
+}
+
+// NewOrdering builds an Ordering from a permutation of 0..n-1.
+func NewOrdering(perm []int) Ordering {
+	rank := make([]int, len(perm))
+	seen := make([]bool, len(perm))
+	for pos, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			panic(fmt.Sprintf("graph: invalid permutation entry %d at %d", v, pos))
+		}
+		seen[v] = true
+		rank[v] = pos
+	}
+	p := make([]int, len(perm))
+	copy(p, perm)
+	return Ordering{Perm: p, Rank: rank}
+}
+
+// IdentityOrdering returns the ordering 0,1,...,n-1.
+func IdentityOrdering(n int) Ordering {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return NewOrdering(perm)
+}
+
+// Len returns the number of vertices in the ordering.
+func (o Ordering) Len() int { return len(o.Perm) }
+
+// Before reports whether π(u) < π(v).
+func (o Ordering) Before(u, v int) bool { return o.Rank[u] < o.Rank[v] }
+
+// Backward returns Γπ(v): the neighbors of v that come before v in π.
+func (g *Graph) Backward(v int, o Ordering) []int {
+	var out []int
+	for _, u := range g.nbr[v] {
+		if o.Before(u, v) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// DegeneracyOrdering returns a smallest-last ordering: repeatedly remove a
+// minimum-degree vertex and place it last. For an unweighted graph this
+// ordering certifies ρ ≤ degeneracy(G), which is optimal within the class of
+// orderings for many graph families (e.g. chordal graphs).
+func (g *Graph) DegeneracyOrdering() Ordering {
+	n := g.n
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	perm := make([]int, n)
+	for pos := n - 1; pos >= 0; pos-- {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		perm[pos] = best
+		removed[best] = true
+		for _, u := range g.nbr[best] {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return NewOrdering(perm)
+}
+
+// Degeneracy returns the degeneracy of the graph (the maximum, over the
+// smallest-last elimination, of the degree at removal time).
+func (g *Graph) Degeneracy() int {
+	n := g.n
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	degeneracy := 0
+	for iter := 0; iter < n; iter++ {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > degeneracy {
+			degeneracy = bestDeg
+		}
+		removed[best] = true
+		for _, u := range g.nbr[best] {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return degeneracy
+}
+
+// maxISExact returns the size of a maximum independent set among the given
+// candidate vertices, by branch and bound. Intended for small candidate sets
+// (backward neighborhoods); cost is exponential in len(cand).
+func (g *Graph) maxISExact(cand []int) int {
+	best := 0
+	var rec func(chosen int, rest []int)
+	rec = func(chosen int, rest []int) {
+		if chosen+len(rest) <= best {
+			return // prune: cannot beat incumbent
+		}
+		if len(rest) == 0 {
+			if chosen > best {
+				best = chosen
+			}
+			return
+		}
+		v := rest[0]
+		// Branch 1: take v, drop its neighbors.
+		var keep []int
+		for _, u := range rest[1:] {
+			if !g.HasEdge(u, v) {
+				keep = append(keep, u)
+			}
+		}
+		rec(chosen+1, keep)
+		// Branch 2: skip v.
+		rec(chosen, rest[1:])
+	}
+	rec(0, cand)
+	return best
+}
+
+// MaxIndependentSetSize returns the size of a maximum independent set of the
+// whole graph by branch and bound. Exponential; use only on small graphs
+// (tests and ground-truth baselines).
+func (g *Graph) MaxIndependentSetSize() int {
+	all := make([]int, g.n)
+	for i := range all {
+		all[i] = i
+	}
+	return g.maxISExact(all)
+}
+
+// MeasureRho returns the exact inductive independence of the graph with
+// respect to the ordering: max over v of the maximum independent set size in
+// v's backward neighborhood. Backward neighborhoods larger than maxExact
+// vertices abort with ok=false (the exact computation would be too slow).
+func (g *Graph) MeasureRho(o Ordering, maxExact int) (rho int, ok bool) {
+	for v := 0; v < g.n; v++ {
+		back := g.Backward(v, o)
+		if len(back) > maxExact {
+			return 0, false
+		}
+		if r := g.maxISExact(back); r > rho {
+			rho = r
+		}
+	}
+	return rho, true
+}
+
+// VerifyRho reports whether the ordering certifies inductive independence at
+// most bound, checking each backward neighborhood exactly.
+func (g *Graph) VerifyRho(o Ordering, bound int, maxExact int) (bool, error) {
+	for v := 0; v < g.n; v++ {
+		back := g.Backward(v, o)
+		if len(back) > maxExact {
+			return false, fmt.Errorf("graph: backward neighborhood of %d has %d vertices (> %d)", v, len(back), maxExact)
+		}
+		if g.maxISExact(back) > bound {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Clique returns the complete graph on n vertices. With k channels this is
+// exactly an ordinary combinatorial auction (every channel can be assigned
+// to at most one bidder).
+func Clique(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Path returns the path graph 0-1-...-n-1.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n > 2 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self-loop ignored
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("edge {0,1} missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatal("self-loop must be ignored")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+}
+
+func TestIsIndependent(t *testing.T) {
+	g := Path(5) // 0-1-2-3-4
+	cases := []struct {
+		set  []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{0, 2, 4}, true},
+		{[]int{0, 1}, false},
+		{[]int{1, 3}, true},
+		{[]int{2, 3}, false},
+	}
+	for _, c := range cases {
+		if got := g.IsIndependent(c.set); got != c.want {
+			t.Errorf("IsIndependent(%v) = %v, want %v", c.set, got, c.want)
+		}
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	o := NewOrdering([]int{2, 0, 1})
+	if o.Rank[2] != 0 || o.Rank[0] != 1 || o.Rank[1] != 2 {
+		t.Fatalf("ranks wrong: %v", o.Rank)
+	}
+	if !o.Before(2, 1) || o.Before(1, 0) {
+		t.Fatal("Before wrong")
+	}
+	if o.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestNewOrderingPanicsOnInvalid(t *testing.T) {
+	for _, perm := range [][]int{{0, 0}, {0, 2}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewOrdering(%v) should panic", perm)
+				}
+			}()
+			NewOrdering(perm)
+		}()
+	}
+}
+
+func TestBackward(t *testing.T) {
+	g := Path(4)
+	o := IdentityOrdering(4)
+	if b := g.Backward(0, o); len(b) != 0 {
+		t.Fatalf("Backward(0) = %v, want empty", b)
+	}
+	if b := g.Backward(2, o); len(b) != 1 || b[0] != 1 {
+		t.Fatalf("Backward(2) = %v, want [1]", b)
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(6), 1},
+		{Cycle(6), 2},
+		{Clique(5), 4},
+		{New(3), 0},
+	}
+	for i, c := range cases {
+		if got := c.g.Degeneracy(); got != c.want {
+			t.Errorf("case %d: degeneracy = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMaxIndependentSetSize(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Path(5), 3},
+		{Cycle(5), 2},
+		{Cycle(6), 3},
+		{Clique(7), 1},
+		{New(4), 4},
+	}
+	for i, c := range cases {
+		if got := c.g.MaxIndependentSetSize(); got != c.want {
+			t.Errorf("case %d: max IS = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMeasureRhoClique(t *testing.T) {
+	g := Clique(6)
+	rho, ok := g.MeasureRho(IdentityOrdering(6), 10)
+	if !ok || rho != 1 {
+		t.Fatalf("clique rho = %d (ok=%v), want 1", rho, ok)
+	}
+}
+
+func TestMeasureRhoStar(t *testing.T) {
+	// Star with center 0: center-last ordering gives rho = leaves count;
+	// center-first gives rho = 1.
+	n := 6
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	centerLast := NewOrdering([]int{1, 2, 3, 4, 5, 0})
+	rho, ok := g.MeasureRho(centerLast, 10)
+	if !ok || rho != n-1 {
+		t.Fatalf("center-last rho = %d, want %d", rho, n-1)
+	}
+	centerFirst := IdentityOrdering(n)
+	rho, ok = g.MeasureRho(centerFirst, 10)
+	if !ok || rho != 1 {
+		t.Fatalf("center-first rho = %d, want 1", rho)
+	}
+}
+
+func TestMeasureRhoTooLarge(t *testing.T) {
+	g := Clique(8)
+	if _, ok := g.MeasureRho(IdentityOrdering(8), 3); ok {
+		t.Fatal("expected ok=false when backward neighborhood exceeds cap")
+	}
+}
+
+func TestVerifyRho(t *testing.T) {
+	g := Cycle(8)
+	o := g.DegeneracyOrdering()
+	ok, err := g.VerifyRho(o, 2, 10)
+	if err != nil || !ok {
+		t.Fatalf("VerifyRho(2) = %v, %v; want true", ok, err)
+	}
+	ok, err = g.VerifyRho(o, 0, 10)
+	if err != nil || ok {
+		t.Fatalf("VerifyRho(0) = %v, %v; want false", ok, err)
+	}
+}
+
+// Property: the degeneracy ordering certifies rho ≤ degeneracy. (The size of
+// any independent set in a backward neighborhood is at most the backward
+// degree, which the degeneracy ordering bounds.)
+func TestQuickDegeneracyOrderingRho(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g := RandomGNP(rng, n, 0.4)
+		o := g.DegeneracyOrdering()
+		rho, ok := g.MeasureRho(o, 14)
+		if !ok {
+			// Backward degree in a degeneracy ordering is at most the
+			// degeneracy ≤ n ≤ 14, so this cannot happen.
+			return false
+		}
+		return rho <= g.Degeneracy() || g.Degeneracy() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: maxISExact on the whole graph is at least the greedy independent
+// set size and at most n.
+func TestQuickMaxISBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		g := RandomGNP(rng, n, 0.3)
+		exact := g.MaxIndependentSetSize()
+		// Greedy IS.
+		var greedy []int
+		for v := 0; v < n; v++ {
+			if g.IsIndependent(append(greedy, v)) {
+				greedy = append(greedy, v)
+			}
+		}
+		return exact >= len(greedy) && exact <= n && exact >= 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBoundedDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomBoundedDegree(rng, 30, 4, 500)
+	if g.MaxDegree() > 4 {
+		t.Fatalf("max degree %d > 4", g.MaxDegree())
+	}
+	if g.M() == 0 {
+		t.Fatal("expected some edges")
+	}
+}
+
+func TestAvgAndMaxDegree(t *testing.T) {
+	g := Clique(5)
+	if g.AvgDegree() != 4 || g.MaxDegree() != 4 {
+		t.Fatalf("clique(5): avg %g max %d", g.AvgDegree(), g.MaxDegree())
+	}
+	if New(0).AvgDegree() != 0 {
+		t.Fatal("empty graph avg degree")
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}

@@ -1,0 +1,34 @@
+package graph
+
+import "math/rand"
+
+// RandomGNP returns an Erdős–Rényi graph: each of the n·(n−1)/2 possible
+// edges is present independently with probability p.
+func RandomGNP(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// RandomBoundedDegree returns a random graph with maximum degree at most d,
+// built by attempting m random edge insertions and keeping those that
+// respect the degree bound. These are the instances behind the Theorem 5 and
+// Theorem 18 hardness discussions (independent set in bounded-degree
+// graphs).
+func RandomBoundedDegree(rng *rand.Rand, n, d, m int) *Graph {
+	g := New(n)
+	for t := 0; t < m; t++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.HasEdge(u, v) || g.Degree(u) >= d || g.Degree(v) >= d {
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}

@@ -1,0 +1,200 @@
+package graph
+
+import "fmt"
+
+// Weighted is a directed, edge-weighted conflict graph. The weight w(u,v)
+// quantifies how much vertex u disturbs vertex v; a set M of vertices may
+// share a channel iff Σ_{u∈M, u≠v} w(u,v) < 1 for every v ∈ M.
+//
+// The symmetric weight w̄(u,v) = w(u,v) + w(v,u) drives the inductive
+// independence machinery (Definition 2 of the paper).
+type Weighted struct {
+	n int
+	w [][]float64
+}
+
+// NewWeighted returns a weighted conflict graph on n vertices with all
+// weights zero.
+func NewWeighted(n int) *Weighted {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Weighted{n: n, w: w}
+}
+
+// FromUnweighted lifts an unweighted conflict graph into the weighted
+// formalism: every edge {u,v} gets w(u,v) = w(v,u) = 1, so the weighted
+// independent-set condition coincides with the usual one.
+func FromUnweighted(g *Graph) *Weighted {
+	wg := NewWeighted(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			wg.w[u][v] = 1
+		}
+	}
+	return wg
+}
+
+// N returns the number of vertices.
+func (g *Weighted) N() int { return g.n }
+
+// SetWeight sets the directed weight w(u,v). Negative weights are rejected;
+// self-weights are ignored (a vertex does not interfere with itself).
+func (g *Weighted) SetWeight(u, v int, w float64) {
+	if w < 0 {
+		panic(fmt.Sprintf("graph: negative weight w(%d,%d)=%g", u, v, w))
+	}
+	if u == v {
+		return
+	}
+	g.w[u][v] = w
+}
+
+// Weight returns the directed weight w(u,v).
+func (g *Weighted) Weight(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return g.w[u][v]
+}
+
+// Wbar returns the symmetric weight w̄(u,v) = w(u,v) + w(v,u).
+func (g *Weighted) Wbar(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return g.w[u][v] + g.w[v][u]
+}
+
+// InWeight returns Σ_{u∈set} w(u,v), the total interference the set induces
+// at v. Vertices equal to v are skipped.
+func (g *Weighted) InWeight(set []int, v int) float64 {
+	total := 0.0
+	for _, u := range set {
+		if u != v {
+			total += g.w[u][v]
+		}
+	}
+	return total
+}
+
+// IsIndependent reports whether the set is independent in the weighted
+// sense: every member receives total weight < 1 from the other members.
+func (g *Weighted) IsIndependent(set []int) bool {
+	for _, v := range set {
+		if g.InWeight(set, v) >= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BackwardWbar returns Σ_{u∈set, π(u)<π(v)} w̄(u,v).
+func (g *Weighted) BackwardWbar(set []int, v int, o Ordering) float64 {
+	total := 0.0
+	for _, u := range set {
+		if u != v && o.Before(u, v) {
+			total += g.Wbar(u, v)
+		}
+	}
+	return total
+}
+
+// backwardSupport returns the vertices u with π(u) < π(v) and w̄(u,v) > 0,
+// i.e. the weighted analogue of the backward neighborhood.
+func (g *Weighted) backwardSupport(v int, o Ordering) []int {
+	var out []int
+	for u := 0; u < g.n; u++ {
+		if u != v && o.Before(u, v) && g.Wbar(u, v) > 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// maxBackwardWbarExact maximizes Σ_{u∈M} w̄(u,v) over independent subsets M
+// of the candidate set, by exhaustive branching with an upper-bound prune.
+// Exponential in len(cand); callers cap the candidate size.
+func (g *Weighted) maxBackwardWbarExact(cand []int, v int) float64 {
+	best := 0.0
+	// suffixSum[i] = Σ_{j≥i} w̄(cand[j], v) is an optimistic bound on what
+	// the remaining candidates can still add.
+	suffix := make([]float64, len(cand)+1)
+	for i := len(cand) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + g.Wbar(cand[i], v)
+	}
+	chosen := make([]int, 0, len(cand))
+	var rec func(i int, sum float64)
+	rec = func(i int, sum float64) {
+		if sum > best {
+			best = sum
+		}
+		if i == len(cand) || sum+suffix[i] <= best {
+			return
+		}
+		u := cand[i]
+		// Take u if the set stays independent.
+		chosen = append(chosen, u)
+		if g.IsIndependent(chosen) {
+			rec(i+1, sum+g.Wbar(u, v))
+		}
+		chosen = chosen[:len(chosen)-1]
+		// Skip u.
+		rec(i+1, sum)
+	}
+	rec(0, 0)
+	return best
+}
+
+// MeasureRho returns the exact weighted inductive independence with respect
+// to the ordering: max over v of max Σ_{u∈M} w̄(u,v) over independent sets M
+// in v's backward support. Backward supports larger than maxExact vertices
+// abort with ok=false.
+func (g *Weighted) MeasureRho(o Ordering, maxExact int) (rho float64, ok bool) {
+	for v := 0; v < g.n; v++ {
+		cand := g.backwardSupport(v, o)
+		if len(cand) > maxExact {
+			return 0, false
+		}
+		if r := g.maxBackwardWbarExact(cand, v); r > rho {
+			rho = r
+		}
+	}
+	return rho, true
+}
+
+// GreedyRhoLowerBound returns a lower bound on the weighted inductive
+// independence w.r.t. the ordering, by greedily packing each backward
+// support by decreasing w̄. Cheap, works for any size, and is exact whenever
+// the greedy packing happens to be optimal.
+func (g *Weighted) GreedyRhoLowerBound(o Ordering) float64 {
+	best := 0.0
+	for v := 0; v < g.n; v++ {
+		cand := g.backwardSupport(v, o)
+		// Sort candidates by decreasing w̄(·,v) (insertion sort: supports
+		// are small relative to n and this avoids an interface shim).
+		for i := 1; i < len(cand); i++ {
+			for j := i; j > 0 && g.Wbar(cand[j], v) > g.Wbar(cand[j-1], v); j-- {
+				cand[j], cand[j-1] = cand[j-1], cand[j]
+			}
+		}
+		var m []int
+		sum := 0.0
+		for _, u := range cand {
+			m = append(m, u)
+			if g.IsIndependent(m) {
+				sum += g.Wbar(u, v)
+			} else {
+				m = m[:len(m)-1]
+			}
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}

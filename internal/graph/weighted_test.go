@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedBasics(t *testing.T) {
+	g := NewWeighted(3)
+	g.SetWeight(0, 1, 0.4)
+	g.SetWeight(1, 0, 0.3)
+	g.SetWeight(2, 2, 9) // self-weight ignored
+	if g.Weight(0, 1) != 0.4 || g.Weight(1, 0) != 0.3 {
+		t.Fatal("weights wrong")
+	}
+	if g.Weight(2, 2) != 0 {
+		t.Fatal("self-weight must stay zero")
+	}
+	if g.Wbar(0, 1) != 0.7 || g.Wbar(1, 0) != 0.7 {
+		t.Fatal("Wbar must be symmetric and equal to the sum")
+	}
+	if g.N() != 3 {
+		t.Fatal("N wrong")
+	}
+}
+
+func TestSetWeightPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative weight")
+		}
+	}()
+	NewWeighted(2).SetWeight(0, 1, -0.1)
+}
+
+func TestWeightedIndependence(t *testing.T) {
+	g := NewWeighted(3)
+	g.SetWeight(0, 2, 0.6)
+	g.SetWeight(1, 2, 0.6)
+	if !g.IsIndependent([]int{0, 2}) {
+		t.Fatal("{0,2} receives 0.6 < 1: independent")
+	}
+	if g.IsIndependent([]int{0, 1, 2}) {
+		t.Fatal("{0,1,2}: vertex 2 receives 1.2 ≥ 1: dependent")
+	}
+	if !g.IsIndependent(nil) || !g.IsIndependent([]int{1}) {
+		t.Fatal("empty and singleton sets are independent")
+	}
+}
+
+func TestInWeight(t *testing.T) {
+	g := NewWeighted(3)
+	g.SetWeight(0, 2, 0.25)
+	g.SetWeight(1, 2, 0.5)
+	if got := g.InWeight([]int{0, 1, 2}, 2); got != 0.75 {
+		t.Fatalf("InWeight = %g, want 0.75 (self excluded)", got)
+	}
+}
+
+func TestFromUnweightedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		g := RandomGNP(rng, n, 0.4)
+		wg := FromUnweighted(g)
+		// Random subsets: independence must agree.
+		for s := 0; s < 20; s++ {
+			var set []int
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					set = append(set, v)
+				}
+			}
+			if g.IsIndependent(set) != wg.IsIndependent(set) {
+				t.Fatalf("independence mismatch on %v", set)
+			}
+		}
+	}
+}
+
+func TestWeightedMeasureRho(t *testing.T) {
+	// Three vertices all before v=3, pairwise independent, each with
+	// w̄(·,3)=0.4 → rho = 1.2.
+	g := NewWeighted(4)
+	for u := 0; u < 3; u++ {
+		g.SetWeight(u, 3, 0.4)
+	}
+	rho, ok := g.MeasureRho(IdentityOrdering(4), 10)
+	if !ok || rho < 1.199 || rho > 1.201 {
+		t.Fatalf("rho = %g (ok=%v), want 1.2", rho, ok)
+	}
+}
+
+func TestWeightedMeasureRhoRespectsIndependence(t *testing.T) {
+	// Vertices 0,1 conflict with each other (vertex 1 receives weight 1
+	// from 0), and both weigh 0.9 on vertex 2. In vertex 2's backward
+	// neighborhood only one of {0,1} can join an independent set, so
+	// vertex 2 contributes max(0.9), not 1.8; vertex 1 contributes
+	// w̄(0,1)=1, which is the overall maximum.
+	g := NewWeighted(3)
+	g.SetWeight(0, 1, 1)
+	g.SetWeight(0, 2, 0.45)
+	g.SetWeight(2, 0, 0.45)
+	g.SetWeight(1, 2, 0.45)
+	g.SetWeight(2, 1, 0.45)
+	rho, ok := g.MeasureRho(IdentityOrdering(3), 10)
+	if !ok || rho < 0.999 || rho > 1.001 {
+		t.Fatalf("rho = %g, want 1.0", rho)
+	}
+}
+
+// Property: the greedy lower bound never exceeds the exact measure.
+func TestQuickGreedyLowerBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := NewWeighted(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.5 {
+					g.SetWeight(u, v, rng.Float64())
+				}
+			}
+		}
+		o := IdentityOrdering(n)
+		exact, ok := g.MeasureRho(o, 10)
+		if !ok {
+			return false
+		}
+		return g.GreedyRhoLowerBound(o) <= exact+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Wbar is symmetric for arbitrary weighted graphs.
+func TestQuickWbarSymmetry(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		g := NewWeighted(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					g.SetWeight(u, v, rng.Float64()*2)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if g.Wbar(u, v) != g.Wbar(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackwardWbar(t *testing.T) {
+	g := NewWeighted(3)
+	g.SetWeight(0, 2, 0.3)
+	g.SetWeight(1, 2, 0.2)
+	o := IdentityOrdering(3)
+	got := g.BackwardWbar([]int{0, 1, 2}, 2, o)
+	if got < 0.499 || got > 0.501 {
+		t.Fatalf("BackwardWbar = %g, want 0.5", got)
+	}
+}

@@ -1,0 +1,26 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// ExampleProblem_Solve solves a small production-planning LP.
+func ExampleProblem_Solve() {
+	// max 3x + 5y  s.t.  x ≤ 4,  2y ≤ 12,  3x + 2y ≤ 18,  x,y ≥ 0.
+	p := lp.NewMaximize([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, lp.LE, 4)
+	p.AddConstraint([]float64{0, 2}, lp.LE, 12)
+	p.AddConstraint([]float64{3, 2}, lp.LE, 18)
+	sol, status, err := p.Solve()
+	if err != nil {
+		fmt.Println(status, err)
+		return
+	}
+	fmt.Printf("objective %.0f at x=%.0f y=%.0f\n", sol.Objective, sol.X[0], sol.X[1])
+	fmt.Printf("shadow price of the third constraint: %.0f\n", sol.Dual[2])
+	// Output:
+	// objective 36 at x=2 y=6
+	// shadow price of the third constraint: 1
+}

@@ -1,0 +1,90 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolveNoPanicAndSound decodes a byte string into a small LP and checks
+// the solver never panics, and that any claimed optimum is primal-feasible.
+func FuzzSolveNoPanicAndSound(f *testing.F) {
+	f.Add([]byte{2, 2, 10, 20, 0, 1, 5, 30, 1, 0, 8, 40})
+	f.Add([]byte{1, 1, 1, 1, 2, 200})
+	f.Add([]byte{3, 2, 9, 9, 9, 0, 3, 3, 1, 7, 7, 2, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := int(data[0]%4) + 1 // variables
+		m := int(data[1]%4) + 1 // constraints
+		pos := 2
+		next := func() float64 {
+			if pos >= len(data) {
+				return 1
+			}
+			v := float64(int8(data[pos])) / 8
+			pos++
+			return v
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = next()
+		}
+		p := NewMaximize(c)
+		type savedRow struct {
+			a   []float64
+			op  Op
+			rhs float64
+		}
+		var rows []savedRow
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			for j := range a {
+				a[j] = next()
+			}
+			op := Op(int(math.Abs(next()*8)) % 3)
+			rhs := next()
+			rows = append(rows, savedRow{a, op, rhs})
+			p.AddConstraint(a, op, rhs)
+		}
+		// Box so unboundedness cannot mask soundness checks.
+		box := make([]float64, n)
+		for j := range box {
+			box[j] = 1
+			p.AddConstraint(box, LE, 64)
+			box[j] = 0
+		}
+		sol, status, err := p.Solve()
+		if status != Optimal {
+			if err == nil {
+				t.Fatal("non-optimal status without error")
+			}
+			return
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for j := range r.a {
+				lhs += r.a[j] * sol.X[j]
+			}
+			switch r.op {
+			case LE:
+				if lhs > r.rhs+1e-5 {
+					t.Fatalf("LE violated: %g > %g", lhs, r.rhs)
+				}
+			case GE:
+				if lhs < r.rhs-1e-5 {
+					t.Fatalf("GE violated: %g < %g", lhs, r.rhs)
+				}
+			case EQ:
+				if math.Abs(lhs-r.rhs) > 1e-5 {
+					t.Fatalf("EQ violated: %g != %g", lhs, r.rhs)
+				}
+			}
+		}
+		for j, x := range sol.X {
+			if x < -1e-7 {
+				t.Fatalf("negative variable x[%d]=%g", j, x)
+			}
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, status, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v (status %v)", err, status)
+	}
+	return sol
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMaximizeSimple(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x+2y ≤ 18 → x=2, y=6, obj=36.
+	p := NewMaximize([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 36, 1e-8) {
+		t.Fatalf("objective = %g, want 36", sol.Objective)
+	}
+	if !almost(sol.X[0], 2, 1e-8) || !almost(sol.X[1], 6, 1e-8) {
+		t.Fatalf("x = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestMinimizeSimple(t *testing.T) {
+	// min x + 2y s.t. x + y ≥ 3, y ≥ 1 → x=2, y=1, obj=4.
+	p := NewMinimize([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, GE, 3)
+	p.AddConstraint([]float64{0, 1}, GE, 1)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 4, 1e-8) {
+		t.Fatalf("objective = %g, want 4", sol.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// max x + y s.t. x + y = 5, x ≤ 3 → obj = 5.
+	p := NewMaximize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 5, 1e-8) {
+		t.Fatalf("objective = %g, want 5", sol.Objective)
+	}
+	if sol.X[0] > 3+1e-9 {
+		t.Fatalf("x = %v violates x ≤ 3", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewMaximize([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	_, status, err := p.Solve()
+	if status != Infeasible {
+		t.Fatalf("status = %v, want Infeasible", status)
+	}
+	if !errors.Is(err, ErrNotOptimal) {
+		t.Fatalf("err = %v, want wrapping ErrNotOptimal", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewMaximize([]float64{1, 0})
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	_, status, err := p.Solve()
+	if status != Unbounded {
+		t.Fatalf("status = %v, want Unbounded", status)
+	}
+	if !errors.Is(err, ErrNotOptimal) {
+		t.Fatalf("err = %v, want wrapping ErrNotOptimal", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max x s.t. -x ≤ -2 (i.e. x ≥ 2), x ≤ 5 → obj = 5.
+	p := NewMaximize([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, -2)
+	p.AddConstraint([]float64{1}, LE, 5)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 5, 1e-8) {
+		t.Fatalf("objective = %g, want 5", sol.Objective)
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	p := NewMaximize([]float64{0, 0})
+	p.AddConstraint([]float64{1, 1}, LE, 1)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 0, 1e-12) {
+		t.Fatalf("objective = %g, want 0", sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic cycling-prone LP (Beale); Bland's fallback must terminate.
+	p := NewMaximize([]float64{0.75, -150, 0.02, -6})
+	p.AddConstraint([]float64{0.25, -60, -0.04, 9}, LE, 0)
+	p.AddConstraint([]float64{0.5, -90, -0.02, 3}, LE, 0)
+	p.AddConstraint([]float64{0, 0, 1, 0}, LE, 1)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 0.05, 1e-8) {
+		t.Fatalf("objective = %g, want 0.05", sol.Objective)
+	}
+}
+
+func TestDualSimpleLE(t *testing.T) {
+	// max 3x + 5y (as in TestMaximizeSimple); duals are y1=0, y2=1.5, y3=1.
+	p := NewMaximize([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol := solveOK(t, p)
+	want := []float64{0, 1.5, 1}
+	for i, w := range want {
+		if !almost(sol.Dual[i], w, 1e-8) {
+			t.Fatalf("dual = %v, want %v", sol.Dual, want)
+		}
+	}
+}
+
+func TestDualEquality(t *testing.T) {
+	// max 2x+3y s.t. x+y = 4, x ≤ 3. Optimum y=4, obj=12; dual of the
+	// equality is 3 (marginal value of relaxing the RHS).
+	p := NewMaximize([]float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 12, 1e-8) {
+		t.Fatalf("objective = %g, want 12", sol.Objective)
+	}
+	if !almost(sol.Dual[0], 3, 1e-8) {
+		t.Fatalf("dual of equality = %g, want 3", sol.Dual[0])
+	}
+}
+
+// TestQuickDuality: on random feasible packing LPs (A,b,c ≥ 0), the solver
+// must return a primal-feasible solution and duals that are dual-feasible
+// with matching objective (strong duality).
+func TestQuickDuality(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				if rng.Float64() < 0.7 {
+					a[i][j] = rng.Float64() * 5
+				}
+			}
+			b[i] = rng.Float64() * 10
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64() * 3
+		}
+		p := NewMaximize(c)
+		for i := range a {
+			p.AddConstraint(a[i], LE, b[i])
+		}
+		// Packing LPs with x bounded? Columns with all-zero a are unbounded
+		// if c > 0: add a box to keep it bounded.
+		box := make([]float64, n)
+		for j := range box {
+			box[j] = 1
+			p.AddConstraint(box, LE, 100)
+			box[j] = 0
+		}
+		sol, status, err := p.Solve()
+		if err != nil || status != Optimal {
+			return false
+		}
+		// Primal feasibility.
+		for i := range a {
+			lhs := 0.0
+			for j := range a[i] {
+				lhs += a[i][j] * sol.X[j]
+			}
+			if lhs > b[i]+1e-6 {
+				return false
+			}
+		}
+		for j := range sol.X {
+			if sol.X[j] < -1e-9 || sol.X[j] > 100+1e-6 {
+				return false
+			}
+		}
+		// Dual feasibility: for each variable j, Σ_i a_ij y_i ≥ c_j, y ≥ 0.
+		for i := range sol.Dual {
+			if sol.Dual[i] < -1e-7 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			lhs := 0.0
+			for i := range a {
+				lhs += a[i][j] * sol.Dual[i]
+			}
+			lhs += sol.Dual[m+j] // box row duals
+			if lhs < c[j]-1e-6 {
+				return false
+			}
+		}
+		// Strong duality.
+		dualObj := 0.0
+		for i := range a {
+			dualObj += b[i] * sol.Dual[i]
+		}
+		for j := 0; j < n; j++ {
+			dualObj += 100 * sol.Dual[m+j]
+		}
+		return almost(dualObj, sol.Objective, 1e-5*(1+math.Abs(sol.Objective)))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMixedConstraints: random LPs with LE/GE/EQ rows must never return
+// a primal solution violating a constraint, whatever the status.
+func TestQuickMixedConstraints(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(5)
+		n := 1 + rng.Intn(5)
+		p := NewMaximize(randVec(rng, n, 3))
+		type rowSpec struct {
+			a   []float64
+			op  Op
+			rhs float64
+		}
+		var rows []rowSpec
+		for i := 0; i < m; i++ {
+			r := rowSpec{a: randVec(rng, n, 4), op: Op(rng.Intn(3)), rhs: rng.Float64() * 8}
+			rows = append(rows, r)
+			p.AddConstraint(r.a, r.op, r.rhs)
+		}
+		// Box to avoid unboundedness.
+		box := make([]float64, n)
+		for j := range box {
+			box[j] = 1
+			p.AddConstraint(box, LE, 50)
+			box[j] = 0
+		}
+		sol, status, err := p.Solve()
+		if status != Optimal {
+			return err != nil // non-optimal must carry an error
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for j := range r.a {
+				lhs += r.a[j] * sol.X[j]
+			}
+			switch r.op {
+			case LE:
+				if lhs > r.rhs+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < r.rhs-1e-6 {
+					return false
+				}
+			case EQ:
+				if !almost(lhs, r.rhs, 1e-6) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int, scale float64) []float64 {
+	v := make([]float64, n)
+	for j := range v {
+		v[j] = rng.Float64() * scale
+	}
+	return v
+}
+
+func TestAddConstraintPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched constraint size")
+		}
+	}()
+	p := NewMaximize([]float64{1, 2})
+	p.AddConstraint([]float64{1}, LE, 1)
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Op strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+func TestRedundantRow(t *testing.T) {
+	// Duplicate equality rows leave a degenerate artificial basic at zero;
+	// phase 2 must still succeed.
+	p := NewMaximize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{1, 0}, LE, 2)
+	sol := solveOK(t, p)
+	if !almost(sol.Objective, 2, 1e-8) {
+		t.Fatalf("objective = %g, want 2", sol.Objective)
+	}
+}

@@ -1,0 +1,248 @@
+// Package market simulates the application layer the paper's introduction
+// motivates ("eBay in the Sky"): a broker repeatedly auctions short-term
+// secondary licenses. Each epoch,
+//
+//  1. secondary users arrive and depart (their licenses expire),
+//  2. primary users occupy channels region by region, masking them for the
+//     secondary users underneath,
+//  3. the winner-determination algorithm of internal/auction allocates the
+//     k channels among the active users, and
+//  4. welfare and utilization metrics are recorded.
+//
+// The simulator is deterministic given its seed and can run either the
+// LP-rounding allocator or the greedy baseline, so the end-to-end value of
+// the paper's algorithm can be measured over a market's lifetime rather
+// than on a single instance.
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/baseline"
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// Allocator selects the winner-determination algorithm.
+type Allocator int
+
+// Available allocators.
+const (
+	// LPRounding runs the paper's pipeline (derandomized rounding).
+	LPRounding Allocator = iota
+	// GreedyAllocator runs the per-channel greedy baseline.
+	GreedyAllocator
+)
+
+// String names the allocator for reports.
+func (a Allocator) String() string {
+	switch a {
+	case LPRounding:
+		return "lp-rounding"
+	case GreedyAllocator:
+		return "greedy"
+	}
+	return "?"
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// Epochs is the number of auction rounds.
+	Epochs int
+	// K is the number of channels on the secondary market.
+	K int
+	// Side is the edge length of the service area.
+	Side float64
+	// ArrivalRate is the expected number of new users per epoch.
+	ArrivalRate float64
+	// MeanLifetime is the expected number of epochs a user stays.
+	MeanLifetime float64
+	// PrimaryUsers is the number of primary transmitters; each occupies one
+	// channel within a disk of PrimaryRadius and toggles activity randomly.
+	PrimaryUsers  int
+	PrimaryRadius float64
+	// PrimaryActive is the probability a primary user is active in an
+	// epoch.
+	PrimaryActive float64
+	// Allocator selects the winner-determination algorithm.
+	Allocator Allocator
+	// MaxUsers caps the concurrently active population (new arrivals are
+	// dropped beyond it), keeping LP sizes bounded.
+	MaxUsers int
+}
+
+// DefaultConfig returns a small but busy market.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Epochs:        20,
+		K:             4,
+		Side:          100,
+		ArrivalRate:   6,
+		MeanLifetime:  4,
+		PrimaryUsers:  3,
+		PrimaryRadius: 30,
+		PrimaryActive: 0.5,
+		Allocator:     LPRounding,
+		MaxUsers:      40,
+	}
+}
+
+// user is one secondary user: a transmitter with a range, a valuation, and
+// a departure epoch.
+type user struct {
+	pos     geom.Point
+	radius  float64
+	base    valuation.Valuation
+	departs int
+}
+
+// primary is a primary transmitter occupying one channel in a disk.
+type primary struct {
+	pos     geom.Point
+	radius  float64
+	channel int
+}
+
+// EpochStats records one epoch's outcome.
+type EpochStats struct {
+	Epoch       int
+	ActiveUsers int
+	Winners     int
+	Welfare     float64
+	LPBound     float64
+	// ChannelGrants counts (winner, channel) grants this epoch, a raw
+	// utilization measure.
+	ChannelGrants int
+	// MaskedPairs counts (user, channel) pairs forbidden by primaries.
+	MaskedPairs int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Config Config
+	Epochs []EpochStats
+	// TotalWelfare is the summed welfare over all epochs.
+	TotalWelfare float64
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 || cfg.K < 1 || cfg.K > valuation.MaxChannels {
+		return nil, fmt.Errorf("market: invalid config: epochs=%d k=%d", cfg.Epochs, cfg.K)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	primaries := make([]primary, cfg.PrimaryUsers)
+	for i := range primaries {
+		primaries[i] = primary{
+			pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
+			radius:  cfg.PrimaryRadius,
+			channel: rng.Intn(cfg.K),
+		}
+	}
+	var users []user
+	res := &Result{Config: cfg}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Departures.
+		kept := users[:0]
+		for _, u := range users {
+			if u.departs > epoch {
+				kept = append(kept, u)
+			}
+		}
+		users = kept
+		// Arrivals (Poisson-ish: binomial with the configured mean).
+		arrivals := poissonish(rng, cfg.ArrivalRate)
+		for i := 0; i < arrivals && len(users) < cfg.MaxUsers; i++ {
+			life := 1 + int(rng.ExpFloat64()*cfg.MeanLifetime)
+			users = append(users, user{
+				pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
+				radius:  3 + rng.Float64()*7,
+				base:    valuation.RandomAdditive(rng, cfg.K, 1, 10),
+				departs: epoch + life,
+			})
+		}
+		stats := EpochStats{Epoch: epoch, ActiveUsers: len(users)}
+		if len(users) == 0 {
+			res.Epochs = append(res.Epochs, stats)
+			continue
+		}
+
+		// Primary activity this epoch → per-user channel masks.
+		activePrimaries := make([]primary, 0, len(primaries))
+		for _, p := range primaries {
+			if rng.Float64() < cfg.PrimaryActive {
+				activePrimaries = append(activePrimaries, p)
+			}
+		}
+		centers := make([]geom.Point, len(users))
+		radii := make([]float64, len(users))
+		bidders := make([]valuation.Valuation, len(users))
+		for i, u := range users {
+			centers[i], radii[i] = u.pos, u.radius
+			mask := valuation.Full(cfg.K)
+			for _, p := range activePrimaries {
+				if p.pos.Dist(u.pos) <= p.radius {
+					mask = mask.Without(p.channel)
+					stats.MaskedPairs++
+				}
+			}
+			bidders[i] = valuation.NewMasked(u.base, mask)
+		}
+
+		conf := models.Disk(centers, radii)
+		in, err := auction.NewInstance(conf, cfg.K, bidders)
+		if err != nil {
+			return nil, fmt.Errorf("market: epoch %d: %w", epoch, err)
+		}
+		var alloc auction.Allocation
+		switch cfg.Allocator {
+		case LPRounding:
+			r, err := auction.Solve(in, auction.Options{Derandomize: true})
+			if err != nil {
+				return nil, fmt.Errorf("market: epoch %d: %w", epoch, err)
+			}
+			alloc = r.Alloc
+			stats.LPBound = r.LP.Value
+		case GreedyAllocator:
+			alloc = baseline.Greedy(in)
+		default:
+			return nil, fmt.Errorf("market: unknown allocator %d", int(cfg.Allocator))
+		}
+		if !in.Feasible(alloc) {
+			return nil, fmt.Errorf("market: epoch %d produced an infeasible allocation", epoch)
+		}
+		stats.Welfare = alloc.Welfare(bidders)
+		for _, t := range alloc {
+			if t != valuation.Empty {
+				stats.Winners++
+				stats.ChannelGrants += t.Size()
+			}
+		}
+		res.TotalWelfare += stats.Welfare
+		res.Epochs = append(res.Epochs, stats)
+	}
+	return res, nil
+}
+
+// poissonish draws a Poisson-distributed count by Knuth's inversion method
+// (fine for the small means used here).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l && k < 1000 {
+		p *= rng.Float64()
+		k++
+	}
+	return k - 1
+}

@@ -1,0 +1,156 @@
+package market
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Epochs = 8
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalWelfare != b.TotalWelfare {
+		t.Fatalf("non-deterministic: %g vs %g", a.TotalWelfare, b.TotalWelfare)
+	}
+	if len(a.Epochs) != 8 {
+		t.Fatalf("recorded %d epochs, want 8", len(a.Epochs))
+	}
+}
+
+func TestRunInvariants(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Epochs = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, e := range res.Epochs {
+		if e.Winners > e.ActiveUsers {
+			t.Fatalf("epoch %d: %d winners among %d users", e.Epoch, e.Winners, e.ActiveUsers)
+		}
+		if e.Welfare < 0 {
+			t.Fatalf("epoch %d: negative welfare", e.Epoch)
+		}
+		if cfg.Allocator == LPRounding && e.Welfare > e.LPBound+1e-6 && e.LPBound > 0 {
+			t.Fatalf("epoch %d: welfare %g exceeds LP bound %g", e.Epoch, e.Welfare, e.LPBound)
+		}
+		if e.ActiveUsers > cfg.MaxUsers {
+			t.Fatalf("epoch %d: population %d exceeds cap", e.Epoch, e.ActiveUsers)
+		}
+		total += e.Welfare
+	}
+	if total != res.TotalWelfare {
+		t.Fatalf("total welfare %g != sum of epochs %g", res.TotalWelfare, total)
+	}
+}
+
+func TestGreedyAllocatorRuns(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Epochs = 6
+	cfg.Allocator = GreedyAllocator
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWelfare <= 0 {
+		t.Fatal("greedy market produced no welfare")
+	}
+}
+
+func TestPrimariesMaskChannels(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Epochs = 10
+	cfg.PrimaryUsers = 6
+	cfg.PrimaryRadius = 80 // blankets most of the area
+	cfg.PrimaryActive = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := 0
+	for _, e := range res.Epochs {
+		masked += e.MaskedPairs
+	}
+	if masked == 0 {
+		t.Fatal("blanket primaries masked nothing")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Epochs = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("epochs=0 accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.K = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	cfg = DefaultConfig(1)
+	cfg.Allocator = Allocator(99)
+	cfg.Epochs = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+}
+
+func TestAllocatorString(t *testing.T) {
+	if LPRounding.String() != "lp-rounding" || GreedyAllocator.String() != "greedy" {
+		t.Fatal("allocator names wrong")
+	}
+	if Allocator(9).String() != "?" {
+		t.Fatal("unknown allocator name wrong")
+	}
+}
+
+// Property: for small random configurations the simulator never errors and
+// never violates the LP bound.
+func TestQuickMarketRuns(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig(seed)
+		cfg.Epochs = 3 + rng.Intn(4)
+		cfg.K = 1 + rng.Intn(4)
+		cfg.ArrivalRate = 1 + rng.Float64()*5
+		cfg.MaxUsers = 20
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		for _, e := range res.Epochs {
+			if e.LPBound > 0 && e.Welfare > e.LPBound+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonish(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if poissonish(rng, 0) != 0 {
+		t.Fatal("mean 0 must give 0")
+	}
+	total := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		total += poissonish(rng, 5)
+	}
+	mean := float64(total) / trials
+	if mean < 4.5 || mean > 5.5 {
+		t.Fatalf("empirical mean %g too far from 5", mean)
+	}
+}

@@ -1,0 +1,357 @@
+// Package mechanism implements the Lavi–Swamy construction of Section 5: it
+// turns the α-approximate rounding of internal/auction into a randomized
+// mechanism that is truthful in expectation.
+//
+// Pipeline:
+//
+//  1. Solve the LP relaxation; let x* be the optimum and α the instance's
+//     proven approximation factor.
+//  2. Decompose x*/α into a convex combination Σ λ_S·χ_S of feasible
+//     integral allocations. The decomposition LP is solved by column
+//     generation; the pricing step runs the (derandomized, hence
+//     deterministic-guarantee) approximation algorithm with the dual
+//     weights as valuations — exactly the "verifier of the integrality
+//     gap" the framework requires.
+//  3. Charge each bidder the fractional VCG payment scaled by 1/α. Since
+//     the expected allocation equals x*/α coordinatewise, expected utilities
+//     are the fractional VCG utilities scaled by 1/α, so truthfulness in
+//     expectation is inherited from exact VCG.
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/auction"
+	"repro/internal/lp"
+	"repro/internal/valuation"
+)
+
+// WeightedAlloc is one support point of the allocation distribution.
+type WeightedAlloc struct {
+	Lambda float64
+	Alloc  auction.Allocation
+}
+
+// Outcome is the result of running the mechanism.
+type Outcome struct {
+	// Distribution over feasible integral allocations; Σ Lambda = 1.
+	Distribution []WeightedAlloc
+	// Payments[v] is bidder v's (deterministic) payment, the scaled
+	// fractional VCG payment.
+	Payments []float64
+	// LP is the fractional optimum of the declared valuations.
+	LP *auction.LPSolution
+	// Alpha is the scaling factor used for the decomposition.
+	Alpha float64
+	// ExpectedWelfare is Σ_S λ_S · welfare(S); the framework guarantees it
+	// equals LP.Value/Alpha up to the decomposition tolerance.
+	ExpectedWelfare float64
+	// DecompositionError is the largest absolute deviation of the realized
+	// marginals Σ_S λ_S·χ_S(v,T) from x*_{v,T}/α.
+	DecompositionError float64
+}
+
+// Sample draws an allocation from the distribution.
+func (o *Outcome) Sample(rng *rand.Rand) auction.Allocation {
+	u := rng.Float64()
+	acc := 0.0
+	for _, wa := range o.Distribution {
+		acc += wa.Lambda
+		if u < acc {
+			return wa.Alloc
+		}
+	}
+	return o.Distribution[len(o.Distribution)-1].Alloc
+}
+
+// ExpectedValue returns bidder v's expected value under the distribution,
+// measured with the given (true) valuation.
+func (o *Outcome) ExpectedValue(v int, val valuation.Valuation) float64 {
+	total := 0.0
+	for _, wa := range o.Distribution {
+		if t := wa.Alloc[v]; t != valuation.Empty {
+			total += wa.Lambda * val.Value(t)
+		}
+	}
+	return total
+}
+
+const (
+	decompTol      = 1e-6
+	maxDecompIters = 400
+)
+
+// Run executes the mechanism on the declared valuations of the instance.
+func Run(in *auction.Instance) (*Outcome, error) {
+	sol, err := in.SolveLP()
+	if err != nil {
+		return nil, err
+	}
+	alpha := in.ApproximationFactor()
+	out := &Outcome{LP: sol, Alpha: alpha}
+	if len(sol.Columns) == 0 {
+		out.Distribution = []WeightedAlloc{{Lambda: 1, Alloc: make(auction.Allocation, in.N())}}
+		out.Payments = make([]float64, in.N())
+		return out, nil
+	}
+
+	dist, derr, err := decompose(in, sol, alpha)
+	if err != nil {
+		return nil, err
+	}
+	out.Distribution = dist
+	out.DecompositionError = derr
+	for _, wa := range dist {
+		out.ExpectedWelfare += wa.Lambda * wa.Alloc.Welfare(in.Bidders)
+	}
+
+	pay, err := scaledVCG(in, sol, alpha)
+	if err != nil {
+		return nil, err
+	}
+	out.Payments = pay
+	return out, nil
+}
+
+// support collects the LP columns with positive mass and their targets
+// r = x*/α.
+type support struct {
+	cols   []auction.Column
+	target []float64
+	index  map[colKey]int
+}
+
+type colKey struct {
+	v int
+	t valuation.Bundle
+}
+
+func newSupport(sol *auction.LPSolution, alpha float64) *support {
+	s := &support{index: make(map[colKey]int)}
+	for i, c := range sol.Columns {
+		if sol.X[i] > 1e-9 {
+			s.index[colKey{c.V, c.T}] = len(s.cols)
+			s.cols = append(s.cols, c)
+			s.target = append(s.target, sol.X[i]/alpha)
+		}
+	}
+	return s
+}
+
+// chi returns the incidence vector of an allocation over the support
+// columns.
+func (s *support) chi(a auction.Allocation) []float64 {
+	v := make([]float64, len(s.cols))
+	for bidder, t := range a {
+		if t == valuation.Empty {
+			continue
+		}
+		if i, ok := s.index[colKey{bidder, t}]; ok {
+			v[i] = 1
+		}
+	}
+	return v
+}
+
+// decompose finds λ ≥ 0 over feasible allocations with Σλ = 1 and
+// Σ λ_S χ_S = x*/α (up to tolerance), via covering-LP column generation
+// (Carr–Vempala style, as used by Lavi–Swamy).
+func decompose(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]WeightedAlloc, float64, error) {
+	sup := newSupport(sol, alpha)
+	nc := len(sup.cols)
+
+	// Allocation pool. Seed: per-column singleton allocations (always
+	// feasible: a single vertex is an independent set) plus the rounded
+	// allocation of the declared instance.
+	var pool []auction.Allocation
+	for _, c := range sup.cols {
+		a := make(auction.Allocation, in.N())
+		a[c.V] = c.T
+		pool = append(pool, a)
+	}
+	if a, _ := in.RoundDerandomized(sol); in.Feasible(a) {
+		pool = append(pool, a)
+	}
+
+	var lambda []float64
+	for iter := 0; iter < maxDecompIters; iter++ {
+		// Master: min Σλ s.t. Σ λ_S χ_S ≥ r, λ ≥ 0.
+		obj := make([]float64, len(pool))
+		for i := range obj {
+			obj[i] = 1
+		}
+		p := lp.NewMinimize(obj)
+		chis := make([][]float64, len(pool))
+		for i, a := range pool {
+			chis[i] = sup.chi(a)
+		}
+		rowCoef := make([]float64, len(pool))
+		for c := 0; c < nc; c++ {
+			for i := range pool {
+				rowCoef[i] = chis[i][c]
+			}
+			p.AddConstraint(rowCoef, lp.GE, sup.target[c])
+		}
+		msol, status, err := p.Solve()
+		if err != nil {
+			return nil, 0, fmt.Errorf("mechanism: decomposition master %v: %w", status, err)
+		}
+		lambda = msol.X
+		if msol.Objective <= 1+decompTol {
+			break
+		}
+		// Pricing: duals ω ≥ 0 of the covering rows (duals of GE rows in a
+		// minimization are ≥ 0). Find a feasible allocation S with
+		// ω·χ_S > 1 by running the α-approximation with ω as valuations.
+		omega := make([]float64, nc)
+		for c := 0; c < nc; c++ {
+			omega[c] = math.Max(0, msol.Dual[c])
+		}
+		cand, err := priceAllocation(in, sup, omega)
+		if err != nil {
+			return nil, 0, err
+		}
+		score := 0.0
+		for c, x := range sup.chi(cand) {
+			score += omega[c] * x
+		}
+		if score <= 1+decompTol {
+			// The gap verifier found no violated constraint; accept the
+			// current (slightly >1) mass and normalize below.
+			break
+		}
+		pool = append(pool, cand)
+	}
+
+	// Trim excess coverage so marginals match the target exactly: for each
+	// over-covered column (v,T), shift mass from allocations containing it
+	// to copies with S(v) = ∅ (free disposal keeps feasibility).
+	type entry struct {
+		lambda float64
+		alloc  auction.Allocation
+	}
+	var entries []entry
+	for i, l := range lambda {
+		if l > 1e-12 {
+			entries = append(entries, entry{l, pool[i].Clone()})
+		}
+	}
+	for c := 0; c < nc; c++ {
+		cov := 0.0
+		for _, e := range entries {
+			if e.alloc[sup.cols[c].V] == sup.cols[c].T {
+				cov += e.lambda
+			}
+		}
+		excess := cov - sup.target[c]
+		for i := 0; i < len(entries) && excess > 1e-12; i++ {
+			e := &entries[i]
+			if e.alloc[sup.cols[c].V] != sup.cols[c].T {
+				continue
+			}
+			move := math.Min(e.lambda, excess)
+			excess -= move
+			reduced := e.alloc.Clone()
+			reduced[sup.cols[c].V] = valuation.Empty
+			if move == e.lambda {
+				e.alloc = reduced
+			} else {
+				e.lambda -= move
+				entries = append(entries, entry{move, reduced})
+			}
+		}
+	}
+	// Remaining probability mass goes to the empty allocation.
+	total := 0.0
+	for _, e := range entries {
+		total += e.lambda
+	}
+	if total < 1-1e-12 {
+		entries = append(entries, entry{1 - total, make(auction.Allocation, in.N())})
+	} else if total > 1+1e-9 {
+		// Normalization fallback; only reachable if column generation hit
+		// its iteration cap.
+		for i := range entries {
+			entries[i].lambda /= total
+		}
+	}
+
+	// Measure the decomposition error on the marginals.
+	derr := 0.0
+	for c := 0; c < nc; c++ {
+		cov := 0.0
+		for _, e := range entries {
+			if e.alloc[sup.cols[c].V] == sup.cols[c].T {
+				cov += e.lambda
+			}
+		}
+		if d := math.Abs(cov - sup.target[c]); d > derr {
+			derr = d
+		}
+	}
+
+	dist := make([]WeightedAlloc, len(entries))
+	for i, e := range entries {
+		dist[i] = WeightedAlloc{Lambda: e.lambda, Alloc: e.alloc}
+	}
+	return dist, derr, nil
+}
+
+// priceAllocation runs the α-approximation with the dual weights ω as
+// (table) valuations over the support bundles and returns the resulting
+// feasible allocation.
+func priceAllocation(in *auction.Instance, sup *support, omega []float64) (auction.Allocation, error) {
+	tables := make([]valuation.Valuation, in.N())
+	vals := make([]map[valuation.Bundle]float64, in.N())
+	for v := range vals {
+		vals[v] = map[valuation.Bundle]float64{}
+	}
+	for c, col := range sup.cols {
+		if omega[c] > 0 {
+			vals[col.V][col.T] = omega[c]
+		}
+	}
+	for v := range tables {
+		tables[v] = valuation.NewTable(in.K, vals[v])
+	}
+	sub := &auction.Instance{Conf: in.Conf, K: in.K, Bidders: tables}
+	res, err := auction.Solve(sub, auction.Options{Derandomize: true})
+	if err != nil {
+		return nil, fmt.Errorf("mechanism: pricing solve: %w", err)
+	}
+	return res.Alloc, nil
+}
+
+// scaledVCG computes payments p_v = (LP*(b_{-v}) − (LP*(b) − b_v·x*_v))/α,
+// the fractional VCG payments scaled by 1/α.
+func scaledVCG(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]float64, error) {
+	n := in.N()
+	pay := make([]float64, n)
+	// b_v·x*_v: bidder v's fractional value in the optimum.
+	fracVal := make([]float64, n)
+	for i, c := range sol.Columns {
+		fracVal[c.V] += sol.X[i] * c.Value
+	}
+	for v := 0; v < n; v++ {
+		if fracVal[v] == 0 {
+			// Bidder receives nothing in expectation; VCG charges 0.
+			continue
+		}
+		bidders := make([]valuation.Valuation, n)
+		copy(bidders, in.Bidders)
+		bidders[v] = valuation.NewTable(in.K, nil) // zero valuation
+		sub := &auction.Instance{Conf: in.Conf, K: in.K, Bidders: bidders}
+		solMinus, err := sub.SolveLP()
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: VCG sub-LP without bidder %d: %w", v, err)
+		}
+		p := (solMinus.Value - (sol.Value - fracVal[v])) / alpha
+		if p < 0 {
+			p = 0 // numerical guard; VCG payments are non-negative
+		}
+		pay[v] = p
+	}
+	return pay, nil
+}

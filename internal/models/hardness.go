@@ -1,0 +1,90 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// AsymmetricHardness builds the Theorem 18 construction: it splits the edges
+// of a bounded-degree graph G across k per-channel conflict graphs so that
+// every vertex has at most ρ = ⌈deg_backward/k⌉ backward edges per channel
+// under the identity ordering. A bidder obtains value only for the full
+// channel bundle [k], so allocations of welfare b correspond exactly to
+// independent sets of size b in G.
+//
+// It returns the per-channel graphs, the identity ordering, and the
+// certified ρ (the maximum number of backward edges any (vertex, channel)
+// pair received — an upper bound on the per-channel inductive independence).
+func AsymmetricHardness(g *graph.Graph, k int) ([]*graph.Graph, graph.Ordering, float64) {
+	n := g.N()
+	channels := make([]*graph.Graph, k)
+	for j := range channels {
+		channels[j] = graph.New(n)
+	}
+	rho := 0
+	for v := 0; v < n; v++ {
+		cnt := 0
+		for _, u := range g.Neighbors(v) {
+			if u < v {
+				channels[cnt%k].AddEdge(u, v)
+				cnt++
+			}
+		}
+		if per := (cnt + k - 1) / k; per > rho {
+			rho = per
+		}
+	}
+	if rho == 0 {
+		rho = 1
+	}
+	return channels, graph.IdentityOrdering(n), float64(rho)
+}
+
+// BoundedDegreeConflict wraps a bounded-degree graph as a conflict structure
+// for the Theorem 5 setting (k = 1, ρ ≤ max degree): the degeneracy ordering
+// certifies ρ ≤ degeneracy(G) ≤ d.
+func BoundedDegreeConflict(g *graph.Graph) *Conflict {
+	pi := g.DegeneracyOrdering()
+	bound := float64(g.Degeneracy())
+	if bound < 1 {
+		bound = 1
+	}
+	return &Conflict{
+		W:        graph.FromUnweighted(g),
+		Binary:   g,
+		Pi:       pi,
+		RhoBound: bound,
+		Model:    "bounded-degree",
+	}
+}
+
+// CliqueConflict wraps the complete graph on n vertices: the conflict
+// structure of an ordinary combinatorial auction (Theorem 6 setting, ρ = 1).
+func CliqueConflict(n int) *Conflict {
+	g := graph.Clique(n)
+	return &Conflict{
+		W:        graph.FromUnweighted(g),
+		Binary:   g,
+		Pi:       graph.IdentityOrdering(n),
+		RhoBound: 1,
+		Model:    "clique",
+	}
+}
+
+// GeneralGraphConflict wraps an arbitrary unweighted graph with its
+// degeneracy ordering and the certified degeneracy bound. This is the
+// fallback for graphs without geometric structure; the paper's point is that
+// wireless models do far better than the Ω(n^{1−ε}) general-graph barrier,
+// and this constructor is what experiments compare them against.
+func GeneralGraphConflict(g *graph.Graph) *Conflict {
+	pi := g.DegeneracyOrdering()
+	bound := math.Max(1, float64(g.Degeneracy()))
+	return &Conflict{
+		W:        graph.FromUnweighted(g),
+		Binary:   g,
+		Pi:       pi,
+		RhoBound: bound,
+		Model:    "general",
+	}
+}

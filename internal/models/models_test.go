@@ -1,0 +1,259 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func TestDiskEdges(t *testing.T) {
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 20, Y: 0}}
+	radii := []float64{2, 3, 2}
+	conf := Disk(centers, radii)
+	if !conf.Binary.HasEdge(0, 1) {
+		t.Fatal("disks 0,1 intersect (2+3 ≥ 5)")
+	}
+	if conf.Binary.HasEdge(0, 2) || conf.Binary.HasEdge(1, 2) {
+		t.Fatal("far disks must not conflict")
+	}
+	if conf.RhoBound != 5 || conf.Model != "disk" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestDiskOrderingByRadius(t *testing.T) {
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 200, Y: 0}}
+	radii := []float64{1, 5, 3}
+	conf := Disk(centers, radii)
+	// Decreasing radius: 1 (r=5), 2 (r=3), 0 (r=1).
+	want := []int{1, 2, 0}
+	for i, v := range want {
+		if conf.Pi.Perm[i] != v {
+			t.Fatalf("Perm = %v, want %v", conf.Pi.Perm, want)
+		}
+	}
+}
+
+func TestDiskPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Disk([]geom.Point{{X: 0, Y: 0}}, []float64{1, 2})
+}
+
+// Property (Prop. 9): random disk graphs measure ρ ≤ 5 under the
+// decreasing-radius ordering.
+func TestQuickDiskRhoAtMost5(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		centers := geom.UniformPoints(rng, n, 40)
+		radii := make([]float64, n)
+		for i := range radii {
+			radii[i] = 1 + rng.Float64()*6
+		}
+		conf := Disk(centers, radii)
+		rho, ok := conf.Binary.MeasureRho(conf.Pi, 26)
+		if !ok {
+			return true // neighborhood too large to verify; skip
+		}
+		return rho <= 5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquare(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	sq := square(g)
+	if !sq.HasEdge(0, 1) || !sq.HasEdge(0, 2) || sq.HasEdge(0, 3) {
+		t.Fatal("square of path wrong")
+	}
+	if !sq.HasEdge(1, 3) {
+		t.Fatal("distance-2 pair missing")
+	}
+}
+
+func TestDistance2Disk(t *testing.T) {
+	// Chain of three touching disks: 0-1, 1-2 in the disk graph; distance-2
+	// adds 0-2.
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 8, Y: 0}}
+	radii := []float64{2, 2, 2}
+	conf := Distance2Disk(centers, radii)
+	if !conf.Binary.HasEdge(0, 2) {
+		t.Fatal("distance-2 conflict 0-2 missing")
+	}
+	if conf.Model != "distance2-disk" {
+		t.Fatal("model name wrong")
+	}
+}
+
+func TestCivilized(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}, {X: 40, Y: 40}}
+	conf, err := Civilized(pts, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.Binary.HasEdge(0, 1) || !conf.Binary.HasEdge(0, 2) {
+		t.Fatal("civilized square edges wrong")
+	}
+	if conf.Binary.Degree(3) != 0 {
+		t.Fatal("isolated point must stay isolated")
+	}
+	want := (4*2.5/1 + 2) * (4*2.5/1 + 2)
+	if math.Abs(conf.RhoBound-want) > 1e-9 {
+		t.Fatalf("rho bound = %g, want %g", conf.RhoBound, want)
+	}
+	// Too-close points are rejected.
+	if _, err := Civilized([]geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}, 2, 1); err == nil {
+		t.Fatal("separation violation accepted")
+	}
+}
+
+func TestProtocolConflicts(t *testing.T) {
+	// Link 0: (0,0)->(1,0); link 1 sender at (1.5,0): with Δ=1,
+	// d(s1,r0)=0.5 < 2·1 → conflict.
+	links := []geom.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}},
+		{Sender: geom.Point{X: 1.5, Y: 0}, Receiver: geom.Point{X: 2.5, Y: 0}},
+		{Sender: geom.Point{X: 100, Y: 0}, Receiver: geom.Point{X: 101, Y: 0}},
+	}
+	conf := Protocol(links, 1)
+	if !conf.Binary.HasEdge(0, 1) {
+		t.Fatal("protocol conflict 0-1 missing")
+	}
+	if conf.Binary.HasEdge(0, 2) {
+		t.Fatal("distant links must not conflict")
+	}
+}
+
+func TestProtocolRhoBoundFormula(t *testing.T) {
+	// Δ=1: ⌈π/arcsin(1/4)⌉−1 = ⌈12.44⌉−1 = 12.
+	if got := ProtocolRhoBound(1); got != 12 {
+		t.Fatalf("ProtocolRhoBound(1) = %g, want 12", got)
+	}
+	// Monotone decreasing in Δ.
+	if ProtocolRhoBound(0.5) <= ProtocolRhoBound(2) {
+		t.Fatal("bound must decrease with Δ")
+	}
+}
+
+// Property (Prop. 13): measured protocol-model ρ stays below the bound.
+func TestQuickProtocolRho(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		links := geom.UniformLinks(rng, n, 50, 1, 6)
+		delta := 0.5 + rng.Float64()*2
+		conf := Protocol(links, delta)
+		rho, ok := conf.Binary.MeasureRho(conf.Pi, 26)
+		if !ok {
+			return true
+		}
+		return float64(rho) <= conf.RhoBound
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIEEE80211(t *testing.T) {
+	links := []geom.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 2, Y: 0}},
+		{Sender: geom.Point{X: 3, Y: 0}, Receiver: geom.Point{X: 5, Y: 0}},
+		{Sender: geom.Point{X: 50, Y: 0}, Receiver: geom.Point{X: 52, Y: 0}},
+	}
+	conf := IEEE80211(links, 0.5)
+	if !conf.Binary.HasEdge(0, 1) || conf.Binary.HasEdge(0, 2) {
+		t.Fatal("ieee conflicts wrong")
+	}
+	// Bidirectional model has at least the protocol model's edges.
+	proto := Protocol(links, 0.5)
+	for u := 0; u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			if proto.Binary.HasEdge(u, v) && !conf.Binary.HasEdge(u, v) {
+				t.Fatalf("protocol edge {%d,%d} missing in ieee model", u, v)
+			}
+		}
+	}
+}
+
+func TestDistance2Matching(t *testing.T) {
+	// Disk path 0-1-2-3; links (0,1) and (2,3): endpoints 1,2 adjacent →
+	// conflict. Links (0,1) and far link on 4-5: none.
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}, {X: 6, Y: 0}, {X: 50, Y: 0}, {X: 52, Y: 0}}
+	radii := []float64{1, 1, 1, 1, 1, 1}
+	conf, err := Distance2Matching(centers, radii, [][2]int{{0, 1}, {2, 3}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conf.Binary.HasEdge(0, 1) {
+		t.Fatal("adjacent links must conflict")
+	}
+	if conf.Binary.HasEdge(0, 2) || conf.Binary.HasEdge(1, 2) {
+		t.Fatal("far link must not conflict")
+	}
+	// Non-edges are rejected.
+	if _, err := Distance2Matching(centers, radii, [][2]int{{0, 3}}); err == nil {
+		t.Fatal("non-edge accepted")
+	}
+}
+
+func TestAsymmetricHardness(t *testing.T) {
+	g := graph.Clique(6)
+	channels, pi, rho := AsymmetricHardness(g, 2)
+	if len(channels) != 2 {
+		t.Fatal("channel count wrong")
+	}
+	// Union of channel edges = original edges.
+	union := graph.New(6)
+	for _, ch := range channels {
+		for v := 0; v < 6; v++ {
+			for _, u := range ch.Neighbors(v) {
+				union.AddEdge(u, v)
+			}
+		}
+	}
+	if union.M() != g.M() {
+		t.Fatalf("union has %d edges, want %d", union.M(), g.M())
+	}
+	// Backward degree per channel ≤ rho under the returned ordering.
+	for _, ch := range channels {
+		for v := 0; v < 6; v++ {
+			if b := len(ch.Backward(v, pi)); float64(b) > rho {
+				t.Fatalf("backward degree %d > rho %g", b, rho)
+			}
+		}
+	}
+	// Vertex 5 has 5 backward edges over 2 channels → rho = 3.
+	if rho != 3 {
+		t.Fatalf("rho = %g, want 3", rho)
+	}
+}
+
+func TestConflictWrappers(t *testing.T) {
+	g := graph.Cycle(5)
+	bd := BoundedDegreeConflict(g)
+	if bd.RhoBound != 2 || bd.Binary != g {
+		t.Fatal("BoundedDegreeConflict wrong")
+	}
+	cl := CliqueConflict(4)
+	if cl.RhoBound != 1 || cl.N() != 4 {
+		t.Fatal("CliqueConflict wrong")
+	}
+	gg := GeneralGraphConflict(g)
+	if gg.RhoBound != 2 {
+		t.Fatal("GeneralGraphConflict wrong")
+	}
+	// Edgeless graph still certifies rho ≥ 1.
+	if BoundedDegreeConflict(graph.New(3)).RhoBound != 1 {
+		t.Fatal("edgeless rho floor wrong")
+	}
+}

@@ -1,0 +1,218 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestPowerSchemes(t *testing.T) {
+	links := []geom.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 2, Y: 0}},
+		{Sender: geom.Point{X: 0, Y: 5}, Receiver: geom.Point{X: 4, Y: 5}},
+	}
+	alpha := 3.0
+	if p := UniformPower.Powers(links, alpha); p[0] != 1 || p[1] != 1 {
+		t.Fatal("uniform powers wrong")
+	}
+	if p := LinearPower.Powers(links, alpha); math.Abs(p[0]-8) > 1e-9 || math.Abs(p[1]-64) > 1e-9 {
+		t.Fatalf("linear powers wrong: %v", p)
+	}
+	if p := SqrtPower.Powers(links, alpha); math.Abs(p[0]-math.Pow(2, 1.5)) > 1e-9 {
+		t.Fatalf("sqrt powers wrong: %v", p)
+	}
+	if UniformPower.String() != "uniform" || LinearPower.String() != "linear" || SqrtPower.String() != "sqrt" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestSINRFeasibleSingleLink(t *testing.T) {
+	links := []geom.Link{{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}}}
+	p := SINRParams{Alpha: 3, Beta: 1, Noise: 0}
+	if !SINRFeasible(links, []float64{1}, []int{0}, p) {
+		t.Fatal("single link with no noise must be feasible")
+	}
+	// Overwhelming noise kills it.
+	p.Noise = 100
+	if SINRFeasible(links, []float64{1}, []int{0}, p) {
+		t.Fatal("noise-dominated link must be infeasible")
+	}
+}
+
+// Property (Prop. 15 / Lemma in Section 4.3): for random link sets and
+// uniform powers, SINR feasibility at threshold β implies independence in
+// the Physical conflict graph, and independence implies SINR feasibility at
+// the relaxed threshold β/(1+ε).
+func TestQuickPhysicalIndependenceVsSINR(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		links := geom.UniformLinks(rng, n, 60, 1, 5)
+		params := SINRParams{Alpha: 3, Beta: 1, Noise: 1e-9}
+		powers := UniformPower.Powers(links, params.Alpha)
+		conf := PhysicalWithPowers(links, powers, params, "test")
+		eps := PhysicalEpsilon(links, params)
+		relaxed := params
+		relaxed.Beta = params.Beta / (1 + eps)
+		for trial := 0; trial < 15; trial++ {
+			var subset []int
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.4 {
+					subset = append(subset, v)
+				}
+			}
+			indep := conf.W.IsIndependent(subset)
+			if SINRFeasible(links, powers, subset, params) && !indep {
+				return false // feasible sets must be independent
+			}
+			if indep && !SINRFeasible(links, powers, subset, relaxed) {
+				return false // independent sets satisfy the relaxed SINR
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysicalOrderingDecreasingLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	links := geom.UniformLinks(rng, 10, 50, 1, 9)
+	conf := Physical(links, UniformPower, DefaultSINR())
+	for i := 1; i < 10; i++ {
+		if links[conf.Pi.Perm[i-1]].Length() < links[conf.Pi.Perm[i]].Length()-1e-12 {
+			t.Fatal("physical ordering must be by decreasing length")
+		}
+	}
+}
+
+func TestPhysicalRhoBoundGrowsLogarithmically(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := Physical(geom.UniformLinks(rng, 8, 50, 1, 5), UniformPower, DefaultSINR())
+	large := Physical(geom.UniformLinks(rng, 64, 50, 1, 5), UniformPower, DefaultSINR())
+	if large.RhoBound <= small.RhoBound {
+		t.Fatal("certified bound must grow with n")
+	}
+	if large.RhoBound > small.RhoBound*3 {
+		t.Fatal("bound grows too fast for O(log n)")
+	}
+}
+
+func TestAssignPowersSingleAndEmpty(t *testing.T) {
+	links := []geom.Link{{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}}}
+	p := DefaultSINR()
+	powers, ok := AssignPowers(links, []int{0}, p)
+	if !ok || len(powers) != 1 {
+		t.Fatal("single link must be power-feasible")
+	}
+	if !SINRFeasible(links, powers, []int{0}, p) {
+		t.Fatal("assigned powers must satisfy SINR")
+	}
+	if _, ok := AssignPowers(links, nil, p); !ok {
+		t.Fatal("empty set must be trivially feasible")
+	}
+}
+
+func TestAssignPowersInfeasible(t *testing.T) {
+	// Two crossed links: each receiver sits next to the other link's
+	// sender, so the cross-gain dwarfs the direct gain and with β=1 no
+	// powers work (the normalized gain matrix has spectral radius ≫ 1).
+	links := []geom.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}},
+		{Sender: geom.Point{X: 1, Y: 0.001}, Receiver: geom.Point{X: 0, Y: 0.001}},
+	}
+	p := SINRParams{Alpha: 3, Beta: 1, Noise: 0}
+	if _, ok := AssignPowers(links, []int{0, 1}, p); ok {
+		t.Fatal("coincident links must be infeasible under power control")
+	}
+}
+
+func TestAssignPowersSeparatedLinks(t *testing.T) {
+	// Well-separated short links: feasible, and returned powers verify.
+	links := []geom.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}},
+		{Sender: geom.Point{X: 100, Y: 0}, Receiver: geom.Point{X: 101, Y: 0}},
+		{Sender: geom.Point{X: 0, Y: 100}, Receiver: geom.Point{X: 1, Y: 100}},
+	}
+	p := DefaultSINR()
+	powers, ok := AssignPowers(links, []int{0, 1, 2}, p)
+	if !ok {
+		t.Fatal("separated links must be feasible")
+	}
+	full := make([]float64, len(links))
+	for i, idx := range []int{0, 1, 2} {
+		full[idx] = powers[i]
+	}
+	if !SINRFeasible(links, full, []int{0, 1, 2}, p) {
+		t.Fatal("assigned powers must satisfy SINR")
+	}
+}
+
+// Property (Theorem 3 of Kesselheim 2011, used by Theorem 17): independent
+// sets of the PowerControl conflict graph admit feasible powers.
+func TestQuickPowerControlIndependentSetsFeasible(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		links := geom.UniformLinks(rng, n, 150, 1, 5)
+		params := DefaultSINR()
+		conf := PowerControl(links, params)
+		for trial := 0; trial < 10; trial++ {
+			// Build a random independent set greedily.
+			var set []int
+			for _, v := range rng.Perm(n) {
+				cand := append(set, v)
+				if conf.W.IsIndependent(cand) {
+					set = cand
+				}
+			}
+			if len(set) == 0 {
+				continue
+			}
+			if _, ok := AssignPowers(links, set, params); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerControlWeightsOneDirectional(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	links := geom.UniformLinks(rng, 8, 100, 1, 5)
+	conf := PowerControl(links, DefaultSINR())
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if a == b {
+				continue
+			}
+			if !conf.Pi.Before(a, b) && conf.W.Weight(a, b) != 0 {
+				t.Fatal("weights must only point forward in π")
+			}
+		}
+	}
+}
+
+func TestPowerControlTau(t *testing.T) {
+	p := SINRParams{Alpha: 2, Beta: 1}
+	want := 1.0 / (2 * 9 * 6)
+	if got := PowerControlTau(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tau = %g, want %g", got, want)
+	}
+}
+
+func TestPhysicalWithPowersPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PhysicalWithPowers(make([]geom.Link, 2), []float64{1}, DefaultSINR(), "x")
+}

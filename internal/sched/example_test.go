@@ -1,0 +1,17 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// ExampleFirstFit colors a 5-cycle: three channels suffice (odd cycle).
+func ExampleFirstFit() {
+	g := graph.Cycle(5)
+	c := sched.FirstFit(g, g.DegeneracyOrdering())
+	fmt.Printf("channels used: %d, proper: %v\n", c.NumChannels, sched.Verify(g, c) == nil)
+	// Output:
+	// channels used: 3, proper: true
+}

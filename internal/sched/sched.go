@@ -1,0 +1,141 @@
+// Package sched solves the companion problem to the auction: channel
+// minimization (scheduling / coloring). Instead of maximizing welfare over k
+// channels, it asks how many channels are needed so that every user can be
+// served. The paper's related work (Section 1.2) discusses this scheduling
+// view for the physical model; here the inductive-independence machinery
+// gives the same leverage: first-fit along the certifying ordering π needs
+// few channels because backward conflicts are structurally bounded.
+//
+// For an unweighted graph, first-fit along π uses at most
+// maxBackwardDegree(π)+1 channels; along a degeneracy ordering that is
+// degeneracy+1, the classic bound. For edge-weighted graphs, first-fit packs
+// each vertex into the first channel where both (a) the vertex's incoming
+// weight stays below 1 and (b) no member's independence is broken.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Coloring is a channel assignment covering every vertex.
+type Coloring struct {
+	// Channel[v] is the channel of vertex v (0-based).
+	Channel []int
+	// NumChannels is the number of channels used.
+	NumChannels int
+}
+
+// classes returns the vertex sets per channel.
+func (c *Coloring) classes() [][]int {
+	out := make([][]int, c.NumChannels)
+	for v, ch := range c.Channel {
+		out[ch] = append(out[ch], v)
+	}
+	return out
+}
+
+// FirstFit colors an unweighted conflict graph by first-fit along the
+// ordering π: each vertex takes the smallest channel not used by a backward
+// neighbor. The number of channels is at most the maximum backward degree
+// plus one.
+func FirstFit(g *graph.Graph, pi graph.Ordering) *Coloring {
+	n := g.N()
+	col := make([]int, n)
+	for i := range col {
+		col[i] = -1
+	}
+	num := 0
+	for _, v := range pi.Perm {
+		used := make(map[int]bool)
+		for _, u := range g.Neighbors(v) {
+			if pi.Before(u, v) && col[u] >= 0 {
+				used[col[u]] = true
+			}
+		}
+		ch := 0
+		for used[ch] {
+			ch++
+		}
+		col[v] = ch
+		if ch+1 > num {
+			num = ch + 1
+		}
+	}
+	return &Coloring{Channel: col, NumChannels: num}
+}
+
+// Verify reports whether the coloring is proper for the unweighted graph:
+// no edge inside a channel.
+func Verify(g *graph.Graph, c *Coloring) error {
+	if len(c.Channel) != g.N() {
+		return fmt.Errorf("sched: coloring covers %d of %d vertices", len(c.Channel), g.N())
+	}
+	for _, set := range c.classes() {
+		if !g.IsIndependent(set) {
+			return fmt.Errorf("sched: channel class %v not independent", set)
+		}
+	}
+	return nil
+}
+
+// FirstFitWeighted colors an edge-weighted conflict graph along π: each
+// vertex takes the smallest channel where the class stays independent in the
+// weighted sense (every member, including the newcomer, receives total
+// weight < 1 from the class).
+func FirstFitWeighted(w *graph.Weighted, pi graph.Ordering) *Coloring {
+	n := w.N()
+	col := make([]int, n)
+	for i := range col {
+		col[i] = -1
+	}
+	var classes [][]int
+	for _, v := range pi.Perm {
+		placed := false
+		for ch := 0; ch < len(classes) && !placed; ch++ {
+			cand := append(append([]int(nil), classes[ch]...), v)
+			if w.IsIndependent(cand) {
+				classes[ch] = cand
+				col[v] = ch
+				placed = true
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{v})
+			col[v] = len(classes) - 1
+		}
+	}
+	return &Coloring{Channel: col, NumChannels: len(classes)}
+}
+
+// VerifyWeighted reports whether the coloring is proper for the weighted
+// graph.
+func VerifyWeighted(w *graph.Weighted, c *Coloring) error {
+	if len(c.Channel) != w.N() {
+		return fmt.Errorf("sched: coloring covers %d of %d vertices", len(c.Channel), w.N())
+	}
+	for _, set := range c.classes() {
+		if !w.IsIndependent(set) {
+			return fmt.Errorf("sched: channel class %v not independent", set)
+		}
+	}
+	return nil
+}
+
+// LowerBound returns a simple channel lower bound for the unweighted graph:
+// clique-free we use ⌈n / α⌉ with α the maximum independent set size when it
+// is computable (exact for small graphs), else max degree-based ⌈(d̄+1)⌉ is
+// NOT valid, so fall back to 1.
+func LowerBound(g *graph.Graph, maxExactN int) int {
+	if g.N() == 0 {
+		return 0
+	}
+	if g.N() <= maxExactN {
+		alpha := g.MaxIndependentSetSize()
+		if alpha > 0 {
+			return (g.N() + alpha - 1) / alpha
+		}
+	}
+	return 1
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+func TestFirstFitPath(t *testing.T) {
+	g := graph.Path(6)
+	c := FirstFit(g, g.DegeneracyOrdering())
+	if err := Verify(g, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumChannels != 2 {
+		t.Fatalf("path needs 2 channels, used %d", c.NumChannels)
+	}
+}
+
+func TestFirstFitClique(t *testing.T) {
+	g := graph.Clique(5)
+	c := FirstFit(g, graph.IdentityOrdering(5))
+	if err := Verify(g, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumChannels != 5 {
+		t.Fatalf("clique(5) needs 5 channels, used %d", c.NumChannels)
+	}
+}
+
+func TestFirstFitEmptyGraph(t *testing.T) {
+	g := graph.New(4)
+	c := FirstFit(g, graph.IdentityOrdering(4))
+	if c.NumChannels != 1 {
+		t.Fatalf("edgeless graph needs 1 channel, used %d", c.NumChannels)
+	}
+}
+
+// Property: first-fit along a degeneracy ordering uses at most
+// degeneracy+1 channels and is always proper.
+func TestQuickFirstFitDegeneracyBound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		g := graph.RandomGNP(rng, n, 0.3)
+		c := FirstFit(g, g.DegeneracyOrdering())
+		if Verify(g, c) != nil {
+			return false
+		}
+		return c.NumChannels <= g.Degeneracy()+1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted first-fit is always proper, and on lifted unweighted
+// graphs it matches the binary semantics.
+func TestQuickFirstFitWeighted(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		g := graph.RandomGNP(rng, n, 0.3)
+		w := graph.FromUnweighted(g)
+		pi := g.DegeneracyOrdering()
+		c := FirstFitWeighted(w, pi)
+		if VerifyWeighted(w, c) != nil {
+			return false
+		}
+		// Proper for the binary graph too.
+		return Verify(g, c) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstFitWeightedSINR(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	links := geom.UniformLinks(rng, 20, 120, 1, 6)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	c := FirstFitWeighted(conf.W, conf.Pi)
+	if err := VerifyWeighted(conf.W, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumChannels < 1 || c.NumChannels > 20 {
+		t.Fatalf("implausible channel count %d", c.NumChannels)
+	}
+	// Every class must be simultaneously SINR-feasible (independence in the
+	// Physical graph implies the relaxed SINR constraint; we check the
+	// weighted independence directly, which Verify already did).
+}
+
+func TestLowerBound(t *testing.T) {
+	if lb := LowerBound(graph.Clique(6), 10); lb != 6 {
+		t.Fatalf("clique lower bound %d, want 6", lb)
+	}
+	if lb := LowerBound(graph.Path(6), 10); lb != 2 {
+		t.Fatalf("path lower bound %d, want 2", lb)
+	}
+	if lb := LowerBound(graph.New(0), 10); lb != 0 {
+		t.Fatalf("empty lower bound %d, want 0", lb)
+	}
+	// Too large for exact alpha: falls back to 1.
+	rng := rand.New(rand.NewSource(1))
+	if lb := LowerBound(graph.RandomGNP(rng, 30, 0.5), 10); lb != 1 {
+		t.Fatalf("fallback lower bound %d, want 1", lb)
+	}
+}
+
+func TestVerifyRejectsBadColoring(t *testing.T) {
+	g := graph.Path(3)
+	bad := &Coloring{Channel: []int{0, 0, 0}, NumChannels: 1}
+	if Verify(g, bad) == nil {
+		t.Fatal("improper coloring accepted")
+	}
+	short := &Coloring{Channel: []int{0}, NumChannels: 1}
+	if Verify(g, short) == nil {
+		t.Fatal("short coloring accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package serialize_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/auction"
+	"repro/internal/models"
+	"repro/internal/serialize"
+	"repro/internal/valuation"
+)
+
+// Example round-trips a two-bidder auction through JSON.
+func Example() {
+	conf := models.CliqueConflict(2)
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{7}),
+		valuation.NewAdditive([]float64{3}),
+	}
+	in, _ := auction.NewInstance(conf, 1, bidders)
+
+	var buf bytes.Buffer
+	if err := serialize.Write(&buf, in); err != nil {
+		fmt.Println(err)
+		return
+	}
+	loaded, err := serialize.Read(&buf)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("model %s, n=%d, bidder 0 values channel 0 at %.0f\n",
+		loaded.Conf.Model, loaded.N(), loaded.Bidders[0].Value(valuation.FromChannels(0)))
+	// Output:
+	// model clique, n=2, bidder 0 values channel 0 at 7
+}

@@ -1,0 +1,243 @@
+// Package serialize persists auction instances as JSON so experiments can be
+// archived, shared, and replayed. The format is self-contained: it stores
+// the constructed conflict structure (edges or weights, ordering, certified
+// ρ) rather than the generator parameters, so any model's output round-trips
+// exactly.
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/auction"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// File is the on-disk representation of an instance.
+type File struct {
+	// FormatVersion guards against future schema changes.
+	FormatVersion int `json:"format_version"`
+	// Model names the originating interference model (informational).
+	Model string `json:"model"`
+	// N is the number of bidders, K the number of channels.
+	N int `json:"n"`
+	K int `json:"k"`
+	// RhoBound is the certified inductive independence bound.
+	RhoBound float64 `json:"rho_bound"`
+	// Pi is the certifying ordering (permutation of 0..n-1).
+	Pi []int `json:"pi"`
+	// Edges holds the binary conflict edges (nil for weighted instances).
+	Edges [][2]int `json:"edges,omitempty"`
+	// Weights holds the directed weighted edges (nil for binary instances).
+	Weights []WeightedEdge `json:"weights,omitempty"`
+	// Bidders holds one valuation spec per bidder.
+	Bidders []BidderSpec `json:"bidders"`
+}
+
+// WeightedEdge is one directed edge weight w(U,V)=W.
+type WeightedEdge struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w"`
+}
+
+// BidderSpec encodes one valuation. Type selects the interpretation of the
+// remaining fields.
+type BidderSpec struct {
+	Type string `json:"type"` // additive | unitdemand | singleminded | budgetadditive | coverage | table
+	// Values: per-channel values (additive, unitdemand, budgetadditive).
+	Values []float64 `json:"values,omitempty"`
+	// Budget for budgetadditive.
+	Budget float64 `json:"budget,omitempty"`
+	// Want/Worth for singleminded (Want is a bundle bitmask).
+	Want  uint64  `json:"want,omitempty"`
+	Worth float64 `json:"worth,omitempty"`
+	// Covers/Weights for coverage.
+	Covers  []uint64  `json:"covers,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+	// Table maps bundle bitmask (decimal string) to value.
+	Table map[string]float64 `json:"table,omitempty"`
+}
+
+// EncodeBidder converts a valuation into its spec. Unknown implementations
+// are flattened into an explicit table over all 2^k bundles when k ≤ 16, and
+// rejected otherwise.
+func EncodeBidder(v valuation.Valuation) (BidderSpec, error) {
+	switch b := v.(type) {
+	case *valuation.Additive:
+		return BidderSpec{Type: "additive", Values: b.V}, nil
+	case *valuation.UnitDemand:
+		return BidderSpec{Type: "unitdemand", Values: b.V}, nil
+	case *valuation.SingleMinded:
+		return BidderSpec{Type: "singleminded", Want: uint64(b.Want), Worth: b.Worth,
+			Values: make([]float64, b.NumCh)}, nil
+	case *valuation.BudgetAdditive:
+		return BidderSpec{Type: "budgetadditive", Values: b.V, Budget: b.Budget}, nil
+	case *valuation.Coverage:
+		return BidderSpec{Type: "coverage", Covers: b.Covers, Weights: b.Weights}, nil
+	case *valuation.Table:
+		tbl := make(map[string]float64, len(b.Vals))
+		for bundle, val := range b.Vals {
+			tbl[strconv.FormatUint(uint64(bundle), 10)] = val
+		}
+		return BidderSpec{Type: "table", Values: make([]float64, b.NumCh), Table: tbl}, nil
+	default:
+		if v.K() > 16 {
+			return BidderSpec{}, fmt.Errorf("serialize: cannot flatten %T with k=%d > 16", v, v.K())
+		}
+		tbl := map[string]float64{}
+		for m := valuation.Bundle(1); m < 1<<uint(v.K()); m++ {
+			if val := v.Value(m); val != 0 {
+				tbl[strconv.FormatUint(uint64(m), 10)] = val
+			}
+		}
+		return BidderSpec{Type: "table", Values: make([]float64, v.K()), Table: tbl}, nil
+	}
+}
+
+// DecodeBidder reconstructs a valuation from its spec for k channels.
+func DecodeBidder(s BidderSpec, k int) (valuation.Valuation, error) {
+	switch s.Type {
+	case "additive":
+		if len(s.Values) != k {
+			return nil, fmt.Errorf("serialize: additive bidder has %d values, want %d", len(s.Values), k)
+		}
+		return valuation.NewAdditive(s.Values), nil
+	case "unitdemand":
+		if len(s.Values) != k {
+			return nil, fmt.Errorf("serialize: unitdemand bidder has %d values, want %d", len(s.Values), k)
+		}
+		return valuation.NewUnitDemand(s.Values), nil
+	case "singleminded":
+		return valuation.NewSingleMinded(k, valuation.Bundle(s.Want), s.Worth), nil
+	case "budgetadditive":
+		if len(s.Values) != k {
+			return nil, fmt.Errorf("serialize: budgetadditive bidder has %d values, want %d", len(s.Values), k)
+		}
+		return valuation.NewBudgetAdditive(s.Values, s.Budget), nil
+	case "coverage":
+		if len(s.Covers) != k {
+			return nil, fmt.Errorf("serialize: coverage bidder has %d cover sets, want %d", len(s.Covers), k)
+		}
+		return valuation.NewCoverage(s.Covers, s.Weights), nil
+	case "table":
+		tbl := make(map[valuation.Bundle]float64, len(s.Table))
+		for key, val := range s.Table {
+			m, err := strconv.ParseUint(key, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("serialize: bad table key %q: %v", key, err)
+			}
+			tbl[valuation.Bundle(m)] = val
+		}
+		return valuation.NewTable(k, tbl), nil
+	default:
+		return nil, fmt.Errorf("serialize: unknown bidder type %q", s.Type)
+	}
+}
+
+// Encode converts an instance into its file form.
+func Encode(in *auction.Instance) (*File, error) {
+	n := in.N()
+	f := &File{
+		FormatVersion: 1,
+		Model:         in.Conf.Model,
+		N:             n,
+		K:             in.K,
+		RhoBound:      in.Conf.RhoBound,
+		Pi:            append([]int(nil), in.Conf.Pi.Perm...),
+	}
+	if g := in.Conf.Binary; g != nil {
+		for v := 0; v < n; v++ {
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					f.Edges = append(f.Edges, [2]int{v, u})
+				}
+			}
+		}
+	} else {
+		w := in.Conf.W
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if wt := w.Weight(u, v); wt > 0 {
+					f.Weights = append(f.Weights, WeightedEdge{U: u, V: v, W: wt})
+				}
+			}
+		}
+	}
+	for _, b := range in.Bidders {
+		spec, err := EncodeBidder(b)
+		if err != nil {
+			return nil, err
+		}
+		f.Bidders = append(f.Bidders, spec)
+	}
+	return f, nil
+}
+
+// Decode reconstructs an instance from its file form.
+func Decode(f *File) (*auction.Instance, error) {
+	if f.FormatVersion != 1 {
+		return nil, fmt.Errorf("serialize: unsupported format version %d", f.FormatVersion)
+	}
+	if len(f.Pi) != f.N {
+		return nil, fmt.Errorf("serialize: ordering has %d entries, want %d", len(f.Pi), f.N)
+	}
+	conf := &models.Conflict{
+		Pi:       graph.NewOrdering(f.Pi),
+		RhoBound: f.RhoBound,
+		Model:    f.Model,
+	}
+	if f.Weights == nil {
+		g := graph.New(f.N)
+		for _, e := range f.Edges {
+			if e[0] < 0 || e[0] >= f.N || e[1] < 0 || e[1] >= f.N {
+				return nil, fmt.Errorf("serialize: edge %v out of range", e)
+			}
+			g.AddEdge(e[0], e[1])
+		}
+		conf.Binary = g
+		conf.W = graph.FromUnweighted(g)
+	} else {
+		w := graph.NewWeighted(f.N)
+		for _, e := range f.Weights {
+			if e.U < 0 || e.U >= f.N || e.V < 0 || e.V >= f.N {
+				return nil, fmt.Errorf("serialize: weighted edge %+v out of range", e)
+			}
+			w.SetWeight(e.U, e.V, e.W)
+		}
+		conf.W = w
+	}
+	bidders := make([]valuation.Valuation, 0, len(f.Bidders))
+	for _, s := range f.Bidders {
+		b, err := DecodeBidder(s, f.K)
+		if err != nil {
+			return nil, err
+		}
+		bidders = append(bidders, b)
+	}
+	return auction.NewInstance(conf, f.K, bidders)
+}
+
+// Write marshals an instance as indented JSON to w.
+func Write(w io.Writer, in *auction.Instance) error {
+	f, err := Encode(in)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Read unmarshals an instance from r.
+func Read(r io.Reader) (*auction.Instance, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("serialize: decode: %w", err)
+	}
+	return Decode(&f)
+}

@@ -1,0 +1,242 @@
+package serialize
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+func protocolInstance(seed int64, n, k int) *auction.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 60, 2, 8)
+	conf := models.Protocol(links, 1)
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := auction.NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func physicalInstance(seed int64, n, k int) *auction.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 120, 1, 6)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := auction.NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// roundTrip encodes and decodes an instance, asserting semantic equality:
+// same LP optimum, same feasibility structure, same bidder values.
+func roundTrip(t *testing.T, in *auction.Instance) *auction.Instance {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if out.N() != in.N() || out.K != in.K {
+		t.Fatal("shape mismatch")
+	}
+	if out.Conf.RhoBound != in.Conf.RhoBound || out.Conf.Model != in.Conf.Model {
+		t.Fatal("conflict metadata mismatch")
+	}
+	// Bidder values agree on random bundles.
+	rng := rand.New(rand.NewSource(7))
+	for v := 0; v < in.N(); v++ {
+		for trial := 0; trial < 10; trial++ {
+			b := valuation.Bundle(rng.Intn(1 << uint(in.K)))
+			if math.Abs(in.Bidders[v].Value(b)-out.Bidders[v].Value(b)) > 1e-12 {
+				t.Fatalf("bidder %d value mismatch on %v", v, b)
+			}
+		}
+	}
+	return out
+}
+
+func TestRoundTripBinary(t *testing.T) {
+	in := protocolInstance(1, 10, 3)
+	out := roundTrip(t, in)
+	// Same conflict edges → same feasibility verdicts on random allocations.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		s := make(auction.Allocation, in.N())
+		for v := range s {
+			s[v] = valuation.Bundle(rng.Intn(1 << uint(in.K)))
+		}
+		if in.Feasible(s) != out.Feasible(s) {
+			t.Fatalf("feasibility mismatch on %v", s)
+		}
+	}
+}
+
+func TestRoundTripWeighted(t *testing.T) {
+	in := physicalInstance(2, 8, 2)
+	out := roundTrip(t, in)
+	if out.Conf.Binary != nil {
+		t.Fatal("weighted instance must stay weighted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		s := make(auction.Allocation, in.N())
+		for v := range s {
+			s[v] = valuation.Bundle(rng.Intn(1 << uint(in.K)))
+		}
+		if in.Feasible(s) != out.Feasible(s) {
+			t.Fatalf("feasibility mismatch on %v", s)
+		}
+	}
+}
+
+// TestRoundTripPreservesLPOptimum: the decoded instance solves to the same
+// LP value — the strongest semantic equality we can check cheaply.
+func TestRoundTripPreservesLPOptimum(t *testing.T) {
+	check := func(seed int64) bool {
+		in := protocolInstance(seed, 8, 2)
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		a, err1 := in.SolveLP()
+		b, err2 := out.SolveLP()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a.Value-b.Value) < 1e-6*(1+a.Value)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeBidderKinds(t *testing.T) {
+	k := 3
+	bidders := []valuation.Valuation{
+		valuation.NewAdditive([]float64{1, 2, 3}),
+		valuation.NewUnitDemand([]float64{4, 5, 6}),
+		valuation.NewSingleMinded(k, valuation.FromChannels(0, 2), 9),
+		valuation.NewBudgetAdditive([]float64{2, 2, 2}, 3),
+		valuation.NewCoverage([]uint64{1, 2, 4}, []float64{1, 1, 1}),
+		valuation.NewTable(k, map[valuation.Bundle]float64{valuation.FromChannels(1): 5}),
+	}
+	for _, b := range bidders {
+		spec, err := EncodeBidder(b)
+		if err != nil {
+			t.Fatalf("encode %T: %v", b, err)
+		}
+		dec, err := DecodeBidder(spec, k)
+		if err != nil {
+			t.Fatalf("decode %T: %v", b, err)
+		}
+		for m := valuation.Bundle(0); m < 1<<uint(k); m++ {
+			if math.Abs(b.Value(m)-dec.Value(m)) > 1e-12 {
+				t.Fatalf("%T: value mismatch on %v", b, m)
+			}
+		}
+	}
+}
+
+// fancyValuation is an unknown Valuation implementation, exercising the
+// flatten-to-table fallback of EncodeBidder.
+type fancyValuation struct{ k int }
+
+func (f fancyValuation) K() int { return f.k }
+func (f fancyValuation) Value(t valuation.Bundle) float64 {
+	return float64(t.Size() * t.Size()) // superadditive, not in any class
+}
+func (f fancyValuation) Demand(prices []float64) (valuation.Bundle, float64) {
+	best, bestUtil := valuation.Empty, 0.0
+	for m := valuation.Bundle(0); m < 1<<uint(f.k); m++ {
+		if u := f.Value(m) - m.PriceOf(prices); u > bestUtil {
+			best, bestUtil = m, u
+		}
+	}
+	return best, bestUtil
+}
+
+func TestEncodeBidderFlattensUnknownTypes(t *testing.T) {
+	fv := fancyValuation{k: 4}
+	spec, err := EncodeBidder(fv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Type != "table" {
+		t.Fatalf("flattened type %q, want table", spec.Type)
+	}
+	dec, err := DecodeBidder(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := valuation.Bundle(0); m < 16; m++ {
+		if math.Abs(fv.Value(m)-dec.Value(m)) > 1e-12 {
+			t.Fatalf("flatten mismatch on %v", m)
+		}
+	}
+	// Too many channels to flatten.
+	if _, err := EncodeBidder(fancyValuation{k: 20}); err == nil {
+		t.Fatal("k=20 unknown type accepted")
+	}
+}
+
+func TestEncodeXORFlattens(t *testing.T) {
+	x := valuation.NewXOR(3, []valuation.Atom{
+		{Bundle: valuation.FromChannels(0), Value: 3},
+		{Bundle: valuation.FromChannels(1, 2), Value: 5},
+	})
+	spec, err := EncodeBidder(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeBidder(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := valuation.Bundle(0); m < 8; m++ {
+		if x.Value(m) != dec.Value(m) {
+			t.Fatalf("XOR flatten mismatch on %v", m)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(&File{FormatVersion: 2}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := Decode(&File{FormatVersion: 1, N: 2, K: 1, Pi: []int{0}}); err == nil {
+		t.Fatal("short ordering accepted")
+	}
+	if _, err := Decode(&File{FormatVersion: 1, N: 2, K: 1, RhoBound: 1,
+		Pi: []int{0, 1}, Edges: [][2]int{{0, 5}}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if _, err := DecodeBidder(BidderSpec{Type: "nope"}, 2); err == nil {
+		t.Fatal("unknown bidder type accepted")
+	}
+	if _, err := DecodeBidder(BidderSpec{Type: "additive", Values: []float64{1}}, 2); err == nil {
+		t.Fatal("short additive accepted")
+	}
+	if _, err := DecodeBidder(BidderSpec{Type: "table", Table: map[string]float64{"x": 1}}, 2); err == nil {
+		t.Fatal("bad table key accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

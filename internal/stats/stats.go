@@ -1,0 +1,115 @@
+// Package stats provides the small summary-statistics toolkit used by the
+// experiment harness: means, standard deviations, and normal-approximation
+// confidence intervals for seed-replicated measurements.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range s.xs {
+		total += x
+	}
+	return total / float64(len(s.xs))
+}
+
+// Var returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Sample) Var() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	total := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		total += d * d
+	}
+	return total / float64(len(s.xs)-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the extremes (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum observation.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Sample) CI95() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(len(s.xs)))
+}
+
+// MeanCI renders "mean ± ci" with the given precision.
+func (s *Sample) MeanCI(prec int) string {
+	return fmt.Sprintf("%.*f ± %.*f", prec, s.Mean(), prec, s.CI95())
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("mean = %g (n=%d)", s.Mean(), s.N())
+	}
+	if math.Abs(s.Var()-2.5) > 1e-12 {
+		t.Fatalf("var = %g, want 2.5", s.Var())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatal("min/max wrong")
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Fatalf("median = %g, want 3", s.Quantile(0.5))
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatal("singleton sample wrong")
+	}
+}
+
+func TestMeanCIFormat(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if got := s.MeanCI(2); got != "2.00 ± 1.96" {
+		t.Fatalf("MeanCI = %q", got)
+	}
+}
+
+// Property: mean lies within [min, max]; variance is non-negative; the CI
+// shrinks as observations repeat.
+func TestQuickInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		n := 2 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64() * 10)
+		}
+		if s.Var() < 0 {
+			return false
+		}
+		m := s.Mean()
+		if m < s.Min()-1e-9 || m > s.Max()+1e-9 {
+			return false
+		}
+		// Quantiles are monotone.
+		return s.Quantile(0.25) <= s.Quantile(0.75)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

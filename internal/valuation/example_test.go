@@ -1,0 +1,38 @@
+package valuation_test
+
+import (
+	"fmt"
+
+	"repro/internal/valuation"
+)
+
+// ExampleValuation demonstrates the demand-oracle contract shared by every
+// valuation class.
+func ExampleValuation() {
+	v := valuation.NewAdditive([]float64{5, 3, 8})
+	bundle, utility := v.Demand([]float64{2, 4, 1}) // channel prices
+	fmt.Printf("demand %v at utility %.0f\n", bundle.Channels(), utility)
+	// Output:
+	// demand [0 2] at utility 10
+}
+
+// ExampleMasked shows a primary user forbidding a channel.
+func ExampleMasked() {
+	base := valuation.NewAdditive([]float64{5, 100})
+	m := valuation.NewMasked(base, valuation.FromChannels(0)) // channel 1 occupied
+	bundle, utility := m.Demand([]float64{1, 0})
+	fmt.Printf("demand %v at utility %.0f\n", bundle.Channels(), utility)
+	// Output:
+	// demand [0] at utility 4
+}
+
+// ExampleXOR shows atomic XOR bids.
+func ExampleXOR() {
+	x := valuation.NewXOR(3, []valuation.Atom{
+		{Bundle: valuation.FromChannels(0), Value: 4},
+		{Bundle: valuation.FromChannels(1, 2), Value: 9},
+	})
+	fmt.Printf("value of all channels: %.0f\n", x.Value(valuation.Full(3)))
+	// Output:
+	// value of all channels: 9
+}

@@ -1,0 +1,64 @@
+package valuation
+
+import "testing"
+
+// FuzzBundleOps checks the bitmask algebra of Bundle against its
+// element-wise definition.
+func FuzzBundleOps(f *testing.F) {
+	f.Add(uint64(0b1010), uint64(0b0110), 3)
+	f.Add(uint64(0), uint64(1<<63), 63)
+	f.Fuzz(func(t *testing.T, a, b uint64, ch int) {
+		x, y := Bundle(a), Bundle(b)
+		j := ((ch % MaxChannels) + MaxChannels) % MaxChannels
+		if x.With(j).Has(j) != true {
+			t.Fatal("With/Has broken")
+		}
+		if x.Without(j).Has(j) {
+			t.Fatal("Without broken")
+		}
+		if x.Intersects(y) != (x&y != 0) {
+			t.Fatal("Intersects broken")
+		}
+		if got := len(x.Channels()); got != x.Size() {
+			t.Fatalf("Channels length %d != Size %d", got, x.Size())
+		}
+		// Channels are sorted, unique, and all members.
+		prev := -1
+		for _, c := range x.Channels() {
+			if c <= prev || !x.Has(c) {
+				t.Fatal("Channels not sorted-unique-members")
+			}
+			prev = c
+		}
+	})
+}
+
+// FuzzAdditiveOracle checks that the additive demand oracle never claims a
+// utility below any singleton's.
+func FuzzAdditiveOracle(f *testing.F) {
+	f.Add(uint8(3), int8(4), int8(-2), int8(7))
+	f.Fuzz(func(t *testing.T, kk uint8, a, b, c int8) {
+		k := int(kk%6) + 1
+		vals := []float64{float64(a), float64(b), float64(c), 1, 2, 3}[:k]
+		for i, v := range vals {
+			if v < 0 {
+				vals[i] = -v
+			}
+		}
+		v := NewAdditive(vals)
+		prices := make([]float64, k)
+		for j := range prices {
+			prices[j] = float64((int(a)+j*int(b))%7) / 2
+			if prices[j] < 0 {
+				prices[j] = -prices[j]
+			}
+		}
+		_, util := v.Demand(prices)
+		for j := 0; j < k; j++ {
+			single := FromChannels(j)
+			if su := v.Value(single) - single.PriceOf(prices); su > util+1e-9 {
+				t.Fatalf("oracle utility %g below singleton %g", util, su)
+			}
+		}
+	})
+}

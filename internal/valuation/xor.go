@@ -1,0 +1,180 @@
+package valuation
+
+import "fmt"
+
+// Atom is one atomic bid of an XOR valuation: a bundle and its value.
+type Atom struct {
+	Bundle Bundle
+	Value  float64
+}
+
+// XOR is the standard XOR bidding language: the bidder names atomic bids
+// (T₁,w₁) XOR … XOR (Tm,wm) and a bundle is worth the best atom it contains,
+//
+//	b(T) = max{ wᵢ : Tᵢ ⊆ T }  (0 if none).
+//
+// XOR can express every monotone valuation (with possibly many atoms) and
+// admits an exact polynomial demand oracle: supersets of an atom only add
+// price, so the optimum is one of the atoms or the empty bundle.
+type XOR struct {
+	NumCh int
+	Atoms []Atom
+}
+
+// NewXOR returns an XOR valuation over the given atoms. Atoms are copied.
+func NewXOR(k int, atoms []Atom) *XOR {
+	return &XOR{NumCh: k, Atoms: append([]Atom(nil), atoms...)}
+}
+
+// K implements Valuation.
+func (x *XOR) K() int { return x.NumCh }
+
+// Value implements Valuation.
+func (x *XOR) Value(t Bundle) float64 {
+	best := 0.0
+	for _, a := range x.Atoms {
+		if t&a.Bundle == a.Bundle && a.Value > best {
+			best = a.Value
+		}
+	}
+	return best
+}
+
+// Demand implements Valuation: evaluate every atom at the given prices.
+func (x *XOR) Demand(prices []float64) (Bundle, float64) {
+	checkPrices(prices, x.NumCh)
+	best, bestUtil := Empty, 0.0
+	for _, a := range x.Atoms {
+		if util := a.Value - a.Bundle.PriceOf(prices); util > bestUtil ||
+			(util == bestUtil && a.Bundle < best) {
+			best, bestUtil = a.Bundle, util
+		}
+	}
+	if bestUtil <= 0 {
+		return Empty, 0
+	}
+	return best, bestUtil
+}
+
+// Scaled multiplies a base valuation by a non-negative factor. Its demand
+// oracle stays exact: max f·b(T) − p(T) = f·max(b(T) − (p/f)(T)), so the
+// base oracle is queried at prices p/f. Misreport batteries (truthfulness
+// experiments) and unit changes use this combinator.
+type Scaled struct {
+	Base   Valuation
+	Factor float64
+}
+
+// NewScaled wraps base scaled by factor ≥ 0.
+func NewScaled(base Valuation, factor float64) *Scaled {
+	if factor < 0 {
+		panic("valuation: negative scale factor")
+	}
+	return &Scaled{Base: base, Factor: factor}
+}
+
+// K implements Valuation.
+func (s *Scaled) K() int { return s.Base.K() }
+
+// Value implements Valuation.
+func (s *Scaled) Value(t Bundle) float64 { return s.Factor * s.Base.Value(t) }
+
+// Demand implements Valuation.
+func (s *Scaled) Demand(prices []float64) (Bundle, float64) {
+	checkPrices(prices, s.Base.K())
+	if s.Factor == 0 {
+		return Empty, 0
+	}
+	scaled := make([]float64, len(prices))
+	for j, p := range prices {
+		scaled[j] = p / s.Factor
+	}
+	t, util := s.Base.Demand(scaled)
+	return t, util * s.Factor
+}
+
+// Masked restricts a base valuation to an allowed channel mask, modeling a
+// primary user whose presence forbids some channels for this bidder (the
+// paper's introduction: "the presence of a primary user might allow access
+// to a channel only for a subset of mobile devices"). Forbidden channels
+// contribute no value:
+//
+//	b(T) = base(T ∩ Mask).
+//
+// The demand oracle stays exact for any exact base oracle: forbidden
+// channels are priced prohibitively, so the base oracle never selects them,
+// and on allowed channels utilities coincide.
+type Masked struct {
+	Base Valuation
+	Mask Bundle
+}
+
+// NewMasked wraps base with the allowed-channel mask.
+func NewMasked(base Valuation, mask Bundle) *Masked {
+	return &Masked{Base: base, Mask: mask}
+}
+
+// K implements Valuation.
+func (m *Masked) K() int { return m.Base.K() }
+
+// Value implements Valuation.
+func (m *Masked) Value(t Bundle) float64 { return m.Base.Value(t & m.Mask) }
+
+// Demand implements Valuation.
+func (m *Masked) Demand(prices []float64) (Bundle, float64) {
+	k := m.Base.K()
+	checkPrices(prices, k)
+	// Price forbidden channels far above any attainable value so an exact
+	// base oracle never includes them.
+	blocked := make([]float64, k)
+	const prohibitive = 1e18
+	for j := 0; j < k; j++ {
+		if m.Mask.Has(j) {
+			blocked[j] = prices[j]
+		} else {
+			blocked[j] = prohibitive
+		}
+	}
+	t, util := m.Base.Demand(blocked)
+	t &= m.Mask // belt and braces: strip any forbidden channel
+	if util < 0 {
+		return Empty, 0
+	}
+	return t, util
+}
+
+// Func adapts a pair of closures into a Valuation, for bidders that exist
+// only behind oracles (the situation Section 5 of the paper is written for:
+// the mechanism's decomposition never touches elementary values).
+type Func struct {
+	NumCh    int
+	ValueFn  func(Bundle) float64
+	DemandFn func([]float64) (Bundle, float64)
+}
+
+// NewFunc wraps value and demand functions as a Valuation. If demand is nil
+// and k ≤ 20, an exact brute-force oracle over 2^k bundles is substituted.
+func NewFunc(k int, value func(Bundle) float64, demand func([]float64) (Bundle, float64)) *Func {
+	f := &Func{NumCh: k, ValueFn: value, DemandFn: demand}
+	if demand == nil {
+		if k > 20 {
+			panic(fmt.Sprintf("valuation: NewFunc without demand oracle needs k ≤ 20, got %d", k))
+		}
+		f.DemandFn = func(prices []float64) (Bundle, float64) {
+			return bruteForceDemand(f, prices)
+		}
+	}
+	return f
+}
+
+// K implements Valuation.
+func (f *Func) K() int { return f.NumCh }
+
+// Value implements Valuation.
+func (f *Func) Value(t Bundle) float64 { return f.ValueFn(t) }
+
+// Demand implements Valuation.
+func (f *Func) Demand(prices []float64) (Bundle, float64) {
+	checkPrices(prices, f.NumCh)
+	return f.DemandFn(prices)
+}

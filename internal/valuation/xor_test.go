@@ -1,0 +1,216 @@
+package valuation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXORValue(t *testing.T) {
+	x := NewXOR(3, []Atom{
+		{Bundle: FromChannels(0), Value: 4},
+		{Bundle: FromChannels(0, 1), Value: 7},
+		{Bundle: FromChannels(2), Value: 5},
+	})
+	if x.K() != 3 {
+		t.Fatal("K wrong")
+	}
+	cases := []struct {
+		t    Bundle
+		want float64
+	}{
+		{Empty, 0},
+		{FromChannels(0), 4},
+		{FromChannels(0, 1), 7},
+		{FromChannels(0, 2), 5},
+		{Full(3), 7},
+		{FromChannels(1), 0},
+	}
+	for _, c := range cases {
+		if got := x.Value(c.t); got != c.want {
+			t.Errorf("Value(%v) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestXORDemand(t *testing.T) {
+	x := NewXOR(3, []Atom{
+		{Bundle: FromChannels(0), Value: 4},
+		{Bundle: FromChannels(0, 1), Value: 7},
+	})
+	// Prices 1,1,0: atom {0} nets 3, atom {0,1} nets 5 → {0,1}.
+	got, util := x.Demand([]float64{1, 1, 0})
+	if got != FromChannels(0, 1) || util != 5 {
+		t.Fatalf("Demand = %v util %g, want {0,1} util 5", got, util)
+	}
+	// Overpriced: empty.
+	got, util = x.Demand([]float64{10, 10, 10})
+	if got != Empty || util != 0 {
+		t.Fatalf("Demand = %v util %g, want empty 0", got, util)
+	}
+}
+
+// Property: the XOR demand oracle is exact against brute force.
+func TestQuickXORDemandExact(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(8)
+		var atoms []Atom
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			atoms = append(atoms, Atom{
+				Bundle: Bundle(rng.Intn(1 << uint(k))),
+				Value:  rng.Float64() * 10,
+			})
+		}
+		x := NewXOR(k, atoms)
+		prices := make([]float64, k)
+		for j := range prices {
+			prices[j] = rng.Float64() * 6
+		}
+		return oracleMatchesBruteForce(x, prices)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncWrapsOracle(t *testing.T) {
+	base := NewAdditive([]float64{2, 5})
+	f := NewFunc(2, base.Value, base.Demand)
+	if f.K() != 2 || f.Value(FromChannels(1)) != 5 {
+		t.Fatal("Func forwarding broken")
+	}
+	got, util := f.Demand([]float64{1, 1})
+	wantB, wantU := base.Demand([]float64{1, 1})
+	if got != wantB || util != wantU {
+		t.Fatal("Func demand mismatch")
+	}
+}
+
+func TestFuncBruteForceFallback(t *testing.T) {
+	// A non-monotone value function with no oracle: the fallback must find
+	// the exact optimum.
+	value := func(t Bundle) float64 {
+		if t == FromChannels(1) {
+			return 9
+		}
+		if t == Full(3) {
+			return 4
+		}
+		return 0
+	}
+	f := NewFunc(3, value, nil)
+	got, util := f.Demand([]float64{1, 1, 1})
+	if got != FromChannels(1) || math.Abs(util-8) > 1e-12 {
+		t.Fatalf("Demand = %v util %g, want {1} util 8", got, util)
+	}
+}
+
+func TestMaskedValue(t *testing.T) {
+	base := NewAdditive([]float64{3, 5, 7})
+	m := NewMasked(base, FromChannels(0, 2)) // channel 1 forbidden
+	if m.K() != 3 {
+		t.Fatal("K wrong")
+	}
+	if v := m.Value(Full(3)); v != 10 {
+		t.Fatalf("Value(full) = %g, want 10 (channel 1 masked)", v)
+	}
+	if v := m.Value(FromChannels(1)); v != 0 {
+		t.Fatalf("Value(forbidden) = %g, want 0", v)
+	}
+}
+
+func TestMaskedDemandAvoidsForbidden(t *testing.T) {
+	base := NewAdditive([]float64{3, 100, 7})
+	m := NewMasked(base, FromChannels(0, 2))
+	got, util := m.Demand([]float64{1, 0, 1})
+	if got.Has(1) {
+		t.Fatal("demand picked a forbidden channel")
+	}
+	if got != FromChannels(0, 2) || util != 8 {
+		t.Fatalf("Demand = %v util %g, want {0,2} util 8", got, util)
+	}
+}
+
+// Property: the masked oracle is exact — it matches brute force over the
+// masked value function, for every base valuation class.
+func TestQuickMaskedDemandExact(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(7)
+		mask := Bundle(rng.Intn(1 << uint(k)))
+		bases := []Valuation{
+			RandomAdditive(rng, k, 0, 10),
+			RandomUnitDemand(rng, k, 0, 10),
+			RandomSingleMinded(rng, k, 1+rng.Intn(k), 1, 5),
+			RandomCoverage(rng, k, 8, 0.4, 0, 5),
+		}
+		prices := make([]float64, k)
+		for j := range prices {
+			prices[j] = rng.Float64() * 6
+		}
+		for _, b := range bases {
+			if !oracleMatchesBruteForce(NewMasked(b, mask), prices) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	base := NewAdditive([]float64{2, 4})
+	s := NewScaled(base, 3)
+	if s.K() != 2 || s.Value(Full(2)) != 18 {
+		t.Fatal("Scaled value wrong")
+	}
+	got, util := s.Demand([]float64{3, 3})
+	// Scaled values 6, 12 at prices 3,3 → take both, utility 12.
+	if got != Full(2) || util != 12 {
+		t.Fatalf("Demand = %v util %g, want full util 12", got, util)
+	}
+	zero := NewScaled(base, 0)
+	if got, util := zero.Demand([]float64{0, 0}); got != Empty || util != 0 {
+		t.Fatal("zero scale must demand nothing")
+	}
+}
+
+// Property: the scaled oracle is exact against brute force.
+func TestQuickScaledDemandExact(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(7)
+		base := RandomAdditive(rng, k, 0, 10)
+		s := NewScaled(base, rng.Float64()*4)
+		prices := make([]float64, k)
+		for j := range prices {
+			prices[j] = rng.Float64() * 8
+		}
+		return oracleMatchesBruteForce(s, prices)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScaled(NewAdditive([]float64{1}), -1)
+}
+
+func TestFuncPanicsWithoutOracleLargeK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFunc(30, func(Bundle) float64 { return 0 }, nil)
+}
