@@ -27,6 +27,52 @@ import (
 	"repro/internal/valuation"
 )
 
+// benchRunner regenerates every quick experiment table per iteration on a
+// pool of the given width; jobs=1 is the fully serial baseline, jobs=0 uses
+// GOMAXPROCS. Comparing the two measures the end-to-end speedup of the
+// parallel experiment engine.
+func benchRunner(b *testing.B, jobs int) {
+	exp.SetTrialWorkers(jobs)
+	defer exp.SetTrialWorkers(0)
+	r := exp.Runner{Jobs: jobs, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, out := range r.Run(exp.All) {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkAllExperimentsSerial(b *testing.B)   { benchRunner(b, 1) }
+func BenchmarkAllExperimentsParallel(b *testing.B) { benchRunner(b, 0) }
+
+// benchParallelTrials measures the trial-level fan-out helper itself on the
+// A2-shaped workload: repeated randomized roundings of one LP solution.
+func benchParallelTrials(b *testing.B, workers int) {
+	in := benchInstance(21, 32, 4)
+	sol, err := in.SolveLP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp.SetTrialWorkers(workers)
+	defer exp.SetTrialWorkers(0)
+	welfares := make([]float64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.ParallelTrials(1, len(welfares), func(t int, rng *rand.Rand) {
+			a, _ := in.RoundOnce(sol, rng)
+			welfares[t] = a.Welfare(in.Bidders)
+		})
+	}
+}
+
+func BenchmarkParallelTrialsSerial(b *testing.B)   { benchParallelTrials(b, 1) }
+func BenchmarkParallelTrialsParallel(b *testing.B) { benchParallelTrials(b, 0) }
+
 // benchExperiment runs one experiment table per iteration.
 func benchExperiment(b *testing.B, id string) {
 	e := exp.Find(id)

@@ -2,26 +2,107 @@
 //
 // Usage:
 //
-//	auctionsim [-quick] [-run E1,E5,...]
+//	auctionsim [-quick] [-run E1,E5,...] [-jobs N] [-markdown | -json]
 //
-// Without -run, all experiments are executed in order.
+// Without -run, all experiments are executed in order. Experiments run
+// concurrently on a worker pool of -jobs goroutines (default: GOMAXPROCS);
+// output is always emitted in experiment order and is byte-identical to a
+// serial (-jobs 1) run. Per-experiment progress streams to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/serialize"
 )
+
+// timeUnit is the rounding granularity for reported durations.
+const timeUnit = time.Millisecond
+
+// selectExperiments resolves a comma-separated id list against the registry.
+// An empty spec selects every experiment in registry order.
+func selectExperiments(spec string) ([]exp.Experiment, error) {
+	if spec == "" {
+		return exp.All, nil
+	}
+	var selected []exp.Experiment
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e := exp.Find(id)
+		if e == nil {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		selected = append(selected, *e)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("empty experiment selection %q", spec)
+	}
+	return selected, nil
+}
+
+// run executes the selected experiments and writes the chosen output format
+// to stdout, streaming progress to stderr. Split from main for testability.
+func run(stdout, stderr io.Writer, spec string, quick bool, jobs int, markdown, asJSON bool) error {
+	selected, err := selectExperiments(spec)
+	if err != nil {
+		return err
+	}
+	exp.SetTrialWorkers(jobs)
+	runner := exp.Runner{
+		Jobs:  jobs,
+		Quick: quick,
+		OnStart: func(e exp.Experiment) {
+			fmt.Fprintf(stderr, "auctionsim: [%s] running — %s\n", e.ID, e.Title)
+		},
+	}
+	// The stream is always drained: a failing experiment is reported as it
+	// fails, the remaining tables still print, and the Runner's goroutines
+	// all finish before run returns.
+	failed := 0
+	rec := &serialize.RunRecord{FormatVersion: 1, Quick: quick, Jobs: runner.Jobs}
+	for out := range runner.Stream(selected) {
+		if out.Err != nil {
+			failed++
+			fmt.Fprintf(stderr, "auctionsim: %v\n", out.Err)
+			continue
+		}
+		switch {
+		case asJSON:
+			rec.Tables = append(rec.Tables, serialize.EncodeTable(out.Table, out.Duration))
+		case markdown:
+			fmt.Fprintln(stdout, out.Table.Markdown())
+		default:
+			fmt.Fprintln(stdout, out.Table.Render())
+		}
+		fmt.Fprintf(stderr, "auctionsim: [%s] done in %v\n",
+			out.Experiment.ID, out.Duration.Round(timeUnit))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	if asJSON {
+		return serialize.WriteRun(stdout, rec)
+	}
+	return nil
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads")
-	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	runSpec := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored Markdown tables")
+	asJSON := flag.Bool("json", false, "emit one JSON document with all tables")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker pool size (1 = fully serial)")
 	flag.Parse()
 
 	if *list {
@@ -30,30 +111,12 @@ func main() {
 		}
 		return
 	}
-
-	var selected []exp.Experiment
-	if *run == "" {
-		selected = exp.All
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			id = strings.TrimSpace(id)
-			e := exp.Find(id)
-			if e == nil {
-				fmt.Fprintf(os.Stderr, "auctionsim: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, *e)
-		}
+	if *markdown && *asJSON {
+		fmt.Fprintln(os.Stderr, "auctionsim: -markdown and -json are mutually exclusive")
+		os.Exit(2)
 	}
-
-	for _, e := range selected {
-		start := time.Now()
-		table := e.Run(*quick)
-		if *markdown {
-			fmt.Println(table.Markdown())
-		} else {
-			fmt.Println(table.Render())
-			fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
+	if err := run(os.Stdout, os.Stderr, *runSpec, *quick, *jobs, *markdown, *asJSON); err != nil {
+		fmt.Fprintf(os.Stderr, "auctionsim: %v\n", err)
+		os.Exit(2)
 	}
 }

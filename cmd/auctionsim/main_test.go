@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/serialize"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	selected, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != len(exp.All) {
+		t.Fatalf("empty spec selected %d experiments, want %d", len(selected), len(exp.All))
+	}
+}
+
+func TestSelectExperimentsSubset(t *testing.T) {
+	selected, err := selectExperiments(" E1, A2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selected) != 2 || selected[0].ID != "E1" || selected[1].ID != "A2" {
+		t.Fatalf("unexpected selection %+v", selected)
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	if _, err := selectExperiments("E1,E99"); err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("expected an error naming E99, got %v", err)
+	}
+	if _, err := selectExperiments(","); err == nil {
+		t.Fatal("expected an error for an empty selection")
+	}
+}
+
+// TestRunJSON drives the full CLI path for one cheap experiment and checks
+// the -json document parses back with the right shape.
+func TestRunJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(&stdout, &stderr, "A2", true, 2, false, true); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := serialize.ReadRun(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tables) != 1 || rec.Tables[0].ID != "A2" || len(rec.Tables[0].Rows) == 0 {
+		t.Fatalf("unexpected run record %+v", rec)
+	}
+	if !strings.Contains(stderr.String(), "[A2] running") {
+		t.Fatalf("missing progress line in stderr: %q", stderr.String())
+	}
+}
+
+// TestRunUnknownID checks the error path surfaces the offending id.
+func TestRunUnknownID(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run(&stdout, &stderr, "Z9", true, 1, false, false)
+	if err == nil || !strings.Contains(err.Error(), "Z9") {
+		t.Fatalf("expected an error naming Z9, got %v", err)
+	}
+}

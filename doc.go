@@ -13,7 +13,9 @@
 // and EXPERIMENTS.md for the claim-by-claim reproduction record. This root
 // package holds the repository-level test and benchmark harness:
 //
-//	go test ./...                # full suite
-//	go test -bench=. -benchmem . # one benchmark per experiment table
-//	go run ./cmd/auctionsim      # regenerate every experiment table
+//	go test ./...                 # full suite
+//	go test -bench=. -benchmem .  # one benchmark per experiment table,
+//	                              # plus serial-vs-parallel engine benchmarks
+//	go run ./cmd/auctionsim       # regenerate every experiment table
+//	                              # (concurrently; -jobs 1 for serial)
 package repro

@@ -154,11 +154,17 @@ func A2(quick bool) *Table {
 		samples = []int{1, 10}
 	}
 	for _, s := range samples {
-		rng := rand.New(rand.NewSource(1))
-		best := 0.0
-		for i := 0; i < s; i++ {
+		// Each rounding sample is an independent trial with its own
+		// deterministically-seeded generator, so sample i of "best of 25"
+		// equals sample i of "best of 100" at any worker count.
+		welfares := make([]float64, s)
+		ParallelTrials(1, s, func(i int, rng *rand.Rand) {
 			a, _ := in.RoundOnce(sol, rng)
-			if w := a.Welfare(in.Bidders); w > best {
+			welfares[i] = a.Welfare(in.Bidders)
+		})
+		best := 0.0
+		for _, w := range welfares {
+			if w > best {
 				best = w
 			}
 		}
@@ -188,7 +194,9 @@ func A3(quick bool) *Table {
 		seeds = seeds[:2]
 		n = 10
 	}
-	for _, seed := range seeds {
+	rows := make([][]string, len(seeds))
+	ParallelTrials(0, len(seeds), func(i int, _ *rand.Rand) {
+		seed := seeds[i]
 		in := protocolInstance(seed, n, 1, 1.0)
 		_, opt := baseline.ExactOPT(in)
 		res, err := auction.Solve(in, auction.Options{Derandomize: true})
@@ -200,8 +208,11 @@ func A3(quick bool) *Table {
 			panic(err)
 		}
 		greedy := baseline.Greedy(in).Welfare(in.Bidders)
-		t.AddRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", n),
-			f2(opt), f2(res.Welfare), f2(lrVal), f2(greedy))
+		rows[i] = []string{fmt.Sprintf("%d", seed), fmt.Sprintf("%d", n),
+			f2(opt), f2(res.Welfare), f2(lrVal), f2(greedy)}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	return t
 }

@@ -33,11 +33,14 @@ func E1(quick bool) *Table {
 	}
 	delta := 1.0
 	for _, k := range ks {
-		var ratios, bs, ws stats.Sample
-		var rho float64
-		for _, seed := range seeds {
+		k := k
+		// One Monte-Carlo trial per seed; each writes into its own slot so the
+		// aggregation below is independent of trial interleaving.
+		type trial struct{ rho, lp, welfare float64 }
+		trials := make([]trial, len(seeds))
+		ParallelTrials(0, len(seeds), func(i int, _ *rand.Rand) {
+			seed := seeds[i]
 			in := protocolInstance(seed, n, k, delta)
-			rho = in.Conf.RhoBound
 			res, err := auction.Solve(in, auction.Options{Seed: seed, Samples: 20, Derandomize: false})
 			if err != nil {
 				panic(err)
@@ -46,9 +49,15 @@ func E1(quick bool) *Table {
 			if w := der.Welfare(in.Bidders); w > res.Welfare {
 				res.Welfare = w
 			}
-			ratios.Add(ratio(res.LP.Value, res.Welfare))
-			bs.Add(res.LP.Value)
-			ws.Add(res.Welfare)
+			trials[i] = trial{in.Conf.RhoBound, res.LP.Value, res.Welfare}
+		})
+		var ratios, bs, ws stats.Sample
+		var rho float64
+		for _, tr := range trials {
+			rho = tr.rho
+			ratios.Add(ratio(tr.lp, tr.welfare))
+			bs.Add(tr.lp)
+			ws.Add(tr.welfare)
 		}
 		bound := 8 * math.Sqrt(float64(k)) * rho
 		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", n), f2(rho),
@@ -76,34 +85,38 @@ func E7(quick bool) *Table {
 	if quick {
 		ns = []int{8}
 	}
-	for _, n := range ns {
-		// Clique, k=1, unit values: OPT = 1.
-		conf := models.CliqueConflict(n)
-		vals := make([]valuation.Valuation, n)
-		for i := range vals {
-			vals[i] = valuation.NewAdditive([]float64{1})
-		}
-		in, err := auction.NewInstance(conf, 1, vals)
-		if err != nil {
-			panic(err)
-		}
-		_, opt := baseline.ExactOPT(in)
-		_, _, edgeBound, err := baseline.EdgeLP(in)
-		if err != nil {
-			panic(err)
-		}
-		res, err := auction.Solve(in, auction.Options{Derandomize: true})
-		if err != nil {
-			panic(err)
-		}
-		greedy := baseline.Greedy(in).Welfare(in.Bidders)
-		rnd := baseline.Random(in, rand.New(rand.NewSource(7))).Welfare(in.Bidders)
-		t.AddRow("clique", fmt.Sprintf("%d", n), f2(opt), f2(edgeBound),
-			f2(res.LP.Value), f2(res.Welfare), f2(greedy), f2(rnd))
+	// Each (graph kind, n) pair is an independent trial producing one row.
+	type cfg struct {
+		kind string
+		n    int
 	}
-	// Protocol-model instance, k=1, mixed values.
+	var cfgs []cfg
 	for _, n := range ns {
-		in := protocolInstance(int64(n), n, 1, 1.0)
+		cfgs = append(cfgs, cfg{"clique", n})
+	}
+	for _, n := range ns {
+		cfgs = append(cfgs, cfg{"protocol", n})
+	}
+	rows := make([][]string, len(cfgs))
+	ParallelTrials(7, len(cfgs), func(i int, _ *rand.Rand) {
+		c := cfgs[i]
+		var in *auction.Instance
+		if c.kind == "clique" {
+			// Clique, k=1, unit values: OPT = 1.
+			conf := models.CliqueConflict(c.n)
+			vals := make([]valuation.Valuation, c.n)
+			for j := range vals {
+				vals[j] = valuation.NewAdditive([]float64{1})
+			}
+			var err error
+			in, err = auction.NewInstance(conf, 1, vals)
+			if err != nil {
+				panic(err)
+			}
+		} else {
+			// Protocol-model instance, k=1, mixed values.
+			in = protocolInstance(int64(c.n), c.n, 1, 1.0)
+		}
 		_, opt := baseline.ExactOPT(in)
 		_, _, edgeBound, err := baseline.EdgeLP(in)
 		if err != nil {
@@ -115,8 +128,11 @@ func E7(quick bool) *Table {
 		}
 		greedy := baseline.Greedy(in).Welfare(in.Bidders)
 		rnd := baseline.Random(in, rand.New(rand.NewSource(7))).Welfare(in.Bidders)
-		t.AddRow("protocol", fmt.Sprintf("%d", n), f2(opt), f2(edgeBound),
-			f2(res.LP.Value), f2(res.Welfare), f2(greedy), f2(rnd))
+		rows[i] = []string{c.kind, fmt.Sprintf("%d", c.n), f2(opt), f2(edgeBound),
+			f2(res.LP.Value), f2(res.Welfare), f2(greedy), f2(rnd)}
+	})
+	for _, r := range rows {
+		t.AddRow(r...)
 	}
 	t.Notes = append(t.Notes,
 		"on the clique, edge LP reports n/2 although OPT=1 — the n/2 integrality gap of Section 2.1",
@@ -137,19 +153,20 @@ func E10(quick bool) *Table {
 		Claim:  "ratio scales with ρ for k=1 (Thm 5) and with √k for ρ=1 (Thm 6); never exceeds the proven bound",
 		Header: []string{"regime", "param", "n", "OPT", "welfare", "OPT/welfare", "bound"},
 	}
-	rng := rand.New(rand.NewSource(11))
 	degrees := []int{2, 4, 6}
 	n := 14
 	if quick {
 		degrees = []int{3}
 		n = 10
 	}
-	for _, d := range degrees {
+	thm5 := make([][]string, len(degrees))
+	ParallelTrials(11, len(degrees), func(i int, rng *rand.Rand) {
+		d := degrees[i]
 		g := graph.RandomBoundedDegree(rng, n, d, n*d*2)
 		conf := models.BoundedDegreeConflict(g)
 		vals := make([]valuation.Valuation, n)
-		for i := range vals {
-			vals[i] = valuation.NewAdditive([]float64{1})
+		for j := range vals {
+			vals[j] = valuation.NewAdditive([]float64{1})
 		}
 		in, err := auction.NewInstance(conf, 1, vals)
 		if err != nil {
@@ -164,22 +181,27 @@ func E10(quick bool) *Table {
 		if w := der.Welfare(in.Bidders); w > res.Welfare {
 			res.Welfare = w
 		}
-		t.AddRow("Thm5 k=1", fmt.Sprintf("d=%d rho=%.0f", d, conf.RhoBound),
+		thm5[i] = []string{"Thm5 k=1", fmt.Sprintf("d=%d rho=%.0f", d, conf.RhoBound),
 			fmt.Sprintf("%d", n), f2(opt), f2(res.Welfare),
-			f2(ratio(opt, res.Welfare)), f2(8*conf.RhoBound))
+			f2(ratio(opt, res.Welfare)), f2(8 * conf.RhoBound)}
+	})
+	for _, r := range thm5 {
+		t.AddRow(r...)
 	}
 	ks := []int{4, 9}
 	if quick {
 		ks = []int{4}
 	}
-	for _, k := range ks {
+	thm6 := make([][]string, len(ks))
+	ParallelTrials(0, len(ks), func(i int, _ *rand.Rand) {
+		k := ks[i]
 		nn := 8
 		conf := models.CliqueConflict(nn)
 		size := int(math.Sqrt(float64(k)))
 		vals := make([]valuation.Valuation, nn)
 		r2 := rand.New(rand.NewSource(int64(k)))
-		for i := range vals {
-			vals[i] = valuation.RandomSingleMinded(r2, k, size, 1, 2)
+		for j := range vals {
+			vals[j] = valuation.RandomSingleMinded(r2, k, size, 1, 2)
 		}
 		in, err := auction.NewInstance(conf, k, vals)
 		if err != nil {
@@ -194,9 +216,12 @@ func E10(quick bool) *Table {
 		if w := der.Welfare(in.Bidders); w > res.Welfare {
 			res.Welfare = w
 		}
-		t.AddRow("Thm6 rho=1", fmt.Sprintf("k=%d", k),
+		thm6[i] = []string{"Thm6 rho=1", fmt.Sprintf("k=%d", k),
 			fmt.Sprintf("%d", nn), f2(opt), f2(res.Welfare),
-			f2(ratio(opt, res.Welfare)), f2(8*math.Sqrt(float64(k))))
+			f2(ratio(opt, res.Welfare)), f2(8 * math.Sqrt(float64(k)))}
+	})
+	for _, r := range thm6 {
+		t.AddRow(r...)
 	}
 	return t
 }
@@ -226,10 +251,14 @@ func E11(quick bool) *Table {
 		seeds = seeds[:2]
 	}
 	for _, c := range cfgs {
-		var sumLPGap, sumWGap float64
-		var worstLPGap float64
-		cnt := 0
-		for _, seed := range seeds {
+		c := c
+		type trial struct {
+			lpGap, wGap float64
+			ok          bool
+		}
+		trials := make([]trial, len(seeds))
+		ParallelTrials(0, len(seeds), func(i int, _ *rand.Rand) {
+			seed := seeds[i]
 			var in *auction.Instance
 			switch c.model {
 			case "disk":
@@ -248,7 +277,7 @@ func E11(quick bool) *Table {
 			}
 			_, opt := baseline.ExactOPT(in)
 			if opt <= 0 {
-				continue
+				return
 			}
 			res, err := auction.Solve(in, auction.Options{Seed: seed, Samples: 30})
 			if err != nil {
@@ -258,12 +287,20 @@ func E11(quick bool) *Table {
 			if w := der.Welfare(in.Bidders); w > res.Welfare {
 				res.Welfare = w
 			}
-			lpGap := ratio(res.LP.Value, opt)
-			if lpGap > worstLPGap {
-				worstLPGap = lpGap
+			trials[i] = trial{ratio(res.LP.Value, opt), ratio(res.Welfare, opt), true}
+		})
+		var sumLPGap, sumWGap float64
+		var worstLPGap float64
+		cnt := 0
+		for _, tr := range trials {
+			if !tr.ok {
+				continue
 			}
-			sumLPGap += lpGap
-			sumWGap += ratio(res.Welfare, opt)
+			if tr.lpGap > worstLPGap {
+				worstLPGap = tr.lpGap
+			}
+			sumLPGap += tr.lpGap
+			sumWGap += tr.wGap
 			cnt++
 		}
 		if cnt == 0 {

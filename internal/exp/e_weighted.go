@@ -34,12 +34,15 @@ func E2(quick bool) *Table {
 		seeds = seeds[:1]
 	}
 	for _, n := range ns {
-		var ratios, bs, ws stats.Sample
-		var rhoBound float64
-		maxIters := 0
-		for _, seed := range seeds {
+		n := n
+		type trial struct {
+			rho, lp, welfare float64
+			iters            int
+		}
+		trials := make([]trial, len(seeds))
+		ParallelTrials(0, len(seeds), func(i int, _ *rand.Rand) {
+			seed := seeds[i]
 			in, _ := sinrInstance(seed*1000+int64(n), n, k, models.UniformPower)
-			rhoBound = in.Conf.RhoBound
 			res, err := auction.Solve(in, auction.Options{Seed: seed, Samples: 15})
 			if err != nil {
 				panic(err)
@@ -49,12 +52,19 @@ func E2(quick bool) *Table {
 				res.Welfare = w
 				res.Alg3Iterations = derIters
 			}
-			if res.Alg3Iterations > maxIters {
-				maxIters = res.Alg3Iterations
+			trials[i] = trial{in.Conf.RhoBound, res.LP.Value, res.Welfare, res.Alg3Iterations}
+		})
+		var ratios, bs, ws stats.Sample
+		var rhoBound float64
+		maxIters := 0
+		for _, tr := range trials {
+			rhoBound = tr.rho
+			if tr.iters > maxIters {
+				maxIters = tr.iters
 			}
-			ratios.Add(ratio(res.LP.Value, res.Welfare))
-			bs.Add(res.LP.Value)
-			ws.Add(res.Welfare)
+			ratios.Add(ratio(tr.lp, tr.welfare))
+			bs.Add(tr.lp)
+			ws.Add(tr.welfare)
 		}
 		logN := math.Ceil(math.Log2(float64(n)))
 		bound := 16 * math.Sqrt(float64(k)) * rhoBound * logN

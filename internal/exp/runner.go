@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome is the result of running one experiment: the rendered table, the
+// wall-clock cost, and any failure (experiment panics are converted into
+// errors instead of crashing the whole run).
+type Outcome struct {
+	Experiment Experiment
+	Table      *Table
+	Duration   time.Duration
+	Err        error
+}
+
+// Runner executes a list of experiments on a bounded worker pool. Results
+// are always delivered in input order, so a parallel run renders the same
+// byte stream as a serial one; only the wall clock changes.
+type Runner struct {
+	// Jobs is the worker pool size; values <= 0 mean runtime.GOMAXPROCS(0).
+	Jobs int
+	// Quick is passed through to each experiment's Run.
+	Quick bool
+	// OnStart, when non-nil, is called from the worker goroutine as each
+	// experiment begins. It must be safe for concurrent use.
+	OnStart func(e Experiment)
+}
+
+func (r *Runner) jobs() int {
+	if r.Jobs > 0 {
+		return r.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stream launches the experiments and returns a channel yielding one Outcome
+// per experiment in input order. Each outcome is delivered as soon as it and
+// all its predecessors have finished, so a consumer can print experiment i
+// while experiment i+1 is still computing.
+func (r *Runner) Stream(experiments []Experiment) <-chan Outcome {
+	slots := make([]chan Outcome, len(experiments))
+	for i := range slots {
+		slots[i] = make(chan Outcome, 1)
+	}
+	sem := make(chan struct{}, r.jobs())
+	for i, e := range experiments {
+		i, e := i, e
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			busyWorkers.Add(1)
+			defer busyWorkers.Add(-1)
+			if r.OnStart != nil {
+				r.OnStart(e)
+			}
+			start := time.Now()
+			out := Outcome{Experiment: e}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						out.Err = fmt.Errorf("experiment %s: %v", e.ID, p)
+					}
+				}()
+				out.Table = e.Run(r.Quick)
+			}()
+			out.Duration = time.Since(start)
+			slots[i] <- out
+		}()
+	}
+	// Buffered to len(experiments) so the forwarding goroutine always
+	// terminates even if the consumer abandons the channel early.
+	ordered := make(chan Outcome, len(experiments))
+	go func() {
+		defer close(ordered)
+		for i := range slots {
+			ordered <- <-slots[i]
+		}
+	}()
+	return ordered
+}
+
+// Run executes the experiments and returns all outcomes in input order.
+func (r *Runner) Run(experiments []Experiment) []Outcome {
+	outs := make([]Outcome, 0, len(experiments))
+	for out := range r.Stream(experiments) {
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// trialWorkers is the shared worker budget for the package: a cap on
+// concurrently busy goroutines counted across the Runner's experiment pool
+// and ParallelTrials' fan-out together, so nesting trials inside runner
+// workers cannot oversubscribe to jobs². 0 means runtime.GOMAXPROCS(0).
+var trialWorkers atomic.Int32
+
+// busyWorkers counts goroutines currently charged against the budget:
+// running experiments plus extra trial workers.
+var busyWorkers atomic.Int32
+
+// SetTrialWorkers sets the shared worker budget. n <= 0 restores the
+// default (runtime.GOMAXPROCS(0)). n == 1 forces ParallelTrials to run
+// serially in index order, which is useful for determinism checks: the
+// aggregate result must be identical either way.
+func SetTrialWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	trialWorkers.Store(int32(n))
+}
+
+func workerBudget() int {
+	if b := int(trialWorkers.Load()); b > 0 {
+		return b
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// reserveTrialWorker admits one extra trial goroutine if the budget has
+// room beyond the already-busy workers and the (uncharged) caller.
+func reserveTrialWorker() bool {
+	for {
+		cur := busyWorkers.Load()
+		if int(cur) >= workerBudget()-1 {
+			return false
+		}
+		if busyWorkers.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// ParallelTrials runs n independent Monte-Carlo trials, fanning them across
+// a bounded set of goroutines. Trial i receives its own generator seeded
+// rand.NewSource(seed+i), so the work done by a trial is independent of how
+// trials are interleaved: callers that write trial results into an
+// index-addressed slice and aggregate after ParallelTrials returns produce
+// byte-identical output at any worker count.
+//
+// The calling goroutine always executes trials itself; extra workers join
+// only while the shared budget (SetTrialWorkers) has headroom over the
+// experiments and trials already in flight, so trial fan-out nested inside
+// a busy Runner degrades gracefully to inline execution instead of
+// multiplying the pools.
+//
+// A panic inside fn is captured and re-raised on the calling goroutine after
+// the remaining workers drain, preserving the panic-on-error convention of
+// the experiment bodies.
+func ParallelTrials(seed int64, n int, fn func(trial int, rng *rand.Rand)) {
+	if n <= 0 {
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	runTrial := func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = p
+				}
+				panicMu.Unlock()
+				next.Store(int64(n)) // stop handing out further trials
+			}
+		}()
+		fn(i, rand.New(rand.NewSource(seed+int64(i))))
+	}
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			runTrial(i)
+		}
+	}
+	for extras := 0; extras < n-1 && reserveTrialWorker(); extras++ {
+		wg.Add(1)
+		go func() {
+			defer busyWorkers.Add(-1)
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParallelTrialsDeterministic checks the core seeding contract: a trial
+// sees the generator rand.NewSource(seed+trial) no matter how many workers
+// run, so index-addressed results are identical at any worker count.
+func TestParallelTrialsDeterministic(t *testing.T) {
+	defer SetTrialWorkers(0)
+	for _, seed := range []int64{1, 42, 1000} {
+		const n = 64
+		run := func(workers int) []float64 {
+			SetTrialWorkers(workers)
+			out := make([]float64, n)
+			ParallelTrials(seed, n, func(i int, rng *rand.Rand) {
+				out[i] = rng.Float64() + float64(i)*rng.NormFloat64()
+			})
+			return out
+		}
+		serial := run(1)
+		for _, workers := range []int{2, 8} {
+			parallel := run(workers)
+			for i := range serial {
+				if serial[i] != parallel[i] {
+					t.Fatalf("seed %d workers %d: trial %d differs: serial %v parallel %v",
+						seed, workers, i, serial[i], parallel[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelTrialsPanic checks a trial panic re-raises on the caller.
+func TestParallelTrialsPanic(t *testing.T) {
+	defer SetTrialWorkers(0)
+	SetTrialWorkers(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	ParallelTrials(0, 16, func(i int, _ *rand.Rand) {
+		if i == 7 {
+			panic("trial failure")
+		}
+	})
+}
+
+// TestRunnerMatchesSerial is the headline determinism check: for the
+// Monte-Carlo experiments whose inner loops were parallelized, the table a
+// parallel run renders must be byte-identical to the serial one.
+func TestRunnerMatchesSerial(t *testing.T) {
+	defer SetTrialWorkers(0)
+	for _, id := range []string{"E1", "E2", "A2"} {
+		e := Find(id)
+		if e == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		render := func(jobs int) string {
+			SetTrialWorkers(jobs)
+			r := Runner{Jobs: jobs, Quick: true}
+			outs := r.Run([]Experiment{*e})
+			if len(outs) != 1 || outs[0].Err != nil {
+				t.Fatalf("%s jobs=%d: %v", id, jobs, outs)
+			}
+			return outs[0].Table.Render()
+		}
+		serial := render(1)
+		parallel := render(8)
+		if serial != parallel {
+			t.Errorf("%s: parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// TestRunnerOrderAndErrors checks outcomes arrive in input order, streaming
+// as predecessors finish, and that an experiment panic becomes Outcome.Err
+// without poisoning its neighbors.
+func TestRunnerOrderAndErrors(t *testing.T) {
+	mk := func(id string, fail bool) Experiment {
+		return Experiment{ID: id, Title: id, Run: func(quick bool) *Table {
+			if fail {
+				panic("boom")
+			}
+			return &Table{ID: id, Header: []string{"x"}, Rows: [][]string{{"1"}}}
+		}}
+	}
+	exps := []Experiment{mk("X1", false), mk("X2", true), mk("X3", false), mk("X4", false)}
+	r := Runner{Jobs: 4, Quick: true}
+	outs := r.Run(exps)
+	if len(outs) != len(exps) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(exps))
+	}
+	for i, out := range outs {
+		if out.Experiment.ID != exps[i].ID {
+			t.Fatalf("outcome %d is %s, want %s", i, out.Experiment.ID, exps[i].ID)
+		}
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "X2") {
+		t.Fatalf("X2 should fail with an identifying error, got %v", outs[1].Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if outs[i].Err != nil || outs[i].Table == nil {
+			t.Fatalf("outcome %d should succeed, got %+v", i, outs[i])
+		}
+	}
+}
+
+// TestRunnerOnStart checks the progress hook fires once per experiment.
+func TestRunnerOnStart(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	seen := map[string]int{}
+	exps := []Experiment{
+		{ID: "Y1", Run: func(bool) *Table { return &Table{ID: "Y1"} }},
+		{ID: "Y2", Run: func(bool) *Table { return &Table{ID: "Y2"} }},
+	}
+	r := Runner{Jobs: 2, OnStart: func(e Experiment) {
+		<-mu
+		seen[e.ID]++
+		mu <- struct{}{}
+	}}
+	r.Run(exps)
+	if seen["Y1"] != 1 || seen["Y2"] != 1 {
+		t.Fatalf("OnStart counts wrong: %v", seen)
+	}
+}

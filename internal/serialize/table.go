@@ -1,0 +1,83 @@
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// TableRecord is the JSON form of one experiment table, including the
+// wall-clock cost of producing it.
+type TableRecord struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	Millis int64      `json:"millis"`
+}
+
+// RunRecord is the JSON form of one auctionsim invocation: the run
+// configuration plus every produced table, in experiment order.
+type RunRecord struct {
+	FormatVersion int           `json:"format_version"`
+	Quick         bool          `json:"quick"`
+	Jobs          int           `json:"jobs"`
+	Tables        []TableRecord `json:"tables"`
+}
+
+// EncodeTable converts a rendered experiment table into its record form.
+func EncodeTable(t *exp.Table, d time.Duration) TableRecord {
+	return TableRecord{
+		ID:     t.ID,
+		Title:  t.Title,
+		Claim:  t.Claim,
+		Header: t.Header,
+		Rows:   t.Rows,
+		Notes:  t.Notes,
+		Millis: d.Milliseconds(),
+	}
+}
+
+// DecodeTable reconstructs the experiment table from its record form.
+func DecodeTable(r TableRecord) *exp.Table {
+	return &exp.Table{
+		ID:     r.ID,
+		Title:  r.Title,
+		Claim:  r.Claim,
+		Header: r.Header,
+		Rows:   r.Rows,
+		Notes:  r.Notes,
+	}
+}
+
+// WriteRun marshals a run record as indented JSON to w.
+func WriteRun(w io.Writer, rec *RunRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// ReadRun unmarshals a run record from r and validates its shape.
+func ReadRun(r io.Reader) (*RunRecord, error) {
+	var rec RunRecord
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("serialize: decode run: %w", err)
+	}
+	if rec.FormatVersion != 1 {
+		return nil, fmt.Errorf("serialize: unsupported run format version %d", rec.FormatVersion)
+	}
+	for _, t := range rec.Tables {
+		for _, row := range t.Rows {
+			if len(row) != len(t.Header) {
+				return nil, fmt.Errorf("serialize: table %s: row has %d cells, header has %d",
+					t.ID, len(row), len(t.Header))
+			}
+		}
+	}
+	return &rec, nil
+}

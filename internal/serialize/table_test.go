@@ -1,0 +1,63 @@
+package serialize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func sampleTable() *exp.Table {
+	return &exp.Table{
+		ID:     "E1",
+		Title:  "sample",
+		Claim:  "claim text",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestRunRecordRoundTrip(t *testing.T) {
+	rec := &RunRecord{
+		FormatVersion: 1,
+		Quick:         true,
+		Jobs:          4,
+		Tables:        []TableRecord{EncodeTable(sampleTable(), 1500*time.Millisecond)},
+	}
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Quick || got.Jobs != 4 || len(got.Tables) != 1 {
+		t.Fatalf("round trip lost run config: %+v", got)
+	}
+	tr := got.Tables[0]
+	if tr.ID != "E1" || tr.Millis != 1500 || len(tr.Rows) != 2 {
+		t.Fatalf("round trip lost table data: %+v", tr)
+	}
+	back := DecodeTable(tr)
+	if back.Render() != sampleTable().Render() {
+		t.Fatalf("decoded table renders differently:\n%s\nvs\n%s",
+			back.Render(), sampleTable().Render())
+	}
+}
+
+func TestReadRunRejectsBadShape(t *testing.T) {
+	if _, err := ReadRun(strings.NewReader(`{"format_version":2}`)); err == nil {
+		t.Fatal("expected version error")
+	}
+	bad := `{"format_version":1,"tables":[{"id":"E1","header":["a","b"],"rows":[["only-one"]]}]}`
+	if _, err := ReadRun(strings.NewReader(bad)); err == nil {
+		t.Fatal("expected row-shape error")
+	}
+	if _, err := ReadRun(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
