@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into the JSON
+// record used for the repository's perf trajectory (BENCH_<n>.json): one
+// entry per benchmark with ns/op and, when -benchmem was set, B/op and
+// allocs/op.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -label baseline > BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Record is the file layout of BENCH_<n>.json.
+type Record struct {
+	Label      string   `json:"label"`
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// parseLine decodes one benchmark result line; ok is false for any other
+// output line (headers, PASS, timing summary).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v := fields[i]
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return r, true
+}
+
+func main() {
+	label := flag.String("label", "dev", "label stored in the record (e.g. git revision or \"baseline\")")
+	flag.Parse()
+
+	rec := Record{Label: *label}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rec.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rec.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rec.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if r, ok := parseLine(line); ok {
+				rec.Benchmarks = append(rec.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

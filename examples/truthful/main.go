@@ -75,7 +75,7 @@ func main() {
 			scaled[j] = truth[0].(*valuation.Additive).V[j] * factor
 		}
 		reported[0] = valuation.NewAdditive(scaled)
-		in2 := &auction.Instance{Conf: conf, K: k, Bidders: reported}
+		in2 := in.WithBidders(reported)
 		out2, err := mechanism.Run(in2)
 		if err != nil {
 			log.Fatal(err)

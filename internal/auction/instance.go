@@ -22,6 +22,7 @@ package auction
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/models"
@@ -35,6 +36,11 @@ type Instance struct {
 	Conf    *models.Conflict
 	K       int
 	Bidders []valuation.Valuation
+
+	// sup lazily caches the conflict structure's support adjacency (see
+	// supports). Built at most once per instance; safe under the concurrent
+	// read-only use the rounding paths rely on.
+	sup atomic.Pointer[supportAdj]
 }
 
 // NewInstance validates and assembles an instance.
@@ -134,28 +140,73 @@ func (in *Instance) coef(u, v int) float64 {
 	return in.Conf.W.Wbar(u, v)
 }
 
-// backwardSupport returns vertices u with π(u) < π(v) and coef(u,v) > 0.
-func (in *Instance) backwardSupport(v int) []int {
-	var out []int
-	for u := 0; u < in.N(); u++ {
-		if u != v && in.Conf.Pi.Before(u, v) && in.coef(u, v) > 0 {
-			out = append(out, u)
+// supportAdj is the support adjacency of the conflict structure: for each
+// vertex v, the vertices with a positive LP coefficient before v in π
+// (back), after v (fwd), and both merged in ascending index order (sym).
+// It depends only on Conf, never on the valuations, so instances sharing a
+// conflict structure can share it (WithBidders).
+type supportAdj struct {
+	back, fwd, sym [][]int
+}
+
+// supports returns the cached support adjacency, building it on first use.
+// A concurrent duplicate build is benign: the structure is deterministic and
+// the first stored pointer wins.
+func (in *Instance) supports() *supportAdj {
+	if s := in.sup.Load(); s != nil {
+		return s
+	}
+	n := in.N()
+	s := &supportAdj{
+		back: make([][]int, n),
+		fwd:  make([][]int, n),
+		sym:  make([][]int, n),
+	}
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			switch {
+			case in.Conf.Pi.Before(u, v) && in.coef(u, v) > 0:
+				s.back[v] = append(s.back[v], u)
+				s.sym[v] = append(s.sym[v], u)
+			case in.Conf.Pi.Before(v, u) && in.coef(v, u) > 0:
+				s.fwd[v] = append(s.fwd[v], u)
+				s.sym[v] = append(s.sym[v], u)
+			}
 		}
 	}
+	if !in.sup.CompareAndSwap(nil, s) {
+		return in.sup.Load()
+	}
+	return s
+}
+
+// WithBidders returns an instance over the same conflict structure and
+// channel count but a different valuation profile, sharing the (possibly
+// already built) support adjacency cache. The mechanism's n+1 VCG sub-solves
+// use this to avoid rebuilding the O(n²) adjacency per sub-instance.
+func (in *Instance) WithBidders(bidders []valuation.Valuation) *Instance {
+	out := &Instance{Conf: in.Conf, K: in.K, Bidders: bidders}
+	out.sup.Store(in.supports())
 	return out
 }
 
+// backwardSupport returns vertices u with π(u) < π(v) and coef(u,v) > 0, in
+// ascending index order. The returned slice is shared; callers must not
+// modify it.
+func (in *Instance) backwardSupport(v int) []int { return in.supports().back[v] }
+
 // forwardSupport returns vertices w with π(v) < π(w) and coef(v,w) > 0,
-// i.e. the vertices whose constraints bidder v's columns appear in.
-func (in *Instance) forwardSupport(v int) []int {
-	var out []int
-	for w := 0; w < in.N(); w++ {
-		if w != v && in.Conf.Pi.Before(v, w) && in.coef(v, w) > 0 {
-			out = append(out, w)
-		}
-	}
-	return out
-}
+// i.e. the vertices whose constraints bidder v's columns appear in. The
+// returned slice is shared; callers must not modify it.
+func (in *Instance) forwardSupport(v int) []int { return in.supports().fwd[v] }
+
+// symSupport returns every vertex with a positive symmetric coefficient
+// against v, in ascending index order. The returned slice is shared; callers
+// must not modify it.
+func (in *Instance) symSupport(v int) []int { return in.supports().sym[v] }
 
 // ApproximationFactor returns the factor α the paper proves for this
 // instance class: 8√k·ρ for unweighted conflict graphs (Theorem 3) and

@@ -48,6 +48,10 @@ type lpBuilder struct {
 	numRows int
 	// back[v] caches backwardSupport(v); fwd[v] caches forwardSupport(v).
 	back, fwd [][]int
+	// colBuf and priceBuf are scratch buffers reused across column-generation
+	// rounds (one column's master coefficients; one bidder's channel prices).
+	colBuf   []float64
+	priceBuf []float64
 }
 
 func newLPBuilder(in *Instance) *lpBuilder {
@@ -58,6 +62,7 @@ func newLPBuilder(in *Instance) *lpBuilder {
 		capRow:    make([]int, n),
 		back:      make([][]int, n),
 		fwd:       make([][]int, n),
+		priceBuf:  make([]float64, k),
 	}
 	row := 0
 	for v := 0; v < n; v++ {
@@ -77,13 +82,43 @@ func newLPBuilder(in *Instance) *lpBuilder {
 		row++
 	}
 	b.numRows = row
+	b.colBuf = make([]float64, b.numRows)
 	return b
+}
+
+// columnCoefs writes column c's coefficient in every master row into the
+// shared scratch buffer and returns it. Column (u,T) appears in interference
+// row (v,j) for every forward vertex v of u and every channel j ∈ T, with
+// coefficient coef(u,v), and in u's capacity row with coefficient 1.
+func (b *lpBuilder) columnCoefs(c Column) []float64 {
+	in, k := b.in, b.in.K
+	buf := b.colBuf
+	for r := range buf {
+		buf[r] = 0
+	}
+	for _, v := range b.fwd[c.V] {
+		w := in.coef(c.V, v)
+		for _, j := range c.T.Channels() {
+			if r := b.interfRow[v*k+j]; r >= 0 {
+				buf[r] = w
+			}
+		}
+	}
+	buf[b.capRow[c.V]] = 1
+	return buf
+}
+
+// rhs returns the right-hand side of master row r: ρ for interference rows,
+// 1 for capacity rows.
+func (b *lpBuilder) rhs(r int) float64 {
+	if r < b.capRow[0] {
+		return b.in.Conf.RhoBound
+	}
+	return 1.0
 }
 
 // buildMaster assembles the restricted master LP over the given columns.
 func (b *lpBuilder) buildMaster(cols []Column) *lp.Problem {
-	in := b.in
-	k := in.K
 	obj := make([]float64, len(cols))
 	for i, c := range cols {
 		obj[i] = c.Value
@@ -94,34 +129,25 @@ func (b *lpBuilder) buildMaster(cols []Column) *lp.Problem {
 		rows[r] = make([]float64, len(cols))
 	}
 	for i, c := range cols {
-		// Interference rows: column (u,T) appears in row (v,j) for every
-		// forward vertex v of u and every channel j ∈ T, with coefficient
-		// coef(u,v).
-		for _, v := range b.fwd[c.V] {
-			w := in.coef(c.V, v)
-			for _, j := range c.T.Channels() {
-				if r := b.interfRow[v*k+j]; r >= 0 {
-					rows[r][i] = w
-				}
-			}
+		for r, w := range b.columnCoefs(c) {
+			rows[r][i] = w
 		}
-		rows[b.capRow[c.V]][i] = 1
 	}
 	for r := 0; r < b.numRows; r++ {
-		rhs := 1.0
-		if r < b.capRow[0] {
-			rhs = in.Conf.RhoBound
-		}
-		p.AddConstraint(rows[r], lp.LE, rhs)
+		p.AddConstraint(rows[r], lp.LE, b.rhs(r))
 	}
 	return p
 }
 
 // prices computes bidder v's bidder-specific channel prices from the duals:
-// p_{v,j} = Σ_{w: v ∈ Γπ(w)} coef(v,w) · y_{w,j}.
+// p_{v,j} = Σ_{w: v ∈ Γπ(w)} coef(v,w) · y_{w,j}. The returned slice is a
+// shared scratch buffer, valid until the next prices call.
 func (b *lpBuilder) prices(v int, dual []float64) []float64 {
 	k := b.in.K
-	p := make([]float64, k)
+	p := b.priceBuf
+	for j := range p {
+		p[j] = 0
+	}
 	for _, w := range b.fwd[v] {
 		c := b.in.coef(v, w)
 		for j := 0; j < k; j++ {
@@ -136,75 +162,210 @@ func (b *lpBuilder) prices(v int, dual []float64) []float64 {
 }
 
 // SolveLP computes the optimum of the LP relaxation by column generation
-// with the bidders' demand oracles.
+// with the bidders' demand oracles, warm-starting the master LP: the simplex
+// tableau lives across rounds and each round's new columns enter the basis
+// of the previous optimum (lp.Solver.AddColumn), so only the first round
+// pays a from-scratch solve.
 func (in *Instance) SolveLP() (*LPSolution, error) {
-	return in.solveLPWith(in.Bidders)
+	return in.solveLPWith(in.Bidders, nil)
 }
 
-// solveLPWith runs column generation for an alternative valuation profile
-// over the same conflict structure (used by the Lavi–Swamy decomposition,
-// which reprices columns with dual weights).
-func (in *Instance) solveLPWith(bidders []valuation.Valuation) (*LPSolution, error) {
+// SolveLPWarm runs warm-started column generation seeded with the given
+// columns (re-priced under the instance's bidders, deduplicated, empty
+// bundles skipped). Seeding with the column set of a related already-solved
+// instance — e.g. the full instance when solving the VCG sub-LPs with one
+// bidder zeroed — starts the restricted master near the optimum, typically
+// collapsing column generation to one or two rounds.
+func (in *Instance) SolveLPWarm(seed []Column) (*LPSolution, error) {
+	return in.solveLPWith(in.Bidders, seed)
+}
+
+// SolveLPCold computes the same optimum with the pre-warm-start reference
+// path: every round rebuilds the restricted master from scratch and re-runs
+// two-phase simplex. Kept for the warm-vs-cold equivalence tests and the E14
+// runtime comparison.
+func (in *Instance) SolveLPCold() (*LPSolution, error) {
 	b := newLPBuilder(in)
-	seen := make(map[colKey]bool)
-	var cols []Column
-
-	addCol := func(v int, t valuation.Bundle) bool {
-		if t == valuation.Empty {
-			return false
-		}
-		key := colKey{v, t}
-		if seen[key] {
-			return false
-		}
-		seen[key] = true
-		cols = append(cols, Column{V: v, T: t, Value: bidders[v].Value(t)})
-		return true
-	}
-
-	// Seed: each bidder's favorite bundle at zero prices.
-	zero := make([]float64, in.K)
-	for v := range bidders {
-		if t, util := bidders[v].Demand(zero); util > colGenTol {
-			addCol(v, t)
-		}
-	}
-	if len(cols) == 0 {
+	gen := newColGen(in.Bidders, b, nil)
+	gen.seedDemand()
+	if len(gen.cols) == 0 {
 		return &LPSolution{}, nil
 	}
-
 	var sol *lp.Solution
 	rounds := 0
 	for ; rounds < maxColGenRounds; rounds++ {
-		p := b.buildMaster(cols)
-		s, status, err := p.Solve()
+		s, status, err := b.buildMaster(gen.cols).Solve()
 		if err != nil {
 			return nil, fmt.Errorf("auction: master LP %v: %w", status, err)
 		}
 		sol = s
-		added := false
-		for v := range bidders {
-			prices := b.prices(v, s.Dual)
-			t, util := bidders[v].Demand(prices)
-			z := s.Dual[b.capRow[v]]
-			if util-z > colGenTol && addCol(v, t) {
-				added = true
-			}
-		}
-		if !added {
+		if gen.price(s, nil) == 0 {
 			break
 		}
 	}
+	return gen.solution(sol, rounds), nil
+}
+
+// solveLPWith runs warm-started column generation for an alternative
+// valuation profile over the same conflict structure (used by the Lavi–Swamy
+// decomposition, which reprices columns with dual weights), optionally
+// seeded with known-good columns.
+func (in *Instance) solveLPWith(bidders []valuation.Valuation, seed []Column) (*LPSolution, error) {
+	return in.NewMasterLP(bidders, seed).Solve(bidders)
+}
+
+// MasterLP keeps the restricted master of the LP relaxation alive across
+// related solves: the simplex tableau, its optimal basis, and the generated
+// column pool all persist. A re-solve under a modified valuation profile —
+// e.g. the VCG sub-LPs, which zero one bidder at a time — reprices the
+// existing columns in place (lp.Solver.SetObjective), re-optimizes from the
+// previous optimal basis, and resumes column generation from the pooled
+// columns instead of rediscovering them.
+type MasterLP struct {
+	in  *Instance
+	b   *lpBuilder
+	gen *colGen
+	slv *lp.Solver
+	obj []float64 // repricing scratch, one entry per pooled column
+}
+
+// NewMasterLP prepares a master for the instance, seeded with the given
+// columns (may be nil; they are re-priced, deduplicated, and empty bundles
+// skipped). No LP work happens until Solve.
+func (in *Instance) NewMasterLP(bidders []valuation.Valuation, seed []Column) *MasterLP {
+	b := newLPBuilder(in)
+	return &MasterLP{in: in, b: b, gen: newColGen(bidders, b, seed)}
+}
+
+// Solve optimizes the master under the given valuation profile, running
+// column generation with the profile's demand oracles until they certify
+// optimality. The first call builds the tableau (all master rows are ≤ with
+// non-negative rhs, so even that solve skips simplex phase 1); subsequent
+// calls warm-start from the current basis.
+func (m *MasterLP) Solve(bidders []valuation.Valuation) (*LPSolution, error) {
+	g := m.gen
+	g.bidders = bidders
+	for i := range g.cols {
+		g.cols[i].Value = bidders[g.cols[i].V].Value(g.cols[i].T)
+	}
+	if m.slv == nil {
+		// The pool may be empty for the profile that seeded it; give the
+		// current profile its zero-price favorites (a dedup no-op when the
+		// profiles agree).
+		g.seedDemand()
+		if len(g.cols) == 0 {
+			return &LPSolution{}, nil
+		}
+		m.slv = lp.NewSolver(m.b.buildMaster(g.cols))
+	} else {
+		m.obj = m.obj[:0]
+		for _, c := range g.cols {
+			m.obj = append(m.obj, c.Value)
+		}
+		m.slv.SetObjective(m.obj)
+	}
+	var sol *lp.Solution
+	rounds := 0
+	for ; rounds < maxColGenRounds; rounds++ {
+		s, status, err := m.slv.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("auction: master LP %v: %w", status, err)
+		}
+		sol = s
+		if g.price(s, m.slv) == 0 {
+			break
+		}
+	}
+	return g.solution(sol, rounds), nil
+}
+
+// colGen holds the generated-column state shared by the warm and cold
+// column-generation loops.
+type colGen struct {
+	bidders []valuation.Valuation
+	b       *lpBuilder
+	seen    map[colKey]bool
+	cols    []Column
+}
+
+// newColGen starts the column pool with the provided seed columns; the
+// demand-oracle seeds (seedDemand) are added by the first solve.
+func newColGen(bidders []valuation.Valuation, b *lpBuilder, seed []Column) *colGen {
+	g := &colGen{bidders: bidders, b: b, seen: make(map[colKey]bool)}
+	for _, c := range seed {
+		g.add(c.V, c.T)
+	}
+	return g
+}
+
+// seedDemand adds each bidder's favorite bundle at zero prices.
+func (g *colGen) seedDemand() {
+	zero := make([]float64, g.b.in.K)
+	for v := range g.bidders {
+		if t, util := g.bidders[v].Demand(zero); util > colGenTol {
+			g.add(v, t)
+		}
+	}
+}
+
+// add appends column (v,t) unless empty or already present, returning
+// whether it was added. The value is priced under the colGen's bidders.
+func (g *colGen) add(v int, t valuation.Bundle) bool {
+	if t == valuation.Empty {
+		return false
+	}
+	key := colKey{v, t}
+	if g.seen[key] {
+		return false
+	}
+	g.seen[key] = true
+	g.cols = append(g.cols, Column{V: v, T: t, Value: g.bidders[v].Value(t)})
+	return true
+}
+
+// price runs the pricing step against the round's duals: each bidder's
+// demand oracle is queried at its bidder-specific channel prices, and every
+// bundle whose utility beats the bidder's capacity dual enters the pool
+// (and, when a warm solver is given, its live tableau). Returns the number
+// of columns added; 0 means the LP optimum is proven.
+func (g *colGen) price(s *lp.Solution, slv *lp.Solver) int {
+	added := 0
+	for v := range g.bidders {
+		prices := g.b.prices(v, s.Dual)
+		t, util := g.bidders[v].Demand(prices)
+		z := s.Dual[g.b.capRow[v]]
+		if util-z > colGenTol && g.add(v, t) {
+			added++
+			if slv != nil {
+				c := g.cols[len(g.cols)-1]
+				slv.AddColumn(c.Value, g.b.columnCoefs(c))
+			}
+		}
+	}
+	return added
+}
+
+// solution packages the final LP state. Columns are copied so a later
+// re-solve of the same master (which reprices the pool in place) cannot
+// mutate an already-returned solution. If column generation hit the round
+// cap right after a pricing call added columns, the pool is longer than the
+// last solve's X; the solution is truncated to the solved columns so the
+// two stay aligned (ColumnsGenerated still counts the full pool).
+func (g *colGen) solution(sol *lp.Solution, rounds int) *LPSolution {
 	if sol == nil {
-		return &LPSolution{}, nil
+		return &LPSolution{}
+	}
+	cols := g.cols
+	if len(cols) > len(sol.X) {
+		cols = cols[:len(sol.X)]
 	}
 	return &LPSolution{
-		Columns:          cols,
+		Columns:          append([]Column(nil), cols...),
 		X:                sol.X,
 		Value:            sol.Objective,
 		Rounds:           rounds + 1,
-		ColumnsGenerated: len(cols),
-	}, nil
+		ColumnsGenerated: len(g.cols),
+	}
 }
 
 type colKey struct {

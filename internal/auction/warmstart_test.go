@@ -1,0 +1,164 @@
+package auction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// Warm-start equivalence: column generation on the incremental master
+// (SolveLP, tableau and basis kept across rounds) must reach the same LP
+// optimum as the rebuild-per-round reference (SolveLPCold). The optimum
+// value of the relaxation is unique, so the two paths must agree to
+// numerical precision even when they terminate in different optimal bases.
+
+const warmTol = 1e-9
+
+// checkWarmColdAgree solves the instance both ways and compares optima.
+func checkWarmColdAgree(t *testing.T, in *Instance, label string) {
+	t.Helper()
+	warm, err := in.SolveLP()
+	if err != nil {
+		t.Fatalf("%s: warm SolveLP: %v", label, err)
+	}
+	cold, err := in.SolveLPCold()
+	if err != nil {
+		t.Fatalf("%s: cold SolveLP: %v", label, err)
+	}
+	scale := 1 + math.Abs(cold.Value)
+	if d := math.Abs(warm.Value - cold.Value); d > warmTol*scale {
+		t.Fatalf("%s: warm optimum %.15g vs cold optimum %.15g (diff %g)",
+			label, warm.Value, cold.Value, d)
+	}
+	if err := in.CheckLPFeasible(warm, 1e-7); err != nil {
+		t.Fatalf("%s: warm solution infeasible: %v", label, err)
+	}
+	if err := in.CheckLPFeasible(cold, 1e-7); err != nil {
+		t.Fatalf("%s: cold solution infeasible: %v", label, err)
+	}
+}
+
+// protocolTestInstance mirrors the E1 workload shape: protocol-model
+// conflicts over uniform links with a random valuation mix.
+func protocolTestInstance(seed int64, n, k int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 100, 2, 10)
+	conf := models.Protocol(links, 1.0)
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// sinrTestInstance mirrors the E2 workload shape: weighted physical-model
+// (SINR) conflicts under uniform power.
+func sinrTestInstance(seed int64, n, k int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	links := geom.UniformLinks(rng, n, 200, 1, 8)
+	conf := models.Physical(links, models.UniformPower, models.DefaultSINR())
+	bidders := valuation.RandomMix(rng, n, k, 1, 10)
+	in, err := NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// diskTestInstance mirrors the E9 workload shape: disk-graph conflicts with
+// additive bidders (the mechanism's testbed).
+func diskTestInstance(seed int64, n, k int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	centers := geom.UniformPoints(rng, n, 60)
+	radii := make([]float64, n)
+	for i := range radii {
+		radii[i] = 4 + rng.Float64()*8
+	}
+	conf := models.Disk(centers, radii)
+	bidders := make([]valuation.Valuation, n)
+	for i := range bidders {
+		bidders[i] = valuation.RandomAdditive(rng, k, 1, 10)
+	}
+	in, err := NewInstance(conf, k, bidders)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestWarmColdEquivalenceProtocol(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkWarmColdAgree(t, protocolTestInstance(seed, 24, 4), "protocol")
+	}
+}
+
+func TestWarmColdEquivalenceSINR(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkWarmColdAgree(t, sinrTestInstance(seed, 16, 3), "sinr")
+	}
+}
+
+func TestWarmColdEquivalenceDisk(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		checkWarmColdAgree(t, diskTestInstance(seed, 8, 2), "disk")
+	}
+}
+
+// TestMasterLPReSolve exercises the mechanism's warm-restart pattern: the
+// same master re-solved with one bidder zeroed must match a from-scratch
+// solve of the reduced profile.
+func TestMasterLPReSolve(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := diskTestInstance(seed, 8, 2)
+		master := in.NewMasterLP(in.Bidders, nil)
+		full, err := master.Solve(in.Bidders)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < in.N(); v++ {
+			bidders := append([]valuation.Valuation(nil), in.Bidders...)
+			bidders[v] = valuation.NewTable(in.K, nil)
+			warm, err := master.Solve(bidders)
+			if err != nil {
+				t.Fatalf("warm sub-solve without bidder %d: %v", v, err)
+			}
+			sub := in.WithBidders(bidders)
+			cold, err := sub.SolveLPCold()
+			if err != nil {
+				t.Fatalf("cold sub-solve without bidder %d: %v", v, err)
+			}
+			scale := 1 + math.Abs(cold.Value)
+			if d := math.Abs(warm.Value - cold.Value); d > warmTol*scale {
+				t.Fatalf("sub-LP without bidder %d: warm %.15g vs cold %.15g", v, warm.Value, cold.Value)
+			}
+			if warm.Value > full.Value+warmTol*scale {
+				t.Fatalf("sub-LP without bidder %d exceeds full optimum: %g > %g", v, warm.Value, full.Value)
+			}
+		}
+	}
+}
+
+// TestSolveLPWarmSeeded checks that seeding with a solved instance's columns
+// (values re-priced) cannot change the optimum.
+func TestSolveLPWarmSeeded(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		in := protocolTestInstance(seed, 16, 3)
+		plain, err := in.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeded, err := in.SolveLPWarm(plain.Columns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := 1 + math.Abs(plain.Value)
+		if d := math.Abs(seeded.Value - plain.Value); d > warmTol*scale {
+			t.Fatalf("seeded optimum %.15g vs plain %.15g", seeded.Value, plain.Value)
+		}
+	}
+}

@@ -64,7 +64,7 @@ func E9(quick bool) *Table {
 			reported := make([]valuation.Valuation, n)
 			copy(reported, bidders)
 			reported[0] = mis
-			in2 := &auction.Instance{Conf: conf, K: k, Bidders: reported}
+			in2 := in.WithBidders(reported)
 			out2, err := mechanism.Run(in2)
 			if err != nil {
 				panic(err)

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// smallestLastReference is the O(n²) min-degree scan the heap-based
+// smallestLast replaced. The selection rule — minimum current degree,
+// lowest vertex index on ties — defines the ordering contract; the fast
+// path must reproduce it exactly, not just some valid degeneracy ordering.
+func smallestLastReference(g *Graph) ([]int, int) {
+	n := g.n
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	perm := make([]int, n)
+	degeneracy := 0
+	for pos := n - 1; pos >= 0; pos-- {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > degeneracy {
+			degeneracy = bestDeg
+		}
+		perm[pos] = best
+		removed[best] = true
+		for _, u := range g.nbr[best] {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return perm, degeneracy
+}
+
+func TestSmallestLastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	graphs := []*Graph{
+		New(0), New(1), Path(5), Cycle(6), Clique(7),
+	}
+	for i := 0; i < 30; i++ {
+		n := 1 + rng.Intn(40)
+		graphs = append(graphs, RandomGNP(rng, n, rng.Float64()))
+	}
+	for i, g := range graphs {
+		wantPerm, wantDeg := smallestLastReference(g)
+		gotPerm, gotDeg := g.smallestLast()
+		if gotDeg != wantDeg {
+			t.Fatalf("graph %d: degeneracy %d, want %d", i, gotDeg, wantDeg)
+		}
+		for p := range wantPerm {
+			if gotPerm[p] != wantPerm[p] {
+				t.Fatalf("graph %d: perm[%d] = %d, want %d (tie-break order changed)",
+					i, p, gotPerm[p], wantPerm[p])
+			}
+		}
+	}
+}

@@ -162,64 +162,111 @@ func (g *Graph) Backward(v int, o Ordering) []int {
 	return out
 }
 
+// minHeap64 is a binary min-heap over packed uint64 keys.
+type minHeap64 []uint64
+
+func (h *minHeap64) push(k uint64) {
+	*h = append(*h, k)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *minHeap64) pop() uint64 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	*h = s[:last]
+	s = s[:last]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		if r := l + 1; r < last && s[r] < s[l] {
+			l = r
+		}
+		if s[i] <= s[l] {
+			break
+		}
+		s[i], s[l] = s[l], s[i]
+		i = l
+	}
+	return top
+}
+
+// smallestLast runs the smallest-last elimination: repeatedly remove a
+// minimum-degree vertex (lowest index on ties — the exact order the previous
+// O(n²) min-degree scan produced, so orderings are unchanged) and record the
+// degree at removal time. The min-degree queue is a monotone lazy min-heap
+// over packed (degree, vertex) keys: a degree decrement pushes a fresh key
+// and stale ones are skipped at pop, giving O((n+m) log n) overall. It
+// returns the elimination as a smallest-LAST permutation together with the
+// degeneracy (the maximum removal-time degree).
+func (g *Graph) smallestLast() ([]int, int) {
+	n := g.n
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	h := make(minHeap64, 0, n+g.M())
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		h.push(uint64(deg[v])<<32 | uint64(v))
+	}
+	perm := make([]int, n)
+	degeneracy := 0
+	for pos := n - 1; pos >= 0; pos-- {
+		var v, d int
+		for {
+			key := h.pop()
+			d, v = int(key>>32), int(uint32(key))
+			if !removed[v] && deg[v] == d {
+				break
+			}
+		}
+		if d > degeneracy {
+			degeneracy = d
+		}
+		perm[pos] = v
+		removed[v] = true
+		for _, u := range g.nbr[v] {
+			if !removed[u] {
+				deg[u]--
+				h.push(uint64(deg[u])<<32 | uint64(u))
+			}
+		}
+	}
+	return perm, degeneracy
+}
+
 // DegeneracyOrdering returns a smallest-last ordering: repeatedly remove a
 // minimum-degree vertex and place it last. For an unweighted graph this
 // ordering certifies ρ ≤ degeneracy(G), which is optimal within the class of
 // orderings for many graph families (e.g. chordal graphs).
 func (g *Graph) DegeneracyOrdering() Ordering {
-	n := g.n
-	deg := make([]int, n)
-	removed := make([]bool, n)
-	for v := 0; v < n; v++ {
-		deg[v] = g.Degree(v)
-	}
-	perm := make([]int, n)
-	for pos := n - 1; pos >= 0; pos-- {
-		best, bestDeg := -1, n+1
-		for v := 0; v < n; v++ {
-			if !removed[v] && deg[v] < bestDeg {
-				best, bestDeg = v, deg[v]
-			}
-		}
-		perm[pos] = best
-		removed[best] = true
-		for _, u := range g.nbr[best] {
-			if !removed[u] {
-				deg[u]--
-			}
-		}
-	}
+	perm, _ := g.smallestLast()
 	return NewOrdering(perm)
 }
 
 // Degeneracy returns the degeneracy of the graph (the maximum, over the
 // smallest-last elimination, of the degree at removal time).
 func (g *Graph) Degeneracy() int {
-	n := g.n
-	deg := make([]int, n)
-	removed := make([]bool, n)
-	for v := 0; v < n; v++ {
-		deg[v] = g.Degree(v)
-	}
-	degeneracy := 0
-	for iter := 0; iter < n; iter++ {
-		best, bestDeg := -1, n+1
-		for v := 0; v < n; v++ {
-			if !removed[v] && deg[v] < bestDeg {
-				best, bestDeg = v, deg[v]
-			}
-		}
-		if bestDeg > degeneracy {
-			degeneracy = bestDeg
-		}
-		removed[best] = true
-		for _, u := range g.nbr[best] {
-			if !removed[u] {
-				deg[u]--
-			}
-		}
-	}
+	_, degeneracy := g.smallestLast()
 	return degeneracy
+}
+
+// SmallestLast returns the smallest-last ordering together with the
+// degeneracy, in one elimination pass — for callers that need both
+// (DegeneracyOrdering followed by Degeneracy runs it twice).
+func (g *Graph) SmallestLast() (Ordering, int) {
+	perm, degeneracy := g.smallestLast()
+	return NewOrdering(perm), degeneracy
 }
 
 // maxISExact returns the size of a maximum independent set among the given

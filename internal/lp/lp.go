@@ -1,18 +1,28 @@
 // Package lp implements a self-contained linear-programming solver: a dense
-// two-phase primal simplex with Bland's-rule anti-cycling and dual-value
-// extraction.
+// two-phase primal simplex with Bland's-rule anti-cycling, dual-value
+// extraction, and incremental column addition with warm starts.
 //
 // The paper solves its LPs with the ellipsoid method for the polynomiality
 // argument; this package is the practical substrate behind the column
 // generation in internal/auction and the Lavi–Swamy decomposition in
 // internal/mechanism. Problem sizes in this repository are a few thousand
 // nonzeros, well within dense-tableau territory.
+//
+// Two entry points exist:
+//
+//   - Problem.Solve — one-shot two-phase solve (a thin wrapper over Solver).
+//   - NewSolver — an incremental solver that keeps the tableau alive between
+//     solves. After an optimal solve, AddColumn appends a structural column
+//     in the current basis representation and the next Solve re-optimizes
+//     from that basis: the old basis stays primal feasible, so phase 1 runs
+//     at most once per Solver. This is the warm-start path behind column
+//     generation, where each round adds a handful of columns to an
+//     already-solved master.
 package lp
 
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Op is a constraint relation.
@@ -118,6 +128,22 @@ func (p *Problem) AddConstraint(a []float64, op Op, rhs float64) {
 	p.rows = append(p.rows, row{a: append([]float64(nil), a...), op: op, rhs: rhs})
 }
 
+// AddColumn appends a structural variable with the given objective
+// coefficient and one coefficient per existing constraint (rowCoefs is
+// copied; it must have exactly NumConstraints() entries). It returns the new
+// variable's index. Solvers created before the call do not see the column;
+// use Solver.AddColumn to grow an existing solve.
+func (p *Problem) AddColumn(objCoef float64, rowCoefs []float64) int {
+	if len(rowCoefs) != len(p.rows) {
+		panic(fmt.Sprintf("lp: column has %d coefficients, want %d", len(rowCoefs), len(p.rows)))
+	}
+	p.c = append(p.c, objCoef)
+	for i := range p.rows {
+		p.rows[i].a = append(p.rows[i].a, rowCoefs[i])
+	}
+	return len(p.c) - 1
+}
+
 // Solution is the result of an optimal solve.
 type Solution struct {
 	// X is the optimal primal solution.
@@ -135,316 +161,9 @@ type Solution struct {
 
 // Solve runs the two-phase simplex method. On success it returns an optimal
 // Solution; otherwise the Status indicates infeasibility or unboundedness
-// and the error wraps ErrNotOptimal.
+// and the error wraps ErrNotOptimal. Solve is one-shot: it builds a fresh
+// tableau each call. Callers that re-solve after adding columns should use
+// NewSolver instead.
 func (p *Problem) Solve() (*Solution, Status, error) {
-	t := newTableau(p)
-	if !t.phase1() {
-		return nil, Infeasible, fmt.Errorf("%w: infeasible", ErrNotOptimal)
-	}
-	if !t.phase2() {
-		return nil, Unbounded, fmt.Errorf("%w: unbounded", ErrNotOptimal)
-	}
-	sol := t.extract(p)
-	return sol, Optimal, nil
-}
-
-// tableau is a full simplex tableau. Columns: structural variables, then one
-// slack/surplus per inequality row, then one artificial per GE/EQ row.
-type tableau struct {
-	m, n      int // constraint rows, structural variables
-	cols      int // total columns
-	a         [][]float64
-	b         []float64
-	basis     []int
-	obj       []float64 // phase-2 objective coefficients per column (maximization)
-	slackOf   []int     // row -> slack column (-1 if none)
-	artOf     []int     // row -> artificial column (-1 if none)
-	geRow     []bool    // row had a GE relation after sign normalization
-	flipped   []bool    // row was multiplied by -1 during normalization
-	numArt    int
-	iteration int
-}
-
-func newTableau(p *Problem) *tableau {
-	m, n := len(p.rows), len(p.c)
-	t := &tableau{
-		m: m, n: n,
-		a:       make([][]float64, m),
-		b:       make([]float64, m),
-		basis:   make([]int, m),
-		slackOf: make([]int, m),
-		artOf:   make([]int, m),
-		geRow:   make([]bool, m),
-		flipped: make([]bool, m),
-	}
-	// Normalize rows to non-negative rhs.
-	type normRow struct {
-		a   []float64
-		op  Op
-		rhs float64
-	}
-	rows := make([]normRow, m)
-	for i, r := range p.rows {
-		nr := normRow{a: append([]float64(nil), r.a...), op: r.op, rhs: r.rhs}
-		if nr.rhs < 0 {
-			t.flipped[i] = true
-			for j := range nr.a {
-				nr.a[j] = -nr.a[j]
-			}
-			nr.rhs = -nr.rhs
-			switch nr.op {
-			case LE:
-				nr.op = GE
-			case GE:
-				nr.op = LE
-			}
-		}
-		rows[i] = nr
-	}
-	// Count columns.
-	slacks, arts := 0, 0
-	for _, r := range rows {
-		if r.op != EQ {
-			slacks++
-		}
-		if r.op != LE {
-			arts++
-		}
-	}
-	t.cols = n + slacks + arts
-	t.numArt = arts
-	t.obj = make([]float64, t.cols)
-	for j := 0; j < n; j++ {
-		if p.maximize {
-			t.obj[j] = p.c[j]
-		} else {
-			t.obj[j] = -p.c[j]
-		}
-	}
-	// Lay out columns.
-	slackCol := n
-	artCol := n + slacks
-	for i, r := range rows {
-		t.a[i] = make([]float64, t.cols)
-		copy(t.a[i], r.a)
-		t.b[i] = r.rhs
-		t.slackOf[i] = -1
-		t.artOf[i] = -1
-		switch r.op {
-		case LE:
-			t.a[i][slackCol] = 1
-			t.slackOf[i] = slackCol
-			t.basis[i] = slackCol
-			slackCol++
-		case GE:
-			t.a[i][slackCol] = -1
-			t.slackOf[i] = slackCol
-			t.geRow[i] = true
-			slackCol++
-			t.a[i][artCol] = 1
-			t.artOf[i] = artCol
-			t.basis[i] = artCol
-			artCol++
-		case EQ:
-			t.a[i][artCol] = 1
-			t.artOf[i] = artCol
-			t.basis[i] = artCol
-			artCol++
-		}
-	}
-	return t
-}
-
-// reducedCosts computes z_j - c_j for every column under objective coeffs c.
-func (t *tableau) reducedCosts(c []float64) []float64 {
-	rc := make([]float64, t.cols)
-	for j := 0; j < t.cols; j++ {
-		z := 0.0
-		for i := 0; i < t.m; i++ {
-			z += c[t.basis[i]] * t.a[i][j]
-		}
-		rc[j] = z - c[j]
-	}
-	return rc
-}
-
-// pivot performs a pivot on (row r, column s).
-func (t *tableau) pivot(r, s int) {
-	pv := t.a[r][s]
-	inv := 1 / pv
-	for j := 0; j < t.cols; j++ {
-		t.a[r][j] *= inv
-	}
-	t.b[r] *= inv
-	for i := 0; i < t.m; i++ {
-		if i == r {
-			continue
-		}
-		f := t.a[i][s]
-		if f == 0 {
-			continue
-		}
-		for j := 0; j < t.cols; j++ {
-			t.a[i][j] -= f * t.a[r][j]
-		}
-		t.b[i] -= f * t.b[r]
-	}
-	t.basis[r] = s
-	t.iteration++
-}
-
-// chooseEntering selects the entering column: most negative reduced cost
-// (Dantzig) or, once iteration exceeds blandAfter, the lowest-index negative
-// one (Bland). allowed filters out forbidden columns (artificials in
-// phase 2). Returns -1 if optimal.
-func (t *tableau) chooseEntering(rc []float64, allowed func(int) bool) int {
-	if t.iteration > blandAfter {
-		for j := 0; j < t.cols; j++ {
-			if rc[j] < -eps && allowed(j) {
-				return j
-			}
-		}
-		return -1
-	}
-	best, bestVal := -1, -eps
-	for j := 0; j < t.cols; j++ {
-		if rc[j] < bestVal && allowed(j) {
-			best, bestVal = j, rc[j]
-		}
-	}
-	return best
-}
-
-// chooseLeaving runs the minimum-ratio test on column s, breaking ties by
-// lowest basis index (Bland-compatible). Returns -1 if the column is
-// unbounded.
-func (t *tableau) chooseLeaving(s int) int {
-	bestRow := -1
-	bestRatio := math.Inf(1)
-	for i := 0; i < t.m; i++ {
-		if t.a[i][s] > eps {
-			ratio := t.b[i] / t.a[i][s]
-			if ratio < bestRatio-eps ||
-				(ratio < bestRatio+eps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
-				bestRow, bestRatio = i, ratio
-			}
-		}
-	}
-	return bestRow
-}
-
-// run iterates simplex under objective c until optimality or unboundedness.
-func (t *tableau) run(c []float64, allowed func(int) bool) bool {
-	for iter := 0; iter < maxIters; iter++ {
-		rc := t.reducedCosts(c)
-		s := t.chooseEntering(rc, allowed)
-		if s == -1 {
-			return true
-		}
-		r := t.chooseLeaving(s)
-		if r == -1 {
-			return false // unbounded
-		}
-		t.pivot(r, s)
-	}
-	// Iteration limit: treat as failure to converge; in practice unreachable
-	// for the problem sizes in this repository.
-	panic("lp: simplex iteration limit exceeded")
-}
-
-// phase1 minimizes the sum of artificial variables; returns false if the
-// problem is infeasible.
-func (t *tableau) phase1() bool {
-	if t.numArt == 0 {
-		return true
-	}
-	// Maximize -(sum of artificials).
-	c := make([]float64, t.cols)
-	isArt := make([]bool, t.cols)
-	for i := 0; i < t.m; i++ {
-		if t.artOf[i] >= 0 {
-			c[t.artOf[i]] = -1
-			isArt[t.artOf[i]] = true
-		}
-	}
-	if !t.run(c, func(int) bool { return true }) {
-		return false // cannot happen: phase-1 objective is bounded
-	}
-	sum := 0.0
-	for i := 0; i < t.m; i++ {
-		if isArt[t.basis[i]] {
-			sum += t.b[i]
-		}
-	}
-	if sum > 1e-7 {
-		return false
-	}
-	// Drive remaining (degenerate) artificials out of the basis.
-	for i := 0; i < t.m; i++ {
-		if !isArt[t.basis[i]] {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < t.cols && !pivoted; j++ {
-			if !isArt[j] && math.Abs(t.a[i][j]) > eps {
-				t.pivot(i, j)
-				pivoted = true
-			}
-		}
-		// If no pivot column exists the row is redundant (all-zero); the
-		// artificial stays basic at value 0, which is harmless as long as it
-		// never re-enters (enforced in phase 2 by the allowed filter).
-	}
-	return true
-}
-
-// phase2 optimizes the real objective; returns false if unbounded.
-func (t *tableau) phase2() bool {
-	isArt := make([]bool, t.cols)
-	for i := 0; i < t.m; i++ {
-		if t.artOf[i] >= 0 {
-			isArt[t.artOf[i]] = true
-		}
-	}
-	return t.run(t.obj, func(j int) bool { return !isArt[j] })
-}
-
-// extract reads the primal solution, objective, and duals off the final
-// tableau.
-func (t *tableau) extract(p *Problem) *Solution {
-	x := make([]float64, t.n)
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] < t.n {
-			x[t.basis[i]] = t.b[i]
-		}
-	}
-	obj := 0.0
-	for j, v := range x {
-		obj += p.c[j] * v
-	}
-	// Dual values: with maximization objective t.obj, the dual of row i is
-	// read from the reduced cost of a column whose original entry was ±e_i:
-	// slack (+e_i) gives y_i; surplus (-e_i) gives -y_i; the artificial
-	// (+e_i, cost 0 in phase 2) gives y_i.
-	rc := t.reducedCosts(t.obj)
-	dual := make([]float64, t.m)
-	for i := 0; i < t.m; i++ {
-		var y float64
-		switch {
-		case t.artOf[i] >= 0:
-			y = rc[t.artOf[i]]
-		case t.geRow[i]:
-			y = -rc[t.slackOf[i]]
-		default:
-			y = rc[t.slackOf[i]]
-		}
-		if t.flipped[i] {
-			y = -y
-		}
-		if !p.maximize {
-			y = -y
-		}
-		dual[i] = y
-	}
-	return &Solution{X: x, Objective: obj, Dual: dual}
+	return NewSolver(p).Solve()
 }

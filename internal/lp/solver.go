@@ -1,0 +1,159 @@
+package lp
+
+import "fmt"
+
+// Solver is an incremental simplex solver bound to a Problem. It keeps the
+// tableau (and hence the optimal basis) alive between solves, so a workload
+// that alternates Solve and AddColumn — column generation — pays the
+// two-phase startup at most once: appended columns enter an already-factored
+// tableau with the old basis intact and still primal feasible, and the next
+// Solve re-optimizes with phase 2 alone.
+//
+// The constraint set is fixed at NewSolver time; AddConstraint on the
+// underlying Problem after that is not supported. A Solver is not safe for
+// concurrent use.
+type Solver struct {
+	p *Problem
+	t *tableau
+}
+
+// NewSolver builds the initial tableau for the problem's current columns and
+// constraints. No pivoting happens until Solve.
+func NewSolver(p *Problem) *Solver {
+	return &Solver{p: p, t: newTableau(p)}
+}
+
+// Solve optimizes the problem. The first call runs the two-phase method; a
+// call after an optimal Solve (with any number of AddColumn calls in
+// between) re-optimizes from the current basis, skipping phase 1. On success
+// it returns an optimal Solution; otherwise the Status indicates
+// infeasibility or unboundedness and the error wraps ErrNotOptimal.
+func (s *Solver) Solve() (*Solution, Status, error) {
+	s.check()
+	t := s.t
+	// Each solve gets a fresh Dantzig budget: the Bland anti-cycling
+	// fallback guards a single optimization run, not the Solver's lifetime —
+	// without the reset, a long-lived warm-started master would eventually
+	// cross blandAfter cumulatively and pivot by Bland's (slow) rule forever.
+	t.iteration = 0
+	if !t.feasible && !t.phase1() {
+		return nil, Infeasible, fmt.Errorf("%w: infeasible", ErrNotOptimal)
+	}
+	if !t.phase2() {
+		return nil, Unbounded, fmt.Errorf("%w: unbounded", ErrNotOptimal)
+	}
+	return t.extract(s.p), Optimal, nil
+}
+
+// AddColumn appends a structural variable to both the Problem and the live
+// tableau, and returns its variable index. rowCoefs holds the column's
+// coefficient in every constraint, in AddConstraint order. The column is
+// expressed in the current basis (ã = B⁻¹a), so the existing basis — and
+// therefore primal feasibility — is untouched; the next Solve prices the
+// column through its reduced cost like any other nonbasic column.
+func (s *Solver) AddColumn(objCoef float64, rowCoefs []float64) int {
+	s.check()
+	v := s.p.AddColumn(objCoef, rowCoefs)
+	t := s.t
+	// Transform into the current basis: the tableau column of unitCol[i]
+	// (the column whose initial coefficients were exactly +e_i) is the i-th
+	// column of B⁻¹, so ã = Σ_i a'_i · col(unitCol[i]) with a' the
+	// sign-normalized input column.
+	buf := t.colBuf
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i, c := range rowCoefs {
+		if c == 0 {
+			continue
+		}
+		if t.flipped[i] {
+			c = -c
+		}
+		uc := t.unitCol[i]
+		for r := 0; r < t.m; r++ {
+			buf[r] += c * t.a[r*t.stride+uc]
+		}
+	}
+	if t.cols == t.stride {
+		t.grow(t.cols + 1)
+	}
+	j := t.cols
+	t.cols++
+	for r := 0; r < t.m; r++ {
+		t.a[r*t.stride+j] = buf[r]
+	}
+	oc := objCoef
+	if !s.p.maximize {
+		oc = -oc
+	}
+	t.obj = append(t.obj, oc)
+	t.isArt = append(t.isArt, false)
+	t.varOf = append(t.varOf, v)
+	// Maintain the reduced-cost row: z_j = Σ_i c[basis[i]]·ã_i − c_j under
+	// the active objective. Under the phase-1 objective the new (structural)
+	// column costs 0, so only the basic-artificial part contributes.
+	rc := 0.0
+	if t.zObj2 {
+		for i := 0; i < t.m; i++ {
+			if w := t.obj[t.basis[i]]; w != 0 {
+				rc += w * buf[i]
+			}
+		}
+		rc -= oc
+	} else {
+		for i := 0; i < t.m; i++ {
+			if t.isArt[t.basis[i]] {
+				rc -= buf[i]
+			}
+		}
+	}
+	t.z = append(t.z, rc)
+	return v
+}
+
+// SetObjective replaces the objective coefficients (the optimization sense
+// is unchanged; c must have NumVars entries and is copied). The basis is
+// untouched and stays primal feasible, so the next Solve re-optimizes under
+// the new objective with phase 2 alone — the warm restart used when the same
+// constraint structure is solved for a family of objectives (e.g. the VCG
+// sub-LPs, which zero one bidder's coefficients at a time).
+func (s *Solver) SetObjective(c []float64) {
+	s.check()
+	if len(c) != len(s.p.c) {
+		panic(fmt.Sprintf("lp: objective has %d coefficients, want %d", len(c), len(s.p.c)))
+	}
+	copy(s.p.c, c)
+	t := s.t
+	for j, v := range t.varOf {
+		if v >= 0 {
+			if s.p.maximize {
+				t.obj[j] = c[v]
+			} else {
+				t.obj[j] = -c[v]
+			}
+		}
+	}
+	t.zObj2 = false
+}
+
+// check panics if the Problem's constraint set changed since NewSolver.
+func (s *Solver) check() {
+	if len(s.p.rows) != s.t.m {
+		panic("lp: constraints added after NewSolver; build a new Solver")
+	}
+	if len(s.p.c) != numStruct(s.t) {
+		panic("lp: columns added to Problem directly; use Solver.AddColumn")
+	}
+}
+
+// numStruct counts the tableau's structural columns.
+func numStruct(t *tableau) int {
+	n := 0
+	for _, v := range t.varOf {
+		if v >= 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,228 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomProblem builds a bounded random LP with a mix of LE/GE/EQ rows in
+// either optimization sense. Roughly a quarter of the rows get a negative
+// rhs so the sign-normalized (flipped) tableau rows — and AddColumn's
+// coefficient flipping for them — are exercised. Boundedness comes from
+// per-variable box rows, as in the solver tests.
+func randomProblem(rng *rand.Rand, m, n int, maximize bool) *Problem {
+	var p *Problem
+	if maximize {
+		p = NewMaximize(randVec(rng, n, 3))
+	} else {
+		p = NewMinimize(randVec(rng, n, 3))
+	}
+	for i := 0; i < m; i++ {
+		rhs := rng.Float64() * 8
+		if rng.Intn(4) == 0 {
+			rhs = -rhs
+		}
+		p.AddConstraint(randVec(rng, n, 4), Op(rng.Intn(3)), rhs)
+	}
+	box := make([]float64, n)
+	for j := range box {
+		box[j] = 1
+		p.AddConstraint(box, LE, 50)
+		box[j] = 0
+	}
+	return p
+}
+
+// rebuildWith reconstructs the problem from scratch with extra columns
+// appended, the ground truth AddColumn must match.
+func rebuildWith(p *Problem, objs []float64, cols [][]float64) *Problem {
+	c := append(append([]float64(nil), p.c...), objs...)
+	var q *Problem
+	if p.maximize {
+		q = NewMaximize(c)
+	} else {
+		q = NewMinimize(c)
+	}
+	for i, r := range p.rows {
+		a := append([]float64(nil), r.a[:p.NumVars()]...)
+		for _, col := range cols {
+			a = append(a, col[i])
+		}
+		q.AddConstraint(a, r.op, r.rhs)
+	}
+	return q
+}
+
+// checkIncrementalMatchesRebuild drives a Solver through a solve, a batch of
+// AddColumn calls, and a re-solve, comparing the warm result against a
+// from-scratch two-phase solve of the grown problem.
+func checkIncrementalMatchesRebuild(t *testing.T, seed int64) bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := 1 + rng.Intn(5)
+	n := 1 + rng.Intn(5)
+	base := randomProblem(rng, m, n, rng.Intn(2) == 0)
+	nrows := base.NumConstraints()
+
+	warm := rebuildWith(base, nil, nil) // private copy for the solver
+	slv := NewSolver(warm)
+	_, status, err := slv.Solve()
+	if status == Infeasible {
+		return true // random EQ/GE rows may be inconsistent; nothing to warm-start
+	}
+	if err != nil {
+		t.Fatalf("seed %d: initial solve: %v", seed, err)
+	}
+
+	var objs []float64
+	var cols [][]float64
+	for round := 0; round < 3; round++ {
+		batch := 1 + rng.Intn(3)
+		for b := 0; b < batch; b++ {
+			col := randVec(rng, nrows, 4)
+			obj := rng.Float64() * 5
+			// The box rows bound only the original variables; bound the new
+			// column through every box row so the grown LP stays bounded.
+			for j := 0; j < n; j++ {
+				col[m+j] = 1
+			}
+			objs = append(objs, obj)
+			cols = append(cols, col)
+			slv.AddColumn(obj, col)
+		}
+		got, status, err := slv.Solve()
+		if err != nil {
+			t.Fatalf("seed %d round %d: warm solve: %v (status %v)", seed, round, err, status)
+		}
+		want, status, err := rebuildWith(base, objs, cols).Solve()
+		if err != nil {
+			t.Fatalf("seed %d round %d: rebuild solve: %v (status %v)", seed, round, err, status)
+		}
+		tol := 1e-7 * (1 + math.Abs(want.Objective))
+		if math.Abs(got.Objective-want.Objective) > tol {
+			t.Fatalf("seed %d round %d: warm objective %.15g, rebuild %.15g",
+				seed, round, got.Objective, want.Objective)
+		}
+	}
+	return true
+}
+
+func TestAddColumnMatchesRebuildQuick(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		return checkIncrementalMatchesRebuild(t, seed)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzAddColumn is the native-fuzzing entry point over the same property.
+func FuzzAddColumn(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkIncrementalMatchesRebuild(t, seed)
+	})
+}
+
+func TestAddColumnEntersBasis(t *testing.T) {
+	// max x ≤ 4 → obj 4; add a column worth 3 per unit sharing the row:
+	// new optimum picks the better column exclusively → 12.
+	p := NewMaximize([]float64{1})
+	p.AddConstraint([]float64{1}, LE, 4)
+	slv := NewSolver(p)
+	sol, _, err := slv.Solve()
+	if err != nil || !almost(sol.Objective, 4, 1e-9) {
+		t.Fatalf("initial solve: obj=%v err=%v", sol, err)
+	}
+	idx := slv.AddColumn(3, []float64{1})
+	if idx != 1 {
+		t.Fatalf("new column index = %d, want 1", idx)
+	}
+	sol, _, err = slv.Solve()
+	if err != nil || !almost(sol.Objective, 12, 1e-9) {
+		t.Fatalf("after AddColumn: obj=%v err=%v", sol, err)
+	}
+	if !almost(sol.X[1], 4, 1e-9) || !almost(sol.X[0], 0, 1e-9) {
+		t.Fatalf("x = %v, want [0 4]", sol.X)
+	}
+}
+
+func TestAddColumnOnMinimizeCovering(t *testing.T) {
+	// min y1+y2 s.t. y1 ≥ 2, y2 ≥ 3 → 5; a combined column covering both
+	// rows at cost 1 takes over: min = 3 (column level y=3 covers row1 too).
+	p := NewMinimize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	p.AddConstraint([]float64{0, 1}, GE, 3)
+	slv := NewSolver(p)
+	sol, _, err := slv.Solve()
+	if err != nil || !almost(sol.Objective, 5, 1e-9) {
+		t.Fatalf("initial solve: obj=%v err=%v", sol, err)
+	}
+	slv.AddColumn(1, []float64{1, 1})
+	sol, _, err = slv.Solve()
+	if err != nil || !almost(sol.Objective, 3, 1e-9) {
+		t.Fatalf("after AddColumn: obj=%v err=%v", sol, err)
+	}
+}
+
+func TestSetObjectiveWarmRestart(t *testing.T) {
+	// The VCG pattern: same constraints, a family of objectives.
+	p := NewMaximize([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	slv := NewSolver(p)
+	sol, _, err := slv.Solve()
+	if err != nil || !almost(sol.Objective, 36, 1e-8) {
+		t.Fatalf("initial solve: obj=%v err=%v", sol, err)
+	}
+	slv.SetObjective([]float64{3, 0}) // zero the y bidder
+	sol, _, err = slv.Solve()
+	if err != nil || !almost(sol.Objective, 12, 1e-8) {
+		t.Fatalf("re-solve with zeroed objective: obj=%v err=%v", sol, err)
+	}
+	if !almost(sol.X[0], 4, 1e-8) {
+		t.Fatalf("x = %v, want x0=4", sol.X)
+	}
+	slv.SetObjective([]float64{3, 5}) // and back
+	sol, _, err = slv.Solve()
+	if err != nil || !almost(sol.Objective, 36, 1e-8) {
+		t.Fatalf("restore objective: obj=%v err=%v", sol, err)
+	}
+}
+
+func TestSetObjectiveAgainstRebuild(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(5)
+		n := 2 + rng.Intn(5)
+		base := randomProblem(rng, m, n, rng.Intn(2) == 0)
+		slv := NewSolver(rebuildWith(base, nil, nil))
+		if _, status, _ := slv.Solve(); status != Optimal {
+			return status == Infeasible
+		}
+		for trial := 0; trial < 4; trial++ {
+			c2 := randVec(rng, n, 5)
+			slv.SetObjective(c2)
+			got, _, err := slv.Solve()
+			if err != nil {
+				return false
+			}
+			fresh := rebuildWith(base, nil, nil)
+			copy(fresh.c, c2)
+			want, _, err := fresh.Solve()
+			if err != nil {
+				return false
+			}
+			if math.Abs(got.Objective-want.Objective) > 1e-7*(1+math.Abs(want.Objective)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

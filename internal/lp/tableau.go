@@ -1,0 +1,363 @@
+package lp
+
+import "math"
+
+// tableau is a dense simplex tableau over a single flat backing array.
+// Columns: structural variables, then one slack/surplus per inequality row,
+// then one artificial per GE/EQ row; structural columns added after
+// construction (Solver.AddColumn) append at the end. The reduced-cost row z
+// is maintained incrementally across pivots, so choosing the entering column
+// is O(cols) instead of the O(m·cols) full recomputation per iteration.
+type tableau struct {
+	m      int       // constraint rows
+	cols   int       // logical columns
+	stride int       // allocated width of each row in a
+	a      []float64 // m × stride, row-major
+	b      []float64
+	basis  []int
+
+	obj   []float64 // phase-2 objective per column (maximization sense)
+	z     []float64 // maintained reduced costs z_j − c_j of the active objective
+	zObj2 bool      // z currently corresponds to obj (phase-2 objective)
+
+	isArt   []bool // column is artificial
+	varOf   []int  // column -> problem variable index, or -1
+	slackOf []int  // row -> slack column (-1 if none)
+	artOf   []int  // row -> artificial column (-1 if none)
+	unitCol []int  // row -> column whose initial coefficients were exactly +e_row
+	geRow   []bool // row had a GE relation after sign normalization
+	flipped []bool // row was multiplied by -1 during normalization
+
+	numArt    int
+	iteration int
+	feasible  bool // phase 1 has succeeded (basis is primal feasible)
+
+	colBuf []float64 // m-sized scratch for AddColumn's basis transform
+}
+
+func (t *tableau) row(i int) []float64 { return t.a[i*t.stride : i*t.stride+t.cols] }
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.rows), len(p.c)
+	t := &tableau{
+		m: m,
+		b: make([]float64, m), basis: make([]int, m),
+		slackOf: make([]int, m), artOf: make([]int, m), unitCol: make([]int, m),
+		geRow: make([]bool, m), flipped: make([]bool, m),
+		colBuf: make([]float64, m),
+	}
+	// Normalize rows to non-negative rhs.
+	rows := make([]row, m)
+	for i, r := range p.rows {
+		nr := row{a: append([]float64(nil), r.a...), op: r.op, rhs: r.rhs}
+		if nr.rhs < 0 {
+			t.flipped[i] = true
+			for j := range nr.a {
+				nr.a[j] = -nr.a[j]
+			}
+			nr.rhs = -nr.rhs
+			switch nr.op {
+			case LE:
+				nr.op = GE
+			case GE:
+				nr.op = LE
+			}
+		}
+		rows[i] = nr
+	}
+	// Count columns.
+	slacks, arts := 0, 0
+	for _, r := range rows {
+		if r.op != EQ {
+			slacks++
+		}
+		if r.op != LE {
+			arts++
+		}
+	}
+	t.cols = n + slacks + arts
+	t.stride = t.cols + 8 // headroom for a few AddColumn calls before regrowth
+	t.numArt = arts
+	t.a = make([]float64, m*t.stride)
+	t.obj = make([]float64, t.cols)
+	t.z = make([]float64, t.cols)
+	t.isArt = make([]bool, t.cols)
+	t.varOf = make([]int, t.cols)
+	for j := range t.varOf {
+		t.varOf[j] = -1
+	}
+	for j := 0; j < n; j++ {
+		t.varOf[j] = j
+		if p.maximize {
+			t.obj[j] = p.c[j]
+		} else {
+			t.obj[j] = -p.c[j]
+		}
+	}
+	// Lay out columns.
+	slackCol := n
+	artCol := n + slacks
+	for i, r := range rows {
+		ri := t.row(i)
+		copy(ri, r.a)
+		t.b[i] = r.rhs
+		t.slackOf[i] = -1
+		t.artOf[i] = -1
+		switch r.op {
+		case LE:
+			ri[slackCol] = 1
+			t.slackOf[i] = slackCol
+			t.unitCol[i] = slackCol
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			ri[slackCol] = -1
+			t.slackOf[i] = slackCol
+			t.geRow[i] = true
+			slackCol++
+			ri[artCol] = 1
+			t.artOf[i] = artCol
+			t.unitCol[i] = artCol
+			t.isArt[artCol] = true
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			ri[artCol] = 1
+			t.artOf[i] = artCol
+			t.unitCol[i] = artCol
+			t.isArt[artCol] = true
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+// grow reallocates the backing array with at least the requested column
+// capacity, preserving row contents.
+func (t *tableau) grow(minCols int) {
+	newStride := t.stride * 2
+	if newStride < minCols {
+		newStride = minCols + 8
+	}
+	na := make([]float64, t.m*newStride)
+	for i := 0; i < t.m; i++ {
+		copy(na[i*newStride:i*newStride+t.cols], t.row(i))
+	}
+	t.a = na
+	t.stride = newStride
+}
+
+// computeZ recomputes the maintained reduced-cost row for objective c:
+// z_j = Σ_i c[basis[i]]·a_ij − c_j. Called once per objective switch; pivots
+// keep z current from then on.
+func (t *tableau) computeZ(c []float64) {
+	z := t.z[:t.cols]
+	for j := range z {
+		z[j] = -c[j]
+	}
+	for i := 0; i < t.m; i++ {
+		w := c[t.basis[i]]
+		if w == 0 {
+			continue
+		}
+		ri := t.row(i)
+		for j, v := range ri {
+			z[j] += w * v
+		}
+	}
+}
+
+// pivot performs a pivot on (row r, column s), updating the reduced-cost row
+// in the same elimination pass.
+func (t *tableau) pivot(r, s int) {
+	rr := t.row(r)
+	inv := 1 / rr[s]
+	for j := range rr {
+		rr[j] *= inv
+	}
+	rr[s] = 1
+	t.b[r] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		ri := t.row(i)
+		f := ri[s]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * rr[j]
+		}
+		ri[s] = 0
+		t.b[i] -= f * t.b[r]
+	}
+	if f := t.z[s]; f != 0 {
+		z := t.z[:t.cols]
+		for j := range z {
+			z[j] -= f * rr[j]
+		}
+		z[s] = 0
+	}
+	t.basis[r] = s
+	t.iteration++
+}
+
+// chooseEntering selects the entering column from the maintained z row: most
+// negative reduced cost (Dantzig) or, once iteration exceeds blandAfter, the
+// lowest-index negative one (Bland). allowed filters out forbidden columns
+// (artificials in phase 2). Returns -1 if optimal.
+func (t *tableau) chooseEntering(allowed func(int) bool) int {
+	z := t.z[:t.cols]
+	if t.iteration > blandAfter {
+		for j, v := range z {
+			if v < -eps && allowed(j) {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for j, v := range z {
+		if v < bestVal && allowed(j) {
+			best, bestVal = j, v
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on column s, breaking ties by
+// lowest basis index (Bland-compatible). Returns -1 if the column is
+// unbounded.
+func (t *tableau) chooseLeaving(s int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		if v := t.a[i*t.stride+s]; v > eps {
+			ratio := t.b[i] / v
+			if ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
+				bestRow, bestRatio = i, ratio
+			}
+		}
+	}
+	return bestRow
+}
+
+// run iterates simplex under the active objective (already loaded into z)
+// until optimality or unboundedness.
+func (t *tableau) run(allowed func(int) bool) bool {
+	for iter := 0; iter < maxIters; iter++ {
+		s := t.chooseEntering(allowed)
+		if s == -1 {
+			return true
+		}
+		r := t.chooseLeaving(s)
+		if r == -1 {
+			return false // unbounded
+		}
+		t.pivot(r, s)
+	}
+	// Iteration limit: treat as failure to converge; in practice unreachable
+	// for the problem sizes in this repository.
+	panic("lp: simplex iteration limit exceeded")
+}
+
+// phase1 minimizes the sum of artificial variables; returns false if the
+// problem is infeasible.
+func (t *tableau) phase1() bool {
+	if t.numArt == 0 {
+		t.feasible = true
+		return true
+	}
+	// Maximize -(sum of artificials).
+	c := make([]float64, t.cols)
+	for j, art := range t.isArt {
+		if art {
+			c[j] = -1
+		}
+	}
+	t.computeZ(c)
+	t.zObj2 = false
+	if !t.run(func(int) bool { return true }) {
+		return false // cannot happen: phase-1 objective is bounded
+	}
+	sum := 0.0
+	for i := 0; i < t.m; i++ {
+		if t.isArt[t.basis[i]] {
+			sum += t.b[i]
+		}
+	}
+	if sum > 1e-7 {
+		return false
+	}
+	// Drive remaining (degenerate) artificials out of the basis.
+	for i := 0; i < t.m; i++ {
+		if !t.isArt[t.basis[i]] {
+			continue
+		}
+		ri := t.row(i)
+		for j, v := range ri {
+			if !t.isArt[j] && math.Abs(v) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If no pivot column exists the row is redundant (all-zero); the
+		// artificial stays basic at value 0, which is harmless as long as it
+		// never re-enters (enforced in phase 2 by the allowed filter).
+	}
+	t.feasible = true
+	return true
+}
+
+// phase2 optimizes the real objective from the current (feasible) basis;
+// returns false if unbounded.
+func (t *tableau) phase2() bool {
+	if !t.zObj2 {
+		t.computeZ(t.obj)
+		t.zObj2 = true
+	}
+	return t.run(func(j int) bool { return !t.isArt[j] })
+}
+
+// extract reads the primal solution, objective, and duals off the final
+// tableau. It requires z to hold the phase-2 reduced costs (true after a
+// successful phase2).
+func (t *tableau) extract(p *Problem) *Solution {
+	x := make([]float64, len(p.c))
+	for i := 0; i < t.m; i++ {
+		if v := t.varOf[t.basis[i]]; v >= 0 {
+			x[v] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j, v := range x {
+		obj += p.c[j] * v
+	}
+	// Dual values: with maximization objective t.obj, the dual of row i is
+	// read from the reduced cost of a column whose original entry was ±e_i:
+	// slack (+e_i) gives y_i; surplus (-e_i) gives -y_i; the artificial
+	// (+e_i, cost 0 in phase 2) gives y_i.
+	dual := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		var y float64
+		switch {
+		case t.artOf[i] >= 0:
+			y = t.z[t.artOf[i]]
+		case t.geRow[i]:
+			y = -t.z[t.slackOf[i]]
+		default:
+			y = t.z[t.slackOf[i]]
+		}
+		if t.flipped[i] {
+			y = -y
+		}
+		if !p.maximize {
+			y = -y
+		}
+		dual[i] = y
+	}
+	return &Solution{X: x, Objective: obj, Dual: dual}
+}

@@ -84,8 +84,12 @@ const (
 )
 
 // Run executes the mechanism on the declared valuations of the instance.
+// The LP relaxation is solved once on a warm-started master (auction.MasterLP)
+// that then serves every per-bidder VCG sub-solve from the full instance's
+// basis and column pool.
 func Run(in *auction.Instance) (*Outcome, error) {
-	sol, err := in.SolveLP()
+	master := in.NewMasterLP(in.Bidders, nil)
+	sol, err := master.Solve(in.Bidders)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +111,7 @@ func Run(in *auction.Instance) (*Outcome, error) {
 		out.ExpectedWelfare += wa.Lambda * wa.Alloc.Welfare(in.Bidders)
 	}
 
-	pay, err := scaledVCG(in, sol, alpha)
+	pay, err := scaledVCG(in, master, sol, alpha)
 	if err != nil {
 		return nil, err
 	}
@@ -175,26 +179,29 @@ func decompose(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]
 		pool = append(pool, a)
 	}
 
+	// Master: min Σλ s.t. Σ λ_S χ_S ≥ r, λ ≥ 0. Built once over the seed
+	// pool; each pricing round appends its allocation's incidence column to
+	// the live warm-started solver, so phase 1 runs only on the first solve.
+	obj := make([]float64, len(pool))
+	for i := range obj {
+		obj[i] = 1
+	}
+	p := lp.NewMinimize(obj)
+	chis := make([][]float64, len(pool))
+	for i, a := range pool {
+		chis[i] = sup.chi(a)
+	}
+	rowCoef := make([]float64, len(pool))
+	for c := 0; c < nc; c++ {
+		for i := range pool {
+			rowCoef[i] = chis[i][c]
+		}
+		p.AddConstraint(rowCoef, lp.GE, sup.target[c])
+	}
+	slv := lp.NewSolver(p)
 	var lambda []float64
 	for iter := 0; iter < maxDecompIters; iter++ {
-		// Master: min Σλ s.t. Σ λ_S χ_S ≥ r, λ ≥ 0.
-		obj := make([]float64, len(pool))
-		for i := range obj {
-			obj[i] = 1
-		}
-		p := lp.NewMinimize(obj)
-		chis := make([][]float64, len(pool))
-		for i, a := range pool {
-			chis[i] = sup.chi(a)
-		}
-		rowCoef := make([]float64, len(pool))
-		for c := 0; c < nc; c++ {
-			for i := range pool {
-				rowCoef[i] = chis[i][c]
-			}
-			p.AddConstraint(rowCoef, lp.GE, sup.target[c])
-		}
-		msol, status, err := p.Solve()
+		msol, status, err := slv.Solve()
 		if err != nil {
 			return nil, 0, fmt.Errorf("mechanism: decomposition master %v: %w", status, err)
 		}
@@ -213,8 +220,9 @@ func decompose(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]
 		if err != nil {
 			return nil, 0, err
 		}
+		chi := sup.chi(cand)
 		score := 0.0
-		for c, x := range sup.chi(cand) {
+		for c, x := range chi {
 			score += omega[c] * x
 		}
 		if score <= 1+decompTol {
@@ -223,6 +231,7 @@ func decompose(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]
 			break
 		}
 		pool = append(pool, cand)
+		slv.AddColumn(1, chi)
 	}
 
 	// Trim excess coverage so marginals match the target exactly: for each
@@ -316,7 +325,7 @@ func priceAllocation(in *auction.Instance, sup *support, omega []float64) (aucti
 	for v := range tables {
 		tables[v] = valuation.NewTable(in.K, vals[v])
 	}
-	sub := &auction.Instance{Conf: in.Conf, K: in.K, Bidders: tables}
+	sub := in.WithBidders(tables)
 	res, err := auction.Solve(sub, auction.Options{Derandomize: true})
 	if err != nil {
 		return nil, fmt.Errorf("mechanism: pricing solve: %w", err)
@@ -325,8 +334,12 @@ func priceAllocation(in *auction.Instance, sup *support, omega []float64) (aucti
 }
 
 // scaledVCG computes payments p_v = (LP*(b_{-v}) − (LP*(b) − b_v·x*_v))/α,
-// the fractional VCG payments scaled by 1/α.
-func scaledVCG(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]float64, error) {
+// the fractional VCG payments scaled by 1/α. Each sub-LP differs from the
+// solved full instance only in bidder v's (zeroed) valuation, so it re-solves
+// on the shared master: columns are repriced in place and the previous
+// optimal basis is reused, skipping both simplex phase 1 and the column
+// rediscovery a from-scratch solve would pay.
+func scaledVCG(in *auction.Instance, master *auction.MasterLP, sol *auction.LPSolution, alpha float64) ([]float64, error) {
 	n := in.N()
 	pay := make([]float64, n)
 	// b_v·x*_v: bidder v's fractional value in the optimum.
@@ -334,16 +347,16 @@ func scaledVCG(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]
 	for i, c := range sol.Columns {
 		fracVal[c.V] += sol.X[i] * c.Value
 	}
+	zero := valuation.NewTable(in.K, nil)
+	bidders := make([]valuation.Valuation, n)
 	for v := 0; v < n; v++ {
 		if fracVal[v] == 0 {
 			// Bidder receives nothing in expectation; VCG charges 0.
 			continue
 		}
-		bidders := make([]valuation.Valuation, n)
 		copy(bidders, in.Bidders)
-		bidders[v] = valuation.NewTable(in.K, nil) // zero valuation
-		sub := &auction.Instance{Conf: in.Conf, K: in.K, Bidders: bidders}
-		solMinus, err := sub.SolveLP()
+		bidders[v] = zero
+		solMinus, err := master.Solve(bidders)
 		if err != nil {
 			return nil, fmt.Errorf("mechanism: VCG sub-LP without bidder %d: %w", v, err)
 		}

@@ -111,7 +111,7 @@ func TestTruthfulInExpectation(t *testing.T) {
 			bidders := make([]valuation.Valuation, in.N())
 			copy(bidders, truth)
 			bidders[v] = valuation.NewAdditive(rep)
-			in2 := &auction.Instance{Conf: in.Conf, K: in.K, Bidders: bidders}
+			in2 := in.WithBidders(bidders)
 			out2, err := Run(in2)
 			if err != nil {
 				t.Fatal(err)

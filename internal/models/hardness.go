@@ -45,8 +45,8 @@ func AsymmetricHardness(g *graph.Graph, k int) ([]*graph.Graph, graph.Ordering, 
 // for the Theorem 5 setting (k = 1, ρ ≤ max degree): the degeneracy ordering
 // certifies ρ ≤ degeneracy(G) ≤ d.
 func BoundedDegreeConflict(g *graph.Graph) *Conflict {
-	pi := g.DegeneracyOrdering()
-	bound := float64(g.Degeneracy())
+	pi, degeneracy := g.SmallestLast()
+	bound := float64(degeneracy)
 	if bound < 1 {
 		bound = 1
 	}
@@ -78,8 +78,8 @@ func CliqueConflict(n int) *Conflict {
 // wireless models do far better than the Ω(n^{1−ε}) general-graph barrier,
 // and this constructor is what experiments compare them against.
 func GeneralGraphConflict(g *graph.Graph) *Conflict {
-	pi := g.DegeneracyOrdering()
-	bound := math.Max(1, float64(g.Degeneracy()))
+	pi, degeneracy := g.SmallestLast()
+	bound := math.Max(1, float64(degeneracy))
 	return &Conflict{
 		W:        graph.FromUnweighted(g),
 		Binary:   g,

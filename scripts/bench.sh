@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# bench.sh — run the quick benchmark suite and record a perf-trajectory
+# point (JSON via cmd/benchjson).
+#
+# Usage: scripts/bench.sh [out.json] [label]
+#
+# The committed BENCH_<n>.json files pin one measurement per PR so speedups
+# are asserted against a recorded baseline, not a guess. BENCH_2.json holds
+# the cold-start (rebuild-per-solve simplex) baseline that PR 2's
+# warm-started incremental solver is measured against.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
+
+# A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
+# accident. Pass FORCE=1 (or a different out path) to re-record.
+if [ -e "$out" ] && [ "${FORCE:-0}" != "1" ]; then
+  echo "bench: $out already exists (a recorded baseline); pass a new path or FORCE=1 to overwrite" >&2
+  exit 1
+fi
+
+go test -run '^$' -count 1 -benchmem \
+  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized' \
+  . | go run ./cmd/benchjson -label "$label" > "$out"
+echo "bench: wrote $out" >&2
