@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/baseline"
+	"repro/internal/broker"
 	"repro/internal/exp"
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -337,3 +338,56 @@ func BenchmarkExactOPTSmall(b *testing.B) {
 		baseline.ExactOPT(in)
 	}
 }
+
+// benchBrokerEpoch measures one steady-state broker epoch with small churn
+// (one departure + one arrival per tick) over a ~80-bidder market spread
+// into many conflict components. Warm keeps the component cache, persistent
+// masters, and column pool; Cold re-solves every component from scratch each
+// epoch — the pair quantifies what the incremental path buys.
+func benchBrokerEpoch(b *testing.B, cold bool) {
+	br, err := broker.New(broker.Config{K: 4, Cold: cold, MaxBidders: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	makeBid := func() broker.Bid {
+		values := make([]float64, 4)
+		for j := range values {
+			values[j] = 1 + rng.Float64()*9
+		}
+		return broker.Bid{
+			Pos:    geom.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400},
+			Radius: 3 + rng.Float64()*7,
+			Values: values,
+		}
+	}
+	var live []broker.BidderID
+	for i := 0; i < 80; i++ {
+		id, err := br.Submit(makeBid())
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	br.Tick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Withdraw(live[0]); err != nil {
+			b.Fatal(err)
+		}
+		live = live[1:]
+		id, err := br.Submit(makeBid())
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, id)
+		rep := br.Tick()
+		if rep.Errors > 0 {
+			b.Fatalf("epoch errors: %+v", rep)
+		}
+	}
+}
+
+func BenchmarkBrokerEpochWarm(b *testing.B) { benchBrokerEpoch(b, false) }
+func BenchmarkBrokerEpochCold(b *testing.B) { benchBrokerEpoch(b, true) }

@@ -78,7 +78,7 @@ func run(stdout, stderr io.Writer, spec string, quick bool, jobs int, markdown, 
 		}
 		switch {
 		case asJSON:
-			rec.Tables = append(rec.Tables, serialize.EncodeTable(out.Table, out.Duration))
+			rec.Tables = append(rec.Tables, exp.EncodeTable(out.Table, out.Duration))
 		case markdown:
 			fmt.Fprintln(stdout, out.Table.Markdown())
 		default:

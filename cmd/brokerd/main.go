@@ -1,0 +1,283 @@
+// Command brokerd runs the live spectrum broker: the "eBay in the Sky"
+// application of the paper's introduction as a long-running HTTP service.
+// Bids arrive and depart over the JSON API (see internal/broker); every
+// -epoch interval the broker closes the batch, re-solves the dirty conflict
+// components (warm-started, sharded across cores), and commits a new
+// allocation.
+//
+// Quickstart:
+//
+//	brokerd -addr :8080 -k 4 -epoch 250ms
+//	curl -s -X POST localhost:8080/v1/bids \
+//	     -d '{"pos":{"x":10,"y":20},"radius":5,"values":[3,1,4,1]}'
+//	curl -s localhost:8080/v1/bids/1
+//	curl -s localhost:8080/v1/allocation
+//	curl -s localhost:8080/v1/metrics
+//
+// -selftest replays a trace from the shared generator (internal/market's
+// GenTrace — the same workload market.Run and experiment E17 use) through
+// the full HTTP stack for the given duration, then verifies the final
+// committed allocation against a from-scratch solve of the final snapshot.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/broker"
+	"repro/internal/market"
+	"repro/internal/serialize"
+	"repro/internal/valuation"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (the API is unauthenticated; bind non-loopback deliberately)")
+		k          = flag.Int("k", 4, "number of channels")
+		epoch      = flag.Duration("epoch", 250*time.Millisecond, "epoch batching interval")
+		workers    = flag.Int("workers", 0, "solver fan-out (0 = GOMAXPROCS)")
+		maxBidders = flag.Int("max-bidders", broker.DefaultMaxBidders, "active population cap")
+		prices     = flag.Bool("prices", false, "serve Lavi–Swamy payments per epoch (costlier)")
+		cold       = flag.Bool("cold", false, "disable caching and warm starts (reference mode)")
+		verbose    = flag.Bool("v", false, "log every epoch report")
+		selftest   = flag.Duration("selftest", 0, "run the built-in load generator for this long, verify, and exit")
+		seed       = flag.Int64("seed", 1, "selftest trace seed")
+		rate       = flag.Float64("rate", 6, "selftest mean arrivals per trace epoch")
+	)
+	flag.Parse()
+
+	b, err := broker.New(broker.Config{
+		K:          *k,
+		Workers:    *workers,
+		MaxBidders: *maxBidders,
+		Prices:     *prices,
+		Cold:       *cold,
+	})
+	if err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("brokerd: listen %s: %v", *addr, err)
+	}
+	srv := &http.Server{Handler: broker.NewHandler(b)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("brokerd: serve: %v", err)
+		}
+	}()
+	log.Printf("brokerd: serving on %s (k=%d epoch=%s cold=%v prices=%v)",
+		ln.Addr(), *k, *epoch, *cold, *prices)
+
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(*epoch)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopTicker:
+				return
+			case <-t.C:
+				rep := b.Tick()
+				if *verbose {
+					log.Printf("epoch %d: active=%d comps=%d (clean=%d warm=%d rebuilt=%d) welfare=%.2f lp=%.2f half=%d lat=%s",
+						rep.Epoch, rep.Active, rep.Components, rep.Clean, rep.WarmResolves,
+						rep.Rebuilds, rep.Welfare, rep.LPValue, rep.HalfChosen, rep.Latency)
+				}
+			}
+		}
+	}()
+
+	shutdown := func(code int) {
+		close(stopTicker)
+		<-tickerDone
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("brokerd: shutdown: %v", err)
+		}
+		m := b.Metrics()
+		log.Printf("brokerd: stopped after %d epochs: %d submitted, %d withdrawn, %d updated, total welfare %.2f (clean=%d warm=%d rebuilt=%d)",
+			m.Epochs, m.Submitted, m.Withdrawn, m.Updated, m.TotalWelfare,
+			m.CleanTotal, m.WarmTotal, m.RebuildTotal)
+		os.Exit(code)
+	}
+
+	if *selftest > 0 {
+		base := fmt.Sprintf("http://%s", ln.Addr())
+		if err := runSelftest(base, b, *selftest, *epoch, *seed, *rate, *k); err != nil {
+			log.Printf("brokerd: SELFTEST FAILED: %v", err)
+			shutdown(1)
+		}
+		log.Printf("brokerd: selftest passed")
+		shutdown(0)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("brokerd: %v, shutting down", s)
+	shutdown(0)
+}
+
+// runSelftest drives the broker through its public HTTP API with the shared
+// trace generator: each trace epoch's departures, arrivals, and primary-mask
+// updates are posted as the daemon's own ticker keeps closing epochs
+// underneath. When the duration is spent the load stops, the market
+// quiesces, and the final committed allocation is checked against a
+// from-scratch auction.Solve of the final snapshot — the live equivalent of
+// the equivalence tests in internal/broker.
+func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed int64, rate float64, k int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(dur)
+	traceEpochs := int(dur/epoch) + 16
+	tr := market.GenTrace(market.TraceConfig{
+		Seed:          seed,
+		Epochs:        traceEpochs,
+		K:             k,
+		Side:          150,
+		ArrivalRate:   rate,
+		MeanLifetime:  5,
+		PrimaryUsers:  3,
+		PrimaryRadius: 40,
+		PrimaryActive: 0.5,
+		MaxUsers:      120,
+	})
+
+	post := func(method, path string, body, out any) error {
+		var buf bytes.Buffer
+		if body != nil {
+			if err := json.NewEncoder(&buf).Encode(body); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequest(method, base+path, &buf)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			var e map[string]string
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, e["error"])
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	// The shared Replayer turns each trace epoch into departures, arrivals,
+	// and primary-mask updates — the same translation experiment E17 uses —
+	// here issued through the live HTTP API while the daemon's own ticker
+	// keeps closing epochs underneath.
+	live := map[int]broker.BidderID{} // trace id → broker id
+	submitted, withdrawn, updated := 0, 0, 0
+	replay := market.NewReplayer(tr)
+	for time.Now().Before(deadline) {
+		more, err := replay.Step(
+			func(tid int) error {
+				withdrawn++
+				defer delete(live, tid)
+				return post(http.MethodDelete, fmt.Sprintf("/v1/bids/%d", live[tid]), nil, nil)
+			},
+			func(a market.Arrival, values []float64) error {
+				var acc struct {
+					ID broker.BidderID `json:"id"`
+				}
+				if err := post(http.MethodPost, "/v1/bids", broker.Bid{
+					Pos: a.Pos, Radius: a.Radius, Values: values,
+				}, &acc); err != nil {
+					return err
+				}
+				live[a.ID] = acc.ID
+				submitted++
+				return nil
+			},
+			func(tid int, values []float64) error {
+				updated++
+				return post(http.MethodPut, fmt.Sprintf("/v1/bids/%d", live[tid]),
+					map[string]any{"values": values}, nil)
+			},
+		)
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+		time.Sleep(epoch)
+	}
+
+	// Quiesce: let the ticker commit the tail of the queue, then verify.
+	time.Sleep(2 * epoch)
+	b.Tick()
+	in, ids, _, err := b.Snapshot()
+	if err != nil {
+		return err
+	}
+	got := make(auction.Allocation, len(ids))
+	welfare := 0.0
+	for i, id := range ids {
+		t, st := b.Allocation(id)
+		if st != broker.StatusActive {
+			return fmt.Errorf("active bidder %d has status %v", id, st)
+		}
+		got[i] = t
+		if t != valuation.Empty {
+			welfare += in.Bidders[i].Value(t)
+		}
+	}
+	if !in.Feasible(got) {
+		return fmt.Errorf("final allocation infeasible")
+	}
+	var ref auction.Allocation
+	refWelfare := 0.0
+	if in.N() > 0 {
+		res, err := auction.Solve(in, auction.Options{Derandomize: true})
+		if err != nil {
+			return err
+		}
+		ref, refWelfare = res.Alloc, res.Welfare
+	}
+	if math.Abs(welfare-refWelfare) > 1e-6*(1+math.Abs(refWelfare)) {
+		return fmt.Errorf("streamed welfare %.6f vs from-scratch %.6f", welfare, refWelfare)
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			return fmt.Errorf("allocation of bidder %d differs from from-scratch solve (%v vs %v)",
+				ids[i], got[i], ref[i])
+		}
+	}
+	m := b.Metrics()
+	log.Printf("selftest: %d trace epochs driven, %d submitted, %d withdrawn, %d updated; %d broker epochs (clean=%d warm=%d rebuilt=%d); final n=%d welfare=%.2f == from-scratch",
+		replay.Epoch(), submitted, withdrawn, updated, m.Epochs, m.CleanTotal, m.WarmTotal, m.RebuildTotal, in.N(), welfare)
+	// Emit the snapshot size as a sanity line (also proves serialize works
+	// on the live market).
+	var sz bytes.Buffer
+	if err := serialize.Write(&sz, in); err != nil {
+		return err
+	}
+	log.Printf("selftest: final snapshot serializes to %d bytes", sz.Len())
+	return nil
+}
+

@@ -1,0 +1,43 @@
+package auction
+
+import (
+	"reflect"
+	"testing"
+)
+
+// RoundDerandomized must equal the welfare-max of the two halves returned by
+// RoundHalvesDerandomized (half 0 on ties), on both unweighted and weighted
+// instances — the contract the broker's global half-pick relies on.
+func TestRoundHalvesMatchRoundDerandomized(t *testing.T) {
+	instances := []struct {
+		label string
+		in    *Instance
+	}{
+		{"protocol", protocolTestInstance(3, 24, 4)},
+		{"disk", diskTestInstance(5, 10, 3)},
+		{"sinr", sinrTestInstance(7, 14, 3)},
+	}
+	for _, tc := range instances {
+		sol, err := tc.in.SolveLP()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		halves, hIters := tc.in.RoundHalvesDerandomized(sol)
+		best, bIters := tc.in.RoundDerandomized(sol)
+		if hIters != bIters {
+			t.Fatalf("%s: iters %d vs %d", tc.label, hIters, bIters)
+		}
+		want := halves[0]
+		if halves[1].Welfare(tc.in.Bidders) > halves[0].Welfare(tc.in.Bidders) {
+			want = halves[1]
+		}
+		if !reflect.DeepEqual(best, want) {
+			t.Fatalf("%s: RoundDerandomized disagrees with half pick", tc.label)
+		}
+		for l, h := range halves {
+			if !tc.in.Feasible(h) {
+				t.Fatalf("%s: half %d infeasible", tc.label, l)
+			}
+		}
+	}
+}

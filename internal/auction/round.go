@@ -318,9 +318,24 @@ func (in *Instance) RoundOnceLiteral(sol *LPSolution, rng *rand.Rand) (Allocatio
 // is exact; the final allocation's welfare is at least the initial Φ, i.e.
 // at least b*/(8√kρ) resp. b*/(16√kρ) before Algorithm 3.
 func (in *Instance) RoundDerandomized(sol *LPSolution) (Allocation, int) {
+	halves, iters := in.RoundHalvesDerandomized(sol)
+	if halves[1].Welfare(in.Bidders) > halves[0].Welfare(in.Bidders) {
+		return halves[1], iters
+	}
+	return halves[0], iters
+}
+
+// RoundHalvesDerandomized returns both candidate allocations of the size
+// decomposition — index 0 is the |T| ≤ √k half, index 1 the |T| > √k half —
+// each derandomized and conflict-resolved, with the maximum Algorithm 3
+// iteration count. RoundDerandomized keeps the welfare-max of the two
+// (half 0 on ties); callers that stitch per-component solutions of a
+// disconnected instance back together (internal/broker) need both halves so
+// the same single half can be chosen globally, reproducing exactly what
+// RoundDerandomized on the union instance would pick.
+func (in *Instance) RoundHalvesDerandomized(sol *LPSolution) ([2]Allocation, int) {
 	plans := buildPlans(in, sol)
-	var best Allocation
-	bestWelfare := math.Inf(-1)
+	var halves [2]Allocation
 	maxIters := 0
 	for l := 0; l < 2; l++ {
 		s := in.derandomizeOne(plans[l])
@@ -328,11 +343,9 @@ func (in *Instance) RoundDerandomized(sol *LPSolution) (Allocation, int) {
 		if iters > maxIters {
 			maxIters = iters
 		}
-		if wf := s.Welfare(in.Bidders); wf > bestWelfare {
-			best, bestWelfare = s, wf
-		}
+		halves[l] = s
 	}
-	return best, maxIters
+	return halves, maxIters
 }
 
 // penCoef returns the estimator's penalty coefficient c(u,v).

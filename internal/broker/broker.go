@@ -1,0 +1,570 @@
+// Package broker is the live counterpart of internal/market's offline
+// simulator: the "eBay in the Sky" spectrum broker of the paper's
+// introduction, run as a long-lived concurrent service. Secondary users
+// submit, update, and withdraw bids at any time; the broker batches the
+// mutations into epochs and, on each Tick, re-clears the market.
+//
+// The epoch solve is sharded by conflict-graph component. The broker
+// maintains the disk conflict graph incrementally as bids come and go,
+// partitions the active bidders into connected components
+// (graph.ComponentsOrdered), and re-solves only the dirty components:
+//
+//   - a component whose membership and valuations are unchanged reuses its
+//     cached LP solution and rounded candidates — zero solve work;
+//   - a component whose membership is unchanged but whose valuations moved
+//     re-solves on its persistent auction.MasterLP (lp.Solver.SetObjective
+//     warm restart: same tableau, same basis, new objective);
+//   - a component whose membership changed gets a fresh master, seeded with
+//     the bundle pool its members generated in earlier epochs, so column
+//     generation restarts near the optimum instead of from scratch.
+//
+// Per component the rounding keeps both halves of the paper's size
+// decomposition (auction.RoundHalvesDerandomized); the half used for the
+// final allocation is chosen once per epoch by total welfare across all
+// components. That makes the sharded, incremental epoch path reproduce
+// exactly what a from-scratch auction.SolveLP + RoundDerandomized on the
+// union instance would return (the LP of a disconnected instance separates
+// by component, and Algorithm 1's conflict resolution never crosses a
+// component boundary) — the equivalence tests pin this.
+package broker
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/valuation"
+)
+
+// BidderID identifies one submitted bid for its lifetime.
+type BidderID int64
+
+// Bid is one secondary user's submission: a transmitter position and
+// interference radius (the disk conflict model of Proposition 9) plus
+// additive per-channel values.
+type Bid struct {
+	Pos    geom.Point `json:"pos"`
+	Radius float64    `json:"radius"`
+	Values []float64  `json:"values"`
+}
+
+// Config parameterizes a Broker.
+type Config struct {
+	// K is the number of channels on the secondary market.
+	K int
+	// Workers bounds the per-epoch solve fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxBidders caps the population (active plus queued submissions);
+	// Submit returns ErrFull beyond it. <= 0 means DefaultMaxBidders.
+	MaxBidders int
+	// Cold disables the component cache, the persistent masters, and the
+	// column pool: every epoch re-solves every component from scratch. The
+	// reference path for the equivalence tests and the warm-vs-cold
+	// benchmark.
+	Cold bool
+	// Prices additionally runs the Lavi–Swamy mechanism (Section 5) on each
+	// re-solved component and serves the scaled fractional-VCG payments.
+	Prices bool
+}
+
+// DefaultMaxBidders bounds the population when Config.MaxBidders is unset.
+const DefaultMaxBidders = 512
+
+// Status describes what the broker currently knows about a bidder id.
+type Status string
+
+// Bidder states.
+const (
+	// StatusPending: submitted, takes effect at the next epoch tick.
+	StatusPending Status = "pending"
+	// StatusActive: in the market (allocated or not).
+	StatusActive Status = "active"
+	// StatusGone: withdrawn, departed, or otherwise no longer tracked.
+	StatusGone Status = "gone"
+	// StatusUnknown: an id the broker never issued.
+	StatusUnknown Status = "unknown"
+)
+
+// Errors returned by the mutation API.
+var (
+	ErrFull    = fmt.Errorf("broker: market full")
+	ErrUnknown = fmt.Errorf("broker: unknown bidder")
+	ErrBadBid  = fmt.Errorf("broker: invalid bid")
+)
+
+// opKind tags one queued mutation.
+type opKind int
+
+const (
+	opSubmit opKind = iota
+	opWithdraw
+	opUpdate
+)
+
+type pendingOp struct {
+	kind   opKind
+	id     BidderID
+	bid    Bid       // opSubmit
+	values []float64 // opUpdate
+}
+
+// bidder is one active market participant.
+type bidder struct {
+	id      BidderID
+	pos     geom.Point
+	radius  float64
+	val     valuation.Valuation // additive over the K channels
+	version int                 // bumped by updates; part of the cache key check
+	// support is the set of positively valued channels. Columns the broker
+	// seeds or keeps must stay inside it: a zero-valued channel riding along
+	// in a bundle creates a degenerate LP vertex whose rounding can diverge
+	// from the from-scratch path (and can even hurt neighbors), so bundles
+	// are stripped to the support and support-shrinking updates force a
+	// master rebuild instead of the in-place warm re-solve.
+	support valuation.Bundle
+	// shrunk marks that an update removed channels from the support since
+	// the last plan; consumed (and cleared) by planEpoch.
+	shrunk bool
+	nbrs   map[BidderID]struct{}
+}
+
+// supportOf returns the bundle of positively valued channels.
+func supportOf(values []float64) valuation.Bundle {
+	var s valuation.Bundle
+	for j, v := range values {
+		if v > 0 {
+			s = s.With(j)
+		}
+	}
+	return s
+}
+
+// EpochReport summarizes one Tick.
+type EpochReport struct {
+	Epoch      int           `json:"epoch"`
+	Active     int           `json:"active"`
+	Arrivals   int           `json:"arrivals"`
+	Departures int           `json:"departures"`
+	Updates    int           `json:"updates"`
+	// Components is the epoch's component count; Clean of them were served
+	// entirely from cache, WarmResolves re-solved on a persistent master
+	// (valuation-only change), Rebuilds built a fresh (pool-seeded) master.
+	Components   int `json:"components"`
+	Clean        int `json:"clean"`
+	WarmResolves int `json:"warm_resolves"`
+	Rebuilds     int `json:"rebuilds"`
+	// ColumnsGenerated sums the column-generation work of the epoch's
+	// re-solved components; PoolAdded counts new bundles entering the pool.
+	ColumnsGenerated int `json:"columns_generated"`
+	PoolAdded        int `json:"pool_added"`
+	// LPValue is the summed fractional optimum, Welfare the committed
+	// allocation's welfare, HalfChosen the size-decomposition half picked
+	// globally this epoch.
+	LPValue    float64       `json:"lp_value"`
+	Welfare    float64       `json:"welfare"`
+	HalfChosen int           `json:"half_chosen"`
+	Alg3Iters  int           `json:"alg3_iters"`
+	Errors     int           `json:"errors"`
+	Latency    time.Duration `json:"latency_ns"`
+}
+
+// Metrics aggregates over the broker's lifetime.
+type Metrics struct {
+	Epochs       int         `json:"epochs"`
+	Submitted    int64       `json:"submitted"`
+	Withdrawn    int64       `json:"withdrawn"`
+	Updated      int64       `json:"updated"`
+	Rejected     int64       `json:"rejected"`
+	TotalWelfare float64     `json:"total_welfare"`
+	CleanTotal   int64       `json:"clean_total"`
+	WarmTotal    int64       `json:"warm_total"`
+	RebuildTotal int64       `json:"rebuild_total"`
+	ErrorsTotal  int64       `json:"errors_total"`
+	Last         EpochReport `json:"last"`
+}
+
+// Broker is the live market. All exported methods are safe for concurrent
+// use; Tick itself is serialized.
+type Broker struct {
+	cfg Config
+
+	// qmu guards the mutation queue — submissions never block on a solve.
+	// Lock order: mu before qmu (Tick holds mu across drain+apply; readers
+	// take mu.RLock and then qmu; nothing acquires mu while holding qmu).
+	qmu    sync.Mutex
+	queue  []pendingOp
+	nextID BidderID
+	// queuedSub indexes the queue's not-yet-drained submissions, so status
+	// lookups are O(1) instead of a queue scan per HTTP request.
+	queuedSub map[BidderID]bool
+	// pop is the population the cap governs: active bidders plus accepted
+	// submissions not yet removed. Submit increments it, cancellations and
+	// applied withdrawals decrement it, so the MaxBidders check is exact
+	// under any interleaving of Submit and Tick.
+	pop     int
+	retired map[BidderID]bool // ids withdrawn while still queued
+
+	// tickMu serializes epoch ticks.
+	tickMu sync.Mutex
+
+	// rejected counts refused mutations (bad bids, unknown ids, full market).
+	rejected atomic.Int64
+
+	// mu guards the committed state served to queries.
+	mu      sync.RWMutex
+	epoch   int
+	bidders map[BidderID]*bidder
+	alloc   map[BidderID]valuation.Bundle
+	prices  map[BidderID]float64
+	comps   map[string]*compEntry
+	pool    map[BidderID][]valuation.Bundle
+	// snap is the global state the last committed epoch was solved on;
+	// Snapshot serves it so snapshot and allocation always describe the
+	// same epoch, even while the next epoch's solve is in flight.
+	snap    *globalState
+	metrics Metrics
+}
+
+// New creates a broker.
+func New(cfg Config) (*Broker, error) {
+	if cfg.K < 1 || cfg.K > valuation.MaxChannels {
+		return nil, fmt.Errorf("%w: k=%d out of range [1,%d]", ErrBadBid, cfg.K, valuation.MaxChannels)
+	}
+	if cfg.MaxBidders <= 0 {
+		cfg.MaxBidders = DefaultMaxBidders
+	}
+	return &Broker{
+		cfg:       cfg,
+		bidders:   make(map[BidderID]*bidder),
+		alloc:     make(map[BidderID]valuation.Bundle),
+		prices:    make(map[BidderID]float64),
+		comps:     make(map[string]*compEntry),
+		pool:      make(map[BidderID][]valuation.Bundle),
+		retired:   make(map[BidderID]bool),
+		queuedSub: make(map[BidderID]bool),
+	}, nil
+}
+
+// Config returns the broker's configuration.
+func (b *Broker) Config() Config { return b.cfg }
+
+func (b *Broker) validValues(values []float64) error {
+	if len(values) != b.cfg.K {
+		return fmt.Errorf("%w: %d values for %d channels", ErrBadBid, len(values), b.cfg.K)
+	}
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%w: channel value %g", ErrBadBid, v)
+		}
+	}
+	return nil
+}
+
+// Submit queues a bid; it becomes active at the next Tick. Returns the
+// bidder id the market will know it by.
+func (b *Broker) Submit(bid Bid) (BidderID, error) {
+	if err := b.validValues(bid.Values); err != nil {
+		b.rejected.Add(1)
+		return 0, err
+	}
+	if !(bid.Radius > 0) || math.IsInf(bid.Radius, 0) ||
+		math.IsNaN(bid.Pos.X) || math.IsNaN(bid.Pos.Y) ||
+		math.IsInf(bid.Pos.X, 0) || math.IsInf(bid.Pos.Y, 0) {
+		b.rejected.Add(1)
+		return 0, fmt.Errorf("%w: bad geometry (radius %g)", ErrBadBid, bid.Radius)
+	}
+	bid.Values = append([]float64(nil), bid.Values...)
+
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	if b.pop >= b.cfg.MaxBidders {
+		b.rejected.Add(1)
+		return 0, ErrFull
+	}
+	b.nextID++
+	id := b.nextID
+	b.pop++
+	b.queuedSub[id] = true
+	b.queue = append(b.queue, pendingOp{kind: opSubmit, id: id, bid: bid})
+	return id, nil
+}
+
+// Update queues a valuation change for an active (or still-pending) bidder.
+// Geometry is immutable; to move, withdraw and resubmit.
+func (b *Broker) Update(id BidderID, values []float64) error {
+	if err := b.validValues(values); err != nil {
+		b.rejected.Add(1)
+		return err
+	}
+	if st := b.StatusOf(id); st != StatusActive && st != StatusPending {
+		b.rejected.Add(1)
+		return ErrUnknown
+	}
+	values = append([]float64(nil), values...)
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	b.queue = append(b.queue, pendingOp{kind: opUpdate, id: id, values: values})
+	return nil
+}
+
+// Withdraw queues a departure. Withdrawing a still-pending bid cancels it.
+func (b *Broker) Withdraw(id BidderID) error {
+	if st := b.StatusOf(id); st != StatusActive && st != StatusPending {
+		b.rejected.Add(1)
+		return ErrUnknown
+	}
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	b.queue = append(b.queue, pendingOp{kind: opWithdraw, id: id})
+	return nil
+}
+
+// StatusOf reports what the broker knows about id. "Active" means the last
+// committed epoch knows the bidder; a bidder applied mid-tick but not yet
+// committed still reports pending, so status, allocation, and snapshot
+// always describe the same epoch.
+//
+// The queue is checked before the committed state: a queued submission can
+// only leave the queue by being drained-and-applied atomically under mu, so
+// a bid that misses the queue check is guaranteed visible to the subsequent
+// mu-guarded check — the reverse order would have a window reporting a
+// freshly-submitted bid as gone.
+func (b *Broker) StatusOf(id BidderID) Status {
+	b.qmu.Lock()
+	if id <= 0 || id > b.nextID {
+		b.qmu.Unlock()
+		return StatusUnknown
+	}
+	queued, cancelled := b.queuedSub[id], b.retired[id]
+	b.qmu.Unlock()
+	if queued && !cancelled {
+		return StatusPending
+	}
+	b.mu.RLock()
+	committed := false
+	if b.snap != nil {
+		_, committed = b.snap.idx[id]
+	}
+	_, applied := b.bidders[id]
+	b.mu.RUnlock()
+	switch {
+	case committed:
+		return StatusActive
+	case applied:
+		return StatusPending // lands in the epoch being solved right now
+	}
+	return StatusGone
+}
+
+// Allocation returns the bundle granted to id in the last committed epoch
+// (Empty when the bidder holds nothing) and its status.
+func (b *Broker) Allocation(id BidderID) (valuation.Bundle, Status) {
+	b.mu.RLock()
+	if b.snap != nil {
+		if _, ok := b.snap.idx[id]; ok {
+			t := b.alloc[id]
+			b.mu.RUnlock()
+			return t, StatusActive
+		}
+	}
+	b.mu.RUnlock()
+	return valuation.Empty, b.StatusOf(id)
+}
+
+// Price returns id's committed Lavi–Swamy payment (0 unless Config.Prices).
+func (b *Broker) Price(id BidderID) (float64, Status) {
+	b.mu.RLock()
+	if b.snap != nil {
+		if _, ok := b.snap.idx[id]; ok {
+			p := b.prices[id]
+			b.mu.RUnlock()
+			return p, StatusActive
+		}
+	}
+	b.mu.RUnlock()
+	return 0, b.StatusOf(id)
+}
+
+// Epoch returns the number of completed ticks.
+func (b *Broker) Epoch() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.epoch
+}
+
+// Metrics returns a copy of the lifetime metrics.
+func (b *Broker) Metrics() Metrics {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	m := b.metrics
+	m.Rejected = b.rejected.Load()
+	return m
+}
+
+// activeIDs returns the active ids ascending. Callers hold at least mu.RLock.
+func (b *Broker) activeIDs() []BidderID {
+	ids := make([]BidderID, 0, len(b.bidders))
+	for id := range b.bidders {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// applyQueue drains the mutation queue into the committed bidder set and
+// incremental adjacency. Caller holds mu.Lock. Dirtiness does not need
+// explicit tracking: planEpoch compares each component's membership key and
+// valuation versions against the cache, so any effect of these mutations is
+// discovered there.
+func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd int) {
+	for _, op := range ops {
+		switch op.kind {
+		case opSubmit:
+			nb := &bidder{
+				id:      op.id,
+				pos:     op.bid.Pos,
+				radius:  op.bid.Radius,
+				val:     valuation.NewAdditive(op.bid.Values),
+				support: supportOf(op.bid.Values),
+				nbrs:    make(map[BidderID]struct{}),
+			}
+			for _, other := range b.bidders {
+				if other.pos.Dist(nb.pos) <= other.radius+nb.radius {
+					nb.nbrs[other.id] = struct{}{}
+					other.nbrs[nb.id] = struct{}{}
+				}
+			}
+			b.bidders[nb.id] = nb
+			arr++
+		case opWithdraw:
+			ob, ok := b.bidders[op.id]
+			if !ok {
+				// Already removed in this batch (double withdraw); not a
+				// departure of an actual bidder.
+				continue
+			}
+			for nid := range ob.nbrs {
+				delete(b.bidders[nid].nbrs, op.id)
+			}
+			// b.alloc and b.prices are left alone: they describe the last
+			// committed epoch (in which this bidder may be a winner) and are
+			// replaced wholesale at commit.
+			delete(b.bidders, op.id)
+			delete(b.pool, op.id)
+			dep++
+		case opUpdate:
+			ob, ok := b.bidders[op.id]
+			if !ok {
+				continue // withdrawn in the same batch; drop silently
+			}
+			newSupport := supportOf(op.values)
+			if ob.support&^newSupport != 0 {
+				ob.shrunk = true
+			}
+			ob.val = valuation.NewAdditive(op.values)
+			ob.support = newSupport
+			ob.version++
+			upd++
+		}
+	}
+	return arr, dep, upd
+}
+
+// Tick closes the current epoch: queued mutations are applied, the conflict
+// graph re-partitioned, dirty components re-solved (fanned across the worker
+// pool), and the new allocation committed. Queries keep serving the previous
+// committed epoch — status, allocation, prices, and snapshot all describe it
+// consistently — until the commit swaps everything at once.
+func (b *Broker) Tick() EpochReport {
+	b.tickMu.Lock()
+	defer b.tickMu.Unlock()
+	start := time.Now()
+
+	// Phase 1 (exclusive): drain and apply mutations atomically with
+	// respect to readers, then partition and plan the solve.
+	b.mu.Lock()
+	b.qmu.Lock()
+	ops := b.queue
+	b.queue = nil
+	// Remember withdrawn-before-apply ids so StatusOf answers "gone", and
+	// cancel submissions withdrawn in the same batch.
+	cancelled := make(map[BidderID]bool)
+	for _, op := range ops {
+		switch op.kind {
+		case opSubmit:
+			delete(b.queuedSub, op.id)
+		case opWithdraw:
+			b.retired[op.id] = true
+			cancelled[op.id] = true
+		}
+	}
+	if len(b.retired) > 4*b.cfg.MaxBidders {
+		b.retired = make(map[BidderID]bool) // bound memory; StatusOf still says gone via id range
+	}
+	kept := ops[:0]
+	for _, op := range ops {
+		if op.kind == opSubmit && cancelled[op.id] {
+			b.pop-- // cancelled before ever becoming active
+			continue
+		}
+		kept = append(kept, op)
+	}
+	ops = kept
+	b.qmu.Unlock()
+
+	// Idle fast path: nothing changed, so the committed state is already
+	// this epoch's answer — skip the re-partition and the map rebuilds
+	// (unless a component failed last epoch and must retry).
+	if len(ops) == 0 && b.snap != nil && b.metrics.Last.Errors == 0 {
+		rep := b.metrics.Last
+		rep.Arrivals, rep.Departures, rep.Updates = 0, 0, 0
+		rep.ColumnsGenerated, rep.PoolAdded, rep.Errors = 0, 0, 0
+		rep.Clean, rep.WarmResolves, rep.Rebuilds = rep.Components, 0, 0
+		b.epoch++
+		rep.Epoch = b.epoch
+		rep.Latency = time.Since(start)
+		b.metrics.Epochs++
+		b.metrics.TotalWelfare += rep.Welfare
+		b.metrics.CleanTotal += int64(rep.Clean)
+		b.metrics.Last = rep
+		b.mu.Unlock()
+		return rep
+	}
+
+	rep := EpochReport{Epoch: b.epoch + 1}
+	rep.Arrivals, rep.Departures, rep.Updates = b.applyQueue(ops)
+	b.qmu.Lock()
+	b.pop -= rep.Departures
+	b.qmu.Unlock()
+	rep.Active = len(b.bidders)
+	plan := b.planEpoch()
+	rep.Components = len(plan.entries)
+	rep.Clean = plan.clean
+	rep.WarmResolves = plan.warm
+	rep.Rebuilds = len(plan.jobs) - plan.warm
+	b.mu.Unlock()
+
+	// Phase 2 (concurrent): solve the dirty components.
+	b.solveJobs(plan.jobs)
+
+	// Phase 3 (exclusive): commit.
+	b.mu.Lock()
+	b.commitEpoch(plan, &rep)
+	rep.Latency = time.Since(start)
+	b.metrics.Epochs++
+	b.metrics.Submitted += int64(rep.Arrivals)
+	b.metrics.Withdrawn += int64(rep.Departures)
+	b.metrics.Updated += int64(rep.Updates)
+	b.metrics.TotalWelfare += rep.Welfare
+	b.metrics.CleanTotal += int64(rep.Clean)
+	b.metrics.WarmTotal += int64(rep.WarmResolves)
+	b.metrics.RebuildTotal += int64(rep.Rebuilds)
+	b.metrics.ErrorsTotal += int64(rep.Errors)
+	b.metrics.Last = rep
+	b.mu.Unlock()
+	return rep
+}

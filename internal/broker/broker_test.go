@@ -1,0 +1,323 @@
+package broker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/market"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+func newTestBroker(t testing.TB, cfg Config) *Broker {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func testTrace(seed int64, epochs, k int) *market.Trace {
+	return market.GenTrace(market.TraceConfig{
+		Seed:         seed,
+		Epochs:       epochs,
+		K:            k,
+		Side:         120,
+		ArrivalRate:  5,
+		MeanLifetime: 4,
+		MaxUsers:     48,
+	})
+}
+
+// traceDriver replays a trace into a broker through the shared
+// market.Replayer (the same translation E17 and brokerd -selftest use).
+type traceDriver struct {
+	t    testing.TB
+	b    *Broker
+	r    *market.Replayer
+	live map[int]BidderID
+}
+
+func newTraceDriver(t testing.TB, b *Broker, tr *market.Trace) *traceDriver {
+	return &traceDriver{t: t, b: b, r: market.NewReplayer(tr), live: map[int]BidderID{}}
+}
+
+// step queues the next trace epoch's departures, arrivals, and mask updates
+// (without ticking); false once the trace is exhausted.
+func (d *traceDriver) step() bool {
+	d.t.Helper()
+	more, err := d.r.Step(
+		func(tid int) error {
+			err := d.b.Withdraw(d.live[tid])
+			delete(d.live, tid)
+			return err
+		},
+		func(a market.Arrival, values []float64) error {
+			id, err := d.b.Submit(Bid{Pos: a.Pos, Radius: a.Radius, Values: values})
+			d.live[a.ID] = id
+			return err
+		},
+		func(tid int, values []float64) error {
+			return d.b.Update(d.live[tid], values)
+		},
+	)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return more
+}
+
+// Snapshot before any epoch has committed must describe the empty market,
+// not crash (a GET /v1/snapshot can land before the daemon's first tick).
+func TestSnapshotBeforeFirstTick(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	if _, err := b.Submit(Bid{Radius: 1, Values: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	in, ids, epoch, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 0 || len(ids) != 0 || epoch != 0 {
+		t.Fatalf("pre-tick snapshot: n=%d ids=%v epoch=%d", in.N(), ids, epoch)
+	}
+}
+
+func TestSubmitLifecycle(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	id, err := b.Submit(Bid{Pos: geom.Point{X: 1, Y: 1}, Radius: 5, Values: []float64{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := b.StatusOf(id); st != StatusPending {
+		t.Fatalf("status before tick = %v, want pending", st)
+	}
+	rep := b.Tick()
+	if rep.Active != 1 || rep.Arrivals != 1 {
+		t.Fatalf("tick report %+v", rep)
+	}
+	if st := b.StatusOf(id); st != StatusActive {
+		t.Fatalf("status after tick = %v, want active", st)
+	}
+	// A lone bidder wins its favorite bundle: both channels.
+	got, st := b.Allocation(id)
+	if st != StatusActive || got != valuation.FromChannels(0, 1) {
+		t.Fatalf("allocation = %v (%v), want both channels", got, st)
+	}
+	if math.Abs(rep.Welfare-7) > 1e-9 {
+		t.Fatalf("welfare = %g, want 7", rep.Welfare)
+	}
+	if err := b.Withdraw(id); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	if st := b.StatusOf(id); st != StatusGone {
+		t.Fatalf("status after withdraw = %v, want gone", st)
+	}
+	if _, st := b.Allocation(id); st != StatusGone {
+		t.Fatalf("allocation status = %v, want gone", st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2, MaxBidders: 2})
+	cases := []Bid{
+		{Pos: geom.Point{}, Radius: 1, Values: []float64{1}},              // wrong arity
+		{Pos: geom.Point{}, Radius: 1, Values: []float64{1, -2}},          // negative
+		{Pos: geom.Point{}, Radius: 0, Values: []float64{1, 2}},           // zero radius
+		{Pos: geom.Point{}, Radius: 1, Values: []float64{math.NaN(), 1}},  // NaN
+		{Pos: geom.Point{X: math.Inf(1)}, Radius: 1, Values: []float64{1, 2}}, // inf pos
+	}
+	for i, bid := range cases {
+		if _, err := b.Submit(bid); err == nil {
+			t.Fatalf("case %d: bad bid accepted", i)
+		}
+	}
+	ok := Bid{Pos: geom.Point{}, Radius: 1, Values: []float64{1, 2}}
+	if _, err := b.Submit(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(ok); err != ErrFull {
+		t.Fatalf("cap not enforced: %v", err)
+	}
+	if m := b.Metrics(); m.Rejected != 6 {
+		t.Fatalf("rejected = %d, want 6", m.Rejected)
+	}
+	if err := b.Withdraw(999); err != ErrUnknown {
+		t.Fatalf("withdraw unknown: %v", err)
+	}
+	if err := b.Update(999, []float64{1, 2}); err != ErrUnknown {
+		t.Fatalf("update unknown: %v", err)
+	}
+}
+
+func TestWithdrawPendingCancels(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1})
+	id, err := b.Submit(Bid{Radius: 1, Values: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Withdraw(id); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Tick()
+	if rep.Active != 0 {
+		t.Fatalf("cancelled submission became active: %+v", rep)
+	}
+	if st := b.StatusOf(id); st != StatusGone {
+		t.Fatalf("status = %v, want gone", st)
+	}
+}
+
+// TestAllocationFeasibleUnderChurn replays a trace with primary-user
+// masking (so the Replayer also streams valuation updates, hitting both the
+// warm SetObjective path and the support-shrink rebuild path) and checks
+// every epoch's committed allocation against the snapshot instance.
+func TestAllocationFeasibleUnderChurn(t *testing.T) {
+	b := newTestBroker(t, Config{K: 3})
+	tr := market.GenTrace(market.TraceConfig{
+		Seed: 2, Epochs: 10, K: 3, Side: 120, ArrivalRate: 5, MeanLifetime: 4,
+		PrimaryUsers: 2, PrimaryRadius: 40, PrimaryActive: 0.5, MaxUsers: 48,
+	})
+	d := newTraceDriver(t, b, tr)
+	for e := 0; d.step(); e++ {
+		rep := b.Tick()
+		in, ids, _, err := b.Snapshot()
+		if err != nil {
+			t.Fatalf("epoch %d: snapshot: %v", e, err)
+		}
+		alloc := make(auction.Allocation, len(ids))
+		welfare := 0.0
+		for i, id := range ids {
+			tb, st := b.Allocation(id)
+			if st != StatusActive {
+				t.Fatalf("epoch %d: active id %d has status %v", e, id, st)
+			}
+			alloc[i] = tb
+			if tb != valuation.Empty {
+				welfare += in.Bidders[i].Value(tb)
+			}
+		}
+		if !in.Feasible(alloc) {
+			t.Fatalf("epoch %d: committed allocation infeasible", e)
+		}
+		if math.Abs(welfare-rep.Welfare) > 1e-6*(1+math.Abs(welfare)) {
+			t.Fatalf("epoch %d: reported welfare %g, recomputed %g", e, rep.Welfare, welfare)
+		}
+	}
+}
+
+// TestSnapshotMatchesDiskModel pins the incrementally maintained adjacency
+// and ordering to the authoritative models.Disk construction.
+func TestSnapshotMatchesDiskModel(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	d := newTraceDriver(t, b, testTrace(5, 8, 2))
+	centersOf := func(ids []BidderID) ([]geom.Point, []float64) {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		centers := make([]geom.Point, len(ids))
+		radii := make([]float64, len(ids))
+		for i, id := range ids {
+			centers[i], radii[i] = b.bidders[id].pos, b.bidders[id].radius
+		}
+		return centers, radii
+	}
+	for e := 0; d.step(); e++ {
+		b.Tick()
+		in, ids, _, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers, radii := centersOf(ids)
+		ref := models.Disk(centers, radii)
+		n := len(ids)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if in.Conf.Binary.HasEdge(u, v) != ref.Binary.HasEdge(u, v) {
+					t.Fatalf("epoch %d: edge (%d,%d) disagrees with models.Disk", e, u, v)
+				}
+			}
+			if in.Conf.Pi.Rank[u] != ref.Pi.Rank[u] {
+				t.Fatalf("epoch %d: ordering disagrees at %d", e, u)
+			}
+		}
+	}
+}
+
+// TestUpdateWarmResolve exercises the valuation-only warm path: same
+// membership, changed values must re-solve on the persistent master and
+// match a cold broker fed the same state.
+func TestUpdateWarmResolve(t *testing.T) {
+	warm := newTestBroker(t, Config{K: 2})
+	cold := newTestBroker(t, Config{K: 2, Cold: true})
+	bids := []Bid{
+		{Pos: geom.Point{X: 0, Y: 0}, Radius: 3, Values: []float64{5, 1}},
+		{Pos: geom.Point{X: 4, Y: 0}, Radius: 3, Values: []float64{2, 6}},
+		{Pos: geom.Point{X: 40, Y: 40}, Radius: 2, Values: []float64{3, 3}},
+	}
+	var wids, cids []BidderID
+	for _, bid := range bids {
+		wi, err := warm.Submit(bid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci, err := cold.Submit(bid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wids, cids = append(wids, wi), append(cids, ci)
+	}
+	warm.Tick()
+	cold.Tick()
+	// Change bidder 0's values only: membership unchanged → warm re-solve.
+	newVals := []float64{1, 9}
+	if err := warm.Update(wids[0], newVals); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Update(cids[0], newVals); err != nil {
+		t.Fatal(err)
+	}
+	wrep := warm.Tick()
+	crep := cold.Tick()
+	if wrep.WarmResolves != 1 || wrep.Clean != 1 || wrep.Rebuilds != 0 {
+		t.Fatalf("warm tick did not use the warm path: %+v", wrep)
+	}
+	if crep.Rebuilds != 2 {
+		t.Fatalf("cold tick should rebuild everything: %+v", crep)
+	}
+	for i := range wids {
+		wt, _ := warm.Allocation(wids[i])
+		ct, _ := cold.Allocation(cids[i])
+		if wt != ct {
+			t.Fatalf("bidder %d: warm %v vs cold %v", i, wt, ct)
+		}
+	}
+	if math.Abs(wrep.Welfare-crep.Welfare) > 1e-9*(1+math.Abs(crep.Welfare)) {
+		t.Fatalf("welfare warm %g vs cold %g", wrep.Welfare, crep.Welfare)
+	}
+}
+
+// TestCleanComponentsPayZero: with no churn, a second tick must be all
+// cache hits.
+func TestCleanComponentsPayZero(t *testing.T) {
+	b := newTestBroker(t, Config{K: 3})
+	d := newTraceDriver(t, b, testTrace(7, 1, 3))
+	d.step()
+	first := b.Tick()
+	if first.Components == 0 || first.Rebuilds != first.Components {
+		t.Fatalf("first tick: %+v", first)
+	}
+	second := b.Tick()
+	if second.Clean != second.Components || second.Rebuilds != 0 || second.WarmResolves != 0 {
+		t.Fatalf("no-churn tick not fully cached: %+v", second)
+	}
+	if math.Abs(first.Welfare-second.Welfare) > 1e-12 {
+		t.Fatalf("cached welfare drifted: %g vs %g", first.Welfare, second.Welfare)
+	}
+}

@@ -1,0 +1,176 @@
+package broker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/market"
+	"repro/internal/valuation"
+)
+
+// The equivalence contract of the sharded incremental epoch path: a broker
+// fed a fixed arrival trace one event per epoch — so every component is
+// grown, merged, split, and re-solved incrementally, with pool-seeded warm
+// masters — must commit, at every epoch, exactly the allocation a
+// from-scratch auction.SolveLP + RoundDerandomized on that epoch's snapshot
+// instance produces. The LP of a disconnected instance separates by
+// component, conflict resolution never crosses components, and the broker
+// picks the size-decomposition half globally, so the two paths coincide.
+
+// globalReference solves the snapshot instance cold, end to end.
+func globalReference(t *testing.T, b *Broker) (map[BidderID]valuation.Bundle, float64) {
+	t.Helper()
+	in, ids, _, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() == 0 {
+		return map[BidderID]valuation.Bundle{}, 0
+	}
+	sol, err := in.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, _ := in.RoundDerandomized(sol)
+	out := make(map[BidderID]valuation.Bundle)
+	for i, id := range ids {
+		if alloc[i] != valuation.Empty {
+			out[id] = alloc[i]
+		}
+	}
+	return out, alloc.Welfare(in.Bidders)
+}
+
+func brokerAlloc(b *Broker) map[BidderID]valuation.Bundle {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[BidderID]valuation.Bundle, len(b.alloc))
+	for id, tb := range b.alloc {
+		if tb != valuation.Empty {
+			out[id] = tb
+		}
+	}
+	return out
+}
+
+func sameAlloc(a, c map[BidderID]valuation.Bundle) bool {
+	if len(a) != len(c) {
+		return false
+	}
+	for id, tb := range a {
+		if c[id] != tb {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalMatchesColdGlobalSolve(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		b := newTestBroker(t, Config{K: 3})
+		live := map[int]BidderID{}
+		replay := market.NewReplayer(testTrace(seed, 8, 3))
+		// Epoch size 1: every single arrival and departure gets its own
+		// tick (inside its callback), so the incremental machinery sees
+		// each component change in isolation.
+		for {
+			e := replay.Epoch()
+			more, err := replay.Step(
+				func(tid int) error {
+					err := b.Withdraw(live[tid])
+					delete(live, tid)
+					b.Tick()
+					checkAgainstReference(t, b, seed, e)
+					return err
+				},
+				func(a market.Arrival, values []float64) error {
+					id, err := b.Submit(Bid{Pos: a.Pos, Radius: a.Radius, Values: values})
+					live[a.ID] = id
+					b.Tick()
+					checkAgainstReference(t, b, seed, e)
+					return err
+				},
+				nil, // trace has no primaries, so no mask updates
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !more {
+				break
+			}
+		}
+	}
+}
+
+func checkAgainstReference(t *testing.T, b *Broker, seed int64, epoch int) {
+	t.Helper()
+	refAlloc, refWelfare := globalReference(t, b)
+	got := brokerAlloc(b)
+	if !sameAlloc(got, refAlloc) {
+		t.Fatalf("seed %d epoch %d: incremental allocation %v differs from cold global %v",
+			seed, epoch, got, refAlloc)
+	}
+	m := b.Metrics()
+	if math.Abs(m.Last.Welfare-refWelfare) > 1e-9*(1+math.Abs(refWelfare)) {
+		t.Fatalf("seed %d epoch %d: welfare %g vs cold global %g",
+			seed, epoch, m.Last.Welfare, refWelfare)
+	}
+}
+
+// TestIncrementalMatchesColdBroker runs the same trace through a caching
+// broker and a Cold-mode broker (every epoch rebuilt from scratch, no pool,
+// no persistent masters) with batched epochs; the committed allocations
+// must be identical every epoch.
+func TestIncrementalMatchesColdBroker(t *testing.T) {
+	for _, seed := range []int64{5, 6} {
+		tr := testTrace(seed, 10, 3)
+		warm := newTestBroker(t, Config{K: 3})
+		cold := newTestBroker(t, Config{K: 3, Cold: true})
+		dw := newTraceDriver(t, warm, tr)
+		dc := newTraceDriver(t, cold, tr)
+		for e := 0; dw.step() && dc.step(); e++ {
+			wrep := warm.Tick()
+			crep := cold.Tick()
+			// Broker ids are assigned identically (same submission order),
+			// so the allocation maps must match key for key.
+			if !sameAlloc(brokerAlloc(warm), brokerAlloc(cold)) {
+				t.Fatalf("seed %d epoch %d: warm and cold brokers disagree", seed, e)
+			}
+			if math.Abs(wrep.Welfare-crep.Welfare) > 1e-9*(1+math.Abs(crep.Welfare)) {
+				t.Fatalf("seed %d epoch %d: welfare %g vs %g", seed, e, wrep.Welfare, crep.Welfare)
+			}
+			if crep.Clean != 0 || crep.WarmResolves != 0 {
+				t.Fatalf("cold broker used the cache: %+v", crep)
+			}
+		}
+		// The warm broker must actually have exploited the cache.
+		if m := warm.Metrics(); m.CleanTotal == 0 {
+			t.Fatal("warm broker never hit the component cache")
+		}
+	}
+}
+
+// TestLPValueMatchesGlobal cross-checks that the summed per-component LP
+// optima equal the LP optimum of the union instance (the relaxation
+// separates over components).
+func TestLPValueMatchesGlobal(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	d := newTraceDriver(t, b, testTrace(9, 6, 2))
+	for e := 0; d.step(); e++ {
+		rep := b.Tick()
+		in, _, _, err := b.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.N() == 0 {
+			continue
+		}
+		sol, err := in.SolveLPCold()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rep.LPValue-sol.Value) > 1e-7*(1+math.Abs(sol.Value)) {
+			t.Fatalf("epoch %d: sharded LP %g vs global LP %g", e, rep.LPValue, sol.Value)
+		}
+	}
+}

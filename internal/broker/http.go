@@ -1,0 +1,297 @@
+package broker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/serialize"
+	"repro/internal/valuation"
+)
+
+// The HTTP/JSON API:
+//
+//	POST   /v1/bids        submit a bid            → 202 {id, status, epoch}
+//	GET    /v1/bids/{id}   bid status + grant      → 200 {id, status, channels, value, price}
+//	PUT    /v1/bids/{id}   update channel values   → 202 {id, status, epoch}
+//	DELETE /v1/bids/{id}   withdraw                → 202 {id, status, epoch}
+//	GET    /v1/allocation  committed allocation    → 200 {epoch, welfare, winners}
+//	GET    /v1/prices      Lavi–Swamy payments     → 200 {epoch, prices} (404 unless -prices)
+//	GET    /v1/snapshot    market as an instance   → 200 {epoch, ids, instance}
+//	GET    /v1/metrics     lifetime metrics        → 200 Metrics
+//	GET    /healthz        liveness                → 200 {status, epoch}
+//
+// Mutations are queued and take effect at the next epoch tick; the epoch in
+// a 202 response is the epoch the mutation will be visible after.
+
+// Handler serves the broker API.
+type Handler struct {
+	b   *Broker
+	mux *http.ServeMux
+}
+
+// NewHandler wraps the broker in its HTTP API.
+func NewHandler(b *Broker) *Handler {
+	h := &Handler{b: b, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/bids", h.bids)
+	h.mux.HandleFunc("/v1/bids/", h.bidByID)
+	h.mux.HandleFunc("/v1/allocation", h.allocation)
+	h.mux.HandleFunc("/v1/prices", h.prices)
+	h.mux.HandleFunc("/v1/snapshot", h.snapshot)
+	h.mux.HandleFunc("/v1/metrics", h.metrics)
+	h.mux.HandleFunc("/healthz", h.healthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// codeFor maps broker errors to HTTP statuses.
+func codeFor(err error) int {
+	switch {
+	case errors.Is(err, ErrFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnknown):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadBid):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// mutationAccepted is the 202 body of every queued mutation.
+type mutationAccepted struct {
+	ID BidderID `json:"id"`
+	// Status is the bidder's state right now (pending until the tick).
+	Status Status `json:"status"`
+	// Epoch is the last completed epoch; the mutation lands in epoch+1.
+	Epoch int `json:"epoch"`
+}
+
+func (h *Handler) bids(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var bid Bid
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&bid); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bid json: %v", err))
+		return
+	}
+	id, err := h.b.Submit(bid)
+	if err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, mutationAccepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
+}
+
+// bidState is the GET /v1/bids/{id} body.
+type bidState struct {
+	ID       BidderID `json:"id"`
+	Status   Status   `json:"status"`
+	Channels []int    `json:"channels"`
+	Value    float64  `json:"value"`
+	Price    float64  `json:"price,omitempty"`
+	Epoch    int      `json:"epoch"`
+}
+
+func (h *Handler) bidByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/bids/")
+	id64, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bidder id %q", rest))
+		return
+	}
+	id := BidderID(id64)
+	switch r.Method {
+	case http.MethodGet:
+		state, known := h.b.bidView(id)
+		if !known {
+			writeErr(w, http.StatusNotFound, ErrUnknown)
+			return
+		}
+		writeJSON(w, http.StatusOK, state)
+	case http.MethodPut, http.MethodPatch:
+		var body struct {
+			Values []float64 `json:"values"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad update json: %v", err))
+			return
+		}
+		if err := h.b.Update(id, body.Values); err != nil {
+			writeErr(w, codeFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, mutationAccepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
+	case http.MethodDelete:
+		if err := h.b.Withdraw(id); err != nil {
+			writeErr(w, codeFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, mutationAccepted{ID: id, Status: StatusGone, Epoch: h.b.Epoch()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET, PUT, or DELETE"))
+	}
+}
+
+// bidView assembles the GET /v1/bids/{id} response. The committed fields —
+// status active, channels, value, price, epoch — are read under one
+// mu.RLock, so they always describe the same committed epoch even while a
+// tick commits concurrently; the queue is consulted first, mirroring
+// StatusOf's ordering, so a freshly submitted bid never reads as gone.
+// known is false only for ids the broker never issued.
+func (b *Broker) bidView(id BidderID) (bidState, bool) {
+	state := bidState{ID: id, Channels: []int{}}
+	b.qmu.Lock()
+	unknown := id <= 0 || id > b.nextID
+	queued, cancelled := b.queuedSub[id], b.retired[id]
+	b.qmu.Unlock()
+	if unknown {
+		state.Status = StatusUnknown
+		return state, false
+	}
+	b.mu.RLock()
+	state.Epoch = b.epoch
+	if b.snap != nil {
+		if i, ok := b.snap.idx[id]; ok {
+			state.Status = StatusActive
+			if t := b.alloc[id]; t != valuation.Empty {
+				state.Channels = t.Channels()
+				state.Value = b.snap.vals[i].Value(t)
+			}
+			state.Price = b.prices[id]
+			b.mu.RUnlock()
+			return state, true
+		}
+	}
+	_, applied := b.bidders[id]
+	b.mu.RUnlock()
+	switch {
+	case queued && !cancelled, applied:
+		state.Status = StatusPending
+	default:
+		state.Status = StatusGone
+	}
+	return state, true
+}
+
+// winner is one allocation row.
+type winner struct {
+	ID       BidderID `json:"id"`
+	Channels []int    `json:"channels"`
+	Value    float64  `json:"value"`
+}
+
+func (h *Handler) allocation(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	h.b.mu.RLock()
+	epoch := h.b.epoch
+	welfare := h.b.metrics.Last.Welfare
+	winners := make([]winner, 0, len(h.b.alloc))
+	for id, tb := range h.b.alloc {
+		if tb == valuation.Empty {
+			continue
+		}
+		// Values come from the committed snapshot's valuation profile, so
+		// welfare always equals the sum of the served winner values even
+		// while the next epoch's mutations are being applied.
+		val := 0.0
+		if s := h.b.snap; s != nil {
+			if i, ok := s.idx[id]; ok {
+				val = s.vals[i].Value(tb)
+			}
+		}
+		winners = append(winners, winner{ID: id, Channels: tb.Channels(), Value: val})
+	}
+	h.b.mu.RUnlock()
+	sort.Slice(winners, func(i, j int) bool { return winners[i].ID < winners[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":   epoch,
+		"welfare": welfare,
+		"winners": winners,
+	})
+}
+
+func (h *Handler) prices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if !h.b.cfg.Prices {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("prices disabled; start the broker with pricing enabled"))
+		return
+	}
+	h.b.mu.RLock()
+	epoch := h.b.epoch
+	prices := make(map[string]float64, len(h.b.prices))
+	for id, p := range h.b.prices {
+		prices[strconv.FormatInt(int64(id), 10)] = p
+	}
+	h.b.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "prices": prices})
+}
+
+// snapshotBody wraps the serialized instance with its id mapping.
+type snapshotBody struct {
+	Epoch int             `json:"epoch"`
+	IDs   []BidderID      `json:"ids"`
+	File  *serialize.File `json:"instance"`
+}
+
+func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	in, ids, epoch, err := h.b.Snapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	f, err := serialize.Encode(in)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if ids == nil {
+		ids = []BidderID{}
+	}
+	writeJSON(w, http.StatusOK, snapshotBody{Epoch: epoch, IDs: ids, File: f})
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, h.b.Metrics())
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": h.b.Epoch()})
+}

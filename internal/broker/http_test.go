@@ -1,0 +1,274 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auction"
+	"repro/internal/geom"
+	"repro/internal/serialize"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Broker, *httptest.Server) {
+	t.Helper()
+	b := newTestBroker(t, cfg)
+	srv := httptest.NewServer(NewHandler(b))
+	t.Cleanup(srv.Close)
+	return b, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) *http.Response {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPSubmitQueryWithdrawRoundTrip(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+
+	var acc mutationAccepted
+	resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids",
+		Bid{Radius: 4, Values: []float64{5, 2}}, &acc)
+	if resp.StatusCode != http.StatusAccepted || acc.ID == 0 || acc.Status != StatusPending {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, acc)
+	}
+
+	b.Tick()
+
+	var state bidState
+	url := fmt.Sprintf("%s/v1/bids/%d", srv.URL, acc.ID)
+	if resp := doJSON(t, http.MethodGet, url, nil, &state); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	if state.Status != StatusActive || len(state.Channels) != 2 || state.Value != 7 {
+		t.Fatalf("state after tick: %+v", state)
+	}
+
+	// Update, tick, re-query.
+	if resp := doJSON(t, http.MethodPut, url, map[string]any{"values": []float64{0, 9}}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("update: %d", resp.StatusCode)
+	}
+	b.Tick()
+	doJSON(t, http.MethodGet, url, nil, &state)
+	// Channel 0 is now worth 0, so any optimal grant has value 9 and
+	// includes channel 1 (whether or not the worthless channel rides along
+	// depends on which degenerate LP vertex the warm path kept).
+	hasCh1 := false
+	for _, c := range state.Channels {
+		hasCh1 = hasCh1 || c == 1
+	}
+	if state.Value != 9 || !hasCh1 {
+		t.Fatalf("state after update: %+v", state)
+	}
+
+	// Allocation endpoint sees the single winner.
+	var allocBody struct {
+		Epoch   int      `json:"epoch"`
+		Welfare float64  `json:"welfare"`
+		Winners []winner `json:"winners"`
+	}
+	doJSON(t, http.MethodGet, srv.URL+"/v1/allocation", nil, &allocBody)
+	if len(allocBody.Winners) != 1 || allocBody.Winners[0].ID != acc.ID || allocBody.Welfare != 9 {
+		t.Fatalf("allocation: %+v", allocBody)
+	}
+
+	// Withdraw, tick, gone.
+	if resp := doJSON(t, http.MethodDelete, url, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("withdraw: %d", resp.StatusCode)
+	}
+	b.Tick()
+	var errBody map[string]string
+	if resp := doJSON(t, http.MethodGet, url, nil, &state); resp.StatusCode != http.StatusOK || state.Status != StatusGone {
+		t.Fatalf("after withdraw: %d %+v", resp.StatusCode, state)
+	}
+	_ = errBody
+}
+
+func TestHTTPRejectsMalformed(t *testing.T) {
+	_, srv := newTestServer(t, Config{K: 2})
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/v1/bids", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed json: %d", code)
+	}
+	if code := post(`{"radius":1,"values":[1,2],"bogus":true}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", code)
+	}
+	if code := post(`{"radius":1,"values":[1]}`); code != http.StatusBadRequest {
+		t.Fatalf("wrong arity: %d", code)
+	}
+	// Wrong methods.
+	if resp := doJSON(t, http.MethodGet, srv.URL+"/v1/bids", nil, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/bids: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodPost, srv.URL+"/v1/allocation", nil, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/allocation: %d", resp.StatusCode)
+	}
+	// Bad and unknown ids.
+	if resp := doJSON(t, http.MethodGet, srv.URL+"/v1/bids/abc", nil, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodGet, srv.URL+"/v1/bids/999", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodDelete, srv.URL+"/v1/bids/999", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("withdraw unknown id: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPPricesGatedByConfig(t *testing.T) {
+	_, srvOff := newTestServer(t, Config{K: 2})
+	if resp := doJSON(t, http.MethodGet, srvOff.URL+"/v1/prices", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("prices on non-pricing broker: %d", resp.StatusCode)
+	}
+	b, srvOn := newTestServer(t, Config{K: 2, Prices: true})
+	if _, err := b.Submit(Bid{Radius: 2, Values: []float64{4, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	var body struct {
+		Epoch  int                `json:"epoch"`
+		Prices map[string]float64 `json:"prices"`
+	}
+	if resp := doJSON(t, http.MethodGet, srvOn.URL+"/v1/prices", nil, &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prices: %d", resp.StatusCode)
+	}
+	// A lone bidder has no competition: VCG price 0, so the map is empty.
+	if len(body.Prices) != 0 {
+		t.Fatalf("lone bidder priced: %+v", body.Prices)
+	}
+}
+
+func TestHTTPSnapshotDecodes(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	for i := 0; i < 5; i++ {
+		if _, err := b.Submit(Bid{Pos: randPoint(int64(i)), Radius: 5, Values: []float64{1 + float64(i), 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Tick()
+	var body snapshotBody
+	if resp := doJSON(t, http.MethodGet, srv.URL+"/v1/snapshot", nil, &body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+	if len(body.IDs) != 5 {
+		t.Fatalf("snapshot ids: %v", body.IDs)
+	}
+	in, err := serialize.Decode(body.File)
+	if err != nil {
+		t.Fatalf("snapshot does not round-trip through serialize: %v", err)
+	}
+	if in.N() != 5 || in.K != 2 {
+		t.Fatalf("decoded instance n=%d k=%d", in.N(), in.K)
+	}
+}
+
+func randPoint(seed int64) geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	return geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+}
+
+// TestHTTPConcurrentSubmitters hammers the API from many goroutines while
+// the broker ticks — the -race CI step runs this.
+func TestHTTPConcurrentSubmitters(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2, MaxBidders: 4096})
+	stop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Tick()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []BidderID
+			for i := 0; i < 25; i++ {
+				var acc mutationAccepted
+				resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids", Bid{
+					Pos:    geom.Point{X: rng.Float64() * 200, Y: rng.Float64() * 200},
+					Radius: 2 + rng.Float64()*6,
+					Values: []float64{1 + rng.Float64()*9, 1 + rng.Float64()*9},
+				}, &acc)
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit: %d", resp.StatusCode)
+					return
+				}
+				mine = append(mine, acc.ID)
+				if len(mine) > 3 && rng.Float64() < 0.4 {
+					victim := mine[rng.Intn(len(mine))]
+					doJSON(t, http.MethodDelete, fmt.Sprintf("%s/v1/bids/%d", srv.URL, victim), nil, nil)
+				}
+				doJSON(t, http.MethodGet, srv.URL+"/v1/allocation", nil, nil)
+				doJSON(t, http.MethodGet, srv.URL+"/v1/metrics", nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	tickWG.Wait()
+	b.Tick()
+
+	// Post-storm sanity: committed allocation is feasible.
+	in, ids, _, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := make(auction.Allocation, len(ids))
+	for i, id := range ids {
+		alloc[i], _ = b.Allocation(id)
+	}
+	if !in.Feasible(alloc) {
+		t.Fatal("allocation infeasible after concurrent storm")
+	}
+}

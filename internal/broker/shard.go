@@ -1,0 +1,476 @@
+package broker
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/auction"
+	"repro/internal/graph"
+	"repro/internal/mechanism"
+	"repro/internal/models"
+	"repro/internal/valuation"
+)
+
+// diskRhoBound is the inductive independence certified for disk conflict
+// graphs by the decreasing-radius ordering (Proposition 9). Induced
+// subgraphs of a disk graph are disk graphs, so every per-component
+// sub-instance inherits the same certificate.
+const diskRhoBound = 5
+
+// poolCap bounds the per-bidder bundle pool used to seed rebuilt masters.
+const poolCap = 24
+
+// compEntry is the cached state of one conflict-graph component: its
+// sub-instance, the persistent warm-started master, the LP optimum, and the
+// two rounded candidate allocations (one per half of the size
+// decomposition, in the component's local vertex numbering).
+type compEntry struct {
+	key      string
+	ids      []BidderID // members in π order; local vertex v is ids[v]
+	versions []int
+	inst     *auction.Instance
+	master   *auction.MasterLP
+	sol      *auction.LPSolution
+	halves   [2]auction.Allocation
+	iters    int
+	payments []float64
+}
+
+type jobKind int
+
+const (
+	jobRebuild jobKind = iota
+	jobWarm
+)
+
+// solveJob is one dirty component to re-solve this epoch.
+type solveJob struct {
+	entry *compEntry
+	kind  jobKind
+	// seed columns for a rebuilt master (nil in Cold mode).
+	seed []auction.Column
+	// newInst/newVals for a warm re-solve on the persistent master.
+	newInst *auction.Instance
+	newVals []valuation.Valuation
+	err     error
+}
+
+// epochPlan is the outcome of partitioning: the component entries in
+// deterministic (earliest-π-member) order, the subset needing solves, and
+// the global snapshot the epoch was planned from (committed alongside the
+// allocation so Snapshot always describes the same epoch queries serve).
+type epochPlan struct {
+	state   *globalState
+	entries []*compEntry
+	jobs    []*solveJob
+	clean   int
+	warm    int
+}
+
+func compKey(ids []BidderID) string {
+	buf := make([]byte, 0, 8*len(ids))
+	for i, id := range ids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(id), 10)
+	}
+	return string(buf)
+}
+
+// globalState is the per-tick snapshot of the active market: ids ascending,
+// the radius ordering over them, the conflict graph, and the valuation
+// profile, all in local (id-ascending) numbering. The valuations are the
+// immutable *Additive objects current at build time (updates replace the
+// pointer), so a retained globalState stays internally consistent.
+type globalState struct {
+	ids  []BidderID
+	idx  map[BidderID]int
+	pi   graph.Ordering
+	g    *graph.Graph
+	vals []valuation.Valuation
+}
+
+// buildGlobal assembles the snapshot from the incrementally maintained
+// adjacency. Caller holds at least mu.RLock.
+func (b *Broker) buildGlobal() *globalState {
+	ids := b.activeIDs()
+	n := len(ids)
+	s := &globalState{ids: ids, idx: make(map[BidderID]int, n)}
+	for i, id := range ids {
+		s.idx[id] = i
+	}
+	// Decreasing radius with index tie-break — the ordering models.Disk
+	// certifies ρ ≤ 5 with.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, c int) bool {
+		ra, rc := b.bidders[ids[perm[a]]].radius, b.bidders[ids[perm[c]]].radius
+		if ra != rc {
+			return ra > rc
+		}
+		return perm[a] < perm[c]
+	})
+	s.pi = graph.NewOrdering(perm)
+	s.g = graph.New(n)
+	s.vals = make([]valuation.Valuation, n)
+	for i, id := range ids {
+		s.vals[i] = b.bidders[id].val
+		for nid := range b.bidders[id].nbrs {
+			if j := s.idx[nid]; j > i {
+				s.g.AddEdge(i, j)
+			}
+		}
+	}
+	return s
+}
+
+// subConflict builds the conflict structure of one component. members are
+// global-snapshot indices in π order, so the identity ordering over the
+// sub-instance is exactly the restriction of π and inherits the disk
+// certificate.
+func subConflict(s *globalState, members []int) *models.Conflict {
+	m := len(members)
+	sub := make(map[int]int, m)
+	for vi, gi := range members {
+		sub[gi] = vi
+	}
+	g := graph.New(m)
+	for vi, gi := range members {
+		for _, gj := range s.g.Neighbors(gi) {
+			if vj, ok := sub[gj]; ok && vj > vi {
+				g.AddEdge(vi, vj)
+			}
+		}
+	}
+	return &models.Conflict{
+		W:        graph.FromUnweighted(g),
+		Binary:   g,
+		Pi:       graph.IdentityOrdering(m),
+		RhoBound: diskRhoBound,
+		Model:    "disk",
+	}
+}
+
+// planEpoch partitions the market into components and decides, per
+// component, between cache reuse, a warm re-solve on the persistent master,
+// and a pool-seeded rebuild. Caller holds mu.Lock.
+func (b *Broker) planEpoch() *epochPlan {
+	s := b.buildGlobal()
+	plan := &epochPlan{state: s}
+	if len(s.ids) == 0 {
+		return plan
+	}
+	for _, members := range s.g.ComponentsOrdered(s.pi) {
+		ids := make([]BidderID, len(members))
+		versions := make([]int, len(members))
+		vals := make([]valuation.Valuation, len(members))
+		for vi, gi := range members {
+			bd := b.bidders[s.ids[gi]]
+			ids[vi] = bd.id
+			versions[vi] = bd.version
+			vals[vi] = s.vals[gi]
+		}
+		// A support-shrinking update (some channel's value dropped to zero)
+		// poisons the persistent master: its pooled columns may carry the
+		// now-worthless channel, creating degenerate optima whose rounding
+		// diverges from the from-scratch path. Such components rebuild.
+		shrunk := false
+		for _, gi := range members {
+			bd := b.bidders[s.ids[gi]]
+			shrunk = shrunk || bd.shrunk
+			bd.shrunk = false
+		}
+		key := compKey(ids)
+		if e, ok := b.comps[key]; ok && !b.cfg.Cold && !shrunk {
+			if sameVersions(e.versions, versions) {
+				plan.entries = append(plan.entries, e)
+				plan.clean++
+				continue
+			}
+			// Same membership, moved valuations: warm re-solve in place —
+			// the persistent master reprices its column pool and restarts
+			// simplex from the previous optimal basis.
+			e.versions = versions
+			plan.entries = append(plan.entries, e)
+			plan.jobs = append(plan.jobs, &solveJob{
+				entry:   e,
+				kind:    jobWarm,
+				newInst: e.inst.WithBidders(vals),
+				newVals: vals,
+			})
+			plan.warm++
+			continue
+		}
+		// Membership changed (or Cold, or a support shrink): fresh conflict
+		// structure and master, seeded with the bundles its members
+		// generated in earlier epochs, stripped to each bidder's current
+		// support (exact for additive valuations: the dropped channels are
+		// worth zero).
+		inst, err := auction.NewInstance(subConflict(s, members), b.cfg.K, vals)
+		e := &compEntry{key: key, ids: ids, versions: versions, inst: inst}
+		job := &solveJob{entry: e, kind: jobRebuild, err: err}
+		if !b.cfg.Cold {
+			for vi, gi := range members {
+				support := b.bidders[s.ids[gi]].support
+				for _, t := range b.pool[ids[vi]] {
+					if t &= support; t != valuation.Empty {
+						job.seed = append(job.seed, auction.Column{V: vi, T: t})
+					}
+				}
+			}
+		}
+		plan.entries = append(plan.entries, e)
+		plan.jobs = append(plan.jobs, job)
+	}
+	return plan
+}
+
+func sameVersions(a, c []int) bool {
+	for i := range a {
+		if a[i] != c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveJobs fans the dirty components across the worker pool. No broker
+// locks are held: each job owns its entry exclusively until commit, and
+// queries keep serving the previous epoch meanwhile.
+func (b *Broker) solveJobs(jobs []*solveJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	workers := b.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				b.runJob(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runJob solves one component and rounds both halves of the size
+// decomposition. On error the job is marked failed: commitEpoch allocates
+// nothing to the component's members this epoch and evicts the entry so the
+// next epoch rebuilds it — one failing component cannot take down the epoch
+// or masquerade as clean afterwards.
+func (b *Broker) runJob(j *solveJob) {
+	if j.err != nil {
+		return
+	}
+	e := j.entry
+	var sol *auction.LPSolution
+	var err error
+	switch j.kind {
+	case jobWarm:
+		sol, err = e.master.Solve(j.newVals)
+		if err == nil {
+			e.inst = j.newInst
+		}
+	default:
+		master := e.inst.NewMasterLP(e.inst.Bidders, j.seed)
+		sol, err = master.Solve(e.inst.Bidders)
+		if err == nil {
+			e.master = master
+		}
+	}
+	if err != nil {
+		j.err = err
+		return
+	}
+	e.sol = sol
+	e.halves, e.iters = e.inst.RoundHalvesDerandomized(sol)
+	if b.cfg.Prices {
+		out, perr := mechanism.Run(e.inst)
+		if perr != nil {
+			j.err = perr
+			return
+		}
+		e.payments = out.Payments
+	}
+}
+
+// commitEpoch publishes the epoch: the component cache is replaced with the
+// entries seen this epoch (evicting stale keys), the bundle pool absorbs the
+// re-solved components' columns, the size-decomposition half is chosen
+// globally by total welfare, and the allocation and prices maps are rebuilt.
+// A component whose solve failed contributes nothing this epoch and is NOT
+// cached — its stale versions/nil solution must not masquerade as clean, so
+// the next epoch re-plans it as a rebuild. Caller holds mu.Lock.
+func (b *Broker) commitEpoch(plan *epochPlan, rep *EpochReport) {
+	failed := make(map[*compEntry]bool)
+	for _, j := range plan.jobs {
+		if j.err != nil {
+			rep.Errors++
+			failed[j.entry] = true
+		}
+	}
+
+	newComps := make(map[string]*compEntry, len(plan.entries))
+	for _, e := range plan.entries {
+		if !failed[e] {
+			newComps[e.key] = e
+		}
+	}
+	b.comps = newComps
+
+	for _, j := range plan.jobs {
+		if j.err != nil {
+			continue
+		}
+		e := j.entry
+		rep.ColumnsGenerated += e.sol.ColumnsGenerated
+		if b.cfg.Cold {
+			continue
+		}
+		for _, c := range e.sol.Columns {
+			if b.poolAdd(e.ids[c.V], c.T) {
+				rep.PoolAdded++
+			}
+		}
+	}
+
+	// Choose the size-decomposition half globally. The sums are accumulated
+	// in global (id-ascending) bidder order — the exact float addition order
+	// Allocation.Welfare uses on the union instance — so even a near-tie
+	// between the halves resolves identically to the from-scratch
+	// RoundDerandomized the equivalence contract compares against.
+	n := 0
+	if plan.state != nil {
+		n = len(plan.state.ids)
+	}
+	perBidder := make([][2]float64, n)
+	for _, e := range plan.entries {
+		if failed[e] {
+			continue
+		}
+		if e.sol != nil {
+			rep.LPValue += e.sol.Value
+		}
+		if e.iters > rep.Alg3Iters {
+			rep.Alg3Iters = e.iters
+		}
+		for l := 0; l < 2; l++ {
+			h := e.halves[l]
+			if h == nil {
+				continue
+			}
+			for vi, id := range e.ids {
+				if h[vi] != valuation.Empty {
+					gi := plan.state.idx[id]
+					perBidder[gi][l] = plan.state.vals[gi].Value(h[vi])
+				}
+			}
+		}
+	}
+	var sw [2]float64
+	for gi := 0; gi < n; gi++ {
+		for l := 0; l < 2; l++ {
+			if v := perBidder[gi][l]; v != 0 {
+				sw[l] += v
+			}
+		}
+	}
+	half := 0
+	if sw[1] > sw[0] {
+		half = 1
+	}
+	rep.HalfChosen = half
+	rep.Welfare = sw[half]
+
+	alloc := make(map[BidderID]valuation.Bundle, len(b.bidders))
+	prices := make(map[BidderID]float64)
+	for _, e := range plan.entries {
+		if failed[e] {
+			continue
+		}
+		h := e.halves[half]
+		for vi, id := range e.ids {
+			if h != nil && h[vi] != valuation.Empty {
+				alloc[id] = h[vi]
+			}
+			if e.payments != nil && e.payments[vi] > 0 {
+				prices[id] = e.payments[vi]
+			}
+		}
+	}
+	b.alloc = alloc
+	b.prices = prices
+	b.snap = plan.state
+	b.epoch++
+	rep.Epoch = b.epoch
+}
+
+// poolAdd records a generated bundle for the bidder, deduplicated and
+// bounded; the pool seeds the master of any future component the bidder
+// lands in.
+func (b *Broker) poolAdd(id BidderID, t valuation.Bundle) bool {
+	if t == valuation.Empty {
+		return false
+	}
+	ts := b.pool[id]
+	for _, have := range ts {
+		if have == t {
+			return false
+		}
+	}
+	if len(ts) >= poolCap {
+		ts = ts[1:]
+	}
+	b.pool[id] = append(ts, t)
+	return true
+}
+
+// Snapshot returns the last committed epoch's market as a single auction
+// instance over its active bidders (id-ascending vertex numbering,
+// decreasing-radius ordering) together with the id of each vertex and the
+// epoch it reflects. It is built from the state the epoch was solved on —
+// not the live mutating bidder set — so even mid-tick it describes exactly
+// the epoch the allocation queries serve: the equivalence contract is that
+// a from-scratch auction.Solve of this instance reproduces the broker's
+// committed allocation. The instance is detached; solving it is safe while
+// the broker keeps ticking.
+func (b *Broker) Snapshot() (*auction.Instance, []BidderID, int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s := b.snap
+	if s == nil {
+		// No epoch committed yet: the empty market.
+		s = &globalState{g: graph.New(0), pi: graph.IdentityOrdering(0)}
+	}
+	conf := &models.Conflict{
+		W:        graph.FromUnweighted(s.g),
+		Binary:   s.g,
+		Pi:       s.pi,
+		RhoBound: diskRhoBound,
+		Model:    "disk",
+	}
+	in, err := auction.NewInstance(conf, b.cfg.K, s.vals)
+	if err != nil {
+		return nil, nil, b.epoch, err
+	}
+	return in, s.ids, b.epoch, nil
+}

@@ -116,6 +116,7 @@ var All = []Experiment{
 	{"E14", "Systems view: runtime and LP size scaling", E14},
 	{"E15", "Application: multi-epoch market simulation", E15},
 	{"E16", "Mechanism revenue vs expected welfare", E16},
+	{"E17", "Online broker vs from-scratch re-solves", E17},
 	{"A1", "Ablation: certified vs measured ρ in the LP", A1},
 	{"A2", "Ablation: rounding samples vs derandomization", A2},
 	{"A3", "Ablation: LP rounding vs local-ratio (k=1)", A3},

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/serialize"
+)
+
+// EncodeTable converts a rendered experiment table into its serialize
+// record form. (The conversion lives here rather than in serialize so the
+// persistence layer stays free of harness dependencies — internal/broker
+// serves serialized snapshots and is itself driven by this package's E17.)
+func EncodeTable(t *Table, d time.Duration) serialize.TableRecord {
+	return serialize.TableRecord{
+		ID:     t.ID,
+		Title:  t.Title,
+		Claim:  t.Claim,
+		Header: t.Header,
+		Rows:   t.Rows,
+		Notes:  t.Notes,
+		Millis: d.Milliseconds(),
+	}
+}
+
+// DecodeTable reconstructs the experiment table from its record form.
+func DecodeTable(r serialize.TableRecord) *Table {
+	return &Table{
+		ID:     r.ID,
+		Title:  r.Title,
+		Claim:  r.Claim,
+		Header: r.Header,
+		Rows:   r.Rows,
+		Notes:  r.Notes,
+	}
+}

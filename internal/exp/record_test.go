@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// Encode/Decode must round-trip a table exactly (Millis is record-only).
+func TestTableRecordRoundTrip(t *testing.T) {
+	orig := &Table{
+		ID:     "E1",
+		Title:  "sample",
+		Claim:  "claim text",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"a note"},
+	}
+	rec := EncodeTable(orig, 1500*time.Millisecond)
+	if rec.Millis != 1500 {
+		t.Fatalf("millis = %d", rec.Millis)
+	}
+	back := DecodeTable(rec)
+	if back.Render() != orig.Render() {
+		t.Fatalf("decoded table renders differently:\n%s\nvs\n%s", back.Render(), orig.Render())
+	}
+}

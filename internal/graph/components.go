@@ -1,0 +1,127 @@
+package graph
+
+// Components returns the connected components of the graph. Each component
+// lists its vertices in ascending index order, and the components themselves
+// are ordered by their smallest vertex, so the partition is deterministic.
+// An empty graph yields no components; isolated vertices form singleton
+// components.
+func (g *Graph) Components() [][]int {
+	return componentsOf(g.n, g.Neighbors)
+}
+
+// ComponentsOrdered returns the connected components with each component's
+// vertices listed in π order (the order induced by the given Ordering), and
+// the components ordered by their earliest-π vertex. This is the form the
+// sharded solve path wants: a component's vertex list is directly a valid
+// sub-instance numbering whose identity ordering agrees with the restriction
+// of π, so per-component solves inherit the inductive-independence
+// certificate of the full instance.
+func (g *Graph) ComponentsOrdered(o Ordering) [][]int {
+	if len(o.Rank) != g.n {
+		panic("graph: ordering size mismatch")
+	}
+	comps := g.Components()
+	return orderComponents(comps, o)
+}
+
+// Components returns the connected components of the weighted graph, with
+// u and v connected when either directed weight w(u,v) or w(v,u) is
+// positive. Layout matches Graph.Components.
+func (g *Weighted) Components() [][]int {
+	// Build symmetric adjacency once; Weighted stores a dense matrix.
+	adj := make([][]int, g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.Weight(u, v) > 0 || g.Weight(v, u) > 0 {
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	return componentsOf(g.n, func(v int) []int { return adj[v] })
+}
+
+// ComponentsOrdered is ComponentsOrdered for weighted graphs.
+func (g *Weighted) ComponentsOrdered(o Ordering) [][]int {
+	if len(o.Rank) != g.n {
+		panic("graph: ordering size mismatch")
+	}
+	return orderComponents(g.Components(), o)
+}
+
+// componentsOf runs an iterative BFS partition over vertices 0..n-1 using
+// the given neighbor accessor. Scanning start vertices in ascending order and
+// visiting queues FIFO yields components sorted by smallest member with
+// ascending members (vertices are enqueued in ascending discovery, then each
+// component is sorted for a stable contract regardless of adjacency order).
+func componentsOf(n int, nbr func(v int) []int) [][]int {
+	seen := make([]bool, n)
+	var comps [][]int
+	queue := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], s)
+		var comp []int
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, u := range nbr(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		insertionSort(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// orderComponents re-sorts each component's members by ascending π rank and
+// the component list by the rank of each component's first member.
+func orderComponents(comps [][]int, o Ordering) [][]int {
+	for _, c := range comps {
+		sortByRank(c, o.Rank)
+	}
+	// Components are disjoint, so first-member ranks are distinct; a simple
+	// insertion sort keeps the partition deterministic without importing sort.
+	for i := 1; i < len(comps); i++ {
+		c := comps[i]
+		j := i - 1
+		for j >= 0 && o.Rank[comps[j][0]] > o.Rank[c[0]] {
+			comps[j+1] = comps[j]
+			j--
+		}
+		comps[j+1] = c
+	}
+	return comps
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func sortByRank(a []int, rank []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && rank[a[j]] > rank[v] {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

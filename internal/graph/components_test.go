@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestComponentsTableDriven(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+		want  [][]int
+	}{
+		{"empty", 0, nil, nil},
+		{"isolated", 3, nil, [][]int{{0}, {1}, {2}}},
+		{"single-edge", 3, [][2]int{{0, 2}}, [][]int{{0, 2}, {1}}},
+		{"path", 4, [][2]int{{0, 1}, {1, 2}, {2, 3}}, [][]int{{0, 1, 2, 3}}},
+		{"two-triangles", 6,
+			[][2]int{{0, 2}, {2, 4}, {4, 0}, {1, 3}, {3, 5}, {5, 1}},
+			[][]int{{0, 2, 4}, {1, 3, 5}}},
+		{"star-plus-isolated", 5,
+			[][2]int{{3, 0}, {3, 4}},
+			[][]int{{0, 3, 4}, {1}, {2}}},
+		{"merge-late", 5,
+			[][2]int{{0, 4}, {1, 3}, {4, 1}},
+			[][]int{{0, 1, 3, 4}, {2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(tc.n)
+			for _, e := range tc.edges {
+				g.AddEdge(e[0], e[1])
+			}
+			got := g.Components()
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Components() = %v, want %v", got, tc.want)
+			}
+			// The weighted lift must induce the same partition.
+			if wg := FromUnweighted(g).Components(); !reflect.DeepEqual(wg, tc.want) {
+				t.Fatalf("Weighted Components() = %v, want %v", wg, tc.want)
+			}
+		})
+	}
+}
+
+func TestComponentsOrdered(t *testing.T) {
+	// Path 0-1-2 plus isolated 3, ordered 2,3,1,0: the path component is
+	// listed 2,1,0 and comes first because rank(2)=0 < rank(3)=1.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	o := NewOrdering([]int{2, 3, 1, 0})
+	got := g.ComponentsOrdered(o)
+	want := [][]int{{2, 1, 0}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ComponentsOrdered = %v, want %v", got, want)
+	}
+	if wg := FromUnweighted(g).ComponentsOrdered(o); !reflect.DeepEqual(wg, want) {
+		t.Fatalf("Weighted ComponentsOrdered = %v, want %v", wg, want)
+	}
+}
+
+func TestComponentsOrderedSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched ordering")
+		}
+	}()
+	New(3).ComponentsOrdered(IdentityOrdering(2))
+}
+
+// TestComponentsPartition cross-checks random graphs: every vertex appears
+// exactly once, members are connected to their component (reachability via
+// DFS), and no edge crosses components.
+func TestComponentsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.06 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		comps := g.Components()
+		where := make([]int, n)
+		for i := range where {
+			where[i] = -1
+		}
+		for ci, c := range comps {
+			for _, v := range c {
+				if where[v] != -1 {
+					t.Fatalf("vertex %d in two components", v)
+				}
+				where[v] = ci
+			}
+		}
+		for v := 0; v < n; v++ {
+			if where[v] == -1 {
+				t.Fatalf("vertex %d missing from partition", v)
+			}
+			for _, u := range g.Neighbors(v) {
+				if where[u] != where[v] {
+					t.Fatalf("edge {%d,%d} crosses components", u, v)
+				}
+			}
+		}
+		// Each component of size > 1 must be internally connected.
+		for _, c := range comps {
+			if len(c) == 1 {
+				continue
+			}
+			in := make(map[int]bool, len(c))
+			for _, v := range c {
+				in[v] = true
+			}
+			seen := map[int]bool{c[0]: true}
+			stack := []int{c[0]}
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, u := range g.Neighbors(v) {
+					if in[u] && !seen[u] {
+						seen[u] = true
+						stack = append(stack, u)
+					}
+				}
+			}
+			if len(seen) != len(c) {
+				t.Fatalf("component %v not connected", c)
+			}
+		}
+	}
+}

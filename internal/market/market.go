@@ -17,8 +17,6 @@ package market
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 
 	"repro/internal/auction"
 	"repro/internal/baseline"
@@ -103,13 +101,6 @@ type user struct {
 	departs int
 }
 
-// primary is a primary transmitter occupying one channel in a disk.
-type primary struct {
-	pos     geom.Point
-	radius  float64
-	channel int
-}
-
 // EpochStats records one epoch's outcome.
 type EpochStats struct {
 	Epoch       int
@@ -132,20 +123,15 @@ type Result struct {
 	TotalWelfare float64
 }
 
-// Run executes the simulation.
+// Run executes the simulation. The workload — arrivals, departures, primary
+// activity — comes from the shared trace generator (GenTrace); Run only
+// replays it through the selected allocator, so market.Run, the E17 online
+// experiment, and brokerd -selftest all clear the exact same markets.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Epochs <= 0 || cfg.K < 1 || cfg.K > valuation.MaxChannels {
 		return nil, fmt.Errorf("market: invalid config: epochs=%d k=%d", cfg.Epochs, cfg.K)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	primaries := make([]primary, cfg.PrimaryUsers)
-	for i := range primaries {
-		primaries[i] = primary{
-			pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
-			radius:  cfg.PrimaryRadius,
-			channel: rng.Intn(cfg.K),
-		}
-	}
+	trace := GenTrace(cfg.traceConfig())
 	var users []user
 	res := &Result{Config: cfg}
 
@@ -158,15 +144,12 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		users = kept
-		// Arrivals (Poisson-ish: binomial with the configured mean).
-		arrivals := poissonish(rng, cfg.ArrivalRate)
-		for i := 0; i < arrivals && len(users) < cfg.MaxUsers; i++ {
-			life := 1 + int(rng.ExpFloat64()*cfg.MeanLifetime)
+		for _, a := range trace.Epochs[epoch].Arrivals {
 			users = append(users, user{
-				pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
-				radius:  3 + rng.Float64()*7,
-				base:    valuation.RandomAdditive(rng, cfg.K, 1, 10),
-				departs: epoch + life,
+				pos:     a.Pos,
+				radius:  a.Radius,
+				base:    valuation.NewAdditive(a.Values),
+				departs: a.Departs,
 			})
 		}
 		stats := EpochStats{Epoch: epoch, ActiveUsers: len(users)}
@@ -176,25 +159,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		// Primary activity this epoch → per-user channel masks.
-		activePrimaries := make([]primary, 0, len(primaries))
-		for _, p := range primaries {
-			if rng.Float64() < cfg.PrimaryActive {
-				activePrimaries = append(activePrimaries, p)
-			}
-		}
 		centers := make([]geom.Point, len(users))
 		radii := make([]float64, len(users))
 		bidders := make([]valuation.Valuation, len(users))
 		for i, u := range users {
 			centers[i], radii[i] = u.pos, u.radius
-			mask := valuation.Full(cfg.K)
-			for _, p := range activePrimaries {
-				if p.pos.Dist(u.pos) <= p.radius {
-					mask = mask.Without(p.channel)
-					stats.MaskedPairs++
-				}
-			}
-			bidders[i] = valuation.NewMasked(u.base, mask)
+			mask, masked := trace.MaskFor(epoch, u.pos, cfg.K)
+			stats.MaskedPairs += masked
+			bidders[i] = valuation.NewMasked(u.base, valuation.Bundle(mask))
 		}
 
 		conf := models.Disk(centers, radii)
@@ -230,19 +202,4 @@ func Run(cfg Config) (*Result, error) {
 		res.Epochs = append(res.Epochs, stats)
 	}
 	return res, nil
-}
-
-// poissonish draws a Poisson-distributed count by Knuth's inversion method
-// (fine for the small means used here).
-func poissonish(rng *rand.Rand, mean float64) int {
-	if mean <= 0 {
-		return 0
-	}
-	l := math.Exp(-mean)
-	k, p := 0, 1.0
-	for p > l && k < 1000 {
-		p *= rng.Float64()
-		k++
-	}
-	return k - 1
 }

@@ -1,0 +1,281 @@
+package market
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// TraceConfig parameterizes the shared arrival/departure generator. It is the
+// workload half of Config: everything about who shows up when, nothing about
+// how the market is cleared. market.Run, the E17 online experiment, and
+// brokerd -selftest all drive their allocators from the same generator, so a
+// trace seed names one reproducible workload across all three.
+type TraceConfig struct {
+	// Seed makes the trace deterministic.
+	Seed int64
+	// Epochs is the number of rounds to generate.
+	Epochs int
+	// K is the number of channels bidders value.
+	K int
+	// Side is the edge length of the service area.
+	Side float64
+	// ArrivalRate is the expected number of new users per epoch.
+	ArrivalRate float64
+	// MeanLifetime is the expected number of epochs a user stays.
+	MeanLifetime float64
+	// PrimaryUsers, PrimaryRadius, PrimaryActive configure the primary
+	// transmitters that mask channels region by region.
+	PrimaryUsers  int
+	PrimaryRadius float64
+	PrimaryActive float64
+	// MaxUsers caps the concurrently active population; arrivals beyond the
+	// cap are never drawn (matching the historical market.Run behaviour, so
+	// traces replay its exact RNG stream).
+	MaxUsers int
+}
+
+// traceConfig extracts the workload parameters of a simulation Config.
+func (c Config) traceConfig() TraceConfig {
+	return TraceConfig{
+		Seed:          c.Seed,
+		Epochs:        c.Epochs,
+		K:             c.K,
+		Side:          c.Side,
+		ArrivalRate:   c.ArrivalRate,
+		MeanLifetime:  c.MeanLifetime,
+		PrimaryUsers:  c.PrimaryUsers,
+		PrimaryRadius: c.PrimaryRadius,
+		PrimaryActive: c.PrimaryActive,
+		MaxUsers:      c.MaxUsers,
+	}
+}
+
+// Arrival is one secondary user entering the market: a transmitter at Pos
+// with interference radius Radius, additive per-channel values, and a
+// departure epoch (the user is active in epochs [Epoch, Departs)).
+type Arrival struct {
+	// ID numbers arrivals globally across the trace, in generation order.
+	ID int
+	// Epoch is the arrival epoch.
+	Epoch int
+	// Departs is the first epoch the user is gone.
+	Departs int
+	// Pos and Radius place the transmitter's interference disk.
+	Pos    geom.Point
+	Radius float64
+	// Values are the additive per-channel values (length K).
+	Values []float64
+}
+
+// Primary is a primary transmitter occupying one channel inside a disk;
+// secondary users under an active primary lose that channel for the epoch.
+type Primary struct {
+	Pos     geom.Point
+	Radius  float64
+	Channel int
+}
+
+// TraceEpoch is one epoch's events.
+type TraceEpoch struct {
+	// Arrivals lists the users arriving this epoch (population-capped).
+	Arrivals []Arrival
+	// ActivePrimaries indexes into Trace.Primaries.
+	ActivePrimaries []int
+}
+
+// Trace is a generated workload: the primary transmitters and, per epoch,
+// the arrivals and the set of active primaries. Departures are implicit in
+// each arrival's Departs epoch.
+type Trace struct {
+	Config    TraceConfig
+	Primaries []Primary
+	Epochs    []TraceEpoch
+}
+
+// GenTrace generates the workload. The draw order matches the historical
+// inline generator of market.Run draw for draw — primaries first, then per
+// epoch the Poisson arrival count, per-arrival lifetime/position/radius/
+// values, then the primary activity coin flips — so a Config's simulation
+// results are unchanged by the extraction.
+func GenTrace(cfg TraceConfig) *Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Config: cfg}
+	tr.Primaries = make([]Primary, cfg.PrimaryUsers)
+	for i := range tr.Primaries {
+		tr.Primaries[i] = Primary{
+			Pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
+			Radius:  cfg.PrimaryRadius,
+			Channel: rng.Intn(max(cfg.K, 1)),
+		}
+	}
+	active := 0
+	departures := make(map[int]int) // epoch -> count departing at its start
+	nextID := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		active -= departures[epoch]
+		te := TraceEpoch{}
+		arrivals := poissonish(rng, cfg.ArrivalRate)
+		for i := 0; i < arrivals && active < cfg.MaxUsers; i++ {
+			life := 1 + int(rng.ExpFloat64()*cfg.MeanLifetime)
+			a := Arrival{
+				ID:      nextID,
+				Epoch:   epoch,
+				Departs: epoch + life,
+				Pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
+				Radius:  3 + rng.Float64()*7,
+				Values:  make([]float64, cfg.K),
+			}
+			for j := range a.Values {
+				a.Values[j] = 1 + rng.Float64()*(10-1)
+			}
+			nextID++
+			active++
+			departures[a.Departs]++
+			te.Arrivals = append(te.Arrivals, a)
+		}
+		for p := range tr.Primaries {
+			if rng.Float64() < cfg.PrimaryActive {
+				te.ActivePrimaries = append(te.ActivePrimaries, p)
+			}
+		}
+		tr.Epochs = append(tr.Epochs, te)
+	}
+	return tr
+}
+
+// MaskFor returns the channel mask of a secondary user at pos under the
+// epoch's active primaries: bit j set means channel j is usable. The second
+// return counts the covering active primaries (the historical MaskedPairs
+// accounting: one per (user, in-range primary) pair, even when two primaries
+// occupy the same channel).
+func (tr *Trace) MaskFor(epoch int, pos geom.Point, k int) (mask uint64, masked int) {
+	mask = (uint64(1) << uint(k)) - 1
+	for _, pi := range tr.Epochs[epoch].ActivePrimaries {
+		p := tr.Primaries[pi]
+		if p.Pos.Dist(pos) <= p.Radius {
+			mask &^= 1 << uint(p.Channel)
+			masked++
+		}
+	}
+	return mask, masked
+}
+
+// poissonish draws a Poisson-distributed count by Knuth's inversion method
+// (fine for the small means used here).
+func poissonish(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l && k < 1000 {
+		p *= rng.Float64()
+		k++
+	}
+	return k - 1
+}
+
+// Replayer walks a trace epoch by epoch and translates it into the three
+// mutations a live market understands: departures due this epoch, arrivals
+// (with values masked by the epoch's active primaries), and mask-refresh
+// updates for surviving users whose primary cover changed. Experiment E17
+// and brokerd -selftest both drive internal/broker through this one
+// translation (market.Run, which rebuilds whole epochs rather than applying
+// deltas, replays the same trace via MaskFor directly), so masking and
+// departure semantics cannot drift between the consumers.
+type Replayer struct {
+	tr    *Trace
+	next  int
+	live  []int // live trace ids in arrival order
+	byID  map[int]Arrival
+	masks map[int]uint64
+}
+
+// NewReplayer starts a replay at epoch 0.
+func NewReplayer(tr *Trace) *Replayer {
+	r := &Replayer{tr: tr, byID: make(map[int]Arrival), masks: make(map[int]uint64)}
+	for e := range tr.Epochs {
+		for _, a := range tr.Epochs[e].Arrivals {
+			r.byID[a.ID] = a
+		}
+	}
+	return r
+}
+
+// Epoch returns the next epoch Step will play.
+func (r *Replayer) Epoch() int { return r.next }
+
+// Step plays one epoch through the callbacks, in deterministic order:
+// depart(tid) for each user whose lifetime ended (arrival order), then
+// arrive(a, maskedValues) for each arrival, then update(tid, maskedValues)
+// for each surviving earlier user whose channel mask changed. Any callback
+// may be nil to skip that mutation kind (updates are meaningless without
+// primaries, for example). Returns false once the trace is exhausted.
+func (r *Replayer) Step(
+	depart func(tid int) error,
+	arrive func(a Arrival, values []float64) error,
+	update func(tid int, values []float64) error,
+) (bool, error) {
+	if r.next >= len(r.tr.Epochs) {
+		return false, nil
+	}
+	e := r.next
+	r.next++
+	k := r.tr.Config.K
+
+	kept := r.live[:0]
+	for _, tid := range r.live {
+		if r.byID[tid].Departs <= e {
+			delete(r.masks, tid)
+			if depart != nil {
+				if err := depart(tid); err != nil {
+					return false, err
+				}
+			}
+			continue
+		}
+		kept = append(kept, tid)
+	}
+	r.live = kept
+
+	for _, a := range r.tr.Epochs[e].Arrivals {
+		mask, _ := r.tr.MaskFor(e, a.Pos, k)
+		r.live = append(r.live, a.ID)
+		r.masks[a.ID] = mask
+		if arrive != nil {
+			if err := arrive(a, MaskedValues(a.Values, mask)); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	newCount := len(r.tr.Epochs[e].Arrivals)
+	for _, tid := range r.live[:len(r.live)-newCount] {
+		a := r.byID[tid]
+		mask, _ := r.tr.MaskFor(e, a.Pos, k)
+		if mask == r.masks[tid] {
+			continue
+		}
+		r.masks[tid] = mask
+		if update != nil {
+			if err := update(tid, MaskedValues(a.Values, mask)); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// MaskedValues returns the per-channel values with masked-out channels
+// zeroed — the valuation a user under active primaries effectively bids.
+func MaskedValues(values []float64, mask uint64) []float64 {
+	out := make([]float64, len(values))
+	for j := range values {
+		if mask&(1<<uint(j)) != 0 {
+			out[j] = values[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package market
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGenTraceDeterministic(t *testing.T) {
+	cfg := DefaultConfig(9).traceConfig()
+	a, b := GenTrace(cfg), GenTrace(cfg)
+	if len(a.Epochs) != cfg.Epochs || len(b.Epochs) != cfg.Epochs {
+		t.Fatalf("epoch count %d/%d, want %d", len(a.Epochs), len(b.Epochs), cfg.Epochs)
+	}
+	for e := range a.Epochs {
+		ae, be := a.Epochs[e], b.Epochs[e]
+		if len(ae.Arrivals) != len(be.Arrivals) {
+			t.Fatalf("epoch %d: %d vs %d arrivals", e, len(ae.Arrivals), len(be.Arrivals))
+		}
+		for i := range ae.Arrivals {
+			x, y := ae.Arrivals[i], be.Arrivals[i]
+			if x.ID != y.ID || x.Pos != y.Pos || x.Radius != y.Radius || x.Departs != y.Departs {
+				t.Fatalf("epoch %d arrival %d differs: %+v vs %+v", e, i, x, y)
+			}
+		}
+	}
+}
+
+func TestGenTraceInvariants(t *testing.T) {
+	cfg := DefaultConfig(4).traceConfig()
+	cfg.Epochs = 30
+	tr := GenTrace(cfg)
+	active := 0
+	departures := map[int]int{}
+	lastID := -1
+	for e, te := range tr.Epochs {
+		active -= departures[e]
+		for _, a := range te.Arrivals {
+			if a.ID != lastID+1 {
+				t.Fatalf("arrival ids not consecutive: %d after %d", a.ID, lastID)
+			}
+			lastID = a.ID
+			if a.Epoch != e {
+				t.Fatalf("arrival %d records epoch %d in epoch %d", a.ID, a.Epoch, e)
+			}
+			if a.Departs <= e {
+				t.Fatalf("arrival %d departs at %d, not after %d", a.ID, a.Departs, e)
+			}
+			if len(a.Values) != cfg.K {
+				t.Fatalf("arrival %d has %d values, want %d", a.ID, len(a.Values), cfg.K)
+			}
+			active++
+			departures[a.Departs]++
+		}
+		if active > cfg.MaxUsers {
+			t.Fatalf("epoch %d: %d active users exceeds cap %d", e, active, cfg.MaxUsers)
+		}
+		for _, pi := range te.ActivePrimaries {
+			if pi < 0 || pi >= len(tr.Primaries) {
+				t.Fatalf("epoch %d: primary index %d out of range", e, pi)
+			}
+		}
+	}
+}
+
+// TestMaskForCountsCoveringPrimaries pins the historical MaskedPairs
+// accounting: one count per covering active primary, even on a channel that
+// is already masked.
+func TestMaskForCountsCoveringPrimaries(t *testing.T) {
+	tr := &Trace{
+		Primaries: []Primary{
+			{Radius: 10, Channel: 1},
+			{Radius: 10, Channel: 1},
+			{Radius: 0.5, Channel: 0},
+		},
+		Epochs: []TraceEpoch{{ActivePrimaries: []int{0, 1, 2}}},
+	}
+	mask, masked := tr.MaskFor(0, geom.Point{X: 3, Y: 0}, 3)
+	if masked != 2 {
+		t.Fatalf("masked = %d, want 2 (both channel-1 primaries cover)", masked)
+	}
+	if mask != 0b101 {
+		t.Fatalf("mask = %b, want 101", mask)
+	}
+}

@@ -4,9 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"time"
-
-	"repro/internal/exp"
 )
 
 // TableRecord is the JSON form of one experiment table, including the
@@ -28,31 +25,6 @@ type RunRecord struct {
 	Quick         bool          `json:"quick"`
 	Jobs          int           `json:"jobs"`
 	Tables        []TableRecord `json:"tables"`
-}
-
-// EncodeTable converts a rendered experiment table into its record form.
-func EncodeTable(t *exp.Table, d time.Duration) TableRecord {
-	return TableRecord{
-		ID:     t.ID,
-		Title:  t.Title,
-		Claim:  t.Claim,
-		Header: t.Header,
-		Rows:   t.Rows,
-		Notes:  t.Notes,
-		Millis: d.Milliseconds(),
-	}
-}
-
-// DecodeTable reconstructs the experiment table from its record form.
-func DecodeTable(r TableRecord) *exp.Table {
-	return &exp.Table{
-		ID:     r.ID,
-		Title:  r.Title,
-		Claim:  r.Claim,
-		Header: r.Header,
-		Rows:   r.Rows,
-		Notes:  r.Notes,
-	}
 }
 
 // WriteRun marshals a run record as indented JSON to w.

@@ -7,11 +7,13 @@
 # The committed BENCH_<n>.json files pin one measurement per PR so speedups
 # are asserted against a recorded baseline, not a guess. BENCH_2.json holds
 # the cold-start (rebuild-per-solve simplex) baseline that PR 2's
-# warm-started incremental solver is measured against.
+# warm-started incremental solver is measured against; BENCH_3.json adds the
+# broker's steady-state epoch, warm (component cache + persistent masters +
+# column pool) vs cold (rebuild everything each epoch).
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 # A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
@@ -22,6 +24,6 @@ if [ -e "$out" ] && [ "${FORCE:-0}" != "1" ]; then
 fi
 
 go test -run '^$' -count 1 -benchmem \
-  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized' \
+  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch' \
   . | go run ./cmd/benchjson -label "$label" > "$out"
 echo "bench: wrote $out" >&2
