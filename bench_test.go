@@ -10,6 +10,7 @@ package repro
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -340,29 +341,48 @@ func BenchmarkExactOPTSmall(b *testing.B) {
 }
 
 // benchBrokerEpoch measures one steady-state broker epoch with small churn
-// (one departure + one arrival per tick) over a ~80-bidder market spread
-// into many conflict components. Warm keeps the component cache, persistent
-// masters, and column pool; Cold re-solves every component from scratch each
-// epoch — the pair quantifies what the incremental path buys.
-func benchBrokerEpoch(b *testing.B, cold bool) {
-	br, err := broker.New(broker.Config{K: 4, Cold: cold, MaxBidders: 4096})
+// (one departure + one arrival per tick) over a market spread into many
+// conflict components, per interference backend. Warm keeps the component
+// cache, persistent masters, and column pool; Cold re-solves every component
+// from scratch each epoch — the pair quantifies what the incremental path
+// buys under each model. The distance-2 backend gets a sparser market (its
+// squared conflict graph is much denser at equal population).
+func benchBrokerEpoch(b *testing.B, model string, cold bool) {
+	cm, err := broker.ModelByName(model, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
+	br, err := broker.New(broker.Config{K: 4, Model: cm, Cold: cold, MaxBidders: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 80
+	if model == "distance2" {
+		n = 48
+	}
+	isLink := model == "protocol" || model == "ieee80211"
 	rng := rand.New(rand.NewSource(42))
 	makeBid := func() broker.Bid {
 		values := make([]float64, 4)
 		for j := range values {
 			values[j] = 1 + rng.Float64()*9
 		}
-		return broker.Bid{
-			Pos:    geom.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400},
-			Radius: 3 + rng.Float64()*7,
-			Values: values,
+		pos := geom.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400}
+		r := 3 + rng.Float64()*7
+		if isLink {
+			th := rng.Float64() * 2 * math.Pi
+			return broker.Bid{
+				Link: &geom.Link{
+					Sender:   pos,
+					Receiver: geom.Point{X: pos.X + r*math.Cos(th), Y: pos.Y + r*math.Sin(th)},
+				},
+				Values: values,
+			}
 		}
+		return broker.Bid{Pos: pos, Radius: r, Values: values}
 	}
 	var live []broker.BidderID
-	for i := 0; i < 80; i++ {
+	for i := 0; i < n; i++ {
 		id, err := br.Submit(makeBid())
 		if err != nil {
 			b.Fatal(err)
@@ -389,5 +409,14 @@ func benchBrokerEpoch(b *testing.B, cold bool) {
 	}
 }
 
-func BenchmarkBrokerEpochWarm(b *testing.B) { benchBrokerEpoch(b, false) }
-func BenchmarkBrokerEpochCold(b *testing.B) { benchBrokerEpoch(b, true) }
+func BenchmarkBrokerEpochWarm(b *testing.B) {
+	for _, m := range broker.ModelNames() {
+		b.Run(m, func(b *testing.B) { benchBrokerEpoch(b, m, false) })
+	}
+}
+
+func BenchmarkBrokerEpochCold(b *testing.B) {
+	for _, m := range broker.ModelNames() {
+		b.Run(m, func(b *testing.B) { benchBrokerEpoch(b, m, true) })
+	}
+}

@@ -5,6 +5,13 @@
 // components (warm-started, sharded across cores), and commits a new
 // allocation.
 //
+// The interference backend is pluggable (-model): disk transmitters
+// (Proposition 9, the default), distance-2 coloring on the disk graph
+// (Proposition 11), the protocol model (-delta, Proposition 13), or
+// bidirectional IEEE 802.11. Disk models take {"pos", "radius"} geometry;
+// link models take {"link": {"sender", "receiver"}}. Values are additive
+// ("values": [...]) or XOR atoms ("xor": [{"channels", "value"}, ...]).
+//
 // Quickstart:
 //
 //	brokerd -addr :8080 -k 4 -epoch 250ms
@@ -14,10 +21,16 @@
 //	curl -s localhost:8080/v1/allocation
 //	curl -s localhost:8080/v1/metrics
 //
-// -selftest replays a trace from the shared generator (internal/market's
-// GenTrace — the same workload market.Run and experiment E17 use) through
-// the full HTTP stack for the given duration, then verifies the final
-// committed allocation against a from-scratch solve of the final snapshot.
+//	brokerd -model protocol -delta 1 -k 4
+//	curl -s -X POST localhost:8080/v1/bids \
+//	     -d '{"link":{"sender":{"x":0,"y":0},"receiver":{"x":5,"y":2}},"xor":[{"channels":[0,1],"value":9}]}'
+//
+// -selftest replays a churn trace from the shared generator (internal/
+// market's GenTrace — the same workload market.Run and experiments E17/E18
+// use) through the full HTTP stack for the given duration under EVERY
+// interference backend in turn (each gets its own broker, listener, and
+// ticker), mixing XOR bidders into the stream, then verifies each backend's
+// final committed allocation against a from-scratch solve of its snapshot.
 package main
 
 import (
@@ -46,20 +59,45 @@ func main() {
 	var (
 		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (the API is unauthenticated; bind non-loopback deliberately)")
 		k          = flag.Int("k", 4, "number of channels")
+		model      = flag.String("model", "disk", "interference backend: disk, distance2, protocol, or ieee80211")
+		delta      = flag.Float64("delta", 1, "guard-zone parameter Δ of the protocol and ieee80211 models")
 		epoch      = flag.Duration("epoch", 250*time.Millisecond, "epoch batching interval")
 		workers    = flag.Int("workers", 0, "solver fan-out (0 = GOMAXPROCS)")
 		maxBidders = flag.Int("max-bidders", broker.DefaultMaxBidders, "active population cap")
 		prices     = flag.Bool("prices", false, "serve Lavi–Swamy payments per epoch (costlier)")
 		cold       = flag.Bool("cold", false, "disable caching and warm starts (reference mode)")
 		verbose    = flag.Bool("v", false, "log every epoch report")
-		selftest   = flag.Duration("selftest", 0, "run the built-in load generator for this long, verify, and exit")
+		selftest   = flag.Duration("selftest", 0, "replay the built-in load generator for this long per interference backend, verify each, and exit")
 		seed       = flag.Int64("seed", 1, "selftest trace seed")
 		rate       = flag.Float64("rate", 6, "selftest mean arrivals per trace epoch")
 	)
 	flag.Parse()
 
+	if *selftest > 0 {
+		for _, name := range broker.ModelNames() {
+			cfg := broker.Config{
+				K:          *k,
+				Workers:    *workers,
+				MaxBidders: *maxBidders,
+				Prices:     *prices,
+				Cold:       *cold,
+			}
+			if err := selftestBackend(name, *delta, cfg, *selftest, *epoch, *seed, *rate); err != nil {
+				log.Printf("brokerd: SELFTEST FAILED (%s): %v", name, err)
+				os.Exit(1)
+			}
+		}
+		log.Printf("brokerd: selftest passed for all backends (%v) (cold=%v prices=%v)", broker.ModelNames(), *cold, *prices)
+		os.Exit(0)
+	}
+
+	cm, err := broker.ModelByName(*model, *delta)
+	if err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
 	b, err := broker.New(broker.Config{
 		K:          *k,
+		Model:      cm,
 		Workers:    *workers,
 		MaxBidders: *maxBidders,
 		Prices:     *prices,
@@ -79,8 +117,8 @@ func main() {
 			log.Fatalf("brokerd: serve: %v", err)
 		}
 	}()
-	log.Printf("brokerd: serving on %s (k=%d epoch=%s cold=%v prices=%v)",
-		ln.Addr(), *k, *epoch, *cold, *prices)
+	log.Printf("brokerd: serving on %s (model=%s k=%d epoch=%s cold=%v prices=%v)",
+		ln.Addr(), cm.Name(), *k, *epoch, *cold, *prices)
 
 	stopTicker := make(chan struct{})
 	tickerDone := make(chan struct{})
@@ -103,46 +141,87 @@ func main() {
 		}
 	}()
 
-	shutdown := func(code int) {
-		close(stopTicker)
-		<-tickerDone
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("brokerd: shutdown: %v", err)
-		}
-		m := b.Metrics()
-		log.Printf("brokerd: stopped after %d epochs: %d submitted, %d withdrawn, %d updated, total welfare %.2f (clean=%d warm=%d rebuilt=%d)",
-			m.Epochs, m.Submitted, m.Withdrawn, m.Updated, m.TotalWelfare,
-			m.CleanTotal, m.WarmTotal, m.RebuildTotal)
-		os.Exit(code)
-	}
-
-	if *selftest > 0 {
-		base := fmt.Sprintf("http://%s", ln.Addr())
-		if err := runSelftest(base, b, *selftest, *epoch, *seed, *rate, *k); err != nil {
-			log.Printf("brokerd: SELFTEST FAILED: %v", err)
-			shutdown(1)
-		}
-		log.Printf("brokerd: selftest passed")
-		shutdown(0)
-	}
-
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	log.Printf("brokerd: %v, shutting down", s)
-	shutdown(0)
+	close(stopTicker)
+	<-tickerDone
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("brokerd: shutdown: %v", err)
+	}
+	m := b.Metrics()
+	log.Printf("brokerd: stopped after %d epochs: %d submitted, %d withdrawn, %d updated, total welfare %.2f (clean=%d warm=%d rebuilt=%d)",
+		m.Epochs, m.Submitted, m.Withdrawn, m.Updated, m.TotalWelfare,
+		m.CleanTotal, m.WarmTotal, m.RebuildTotal)
+}
+
+// selftestBackend stands up a complete daemon — a broker built from the
+// CLI-configured Config (so -cold, -prices, and -max-bidders apply to the
+// selftest too) with the named interference backend, TCP listener, HTTP
+// server, epoch ticker — replays a trace against it, verifies, and tears it
+// down.
+func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch time.Duration, seed int64, rate float64) error {
+	cm, err := broker.ModelByName(name, delta)
+	if err != nil {
+		return err
+	}
+	cfg.Model = cm
+	b, err := broker.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: broker.NewHandler(b)}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+		}
+		close(serveErr)
+	}()
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(epoch)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopTicker:
+				return
+			case <-t.C:
+				b.Tick()
+			}
+		}
+	}()
+	runErr := runSelftest(fmt.Sprintf("http://%s", ln.Addr()), b, name, dur, epoch, seed, rate, cfg.K)
+	close(stopTicker)
+	<-tickerDone
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := <-serveErr; err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 // runSelftest drives the broker through its public HTTP API with the shared
 // trace generator: each trace epoch's departures, arrivals, and primary-mask
 // updates are posted as the daemon's own ticker keeps closing epochs
-// underneath. When the duration is spent the load stops, the market
-// quiesces, and the final committed allocation is checked against a
-// from-scratch auction.Solve of the final snapshot — the live equivalent of
-// the equivalence tests in internal/broker.
-func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed int64, rate float64, k int) error {
+// underneath. Every 4th arrival bids in the XOR language. When the duration
+// is spent the load stops, the market quiesces, and the final committed
+// allocation is checked against a from-scratch auction.Solve of the final
+// snapshot — the live equivalent of the equivalence tests in internal/broker.
+func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Duration, seed int64, rate float64, k int) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 	deadline := time.Now().Add(dur)
 	traceEpochs := int(dur/epoch) + 16
@@ -157,7 +236,9 @@ func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed i
 		PrimaryRadius: 40,
 		PrimaryActive: 0.5,
 		MaxUsers:      120,
+		Model:         model,
 	})
+	isLink := tr.Config.LinkModel()
 
 	post := func(method, path string, body, out any) error {
 		var buf bytes.Buffer
@@ -187,11 +268,11 @@ func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed i
 	}
 
 	// The shared Replayer turns each trace epoch into departures, arrivals,
-	// and primary-mask updates — the same translation experiment E17 uses —
-	// here issued through the live HTTP API while the daemon's own ticker
+	// and primary-mask updates — the same translation experiments E17/E18 use
+	// — here issued through the live HTTP API while the daemon's own ticker
 	// keeps closing epochs underneath.
 	live := map[int]broker.BidderID{} // trace id → broker id
-	submitted, withdrawn, updated := 0, 0, 0
+	submitted, withdrawn, updated, xors := 0, 0, 0, 0
 	replay := market.NewReplayer(tr)
 	for time.Now().Before(deadline) {
 		more, err := replay.Step(
@@ -201,12 +282,22 @@ func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed i
 				return post(http.MethodDelete, fmt.Sprintf("/v1/bids/%d", live[tid]), nil, nil)
 			},
 			func(a market.Arrival, values []float64) error {
+				bid := broker.Bid{}
+				if isLink {
+					l := a.Link
+					bid.Link = &l
+				} else {
+					bid.Pos, bid.Radius = a.Pos, a.Radius
+				}
+				v := broker.MixedTraceValues(a.ID, values)
+				bid.Values, bid.XOR = v.Additive, v.XOR
+				if bid.XOR != nil {
+					xors++
+				}
 				var acc struct {
 					ID broker.BidderID `json:"id"`
 				}
-				if err := post(http.MethodPost, "/v1/bids", broker.Bid{
-					Pos: a.Pos, Radius: a.Radius, Values: values,
-				}, &acc); err != nil {
+				if err := post(http.MethodPost, "/v1/bids", bid, &acc); err != nil {
 					return err
 				}
 				live[a.ID] = acc.ID
@@ -216,7 +307,7 @@ func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed i
 			func(tid int, values []float64) error {
 				updated++
 				return post(http.MethodPut, fmt.Sprintf("/v1/bids/%d", live[tid]),
-					map[string]any{"values": values}, nil)
+					broker.MixedTraceValues(tid, values), nil)
 			},
 		)
 		if err != nil {
@@ -269,15 +360,14 @@ func runSelftest(base string, b *broker.Broker, dur, epoch time.Duration, seed i
 		}
 	}
 	m := b.Metrics()
-	log.Printf("selftest: %d trace epochs driven, %d submitted, %d withdrawn, %d updated; %d broker epochs (clean=%d warm=%d rebuilt=%d); final n=%d welfare=%.2f == from-scratch",
-		replay.Epoch(), submitted, withdrawn, updated, m.Epochs, m.CleanTotal, m.WarmTotal, m.RebuildTotal, in.N(), welfare)
+	log.Printf("selftest[%s]: %d trace epochs driven, %d submitted (%d XOR), %d withdrawn, %d updated; %d broker epochs (clean=%d warm=%d rebuilt=%d); final n=%d welfare=%.2f == from-scratch",
+		b.Model().Name(), replay.Epoch(), submitted, xors, withdrawn, updated, m.Epochs, m.CleanTotal, m.WarmTotal, m.RebuildTotal, in.N(), welfare)
 	// Emit the snapshot size as a sanity line (also proves serialize works
 	// on the live market).
 	var sz bytes.Buffer
 	if err := serialize.Write(&sz, in); err != nil {
 		return err
 	}
-	log.Printf("selftest: final snapshot serializes to %d bytes", sz.Len())
+	log.Printf("selftest[%s]: final snapshot serializes to %d bytes", b.Model().Name(), sz.Len())
 	return nil
 }
-

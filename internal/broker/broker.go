@@ -4,8 +4,14 @@
 // submit, update, and withdraw bids at any time; the broker batches the
 // mutations into epochs and, on each Tick, re-clears the market.
 //
+// Interference is pluggable: a ConflictModel backend (disk, distance-2,
+// protocol, IEEE 802.11 — see model.go) owns the bidders' model-specific
+// geometry, maintains their conflict graph incrementally as bids come, go,
+// and move, and certifies the inductive-independence ordering the LP bound
+// rests on. Bids carry either additive per-channel values or XOR atomic
+// bids (internal/valuation) over the wire.
+//
 // The epoch solve is sharded by conflict-graph component. The broker
-// maintains the disk conflict graph incrementally as bids come and go,
 // partitions the active bidders into connected components
 // (graph.ComponentsOrdered), and re-solves only the dirty components:
 //
@@ -43,19 +49,197 @@ import (
 // BidderID identifies one submitted bid for its lifetime.
 type BidderID int64
 
-// Bid is one secondary user's submission: a transmitter position and
-// interference radius (the disk conflict model of Proposition 9) plus
-// additive per-channel values.
+// Bid is one secondary user's submission: model-specific geometry plus a
+// valuation. Transmitter models (disk, distance-2) take Pos and Radius; link
+// models (protocol, IEEE 802.11) take Link. Exactly one of Values (additive
+// per-channel values) and XOR (atomic XOR bids) must be set.
 type Bid struct {
+	// Pos and Radius place a transmitter's interference disk (disk and
+	// distance-2 models).
 	Pos    geom.Point `json:"pos"`
-	Radius float64    `json:"radius"`
-	Values []float64  `json:"values"`
+	Radius float64    `json:"radius,omitempty"`
+	// Link is the sender→receiver pair of the link models.
+	Link *geom.Link `json:"link,omitempty"`
+	// Values are additive per-channel values (length K).
+	Values []float64 `json:"values,omitempty"`
+	// XOR lists the atomic bids of an XOR valuation (internal/valuation):
+	// a bundle is worth the best atom it contains.
+	XOR []XORAtom `json:"xor,omitempty"`
+}
+
+// XORAtom is one atomic bid of an XOR valuation on the wire.
+type XORAtom struct {
+	Channels []int   `json:"channels"`
+	Value    float64 `json:"value"`
+}
+
+// Values is the wire form of a valuation (used standalone by updates):
+// exactly one of Additive and XOR set.
+type Values struct {
+	Additive []float64 `json:"values,omitempty"`
+	XOR      []XORAtom `json:"xor,omitempty"`
+}
+
+// Additive wraps additive per-channel values for Update.
+func Additive(values []float64) Values { return Values{Additive: values} }
+
+// XORValues wraps XOR atoms for Update.
+func XORValues(atoms []XORAtom) Values { return Values{XOR: atoms} }
+
+// XORFromAdditive derives a small XOR atom list from additive per-channel
+// values: the best single channel, the best pair, and the full positive
+// support, each valued additively. Returns nil when no channel has positive
+// value (no expressible XOR bid). The trace replays (E18, brokerd -selftest,
+// the equivalence tests) use it to mix XOR bidders into additive workloads
+// deterministically.
+func XORFromAdditive(values []float64) []XORAtom {
+	type cv struct {
+		j int
+		v float64
+	}
+	var pos []cv
+	for j, v := range values {
+		if v > 0 {
+			pos = append(pos, cv{j, v})
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	sort.Slice(pos, func(i, j int) bool {
+		if pos[i].v != pos[j].v {
+			return pos[i].v > pos[j].v
+		}
+		return pos[i].j < pos[j].j
+	})
+	atoms := []XORAtom{{Channels: []int{pos[0].j}, Value: pos[0].v}}
+	if len(pos) >= 2 {
+		atoms = append(atoms, XORAtom{
+			Channels: []int{pos[0].j, pos[1].j},
+			Value:    pos[0].v + pos[1].v,
+		})
+	}
+	if len(pos) >= 3 {
+		all := make([]int, len(pos))
+		sum := 0.0
+		for i, c := range pos {
+			all[i] = c.j
+			sum += c.v
+		}
+		atoms = append(atoms, XORAtom{Channels: all, Value: sum})
+	}
+	return atoms
+}
+
+// MixedTraceValues is the shared XOR-mixing convention of the trace replays:
+// every 4th trace id bids XORFromAdditive of its values (falling back to
+// additive when no channel is positive), everyone else bids additively.
+// brokerd -selftest, experiment E18, and the cross-backend equivalence tests
+// all translate through this one function so they cannot drift apart in what
+// they exercise.
+func MixedTraceValues(tid int, values []float64) Values {
+	if tid%4 == 3 {
+		if atoms := XORFromAdditive(values); atoms != nil {
+			return XORValues(atoms)
+		}
+	}
+	return Additive(values)
+}
+
+// values extracts a bid's valuation part.
+func (bid *Bid) values() Values { return Values{Additive: bid.Values, XOR: bid.XOR} }
+
+// clone deep-copies the wire slices so queued state cannot alias caller
+// memory.
+func (v Values) clone() Values {
+	out := Values{}
+	if v.Additive != nil {
+		out.Additive = append([]float64(nil), v.Additive...)
+	}
+	for _, a := range v.XOR {
+		out.XOR = append(out.XOR, XORAtom{
+			Channels: append([]int(nil), a.Channels...),
+			Value:    a.Value,
+		})
+	}
+	return out
+}
+
+// valuation builds the in-market valuation object.
+func (v Values) valuation(k int) valuation.Valuation {
+	if v.Additive != nil {
+		return valuation.NewAdditive(v.Additive)
+	}
+	atoms := make([]valuation.Atom, 0, len(v.XOR))
+	for _, a := range v.XOR {
+		if a.Value > 0 {
+			atoms = append(atoms, valuation.Atom{
+				Bundle: valuation.FromChannels(a.Channels...),
+				Value:  a.Value,
+			})
+		}
+	}
+	return valuation.NewXOR(k, atoms)
+}
+
+// support is the union of positively valued channels: for additive, the
+// channels worth something; for XOR, the union of positive atoms' bundles.
+// Stripping a bundle to the support never changes its value under either
+// form.
+func (v Values) support() valuation.Bundle {
+	var s valuation.Bundle
+	if v.Additive != nil {
+		for j, val := range v.Additive {
+			if val > 0 {
+				s = s.With(j)
+			}
+		}
+		return s
+	}
+	for _, a := range v.XOR {
+		if a.Value > 0 {
+			s |= valuation.FromChannels(a.Channels...)
+		}
+	}
+	return s
+}
+
+// atomSet returns the positive XOR atom bundles, or nil for additive values.
+// The broker seeds rebuilt masters only with bundles a fresh demand oracle
+// could itself produce; for XOR bidders those are exactly the current atoms.
+func (v Values) atomSet() map[valuation.Bundle]bool {
+	if v.Additive != nil {
+		return nil
+	}
+	set := make(map[valuation.Bundle]bool, len(v.XOR))
+	for _, a := range v.XOR {
+		if a.Value > 0 {
+			set[valuation.FromChannels(a.Channels...)] = true
+		}
+	}
+	return set
+}
+
+func sameAtomSet(a, b map[valuation.Bundle]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for t := range a {
+		if !b[t] {
+			return false
+		}
+	}
+	return true
 }
 
 // Config parameterizes a Broker.
 type Config struct {
 	// K is the number of channels on the secondary market.
 	K int
+	// Model is the interference backend conflicts are computed under; nil
+	// means DiskModel(). A ConflictModel instance must not be shared between
+	// brokers.
+	Model ConflictModel
 	// Workers bounds the per-epoch solve fan-out; <= 0 means GOMAXPROCS.
 	Workers int
 	// MaxBidders caps the population (active plus queued submissions);
@@ -103,21 +287,24 @@ const (
 	opSubmit opKind = iota
 	opWithdraw
 	opUpdate
+	opMove
 )
 
 type pendingOp struct {
 	kind   opKind
 	id     BidderID
-	bid    Bid       // opSubmit
-	values []float64 // opUpdate
+	bid    Bid    // opSubmit, opMove (geometry only for moves)
+	values Values // opUpdate
 }
 
 // bidder is one active market participant.
 type bidder struct {
-	id      BidderID
-	pos     geom.Point
-	radius  float64
-	val     valuation.Valuation // additive over the K channels
+	id BidderID
+	// bid keeps the committed wire form: the geometry the conflict model
+	// placed the bidder with, and the valuation it currently bids.
+	bid     Bid
+	key     float64             // the model's certifying-ordering sort key
+	val     valuation.Valuation // built from bid's Values or XOR
 	version int                 // bumped by updates; part of the cache key check
 	// support is the set of positively valued channels. Columns the broker
 	// seeds or keeps must stay inside it: a zero-valued channel riding along
@@ -126,30 +313,36 @@ type bidder struct {
 	// are stripped to the support and support-shrinking updates force a
 	// master rebuild instead of the in-place warm re-solve.
 	support valuation.Bundle
-	// shrunk marks that an update removed channels from the support since
-	// the last plan; consumed (and cleared) by planEpoch.
-	shrunk bool
-	nbrs   map[BidderID]struct{}
+	// xor is the set of current positive XOR atom bundles (nil for additive
+	// bidders). Pool seeds for XOR bidders are restricted to it: a stale
+	// bundle that is no atom of the current valuation is a column a
+	// from-scratch demand oracle would never generate, and its (possibly
+	// tied) value invites degenerate optima the cold path doesn't see.
+	xor map[valuation.Bundle]bool
+	// forceRebuild marks that an update changed the valuation's structure in
+	// a way the in-place warm re-solve cannot be trusted with (additive
+	// support shrank, XOR atom set changed, or the valuation switched form);
+	// consumed (and cleared) by planEpoch.
+	forceRebuild bool
+	nbrs         map[BidderID]struct{}
 }
 
-// supportOf returns the bundle of positively valued channels.
-func supportOf(values []float64) valuation.Bundle {
-	var s valuation.Bundle
-	for j, v := range values {
-		if v > 0 {
-			s = s.With(j)
-		}
-	}
-	return s
+// setValues installs a validated valuation on the bidder.
+func (bd *bidder) setValues(v Values, k int) {
+	bd.bid.Values, bd.bid.XOR = v.Additive, v.XOR
+	bd.val = v.valuation(k)
+	bd.support = v.support()
+	bd.xor = v.atomSet()
 }
 
 // EpochReport summarizes one Tick.
 type EpochReport struct {
-	Epoch      int           `json:"epoch"`
-	Active     int           `json:"active"`
-	Arrivals   int           `json:"arrivals"`
-	Departures int           `json:"departures"`
-	Updates    int           `json:"updates"`
+	Epoch      int `json:"epoch"`
+	Active     int `json:"active"`
+	Arrivals   int `json:"arrivals"`
+	Departures int `json:"departures"`
+	Updates    int `json:"updates"`
+	Moves      int `json:"moves"`
 	// Components is the epoch's component count; Clean of them were served
 	// entirely from cache, WarmResolves re-solved on a persistent master
 	// (valuation-only change), Rebuilds built a fresh (pool-seeded) master.
@@ -191,6 +384,9 @@ type Metrics struct {
 // use; Tick itself is serialized.
 type Broker struct {
 	cfg Config
+	// model is the interference backend; its mutating methods are called
+	// only under mu (applyQueue), its pure methods (Validate, Key) anywhere.
+	model ConflictModel
 
 	// qmu guards the mutation queue — submissions never block on a solve.
 	// Lock order: mu before qmu (Tick holds mu across drain+apply; readers
@@ -237,8 +433,12 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.MaxBidders <= 0 {
 		cfg.MaxBidders = DefaultMaxBidders
 	}
+	if cfg.Model == nil {
+		cfg.Model = DiskModel()
+	}
 	return &Broker{
 		cfg:       cfg,
+		model:     cfg.Model,
 		bidders:   make(map[BidderID]*bidder),
 		alloc:     make(map[BidderID]valuation.Bundle),
 		prices:    make(map[BidderID]float64),
@@ -252,32 +452,81 @@ func New(cfg Config) (*Broker, error) {
 // Config returns the broker's configuration.
 func (b *Broker) Config() Config { return b.cfg }
 
-func (b *Broker) validValues(values []float64) error {
-	if len(values) != b.cfg.K {
-		return fmt.Errorf("%w: %d values for %d channels", ErrBadBid, len(values), b.cfg.K)
+// Model returns the broker's interference backend.
+func (b *Broker) Model() ConflictModel { return b.model }
+
+// maxXORAtoms bounds one bid's XOR atom list (each atom is an LP column
+// candidate; an unbounded list is an easy resource-exhaustion vector).
+const maxXORAtoms = 128
+
+// validValues vets a valuation's wire form against the market's channel
+// count: exactly one of the additive and XOR forms, finite non-negative
+// values, channels in range.
+func (b *Broker) validValues(v Values) error {
+	if v.Additive != nil && v.XOR != nil {
+		return fmt.Errorf("%w: both additive and XOR values", ErrBadBid)
 	}
-	for _, v := range values {
-		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-			return fmt.Errorf("%w: channel value %g", ErrBadBid, v)
+	if v.Additive != nil {
+		if len(v.Additive) != b.cfg.K {
+			return fmt.Errorf("%w: %d values for %d channels", ErrBadBid, len(v.Additive), b.cfg.K)
+		}
+		for _, val := range v.Additive {
+			if math.IsNaN(val) || math.IsInf(val, 0) || val < 0 {
+				return fmt.Errorf("%w: channel value %g", ErrBadBid, val)
+			}
+		}
+		return nil
+	}
+	if len(v.XOR) == 0 {
+		return fmt.Errorf("%w: no values", ErrBadBid)
+	}
+	if len(v.XOR) > maxXORAtoms {
+		return fmt.Errorf("%w: %d XOR atoms (max %d)", ErrBadBid, len(v.XOR), maxXORAtoms)
+	}
+	for _, a := range v.XOR {
+		if math.IsNaN(a.Value) || math.IsInf(a.Value, 0) || a.Value < 0 {
+			return fmt.Errorf("%w: atom value %g", ErrBadBid, a.Value)
+		}
+		if len(a.Channels) == 0 {
+			return fmt.Errorf("%w: empty XOR atom", ErrBadBid)
+		}
+		for _, j := range a.Channels {
+			if j < 0 || j >= b.cfg.K {
+				return fmt.Errorf("%w: atom channel %d out of range [0,%d)", ErrBadBid, j, b.cfg.K)
+			}
 		}
 	}
 	return nil
 }
 
+// validateBid vets a full submission: valuation against the channel count,
+// geometry against the interference model.
+func (b *Broker) validateBid(bid *Bid) error {
+	if err := b.validValues(bid.values()); err != nil {
+		return err
+	}
+	return b.model.Validate(bid)
+}
+
+// cloneBid deep-copies a bid so queued state cannot alias caller memory.
+func cloneBid(bid Bid) Bid {
+	v := bid.values().clone()
+	bid.Values, bid.XOR = v.Additive, v.XOR
+	if bid.Link != nil {
+		l := *bid.Link
+		bid.Link = &l
+	}
+	return bid
+}
+
 // Submit queues a bid; it becomes active at the next Tick. Returns the
 // bidder id the market will know it by.
 func (b *Broker) Submit(bid Bid) (BidderID, error) {
-	if err := b.validValues(bid.Values); err != nil {
+	if err := b.validateBid(&bid); err != nil {
 		b.rejected.Add(1)
 		return 0, err
 	}
-	if !(bid.Radius > 0) || math.IsInf(bid.Radius, 0) ||
-		math.IsNaN(bid.Pos.X) || math.IsNaN(bid.Pos.Y) ||
-		math.IsInf(bid.Pos.X, 0) || math.IsInf(bid.Pos.Y, 0) {
-		b.rejected.Add(1)
-		return 0, fmt.Errorf("%w: bad geometry (radius %g)", ErrBadBid, bid.Radius)
-	}
-	bid.Values = append([]float64(nil), bid.Values...)
+	bid = cloneBid(bid)
 
 	b.qmu.Lock()
 	defer b.qmu.Unlock()
@@ -293,10 +542,11 @@ func (b *Broker) Submit(bid Bid) (BidderID, error) {
 	return id, nil
 }
 
-// Update queues a valuation change for an active (or still-pending) bidder.
-// Geometry is immutable; to move, withdraw and resubmit.
-func (b *Broker) Update(id BidderID, values []float64) error {
-	if err := b.validValues(values); err != nil {
+// Update queues a valuation change for an active (or still-pending) bidder;
+// the valuation may switch between additive and XOR form. Geometry is
+// untouched; see Move.
+func (b *Broker) Update(id BidderID, v Values) error {
+	if err := b.validValues(v); err != nil {
 		b.rejected.Add(1)
 		return err
 	}
@@ -304,10 +554,34 @@ func (b *Broker) Update(id BidderID, values []float64) error {
 		b.rejected.Add(1)
 		return ErrUnknown
 	}
-	values = append([]float64(nil), values...)
+	v = v.clone()
 	b.qmu.Lock()
 	defer b.qmu.Unlock()
-	b.queue = append(b.queue, pendingOp{kind: opUpdate, id: id, values: values})
+	b.queue = append(b.queue, pendingOp{kind: opUpdate, id: id, values: v})
+	return nil
+}
+
+// Move queues a geometry change for an active (or still-pending) bidder: the
+// bid carries the new model-specific geometry and no values (the valuation is
+// unchanged). The conflict model computes the incremental edge delta at the
+// next tick.
+func (b *Broker) Move(id BidderID, bid Bid) error {
+	if bid.Values != nil || bid.XOR != nil {
+		b.rejected.Add(1)
+		return fmt.Errorf("%w: a move carries geometry only", ErrBadBid)
+	}
+	if err := b.model.Validate(&bid); err != nil {
+		b.rejected.Add(1)
+		return err
+	}
+	if st := b.StatusOf(id); st != StatusActive && st != StatusPending {
+		b.rejected.Add(1)
+		return ErrUnknown
+	}
+	bid = cloneBid(bid)
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	b.queue = append(b.queue, pendingOp{kind: opMove, id: id, bid: bid})
 	return nil
 }
 
@@ -415,30 +689,45 @@ func (b *Broker) activeIDs() []BidderID {
 	return ids
 }
 
-// applyQueue drains the mutation queue into the committed bidder set and
-// incremental adjacency. Caller holds mu.Lock. Dirtiness does not need
-// explicit tracking: planEpoch compares each component's membership key and
-// valuation versions against the cache, so any effect of these mutations is
-// discovered there.
-func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd int) {
+// applyDelta folds a model's edge delta into the maintained neighbor sets.
+// Caller holds mu.Lock.
+func (b *Broker) applyDelta(d EdgeDelta) {
+	for _, e := range d.Added {
+		u, v := b.bidders[e[0]], b.bidders[e[1]]
+		if u == nil || v == nil {
+			continue
+		}
+		u.nbrs[v.id] = struct{}{}
+		v.nbrs[u.id] = struct{}{}
+	}
+	for _, e := range d.Removed {
+		if u := b.bidders[e[0]]; u != nil {
+			delete(u.nbrs, e[1])
+		}
+		if v := b.bidders[e[1]]; v != nil {
+			delete(v.nbrs, e[0])
+		}
+	}
+}
+
+// applyQueue drains the mutation queue into the committed bidder set and the
+// model's incremental adjacency. Caller holds mu.Lock. Dirtiness does not
+// need explicit tracking: planEpoch compares each component's membership key
+// and valuation versions against the cache, so any effect of these mutations
+// is discovered there.
+func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd, mov int) {
 	for _, op := range ops {
 		switch op.kind {
 		case opSubmit:
 			nb := &bidder{
-				id:      op.id,
-				pos:     op.bid.Pos,
-				radius:  op.bid.Radius,
-				val:     valuation.NewAdditive(op.bid.Values),
-				support: supportOf(op.bid.Values),
-				nbrs:    make(map[BidderID]struct{}),
+				id:   op.id,
+				bid:  op.bid,
+				key:  b.model.Key(&op.bid),
+				nbrs: make(map[BidderID]struct{}),
 			}
-			for _, other := range b.bidders {
-				if other.pos.Dist(nb.pos) <= other.radius+nb.radius {
-					nb.nbrs[other.id] = struct{}{}
-					other.nbrs[nb.id] = struct{}{}
-				}
-			}
+			nb.setValues(op.bid.values(), b.cfg.K)
 			b.bidders[nb.id] = nb
+			b.applyDelta(b.model.Arrive(nb.id, &nb.bid))
 			arr++
 		case opWithdraw:
 			ob, ok := b.bidders[op.id]
@@ -455,23 +744,46 @@ func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd int) {
 			// replaced wholesale at commit.
 			delete(b.bidders, op.id)
 			delete(b.pool, op.id)
+			b.applyDelta(b.model.Depart(op.id))
 			dep++
 		case opUpdate:
 			ob, ok := b.bidders[op.id]
 			if !ok {
 				continue // withdrawn in the same batch; drop silently
 			}
-			newSupport := supportOf(op.values)
-			if ob.support&^newSupport != 0 {
-				ob.shrunk = true
+			oldSupport, oldXOR := ob.support, ob.xor
+			ob.setValues(op.values, b.cfg.K)
+			switch {
+			case oldXOR == nil && ob.xor == nil:
+				// Additive→additive: a support shrink poisons the persistent
+				// master (see bidder.support).
+				if oldSupport&^ob.support != 0 {
+					ob.forceRebuild = true
+				}
+			case oldXOR != nil && ob.xor != nil:
+				// XOR→XOR: a changed atom set invalidates pooled columns.
+				if !sameAtomSet(oldXOR, ob.xor) {
+					ob.forceRebuild = true
+				}
+			default:
+				// The valuation switched form; rebuild unconditionally.
+				ob.forceRebuild = true
 			}
-			ob.val = valuation.NewAdditive(op.values)
-			ob.support = newSupport
 			ob.version++
 			upd++
+		case opMove:
+			ob, ok := b.bidders[op.id]
+			if !ok {
+				continue // withdrawn in the same batch; drop silently
+			}
+			ob.bid.Pos, ob.bid.Radius = op.bid.Pos, op.bid.Radius
+			ob.bid.Link = op.bid.Link
+			ob.key = b.model.Key(&ob.bid)
+			b.applyDelta(b.model.Move(ob.id, &ob.bid))
+			mov++
 		}
 	}
-	return arr, dep, upd
+	return arr, dep, upd, mov
 }
 
 // Tick closes the current epoch: queued mutations are applied, the conflict
@@ -521,7 +833,7 @@ func (b *Broker) Tick() EpochReport {
 	// (unless a component failed last epoch and must retry).
 	if len(ops) == 0 && b.snap != nil && b.metrics.Last.Errors == 0 {
 		rep := b.metrics.Last
-		rep.Arrivals, rep.Departures, rep.Updates = 0, 0, 0
+		rep.Arrivals, rep.Departures, rep.Updates, rep.Moves = 0, 0, 0, 0
 		rep.ColumnsGenerated, rep.PoolAdded, rep.Errors = 0, 0, 0
 		rep.Clean, rep.WarmResolves, rep.Rebuilds = rep.Components, 0, 0
 		b.epoch++
@@ -536,7 +848,7 @@ func (b *Broker) Tick() EpochReport {
 	}
 
 	rep := EpochReport{Epoch: b.epoch + 1}
-	rep.Arrivals, rep.Departures, rep.Updates = b.applyQueue(ops)
+	rep.Arrivals, rep.Departures, rep.Updates, rep.Moves = b.applyQueue(ops)
 	b.qmu.Lock()
 	b.pop -= rep.Departures
 	b.qmu.Unlock()

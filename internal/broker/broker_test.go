@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -61,7 +62,7 @@ func (d *traceDriver) step() bool {
 			return err
 		},
 		func(tid int, values []float64) error {
-			return d.b.Update(d.live[tid], values)
+			return d.b.Update(d.live[tid], Additive(values))
 		},
 	)
 	if err != nil {
@@ -125,10 +126,10 @@ func TestSubmitLifecycle(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	b := newTestBroker(t, Config{K: 2, MaxBidders: 2})
 	cases := []Bid{
-		{Pos: geom.Point{}, Radius: 1, Values: []float64{1}},              // wrong arity
-		{Pos: geom.Point{}, Radius: 1, Values: []float64{1, -2}},          // negative
-		{Pos: geom.Point{}, Radius: 0, Values: []float64{1, 2}},           // zero radius
-		{Pos: geom.Point{}, Radius: 1, Values: []float64{math.NaN(), 1}},  // NaN
+		{Pos: geom.Point{}, Radius: 1, Values: []float64{1}},                  // wrong arity
+		{Pos: geom.Point{}, Radius: 1, Values: []float64{1, -2}},              // negative
+		{Pos: geom.Point{}, Radius: 0, Values: []float64{1, 2}},               // zero radius
+		{Pos: geom.Point{}, Radius: 1, Values: []float64{math.NaN(), 1}},      // NaN
 		{Pos: geom.Point{X: math.Inf(1)}, Radius: 1, Values: []float64{1, 2}}, // inf pos
 	}
 	for i, bid := range cases {
@@ -152,7 +153,7 @@ func TestSubmitValidation(t *testing.T) {
 	if err := b.Withdraw(999); err != ErrUnknown {
 		t.Fatalf("withdraw unknown: %v", err)
 	}
-	if err := b.Update(999, []float64{1, 2}); err != ErrUnknown {
+	if err := b.Update(999, Additive([]float64{1, 2})); err != ErrUnknown {
 		t.Fatalf("update unknown: %v", err)
 	}
 }
@@ -224,7 +225,7 @@ func TestSnapshotMatchesDiskModel(t *testing.T) {
 		centers := make([]geom.Point, len(ids))
 		radii := make([]float64, len(ids))
 		for i, id := range ids {
-			centers[i], radii[i] = b.bidders[id].pos, b.bidders[id].radius
+			centers[i], radii[i] = b.bidders[id].bid.Pos, b.bidders[id].bid.Radius
 		}
 		return centers, radii
 	}
@@ -277,10 +278,10 @@ func TestUpdateWarmResolve(t *testing.T) {
 	cold.Tick()
 	// Change bidder 0's values only: membership unchanged → warm re-solve.
 	newVals := []float64{1, 9}
-	if err := warm.Update(wids[0], newVals); err != nil {
+	if err := warm.Update(wids[0], Additive(newVals)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cold.Update(cids[0], newVals); err != nil {
+	if err := cold.Update(cids[0], Additive(newVals)); err != nil {
 		t.Fatal(err)
 	}
 	wrep := warm.Tick()
@@ -319,5 +320,191 @@ func TestCleanComponentsPayZero(t *testing.T) {
 	}
 	if math.Abs(first.Welfare-second.Welfare) > 1e-12 {
 		t.Fatalf("cached welfare drifted: %g vs %g", first.Welfare, second.Welfare)
+	}
+}
+
+// TestEpochSurvivesFailingComponent forces one component's solve to fail —
+// once as a returned convergence error (the shape a Stalled lp solve
+// surfaces as), once as a panic deep inside the solver — and checks the
+// containment contract: the epoch still commits, every other component is
+// allocated, the daemon keeps ticking, and the failed component recovers on
+// the next epoch once the fault clears.
+func TestEpochSurvivesFailingComponent(t *testing.T) {
+	for _, mode := range []string{"error", "panic"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			b := newTestBroker(t, Config{K: 2})
+			// Two far-apart components: {0,1} conflicting, {2} alone.
+			bids := []Bid{
+				{Pos: geom.Point{X: 0, Y: 0}, Radius: 3, Values: []float64{5, 1}},
+				{Pos: geom.Point{X: 4, Y: 0}, Radius: 3, Values: []float64{2, 6}},
+				{Pos: geom.Point{X: 90, Y: 90}, Radius: 2, Values: []float64{3, 3}},
+			}
+			var ids []BidderID
+			for _, bid := range bids {
+				id, err := b.Submit(bid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, id)
+			}
+			// Fail the two-member component's solve.
+			solveFault = func(e *compEntry) error {
+				if len(e.ids) != 2 {
+					return nil
+				}
+				if mode == "panic" {
+					panic("injected solver panic")
+				}
+				return fmt.Errorf("injected convergence failure")
+			}
+			defer func() { solveFault = nil }()
+
+			rep := b.Tick()
+			if rep.Errors != 1 {
+				t.Fatalf("tick with injected fault: %+v", rep)
+			}
+			// The healthy singleton component committed its allocation.
+			if got, st := b.Allocation(ids[2]); st != StatusActive || got != valuation.FromChannels(0, 1) {
+				t.Fatalf("healthy component allocation = %v (%v)", got, st)
+			}
+			// The failed component's members hold nothing but stay active.
+			for _, id := range ids[:2] {
+				if got, st := b.Allocation(id); st != StatusActive || got != valuation.Empty {
+					t.Fatalf("failed component bidder %d: %v (%v)", id, got, st)
+				}
+			}
+			if rep.Welfare != 6 {
+				t.Fatalf("welfare %g, want the healthy component's 6", rep.Welfare)
+			}
+
+			// Fault clears: the next tick retries (the errored epoch must not
+			// take the idle fast path), rebuilds the evicted component, and
+			// from then on matches the from-scratch reference.
+			solveFault = nil
+			rep = b.Tick()
+			if rep.Errors != 0 || rep.Rebuilds != 1 {
+				t.Fatalf("recovery tick: %+v", rep)
+			}
+			checkAgainstReference(t, b, 0, 0)
+		})
+	}
+}
+
+// TestMoveRelocatesBidder: a move must re-home the bidder in the conflict
+// graph (splitting and merging components) and keep the committed allocation
+// equal to the from-scratch reference.
+func TestMoveRelocatesBidder(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	a, err := b.Submit(Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 3, Values: []float64{5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Submit(Bid{Pos: geom.Point{X: 4, Y: 0}, Radius: 3, Values: []float64{4, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Tick()
+	if rep.Components != 1 {
+		t.Fatalf("conflicting bids should share a component: %+v", rep)
+	}
+	// Move bidder a out of range: both become singletons and win everything.
+	if err := b.Move(a, Bid{Pos: geom.Point{X: 100, Y: 100}, Radius: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rep = b.Tick()
+	if rep.Moves != 1 || rep.Components != 2 {
+		t.Fatalf("after move: %+v", rep)
+	}
+	for _, id := range []BidderID{a, c} {
+		if got, _ := b.Allocation(id); got != valuation.FromChannels(0, 1) {
+			t.Fatalf("bidder %d after split: %v", id, got)
+		}
+	}
+	checkAgainstReference(t, b, 0, 1)
+	// Move it back: components merge again.
+	if err := b.Move(a, Bid{Pos: geom.Point{X: 1, Y: 0}, Radius: 3}); err != nil {
+		t.Fatal(err)
+	}
+	rep = b.Tick()
+	if rep.Components != 1 {
+		t.Fatalf("after move back: %+v", rep)
+	}
+	checkAgainstReference(t, b, 0, 2)
+	// A move carrying values is rejected; a move of an unknown id too.
+	if err := b.Move(a, Bid{Pos: geom.Point{}, Radius: 1, Values: []float64{1, 2}}); err == nil {
+		t.Fatal("move with values accepted")
+	}
+	if err := b.Move(999, Bid{Pos: geom.Point{}, Radius: 1}); err != ErrUnknown {
+		t.Fatalf("move unknown: %v", err)
+	}
+}
+
+// TestXORBidLifecycle: an XOR bid over the wire form wins its best atom and
+// updates (including a form switch) behave.
+func TestXORBidLifecycle(t *testing.T) {
+	b := newTestBroker(t, Config{K: 3})
+	id, err := b.Submit(Bid{Pos: geom.Point{}, Radius: 2, XOR: []XORAtom{
+		{Channels: []int{0, 1}, Value: 7},
+		{Channels: []int{2}, Value: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Tick()
+	// A lone XOR bidder wins a bundle containing its best atom.
+	got, st := b.Allocation(id)
+	if st != StatusActive || got&valuation.FromChannels(0, 1) != valuation.FromChannels(0, 1) {
+		t.Fatalf("XOR allocation = %v (%v)", got, st)
+	}
+	if rep.Welfare != 7 {
+		t.Fatalf("welfare %g, want 7", rep.Welfare)
+	}
+	// Switch the atoms: channel 2 becomes the best.
+	if err := b.Update(id, XORValues([]XORAtom{{Channels: []int{2}, Value: 9}})); err != nil {
+		t.Fatal(err)
+	}
+	rep = b.Tick()
+	if rep.Welfare != 9 {
+		t.Fatalf("welfare after XOR update %g, want 9", rep.Welfare)
+	}
+	checkAgainstReference(t, b, 0, 0)
+	// Switch form: XOR → additive.
+	if err := b.Update(id, Additive([]float64{1, 1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	rep = b.Tick()
+	if rep.Welfare != 3 {
+		t.Fatalf("welfare after form switch %g, want 3", rep.Welfare)
+	}
+}
+
+// TestSubmitValidationXOR covers the XOR arm of validValues.
+func TestSubmitValidationXOR(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	bad := []Bid{
+		{Radius: 1, XOR: []XORAtom{}}, // no values at all
+		{Radius: 1, Values: []float64{1, 2}, XOR: []XORAtom{{Channels: []int{0}, Value: 1}}}, // both forms
+		{Radius: 1, XOR: []XORAtom{{Channels: []int{}, Value: 1}}},                           // empty atom
+		{Radius: 1, XOR: []XORAtom{{Channels: []int{2}, Value: 1}}},                          // channel out of range
+		{Radius: 1, XOR: []XORAtom{{Channels: []int{-1}, Value: 1}}},                         // negative channel
+		{Radius: 1, XOR: []XORAtom{{Channels: []int{0}, Value: -1}}},                         // negative value
+		{Radius: 1, XOR: []XORAtom{{Channels: []int{0}, Value: math.NaN()}}},                 // NaN value
+		{Radius: 1, XOR: []XORAtom{{Channels: []int{0}, Value: math.Inf(1)}}},                // Inf value
+	}
+	for i, bid := range bad {
+		if _, err := b.Submit(bid); err == nil {
+			t.Fatalf("case %d: bad XOR bid accepted", i)
+		}
+	}
+	atoms := make([]XORAtom, maxXORAtoms+1)
+	for i := range atoms {
+		atoms[i] = XORAtom{Channels: []int{0}, Value: 1}
+	}
+	if _, err := b.Submit(Bid{Radius: 1, XOR: atoms}); err == nil {
+		t.Fatal("oversized atom list accepted")
+	}
+	if _, err := b.Submit(Bid{Radius: 1, XOR: atoms[:1]}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/market"
@@ -172,5 +173,178 @@ func TestLPValueMatchesGlobal(t *testing.T) {
 		if math.Abs(rep.LPValue-sol.Value) > 1e-7*(1+math.Abs(sol.Value)) {
 			t.Fatalf("epoch %d: sharded LP %g vs global LP %g", e, rep.LPValue, sol.Value)
 		}
+	}
+}
+
+// --- cross-backend equivalence matrix ---
+//
+// The epoch-equivalence contract must hold for every interference backend,
+// not just disk: under membership churn, valuation churn (including XOR
+// bidders and form switches), and moves, the incremental sharded epoch path
+// commits exactly what a from-scratch SolveLP + RoundDerandomized of the
+// snapshot produces, and a warm broker agrees with a Cold one epoch by epoch.
+
+func mustModel(t testing.TB, name string) ConflictModel {
+	t.Helper()
+	m, err := ModelByName(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// modelBid translates a trace arrival into a bid for the named backend,
+// with valuations mixed by the shared MixedTraceValues convention.
+func modelBid(name string, a market.Arrival, values []float64) Bid {
+	var bid Bid
+	if name == "protocol" || name == "ieee80211" {
+		l := a.Link
+		bid.Link = &l
+	} else {
+		bid.Pos, bid.Radius = a.Pos, a.Radius
+	}
+	v := MixedTraceValues(a.ID, values)
+	bid.Values, bid.XOR = v.Additive, v.XOR
+	return bid
+}
+
+// modelDriver replays a model-parameterized trace into a broker, mixing in
+// XOR bidders and (optionally) periodic moves.
+type modelDriver struct {
+	t       testing.TB
+	name    string
+	b       *Broker
+	r       *market.Replayer
+	live    map[int]BidderID
+	moveRng *rand.Rand
+	step_   int
+}
+
+func newModelDriver(t testing.TB, name string, b *Broker, tr *market.Trace, moveSeed int64) *modelDriver {
+	d := &modelDriver{t: t, name: name, b: b, r: market.NewReplayer(tr), live: map[int]BidderID{}}
+	if moveSeed != 0 {
+		d.moveRng = rand.New(rand.NewSource(moveSeed))
+	}
+	return d
+}
+
+func (d *modelDriver) step() bool {
+	d.t.Helper()
+	more, err := d.r.Step(
+		func(tid int) error {
+			err := d.b.Withdraw(d.live[tid])
+			delete(d.live, tid)
+			return err
+		},
+		func(a market.Arrival, values []float64) error {
+			id, err := d.b.Submit(modelBid(d.name, a, values))
+			d.live[a.ID] = id
+			return err
+		},
+		func(tid int, values []float64) error {
+			return d.b.Update(d.live[tid], MixedTraceValues(tid, values))
+		},
+	)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	d.step_++
+	// Every third step, relocate the lowest live bidder with fresh geometry,
+	// exercising the model's Move delta inside the equivalence loop.
+	if more && d.moveRng != nil && d.step_%3 == 0 && len(d.live) > 0 {
+		lowest := -1
+		for tid := range d.live {
+			if lowest == -1 || tid < lowest {
+				lowest = tid
+			}
+		}
+		if err := d.b.Move(d.live[lowest], randBid(d.moveRng, d.name)); err != nil {
+			d.t.Fatal(err)
+		}
+	}
+	return more
+}
+
+// modelTrace draws a churn workload sized for the backend (distance-2 squares
+// disk components, so it gets a sparser market).
+func modelTrace(name string, seed int64, epochs int, primaries bool) *market.Trace {
+	cfg := market.TraceConfig{
+		Seed:         seed,
+		Epochs:       epochs,
+		K:            3,
+		Side:         150,
+		ArrivalRate:  4,
+		MeanLifetime: 4,
+		MaxUsers:     24,
+		Model:        name,
+	}
+	if name == "distance2" {
+		cfg.ArrivalRate, cfg.MaxUsers = 3, 16
+	}
+	if primaries {
+		cfg.PrimaryUsers, cfg.PrimaryRadius, cfg.PrimaryActive = 2, 45, 0.5
+	}
+	return market.GenTrace(cfg)
+}
+
+// TestCrossBackendIncrementalMatchesGlobal: per backend, per epoch, the
+// incremental allocation equals the from-scratch solve of the snapshot.
+// Two churn flavors: membership-only (arrivals/departures/moves) and
+// valuation churn (primary-user masking streams updates, hitting the warm
+// SetObjective path, the forced-rebuild paths, and XOR atom changes).
+func TestCrossBackendIncrementalMatchesGlobal(t *testing.T) {
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, churn := range []struct {
+				label     string
+				primaries bool
+				moveSeed  int64
+			}{
+				{"membership", false, 77},
+				{"valuation", true, 0},
+			} {
+				b := newTestBroker(t, Config{K: 3, Model: mustModel(t, name)})
+				d := newModelDriver(t, name, b, modelTrace(name, 21, 8, churn.primaries), churn.moveSeed)
+				winners := 0
+				for e := 0; d.step(); e++ {
+					b.Tick()
+					checkAgainstReference(t, b, 21, e)
+					winners += len(brokerAlloc(b))
+				}
+				if m := b.Metrics(); m.Epochs == 0 || m.Submitted == 0 || winners == 0 {
+					t.Fatalf("%s/%s: trace drove nothing (winners=%d, %+v)", name, churn.label, winners, m)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossBackendWarmMatchesCold: per backend, a caching broker and a Cold
+// broker fed the same valuation-churn trace commit identical allocations
+// every epoch, and the caching broker actually exploits its cache.
+func TestCrossBackendWarmMatchesCold(t *testing.T) {
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := modelTrace(name, 31, 10, true)
+			warm := newTestBroker(t, Config{K: 3, Model: mustModel(t, name)})
+			cold := newTestBroker(t, Config{K: 3, Cold: true, Model: mustModel(t, name)})
+			dw := newModelDriver(t, name, warm, tr, 0)
+			dc := newModelDriver(t, name, cold, tr, 0)
+			for e := 0; dw.step() && dc.step(); e++ {
+				wrep := warm.Tick()
+				crep := cold.Tick()
+				if !sameAlloc(brokerAlloc(warm), brokerAlloc(cold)) {
+					t.Fatalf("%s epoch %d: warm and cold brokers disagree", name, e)
+				}
+				if math.Abs(wrep.Welfare-crep.Welfare) > 1e-9*(1+math.Abs(crep.Welfare)) {
+					t.Fatalf("%s epoch %d: welfare %g vs %g", name, e, wrep.Welfare, crep.Welfare)
+				}
+			}
+			if m := warm.Metrics(); m.CleanTotal == 0 {
+				t.Fatalf("%s: warm broker never hit the component cache", name)
+			}
+		})
 	}
 }

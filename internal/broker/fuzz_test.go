@@ -1,0 +1,89 @@
+package broker
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/valuation"
+)
+
+// FuzzValidValues throws arbitrary valuation wire forms at Broker.validValues
+// and checks the gate's contract: it never panics, and everything it accepts
+// can be built into a Valuation whose values are finite and non-negative with
+// support inside the market's channels.
+func FuzzValidValues(f *testing.F) {
+	f.Add(float64(1), float64(2), float64(3), uint8(3), false)
+	f.Add(math.NaN(), float64(0), float64(-1), uint8(3), false)
+	f.Add(math.Inf(1), float64(5), float64(0.5), uint8(7), false)
+	f.Add(float64(4), float64(0), float64(2), uint8(2), true)
+	f.Add(float64(-0.0), math.Inf(-1), float64(1e300), uint8(1), true)
+	f.Fuzz(func(t *testing.T, v0, v1, v2 float64, arity uint8, xor bool) {
+		const k = 3
+		b := newTestBroker(t, Config{K: k})
+		raw := []float64{v0, v1, v2, v0, v1, v2, v0}[:arity%8]
+		var v Values
+		if xor {
+			// Channels derived from the float bits so the fuzzer can reach
+			// out-of-range and duplicate channels.
+			for i, val := range raw {
+				ch := []int{int(math.Abs(v0)) % 7, i % 7}
+				v.XOR = append(v.XOR, XORAtom{Channels: ch[:1+i%2], Value: val})
+			}
+		} else {
+			v.Additive = raw
+		}
+		err := b.validValues(v)
+		if err != nil {
+			return
+		}
+		val := v.valuation(k)
+		full := valuation.Full(k)
+		if got := val.Value(full); math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("accepted values produced Value(full)=%g (%+v)", got, v)
+		}
+		if sup := v.support(); sup&^full != 0 {
+			t.Fatalf("accepted values have support %v outside %d channels", sup, k)
+		}
+	})
+}
+
+// FuzzBidValidation decodes arbitrary JSON as a Bid and submits it to a
+// broker per interference backend: validation must never panic, and any bid
+// it accepts must survive a full epoch solve (the gate is exactly as strict
+// as the solver needs it to be — NaN/Inf geometry, wrong value arity, and
+// malformed atoms must all be stopped at the door).
+func FuzzBidValidation(f *testing.F) {
+	f.Add([]byte(`{"pos":{"x":10,"y":20},"radius":5,"values":[3,1,4]}`))
+	f.Add([]byte(`{"pos":{"x":1e400,"y":0},"radius":5,"values":[1,1,1]}`))
+	f.Add([]byte(`{"radius":-2,"values":[1,2,3]}`))
+	f.Add([]byte(`{"link":{"sender":{"x":0,"y":0},"receiver":{"x":3,"y":4}},"values":[1,2,3]}`))
+	f.Add([]byte(`{"link":{"sender":{"x":0,"y":0},"receiver":{"x":0,"y":0}},"values":[1,2,3]}`))
+	f.Add([]byte(`{"radius":1,"xor":[{"channels":[0,2],"value":7},{"channels":[1],"value":3}]}`))
+	f.Add([]byte(`{"radius":1,"xor":[{"channels":[9],"value":7}]}`))
+	f.Add([]byte(`{"radius":1,"values":[1]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var bid Bid
+		if err := json.Unmarshal(data, &bid); err != nil {
+			return
+		}
+		for _, name := range ModelNames() {
+			b := newTestBroker(t, Config{K: 3, Model: mustModel(t, name)})
+			id, err := b.Submit(bid)
+			if err != nil {
+				continue
+			}
+			rep := b.Tick()
+			if rep.Errors != 0 {
+				t.Fatalf("%s: accepted bid broke the epoch solve: %+v (bid %+v)", name, rep, bid)
+			}
+			if math.IsNaN(rep.Welfare) || math.IsInf(rep.Welfare, 0) || rep.Welfare < 0 {
+				t.Fatalf("%s: accepted bid produced welfare %g (bid %+v)", name, rep.Welfare, bid)
+			}
+			if st := b.StatusOf(id); st != StatusActive {
+				t.Fatalf("%s: accepted bid not active after tick: %v", name, st)
+			}
+		}
+	})
+}

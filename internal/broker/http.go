@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -62,6 +63,37 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// maxBodyBytes bounds a mutation request body.
+const maxBodyBytes = 1 << 20
+
+// decodeBody strictly decodes one JSON value from the request body: unknown
+// fields are rejected, a body over maxBodyBytes maps to 413 (not a generic
+// 400 — the client must know shrinking, not fixing, the payload is the cure),
+// and trailing tokens after the value are rejected (a concatenated or
+// smuggled second document must not be silently accepted). Returns the HTTP
+// status to respond with on failure, 0 on success.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad json: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("trailing data after JSON body")
+	}
+	return 0, nil
+}
+
 // codeFor maps broker errors to HTTP statuses.
 func codeFor(err error) int {
 	switch {
@@ -90,10 +122,8 @@ func (h *Handler) bids(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var bid Bid
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&bid); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bid json: %v", err))
+	if code, err := decodeBody(w, r, &bid); code != 0 {
+		writeErr(w, code, err)
 		return
 	}
 	id, err := h.b.Submit(bid)
@@ -131,16 +161,14 @@ func (h *Handler) bidByID(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, state)
 	case http.MethodPut, http.MethodPatch:
-		var body struct {
-			Values []float64 `json:"values"`
-		}
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&body); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad update json: %v", err))
+		// The body is the valuation's wire form: {"values": [...]} for
+		// additive, {"xor": [{"channels": [...], "value": v}, ...]} for XOR.
+		var body Values
+		if code, err := decodeBody(w, r, &body); code != 0 {
+			writeErr(w, code, err)
 			return
 		}
-		if err := h.b.Update(id, body.Values); err != nil {
+		if err := h.b.Update(id, body); err != nil {
 			writeErr(w, codeFor(err), err)
 			return
 		}

@@ -272,3 +272,150 @@ func TestHTTPConcurrentSubmitters(t *testing.T) {
 		t.Fatal("allocation infeasible after concurrent storm")
 	}
 }
+
+// TestHTTPRejectsOversizedBody: a body over the MaxBytesReader limit is a
+// 413, not a generic 400 — the client must learn that shrinking the payload,
+// not fixing its syntax, is the cure.
+func TestHTTPRejectsOversizedBody(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	big := bytes.Repeat([]byte("9"), maxBodyBytes+64)
+	body := append([]byte(`{"radius":1,"values":[1,`), big...)
+	body = append(body, []byte(`]}`)...)
+	resp, err := http.Post(srv.URL+"/v1/bids", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit: %d, want 413", resp.StatusCode)
+	}
+	// Same contract on the update path.
+	id, err := b.Submit(Bid{Radius: 1, Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	req, err := http.NewRequest(http.MethodPut,
+		fmt.Sprintf("%s/v1/bids/%d", srv.URL, id), bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized update: %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestHTTPRejectsTrailingGarbage: trailing tokens after the JSON value are a
+// 400 — a concatenated second document must not be silently swallowed.
+func TestHTTPRejectsTrailingGarbage(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/v1/bids", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, body := range []string{
+		`{"radius":1,"values":[1,2]}{"radius":2,"values":[3,4]}`,
+		`{"radius":1,"values":[1,2]} trailing`,
+		`{"radius":1,"values":[1,2]}]`,
+	} {
+		if code := post(body); code != http.StatusBadRequest {
+			t.Fatalf("trailing garbage %q: %d, want 400", body, code)
+		}
+	}
+	// Trailing whitespace and a trailing newline remain fine.
+	if code := post(`{"radius":1,"values":[1,2]}` + "\n  \t"); code != http.StatusAccepted {
+		t.Fatalf("trailing whitespace rejected: %d", code)
+	}
+	// Update path: same rejection.
+	id, err := b.Submit(Bid{Radius: 1, Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	req, err := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/bids/%d", srv.URL, id),
+		bytes.NewBufferString(`{"values":[2,3]}[]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trailing garbage on update: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPXORAndLinkBids drives the new wire schema end to end: an XOR bid
+// on a disk broker and a link bid on a protocol broker, both through real
+// HTTP, with an XOR update on top.
+func TestHTTPXORAndLinkBids(t *testing.T) {
+	// XOR bid on the default disk backend.
+	b, srv := newTestServer(t, Config{K: 3})
+	var acc mutationAccepted
+	resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids", map[string]any{
+		"pos": map[string]float64{"x": 5, "y": 5}, "radius": 2,
+		"xor": []map[string]any{
+			{"channels": []int{0, 1}, "value": 7},
+			{"channels": []int{2}, "value": 4},
+		},
+	}, &acc)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("XOR submit: %d", resp.StatusCode)
+	}
+	b.Tick()
+	var state bidState
+	url := fmt.Sprintf("%s/v1/bids/%d", srv.URL, acc.ID)
+	doJSON(t, http.MethodGet, url, nil, &state)
+	if state.Status != StatusActive || state.Value != 7 {
+		t.Fatalf("XOR state: %+v", state)
+	}
+	// XOR update over the wire.
+	if resp := doJSON(t, http.MethodPut, url, map[string]any{
+		"xor": []map[string]any{{"channels": []int{2}, "value": 9}},
+	}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("XOR update: %d", resp.StatusCode)
+	}
+	b.Tick()
+	doJSON(t, http.MethodGet, url, nil, &state)
+	if state.Value != 9 {
+		t.Fatalf("XOR state after update: %+v", state)
+	}
+	// A disk bid must not carry a link; a disk broker rejects link geometry.
+	if resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids", map[string]any{
+		"link":   map[string]any{"sender": map[string]float64{"x": 0, "y": 0}, "receiver": map[string]float64{"x": 1, "y": 0}},
+		"values": []float64{1, 2, 3},
+	}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("link bid on disk broker: %d", resp.StatusCode)
+	}
+
+	// Link bid on a protocol broker.
+	pb, psrv := newTestServer(t, Config{K: 2, Model: mustModel(t, "protocol")})
+	resp = doJSON(t, http.MethodPost, psrv.URL+"/v1/bids", map[string]any{
+		"link":   map[string]any{"sender": map[string]float64{"x": 0, "y": 0}, "receiver": map[string]float64{"x": 3, "y": 4}},
+		"values": []float64{6, 2},
+	}, &acc)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("link submit: %d", resp.StatusCode)
+	}
+	pb.Tick()
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/bids/%d", psrv.URL, acc.ID), nil, &state)
+	if state.Status != StatusActive || state.Value != 8 {
+		t.Fatalf("link state: %+v", state)
+	}
+	// A disk bid on a link broker is rejected.
+	if resp := doJSON(t, http.MethodPost, psrv.URL+"/v1/bids",
+		Bid{Radius: 2, Values: []float64{1, 1}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("disk bid on protocol broker: %d", resp.StatusCode)
+	}
+}

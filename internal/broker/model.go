@@ -1,0 +1,419 @@
+package broker
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/models"
+)
+
+// ConflictModel is a pluggable interference backend for the live market: it
+// owns the geometry of the active bidders and maintains their conflict graph
+// incrementally as bidders arrive, depart, and move. Implementations mirror
+// the batch constructors of internal/models — the maintained graph and the
+// certifying ordering must equal, edge for edge and rank for rank, what the
+// corresponding constructor builds from scratch on the same bidder set (the
+// model pinning tests enforce this).
+//
+// The contract the broker's warm-start machinery relies on:
+//
+//   - Arrive/Depart/Move return the exact edge delta among live bidders.
+//     Edges incident to a departing bidder are implied and not reported;
+//     every other created or destroyed edge must be. Distance-2 models make
+//     this non-trivial: an arrival can create edges between two existing
+//     bidders (it bridges them) and a departure can destroy them (it was
+//     their only witness).
+//   - Key is the certifying-ordering sort key: sorting live bidders by
+//     ascending Key, breaking ties by id order, yields the ordering that
+//     certifies RhoBound, and any subset sorted the same way inherits the
+//     certificate (the per-component sub-instances depend on this).
+//   - Validate and Key are pure functions of the bid and safe for concurrent
+//     use (they run on the submission path, outside the broker's locks).
+//     Arrive, Depart, and Move are serialized by the broker's epoch tick.
+//
+// A ConflictModel instance is owned by exactly one Broker; do not share one
+// across brokers.
+type ConflictModel interface {
+	// Name is the canonical model name (matches internal/models).
+	Name() string
+	// RhoBound is the inductive independence bound the ordering certifies.
+	RhoBound() float64
+	// Validate vets a submission's geometry for this model.
+	Validate(bid *Bid) error
+	// Key is the certifying-ordering sort key of a bid's geometry.
+	Key(bid *Bid) float64
+	// Arrive registers a bidder and returns the conflict edges it creates.
+	Arrive(id BidderID, bid *Bid) EdgeDelta
+	// Depart unregisters a bidder and returns the edges destroyed between
+	// the remaining bidders (edges incident to id are implied).
+	Depart(id BidderID) EdgeDelta
+	// Move replaces a registered bidder's geometry and returns the full edge
+	// delta, including edges gained and lost by the moved bidder itself.
+	Move(id BidderID, bid *Bid) EdgeDelta
+}
+
+// EdgeDelta is the incremental outcome of one mutation: conflict edges that
+// came into and went out of existence among live bidders.
+type EdgeDelta struct {
+	Added   [][2]BidderID
+	Removed [][2]BidderID
+}
+
+// geomBid is the geometry a model keeps per bidder (the model never reads
+// valuations).
+type geomBid struct {
+	pos    geom.Point
+	radius float64
+	link   geom.Link
+}
+
+func toGeom(bid *Bid) geomBid {
+	g := geomBid{pos: bid.Pos, radius: bid.Radius}
+	if bid.Link != nil {
+		g.link = *bid.Link
+	}
+	return g
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func finitePoint(p geom.Point) bool { return finite(p.X) && finite(p.Y) }
+
+// validateDiskGeometry vets transmitter-disk geometry (disk and distance-2
+// models).
+func validateDiskGeometry(bid *Bid) error {
+	if bid.Link != nil {
+		return fmt.Errorf("%w: link geometry on a transmitter-disk model", ErrBadBid)
+	}
+	if !(bid.Radius > 0) || !finite(bid.Radius) {
+		return fmt.Errorf("%w: bad radius %g", ErrBadBid, bid.Radius)
+	}
+	if !finitePoint(bid.Pos) {
+		return fmt.Errorf("%w: non-finite position", ErrBadBid)
+	}
+	return nil
+}
+
+// validateLinkGeometry vets sender→receiver link geometry (protocol and
+// IEEE 802.11 models).
+func validateLinkGeometry(bid *Bid) error {
+	if bid.Link == nil {
+		return fmt.Errorf("%w: link model needs link geometry", ErrBadBid)
+	}
+	if bid.Radius != 0 {
+		return fmt.Errorf("%w: disk radius on a link model", ErrBadBid)
+	}
+	if !finitePoint(bid.Link.Sender) || !finitePoint(bid.Link.Receiver) {
+		return fmt.Errorf("%w: non-finite link endpoint", ErrBadBid)
+	}
+	if l := bid.Link.Length(); !(l > 0) || !finite(l) {
+		return fmt.Errorf("%w: bad link length %g", ErrBadBid, bid.Link.Length())
+	}
+	return nil
+}
+
+// pairwise implements the models whose conflicts are a predicate over bidder
+// pairs (disk, protocol, IEEE 802.11): an arrival adds exactly its own edges,
+// a departure removes exactly its own, so the deltas are trivial.
+type pairwise struct {
+	name     string
+	rho      float64
+	validate func(*Bid) error
+	key      func(geomBid) float64
+	conflict func(a, b geomBid) bool
+	bids     map[BidderID]geomBid
+}
+
+func (m *pairwise) Name() string            { return m.name }
+func (m *pairwise) RhoBound() float64       { return m.rho }
+func (m *pairwise) Validate(bid *Bid) error { return m.validate(bid) }
+func (m *pairwise) Key(bid *Bid) float64    { return m.key(toGeom(bid)) }
+
+func (m *pairwise) Arrive(id BidderID, bid *Bid) EdgeDelta {
+	g := toGeom(bid)
+	var d EdgeDelta
+	for oid, og := range m.bids {
+		if m.conflict(g, og) {
+			d.Added = append(d.Added, [2]BidderID{id, oid})
+		}
+	}
+	m.bids[id] = g
+	return d
+}
+
+func (m *pairwise) Depart(id BidderID) EdgeDelta {
+	delete(m.bids, id)
+	return EdgeDelta{}
+}
+
+func (m *pairwise) Move(id BidderID, bid *Bid) EdgeDelta {
+	old, ok := m.bids[id]
+	if !ok {
+		return m.Arrive(id, bid)
+	}
+	g := toGeom(bid)
+	var d EdgeDelta
+	for oid, og := range m.bids {
+		if oid == id {
+			continue
+		}
+		had, has := m.conflict(old, og), m.conflict(g, og)
+		switch {
+		case has && !had:
+			d.Added = append(d.Added, [2]BidderID{id, oid})
+		case had && !has:
+			d.Removed = append(d.Removed, [2]BidderID{id, oid})
+		}
+	}
+	m.bids[id] = g
+	return d
+}
+
+// DiskModel is the disk conflict model of Proposition 9: bidders are
+// transmitters with interference disks, conflicting iff the disks intersect.
+// The default backend; matches models.Disk.
+func DiskModel() ConflictModel {
+	return &pairwise{
+		name:     "disk",
+		rho:      models.DiskRho,
+		validate: validateDiskGeometry,
+		key:      func(g geomBid) float64 { return -g.radius },
+		conflict: func(a, b geomBid) bool {
+			return models.DisksConflict(a.pos, b.pos, a.radius, b.radius)
+		},
+		bids: make(map[BidderID]geomBid),
+	}
+}
+
+// ProtocolModel is the protocol interference model of Proposition 13 with
+// parameter delta > 0: bidders are sender→receiver links, conflicting if
+// either sender disturbs the other's receiver. Matches models.Protocol.
+func ProtocolModel(delta float64) (ConflictModel, error) {
+	if !(delta > 0) || !finite(delta) {
+		return nil, fmt.Errorf("broker: protocol model needs delta > 0, got %g", delta)
+	}
+	return &pairwise{
+		name:     "protocol",
+		rho:      models.ProtocolRhoBound(delta),
+		validate: validateLinkGeometry,
+		key:      func(g geomBid) float64 { return g.link.Length() },
+		conflict: func(a, b geomBid) bool {
+			return models.ProtocolConflicts(a.link, b.link, delta)
+		},
+		bids: make(map[BidderID]geomBid),
+	}, nil
+}
+
+// IEEE80211Model is the bidirectional protocol model (Alicherry et al.) with
+// parameter delta > 0. Matches models.IEEE80211.
+func IEEE80211Model(delta float64) (ConflictModel, error) {
+	if !(delta > 0) || !finite(delta) {
+		return nil, fmt.Errorf("broker: ieee802.11 model needs delta > 0, got %g", delta)
+	}
+	return &pairwise{
+		name:     "ieee802.11",
+		rho:      models.IEEE80211Rho,
+		validate: validateLinkGeometry,
+		key:      func(g geomBid) float64 { return g.link.Length() },
+		conflict: func(a, b geomBid) bool {
+			return models.IEEE80211Conflicts(a.link, b.link, delta)
+		},
+		bids: make(map[BidderID]geomBid),
+	}, nil
+}
+
+// pairKey orders an unordered bidder pair.
+type pairKey struct{ a, b BidderID }
+
+func pk(a, b BidderID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// distance2 implements the distance-2 coloring model on disk graphs
+// (Proposition 11): bidders conflict if they are within two hops in the disk
+// graph — so conflicts are not pairwise-decomposable, and the model tracks,
+// per conflicting pair, the number of witnesses sustaining the edge (1 for a
+// direct disk edge, plus 1 per common disk neighbor). An arrival can bridge
+// two existing bidders; a departure destroys every edge it was the only
+// witness of. Matches models.Distance2Disk.
+type distance2 struct {
+	bids map[BidderID]geomBid
+	base map[BidderID]map[BidderID]struct{} // disk adjacency
+	wit  map[pairKey]int                    // conflict-edge witness counts
+}
+
+// Distance2Model builds the distance-2 disk backend.
+func Distance2Model() ConflictModel {
+	return &distance2{
+		bids: make(map[BidderID]geomBid),
+		base: make(map[BidderID]map[BidderID]struct{}),
+		wit:  make(map[pairKey]int),
+	}
+}
+
+func (m *distance2) Name() string            { return "distance2-disk" }
+func (m *distance2) RhoBound() float64       { return models.Distance2DiskRho }
+func (m *distance2) Validate(bid *Bid) error { return validateDiskGeometry(bid) }
+func (m *distance2) Key(bid *Bid) float64    { return -bid.Radius }
+
+// diskNbrs returns the ids whose disks intersect g's, sorted for
+// deterministic delta order.
+func (m *distance2) diskNbrs(self BidderID, g geomBid) []BidderID {
+	var out []BidderID
+	for oid, og := range m.bids {
+		if oid != self && models.DisksConflict(g.pos, og.pos, g.radius, og.radius) {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// inc adds one witness to the pair, reporting the edge if it just came into
+// existence.
+func (m *distance2) inc(u, v BidderID, d *EdgeDelta) {
+	k := pk(u, v)
+	m.wit[k]++
+	if m.wit[k] == 1 {
+		d.Added = append(d.Added, [2]BidderID{u, v})
+	}
+}
+
+// dec removes one witness; the edge is reported destroyed when the last
+// witness goes (suppressed for pairs involving skip — a departing bidder's
+// incident edges are implied, not reported).
+func (m *distance2) dec(u, v BidderID, skip BidderID, d *EdgeDelta) {
+	k := pk(u, v)
+	m.wit[k]--
+	if m.wit[k] == 0 {
+		delete(m.wit, k)
+		if u != skip && v != skip {
+			d.Removed = append(d.Removed, [2]BidderID{u, v})
+		}
+	}
+}
+
+func (m *distance2) Arrive(id BidderID, bid *Bid) EdgeDelta {
+	g := toGeom(bid)
+	nbrs := m.diskNbrs(id, g)
+	var d EdgeDelta
+	for _, u := range nbrs {
+		// Direct disk edge id–u.
+		m.inc(id, u, &d)
+		// u's existing disk neighbors are now two hops from id via u.
+		for v := range m.base[u] {
+			m.inc(id, v, &d)
+		}
+	}
+	// id bridges every pair of its disk neighbors.
+	for i, u := range nbrs {
+		for _, v := range nbrs[i+1:] {
+			m.inc(u, v, &d)
+		}
+	}
+	m.bids[id] = g
+	adj := make(map[BidderID]struct{}, len(nbrs))
+	for _, u := range nbrs {
+		adj[u] = struct{}{}
+		m.base[u][id] = struct{}{}
+	}
+	m.base[id] = adj
+	return d
+}
+
+func (m *distance2) Depart(id BidderID) EdgeDelta {
+	return m.depart(id, id)
+}
+
+// depart reverses Arrive exactly; skip suppresses Removed reports for edges
+// incident to that bidder (pass a non-live id to report everything, as Move
+// does).
+func (m *distance2) depart(id, skip BidderID) EdgeDelta {
+	var d EdgeDelta
+	nbrs := make([]BidderID, 0, len(m.base[id]))
+	for u := range m.base[id] {
+		nbrs = append(nbrs, u)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	for _, u := range nbrs {
+		m.dec(id, u, skip, &d)
+		for v := range m.base[u] {
+			if v != id {
+				m.dec(id, v, skip, &d)
+			}
+		}
+	}
+	for i, u := range nbrs {
+		for _, v := range nbrs[i+1:] {
+			m.dec(u, v, skip, &d)
+		}
+	}
+	for _, u := range nbrs {
+		delete(m.base[u], id)
+	}
+	delete(m.base, id)
+	delete(m.bids, id)
+	return d
+}
+
+func (m *distance2) Move(id BidderID, bid *Bid) EdgeDelta {
+	if _, ok := m.bids[id]; !ok {
+		return m.Arrive(id, bid)
+	}
+	// Re-insert and net out the two deltas: an edge destroyed by the
+	// departure and re-created by the arrival never happened.
+	out := m.depart(id, -1) // report incident removals too
+	in := m.Arrive(id, bid)
+	net := make(map[pairKey]int)
+	order := make([]pairKey, 0, len(out.Removed)+len(in.Added))
+	for _, e := range out.Removed {
+		k := pk(e[0], e[1])
+		if _, seen := net[k]; !seen {
+			order = append(order, k)
+		}
+		net[k]--
+	}
+	for _, e := range in.Added {
+		k := pk(e[0], e[1])
+		if _, seen := net[k]; !seen {
+			order = append(order, k)
+		}
+		net[k]++
+	}
+	var d EdgeDelta
+	for _, k := range order {
+		switch {
+		case net[k] > 0:
+			d.Added = append(d.Added, [2]BidderID{k.a, k.b})
+		case net[k] < 0:
+			d.Removed = append(d.Removed, [2]BidderID{k.a, k.b})
+		}
+	}
+	return d
+}
+
+// ModelByName builds the backend named by a CLI flag or config string.
+// Accepted names: "disk", "distance2" (or "distance2-disk"), "protocol",
+// "ieee80211" (or "ieee802.11"). delta parameterizes the link models and is
+// ignored by the disk models.
+func ModelByName(name string, delta float64) (ConflictModel, error) {
+	switch name {
+	case "", "disk":
+		return DiskModel(), nil
+	case "distance2", "distance2-disk":
+		return Distance2Model(), nil
+	case "protocol":
+		return ProtocolModel(delta)
+	case "ieee80211", "ieee802.11":
+		return IEEE80211Model(delta)
+	}
+	return nil, fmt.Errorf("broker: unknown interference model %q (want disk, distance2, protocol, or ieee80211)", name)
+}
+
+// ModelNames lists the accepted ModelByName flag values, default first.
+func ModelNames() []string { return []string{"disk", "distance2", "protocol", "ieee80211"} }

@@ -1,0 +1,288 @@
+package broker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+// testModels builds one fresh instance of every backend.
+func testModels(t testing.TB) map[string]ConflictModel {
+	t.Helper()
+	proto, err := ProtocolModel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ieee, err := IEEE80211Model(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]ConflictModel{
+		"disk":      DiskModel(),
+		"distance2": Distance2Model(),
+		"protocol":  proto,
+		"ieee80211": ieee,
+	}
+}
+
+// refConflict builds the from-scratch reference conflict structure for the
+// named backend over bids listed in id-ascending order.
+func refConflict(t testing.TB, name string, bids []Bid) *models.Conflict {
+	t.Helper()
+	switch name {
+	case "disk", "distance2":
+		centers := make([]geom.Point, len(bids))
+		radii := make([]float64, len(bids))
+		for i, b := range bids {
+			centers[i], radii[i] = b.Pos, b.Radius
+		}
+		if name == "disk" {
+			return models.Disk(centers, radii)
+		}
+		return models.Distance2Disk(centers, radii)
+	case "protocol", "ieee80211":
+		links := make([]geom.Link, len(bids))
+		for i, b := range bids {
+			links[i] = *b.Link
+		}
+		if name == "protocol" {
+			return models.Protocol(links, 1)
+		}
+		return models.IEEE80211(links, 0.5)
+	}
+	t.Fatalf("unknown model %s", name)
+	return nil
+}
+
+// randBid draws geometry for the named backend from a small, dense area so
+// conflicts (and, for distance-2, multi-hop witnesses) are plentiful.
+func randBid(rng *rand.Rand, name string) Bid {
+	p := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+	r := 1 + rng.Float64()*5
+	switch name {
+	case "protocol", "ieee80211":
+		th := rng.Float64() * 2 * math.Pi
+		q := geom.Point{X: p.X + r*math.Cos(th), Y: p.Y + r*math.Sin(th)}
+		return Bid{Link: &geom.Link{Sender: p, Receiver: q}}
+	}
+	return Bid{Pos: p, Radius: r}
+}
+
+// mirror tracks the adjacency a delta consumer (the broker) would maintain,
+// to verify the deltas themselves — not just the model's internal state.
+type mirror map[pairKey]bool
+
+func (mr mirror) apply(t *testing.T, d EdgeDelta) {
+	t.Helper()
+	for _, e := range d.Added {
+		k := pk(e[0], e[1])
+		if mr[k] {
+			t.Fatalf("delta re-adds existing edge %v", e)
+		}
+		mr[k] = true
+	}
+	for _, e := range d.Removed {
+		k := pk(e[0], e[1])
+		if !mr[k] {
+			t.Fatalf("delta removes non-edge %v", e)
+		}
+		delete(mr, k)
+	}
+}
+
+func (mr mirror) dropIncident(id BidderID) {
+	for k := range mr {
+		if k.a == id || k.b == id {
+			delete(mr, k)
+		}
+	}
+}
+
+// checkAgainstRef compares model state, mirrored deltas, and ordering keys
+// against the from-scratch constructor on the live bid set.
+func checkAgainstRef(t *testing.T, name string, m ConflictModel, mr mirror, live map[BidderID]Bid, step int) {
+	t.Helper()
+	ids := make([]BidderID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	bids := make([]Bid, len(ids))
+	idx := make(map[BidderID]int, len(ids))
+	for i, id := range ids {
+		bids[i] = live[id]
+		idx[id] = i
+	}
+	ref := refConflict(t, name, bids)
+	// Edges: the mirrored delta state must equal the reference graph.
+	refEdges := make(map[pairKey]bool)
+	for u := 0; u < ref.Binary.N(); u++ {
+		for _, v := range ref.Binary.Neighbors(u) {
+			if v > u {
+				refEdges[pk(ids[u], ids[v])] = true
+			}
+		}
+	}
+	if len(mr) != len(refEdges) {
+		t.Fatalf("%s step %d: %d maintained edges, reference has %d", name, step, len(mr), len(refEdges))
+	}
+	for k := range mr {
+		if !refEdges[k] {
+			t.Fatalf("%s step %d: maintained edge (%d,%d) not in reference", name, step, k.a, k.b)
+		}
+	}
+	// Ordering: ascending Key with index tie-break must reproduce the
+	// constructor's certifying ordering.
+	perm := make([]int, len(ids))
+	for i := range perm {
+		perm[i] = i
+	}
+	keys := make([]float64, len(ids))
+	for i := range ids {
+		bid := bids[i]
+		keys[i] = m.Key(&bid)
+	}
+	sort.SliceStable(perm, func(a, c int) bool {
+		if keys[perm[a]] != keys[perm[c]] {
+			return keys[perm[a]] < keys[perm[c]]
+		}
+		return perm[a] < perm[c]
+	})
+	pi := graph.NewOrdering(perm)
+	for v := range ids {
+		if pi.Rank[v] != ref.Pi.Rank[v] {
+			t.Fatalf("%s step %d: ordering rank of vertex %d is %d, reference %d",
+				name, step, v, pi.Rank[v], ref.Pi.Rank[v])
+		}
+	}
+	if m.RhoBound() != ref.RhoBound {
+		t.Fatalf("%s: rho %g, reference %g", name, m.RhoBound(), ref.RhoBound)
+	}
+	if m.Name() != ref.Model {
+		t.Fatalf("%s: name %q, reference %q", name, m.Name(), ref.Model)
+	}
+}
+
+// TestModelDeltasMatchFromScratch drives every backend through a random
+// churn sequence — arrivals, departures, and moves — and pins, after every
+// single mutation, the incrementally maintained graph (reconstructed purely
+// from the returned deltas), the certifying ordering, ρ, and the model name
+// against the batch constructors of internal/models.
+func TestModelDeltasMatchFromScratch(t *testing.T) {
+	for name := range testModels(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				m := testModels(t)[name]
+				rng := rand.New(rand.NewSource(seed))
+				live := map[BidderID]Bid{}
+				mr := mirror{}
+				var next BidderID
+				for step := 0; step < 120; step++ {
+					switch op := rng.Intn(3); {
+					case op == 0 || len(live) < 4: // arrive
+						next++
+						bid := randBid(rng, name)
+						live[next] = bid
+						mr.apply(t, m.Arrive(next, &bid))
+					case op == 1: // depart
+						id := randLive(rng, live)
+						delete(live, id)
+						d := m.Depart(id)
+						if len(d.Added) != 0 {
+							t.Fatalf("departure added edges: %+v", d)
+						}
+						mr.dropIncident(id)
+						mr.apply(t, d)
+					default: // move
+						id := randLive(rng, live)
+						bid := randBid(rng, name)
+						live[id] = bid
+						mr.apply(t, m.Move(id, &bid))
+					}
+					checkAgainstRef(t, name, m, mr, live, step)
+				}
+			}
+		})
+	}
+}
+
+func randLive(rng *rand.Rand, live map[BidderID]Bid) BidderID {
+	ids := make([]BidderID, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestModelValidateRejectsBadGeometry spot-checks the per-model geometry
+// validation (the fuzz harness explores the space more broadly).
+func TestModelValidateRejectsBadGeometry(t *testing.T) {
+	inf := func() float64 { return math.Inf(1) }
+	nan := math.NaN()
+	link := &geom.Link{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}}
+	for name, m := range testModels(t) {
+		var bad []Bid
+		switch name {
+		case "disk", "distance2":
+			bad = []Bid{
+				{Radius: 0},                          // no radius
+				{Radius: -1},                         // negative
+				{Radius: inf()},                      // infinite
+				{Radius: nan},                        // NaN
+				{Radius: 1, Pos: geom.Point{X: nan}}, // NaN position
+				{Radius: 1, Link: link},              // link geometry on a disk model
+			}
+		default:
+			bad = []Bid{
+				{},                      // no link
+				{Link: link, Radius: 1}, // disk radius on a link model
+				{Link: &geom.Link{Sender: geom.Point{}, Receiver: geom.Point{}}},         // zero length
+				{Link: &geom.Link{Sender: geom.Point{X: nan}, Receiver: geom.Point{}}},   // NaN endpoint
+				{Link: &geom.Link{Sender: geom.Point{X: inf()}, Receiver: geom.Point{}}}, // infinite endpoint
+			}
+		}
+		for i, bid := range bad {
+			bid := bid
+			if err := m.Validate(&bid); err == nil {
+				t.Fatalf("%s case %d: bad geometry accepted: %+v", name, i, bid)
+			}
+		}
+		good := randBid(rand.New(rand.NewSource(1)), name)
+		if err := m.Validate(&good); err != nil {
+			t.Fatalf("%s: good geometry rejected: %v", name, err)
+		}
+	}
+}
+
+// TestModelByName covers the flag-name mapping.
+func TestModelByName(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ModelByName(name, 1)
+		if err != nil || m == nil {
+			t.Fatalf("ModelByName(%q): %v", name, err)
+		}
+	}
+	if m, err := ModelByName("", 0); err != nil || m.Name() != "disk" {
+		t.Fatalf("default model: %v %v", m, err)
+	}
+	if _, err := ModelByName("sinr", 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := ModelByName("protocol", 0); err == nil {
+		t.Fatal("protocol with delta=0 accepted")
+	}
+	if _, err := ModelByName("ieee80211", -1); err == nil {
+		t.Fatal("ieee80211 with delta<0 accepted")
+	}
+	if fmt.Sprint(ModelNames()) != "[disk distance2 protocol ieee80211]" {
+		t.Fatalf("ModelNames drifted: %v", ModelNames())
+	}
+}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
@@ -13,12 +14,6 @@ import (
 	"repro/internal/models"
 	"repro/internal/valuation"
 )
-
-// diskRhoBound is the inductive independence certified for disk conflict
-// graphs by the decreasing-radius ordering (Proposition 9). Induced
-// subgraphs of a disk graph are disk graphs, so every per-component
-// sub-instance inherits the same certificate.
-const diskRhoBound = 5
 
 // poolCap bounds the per-bidder bundle pool used to seed rebuilt masters.
 const poolCap = 24
@@ -103,16 +98,17 @@ func (b *Broker) buildGlobal() *globalState {
 	for i, id := range ids {
 		s.idx[id] = i
 	}
-	// Decreasing radius with index tie-break — the ordering models.Disk
-	// certifies ρ ≤ 5 with.
+	// Ascending model key with index tie-break — the ordering the conflict
+	// model certifies its ρ bound with (decreasing radius for disk models,
+	// increasing length for link models), restricted to the live bidders.
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i
 	}
 	sort.SliceStable(perm, func(a, c int) bool {
-		ra, rc := b.bidders[ids[perm[a]]].radius, b.bidders[ids[perm[c]]].radius
-		if ra != rc {
-			return ra > rc
+		ka, kc := b.bidders[ids[perm[a]]].key, b.bidders[ids[perm[c]]].key
+		if ka != kc {
+			return ka < kc
 		}
 		return perm[a] < perm[c]
 	})
@@ -134,7 +130,7 @@ func (b *Broker) buildGlobal() *globalState {
 // global-snapshot indices in π order, so the identity ordering over the
 // sub-instance is exactly the restriction of π and inherits the disk
 // certificate.
-func subConflict(s *globalState, members []int) *models.Conflict {
+func subConflict(s *globalState, members []int, rho float64, model string) *models.Conflict {
 	m := len(members)
 	sub := make(map[int]int, m)
 	for vi, gi := range members {
@@ -152,8 +148,8 @@ func subConflict(s *globalState, members []int) *models.Conflict {
 		W:        graph.FromUnweighted(g),
 		Binary:   g,
 		Pi:       graph.IdentityOrdering(m),
-		RhoBound: diskRhoBound,
-		Model:    "disk",
+		RhoBound: rho,
+		Model:    model,
 	}
 }
 
@@ -176,18 +172,20 @@ func (b *Broker) planEpoch() *epochPlan {
 			versions[vi] = bd.version
 			vals[vi] = s.vals[gi]
 		}
-		// A support-shrinking update (some channel's value dropped to zero)
-		// poisons the persistent master: its pooled columns may carry the
-		// now-worthless channel, creating degenerate optima whose rounding
-		// diverges from the from-scratch path. Such components rebuild.
-		shrunk := false
+		// A structural valuation change — an additive support shrink (some
+		// channel's value dropped to zero) or a changed XOR atom set —
+		// poisons the persistent master: its pooled columns may carry
+		// bundles a fresh demand oracle would never produce, creating
+		// degenerate optima whose rounding diverges from the from-scratch
+		// path. Such components rebuild.
+		rebuild := false
 		for _, gi := range members {
 			bd := b.bidders[s.ids[gi]]
-			shrunk = shrunk || bd.shrunk
-			bd.shrunk = false
+			rebuild = rebuild || bd.forceRebuild
+			bd.forceRebuild = false
 		}
 		key := compKey(ids)
-		if e, ok := b.comps[key]; ok && !b.cfg.Cold && !shrunk {
+		if e, ok := b.comps[key]; ok && !b.cfg.Cold && !rebuild {
 			if sameVersions(e.versions, versions) {
 				plan.entries = append(plan.entries, e)
 				plan.clean++
@@ -207,19 +205,28 @@ func (b *Broker) planEpoch() *epochPlan {
 			plan.warm++
 			continue
 		}
-		// Membership changed (or Cold, or a support shrink): fresh conflict
-		// structure and master, seeded with the bundles its members
-		// generated in earlier epochs, stripped to each bidder's current
-		// support (exact for additive valuations: the dropped channels are
-		// worth zero).
-		inst, err := auction.NewInstance(subConflict(s, members), b.cfg.K, vals)
+		// Membership changed (or Cold, or a structural valuation change):
+		// fresh conflict structure and master, seeded with the bundles its
+		// members generated in earlier epochs. Seeds are restricted to what
+		// the member's current demand oracle could itself produce — additive
+		// bundles stripped to the support (exact: the dropped channels are
+		// worth zero), XOR bundles kept only if they are a current positive
+		// atom — so the seeded master explores the same column universe as
+		// the cold reference.
+		inst, err := auction.NewInstance(subConflict(s, members, b.model.RhoBound(), b.model.Name()), b.cfg.K, vals)
 		e := &compEntry{key: key, ids: ids, versions: versions, inst: inst}
 		job := &solveJob{entry: e, kind: jobRebuild, err: err}
 		if !b.cfg.Cold {
 			for vi, gi := range members {
-				support := b.bidders[s.ids[gi]].support
+				bd := b.bidders[s.ids[gi]]
 				for _, t := range b.pool[ids[vi]] {
-					if t &= support; t != valuation.Empty {
+					if bd.xor != nil {
+						if bd.xor[t] {
+							job.seed = append(job.seed, auction.Column{V: vi, T: t})
+						}
+						continue
+					}
+					if t &= bd.support; t != valuation.Empty {
 						job.seed = append(job.seed, auction.Column{V: vi, T: t})
 					}
 				}
@@ -272,16 +279,34 @@ func (b *Broker) solveJobs(jobs []*solveJob) {
 	wg.Wait()
 }
 
+// solveFault, when non-nil, is consulted before every component solve; a
+// returned error (or a panic) is injected as that solve's outcome. Tests use
+// it to force the failed-job path; production leaves it nil.
+var solveFault func(e *compEntry) error
+
 // runJob solves one component and rounds both halves of the size
 // decomposition. On error the job is marked failed: commitEpoch allocates
 // nothing to the component's members this epoch and evicts the entry so the
 // next epoch rebuilds it — one failing component cannot take down the epoch
-// or masquerade as clean afterwards.
+// or masquerade as clean afterwards. A panicking solve (a bug deep inside
+// simplex or a pathological valuation) is contained the same way: the
+// recover converts it into a failed job instead of killing the daemon.
 func (b *Broker) runJob(j *solveJob) {
 	if j.err != nil {
 		return
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = fmt.Errorf("broker: component solve panicked: %v", r)
+		}
+	}()
 	e := j.entry
+	if solveFault != nil {
+		if err := solveFault(e); err != nil {
+			j.err = err
+			return
+		}
+	}
 	var sol *auction.LPSolution
 	var err error
 	switch j.kind {
@@ -445,8 +470,8 @@ func (b *Broker) poolAdd(id BidderID, t valuation.Bundle) bool {
 }
 
 // Snapshot returns the last committed epoch's market as a single auction
-// instance over its active bidders (id-ascending vertex numbering,
-// decreasing-radius ordering) together with the id of each vertex and the
+// instance over its active bidders (id-ascending vertex numbering, the
+// conflict model's certifying ordering) together with the id of each vertex and the
 // epoch it reflects. It is built from the state the epoch was solved on —
 // not the live mutating bidder set — so even mid-tick it describes exactly
 // the epoch the allocation queries serve: the equivalence contract is that
@@ -465,8 +490,8 @@ func (b *Broker) Snapshot() (*auction.Instance, []BidderID, int, error) {
 		W:        graph.FromUnweighted(s.g),
 		Binary:   s.g,
 		Pi:       s.pi,
-		RhoBound: diskRhoBound,
-		Model:    "disk",
+		RhoBound: b.model.RhoBound(),
+		Model:    b.model.Name(),
 	}
 	in, err := auction.NewInstance(conf, b.cfg.K, s.vals)
 	if err != nil {

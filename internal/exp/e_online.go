@@ -66,7 +66,7 @@ func E17(quick bool) *Table {
 					return err
 				},
 				func(tid int, values []float64) error {
-					return b.Update(live[tid], values)
+					return b.Update(live[tid], broker.Additive(values))
 				},
 			)
 			if err != nil {

@@ -117,6 +117,7 @@ var All = []Experiment{
 	{"E15", "Application: multi-epoch market simulation", E15},
 	{"E16", "Mechanism revenue vs expected welfare", E16},
 	{"E17", "Online broker vs from-scratch re-solves", E17},
+	{"E18", "Cross-model online broker welfare", E18},
 	{"A1", "Ablation: certified vs measured ρ in the LP", A1},
 	{"A2", "Ablation: rounding samples vs derandomization", A2},
 	{"A3", "Ablation: LP rounding vs local-ratio (k=1)", A3},
@@ -135,6 +136,7 @@ func Find(id string) *Experiment {
 
 // f2 formats a float with two decimals; f3 with three significant-ish
 // decimals.
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
 func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
 

@@ -56,6 +56,10 @@ const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
+	// Stalled: simplex hit its iteration limit without proving optimality,
+	// unboundedness, or infeasibility. Reported as an ErrNotOptimal error so
+	// long-lived callers can contain a pathological instance.
+	Stalled
 )
 
 // String names the solve outcome.
@@ -67,6 +71,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Stalled:
+		return "stalled"
 	}
 	return "?"
 }
@@ -80,8 +86,12 @@ const (
 	// blandAfter switches pivoting from Dantzig's rule to Bland's rule after
 	// this many iterations, guaranteeing termination under degeneracy.
 	blandAfter = 5000
-	maxIters   = 200000
 )
+
+// maxIters bounds the pivots of a single optimization run; exceeding it
+// surfaces as a Stalled ErrNotOptimal error. A variable (not a const) so
+// tests can force the limit without constructing a pathological instance.
+var maxIters = 200000
 
 type row struct {
 	a   []float64

@@ -1,6 +1,9 @@
 package lp
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Solver is an incremental simplex solver bound to a Problem. It keeps the
 // tableau (and hence the optimal basis) alive between solves, so a workload
@@ -27,7 +30,10 @@ func NewSolver(p *Problem) *Solver {
 // call after an optimal Solve (with any number of AddColumn calls in
 // between) re-optimizes from the current basis, skipping phase 1. On success
 // it returns an optimal Solution; otherwise the Status indicates
-// infeasibility or unboundedness and the error wraps ErrNotOptimal.
+// infeasibility, unboundedness, or non-convergence (the simplex iteration
+// limit — Stalled) and the error wraps ErrNotOptimal. Non-convergence is an
+// error, never a panic: callers embedded in long-lived services (the broker's
+// per-component solves) contain it as one failed solve.
 func (s *Solver) Solve() (*Solution, Status, error) {
 	s.check()
 	t := s.t
@@ -36,10 +42,20 @@ func (s *Solver) Solve() (*Solution, Status, error) {
 	// without the reset, a long-lived warm-started master would eventually
 	// cross blandAfter cumulatively and pivot by Bland's (slow) rule forever.
 	t.iteration = 0
-	if !t.feasible && !t.phase1() {
-		return nil, Infeasible, fmt.Errorf("%w: infeasible", ErrNotOptimal)
+	if !t.feasible {
+		switch err := t.phase1(); {
+		case err == nil:
+		case errors.Is(err, errIterLimit):
+			return nil, Stalled, fmt.Errorf("%w: phase 1 %v", ErrNotOptimal, err)
+		default:
+			return nil, Infeasible, fmt.Errorf("%w: infeasible", ErrNotOptimal)
+		}
 	}
-	if !t.phase2() {
+	switch err := t.phase2(); {
+	case err == nil:
+	case errors.Is(err, errIterLimit):
+		return nil, Stalled, fmt.Errorf("%w: %v", ErrNotOptimal, err)
+	default:
 		return nil, Unbounded, fmt.Errorf("%w: unbounded", ErrNotOptimal)
 	}
 	return t.extract(s.p), Optimal, nil

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // tableau is a dense simplex tableau over a single flat backing array.
 // Columns: structural variables, then one slack/surplus per inequality row,
@@ -229,47 +232,68 @@ func (t *tableau) chooseEntering(allowed func(int) bool) int {
 
 // chooseLeaving runs the minimum-ratio test on column s, breaking ties by
 // lowest basis index (Bland-compatible). Returns -1 if the column is
-// unbounded.
+// unbounded. Ties are judged against the true minimum ratio, never against
+// the last accepted near-tie: updating the comparison point per accepted row
+// lets chained ±eps ties drift the window, admitting a leaving row whose
+// ratio exceeds the minimum by several eps — a slightly infeasible pivot
+// (negative basic values beyond tolerance).
 func (t *tableau) chooseLeaving(s int) int {
-	bestRow := -1
-	bestRatio := math.Inf(1)
+	minRatio := math.Inf(1)
 	for i := 0; i < t.m; i++ {
 		if v := t.a[i*t.stride+s]; v > eps {
-			ratio := t.b[i] / v
-			if ratio < bestRatio-eps ||
-				(ratio < bestRatio+eps && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
-				bestRow, bestRatio = i, ratio
+			if ratio := t.b[i] / v; ratio < minRatio {
+				minRatio = ratio
+			}
+		}
+	}
+	if math.IsInf(minRatio, 1) {
+		return -1
+	}
+	bestRow := -1
+	for i := 0; i < t.m; i++ {
+		if v := t.a[i*t.stride+s]; v > eps {
+			if ratio := t.b[i] / v; ratio <= minRatio+eps &&
+				(bestRow == -1 || t.basis[i] < t.basis[bestRow]) {
+				bestRow = i
 			}
 		}
 	}
 	return bestRow
 }
 
+// Sentinel outcomes of a simplex run. errIterLimit is wrapped into
+// ErrNotOptimal by Solver.Solve: a long-lived service solving many LPs must
+// see a non-converging instance as a failed solve, not a process panic.
+var (
+	errInfeasible = errors.New("lp: infeasible")
+	errUnbounded  = errors.New("lp: unbounded")
+	errIterLimit  = errors.New("lp: simplex iteration limit exceeded")
+)
+
 // run iterates simplex under the active objective (already loaded into z)
-// until optimality or unboundedness.
-func (t *tableau) run(allowed func(int) bool) bool {
+// until optimality (nil), unboundedness (errUnbounded), or the iteration
+// limit (errIterLimit).
+func (t *tableau) run(allowed func(int) bool) error {
 	for iter := 0; iter < maxIters; iter++ {
 		s := t.chooseEntering(allowed)
 		if s == -1 {
-			return true
+			return nil
 		}
 		r := t.chooseLeaving(s)
 		if r == -1 {
-			return false // unbounded
+			return errUnbounded
 		}
 		t.pivot(r, s)
 	}
-	// Iteration limit: treat as failure to converge; in practice unreachable
-	// for the problem sizes in this repository.
-	panic("lp: simplex iteration limit exceeded")
+	return errIterLimit
 }
 
-// phase1 minimizes the sum of artificial variables; returns false if the
-// problem is infeasible.
-func (t *tableau) phase1() bool {
+// phase1 minimizes the sum of artificial variables; returns errInfeasible if
+// the problem is infeasible, errIterLimit on non-convergence.
+func (t *tableau) phase1() error {
 	if t.numArt == 0 {
 		t.feasible = true
-		return true
+		return nil
 	}
 	// Maximize -(sum of artificials).
 	c := make([]float64, t.cols)
@@ -280,8 +304,10 @@ func (t *tableau) phase1() bool {
 	}
 	t.computeZ(c)
 	t.zObj2 = false
-	if !t.run(func(int) bool { return true }) {
-		return false // cannot happen: phase-1 objective is bounded
+	if err := t.run(func(int) bool { return true }); err != nil {
+		// The phase-1 objective is bounded, so errUnbounded cannot happen;
+		// any error here is the iteration limit.
+		return err
 	}
 	sum := 0.0
 	for i := 0; i < t.m; i++ {
@@ -290,7 +316,7 @@ func (t *tableau) phase1() bool {
 		}
 	}
 	if sum > 1e-7 {
-		return false
+		return errInfeasible
 	}
 	// Drive remaining (degenerate) artificials out of the basis.
 	for i := 0; i < t.m; i++ {
@@ -309,12 +335,12 @@ func (t *tableau) phase1() bool {
 		// never re-enters (enforced in phase 2 by the allowed filter).
 	}
 	t.feasible = true
-	return true
+	return nil
 }
 
 // phase2 optimizes the real objective from the current (feasible) basis;
-// returns false if unbounded.
-func (t *tableau) phase2() bool {
+// returns errUnbounded or errIterLimit on failure.
+func (t *tableau) phase2() error {
 	if !t.zObj2 {
 		t.computeZ(t.obj)
 		t.zObj2 = true

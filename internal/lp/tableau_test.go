@@ -1,0 +1,97 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestChooseLeavingTieWindowDoesNotDrift pins the minimum-ratio tie window
+// to the true minimum. The historical bug updated the comparison point to
+// each accepted near-tied ratio, so a chain of rows whose ratios each sit
+// within eps of the previous winner — but not of the true minimum — could
+// drift the window upward and return a row whose ratio exceeds the minimum
+// by several eps, producing a slightly infeasible pivot.
+func TestChooseLeavingTieWindowDoesNotDrift(t *testing.T) {
+	// Three identical constraints give a tableau with a[i][0] = 1 in every
+	// row; the test then crafts the degenerate near-tie directly.
+	p := NewMaximize([]float64{1})
+	for i := 0; i < 3; i++ {
+		p.AddConstraint([]float64{1}, LE, 1)
+	}
+	tab := newTableau(p)
+	// Ratios ascend in steps of 0.8·eps — rows 0 and 1 tie with the true
+	// minimum, row 2 does not — while the basis indices descend, so Bland's
+	// tie-break pulls toward later rows at every step of the chain.
+	tab.b[0], tab.b[1], tab.b[2] = 1, 1+0.8*eps, 1+1.6*eps
+	tab.basis[0], tab.basis[1], tab.basis[2] = 5, 4, 3
+	r := tab.chooseLeaving(0)
+	if r == -1 {
+		t.Fatal("bounded column reported unbounded")
+	}
+	if ratio := tab.b[r]; ratio > 1+eps {
+		t.Fatalf("chooseLeaving picked row %d with ratio %v, exceeding the true minimum 1 by more than eps", r, ratio-1)
+	}
+	// Among the true ties {row 0, row 1}, Bland's rule picks the smaller
+	// basis index: row 1.
+	if r != 1 {
+		t.Fatalf("chooseLeaving picked row %d, want the lowest-basis true tie (row 1)", r)
+	}
+}
+
+// TestChooseLeavingUnbounded: no positive pivot entry means the column is
+// unbounded.
+func TestChooseLeavingUnbounded(t *testing.T) {
+	p := NewMaximize([]float64{1})
+	p.AddConstraint([]float64{-1}, LE, 1)
+	tab := newTableau(p)
+	if r := tab.chooseLeaving(0); r != -1 {
+		t.Fatalf("chooseLeaving = %d on an unbounded column, want -1", r)
+	}
+}
+
+// TestIterationLimitReturnsError: hitting the simplex iteration limit must
+// surface as an ErrNotOptimal error with Status Stalled — never a panic. A
+// long-lived service (brokerd) contains a failed solve; it cannot contain a
+// panic deep inside a worker.
+func TestIterationLimitReturnsError(t *testing.T) {
+	old := maxIters
+	maxIters = 1
+	defer func() { maxIters = old }()
+
+	// Needs two pivots (one per variable) to reach the optimum.
+	p := NewMaximize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	sol, status, err := p.Solve()
+	if err == nil {
+		t.Fatalf("iteration limit produced no error (sol=%+v)", sol)
+	}
+	if !errors.Is(err, ErrNotOptimal) {
+		t.Fatalf("iteration-limit error %v does not wrap ErrNotOptimal", err)
+	}
+	if status != Stalled {
+		t.Fatalf("status = %v, want %v", status, Stalled)
+	}
+
+	// With the limit restored the same problem solves.
+	maxIters = old
+	sol, status, err = p.Solve()
+	if err != nil || status != Optimal || sol.Objective != 2 {
+		t.Fatalf("restored solve: %v %v %+v", status, err, sol)
+	}
+}
+
+// TestIterationLimitInPhase1 covers the limit inside phase 1 (GE rows force
+// artificial variables, so phase 1 must pivot).
+func TestIterationLimitInPhase1(t *testing.T) {
+	old := maxIters
+	maxIters = 0
+	defer func() { maxIters = old }()
+
+	p := NewMinimize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, GE, 1)
+	_, status, err := p.Solve()
+	if !errors.Is(err, ErrNotOptimal) || status != Stalled {
+		t.Fatalf("phase-1 iteration limit: status=%v err=%v", status, err)
+	}
+}

@@ -34,6 +34,19 @@ type TraceConfig struct {
 	// cap are never drawn (matching the historical market.Run behaviour, so
 	// traces replay its exact RNG stream).
 	MaxUsers int
+	// Model names the interference backend the trace's geometry targets:
+	// "" or "disk" and "distance2" draw transmitter disks only (the
+	// historical stream, draw for draw); "protocol" and "ieee80211"
+	// additionally orient a sender→receiver link per arrival. Orientations
+	// come from an independent RNG stream, so a given seed produces the
+	// same arrivals — ids, epochs, positions, radii, values, departures —
+	// under every model.
+	Model string
+}
+
+// LinkModel reports whether the trace's arrivals carry link geometry.
+func (c TraceConfig) LinkModel() bool {
+	return c.Model == "protocol" || c.Model == "ieee80211" || c.Model == "ieee802.11"
 }
 
 // traceConfig extracts the workload parameters of a simulation Config.
@@ -62,9 +75,13 @@ type Arrival struct {
 	Epoch int
 	// Departs is the first epoch the user is gone.
 	Departs int
-	// Pos and Radius place the transmitter's interference disk.
+	// Pos and Radius place the transmitter's interference disk (disk and
+	// distance-2 models).
 	Pos    geom.Point
 	Radius float64
+	// Link is the sender→receiver pair of link-model traces (sender at Pos,
+	// length Radius); the zero value otherwise.
+	Link geom.Link
 	// Values are the additive per-channel values (length K).
 	Values []float64
 }
@@ -101,6 +118,13 @@ type Trace struct {
 // results are unchanged by the extraction.
 func GenTrace(cfg TraceConfig) *Trace {
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Link orientations draw from their own stream: the main stream stays
+	// byte-identical to the historical disk generator, and all models see
+	// the same arrivals for a given seed.
+	var linkRng *rand.Rand
+	if cfg.LinkModel() {
+		linkRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	}
 	tr := &Trace{Config: cfg}
 	tr.Primaries = make([]Primary, cfg.PrimaryUsers)
 	for i := range tr.Primaries {
@@ -129,6 +153,13 @@ func GenTrace(cfg TraceConfig) *Trace {
 			}
 			for j := range a.Values {
 				a.Values[j] = 1 + rng.Float64()*(10-1)
+			}
+			if linkRng != nil {
+				th := linkRng.Float64() * 2 * math.Pi
+				a.Link = geom.Link{
+					Sender:   a.Pos,
+					Receiver: geom.Point{X: a.Pos.X + a.Radius*math.Cos(th), Y: a.Pos.Y + a.Radius*math.Sin(th)},
+				}
 			}
 			nextID++
 			active++

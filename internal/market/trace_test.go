@@ -1,6 +1,7 @@
 package market
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/geom"
@@ -81,5 +82,58 @@ func TestMaskForCountsCoveringPrimaries(t *testing.T) {
 	}
 	if mask != 0b101 {
 		t.Fatalf("mask = %b, want 101", mask)
+	}
+}
+
+// TestLinkModelTraceSharesPrefix: for a given seed, a link-model trace must
+// produce exactly the same arrivals (ids, epochs, positions, radii, values)
+// as the disk trace — link orientations come from an independent RNG stream
+// — and must populate a link of length Radius anchored at Pos.
+func TestLinkModelTraceSharesPrefix(t *testing.T) {
+	base := TraceConfig{Seed: 11, Epochs: 8, K: 3, Side: 100, ArrivalRate: 4, MeanLifetime: 3, MaxUsers: 30}
+	disk := GenTrace(base)
+	link := base
+	link.Model = "protocol"
+	tr := GenTrace(link)
+	if len(tr.Epochs) != len(disk.Epochs) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(tr.Epochs), len(disk.Epochs))
+	}
+	for e := range tr.Epochs {
+		la, da := tr.Epochs[e].Arrivals, disk.Epochs[e].Arrivals
+		if len(la) != len(da) {
+			t.Fatalf("epoch %d: %d vs %d arrivals", e, len(la), len(da))
+		}
+		for i := range la {
+			if la[i].ID != da[i].ID || la[i].Pos != da[i].Pos || la[i].Radius != da[i].Radius ||
+				la[i].Departs != da[i].Departs {
+				t.Fatalf("epoch %d arrival %d drifted: %+v vs %+v", e, i, la[i], da[i])
+			}
+			for j := range la[i].Values {
+				if la[i].Values[j] != da[i].Values[j] {
+					t.Fatalf("epoch %d arrival %d value %d drifted", e, i, j)
+				}
+			}
+			if da[i].Link != (geom.Link{}) {
+				t.Fatalf("disk trace grew a link: %+v", da[i].Link)
+			}
+			if la[i].Link.Sender != la[i].Pos {
+				t.Fatalf("link not anchored at pos: %+v", la[i])
+			}
+			if l := la[i].Link.Length(); math.Abs(l-la[i].Radius) > 1e-9 {
+				t.Fatalf("link length %g, want radius %g", l, la[i].Radius)
+			}
+		}
+	}
+}
+
+// TestLinkModelNames pins the names LinkModel recognizes.
+func TestLinkModelNames(t *testing.T) {
+	for name, want := range map[string]bool{
+		"": false, "disk": false, "distance2": false,
+		"protocol": true, "ieee80211": true, "ieee802.11": true,
+	} {
+		if got := (TraceConfig{Model: name}).LinkModel(); got != want {
+			t.Fatalf("LinkModel(%q) = %v", name, got)
+		}
 	}
 }

@@ -59,6 +59,26 @@ func orderingBy(n int, key func(i int) float64) graph.Ordering {
 	return graph.NewOrdering(perm)
 }
 
+// Inductive independence bounds certified by the models' orderings; the
+// constructors embed them, and incremental maintainers of the same graphs
+// (internal/broker's conflict backends) reference them so the certified
+// constants have a single source.
+const (
+	// DiskRho: decreasing-radius ordering on disk graphs (Proposition 9).
+	DiskRho = 5
+	// Distance2DiskRho: decreasing-radius ordering on the square of a disk
+	// graph (Proposition 11; 5 + 16 + 25, see Distance2Disk).
+	Distance2DiskRho = 46
+	// IEEE80211Rho: increasing-length ordering on the bidirectional protocol
+	// model (Wan).
+	IEEE80211Rho = 23
+)
+
+// DisksConflict reports whether two interference disks intersect.
+func DisksConflict(p, q geom.Point, rp, rq float64) bool {
+	return p.Dist(q) <= rp+rq
+}
+
 // Disk builds the disk-graph conflict model of a transmitter scenario:
 // transmitter i covers a disk of radius radii[i] around centers[i], and two
 // transmitters conflict iff their disks intersect. The ordering sorts by
@@ -71,7 +91,7 @@ func Disk(centers []geom.Point, radii []float64) *Conflict {
 	g := graph.New(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if centers[i].Dist(centers[j]) <= radii[i]+radii[j] {
+			if DisksConflict(centers[i], centers[j], radii[i], radii[j]) {
 				g.AddEdge(i, j)
 			}
 		}
@@ -81,7 +101,7 @@ func Disk(centers []geom.Point, radii []float64) *Conflict {
 		W:        graph.FromUnweighted(g),
 		Binary:   g,
 		Pi:       pi,
-		RhoBound: 5,
+		RhoBound: DiskRho,
 		Model:    "disk",
 	}
 }
@@ -135,7 +155,7 @@ func Distance2Disk(centers []geom.Point, radii []float64) *Conflict {
 		W:        graph.FromUnweighted(sq),
 		Binary:   sq,
 		Pi:       pi,
-		RhoBound: 46,
+		RhoBound: Distance2DiskRho,
 		Model:    "distance2-disk",
 	}
 }
@@ -194,7 +214,7 @@ func Protocol(links []geom.Link, delta float64) *Conflict {
 	g := graph.New(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if protocolConflicts(links[i], links[j], delta) {
+			if ProtocolConflicts(links[i], links[j], delta) {
 				g.AddEdge(i, j)
 			}
 		}
@@ -209,7 +229,9 @@ func Protocol(links []geom.Link, delta float64) *Conflict {
 	}
 }
 
-func protocolConflicts(a, b geom.Link, delta float64) bool {
+// ProtocolConflicts reports whether two links conflict under the protocol
+// model with parameter delta: either sender disturbs the other's receiver.
+func ProtocolConflicts(a, b geom.Link, delta float64) bool {
 	return b.Sender.Dist(a.Receiver) < (1+delta)*a.Length() ||
 		a.Sender.Dist(b.Receiver) < (1+delta)*b.Length()
 }
@@ -224,7 +246,7 @@ func IEEE80211(links []geom.Link, delta float64) *Conflict {
 	g := graph.New(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if ieeeConflicts(links[i], links[j], delta) {
+			if IEEE80211Conflicts(links[i], links[j], delta) {
 				g.AddEdge(i, j)
 			}
 		}
@@ -234,12 +256,15 @@ func IEEE80211(links []geom.Link, delta float64) *Conflict {
 		W:        graph.FromUnweighted(g),
 		Binary:   g,
 		Pi:       pi,
-		RhoBound: 23,
+		RhoBound: IEEE80211Rho,
 		Model:    "ieee802.11",
 	}
 }
 
-func ieeeConflicts(a, b geom.Link, delta float64) bool {
+// IEEE80211Conflicts reports whether two links conflict under the
+// bidirectional IEEE 802.11 model: any endpoint of one within
+// (1+delta)·max(len,len') of any endpoint of the other.
+func IEEE80211Conflicts(a, b geom.Link, delta float64) bool {
 	rng := (1 + delta) * math.Max(a.Length(), b.Length())
 	for _, p := range []geom.Point{a.Sender, a.Receiver} {
 		for _, q := range []geom.Point{b.Sender, b.Receiver} {

@@ -9,11 +9,13 @@
 # the cold-start (rebuild-per-solve simplex) baseline that PR 2's
 # warm-started incremental solver is measured against; BENCH_3.json adds the
 # broker's steady-state epoch, warm (component cache + persistent masters +
-# column pool) vs cold (rebuild everything each epoch).
+# column pool) vs cold (rebuild everything each epoch); BENCH_4.json splits
+# the broker epoch benchmarks per interference backend
+# (BenchmarkBrokerEpoch{Warm,Cold}/{disk,distance2,protocol,ieee80211}).
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 # A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
