@@ -371,6 +371,7 @@ type Metrics struct {
 	Submitted    int64       `json:"submitted"`
 	Withdrawn    int64       `json:"withdrawn"`
 	Updated      int64       `json:"updated"`
+	Moved        int64       `json:"moved"`
 	Rejected     int64       `json:"rejected"`
 	TotalWelfare float64     `json:"total_welfare"`
 	CleanTotal   int64       `json:"clean_total"`
@@ -779,7 +780,27 @@ func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd, mov int) {
 			ob.bid.Pos, ob.bid.Radius = op.bid.Pos, op.bid.Radius
 			ob.bid.Link = op.bid.Link
 			ob.key = b.model.Key(&ob.bid)
-			b.applyDelta(b.model.Move(ob.id, &ob.bid))
+			d := b.model.Move(ob.id, &ob.bid)
+			b.applyDelta(d)
+			// A move can rewire a component's internal conflict edges while
+			// preserving its membership, per-member ordering keys, and
+			// valuation versions — everything the component cache keys on — so
+			// neither the cached solution nor the warm SetObjective re-solve
+			// (same tableau, old conflict columns) can be trusted. Force a
+			// rebuild of every component the delta touches: the mover's, and
+			// those of both endpoints of each changed edge (a distance-2 move
+			// can add or remove bridge edges between two bidders whose
+			// component no longer contains the mover).
+			ob.forceRebuild = true
+			for _, es := range [][][2]BidderID{d.Added, d.Removed} {
+				for _, e := range es {
+					for _, nid := range e {
+						if nb := b.bidders[nid]; nb != nil {
+							nb.forceRebuild = true
+						}
+					}
+				}
+			}
 			mov++
 		}
 	}
@@ -871,6 +892,7 @@ func (b *Broker) Tick() EpochReport {
 	b.metrics.Submitted += int64(rep.Arrivals)
 	b.metrics.Withdrawn += int64(rep.Departures)
 	b.metrics.Updated += int64(rep.Updates)
+	b.metrics.Moved += int64(rep.Moves)
 	b.metrics.TotalWelfare += rep.Welfare
 	b.metrics.CleanTotal += int64(rep.Clean)
 	b.metrics.WarmTotal += int64(rep.WarmResolves)

@@ -440,6 +440,103 @@ func TestMoveRelocatesBidder(t *testing.T) {
 	}
 }
 
+// TestMoveRewiringEdgesInvalidatesCache is the stale-cache regression: a
+// position-only move that preserves a component's membership, every member's
+// ordering key (radius unchanged), and all valuation versions — everything
+// the component cache keys on — while rewiring the internal conflict edges
+// must force a rebuild. Served Clean from the stale entry, the broker would
+// commit the old component's allocation, giving the same channel to bidders
+// that now conflict.
+func TestMoveRewiringEdgesInvalidatesCache(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1})
+	// A(0,0,r10)–B(12,0,r3)–C(20,0,r5): one component with edges A–B
+	// (12 ≤ 13) and B–C (8 ≤ 8); A and C are independent and share the
+	// single channel.
+	a, err := b.Submit(Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 10, Values: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(Bid{Pos: geom.Point{X: 12, Y: 0}, Radius: 3, Values: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Submit(Bid{Pos: geom.Point{X: 20, Y: 0}, Radius: 5, Values: []float64{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Tick()
+	if rep.Components != 1 {
+		t.Fatalf("setup should be one component: %+v", rep)
+	}
+	ta, _ := b.Allocation(a)
+	tc, _ := b.Allocation(c)
+	if ta != valuation.FromChannels(0) || tc != valuation.FromChannels(0) {
+		t.Fatalf("setup allocation: A=%v C=%v, want both on channel 0", ta, tc)
+	}
+	// Move C to (6,8), radius unchanged: edges become A–B and A–C (10 ≤ 15,
+	// B–C is 10 > 8) — same membership, same keys, same versions, different
+	// internal graph.
+	if err := b.Move(c, Bid{Pos: geom.Point{X: 6, Y: 8}, Radius: 5}); err != nil {
+		t.Fatal(err)
+	}
+	rep = b.Tick()
+	if rep.Moves != 1 || rep.Components != 1 {
+		t.Fatalf("after move: %+v", rep)
+	}
+	if rep.Clean != 0 || rep.WarmResolves != 0 || rep.Rebuilds != 1 {
+		t.Fatalf("edge-rewiring move must rebuild the component, not hit the cache: %+v", rep)
+	}
+	ta, _ = b.Allocation(a)
+	tc, _ = b.Allocation(c)
+	if ta != valuation.Empty && tc != valuation.Empty {
+		t.Fatalf("conflicting A and C both allocated: A=%v C=%v", ta, tc)
+	}
+	checkAgainstReference(t, b, 0, 1)
+}
+
+// TestMoveRewiringBridgeEdgesDistance2 is the same stale-cache scenario on
+// the distance-2 backend, where a move rewires two-hop (bridge) conflict
+// edges: M on a line u(0)–w(4)–v(8) (radius 2 each) sits at (12,0), so the
+// conflict edges are u–w, w–v, u–v, v–M, w–M and {u,M} is the best
+// independent pair. Moving M to (-4,0) keeps membership and keys but swaps
+// v–M for u–M, making {v,M} the independent pair — a stale Clean hit would
+// keep u and M on the shared channel.
+func TestMoveRewiringBridgeEdgesDistance2(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1, Model: Distance2Model()})
+	vals := []float64{5, 1, 4, 3} // u, w, v, M
+	pos := []geom.Point{{X: 0}, {X: 4}, {X: 8}, {X: 12}}
+	ids := make([]BidderID, len(vals))
+	for i := range vals {
+		id, err := b.Submit(Bid{Pos: pos[i], Radius: 2, Values: []float64{vals[i]}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	rep := b.Tick()
+	if rep.Components != 1 {
+		t.Fatalf("setup should be one component: %+v", rep)
+	}
+	if tu, _ := b.Allocation(ids[0]); tu != valuation.FromChannels(0) {
+		t.Fatalf("setup: u should win the channel, got %v", tu)
+	}
+	if err := b.Move(ids[3], Bid{Pos: geom.Point{X: -4}, Radius: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep = b.Tick()
+	if rep.Moves != 1 || rep.Components != 1 {
+		t.Fatalf("after move: %+v", rep)
+	}
+	if rep.Clean != 0 || rep.WarmResolves != 0 || rep.Rebuilds != 1 {
+		t.Fatalf("bridge-rewiring move must rebuild the component: %+v", rep)
+	}
+	tu, _ := b.Allocation(ids[0])
+	tm, _ := b.Allocation(ids[3])
+	if tu != valuation.Empty && tm != valuation.Empty {
+		t.Fatalf("now-conflicting u and M both allocated: u=%v M=%v", tu, tm)
+	}
+	checkAgainstReference(t, b, 0, 1)
+}
+
 // TestXORBidLifecycle: an XOR bid over the wire form wins its best atom and
 // updates (including a form switch) behave.
 func TestXORBidLifecycle(t *testing.T) {

@@ -76,22 +76,24 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body over %d bytes", mbe.Limit)
-		}
-		return http.StatusBadRequest, fmt.Errorf("bad json: %v", err)
+		return decodeErr(err, fmt.Errorf("bad json: %v", err))
 	}
 	if _, err := dec.Token(); err != io.EOF {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			return http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body over %d bytes", mbe.Limit)
-		}
-		return http.StatusBadRequest, fmt.Errorf("trailing data after JSON body")
+		return decodeErr(err, fmt.Errorf("trailing data after JSON body"))
 	}
 	return 0, nil
+}
+
+// decodeErr maps a body-read failure to its HTTP status: over-limit bodies
+// (which can surface from either the decode or the trailing-token read) are
+// 413, anything else is the given 400-class error.
+func decodeErr(err error, bad error) (int, error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body over %d bytes", mbe.Limit)
+	}
+	return http.StatusBadRequest, bad
 }
 
 // codeFor maps broker errors to HTTP statuses.

@@ -261,14 +261,27 @@ func (m *distance2) RhoBound() float64       { return models.Distance2DiskRho }
 func (m *distance2) Validate(bid *Bid) error { return validateDiskGeometry(bid) }
 func (m *distance2) Key(bid *Bid) float64    { return -bid.Radius }
 
-// diskNbrs returns the ids whose disks intersect g's, sorted for
-// deterministic delta order.
+// diskNbrs returns the ids whose disks intersect g's, sorted — together with
+// sortedBase this keeps every delta's element order deterministic across runs
+// (the broker consumes deltas as sets, but determinism keeps replays
+// reproducible).
 func (m *distance2) diskNbrs(self BidderID, g geomBid) []BidderID {
 	var out []BidderID
 	for oid, og := range m.bids {
 		if oid != self && models.DisksConflict(g.pos, og.pos, g.radius, og.radius) {
 			out = append(out, oid)
 		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedBase returns u's disk neighbors ascending (deterministic two-hop
+// iteration order for the delta loops).
+func (m *distance2) sortedBase(u BidderID) []BidderID {
+	out := make([]BidderID, 0, len(m.base[u]))
+	for v := range m.base[u] {
+		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -306,7 +319,7 @@ func (m *distance2) Arrive(id BidderID, bid *Bid) EdgeDelta {
 		// Direct disk edge id–u.
 		m.inc(id, u, &d)
 		// u's existing disk neighbors are now two hops from id via u.
-		for v := range m.base[u] {
+		for _, v := range m.sortedBase(u) {
 			m.inc(id, v, &d)
 		}
 	}
@@ -335,14 +348,10 @@ func (m *distance2) Depart(id BidderID) EdgeDelta {
 // does).
 func (m *distance2) depart(id, skip BidderID) EdgeDelta {
 	var d EdgeDelta
-	nbrs := make([]BidderID, 0, len(m.base[id]))
-	for u := range m.base[id] {
-		nbrs = append(nbrs, u)
-	}
-	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	nbrs := m.sortedBase(id)
 	for _, u := range nbrs {
 		m.dec(id, u, skip, &d)
-		for v := range m.base[u] {
+		for _, v := range m.sortedBase(u) {
 			if v != id {
 				m.dec(id, v, skip, &d)
 			}
