@@ -10,8 +10,10 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/auction"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serialize"
 	"repro/internal/valuation"
+	"repro/pkg/spectrum"
 )
 
 // benchRunner regenerates every quick experiment table per iteration on a
@@ -407,6 +410,72 @@ func benchBrokerEpoch(b *testing.B, model string, cold bool) {
 			b.Fatalf("epoch errors: %+v", rep)
 		}
 	}
+}
+
+// benchBatchSubmit measures pure mutation ingestion through the public SDK
+// over real HTTP: per iteration, 64 bid submissions reach the broker either
+// as 64 individual POST /v1/bids requests or as one POST /v1/batch of 64
+// ops. The broker is never ticked, so the numbers isolate exactly what the
+// batch endpoint amortizes — HTTP round trips, JSON framing, and the
+// per-mutation epoch-queue lock acquisition.
+func benchBatchSubmit(b *testing.B, batched bool) {
+	br, err := broker.New(broker.Config{K: 4, MaxBidders: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(broker.NewHandler(br))
+	defer srv.Close()
+	client := spectrum.NewClient(srv.URL)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	const batch = 64
+	bids := make([]spectrum.Bid, batch)
+	for i := range bids {
+		values := make([]float64, 4)
+		for j := range values {
+			values[j] = 1 + rng.Float64()*9
+		}
+		bids[i] = spectrum.Bid{
+			Pos:    geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Radius: 3 + rng.Float64()*7,
+			Values: values,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batched {
+			ops := make([]spectrum.Op, batch)
+			for j := range ops {
+				ops[j] = spectrum.Op{Op: spectrum.OpSubmit, Bid: &bids[j]}
+			}
+			res, err := client.SubmitBatch(ctx, ops)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range res.Results {
+				if !r.OK() {
+					b.Fatalf("batch item rejected: %+v", r)
+				}
+			}
+		} else {
+			for j := range bids {
+				if _, err := client.Submit(ctx, bids[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "mut/s")
+}
+
+// BenchmarkBatchSubmit compares the two ingestion paths at batch size 64;
+// BENCH_5.json records the pair (the batch path must be ≥ 3× the
+// per-request path).
+func BenchmarkBatchSubmit(b *testing.B) {
+	b.Run("per-request", func(b *testing.B) { benchBatchSubmit(b, false) })
+	b.Run("batch64", func(b *testing.B) { benchBatchSubmit(b, true) })
 }
 
 func BenchmarkBrokerEpochWarm(b *testing.B) {

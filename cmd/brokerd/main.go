@@ -31,12 +31,14 @@
 // interference backend in turn (each gets its own broker, listener, and
 // ticker), mixing XOR bidders into the stream, then verifies each backend's
 // final committed allocation against a from-scratch solve of its snapshot.
+// The replay drives the daemon exclusively through the public SDK
+// (pkg/spectrum): each trace step is one POST /v1/batch, and quiescing rides
+// the /v1/watch long-poll.
 package main
 
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -53,6 +55,7 @@ import (
 	"repro/internal/market"
 	"repro/internal/serialize"
 	"repro/internal/valuation"
+	"repro/pkg/spectrum"
 )
 
 func main() {
@@ -214,15 +217,21 @@ func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch t
 	return runErr
 }
 
-// runSelftest drives the broker through its public HTTP API with the shared
-// trace generator: each trace epoch's departures, arrivals, and primary-mask
-// updates are posted as the daemon's own ticker keeps closing epochs
-// underneath. Every 4th arrival bids in the XOR language. When the duration
-// is spent the load stops, the market quiesces, and the final committed
+// runSelftest drives the broker exclusively through the public SDK
+// (spectrum.Client) with the shared trace generator: each trace epoch's
+// departures, arrivals, and primary-mask updates are translated by
+// market.OpsReplayer — the same translation experiments E17/E18 and the
+// equivalence tests use — into one POST /v1/batch as the daemon's own ticker
+// keeps closing epochs underneath. Every 4th arrival bids in the XOR
+// language. When the duration is spent the load stops, the market quiesces
+// (observed through the /v1/watch long-poll), and the final committed
 // allocation is checked against a from-scratch auction.Solve of the final
 // snapshot — the live equivalent of the equivalence tests in internal/broker.
 func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Duration, seed int64, rate float64, k int) error {
-	client := &http.Client{Timeout: 10 * time.Second}
+	ctx := context.Background()
+	// No http.Client timeout: the /v1/watch long-poll legitimately holds a
+	// request open; per-call contexts bound everything instead.
+	client := spectrum.NewClient(base)
 	deadline := time.Now().Add(dur)
 	traceEpochs := int(dur/epoch) + 16
 	tr := market.GenTrace(market.TraceConfig{
@@ -238,80 +247,35 @@ func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Du
 		MaxUsers:      120,
 		Model:         model,
 	})
-	isLink := tr.Config.LinkModel()
 
-	post := func(method, path string, body, out any) error {
-		var buf bytes.Buffer
-		if body != nil {
-			if err := json.NewEncoder(&buf).Encode(body); err != nil {
-				return err
-			}
-		}
-		req, err := http.NewRequest(method, base+path, &buf)
-		if err != nil {
-			return err
-		}
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode >= 300 {
-			var e map[string]string
-			_ = json.NewDecoder(resp.Body).Decode(&e)
-			return fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, e["error"])
-		}
-		if out != nil {
-			return json.NewDecoder(resp.Body).Decode(out)
-		}
-		return nil
-	}
-
-	// The shared Replayer turns each trace epoch into departures, arrivals,
-	// and primary-mask updates — the same translation experiments E17/E18 use
-	// — here issued through the live HTTP API while the daemon's own ticker
-	// keeps closing epochs underneath.
-	live := map[int]broker.BidderID{} // trace id → broker id
+	replay := market.NewOpsReplayer(tr, true)
 	submitted, withdrawn, updated, xors := 0, 0, 0, 0
-	replay := market.NewReplayer(tr)
 	for time.Now().Before(deadline) {
-		more, err := replay.Step(
-			func(tid int) error {
-				withdrawn++
-				defer delete(live, tid)
-				return post(http.MethodDelete, fmt.Sprintf("/v1/bids/%d", live[tid]), nil, nil)
-			},
-			func(a market.Arrival, values []float64) error {
-				bid := broker.Bid{}
-				if isLink {
-					l := a.Link
-					bid.Link = &l
-				} else {
-					bid.Pos, bid.Radius = a.Pos, a.Radius
-				}
-				v := broker.MixedTraceValues(a.ID, values)
-				bid.Values, bid.XOR = v.Additive, v.XOR
-				if bid.XOR != nil {
+		ops, more, err := replay.Step()
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			switch op.Op {
+			case spectrum.OpSubmit:
+				submitted++
+				if op.Bid.XOR != nil {
 					xors++
 				}
-				var acc struct {
-					ID broker.BidderID `json:"id"`
-				}
-				if err := post(http.MethodPost, "/v1/bids", bid, &acc); err != nil {
-					return err
-				}
-				live[a.ID] = acc.ID
-				submitted++
-				return nil
-			},
-			func(tid int, values []float64) error {
+			case spectrum.OpWithdraw:
+				withdrawn++
+			case spectrum.OpUpdate:
 				updated++
-				return post(http.MethodPut, fmt.Sprintf("/v1/bids/%d", live[tid]),
-					broker.MixedTraceValues(tid, values), nil)
-			},
-		)
-		if err != nil {
-			return err
+			}
+		}
+		if len(ops) > 0 {
+			res, err := client.SubmitBatch(ctx, ops)
+			if err != nil {
+				return err
+			}
+			if err := replay.Observe(res.Results); err != nil {
+				return err
+			}
 		}
 		if !more {
 			break
@@ -319,8 +283,17 @@ func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Du
 		time.Sleep(epoch)
 	}
 
-	// Quiesce: let the ticker commit the tail of the queue, then verify.
-	time.Sleep(2 * epoch)
+	// Quiesce: watch two epoch commits through the long-poll (the queue's
+	// tail lands), then force a final synchronous tick and verify.
+	wctx, cancel := context.WithTimeout(ctx, 10*epoch+5*time.Second)
+	defer cancel()
+	rep, err := client.WaitEpoch(wctx, b.Epoch())
+	if err == nil {
+		_, err = client.WaitEpoch(wctx, rep.Epoch)
+	}
+	if err != nil {
+		return fmt.Errorf("watch: %w", err)
+	}
 	b.Tick()
 	in, ids, _, err := b.Snapshot()
 	if err != nil {

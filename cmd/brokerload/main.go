@@ -1,0 +1,310 @@
+// Command brokerload is the load generator of the live spectrum broker: it
+// replays churn traces from the shared generator (market.GenTrace — the
+// same workload brokerd -selftest and experiments E17/E18 use) through the
+// public SDK (pkg/spectrum) at configurable concurrency and batch size,
+// and reports mutation throughput, request latency, and the epoch commit
+// latency observed over the /v1/watch stream.
+//
+// Target a running daemon:
+//
+//	brokerd -addr :8080 -k 4 -epoch 100ms &
+//	brokerload -addr http://127.0.0.1:8080 -k 4 -concurrency 4 -batch 64
+//
+// or run self-contained (-local starts an in-process broker, HTTP server,
+// and ticker, so one command demonstrates the whole stack):
+//
+//	brokerload -local -model disk -concurrency 4 -batch 64 -epochs 40
+//
+// -batch 0 issues every mutation as its own HTTP request (the per-request
+// path the batch endpoint is benchmarked against).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/market"
+	"repro/pkg/spectrum"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "base URL of a running brokerd (e.g. http://127.0.0.1:8080); empty requires -local")
+		local       = flag.Bool("local", false, "start an in-process broker + server + ticker instead of targeting -addr")
+		model       = flag.String("model", "disk", "interference backend of the trace geometry (and the -local broker)")
+		delta       = flag.Float64("delta", 1, "guard-zone parameter of the protocol/ieee80211 models")
+		k           = flag.Int("k", 4, "number of channels (must match the target broker)")
+		seed        = flag.Int64("seed", 1, "base trace seed (worker w replays seed+w)")
+		epochs      = flag.Int("epochs", 40, "trace epochs per worker")
+		rate        = flag.Float64("rate", 6, "mean arrivals per trace epoch")
+		concurrency = flag.Int("concurrency", 2, "parallel trace streams")
+		batch       = flag.Int("batch", 64, "max mutations per /v1/batch request; 0 = one request per mutation")
+		pace        = flag.Duration("pace", 0, "sleep between trace steps (0 = replay as fast as possible)")
+		epoch       = flag.Duration("epoch", 100*time.Millisecond, "tick interval of the -local broker")
+		maxBidders  = flag.Int("max-bidders", 4096, "population cap of the -local broker")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	base := *addr
+	if *local {
+		cm, err := broker.ModelByName(*model, *delta)
+		if err != nil {
+			log.Fatalf("brokerload: %v", err)
+		}
+		b, err := broker.New(broker.Config{K: *k, Model: cm, MaxBidders: *maxBidders})
+		if err != nil {
+			log.Fatalf("brokerload: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("brokerload: %v", err)
+		}
+		srv := &http.Server{Handler: broker.NewHandler(b)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(*epoch)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					b.Tick()
+				}
+			}
+		}()
+		base = fmt.Sprintf("http://%s", ln.Addr())
+		log.Printf("brokerload: local broker on %s (model=%s k=%d epoch=%s)", base, cm.Name(), *k, *epoch)
+	}
+	if base == "" {
+		log.Fatal("brokerload: pass -addr or -local")
+	}
+
+	ctx := context.Background()
+	client := spectrum.NewClient(base)
+
+	// Watch epoch commits for the whole run; the server reports its own
+	// solve-and-commit latency per epoch.
+	wctx, wcancel := context.WithCancel(ctx)
+	var watch struct {
+		sync.Mutex
+		epochs  int
+		total   time.Duration
+		max     time.Duration
+		welfare float64
+	}
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for rep := range client.Watch(wctx, -1) {
+			watch.Lock()
+			watch.epochs++
+			watch.total += rep.Latency
+			if rep.Latency > watch.max {
+				watch.max = rep.Latency
+			}
+			watch.welfare = rep.Welfare
+			watch.Unlock()
+		}
+	}()
+
+	var agg struct {
+		sync.Mutex
+		mutations int
+		requests  int
+		lat       []time.Duration
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, *concurrency)
+	for w := 0; w < *concurrency; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runWorker(ctx, client, workerConfig{
+				seed: *seed + int64(w), epochs: *epochs, k: *k, rate: *rate,
+				model: *model, batch: *batch, pace: *pace,
+			}, &agg.Mutex, &agg.mutations, &agg.requests, &agg.lat); err != nil {
+				errs <- fmt.Errorf("worker %d: %w", w, err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// Leave the watcher one more epoch to observe the tail, then stop it.
+	time.Sleep(2 * *epoch)
+	wcancel()
+	<-watchDone
+	select {
+	case err := <-errs:
+		log.Fatalf("brokerload: %v", err)
+	default:
+	}
+
+	agg.Lock()
+	sort.Slice(agg.lat, func(i, j int) bool { return agg.lat[i] < agg.lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(agg.lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(agg.lat)-1))
+		return agg.lat[i]
+	}
+	report := map[string]any{
+		"base":            base,
+		"workers":         *concurrency,
+		"batch":           *batch,
+		"trace_epochs":    *epochs,
+		"mutations":       agg.mutations,
+		"requests":        agg.requests,
+		"elapsed_ns":      elapsed.Nanoseconds(),
+		"mutations_per_s": float64(agg.mutations) / elapsed.Seconds(),
+		"req_p50_ns":      pct(0.50).Nanoseconds(),
+		"req_p95_ns":      pct(0.95).Nanoseconds(),
+		"req_max_ns":      pct(1.0).Nanoseconds(),
+	}
+	watch.Lock()
+	report["epochs_committed"] = watch.epochs
+	meanCommit := time.Duration(0)
+	if watch.epochs > 0 {
+		meanCommit = watch.total / time.Duration(watch.epochs)
+	}
+	report["commit_latency_mean_ns"] = meanCommit.Nanoseconds()
+	report["commit_latency_max_ns"] = watch.max.Nanoseconds()
+	report["final_welfare"] = watch.welfare
+	watch.Unlock()
+	agg.Unlock()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatalf("brokerload: %v", err)
+		}
+		return
+	}
+	fmt.Printf("brokerload: %d workers × %d trace epochs against %s\n", *concurrency, *epochs, base)
+	fmt.Printf("  mutations: %d in %s (%.0f mutations/s) over %d requests (batch ≤ %d)\n",
+		agg.mutations, elapsed.Round(time.Millisecond), report["mutations_per_s"], agg.requests, *batch)
+	fmt.Printf("  request latency: p50 %s  p95 %s  max %s\n",
+		pct(0.50).Round(10*time.Microsecond), pct(0.95).Round(10*time.Microsecond), pct(1.0).Round(10*time.Microsecond))
+	fmt.Printf("  epochs committed: %d, commit latency mean %s max %s, last welfare %.2f\n",
+		report["epochs_committed"], meanCommit.Round(10*time.Microsecond),
+		watch.max.Round(10*time.Microsecond), report["final_welfare"])
+}
+
+type workerConfig struct {
+	seed   int64
+	epochs int
+	k      int
+	rate   float64
+	model  string
+	batch  int
+	pace   time.Duration
+}
+
+// runWorker replays one trace stream through the SDK: each trace step's
+// mutations go out as /v1/batch requests of at most cfg.batch ops (or as
+// individual mutation requests when batch is 0), with every request timed.
+func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig,
+	mu *sync.Mutex, mutations, requests *int, lat *[]time.Duration) error {
+	tr := market.GenTrace(market.TraceConfig{
+		Seed:          cfg.seed,
+		Epochs:        cfg.epochs,
+		K:             cfg.k,
+		Side:          300,
+		ArrivalRate:   cfg.rate,
+		MeanLifetime:  5,
+		PrimaryUsers:  3,
+		PrimaryRadius: 60,
+		PrimaryActive: 0.5,
+		MaxUsers:      120,
+		Model:         cfg.model,
+	})
+	replay := market.NewOpsReplayer(tr, true)
+	for {
+		ops, more, err := replay.Step()
+		if err != nil {
+			return err
+		}
+		results := make([]spectrum.OpResult, 0, len(ops))
+		if cfg.batch > 0 {
+			for len(ops) > 0 {
+				n := min(cfg.batch, len(ops))
+				t0 := time.Now()
+				res, err := client.SubmitBatch(ctx, ops[:n])
+				if err != nil {
+					return err
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				*requests++
+				*mutations += n
+				*lat = append(*lat, d)
+				mu.Unlock()
+				results = append(results, res.Results...)
+				ops = ops[n:]
+			}
+		} else {
+			for _, op := range ops {
+				t0 := time.Now()
+				var acc spectrum.Accepted
+				switch op.Op {
+				case spectrum.OpSubmit:
+					acc, err = client.Submit(ctx, *op.Bid)
+				case spectrum.OpUpdate:
+					acc, err = client.Update(ctx, op.ID, *op.Values)
+				case spectrum.OpMove:
+					acc, err = client.Move(ctx, op.ID, *op.Bid)
+				case spectrum.OpWithdraw:
+					acc, err = client.Withdraw(ctx, op.ID)
+				}
+				if err != nil {
+					return err
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				*requests++
+				*mutations++
+				*lat = append(*lat, d)
+				mu.Unlock()
+				results = append(results, spectrum.OpResult{ID: acc.ID, Status: acc.Status, Code: 202})
+			}
+		}
+		if err := replay.Observe(results); err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		if cfg.pace > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(cfg.pace):
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

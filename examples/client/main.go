@@ -1,0 +1,109 @@
+// Example client demonstrates the public broker SDK (pkg/spectrum) against
+// a live in-process daemon: submit bids individually and as one batch with
+// idempotency keys, watch the epoch commit land over the long-poll instead
+// of polling, query the allocation, and re-bid.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/broker"
+	"repro/pkg/spectrum"
+)
+
+func main() {
+	// A self-contained daemon: broker + HTTP server + epoch ticker. Against
+	// a real deployment this block is just `brokerd -addr :8080 -k 2`.
+	b, err := broker.New(broker.Config{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: broker.NewHandler(b)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				b.Tick()
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	client := spectrum.NewClient(fmt.Sprintf("http://%s", ln.Addr()))
+
+	// One bid via the single-mutation endpoint...
+	acc, err := client.Submit(ctx, spectrum.Bid{
+		Pos: spectrum.Point{X: 10, Y: 20}, Radius: 5,
+		Values: []float64{3, 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted bidder %d (%s)\n", acc.ID, acc.Status)
+
+	// ...and two more as one ordered batch. The idempotency keys make the
+	// request safe to retry: a replay returns the same ids without
+	// enqueuing anything twice.
+	res, err := client.SubmitBatch(ctx, []spectrum.Op{
+		{Op: spectrum.OpSubmit, Key: "conflicting-neighbor", Bid: &spectrum.Bid{
+			Pos: spectrum.Point{X: 12, Y: 20}, Radius: 5,
+			Values: []float64{4, 4},
+		}},
+		{Op: spectrum.OpSubmit, Key: "far-away-xor", Bid: &spectrum.Bid{
+			Pos: spectrum.Point{X: 200, Y: 200}, Radius: 5,
+			XOR: []spectrum.XORAtom{{Channels: []int{0, 1}, Value: 9}},
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Results {
+		fmt.Printf("batched bidder %d accepted: %v\n", r.ID, r.OK())
+	}
+
+	// Learn about the commit from the epoch watch (long-poll) rather than
+	// polling the allocation endpoint.
+	wctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	rep, err := client.WaitEpoch(wctx, res.Epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epoch %d committed: %d active, welfare %.1f\n", rep.Epoch, rep.Active, rep.Welfare)
+
+	alloc, err := client.Allocation(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range alloc.Winners {
+		fmt.Printf("bidder %d holds channels %v (value %.1f)\n", w.ID, w.Channels, w.Value)
+	}
+
+	// Re-bid and watch the next epoch pick it up.
+	if _, err := client.Update(ctx, acc.ID, spectrum.Additive([]float64{8, 8})); err != nil {
+		log.Fatal(err)
+	}
+	rep, err = client.WaitEpoch(wctx, rep.Epoch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after re-bid: epoch %d welfare %.1f\n", rep.Epoch, rep.Welfare)
+	fmt.Println("client walkthrough complete")
+}

@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"truthful", "truthful in expectation"},
 		{"asymmetric", "allocation verified feasible per band"},
 		{"market", "total welfare"},
+		{"client", "client walkthrough complete"},
 	}
 	for _, c := range cases {
 		c := c

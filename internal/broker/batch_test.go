@@ -1,0 +1,265 @@
+package broker
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/valuation"
+	"repro/pkg/spectrum"
+)
+
+func submitOp(bid Bid) spectrum.Op { return spectrum.Op{Op: spectrum.OpSubmit, Bid: &bid} }
+
+// TestBatchPartialFailure pins the batch contract: items are validated
+// independently and applied in order, so an invalid item mid-list is
+// reported in its slot while everything before AND after it still enqueues.
+func TestBatchPartialFailure(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	results, epoch := b.Batch([]spectrum.Op{
+		submitOp(Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 2, Values: []float64{5, 1}}),
+		submitOp(Bid{Pos: geom.Point{X: 50, Y: 50}, Radius: 2, Values: []float64{2, 6}}),
+		submitOp(Bid{Radius: 2, Values: []float64{1}}),                                  // wrong arity → 400
+		{Op: spectrum.OpUpdate, ID: 999},                                                // no values → 400
+		{Op: spectrum.OpWithdraw, ID: 999},                                              // unknown id → 404
+		{Op: "frobnicate"},                                                              // unknown op → 400
+		submitOp(Bid{Pos: geom.Point{X: 90, Y: 0}, Radius: 2, Values: []float64{3, 3}}), // still lands
+	})
+	if epoch != 0 {
+		t.Fatalf("epoch = %d, want 0 before any tick", epoch)
+	}
+	wantCodes := []int{202, 202, 400, 400, 404, 400, 202}
+	for i, r := range results {
+		if r.Code != wantCodes[i] {
+			t.Fatalf("item %d: code %d (%s), want %d", i, r.Code, r.Error, wantCodes[i])
+		}
+		if r.OK() != (wantCodes[i] == 202) {
+			t.Fatalf("item %d: OK()=%v for code %d", i, r.OK(), r.Code)
+		}
+	}
+	if results[0].ID == 0 || results[1].ID == 0 || results[6].ID == 0 {
+		t.Fatalf("accepted submits missing ids: %+v", results)
+	}
+	if results[0].Status != StatusPending {
+		t.Fatalf("accepted submit status %v, want pending", results[0].Status)
+	}
+	rep := b.Tick()
+	if rep.Arrivals != 3 || rep.Active != 3 {
+		t.Fatalf("tick after partial batch: %+v", rep)
+	}
+	if m := b.Metrics(); m.Rejected != 4 {
+		t.Fatalf("rejected = %d, want 4", m.Rejected)
+	}
+}
+
+// TestBatchOrderingWithinRequest: ops referencing ids issued earlier in the
+// same batch work (submit → update → withdraw of a fresh id in one request),
+// because the queue is appended in list order under one lock.
+func TestBatchOrderingWithinRequest(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	first, _ := b.Batch([]spectrum.Op{
+		submitOp(Bid{Radius: 2, Values: []float64{5, 1}}),
+	})
+	id := first[0].ID
+	v := Additive([]float64{1, 9})
+	results, _ := b.Batch([]spectrum.Op{
+		{Op: spectrum.OpUpdate, ID: id, Values: &v},
+		{Op: spectrum.OpWithdraw, ID: id},
+	})
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("item %d rejected: %+v", i, r)
+		}
+	}
+	if results[1].Status != StatusGone {
+		t.Fatalf("withdraw result status %v, want gone", results[1].Status)
+	}
+	rep := b.Tick()
+	if rep.Active != 0 {
+		t.Fatalf("update+withdraw batch left bidders: %+v", rep)
+	}
+}
+
+// TestBatchIdempotencyReplay: replaying ops whose keys were already
+// accepted returns the stored results (same ids, Replayed set) without
+// enqueuing anything again.
+func TestBatchIdempotencyReplay(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	ops := []spectrum.Op{
+		{Op: spectrum.OpSubmit, Key: "alice-1", Bid: &Bid{Radius: 2, Values: []float64{5, 1}}},
+		{Op: spectrum.OpSubmit, Key: "bob-1", Bid: &Bid{Pos: geom.Point{X: 80}, Radius: 2, Values: []float64{2, 6}}},
+	}
+	first, _ := b.Batch(ops)
+	if !first[0].OK() || !first[1].OK() {
+		t.Fatalf("first batch rejected: %+v", first)
+	}
+	replay, _ := b.Batch(ops)
+	for i := range replay {
+		if !replay[i].OK() || !replay[i].Replayed {
+			t.Fatalf("replayed item %d not served from the key store: %+v", i, replay[i])
+		}
+		if replay[i].ID != first[i].ID {
+			t.Fatalf("replayed item %d id %d != original %d", i, replay[i].ID, first[i].ID)
+		}
+	}
+	rep := b.Tick()
+	if rep.Arrivals != 2 || rep.Active != 2 {
+		t.Fatalf("replayed batch double-enqueued: %+v", rep)
+	}
+	if m := b.Metrics(); m.Submitted != 2 {
+		t.Fatalf("submitted = %d, want 2", m.Submitted)
+	}
+	// A key seen on a REJECTED op is not recorded: the fixed op retries.
+	bad := []spectrum.Op{{Op: spectrum.OpSubmit, Key: "carol-1", Bid: &Bid{Radius: 2, Values: []float64{1}}}}
+	if res, _ := b.Batch(bad); res[0].OK() {
+		t.Fatalf("invalid op accepted: %+v", res[0])
+	}
+	good := []spectrum.Op{{Op: spectrum.OpSubmit, Key: "carol-1", Bid: &Bid{Pos: geom.Point{X: 40}, Radius: 2, Values: []float64{1, 1}}}}
+	if res, _ := b.Batch(good); !res[0].OK() || res[0].Replayed {
+		t.Fatalf("retried key after rejection: %+v", res[0])
+	}
+}
+
+// TestBatchIdempotencyEviction: the key store is FIFO-bounded, so a key
+// older than maxIdemKeys replays as a fresh op.
+func TestBatchIdempotencyEviction(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1, MaxBidders: 3 * maxIdemKeys})
+	old := []spectrum.Op{{Op: spectrum.OpSubmit, Key: "old", Bid: &Bid{Radius: 1, Values: []float64{1}}}}
+	b.Batch(old)
+	for i := 0; i < maxIdemKeys; i++ {
+		b.Batch([]spectrum.Op{{
+			Op: spectrum.OpSubmit, Key: fmt.Sprintf("filler-%d", i),
+			Bid: &Bid{Radius: 1, Values: []float64{1}},
+		}})
+	}
+	res, _ := b.Batch(old)
+	if res[0].Replayed {
+		t.Fatalf("evicted key still replayed: %+v", res[0])
+	}
+}
+
+// TestBatchCapacity: submits beyond MaxBidders inside one batch are
+// rejected per item with the market-full code, not by failing the request.
+func TestBatchCapacity(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1, MaxBidders: 2})
+	results, _ := b.Batch([]spectrum.Op{
+		submitOp(Bid{Radius: 1, Values: []float64{1}}),
+		submitOp(Bid{Radius: 1, Values: []float64{2}}),
+		submitOp(Bid{Radius: 1, Values: []float64{3}}),
+	})
+	if !results[0].OK() || !results[1].OK() {
+		t.Fatalf("in-cap submits rejected: %+v", results)
+	}
+	if results[2].Code != 429 {
+		t.Fatalf("over-cap submit code %d, want 429", results[2].Code)
+	}
+}
+
+// TestHTTPBatchEndpoint drives POST /v1/batch end to end: mixed results,
+// the documented 200-with-per-item-errors shape, and a move op.
+func TestHTTPBatchEndpoint(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	var resp spectrum.BatchResponse
+	hr := doJSON(t, http.MethodPost, srv.URL+"/v1/batch", spectrum.BatchRequest{Ops: []spectrum.Op{
+		submitOp(Bid{Pos: geom.Point{X: 0}, Radius: 3, Values: []float64{5, 5}}),
+		submitOp(Bid{Pos: geom.Point{X: 4}, Radius: 3, Values: []float64{4, 6}}),
+		submitOp(Bid{Radius: 3, Values: []float64{1, 2, 3}}), // wrong arity
+	}}, &resp)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", hr.StatusCode)
+	}
+	if len(resp.Results) != 3 || !resp.Results[0].OK() || !resp.Results[1].OK() || resp.Results[2].Code != 400 {
+		t.Fatalf("batch results: %+v", resp.Results)
+	}
+	b.Tick()
+	// Move the first bidder away via a batch op; both become singletons.
+	moveBid := Bid{Pos: geom.Point{X: 100, Y: 100}, Radius: 3}
+	var resp2 spectrum.BatchResponse
+	doJSON(t, http.MethodPost, srv.URL+"/v1/batch", spectrum.BatchRequest{Ops: []spectrum.Op{
+		{Op: spectrum.OpMove, ID: resp.Results[0].ID, Bid: &moveBid},
+	}}, &resp2)
+	if !resp2.Results[0].OK() {
+		t.Fatalf("move op: %+v", resp2.Results[0])
+	}
+	rep := b.Tick()
+	if rep.Moves != 1 || rep.Components != 2 {
+		t.Fatalf("after batched move: %+v", rep)
+	}
+	for _, r := range resp.Results[:2] {
+		if got, _ := b.Allocation(r.ID); got != valuation.FromChannels(0, 1) {
+			t.Fatalf("bidder %d after split: %v", r.ID, got)
+		}
+	}
+	checkAgainstReference(t, b, 0, 2)
+}
+
+// TestHTTPBatchOversized: an op list over maxBatchOps is a whole-request
+// 413 (shrink the batch), and an oversized body keeps its 413 too.
+func TestHTTPBatchOversized(t *testing.T) {
+	_, srv := newTestServer(t, Config{K: 1})
+	ops := make([]spectrum.Op, maxBatchOps+1)
+	for i := range ops {
+		ops[i] = submitOp(Bid{Radius: 1, Values: []float64{1}})
+	}
+	raw, err := json.Marshal(spectrum.BatchRequest{Ops: ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %d, want 413", resp.StatusCode)
+	}
+	big := append([]byte(`{"ops":[{"op":"submit","key":"`), bytes.Repeat([]byte("x"), maxBodyBytes+64)...)
+	big = append(big, []byte(`"}]}`)...)
+	resp, err = http.Post(srv.URL+"/v1/batch", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch body: %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestBatchMatchesSingleOps: the batch enqueue and the single-mutation
+// methods are two doors into the same queue — the same mutations issued
+// either way commit identical allocations.
+func TestBatchMatchesSingleOps(t *testing.T) {
+	single := newTestBroker(t, Config{K: 2})
+	batched := newTestBroker(t, Config{K: 2})
+	bids := []Bid{
+		{Pos: geom.Point{X: 0}, Radius: 3, Values: []float64{5, 1}},
+		{Pos: geom.Point{X: 4}, Radius: 3, Values: []float64{2, 6}},
+		{Pos: geom.Point{X: 90}, Radius: 2, Values: []float64{3, 3}},
+	}
+	var sids []BidderID
+	var ops []spectrum.Op
+	for _, bid := range bids {
+		id, err := single.Submit(bid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sids = append(sids, id)
+		ops = append(ops, submitOp(bid))
+	}
+	bres, _ := batched.Batch(ops)
+	srep := single.Tick()
+	brep := batched.Tick()
+	if srep.Welfare != brep.Welfare {
+		t.Fatalf("welfare single %g vs batched %g", srep.Welfare, brep.Welfare)
+	}
+	for i := range sids {
+		st, _ := single.Allocation(sids[i])
+		bt, _ := batched.Allocation(bres[i].ID)
+		if st != bt {
+			t.Fatalf("bidder %d: single %v vs batched %v", i, st, bt)
+		}
+	}
+}

@@ -35,6 +35,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,116 +43,41 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/geom"
 	"repro/internal/valuation"
+	"repro/pkg/spectrum"
 )
 
-// BidderID identifies one submitted bid for its lifetime.
-type BidderID int64
-
-// Bid is one secondary user's submission: model-specific geometry plus a
-// valuation. Transmitter models (disk, distance-2) take Pos and Radius; link
-// models (protocol, IEEE 802.11) take Link. Exactly one of Values (additive
-// per-channel values) and XOR (atomic XOR bids) must be set.
-type Bid struct {
-	// Pos and Radius place a transmitter's interference disk (disk and
-	// distance-2 models).
-	Pos    geom.Point `json:"pos"`
-	Radius float64    `json:"radius,omitempty"`
-	// Link is the sender→receiver pair of the link models.
-	Link *geom.Link `json:"link,omitempty"`
-	// Values are additive per-channel values (length K).
-	Values []float64 `json:"values,omitempty"`
-	// XOR lists the atomic bids of an XOR valuation (internal/valuation):
-	// a bundle is worth the best atom it contains.
-	XOR []XORAtom `json:"xor,omitempty"`
-}
-
-// XORAtom is one atomic bid of an XOR valuation on the wire.
-type XORAtom struct {
-	Channels []int   `json:"channels"`
-	Value    float64 `json:"value"`
-}
-
-// Values is the wire form of a valuation (used standalone by updates):
-// exactly one of Additive and XOR set.
-type Values struct {
-	Additive []float64 `json:"values,omitempty"`
-	XOR      []XORAtom `json:"xor,omitempty"`
-}
+// The wire types are owned by the public SDK (pkg/spectrum) and aliased
+// here, so the server and every client marshal the same bytes by
+// construction. Broker code keeps using the historical names.
+type (
+	// BidderID identifies one submitted bid for its lifetime.
+	BidderID = spectrum.BidderID
+	// Bid is one secondary user's submission: model-specific geometry plus
+	// a valuation (additive per-channel values or XOR atoms).
+	Bid = spectrum.Bid
+	// XORAtom is one atomic bid of an XOR valuation on the wire.
+	XORAtom = spectrum.XORAtom
+	// Values is the wire form of a valuation (used standalone by updates).
+	Values = spectrum.Values
+	// Status describes what the broker currently knows about a bidder id.
+	Status = spectrum.Status
+	// EpochReport summarizes one Tick; it is also the /v1/watch event body.
+	EpochReport = spectrum.EpochReport
+)
 
 // Additive wraps additive per-channel values for Update.
-func Additive(values []float64) Values { return Values{Additive: values} }
+func Additive(values []float64) Values { return spectrum.Additive(values) }
 
 // XORValues wraps XOR atoms for Update.
-func XORValues(atoms []XORAtom) Values { return Values{XOR: atoms} }
+func XORValues(atoms []XORAtom) Values { return spectrum.XORValues(atoms) }
 
-// XORFromAdditive derives a small XOR atom list from additive per-channel
-// values: the best single channel, the best pair, and the full positive
-// support, each valued additively. Returns nil when no channel has positive
-// value (no expressible XOR bid). The trace replays (E18, brokerd -selftest,
-// the equivalence tests) use it to mix XOR bidders into additive workloads
-// deterministically.
-func XORFromAdditive(values []float64) []XORAtom {
-	type cv struct {
-		j int
-		v float64
-	}
-	var pos []cv
-	for j, v := range values {
-		if v > 0 {
-			pos = append(pos, cv{j, v})
-		}
-	}
-	if len(pos) == 0 {
-		return nil
-	}
-	sort.Slice(pos, func(i, j int) bool {
-		if pos[i].v != pos[j].v {
-			return pos[i].v > pos[j].v
-		}
-		return pos[i].j < pos[j].j
-	})
-	atoms := []XORAtom{{Channels: []int{pos[0].j}, Value: pos[0].v}}
-	if len(pos) >= 2 {
-		atoms = append(atoms, XORAtom{
-			Channels: []int{pos[0].j, pos[1].j},
-			Value:    pos[0].v + pos[1].v,
-		})
-	}
-	if len(pos) >= 3 {
-		all := make([]int, len(pos))
-		sum := 0.0
-		for i, c := range pos {
-			all[i] = c.j
-			sum += c.v
-		}
-		atoms = append(atoms, XORAtom{Channels: all, Value: sum})
-	}
-	return atoms
-}
+// bidValues extracts a bid's valuation part.
+func bidValues(bid *Bid) Values { return Values{Additive: bid.Values, XOR: bid.XOR} }
 
-// MixedTraceValues is the shared XOR-mixing convention of the trace replays:
-// every 4th trace id bids XORFromAdditive of its values (falling back to
-// additive when no channel is positive), everyone else bids additively.
-// brokerd -selftest, experiment E18, and the cross-backend equivalence tests
-// all translate through this one function so they cannot drift apart in what
-// they exercise.
-func MixedTraceValues(tid int, values []float64) Values {
-	if tid%4 == 3 {
-		if atoms := XORFromAdditive(values); atoms != nil {
-			return XORValues(atoms)
-		}
-	}
-	return Additive(values)
-}
-
-// values extracts a bid's valuation part.
-func (bid *Bid) values() Values { return Values{Additive: bid.Values, XOR: bid.XOR} }
-
-// clone deep-copies the wire slices so queued state cannot alias caller
-// memory.
-func (v Values) clone() Values {
+// cloneValues deep-copies the wire slices so queued state cannot alias
+// caller memory.
+func cloneValues(v Values) Values {
 	out := Values{}
 	if v.Additive != nil {
 		out.Additive = append([]float64(nil), v.Additive...)
@@ -165,8 +91,8 @@ func (v Values) clone() Values {
 	return out
 }
 
-// valuation builds the in-market valuation object.
-func (v Values) valuation(k int) valuation.Valuation {
+// buildValuation builds the in-market valuation object.
+func buildValuation(v Values, k int) valuation.Valuation {
 	if v.Additive != nil {
 		return valuation.NewAdditive(v.Additive)
 	}
@@ -182,11 +108,11 @@ func (v Values) valuation(k int) valuation.Valuation {
 	return valuation.NewXOR(k, atoms)
 }
 
-// support is the union of positively valued channels: for additive, the
-// channels worth something; for XOR, the union of positive atoms' bundles.
-// Stripping a bundle to the support never changes its value under either
-// form.
-func (v Values) support() valuation.Bundle {
+// valuesSupport is the union of positively valued channels: for additive,
+// the channels worth something; for XOR, the union of positive atoms'
+// bundles. Stripping a bundle to the support never changes its value under
+// either form.
+func valuesSupport(v Values) valuation.Bundle {
 	var s valuation.Bundle
 	if v.Additive != nil {
 		for j, val := range v.Additive {
@@ -204,10 +130,11 @@ func (v Values) support() valuation.Bundle {
 	return s
 }
 
-// atomSet returns the positive XOR atom bundles, or nil for additive values.
-// The broker seeds rebuilt masters only with bundles a fresh demand oracle
-// could itself produce; for XOR bidders those are exactly the current atoms.
-func (v Values) atomSet() map[valuation.Bundle]bool {
+// valuesAtomSet returns the positive XOR atom bundles, or nil for additive
+// values. The broker seeds rebuilt masters only with bundles a fresh demand
+// oracle could itself produce; for XOR bidders those are exactly the current
+// atoms.
+func valuesAtomSet(v Values) map[valuation.Bundle]bool {
 	if v.Additive != nil {
 		return nil
 	}
@@ -258,19 +185,16 @@ type Config struct {
 // DefaultMaxBidders bounds the population when Config.MaxBidders is unset.
 const DefaultMaxBidders = 512
 
-// Status describes what the broker currently knows about a bidder id.
-type Status string
-
-// Bidder states.
+// Bidder states, re-exported from the wire schema.
 const (
 	// StatusPending: submitted, takes effect at the next epoch tick.
-	StatusPending Status = "pending"
+	StatusPending = spectrum.StatusPending
 	// StatusActive: in the market (allocated or not).
-	StatusActive Status = "active"
+	StatusActive = spectrum.StatusActive
 	// StatusGone: withdrawn, departed, or otherwise no longer tracked.
-	StatusGone Status = "gone"
+	StatusGone = spectrum.StatusGone
 	// StatusUnknown: an id the broker never issued.
-	StatusUnknown Status = "unknown"
+	StatusUnknown = spectrum.StatusUnknown
 )
 
 // Errors returned by the mutation API.
@@ -330,39 +254,9 @@ type bidder struct {
 // setValues installs a validated valuation on the bidder.
 func (bd *bidder) setValues(v Values, k int) {
 	bd.bid.Values, bd.bid.XOR = v.Additive, v.XOR
-	bd.val = v.valuation(k)
-	bd.support = v.support()
-	bd.xor = v.atomSet()
-}
-
-// EpochReport summarizes one Tick.
-type EpochReport struct {
-	Epoch      int `json:"epoch"`
-	Active     int `json:"active"`
-	Arrivals   int `json:"arrivals"`
-	Departures int `json:"departures"`
-	Updates    int `json:"updates"`
-	Moves      int `json:"moves"`
-	// Components is the epoch's component count; Clean of them were served
-	// entirely from cache, WarmResolves re-solved on a persistent master
-	// (valuation-only change), Rebuilds built a fresh (pool-seeded) master.
-	Components   int `json:"components"`
-	Clean        int `json:"clean"`
-	WarmResolves int `json:"warm_resolves"`
-	Rebuilds     int `json:"rebuilds"`
-	// ColumnsGenerated sums the column-generation work of the epoch's
-	// re-solved components; PoolAdded counts new bundles entering the pool.
-	ColumnsGenerated int `json:"columns_generated"`
-	PoolAdded        int `json:"pool_added"`
-	// LPValue is the summed fractional optimum, Welfare the committed
-	// allocation's welfare, HalfChosen the size-decomposition half picked
-	// globally this epoch.
-	LPValue    float64       `json:"lp_value"`
-	Welfare    float64       `json:"welfare"`
-	HalfChosen int           `json:"half_chosen"`
-	Alg3Iters  int           `json:"alg3_iters"`
-	Errors     int           `json:"errors"`
-	Latency    time.Duration `json:"latency_ns"`
+	bd.val = buildValuation(v, k)
+	bd.support = valuesSupport(v)
+	bd.xor = valuesAtomSet(v)
 }
 
 // Metrics aggregates over the broker's lifetime.
@@ -404,6 +298,11 @@ type Broker struct {
 	// under any interleaving of Submit and Tick.
 	pop     int
 	retired map[BidderID]bool // ids withdrawn while still queued
+	// idem stores, per client-supplied idempotency key, the result of the
+	// accepted batch item it first rode in on; idemOrder bounds the store
+	// FIFO. Both are guarded by qmu.
+	idem      map[string]spectrum.OpResult
+	idemOrder []string
 
 	// tickMu serializes epoch ticks.
 	tickMu sync.Mutex
@@ -424,6 +323,9 @@ type Broker struct {
 	// same epoch, even while the next epoch's solve is in flight.
 	snap    *globalState
 	metrics Metrics
+	// epochCh is closed and replaced at every epoch commit; WaitEpoch
+	// blocks on it. Guarded by mu.
+	epochCh chan struct{}
 }
 
 // New creates a broker.
@@ -447,6 +349,8 @@ func New(cfg Config) (*Broker, error) {
 		pool:      make(map[BidderID][]valuation.Bundle),
 		retired:   make(map[BidderID]bool),
 		queuedSub: make(map[BidderID]bool),
+		idem:      make(map[string]spectrum.OpResult),
+		epochCh:   make(chan struct{}),
 	}, nil
 }
 
@@ -503,7 +407,7 @@ func (b *Broker) validValues(v Values) error {
 // validateBid vets a full submission: valuation against the channel count,
 // geometry against the interference model.
 func (b *Broker) validateBid(bid *Bid) error {
-	if err := b.validValues(bid.values()); err != nil {
+	if err := b.validValues(bidValues(bid)); err != nil {
 		return err
 	}
 	return b.model.Validate(bid)
@@ -511,7 +415,7 @@ func (b *Broker) validateBid(bid *Bid) error {
 
 // cloneBid deep-copies a bid so queued state cannot alias caller memory.
 func cloneBid(bid Bid) Bid {
-	v := bid.values().clone()
+	v := cloneValues(bidValues(&bid))
 	bid.Values, bid.XOR = v.Additive, v.XOR
 	if bid.Link != nil {
 		l := *bid.Link
@@ -555,7 +459,7 @@ func (b *Broker) Update(id BidderID, v Values) error {
 		b.rejected.Add(1)
 		return ErrUnknown
 	}
-	v = v.clone()
+	v = cloneValues(v)
 	b.qmu.Lock()
 	defer b.qmu.Unlock()
 	b.queue = append(b.queue, pendingOp{kind: opUpdate, id: id, values: v})
@@ -596,6 +500,197 @@ func (b *Broker) Withdraw(id BidderID) error {
 	defer b.qmu.Unlock()
 	b.queue = append(b.queue, pendingOp{kind: opWithdraw, id: id})
 	return nil
+}
+
+// maxIdemKeys bounds the idempotency-key store; the oldest key is evicted
+// FIFO beyond it (a replay older than the window re-executes).
+const maxIdemKeys = 8192
+
+// idemPut records an accepted batch item under its idempotency key.
+// Caller holds qmu.
+func (b *Broker) idemPut(key string, r spectrum.OpResult) {
+	if _, dup := b.idem[key]; !dup {
+		if len(b.idemOrder) >= maxIdemKeys {
+			delete(b.idem, b.idemOrder[0])
+			b.idemOrder = b.idemOrder[1:]
+		}
+		b.idemOrder = append(b.idemOrder, key)
+	}
+	b.idem[key] = r
+}
+
+// statusLocked mirrors StatusOf for callers holding both mu.RLock and qmu
+// (in that order); under both locks the queue and the committed state are a
+// single consistent view, so no re-check dance is needed.
+func (b *Broker) statusLocked(id BidderID) Status {
+	if id <= 0 || id > b.nextID {
+		return StatusUnknown
+	}
+	if b.queuedSub[id] && !b.retired[id] {
+		return StatusPending
+	}
+	if b.snap != nil {
+		if _, ok := b.snap.idx[id]; ok {
+			return StatusActive
+		}
+	}
+	if _, ok := b.bidders[id]; ok {
+		return StatusPending
+	}
+	return StatusGone
+}
+
+// opResultErr shapes a rejected batch item.
+func opResultErr(id BidderID, code int, err error) spectrum.OpResult {
+	return spectrum.OpResult{ID: id, Code: code, Error: err.Error()}
+}
+
+// Batch applies an ordered list of mutations as one request: every op is
+// validated independently (an invalid item is reported in its slot and does
+// NOT abort the rest), and all accepted ops are enqueued under a single
+// acquisition of the queue lock, in list order — one Batch call can carry a
+// whole trace step and pays the lock and status-lookup overhead once.
+//
+// Idempotency: an op carrying a Key whose key was already accepted returns
+// the stored result (Replayed=true) instead of enqueuing again; keys are
+// recorded for accepted ops only, so a rejected op may be retried with the
+// same key. Returns one result per op and the last completed epoch (accepted
+// mutations land in epoch+1).
+func (b *Broker) Batch(ops []spectrum.Op) ([]spectrum.OpResult, int) {
+	results := make([]spectrum.OpResult, len(ops))
+	staged := make([]pendingOp, len(ops))
+	valid := make([]bool, len(ops))
+
+	// Phase 1 — validate without locks (Validate and the value checks are
+	// pure functions of the op).
+	for i, op := range ops {
+		switch op.Op {
+		case spectrum.OpSubmit:
+			if op.Bid == nil {
+				results[i] = opResultErr(0, 400, fmt.Errorf("%w: submit carries no bid", ErrBadBid))
+				continue
+			}
+			bid := *op.Bid
+			if err := b.validateBid(&bid); err != nil {
+				results[i] = opResultErr(0, 400, err)
+				continue
+			}
+			staged[i] = pendingOp{kind: opSubmit, bid: cloneBid(bid)}
+		case spectrum.OpUpdate:
+			if op.Values == nil {
+				results[i] = opResultErr(op.ID, 400, fmt.Errorf("%w: update carries no values", ErrBadBid))
+				continue
+			}
+			if err := b.validValues(*op.Values); err != nil {
+				results[i] = opResultErr(op.ID, 400, err)
+				continue
+			}
+			staged[i] = pendingOp{kind: opUpdate, id: op.ID, values: cloneValues(*op.Values)}
+		case spectrum.OpMove:
+			if op.Bid == nil {
+				results[i] = opResultErr(op.ID, 400, fmt.Errorf("%w: move carries no geometry", ErrBadBid))
+				continue
+			}
+			if op.Bid.Values != nil || op.Bid.XOR != nil {
+				results[i] = opResultErr(op.ID, 400, fmt.Errorf("%w: a move carries geometry only", ErrBadBid))
+				continue
+			}
+			bid := *op.Bid
+			if err := b.model.Validate(&bid); err != nil {
+				results[i] = opResultErr(op.ID, 400, err)
+				continue
+			}
+			staged[i] = pendingOp{kind: opMove, id: op.ID, bid: cloneBid(bid)}
+		case spectrum.OpWithdraw:
+			staged[i] = pendingOp{kind: opWithdraw, id: op.ID}
+		default:
+			results[i] = opResultErr(op.ID, 400, fmt.Errorf("%w: unknown op %q", ErrBadBid, op.Op))
+			continue
+		}
+		valid[i] = true
+	}
+
+	// Phase 2 — one lock acquisition for the whole batch. mu.RLock before
+	// qmu follows the documented lock order; holding both gives the status
+	// checks and the enqueues a single consistent view.
+	b.mu.RLock()
+	b.qmu.Lock()
+	epoch := b.epoch
+	for i := range ops {
+		if !valid[i] {
+			b.rejected.Add(1)
+			continue
+		}
+		if key := ops[i].Key; key != "" {
+			if r, seen := b.idem[key]; seen {
+				r.Replayed = true
+				results[i] = r
+				continue
+			}
+		}
+		p := staged[i]
+		switch p.kind {
+		case opSubmit:
+			if b.pop >= b.cfg.MaxBidders {
+				b.rejected.Add(1)
+				results[i] = opResultErr(0, 429, ErrFull)
+				continue
+			}
+			b.nextID++
+			p.id = b.nextID
+			b.pop++
+			b.queuedSub[p.id] = true
+			results[i] = spectrum.OpResult{ID: p.id, Status: StatusPending, Code: 202}
+		default:
+			st := b.statusLocked(p.id)
+			if st != StatusActive && st != StatusPending {
+				b.rejected.Add(1)
+				results[i] = opResultErr(p.id, 404, ErrUnknown)
+				continue
+			}
+			if p.kind == opWithdraw {
+				st = StatusGone
+			}
+			results[i] = spectrum.OpResult{ID: p.id, Status: st, Code: 202}
+		}
+		b.queue = append(b.queue, p)
+		if key := ops[i].Key; key != "" {
+			b.idemPut(key, results[i])
+		}
+	}
+	b.qmu.Unlock()
+	b.mu.RUnlock()
+	return results, epoch
+}
+
+// notifyEpoch wakes every WaitEpoch blocked on the previous epoch. Caller
+// holds mu.Lock, immediately after advancing b.epoch.
+func (b *Broker) notifyEpoch() {
+	close(b.epochCh)
+	b.epochCh = make(chan struct{})
+}
+
+// WaitEpoch blocks until an epoch numbered strictly greater than since has
+// committed (returning its report), or the context ends. since < the current
+// epoch returns immediately with the last committed report — a client that
+// polls with the epoch it last saw never misses a commit, though it observes
+// only the newest state (intermediate epochs coalesce). Before any epoch has
+// ever committed there is no report to deliver, so even since < 0 waits for
+// the first commit.
+func (b *Broker) WaitEpoch(ctx context.Context, since int) (EpochReport, error) {
+	for {
+		b.mu.RLock()
+		rep, epoch, ch := b.metrics.Last, b.epoch, b.epochCh
+		b.mu.RUnlock()
+		if epoch > since && epoch > 0 {
+			return rep, nil
+		}
+		select {
+		case <-ctx.Done():
+			return EpochReport{}, ctx.Err()
+		case <-ch:
+		}
+	}
 }
 
 // StatusOf reports what the broker knows about id. "Active" means the last
@@ -726,7 +821,7 @@ func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd, mov int) {
 				key:  b.model.Key(&op.bid),
 				nbrs: make(map[BidderID]struct{}),
 			}
-			nb.setValues(op.bid.values(), b.cfg.K)
+			nb.setValues(bidValues(&op.bid), b.cfg.K)
 			b.bidders[nb.id] = nb
 			b.applyDelta(b.model.Arrive(nb.id, &nb.bid))
 			arr++
@@ -780,27 +875,12 @@ func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd, mov int) {
 			ob.bid.Pos, ob.bid.Radius = op.bid.Pos, op.bid.Radius
 			ob.bid.Link = op.bid.Link
 			ob.key = b.model.Key(&ob.bid)
-			d := b.model.Move(ob.id, &ob.bid)
-			b.applyDelta(d)
-			// A move can rewire a component's internal conflict edges while
-			// preserving its membership, per-member ordering keys, and
-			// valuation versions — everything the component cache keys on — so
-			// neither the cached solution nor the warm SetObjective re-solve
-			// (same tableau, old conflict columns) can be trusted. Force a
-			// rebuild of every component the delta touches: the mover's, and
-			// those of both endpoints of each changed edge (a distance-2 move
-			// can add or remove bridge edges between two bidders whose
-			// component no longer contains the mover).
-			ob.forceRebuild = true
-			for _, es := range [][][2]BidderID{d.Added, d.Removed} {
-				for _, e := range es {
-					for _, nid := range e {
-						if nb := b.bidders[nid]; nb != nil {
-							nb.forceRebuild = true
-						}
-					}
-				}
-			}
+			b.applyDelta(b.model.Move(ob.id, &ob.bid))
+			// No cache invalidation needed here: a move can rewire a
+			// component's internal conflict edges while preserving its
+			// membership, ordering keys, and valuation versions, but the
+			// component cache key folds in an edge-set fingerprint
+			// (compKey), so any rewiring misses the cache by construction.
 			mov++
 		}
 	}
@@ -864,6 +944,7 @@ func (b *Broker) Tick() EpochReport {
 		b.metrics.TotalWelfare += rep.Welfare
 		b.metrics.CleanTotal += int64(rep.Clean)
 		b.metrics.Last = rep
+		b.notifyEpoch()
 		b.mu.Unlock()
 		return rep
 	}
@@ -899,6 +980,7 @@ func (b *Broker) Tick() EpochReport {
 	b.metrics.RebuildTotal += int64(rep.Rebuilds)
 	b.metrics.ErrorsTotal += int64(rep.Errors)
 	b.metrics.Last = rep
+	b.notifyEpoch()
 	b.mu.Unlock()
 	return rep
 }

@@ -34,38 +34,29 @@ func testTrace(seed int64, epochs, k int) *market.Trace {
 }
 
 // traceDriver replays a trace into a broker through the shared
-// market.Replayer (the same translation E17 and brokerd -selftest use).
+// market.OpsReplayer translation and the batch enqueue (the same
+// trace-step→/v1/batch path E18, brokerd -selftest, and brokerload use),
+// with plain additive values.
 type traceDriver struct {
-	t    testing.TB
-	b    *Broker
-	r    *market.Replayer
-	live map[int]BidderID
+	t testing.TB
+	b *Broker
+	r *market.OpsReplayer
 }
 
 func newTraceDriver(t testing.TB, b *Broker, tr *market.Trace) *traceDriver {
-	return &traceDriver{t: t, b: b, r: market.NewReplayer(tr), live: map[int]BidderID{}}
+	return &traceDriver{t: t, b: b, r: market.NewOpsReplayer(tr, false)}
 }
 
 // step queues the next trace epoch's departures, arrivals, and mask updates
-// (without ticking); false once the trace is exhausted.
+// as one batch (without ticking); false once the trace is exhausted.
 func (d *traceDriver) step() bool {
 	d.t.Helper()
-	more, err := d.r.Step(
-		func(tid int) error {
-			err := d.b.Withdraw(d.live[tid])
-			delete(d.live, tid)
-			return err
-		},
-		func(a market.Arrival, values []float64) error {
-			id, err := d.b.Submit(Bid{Pos: a.Pos, Radius: a.Radius, Values: values})
-			d.live[a.ID] = id
-			return err
-		},
-		func(tid int, values []float64) error {
-			return d.b.Update(d.live[tid], Additive(values))
-		},
-	)
+	ops, more, err := d.r.Step()
 	if err != nil {
+		d.t.Fatal(err)
+	}
+	results, _ := d.b.Batch(ops)
+	if err := d.r.Observe(results); err != nil {
 		d.t.Fatal(err)
 	}
 	return more

@@ -193,35 +193,21 @@ func mustModel(t testing.TB, name string) ConflictModel {
 	return m
 }
 
-// modelBid translates a trace arrival into a bid for the named backend,
-// with valuations mixed by the shared MixedTraceValues convention.
-func modelBid(name string, a market.Arrival, values []float64) Bid {
-	var bid Bid
-	if name == "protocol" || name == "ieee80211" {
-		l := a.Link
-		bid.Link = &l
-	} else {
-		bid.Pos, bid.Radius = a.Pos, a.Radius
-	}
-	v := MixedTraceValues(a.ID, values)
-	bid.Values, bid.XOR = v.Additive, v.XOR
-	return bid
-}
-
-// modelDriver replays a model-parameterized trace into a broker, mixing in
-// XOR bidders and (optionally) periodic moves.
+// modelDriver replays a model-parameterized trace into a broker through the
+// shared market.OpsReplayer translation (XOR mixing included) and the
+// broker's batch enqueue — each trace step is one Batch call, the same path
+// POST /v1/batch serves — with (optionally) periodic moves on top.
 type modelDriver struct {
 	t       testing.TB
 	name    string
 	b       *Broker
-	r       *market.Replayer
-	live    map[int]BidderID
+	r       *market.OpsReplayer
 	moveRng *rand.Rand
 	step_   int
 }
 
 func newModelDriver(t testing.TB, name string, b *Broker, tr *market.Trace, moveSeed int64) *modelDriver {
-	d := &modelDriver{t: t, name: name, b: b, r: market.NewReplayer(tr), live: map[int]BidderID{}}
+	d := &modelDriver{t: t, name: name, b: b, r: market.NewOpsReplayer(tr, true)}
 	if moveSeed != 0 {
 		d.moveRng = rand.New(rand.NewSource(moveSeed))
 	}
@@ -230,35 +216,25 @@ func newModelDriver(t testing.TB, name string, b *Broker, tr *market.Trace, move
 
 func (d *modelDriver) step() bool {
 	d.t.Helper()
-	more, err := d.r.Step(
-		func(tid int) error {
-			err := d.b.Withdraw(d.live[tid])
-			delete(d.live, tid)
-			return err
-		},
-		func(a market.Arrival, values []float64) error {
-			id, err := d.b.Submit(modelBid(d.name, a, values))
-			d.live[a.ID] = id
-			return err
-		},
-		func(tid int, values []float64) error {
-			return d.b.Update(d.live[tid], MixedTraceValues(tid, values))
-		},
-	)
+	ops, more, err := d.r.Step()
 	if err != nil {
+		d.t.Fatal(err)
+	}
+	results, _ := d.b.Batch(ops)
+	if err := d.r.Observe(results); err != nil {
 		d.t.Fatal(err)
 	}
 	d.step_++
 	// Every third step, relocate the lowest live bidder with fresh geometry,
 	// exercising the model's Move delta inside the equivalence loop.
-	if more && d.moveRng != nil && d.step_%3 == 0 && len(d.live) > 0 {
+	if live := d.r.Live(); more && d.moveRng != nil && d.step_%3 == 0 && len(live) > 0 {
 		lowest := -1
-		for tid := range d.live {
+		for tid := range live {
 			if lowest == -1 || tid < lowest {
 				lowest = tid
 			}
 		}
-		if err := d.b.Move(d.live[lowest], randBid(d.moveRng, d.name)); err != nil {
+		if err := d.b.Move(live[lowest], randBid(d.moveRng, d.name)); err != nil {
 			d.t.Fatal(err)
 		}
 	}

@@ -37,12 +37,12 @@ func FuzzValidValues(f *testing.F) {
 		if err != nil {
 			return
 		}
-		val := v.valuation(k)
+		val := buildValuation(v, k)
 		full := valuation.Full(k)
 		if got := val.Value(full); math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
 			t.Fatalf("accepted values produced Value(full)=%g (%+v)", got, v)
 		}
-		if sup := v.support(); sup&^full != 0 {
+		if sup := valuesSupport(v); sup&^full != 0 {
 			t.Fatalf("accepted values have support %v outside %d channels", sup, k)
 		}
 	})

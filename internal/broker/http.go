@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,25 +10,38 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/serialize"
 	"repro/internal/valuation"
+	"repro/pkg/spectrum"
 )
 
-// The HTTP/JSON API:
+// The versioned HTTP/JSON API (wire types in pkg/spectrum; the typed client
+// is spectrum.Client):
 //
-//	POST   /v1/bids        submit a bid            → 202 {id, status, epoch}
-//	GET    /v1/bids/{id}   bid status + grant      → 200 {id, status, channels, value, price}
-//	PUT    /v1/bids/{id}   update channel values   → 202 {id, status, epoch}
-//	DELETE /v1/bids/{id}   withdraw                → 202 {id, status, epoch}
-//	GET    /v1/allocation  committed allocation    → 200 {epoch, welfare, winners}
-//	GET    /v1/prices      Lavi–Swamy payments     → 200 {epoch, prices} (404 unless -prices)
-//	GET    /v1/snapshot    market as an instance   → 200 {epoch, ids, instance}
-//	GET    /v1/metrics     lifetime metrics        → 200 Metrics
-//	GET    /healthz        liveness                → 200 {status, epoch}
+//	POST   /v1/bids           submit a bid              → 202 Accepted
+//	GET    /v1/bids/{id}      bid status + grant        → 200 BidState
+//	PUT    /v1/bids/{id}      update channel values     → 202 Accepted
+//	POST   /v1/bids/{id}/move relocate geometry         → 202 Accepted
+//	DELETE /v1/bids/{id}      withdraw                  → 202 Accepted
+//	POST   /v1/batch          ordered mutation batch    → 200 BatchResponse
+//	GET    /v1/watch          epoch-commit long-poll    → 200 EpochReport | 204
+//	GET    /v1/allocation     committed allocation      → 200 Allocation
+//	GET    /v1/prices         Lavi–Swamy payments       → 200 Prices (404 unless -prices)
+//	GET    /v1/snapshot       market as an instance     → 200 {epoch, ids, instance}
+//	GET    /v1/metrics        lifetime metrics          → 200 Metrics
+//	GET    /healthz           liveness                  → 200 {status, epoch}
+//
+// Every /v1 route is additionally served under its legacy unversioned path
+// (/bids, /allocation, …) as a thin alias, so pre-/v1 clients keep working.
 //
 // Mutations are queued and take effect at the next epoch tick; the epoch in
-// a 202 response is the epoch the mutation will be visible after.
+// a 202 response is the epoch the mutation will be visible after. A batch
+// enqueues its accepted ops in list order under one lock acquisition and
+// reports per-item results (an invalid item does not abort the rest);
+// /v1/watch?since=N blocks until an epoch > N commits (&stream=sse upgrades
+// to a server-sent-event stream of every subsequent commit).
 
 // Handler serves the broker API.
 type Handler struct {
@@ -38,18 +52,64 @@ type Handler struct {
 // NewHandler wraps the broker in its HTTP API.
 func NewHandler(b *Broker) *Handler {
 	h := &Handler{b: b, mux: http.NewServeMux()}
-	h.mux.HandleFunc("/v1/bids", h.bids)
-	h.mux.HandleFunc("/v1/bids/", h.bidByID)
-	h.mux.HandleFunc("/v1/allocation", h.allocation)
-	h.mux.HandleFunc("/v1/prices", h.prices)
-	h.mux.HandleFunc("/v1/snapshot", h.snapshot)
-	h.mux.HandleFunc("/v1/metrics", h.metrics)
-	h.mux.HandleFunc("/healthz", h.healthz)
+	for _, prefix := range []string{"/v1", ""} {
+		h.mux.HandleFunc(prefix+"/bids", methods(map[string]http.HandlerFunc{
+			http.MethodPost: h.submit,
+		}))
+		h.mux.HandleFunc(prefix+"/bids/", h.bidByID)
+		h.mux.HandleFunc(prefix+"/batch", methods(map[string]http.HandlerFunc{
+			http.MethodPost: h.batch,
+		}))
+		h.mux.HandleFunc(prefix+"/watch", methods(map[string]http.HandlerFunc{
+			http.MethodGet: h.watch,
+		}))
+		h.mux.HandleFunc(prefix+"/allocation", methods(map[string]http.HandlerFunc{
+			http.MethodGet: h.allocation,
+		}))
+		h.mux.HandleFunc(prefix+"/prices", methods(map[string]http.HandlerFunc{
+			http.MethodGet: h.prices,
+		}))
+		h.mux.HandleFunc(prefix+"/snapshot", methods(map[string]http.HandlerFunc{
+			http.MethodGet: h.snapshot,
+		}))
+		h.mux.HandleFunc(prefix+"/metrics", methods(map[string]http.HandlerFunc{
+			http.MethodGet: h.metrics,
+		}))
+	}
+	h.mux.HandleFunc("/healthz", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.healthz,
+	}))
 	return h
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// methods dispatches by HTTP method and answers anything unsupported with
+// the API's one structured 405: a JSON error body plus an Allow header. All
+// routes share this helper, so method-not-allowed cannot fall through
+// differently per endpoint.
+func methods(m map[string]http.HandlerFunc) http.HandlerFunc {
+	allow := make([]string, 0, len(m))
+	for k := range m {
+		allow = append(allow, k)
+	}
+	sort.Strings(allow)
+	header := strings.Join(allow, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if fn, ok := m[r.Method]; ok {
+			fn(w, r)
+			return
+		}
+		methodNotAllowed(w, r, header)
+	}
+}
+
+func methodNotAllowed(w http.ResponseWriter, r *http.Request, allow string) {
+	w.Header().Set("Allow", allow)
+	writeErr(w, http.StatusMethodNotAllowed,
+		fmt.Errorf("method %s not allowed; use %s", r.Method, allow))
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -65,6 +125,10 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 
 // maxBodyBytes bounds a mutation request body.
 const maxBodyBytes = 1 << 20
+
+// maxBatchOps bounds one /v1/batch request's op list; beyond it the whole
+// request is a 413 (shrink the batch, don't fix the syntax).
+const maxBatchOps = 256
 
 // decodeBody strictly decodes one JSON value from the request body: unknown
 // fields are rejected, a body over maxBodyBytes maps to 413 (not a generic
@@ -109,20 +173,7 @@ func codeFor(err error) int {
 	return http.StatusInternalServerError
 }
 
-// mutationAccepted is the 202 body of every queued mutation.
-type mutationAccepted struct {
-	ID BidderID `json:"id"`
-	// Status is the bidder's state right now (pending until the tick).
-	Status Status `json:"status"`
-	// Epoch is the last completed epoch; the mutation lands in epoch+1.
-	Epoch int `json:"epoch"`
-}
-
-func (h *Handler) bids(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
+func (h *Handler) submit(w http.ResponseWriter, r *http.Request) {
 	var bid Bid
 	if code, err := decodeBody(w, r, &bid); code != 0 {
 		writeErr(w, code, err)
@@ -133,27 +184,125 @@ func (h *Handler) bids(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, codeFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, mutationAccepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
+	writeJSON(w, http.StatusAccepted, spectrum.Accepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
 }
 
-// bidState is the GET /v1/bids/{id} body.
-type bidState struct {
-	ID       BidderID `json:"id"`
-	Status   Status   `json:"status"`
-	Channels []int    `json:"channels"`
-	Value    float64  `json:"value"`
-	Price    float64  `json:"price,omitempty"`
-	Epoch    int      `json:"epoch"`
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	var req spectrum.BatchRequest
+	if code, err := decodeBody(w, r, &req); code != 0 {
+		writeErr(w, code, err)
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d ops (max %d)", len(req.Ops), maxBatchOps))
+		return
+	}
+	results, epoch := h.b.Batch(req.Ops)
+	if results == nil {
+		results = []spectrum.OpResult{}
+	}
+	writeJSON(w, http.StatusOK, spectrum.BatchResponse{Epoch: epoch, Results: results})
+}
+
+// maxWatchTimeout caps a long-poll; clients re-poll with the epoch they
+// last saw.
+const maxWatchTimeout = 2 * time.Minute
+
+func (h *Handler) watch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since := h.b.Epoch()
+	if s := q.Get("since"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since %q", s))
+			return
+		}
+		since = n
+	}
+	if q.Get("stream") == "sse" || strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		h.watchSSE(w, r, since)
+		return
+	}
+	timeout := 30 * time.Second
+	if s := q.Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q", s))
+			return
+		}
+		timeout = d
+	}
+	if timeout > maxWatchTimeout {
+		timeout = maxWatchTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	rep, err := h.b.WaitEpoch(ctx, since)
+	if err != nil {
+		// No epoch within the window (or the client went away): 204 tells
+		// the long-poller to simply poll again.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// watchSSE streams every epoch commit after since as a server-sent event
+// until the client disconnects. Commits that land while an event is being
+// written coalesce: the next WaitEpoch returns the newest report.
+func (h *Handler) watchSSE(w http.ResponseWriter, r *http.Request, since int) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		rep, err := h.b.WaitEpoch(r.Context(), since)
+		if err != nil {
+			return
+		}
+		since = rep.Epoch
+		data, err := json.Marshal(rep)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: epoch\ndata: %s\n\n", data); err != nil {
+			return
+		}
+		fl.Flush()
+	}
 }
 
 func (h *Handler) bidByID(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/v1/bids/")
-	id64, err := strconv.ParseInt(rest, 10, 64)
+	rest := strings.TrimPrefix(r.URL.Path, "/v1")
+	rest = strings.TrimPrefix(rest, "/bids/")
+	idStr, sub, _ := strings.Cut(rest, "/")
+	id64, err := strconv.ParseInt(idStr, 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bidder id %q", rest))
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad bidder id %q", idStr))
 		return
 	}
 	id := BidderID(id64)
+	switch sub {
+	case "":
+		h.bidResource(w, r, id)
+	case "move":
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, r, http.MethodPost)
+			return
+		}
+		h.move(w, r, id)
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown bid subresource %q", sub))
+	}
+}
+
+func (h *Handler) bidResource(w http.ResponseWriter, r *http.Request, id BidderID) {
 	switch r.Method {
 	case http.MethodGet:
 		state, known := h.b.bidView(id)
@@ -174,16 +323,31 @@ func (h *Handler) bidByID(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, codeFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, mutationAccepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
+		writeJSON(w, http.StatusAccepted, spectrum.Accepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
 	case http.MethodDelete:
 		if err := h.b.Withdraw(id); err != nil {
 			writeErr(w, codeFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, mutationAccepted{ID: id, Status: StatusGone, Epoch: h.b.Epoch()})
+		writeJSON(w, http.StatusAccepted, spectrum.Accepted{ID: id, Status: StatusGone, Epoch: h.b.Epoch()})
 	default:
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET, PUT, or DELETE"))
+		methodNotAllowed(w, r, "DELETE, GET, PATCH, PUT")
 	}
+}
+
+// move serves POST /v1/bids/{id}/move: the body is a bid carrying the new
+// model-specific geometry and no values.
+func (h *Handler) move(w http.ResponseWriter, r *http.Request, id BidderID) {
+	var bid Bid
+	if code, err := decodeBody(w, r, &bid); code != 0 {
+		writeErr(w, code, err)
+		return
+	}
+	if err := h.b.Move(id, bid); err != nil {
+		writeErr(w, codeFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, spectrum.Accepted{ID: id, Status: h.b.StatusOf(id), Epoch: h.b.Epoch()})
 }
 
 // bidView assembles the GET /v1/bids/{id} response. The committed fields —
@@ -192,8 +356,8 @@ func (h *Handler) bidByID(w http.ResponseWriter, r *http.Request) {
 // tick commits concurrently; the queue is consulted first, mirroring
 // StatusOf's ordering, so a freshly submitted bid never reads as gone.
 // known is false only for ids the broker never issued.
-func (b *Broker) bidView(id BidderID) (bidState, bool) {
-	state := bidState{ID: id, Channels: []int{}}
+func (b *Broker) bidView(id BidderID) (spectrum.BidState, bool) {
+	state := spectrum.BidState{ID: id, Channels: []int{}}
 	b.qmu.Lock()
 	unknown := id <= 0 || id > b.nextID
 	queued, cancelled := b.queuedSub[id], b.retired[id]
@@ -227,22 +391,11 @@ func (b *Broker) bidView(id BidderID) (bidState, bool) {
 	return state, true
 }
 
-// winner is one allocation row.
-type winner struct {
-	ID       BidderID `json:"id"`
-	Channels []int    `json:"channels"`
-	Value    float64  `json:"value"`
-}
-
 func (h *Handler) allocation(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	h.b.mu.RLock()
 	epoch := h.b.epoch
 	welfare := h.b.metrics.Last.Welfare
-	winners := make([]winner, 0, len(h.b.alloc))
+	winners := make([]spectrum.Winner, 0, len(h.b.alloc))
 	for id, tb := range h.b.alloc {
 		if tb == valuation.Empty {
 			continue
@@ -256,22 +409,18 @@ func (h *Handler) allocation(w http.ResponseWriter, r *http.Request) {
 				val = s.vals[i].Value(tb)
 			}
 		}
-		winners = append(winners, winner{ID: id, Channels: tb.Channels(), Value: val})
+		winners = append(winners, spectrum.Winner{ID: id, Channels: tb.Channels(), Value: val})
 	}
 	h.b.mu.RUnlock()
 	sort.Slice(winners, func(i, j int) bool { return winners[i].ID < winners[j].ID })
-	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":   epoch,
-		"welfare": welfare,
-		"winners": winners,
+	writeJSON(w, http.StatusOK, spectrum.Allocation{
+		Epoch:   epoch,
+		Welfare: welfare,
+		Winners: winners,
 	})
 }
 
 func (h *Handler) prices(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	if !h.b.cfg.Prices {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("prices disabled; start the broker with pricing enabled"))
 		return
@@ -283,7 +432,7 @@ func (h *Handler) prices(w http.ResponseWriter, r *http.Request) {
 		prices[strconv.FormatInt(int64(id), 10)] = p
 	}
 	h.b.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "prices": prices})
+	writeJSON(w, http.StatusOK, spectrum.Prices{Epoch: epoch, Prices: prices})
 }
 
 // snapshotBody wraps the serialized instance with its id mapping.
@@ -294,10 +443,6 @@ type snapshotBody struct {
 }
 
 func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	in, ids, epoch, err := h.b.Snapshot()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -315,10 +460,6 @@ func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
-		return
-	}
 	writeJSON(w, http.StatusOK, h.b.Metrics())
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/auction"
 	"repro/internal/geom"
 	"repro/internal/serialize"
+	"repro/pkg/spectrum"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Broker, *httptest.Server) {
@@ -56,7 +57,7 @@ func doJSON(t *testing.T, method, url string, body any, out any) *http.Response 
 func TestHTTPSubmitQueryWithdrawRoundTrip(t *testing.T) {
 	b, srv := newTestServer(t, Config{K: 2})
 
-	var acc mutationAccepted
+	var acc spectrum.Accepted
 	resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids",
 		Bid{Radius: 4, Values: []float64{5, 2}}, &acc)
 	if resp.StatusCode != http.StatusAccepted || acc.ID == 0 || acc.Status != StatusPending {
@@ -65,7 +66,7 @@ func TestHTTPSubmitQueryWithdrawRoundTrip(t *testing.T) {
 
 	b.Tick()
 
-	var state bidState
+	var state spectrum.BidState
 	url := fmt.Sprintf("%s/v1/bids/%d", srv.URL, acc.ID)
 	if resp := doJSON(t, http.MethodGet, url, nil, &state); resp.StatusCode != http.StatusOK {
 		t.Fatalf("get: %d", resp.StatusCode)
@@ -93,9 +94,9 @@ func TestHTTPSubmitQueryWithdrawRoundTrip(t *testing.T) {
 
 	// Allocation endpoint sees the single winner.
 	var allocBody struct {
-		Epoch   int      `json:"epoch"`
-		Welfare float64  `json:"welfare"`
-		Winners []winner `json:"winners"`
+		Epoch   int               `json:"epoch"`
+		Welfare float64           `json:"welfare"`
+		Winners []spectrum.Winner `json:"winners"`
 	}
 	doJSON(t, http.MethodGet, srv.URL+"/v1/allocation", nil, &allocBody)
 	if len(allocBody.Winners) != 1 || allocBody.Winners[0].ID != acc.ID || allocBody.Welfare != 9 {
@@ -234,7 +235,7 @@ func TestHTTPConcurrentSubmitters(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			var mine []BidderID
 			for i := 0; i < 25; i++ {
-				var acc mutationAccepted
+				var acc spectrum.Accepted
 				resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids", Bid{
 					Pos:    geom.Point{X: rng.Float64() * 200, Y: rng.Float64() * 200},
 					Radius: 2 + rng.Float64()*6,
@@ -362,7 +363,7 @@ func TestHTTPRejectsTrailingGarbage(t *testing.T) {
 func TestHTTPXORAndLinkBids(t *testing.T) {
 	// XOR bid on the default disk backend.
 	b, srv := newTestServer(t, Config{K: 3})
-	var acc mutationAccepted
+	var acc spectrum.Accepted
 	resp := doJSON(t, http.MethodPost, srv.URL+"/v1/bids", map[string]any{
 		"pos": map[string]float64{"x": 5, "y": 5}, "radius": 2,
 		"xor": []map[string]any{
@@ -374,7 +375,7 @@ func TestHTTPXORAndLinkBids(t *testing.T) {
 		t.Fatalf("XOR submit: %d", resp.StatusCode)
 	}
 	b.Tick()
-	var state bidState
+	var state spectrum.BidState
 	url := fmt.Sprintf("%s/v1/bids/%d", srv.URL, acc.ID)
 	doJSON(t, http.MethodGet, url, nil, &state)
 	if state.Status != StatusActive || state.Value != 7 {
@@ -417,5 +418,79 @@ func TestHTTPXORAndLinkBids(t *testing.T) {
 	if resp := doJSON(t, http.MethodPost, psrv.URL+"/v1/bids",
 		Bid{Radius: 2, Values: []float64{1, 1}}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("disk bid on protocol broker: %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPMethodNotAllowedTable: every endpoint answers an unsupported
+// method with the one structured 405 — a JSON error body plus an Allow
+// header — under both the /v1 prefix and the legacy unversioned alias,
+// instead of falling through inconsistently per endpoint.
+func TestHTTPMethodNotAllowedTable(t *testing.T) {
+	_, srv := newTestServer(t, Config{K: 2})
+	cases := []struct{ path, method, allow string }{
+		{"/bids", http.MethodGet, "POST"},
+		{"/bids", http.MethodDelete, "POST"},
+		{"/bids/1", http.MethodPost, "DELETE, GET, PATCH, PUT"},
+		{"/bids/1/move", http.MethodGet, "POST"},
+		{"/bids/1/move", http.MethodDelete, "POST"},
+		{"/batch", http.MethodGet, "POST"},
+		{"/watch", http.MethodPost, "GET"},
+		{"/allocation", http.MethodPost, "GET"},
+		{"/prices", http.MethodDelete, "GET"},
+		{"/snapshot", http.MethodPut, "GET"},
+		{"/metrics", http.MethodPost, "GET"},
+	}
+	check := func(t *testing.T, url, method, allow string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: %d, want 405", method, url, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != allow {
+			t.Fatalf("%s %s: Allow %q, want %q", method, url, got, allow)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s %s: 405 body is not JSON: %v", method, url, err)
+		}
+		if body["error"] == "" {
+			t.Fatalf("%s %s: 405 body has no error message: %v", method, url, body)
+		}
+	}
+	for _, prefix := range []string{"/v1", ""} {
+		for _, c := range cases {
+			check(t, srv.URL+prefix+c.path, c.method, c.allow)
+		}
+	}
+	check(t, srv.URL+"/healthz", http.MethodPost, "GET")
+}
+
+// TestHTTPLegacyAliases: the unversioned paths remain thin aliases onto the
+// /v1 surface — a bid submitted via POST /bids is the same bidder /v1 sees.
+func TestHTTPLegacyAliases(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	var acc spectrum.Accepted
+	if resp := doJSON(t, http.MethodPost, srv.URL+"/bids",
+		Bid{Radius: 2, Values: []float64{3, 4}}, &acc); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy submit: %d", resp.StatusCode)
+	}
+	b.Tick()
+	var state spectrum.BidState
+	doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/bids/%d", srv.URL, acc.ID), nil, &state)
+	if state.Status != StatusActive || state.Value != 7 {
+		t.Fatalf("v1 view of legacy submit: %+v", state)
+	}
+	var alloc spectrum.Allocation
+	doJSON(t, http.MethodGet, srv.URL+"/allocation", nil, &alloc)
+	if len(alloc.Winners) != 1 || alloc.Winners[0].ID != acc.ID {
+		t.Fatalf("legacy allocation: %+v", alloc)
 	}
 }

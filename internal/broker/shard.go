@@ -65,14 +65,42 @@ type epochPlan struct {
 	warm    int
 }
 
-func compKey(ids []BidderID) string {
-	buf := make([]byte, 0, 8*len(ids))
+// compKey names a component for the solve cache: the member ids in π order,
+// plus a fingerprint of the component's internal edge set in local (π-order)
+// numbering. The solved LP and its rounded candidates depend on exactly
+// three inputs — membership-with-ordering, conflict edges, and valuations —
+// and the first two are pinned by this key (valuations by the separate
+// version vector), so the cache is self-validating: a position-only move
+// that rewires conflict edges while preserving membership, ordering keys,
+// and valuation versions changes the fingerprint and misses the cache, with
+// no per-mutation invalidation discipline to forget. The fingerprint is a
+// 64-bit FNV-1a over the sorted local edge list (collisions are possible in
+// principle but need an adversarial 2^-64 event within one id list).
+func compKey(ids []BidderID, edges [][2]int) string {
+	buf := make([]byte, 0, 8*len(ids)+17)
 	for i, id := range ids {
 		if i > 0 {
 			buf = append(buf, ',')
 		}
 		buf = strconv.AppendInt(buf, int64(id), 10)
 	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(x int) {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(x >> s))
+			h *= fnvPrime
+		}
+	}
+	for _, e := range edges {
+		mix(e[0])
+		mix(e[1])
+	}
+	buf = append(buf, '#')
+	buf = strconv.AppendUint(buf, h, 16)
 	return string(buf)
 }
 
@@ -126,23 +154,16 @@ func (b *Broker) buildGlobal() *globalState {
 	return s
 }
 
-// subConflict builds the conflict structure of one component. members are
-// global-snapshot indices in π order, so the identity ordering over the
-// sub-instance is exactly the restriction of π and inherits the disk
+// subConflict builds the conflict structure of one component from its
+// internal edge list in local (π-order) numbering — the same list the cache
+// fingerprint hashes, so the key and the solved conflict graph cannot
+// drift. The members are in π order, so the identity ordering over the
+// sub-instance is exactly the restriction of π and inherits the model's
 // certificate.
-func subConflict(s *globalState, members []int, rho float64, model string) *models.Conflict {
-	m := len(members)
-	sub := make(map[int]int, m)
-	for vi, gi := range members {
-		sub[gi] = vi
-	}
+func subConflict(m int, edges [][2]int, rho float64, model string) *models.Conflict {
 	g := graph.New(m)
-	for vi, gi := range members {
-		for _, gj := range s.g.Neighbors(gi) {
-			if vj, ok := sub[gj]; ok && vj > vi {
-				g.AddEdge(vi, vj)
-			}
-		}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
 	}
 	return &models.Conflict{
 		W:        graph.FromUnweighted(g),
@@ -166,11 +187,28 @@ func (b *Broker) planEpoch() *epochPlan {
 		ids := make([]BidderID, len(members))
 		versions := make([]int, len(members))
 		vals := make([]valuation.Valuation, len(members))
+		sub := make(map[int]int, len(members))
 		for vi, gi := range members {
 			bd := b.bidders[s.ids[gi]]
 			ids[vi] = bd.id
 			versions[vi] = bd.version
 			vals[vi] = s.vals[gi]
+			sub[gi] = vi
+		}
+		// The component's internal edges in sorted local order — the
+		// fingerprint half of the cache key.
+		var edges [][2]int
+		for vi, gi := range members {
+			var nbrs []int
+			for _, gj := range s.g.Neighbors(gi) {
+				if vj, ok := sub[gj]; ok && vj > vi {
+					nbrs = append(nbrs, vj)
+				}
+			}
+			sort.Ints(nbrs)
+			for _, vj := range nbrs {
+				edges = append(edges, [2]int{vi, vj})
+			}
 		}
 		// A structural valuation change — an additive support shrink (some
 		// channel's value dropped to zero) or a changed XOR atom set —
@@ -184,7 +222,7 @@ func (b *Broker) planEpoch() *epochPlan {
 			rebuild = rebuild || bd.forceRebuild
 			bd.forceRebuild = false
 		}
-		key := compKey(ids)
+		key := compKey(ids, edges)
 		if e, ok := b.comps[key]; ok && !b.cfg.Cold && !rebuild {
 			if sameVersions(e.versions, versions) {
 				plan.entries = append(plan.entries, e)
@@ -213,7 +251,7 @@ func (b *Broker) planEpoch() *epochPlan {
 		// worth zero), XOR bundles kept only if they are a current positive
 		// atom — so the seeded master explores the same column universe as
 		// the cold reference.
-		inst, err := auction.NewInstance(subConflict(s, members, b.model.RhoBound(), b.model.Name()), b.cfg.K, vals)
+		inst, err := auction.NewInstance(subConflict(len(members), edges, b.model.RhoBound(), b.model.Name()), b.cfg.K, vals)
 		e := &compEntry{key: key, ids: ids, versions: versions, inst: inst}
 		job := &solveJob{entry: e, kind: jobRebuild, err: err}
 		if !b.cfg.Cold {

@@ -1,0 +1,295 @@
+package broker
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/pkg/spectrum"
+)
+
+// TestWaitEpochBlocksUntilCommit: a waiter on the current epoch parks until
+// the next Tick and then receives that epoch's report; a waiter behind the
+// current epoch returns immediately with the newest report.
+func TestWaitEpochBlocksUntilCommit(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	if _, err := b.Submit(Bid{Radius: 2, Values: []float64{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan EpochReport, 1)
+	go func() {
+		rep, err := b.WaitEpoch(context.Background(), 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	select {
+	case rep := <-done:
+		t.Fatalf("WaitEpoch returned before any tick: %+v", rep)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Tick()
+	select {
+	case rep := <-done:
+		if rep.Epoch != 1 || rep.Welfare != 7 {
+			t.Fatalf("watched report %+v, want epoch 1 welfare 7", rep)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitEpoch did not wake on Tick")
+	}
+	// Already-past epoch: immediate.
+	rep, err := b.WaitEpoch(context.Background(), 0)
+	if err != nil || rep.Epoch != 1 {
+		t.Fatalf("immediate WaitEpoch: %+v, %v", rep, err)
+	}
+	// Context cancellation unblocks a parked waiter.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := b.WaitEpoch(ctx, 99); err == nil {
+		t.Fatal("WaitEpoch(future) returned without a commit")
+	}
+}
+
+// TestWaitEpochBeforeFirstCommit: before any epoch has ever committed there
+// is no report to deliver — even since=-1 ("newest immediately") must park
+// rather than fabricate a zero-value epoch-0 report.
+func TestWaitEpochBeforeFirstCommit(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if rep, err := b.WaitEpoch(ctx, -1); err == nil {
+		t.Fatalf("WaitEpoch(-1) on an unticked broker returned %+v", rep)
+	}
+	b.Tick()
+	rep, err := b.WaitEpoch(context.Background(), -1)
+	if err != nil || rep.Epoch != 1 {
+		t.Fatalf("WaitEpoch(-1) after first tick: %+v, %v", rep, err)
+	}
+}
+
+// TestWatchCoalesces: a waiter that falls behind several commits gets the
+// newest epoch, not a backlog.
+func TestWatchCoalesces(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1})
+	for i := 0; i < 3; i++ {
+		b.Tick()
+	}
+	rep, err := b.WaitEpoch(context.Background(), 0)
+	if err != nil || rep.Epoch != 3 {
+		t.Fatalf("coalesced watch: %+v, %v", rep, err)
+	}
+}
+
+// TestHTTPWatchLongPoll drives GET /v1/watch over real HTTP: a poll behind
+// the current epoch answers immediately, a poll at the current epoch blocks
+// until the next tick, and an empty window is a 204.
+func TestHTTPWatchLongPoll(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	b.Tick()
+	var rep EpochReport
+	if resp := doJSON(t, http.MethodGet, srv.URL+"/v1/watch?since=0", nil, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch behind: %d", resp.StatusCode)
+	}
+	if rep.Epoch != 1 {
+		t.Fatalf("watch behind returned epoch %d", rep.Epoch)
+	}
+	// Empty window → 204.
+	resp, err := http.Get(srv.URL + "/v1/watch?since=1&timeout=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("empty watch window: %d, want 204", resp.StatusCode)
+	}
+	// Blocking poll woken by a tick.
+	got := make(chan int, 1)
+	go func() {
+		var rep EpochReport
+		doJSON(t, http.MethodGet, srv.URL+"/v1/watch?since=1", nil, &rep)
+		got <- rep.Epoch
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Tick()
+	select {
+	case e := <-got:
+		if e != 2 {
+			t.Fatalf("long-poll woke with epoch %d, want 2", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll never woke")
+	}
+	// Malformed parameters are 400s.
+	for _, q := range []string{"since=abc", "timeout=xyz", "timeout=-1s"} {
+		resp, err := http.Get(srv.URL + "/v1/watch?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("watch?%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPWatchSSE: &stream=sse upgrades the watch to a server-sent-event
+// stream delivering every subsequent commit.
+func TestHTTPWatchSSE(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/watch?since=0&stream=sse", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Tick()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	lastEpoch := 0
+	for sc.Scan() && events < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var rep EpochReport
+		if err := jsonUnmarshal(line[len("data: "):], &rep); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if rep.Epoch <= lastEpoch {
+			t.Fatalf("SSE epochs not increasing: %d after %d", rep.Epoch, lastEpoch)
+		}
+		lastEpoch = rep.Epoch
+		events++
+	}
+	if events < 3 {
+		t.Fatalf("saw %d SSE events, want 3 (%v)", events, sc.Err())
+	}
+}
+
+func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
+
+// TestWatchConcurrentSubscribers hammers the watch path from many SDK
+// clients while the broker ticks and mutates — the -race CI step runs this.
+func TestWatchConcurrentSubscribers(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2, MaxBidders: 4096})
+	client := spectrum.NewClient(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	stop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := b.Submit(Bid{
+					Pos:    geom.Point{X: float64(i%20) * 25, Y: float64(i/20%20) * 25},
+					Radius: 2, Values: []float64{1, 2},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Tick()
+			}
+		}
+	}()
+
+	const subscribers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < subscribers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			since := 0
+			for seen := 0; seen < 5; seen++ {
+				rep, err := client.WaitEpoch(ctx, since)
+				if err != nil {
+					t.Errorf("subscriber: %v", err)
+					return
+				}
+				if rep.Epoch <= since {
+					t.Errorf("watch went backwards: %d after %d", rep.Epoch, since)
+					return
+				}
+				since = rep.Epoch
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	tickWG.Wait()
+}
+
+// TestWatchSubscribersAcrossOneTick pins the satellite contract precisely:
+// N concurrent subscribers all parked on the same epoch are all released by
+// one Tick and all observe the same committed report.
+func TestWatchSubscribersAcrossOneTick(t *testing.T) {
+	b, srv := newTestServer(t, Config{K: 2})
+	client := spectrum.NewClient(srv.URL)
+	if _, err := b.Submit(Bid{Radius: 2, Values: []float64{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	reps := make(chan EpochReport, n)
+	var ready, wg sync.WaitGroup
+	ready.Add(n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			ready.Done()
+			rep, err := client.WaitEpoch(context.Background(), 0)
+			if err != nil {
+				t.Errorf("WaitEpoch: %v", err)
+				return
+			}
+			reps <- rep
+		}()
+	}
+	ready.Wait()
+	time.Sleep(20 * time.Millisecond) // let the long-polls park server-side
+	b.Tick()
+	wg.Wait()
+	close(reps)
+	count := 0
+	for rep := range reps {
+		count++
+		if rep.Epoch != 1 || rep.Welfare != 7 {
+			t.Fatalf("subscriber saw %+v, want epoch 1 welfare 7", rep)
+		}
+	}
+	if count != n {
+		t.Fatalf("%d of %d subscribers reported", count, n)
+	}
+}

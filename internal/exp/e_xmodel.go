@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"net/http/httptest"
 
 	"repro/internal/broker"
 	"repro/internal/market"
 	"repro/internal/stats"
+	"repro/pkg/spectrum"
 )
 
 // E18 — cross-model online welfare. The same churn trace (identical
@@ -66,39 +69,31 @@ func E18(quick bool) *Table {
 		warm, rebuilt := 0, 0
 		streamed, scratch, maxDelta := 0.0, 0.0, 0.0
 
-		isLink := cfg.LinkModel()
-		live := map[int]broker.BidderID{}
-		replay := market.NewReplayer(tr)
+		// The trace streams through the public SDK over real HTTP: each
+		// trace epoch is one POST /v1/batch built by the shared
+		// market.OpsReplayer translation (the same path brokerd -selftest
+		// and the equivalence tests use); only Tick stays in-process so the
+		// experiment controls epoch boundaries deterministically.
+		srv := httptest.NewServer(broker.NewHandler(b))
+		client := spectrum.NewClient(srv.URL)
+		ctx := context.Background()
+		replay := market.NewOpsReplayer(tr, true)
 		for {
-			more, err := replay.Step(
-				func(tid int) error {
-					err := b.Withdraw(live[tid])
-					delete(live, tid)
-					return err
-				},
-				func(a market.Arrival, values []float64) error {
-					bid := broker.Bid{}
-					if isLink {
-						l := a.Link
-						bid.Link = &l
-					} else {
-						bid.Pos, bid.Radius = a.Pos, a.Radius
-					}
-					v := broker.MixedTraceValues(a.ID, values)
-					bid.Values, bid.XOR = v.Additive, v.XOR
-					id, err := b.Submit(bid)
-					live[a.ID] = id
-					return err
-				},
-				func(tid int, values []float64) error {
-					return b.Update(live[tid], broker.MixedTraceValues(tid, values))
-				},
-			)
+			ops, more, err := replay.Step()
 			if err != nil {
 				panic(err)
 			}
 			if !more {
 				break
+			}
+			if len(ops) > 0 {
+				res, err := client.SubmitBatch(ctx, ops)
+				if err != nil {
+					panic(err)
+				}
+				if err := replay.Observe(res.Results); err != nil {
+					panic(err)
+				}
 			}
 			rep := b.Tick()
 			users.Add(float64(rep.Active))
@@ -128,6 +123,7 @@ func E18(quick bool) *Table {
 				maxDelta = d
 			}
 		}
+		srv.Close()
 		t.AddRow(model.Name(), f0(model.RhoBound()), fmt.Sprintf("%d", epochs),
 			f2(users.Mean()), f2(comps.Mean()), f3(dirtyFrac.Mean()),
 			fmt.Sprintf("%d", warm), fmt.Sprintf("%d", rebuilt),

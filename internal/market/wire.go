@@ -1,0 +1,136 @@
+package market
+
+import (
+	"fmt"
+
+	"repro/pkg/spectrum"
+)
+
+// This file is the single trace-arrival → wire-bid translation. Every
+// consumer that replays a GenTrace workload against the live broker —
+// brokerd -selftest, experiment E18, the broker equivalence tests, and
+// cmd/brokerload — builds its mutations here, so the geometry switch
+// (disk pos/radius vs. link) and the XOR-mixing convention cannot drift
+// between them.
+
+// BidFor translates a trace arrival into the wire bid for this trace's
+// interference model: link geometry for link-model traces, the transmitter
+// disk otherwise, with the given (already primary-masked) additive values.
+func (tr *Trace) BidFor(a Arrival, values []float64) spectrum.Bid {
+	bid := spectrum.Bid{Values: values}
+	if tr.Config.LinkModel() {
+		l := a.Link
+		bid.Link = &l
+	} else {
+		bid.Pos, bid.Radius = a.Pos, a.Radius
+	}
+	return bid
+}
+
+// MixedBidFor is BidFor under the shared XOR-mixing convention
+// (spectrum.MixedTraceValues): every 4th trace id bids in the XOR language.
+func (tr *Trace) MixedBidFor(a Arrival, values []float64) spectrum.Bid {
+	bid := tr.BidFor(a, nil)
+	v := spectrum.MixedTraceValues(a.ID, values)
+	bid.Values, bid.XOR = v.Additive, v.XOR
+	return bid
+}
+
+// OpsReplayer walks a trace epoch by epoch and emits each epoch's mutations
+// as one ordered spectrum op list — departures, then arrivals, then
+// valuation updates, exactly the Replayer's callback order — sized for a
+// single POST /v1/batch (or Broker.Batch) call per trace step. Observe feeds
+// the batch results back to learn the broker ids assigned to arrivals.
+type OpsReplayer struct {
+	tr    *Trace
+	r     *Replayer
+	mixed bool
+	live  map[int]spectrum.BidderID
+	// pending maps result indices of the last Step's submit ops to the
+	// trace ids awaiting their broker id.
+	pending map[int]int
+}
+
+// NewOpsReplayer starts a replay at epoch 0. mixed selects the shared
+// XOR-mixing convention (MixedBidFor) over plain additive bids.
+func NewOpsReplayer(tr *Trace, mixed bool) *OpsReplayer {
+	return &OpsReplayer{
+		tr:    tr,
+		r:     NewReplayer(tr),
+		mixed: mixed,
+		live:  make(map[int]spectrum.BidderID),
+	}
+}
+
+// Epoch returns the next trace epoch Step will play.
+func (o *OpsReplayer) Epoch() int { return o.r.Epoch() }
+
+// Live returns the trace-id → broker-id mapping of the currently active
+// bidders (shared, not a copy; callers may read it to target extra
+// mutations such as moves between steps).
+func (o *OpsReplayer) Live() map[int]spectrum.BidderID { return o.live }
+
+// Step gathers the next trace epoch's mutations. The returned ops must be
+// applied in order and the results fed to Observe before the next Step
+// (arrival ids are not known until then). more is false once the trace is
+// exhausted; an empty ops list with more true is a quiet epoch.
+func (o *OpsReplayer) Step() (ops []spectrum.Op, more bool, err error) {
+	if o.pending != nil {
+		return nil, false, fmt.Errorf("market: Step before Observe of the previous results")
+	}
+	pending := make(map[int]int)
+	more, err = o.r.Step(
+		func(tid int) error {
+			ops = append(ops, spectrum.Op{Op: spectrum.OpWithdraw, ID: o.live[tid]})
+			delete(o.live, tid)
+			return nil
+		},
+		func(a Arrival, values []float64) error {
+			var bid spectrum.Bid
+			if o.mixed {
+				bid = o.tr.MixedBidFor(a, values)
+			} else {
+				bid = o.tr.BidFor(a, values)
+			}
+			pending[len(ops)] = a.ID
+			ops = append(ops, spectrum.Op{Op: spectrum.OpSubmit, Bid: &bid})
+			return nil
+		},
+		func(tid int, values []float64) error {
+			v := spectrum.Additive(values)
+			if o.mixed {
+				v = spectrum.MixedTraceValues(tid, values)
+			}
+			ops = append(ops, spectrum.Op{Op: spectrum.OpUpdate, ID: o.live[tid], Values: &v})
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(pending) > 0 {
+		o.pending = pending
+	}
+	return ops, more, nil
+}
+
+// Observe records the broker ids the last Step's submits were assigned and
+// surfaces any per-item rejection as an error (a trace replay expects every
+// mutation to be accepted).
+func (o *OpsReplayer) Observe(results []spectrum.OpResult) error {
+	pending := o.pending
+	o.pending = nil
+	for i, r := range results {
+		if !r.OK() {
+			return fmt.Errorf("market: batch op %d rejected (%d): %s", i, r.Code, r.Error)
+		}
+		if tid, ok := pending[i]; ok {
+			o.live[tid] = r.ID
+			delete(pending, i)
+		}
+	}
+	if len(pending) > 0 {
+		return fmt.Errorf("market: %d submit results missing from batch response", len(pending))
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package spectrum
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Typed error categories mirroring the API's status semantics. Errors
+// returned by Client methods match these under errors.Is, and wrap the
+// *APIError carrying the server's message.
+var (
+	// ErrBadRequest: the server rejected the payload (400) — fix it.
+	ErrBadRequest = errors.New("spectrum: bad request")
+	// ErrNotFound: unknown bidder id, or a disabled resource (404).
+	ErrNotFound = errors.New("spectrum: not found")
+	// ErrTooLarge: body over the server's byte limit or batch over its op
+	// limit (413) — shrink the payload, splitting the batch if needed.
+	ErrTooLarge = errors.New("spectrum: request too large")
+	// ErrFull: the market is at its population cap (429) — retry later.
+	ErrFull = errors.New("spectrum: market full")
+	// ErrServer: a 5xx; the request may be retried.
+	ErrServer = errors.New("spectrum: server error")
+)
+
+// APIError is a non-2xx API response: the HTTP status and the server's
+// structured error message. errors.Is matches it against the category
+// sentinels above.
+type APIError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("spectrum: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// Is maps the status code onto the category sentinels.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrBadRequest:
+		return e.Code == http.StatusBadRequest
+	case ErrNotFound:
+		return e.Code == http.StatusNotFound
+	case ErrTooLarge:
+		return e.Code == http.StatusRequestEntityTooLarge
+	case ErrFull:
+		return e.Code == http.StatusTooManyRequests
+	case ErrServer:
+		return e.Code >= 500
+	}
+	return false
+}
+
+// Client is a typed client for the broker's /v1 API. The zero value is not
+// usable; construct with NewClient. All methods are safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports). Watch long-polls hold a request open for up to the poll
+// timeout, so a global http.Client.Timeout shorter than ~35s will surface
+// as watch errors.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times idempotent requests (queries, watch
+// polls, and batches in which every op carries an idempotency key) are
+// retried after transport errors or 5xx responses. Default 2; 0 disables.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base delay between retries (doubling per attempt).
+// Default 100ms.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// NewClient returns a client for the broker at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    base,
+		hc:      &http.Client{},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// retryable reports whether an attempt's failure may be retried: transport
+// errors and 5xx responses — never 4xx (the request itself is wrong) and
+// never a 204 empty long-poll window (a successful response; the watch
+// loop, not the retry budget, decides whether to poll again).
+func retryable(err error) bool {
+	if errors.Is(err, errNoContent) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code >= 500
+	}
+	// A transport-level failure (connection refused, reset, ...).
+	return err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs one request, decoding a 2xx JSON body into out (out may be nil).
+// idempotent requests are retried per the client's policy. wantNoContent
+// reports a 204 as errNoContent without decoding.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var raw []byte
+	if body != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("spectrum: encode request: %w", err)
+		}
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff << (a - 1)):
+			}
+		}
+		if err = c.once(ctx, method, path, raw, out); err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// errNoContent marks a 204 long-poll window that closed without an event.
+var errNoContent = errors.New("spectrum: no content")
+
+func (c *Client) once(ctx context.Context, method, path string, raw []byte, out any) error {
+	var rd io.Reader
+	if raw != nil {
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("spectrum: build request: %w", err)
+	}
+	if raw != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("spectrum: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return errNoContent
+	}
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return &APIError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("spectrum: decode %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Submit queues a bid; it becomes active at the broker's next epoch tick.
+func (c *Client) Submit(ctx context.Context, bid Bid) (Accepted, error) {
+	var acc Accepted
+	err := c.do(ctx, http.MethodPost, "/v1/bids", bid, &acc, false)
+	return acc, err
+}
+
+// SubmitBatch applies an ordered mutation list in one request. The returned
+// results line up with ops index for index; a rejected item does not abort
+// the rest (check each result's OK). The request is retried on transport
+// failure only when every op carries an idempotency Key — a retried
+// keyless batch could double-enqueue.
+func (c *Client) SubmitBatch(ctx context.Context, ops []Op) (BatchResponse, error) {
+	keyed := len(ops) > 0
+	for _, op := range ops {
+		keyed = keyed && op.Key != ""
+	}
+	var out BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/batch", BatchRequest{Ops: ops}, &out, keyed)
+	if err == nil && len(out.Results) != len(ops) {
+		return out, fmt.Errorf("spectrum: batch returned %d results for %d ops", len(out.Results), len(ops))
+	}
+	return out, err
+}
+
+// Update queues a valuation change (the valuation may switch between
+// additive and XOR form); geometry is untouched, see Move.
+func (c *Client) Update(ctx context.Context, id BidderID, v Values) (Accepted, error) {
+	var acc Accepted
+	err := c.do(ctx, http.MethodPut, "/v1/bids/"+itoa(id), v, &acc, false)
+	return acc, err
+}
+
+// Move queues a geometry change: bid carries the new model-specific
+// geometry and must carry no values.
+func (c *Client) Move(ctx context.Context, id BidderID, bid Bid) (Accepted, error) {
+	var acc Accepted
+	err := c.do(ctx, http.MethodPost, "/v1/bids/"+itoa(id)+"/move", bid, &acc, false)
+	return acc, err
+}
+
+// Withdraw queues a departure. Withdrawing a still-pending bid cancels it.
+func (c *Client) Withdraw(ctx context.Context, id BidderID) (Accepted, error) {
+	var acc Accepted
+	err := c.do(ctx, http.MethodDelete, "/v1/bids/"+itoa(id), nil, &acc, false)
+	return acc, err
+}
+
+// Bid returns one bidder's state in the last committed epoch.
+func (c *Client) Bid(ctx context.Context, id BidderID) (BidState, error) {
+	var st BidState
+	err := c.do(ctx, http.MethodGet, "/v1/bids/"+itoa(id), nil, &st, true)
+	return st, err
+}
+
+// Allocation returns the last committed epoch's winners and welfare.
+func (c *Client) Allocation(ctx context.Context) (Allocation, error) {
+	var a Allocation
+	err := c.do(ctx, http.MethodGet, "/v1/allocation", nil, &a, true)
+	return a, err
+}
+
+// Prices returns the last committed epoch's Lavi–Swamy payments. ErrNotFound
+// when the broker runs without pricing.
+func (c *Client) Prices(ctx context.Context) (Prices, error) {
+	var p Prices
+	err := c.do(ctx, http.MethodGet, "/v1/prices", nil, &p, true)
+	return p, err
+}
+
+// WaitEpoch long-polls /v1/watch until an epoch strictly greater than since
+// has committed, and returns its report. It re-polls through empty windows
+// for as long as ctx lasts.
+func (c *Client) WaitEpoch(ctx context.Context, since int) (EpochReport, error) {
+	path := "/v1/watch?" + url.Values{"since": {strconv.Itoa(since)}}.Encode()
+	for {
+		var rep EpochReport
+		err := c.do(ctx, http.MethodGet, path, nil, &rep, true)
+		if err == nil {
+			return rep, nil
+		}
+		if !errors.Is(err, errNoContent) {
+			return EpochReport{}, err
+		}
+		if ctx.Err() != nil {
+			return EpochReport{}, ctx.Err()
+		}
+	}
+}
+
+// Watch streams epoch-commit reports on the returned channel until ctx ends
+// or the server becomes unreachable, then closes it. Commits that land
+// while the previous report is being delivered coalesce to the newest one,
+// so a slow consumer observes the freshest state rather than an unbounded
+// backlog. since names the last epoch the caller has seen (use the current
+// epoch, or -1 for "deliver the newest committed epoch immediately").
+func (c *Client) Watch(ctx context.Context, since int) <-chan EpochReport {
+	out := make(chan EpochReport)
+	go func() {
+		defer close(out)
+		for {
+			rep, err := c.WaitEpoch(ctx, since)
+			if err != nil {
+				return
+			}
+			since = rep.Epoch
+			select {
+			case out <- rep:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func itoa(id BidderID) string { return strconv.FormatInt(int64(id), 10) }

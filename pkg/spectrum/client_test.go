@@ -1,0 +1,219 @@
+package spectrum_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/geom"
+	"repro/pkg/spectrum"
+)
+
+// The SDK is tested against the real server handler (internal/broker
+// aliases its wire types onto this package, so this round-trip pins the
+// whole contract): mutations, batches, queries, watch, and the typed error
+// mapping.
+
+func newBrokerServer(t *testing.T, cfg broker.Config) (*broker.Broker, *spectrum.Client) {
+	t.Helper()
+	b, err := broker.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(broker.NewHandler(b))
+	t.Cleanup(srv.Close)
+	return b, spectrum.NewClient(srv.URL)
+}
+
+func TestClientLifecycleRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	b, c := newBrokerServer(t, broker.Config{K: 2})
+
+	acc, err := c.Submit(ctx, spectrum.Bid{Radius: 4, Values: []float64{5, 2}})
+	if err != nil || acc.ID == 0 || acc.Status != spectrum.StatusPending {
+		t.Fatalf("submit: %+v, %v", acc, err)
+	}
+	b.Tick()
+
+	st, err := c.Bid(ctx, acc.ID)
+	if err != nil || st.Status != spectrum.StatusActive || st.Value != 7 {
+		t.Fatalf("bid state: %+v, %v", st, err)
+	}
+	alloc, err := c.Allocation(ctx)
+	if err != nil || len(alloc.Winners) != 1 || alloc.Welfare != 7 {
+		t.Fatalf("allocation: %+v, %v", alloc, err)
+	}
+
+	if _, err := c.Update(ctx, acc.ID, spectrum.Additive([]float64{0, 9})); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	b.Tick()
+	if st, _ = c.Bid(ctx, acc.ID); st.Value != 9 {
+		t.Fatalf("state after update: %+v", st)
+	}
+
+	if _, err := c.Move(ctx, acc.ID, spectrum.Bid{Pos: geom.Point{X: 50}, Radius: 4}); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	b.Tick()
+
+	if _, err := c.Withdraw(ctx, acc.ID); err != nil {
+		t.Fatalf("withdraw: %v", err)
+	}
+	b.Tick()
+	if st, _ = c.Bid(ctx, acc.ID); st.Status != spectrum.StatusGone {
+		t.Fatalf("state after withdraw: %+v", st)
+	}
+}
+
+func TestClientBatchAndWatch(t *testing.T) {
+	ctx := context.Background()
+	b, c := newBrokerServer(t, broker.Config{K: 2})
+
+	res, err := c.SubmitBatch(ctx, []spectrum.Op{
+		{Op: spectrum.OpSubmit, Key: "a", Bid: &spectrum.Bid{Radius: 2, Values: []float64{5, 1}}},
+		{Op: spectrum.OpSubmit, Key: "b", Bid: &spectrum.Bid{Pos: geom.Point{X: 70}, Radius: 2, Values: []float64{2, 6}}},
+		{Op: spectrum.OpSubmit, Key: "c", Bid: &spectrum.Bid{Radius: 2, Values: []float64{1}}}, // invalid arity
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Results[0].OK() || !res.Results[1].OK() || res.Results[2].OK() {
+		t.Fatalf("batch results: %+v", res.Results)
+	}
+
+	// Watch the commit land via the long-poll.
+	done := make(chan spectrum.EpochReport, 1)
+	go func() {
+		rep, err := c.WaitEpoch(ctx, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Tick()
+	select {
+	case rep := <-done:
+		if rep.Epoch != 1 || rep.Arrivals != 2 {
+			t.Fatalf("watched report: %+v", rep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitEpoch never returned")
+	}
+
+	// Replaying the keyed batch is a no-op with identical ids.
+	res2, err := c.SubmitBatch(ctx, []spectrum.Op{
+		{Op: spectrum.OpSubmit, Key: "a", Bid: &spectrum.Bid{Radius: 2, Values: []float64{5, 1}}},
+		{Op: spectrum.OpSubmit, Key: "b", Bid: &spectrum.Bid{Pos: geom.Point{X: 70}, Radius: 2, Values: []float64{2, 6}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res2.Results {
+		if !r.Replayed || r.ID != res.Results[i].ID {
+			t.Fatalf("replay result %d: %+v (original %+v)", i, r, res.Results[i])
+		}
+	}
+
+	// Watch channel streams subsequent commits.
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := c.Watch(wctx, 1)
+	b.Tick()
+	select {
+	case rep := <-ch:
+		if rep.Epoch != 2 {
+			t.Fatalf("streamed epoch %d, want 2", rep.Epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch channel never delivered")
+	}
+	cancel()
+	if _, open := <-ch; open {
+		// One buffered event may still flush; the channel must close after.
+		if _, open := <-ch; open {
+			t.Fatal("Watch channel not closed after cancel")
+		}
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	_, c := newBrokerServer(t, broker.Config{K: 2, MaxBidders: 1})
+
+	// 400 → ErrBadRequest.
+	if _, err := c.Submit(ctx, spectrum.Bid{Radius: 2, Values: []float64{1}}); !errors.Is(err, spectrum.ErrBadRequest) {
+		t.Fatalf("bad bid error: %v", err)
+	}
+	// 404 → ErrNotFound (unknown id and disabled prices).
+	if _, err := c.Bid(ctx, 999); !errors.Is(err, spectrum.ErrNotFound) {
+		t.Fatalf("unknown id error: %v", err)
+	}
+	if _, err := c.Prices(ctx); !errors.Is(err, spectrum.ErrNotFound) {
+		t.Fatalf("disabled prices error: %v", err)
+	}
+	// 429 → ErrFull.
+	if _, err := c.Submit(ctx, spectrum.Bid{Radius: 2, Values: []float64{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, spectrum.Bid{Radius: 2, Values: []float64{2, 2}}); !errors.Is(err, spectrum.ErrFull) {
+		t.Fatalf("full market error: %v", err)
+	}
+	// 413 → ErrTooLarge (batch over the op limit).
+	ops := make([]spectrum.Op, 257)
+	for i := range ops {
+		ops[i] = spectrum.Op{Op: spectrum.OpSubmit, Bid: &spectrum.Bid{Radius: 1, Values: []float64{1, 1}}}
+	}
+	if _, err := c.SubmitBatch(ctx, ops); !errors.Is(err, spectrum.ErrTooLarge) {
+		t.Fatalf("oversized batch error: %v", err)
+	}
+	// The category error still exposes the server's message.
+	var ae *spectrum.APIError
+	_, err := c.Bid(ctx, 999)
+	if !errors.As(err, &ae) || ae.Code != http.StatusNotFound || ae.Msg == "" {
+		t.Fatalf("APIError unwrap: %v", err)
+	}
+}
+
+// TestClientRetries: idempotent requests are retried past transient 5xxs;
+// mutations and 4xxs are not.
+func TestClientRetries(t *testing.T) {
+	ctx := context.Background()
+	var gets, posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			if gets.Add(1) <= 2 {
+				http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"epoch":3,"welfare":1,"winners":[]}`))
+			return
+		}
+		posts.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := spectrum.NewClient(srv.URL, spectrum.WithRetries(3), spectrum.WithBackoff(time.Millisecond))
+
+	alloc, err := c.Allocation(ctx)
+	if err != nil || alloc.Epoch != 3 {
+		t.Fatalf("allocation after retries: %+v, %v (gets=%d)", alloc, err, gets.Load())
+	}
+	if gets.Load() != 3 {
+		t.Fatalf("GET attempts = %d, want 3", gets.Load())
+	}
+	// A keyless mutation is never retried.
+	if _, err := c.Submit(ctx, spectrum.Bid{Radius: 1, Values: []float64{1}}); !errors.Is(err, spectrum.ErrServer) {
+		t.Fatalf("server error category: %v", err)
+	}
+	if posts.Load() != 1 {
+		t.Fatalf("POST attempts = %d, want 1 (no mutation retry)", posts.Load())
+	}
+}

@@ -1,0 +1,276 @@
+// Package spectrum is the public client SDK and wire schema of the live
+// spectrum broker (internal/broker, served by cmd/brokerd).
+//
+// The package has two halves:
+//
+//   - the wire types — Bid, Values, XORAtom, the batch mutation list
+//     (Op/OpResult), the epoch-commit event (EpochReport), and the query
+//     bodies. internal/broker aliases its own exported types onto these, so
+//     the server and every client marshal the same bytes by construction;
+//   - Client, a typed HTTP client over the versioned /v1 surface: single
+//     mutations, ordered batch mutations with idempotency keys, allocation
+//     and price queries, and epoch-watch streaming (long-poll).
+//
+// Every consumer in this repository — brokerd's -selftest, the E18
+// experiment, the broker equivalence tests, the bench harness, and the
+// cmd/brokerload generator — drives the broker through this one package.
+package spectrum
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// BidderID identifies one submitted bid for its lifetime.
+type BidderID int64
+
+// Point is a point in the plane (the disk models' transmitter position).
+type Point = geom.Point
+
+// Link is the sender→receiver pair of the link interference models.
+type Link = geom.Link
+
+// Status describes what the broker currently knows about a bidder id.
+type Status string
+
+// Bidder states.
+const (
+	// StatusPending: submitted, takes effect at the next epoch tick.
+	StatusPending Status = "pending"
+	// StatusActive: in the market (allocated or not).
+	StatusActive Status = "active"
+	// StatusGone: withdrawn, departed, or otherwise no longer tracked.
+	StatusGone Status = "gone"
+	// StatusUnknown: an id the broker never issued.
+	StatusUnknown Status = "unknown"
+)
+
+// Bid is one secondary user's submission: model-specific geometry plus a
+// valuation. Transmitter models (disk, distance-2) take Pos and Radius; link
+// models (protocol, IEEE 802.11) take Link. Exactly one of Values (additive
+// per-channel values) and XOR (atomic XOR bids) must be set.
+type Bid struct {
+	// Pos and Radius place a transmitter's interference disk (disk and
+	// distance-2 models).
+	Pos    Point   `json:"pos"`
+	Radius float64 `json:"radius,omitempty"`
+	// Link is the sender→receiver pair of the link models.
+	Link *Link `json:"link,omitempty"`
+	// Values are additive per-channel values (length K).
+	Values []float64 `json:"values,omitempty"`
+	// XOR lists the atomic bids of an XOR valuation: a bundle is worth the
+	// best atom it contains.
+	XOR []XORAtom `json:"xor,omitempty"`
+}
+
+// XORAtom is one atomic bid of an XOR valuation on the wire.
+type XORAtom struct {
+	Channels []int   `json:"channels"`
+	Value    float64 `json:"value"`
+}
+
+// Values is the wire form of a valuation (used standalone by updates):
+// exactly one of Additive and XOR set.
+type Values struct {
+	Additive []float64 `json:"values,omitempty"`
+	XOR      []XORAtom `json:"xor,omitempty"`
+}
+
+// Additive wraps additive per-channel values for an update.
+func Additive(values []float64) Values { return Values{Additive: values} }
+
+// XORValues wraps XOR atoms for an update.
+func XORValues(atoms []XORAtom) Values { return Values{XOR: atoms} }
+
+// XORFromAdditive derives a small XOR atom list from additive per-channel
+// values: the best single channel, the best pair, and the full positive
+// support, each valued additively. Returns nil when no channel has positive
+// value (no expressible XOR bid). The trace replays (E18, brokerd -selftest,
+// the equivalence tests) use it to mix XOR bidders into additive workloads
+// deterministically.
+func XORFromAdditive(values []float64) []XORAtom {
+	type cv struct {
+		j int
+		v float64
+	}
+	var pos []cv
+	for j, v := range values {
+		if v > 0 {
+			pos = append(pos, cv{j, v})
+		}
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	sort.Slice(pos, func(i, j int) bool {
+		if pos[i].v != pos[j].v {
+			return pos[i].v > pos[j].v
+		}
+		return pos[i].j < pos[j].j
+	})
+	atoms := []XORAtom{{Channels: []int{pos[0].j}, Value: pos[0].v}}
+	if len(pos) >= 2 {
+		atoms = append(atoms, XORAtom{
+			Channels: []int{pos[0].j, pos[1].j},
+			Value:    pos[0].v + pos[1].v,
+		})
+	}
+	if len(pos) >= 3 {
+		all := make([]int, len(pos))
+		sum := 0.0
+		for i, c := range pos {
+			all[i] = c.j
+			sum += c.v
+		}
+		atoms = append(atoms, XORAtom{Channels: all, Value: sum})
+	}
+	return atoms
+}
+
+// MixedTraceValues is the shared XOR-mixing convention of the trace replays:
+// every 4th trace id bids XORFromAdditive of its values (falling back to
+// additive when no channel is positive), everyone else bids additively.
+// brokerd -selftest, experiment E18, the cross-backend equivalence tests, and
+// cmd/brokerload all translate through this one function so they cannot
+// drift apart in what they exercise.
+func MixedTraceValues(tid int, values []float64) Values {
+	if tid%4 == 3 {
+		if atoms := XORFromAdditive(values); atoms != nil {
+			return XORValues(atoms)
+		}
+	}
+	return Additive(values)
+}
+
+// Mutation op kinds of the /v1/batch endpoint.
+const (
+	OpSubmit   = "submit"
+	OpUpdate   = "update"
+	OpMove     = "move"
+	OpWithdraw = "withdraw"
+)
+
+// Op is one mutation inside a POST /v1/batch request. Ops are applied to the
+// epoch queue in list order. Key is an optional client-supplied idempotency
+// key: replaying a batch containing an already-seen key returns the stored
+// result for that item instead of enqueuing it again.
+type Op struct {
+	// Op is one of "submit", "update", "move", "withdraw".
+	Op string `json:"op"`
+	// ID names the bidder for update/move/withdraw ops.
+	ID BidderID `json:"id,omitempty"`
+	// Key is the optional idempotency key.
+	Key string `json:"key,omitempty"`
+	// Bid carries a submit's full bid, or a move's new geometry (no values).
+	Bid *Bid `json:"bid,omitempty"`
+	// Values carries an update's new valuation.
+	Values *Values `json:"values,omitempty"`
+}
+
+// OpResult is the per-item outcome of a batch mutation, at the same index as
+// its Op. Code is the item's HTTP-style status (202 accepted; 4xx otherwise),
+// so partial failures are reported without failing the whole request.
+type OpResult struct {
+	// ID is the bidder the op applied to (for submits, the newly issued id).
+	ID BidderID `json:"id,omitempty"`
+	// Status is the bidder's state right now (pending until the tick).
+	Status Status `json:"status,omitempty"`
+	// Code is the HTTP-style status of this item: 202 on acceptance.
+	Code int `json:"code"`
+	// Error is the rejection reason when Code is not 202.
+	Error string `json:"error,omitempty"`
+	// Replayed marks a result served from the idempotency-key store rather
+	// than a fresh enqueue.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// OK reports whether the item was accepted (fresh or replayed).
+func (r OpResult) OK() bool { return r.Code == 202 }
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Ops []Op `json:"ops"`
+}
+
+// BatchResponse is the POST /v1/batch response: the last completed epoch
+// (accepted mutations land in epoch+1) and one result per op, in order.
+type BatchResponse struct {
+	Epoch   int        `json:"epoch"`
+	Results []OpResult `json:"results"`
+}
+
+// Accepted is the 202 body of every queued single-mutation request.
+type Accepted struct {
+	ID BidderID `json:"id"`
+	// Status is the bidder's state right now (pending until the tick).
+	Status Status `json:"status"`
+	// Epoch is the last completed epoch; the mutation lands in epoch+1.
+	Epoch int `json:"epoch"`
+}
+
+// BidState is the GET /v1/bids/{id} body.
+type BidState struct {
+	ID       BidderID `json:"id"`
+	Status   Status   `json:"status"`
+	Channels []int    `json:"channels"`
+	Value    float64  `json:"value"`
+	Price    float64  `json:"price,omitempty"`
+	Epoch    int      `json:"epoch"`
+}
+
+// Winner is one row of the committed allocation.
+type Winner struct {
+	ID       BidderID `json:"id"`
+	Channels []int    `json:"channels"`
+	Value    float64  `json:"value"`
+}
+
+// Allocation is the GET /v1/allocation body: the last committed epoch's
+// winners and total welfare.
+type Allocation struct {
+	Epoch   int      `json:"epoch"`
+	Welfare float64  `json:"welfare"`
+	Winners []Winner `json:"winners"`
+}
+
+// Prices is the GET /v1/prices body. Keys are decimal bidder ids (JSON
+// object keys are strings).
+type Prices struct {
+	Epoch  int                `json:"epoch"`
+	Prices map[string]float64 `json:"prices"`
+}
+
+// EpochReport summarizes one committed broker epoch. It is the payload of
+// GET /v1/watch events and the per-epoch section of /v1/metrics.
+type EpochReport struct {
+	Epoch      int `json:"epoch"`
+	Active     int `json:"active"`
+	Arrivals   int `json:"arrivals"`
+	Departures int `json:"departures"`
+	Updates    int `json:"updates"`
+	Moves      int `json:"moves"`
+	// Components is the epoch's component count; Clean of them were served
+	// entirely from cache, WarmResolves re-solved on a persistent master
+	// (valuation-only change), Rebuilds built a fresh (pool-seeded) master.
+	Components   int `json:"components"`
+	Clean        int `json:"clean"`
+	WarmResolves int `json:"warm_resolves"`
+	Rebuilds     int `json:"rebuilds"`
+	// ColumnsGenerated sums the column-generation work of the epoch's
+	// re-solved components; PoolAdded counts new bundles entering the pool.
+	ColumnsGenerated int `json:"columns_generated"`
+	PoolAdded        int `json:"pool_added"`
+	// LPValue is the summed fractional optimum, Welfare the committed
+	// allocation's welfare, HalfChosen the size-decomposition half picked
+	// globally this epoch.
+	LPValue    float64 `json:"lp_value"`
+	Welfare    float64 `json:"welfare"`
+	HalfChosen int     `json:"half_chosen"`
+	Alg3Iters  int     `json:"alg3_iters"`
+	Errors     int     `json:"errors"`
+	// Latency is the epoch's wall-clock solve-and-commit latency
+	// (marshalled as integer nanoseconds).
+	Latency time.Duration `json:"latency_ns"`
+}

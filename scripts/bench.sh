@@ -11,11 +11,14 @@
 # broker's steady-state epoch, warm (component cache + persistent masters +
 # column pool) vs cold (rebuild everything each epoch); BENCH_4.json splits
 # the broker epoch benchmarks per interference backend
-# (BenchmarkBrokerEpoch{Warm,Cold}/{disk,distance2,protocol,ieee80211}).
+# (BenchmarkBrokerEpoch{Warm,Cold}/{disk,distance2,protocol,ieee80211});
+# BENCH_5.json adds the /v1 ingestion paths
+# (BenchmarkBatchSubmit/{per-request,batch64}: one POST /v1/batch of 64 ops
+# vs 64 individual requests, both through the pkg/spectrum SDK).
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 # A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
@@ -26,6 +29,6 @@ if [ -e "$out" ] && [ "${FORCE:-0}" != "1" ]; then
 fi
 
 go test -run '^$' -count 1 -benchmem \
-  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch' \
+  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch|BenchmarkBatchSubmit' \
   . | go run ./cmd/benchjson -label "$label" > "$out"
 echo "bench: wrote $out" >&2
