@@ -25,6 +25,15 @@
 //	curl -s -X POST localhost:8080/v1/bids \
 //	     -d '{"link":{"sender":{"x":0,"y":0},"receiver":{"x":5,"y":2}},"xor":[{"channels":[0,1],"value":9}]}'
 //
+// With -data-dir the broker is durable: every committed epoch is appended
+// to a write-ahead op journal (fsynced per -sync), periodically folded into
+// a full-market snapshot (-snapshot-every), and on startup the newest valid
+// snapshot plus the journal tail are replayed so the market resumes exactly
+// where the previous process died:
+//
+//	brokerd -data-dir /var/lib/brokerd -sync always
+//	curl -s localhost:8080/healthz          # {"status":"ok",...,"recovered_epoch":N}
+//
 // -selftest replays a churn trace from the shared generator (internal/
 // market's GenTrace — the same workload market.Run and experiments E17/E18
 // use) through the full HTTP stack for the given duration under EVERY
@@ -33,7 +42,10 @@
 // final committed allocation against a from-scratch solve of its snapshot.
 // The replay drives the daemon exclusively through the public SDK
 // (pkg/spectrum): each trace step is one POST /v1/batch, and quiescing rides
-// the /v1/watch long-poll.
+// the /v1/watch long-poll. Each selftest backend runs journaled into a
+// temporary data directory; after the from-scratch check the broker is
+// hard-killed and restored from its journal, and the restored allocation,
+// prices, and epoch must match the live ones.
 package main
 
 import (
@@ -52,6 +64,7 @@ import (
 
 	"repro/internal/auction"
 	"repro/internal/broker"
+	"repro/internal/journal"
 	"repro/internal/market"
 	"repro/internal/serialize"
 	"repro/internal/valuation"
@@ -70,11 +83,21 @@ func main() {
 		prices     = flag.Bool("prices", false, "serve Lavi–Swamy payments per epoch (costlier)")
 		cold       = flag.Bool("cold", false, "disable caching and warm starts (reference mode)")
 		verbose    = flag.Bool("v", false, "log every epoch report")
-		selftest   = flag.Duration("selftest", 0, "replay the built-in load generator for this long per interference backend, verify each, and exit")
+		dataDir    = flag.String("data-dir", "", "directory for the write-ahead op journal and snapshots; empty runs in-memory only (a crash loses the market)")
+		syncMode   = flag.String("sync", "always", "journal fsync policy: always (per epoch), interval (per -sync-every), or none")
+		syncEvery  = flag.Duration("sync-every", 100*time.Millisecond, "fsync window of -sync interval")
+		snapEvery  = flag.Int("snapshot-every", 512, "epochs between full-market snapshots (journal truncation); negative disables")
+		selftest   = flag.Duration("selftest", 0, "replay the built-in load generator for this long per interference backend, verify each (incl. a journal kill/restore round-trip), and exit")
 		seed       = flag.Int64("seed", 1, "selftest trace seed")
 		rate       = flag.Float64("rate", 6, "selftest mean arrivals per trace epoch")
 	)
 	flag.Parse()
+
+	syncPol, err := journal.ParseSyncPolicy(*syncMode)
+	if err != nil {
+		log.Fatalf("brokerd: %v", err)
+	}
+	jopts := journal.Options{Sync: syncPol, SyncInterval: *syncEvery, SnapshotEvery: *snapEvery}
 
 	if *selftest > 0 {
 		for _, name := range broker.ModelNames() {
@@ -94,19 +117,36 @@ func main() {
 		os.Exit(0)
 	}
 
-	cm, err := broker.ModelByName(*model, *delta)
-	if err != nil {
-		log.Fatalf("brokerd: %v", err)
+	factory := func() (*broker.Broker, error) {
+		cm, err := broker.ModelByName(*model, *delta)
+		if err != nil {
+			return nil, err
+		}
+		return broker.New(broker.Config{
+			K:          *k,
+			Model:      cm,
+			Workers:    *workers,
+			MaxBidders: *maxBidders,
+			Prices:     *prices,
+			Cold:       *cold,
+		})
 	}
-	b, err := broker.New(broker.Config{
-		K:          *k,
-		Model:      cm,
-		Workers:    *workers,
-		MaxBidders: *maxBidders,
-		Prices:     *prices,
-		Cold:       *cold,
-	})
-	if err != nil {
+
+	var (
+		b *broker.Broker
+		w *journal.Writer
+	)
+	var handlerOpts []broker.HandlerOption
+	if *dataDir != "" {
+		var rec *journal.Recovery
+		b, w, rec, err = journal.Open(*dataDir, factory, jopts)
+		if err != nil {
+			log.Fatalf("brokerd: open journal: %v", err)
+		}
+		log.Printf("brokerd: recovered %s: snapshot epoch %d + %d journal records → epoch %d (torn tail %dB, %d orphans removed)",
+			*dataDir, rec.SnapshotEpoch, rec.Records, rec.Epoch, rec.TornBytes, len(rec.Orphans))
+		handlerOpts = append(handlerOpts, broker.WithJournalMetrics(func() any { return w.Stats() }))
+	} else if b, err = factory(); err != nil {
 		log.Fatalf("brokerd: %v", err)
 	}
 
@@ -114,14 +154,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("brokerd: listen %s: %v", *addr, err)
 	}
-	srv := &http.Server{Handler: broker.NewHandler(b)}
+	srv := &http.Server{Handler: broker.NewHandler(b, handlerOpts...)}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("brokerd: serve: %v", err)
 		}
 	}()
-	log.Printf("brokerd: serving on %s (model=%s k=%d epoch=%s cold=%v prices=%v)",
-		ln.Addr(), cm.Name(), *k, *epoch, *cold, *prices)
+	log.Printf("brokerd: serving on %s (model=%s k=%d epoch=%s cold=%v prices=%v durable=%v)",
+		ln.Addr(), b.Model().Name(), *k, *epoch, *cold, *prices, *dataDir != "")
 
 	stopTicker := make(chan struct{})
 	tickerDone := make(chan struct{})
@@ -135,6 +175,13 @@ func main() {
 				return
 			case <-t.C:
 				rep := b.Tick()
+				if w != nil {
+					if err := w.Err(); err != nil {
+						// A failed journal means acknowledged commits would be
+						// silently volatile; refuse to limp along.
+						log.Fatalf("brokerd: journal failed at epoch %d: %v", rep.Epoch, err)
+					}
+				}
 				if *verbose {
 					log.Printf("epoch %d: active=%d comps=%d (clean=%d warm=%d rebuilt=%d) welfare=%.2f lp=%.2f half=%d lat=%s",
 						rep.Epoch, rep.Active, rep.Components, rep.Clean, rep.WarmResolves,
@@ -155,24 +202,44 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("brokerd: shutdown: %v", err)
 	}
+	if w != nil {
+		// Fold the tail into a snapshot so the next start replays nothing.
+		if err := w.SnapshotNow(); err != nil {
+			log.Printf("brokerd: shutdown snapshot: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			log.Printf("brokerd: close journal: %v", err)
+		}
+	}
 	m := b.Metrics()
 	log.Printf("brokerd: stopped after %d epochs: %d submitted, %d withdrawn, %d updated, total welfare %.2f (clean=%d warm=%d rebuilt=%d)",
 		m.Epochs, m.Submitted, m.Withdrawn, m.Updated, m.TotalWelfare,
 		m.CleanTotal, m.WarmTotal, m.RebuildTotal)
 }
 
-// selftestBackend stands up a complete daemon — a broker built from the
-// CLI-configured Config (so -cold, -prices, and -max-bidders apply to the
-// selftest too) with the named interference backend, TCP listener, HTTP
-// server, epoch ticker — replays a trace against it, verifies, and tears it
-// down.
+// selftestBackend stands up a complete durable daemon — a broker built from
+// the CLI-configured Config (so -cold, -prices, and -max-bidders apply to
+// the selftest too) with the named interference backend, a journal in a
+// temporary data directory, TCP listener, HTTP server, epoch ticker —
+// replays a trace against it, verifies, then hard-kills the broker and
+// checks that the journal restores it exactly.
 func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch time.Duration, seed int64, rate float64) error {
-	cm, err := broker.ModelByName(name, delta)
+	factory := func() (*broker.Broker, error) {
+		cm, err := broker.ModelByName(name, delta)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Model = cm
+		return broker.New(c)
+	}
+	dir, err := os.MkdirTemp("", "brokerd-selftest-"+name+"-")
 	if err != nil {
 		return err
 	}
-	cfg.Model = cm
-	b, err := broker.New(cfg)
+	defer os.RemoveAll(dir)
+	// A small snapshot interval so the selftest exercises truncation too.
+	b, w, _, err := journal.Open(dir, factory, journal.Options{Sync: journal.SyncAlways, SnapshotEvery: 64})
 	if err != nil {
 		return err
 	}
@@ -180,7 +247,7 @@ func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch t
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: broker.NewHandler(b)}
+	srv := &http.Server{Handler: broker.NewHandler(b, broker.WithJournalMetrics(func() any { return w.Stats() }))}
 	serveErr := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -214,7 +281,61 @@ func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch t
 	if err := <-serveErr; err != nil && runErr == nil {
 		runErr = err
 	}
+	if runErr == nil {
+		runErr = verifyRestore(b, w, dir, factory, cfg.Prices)
+	}
 	return runErr
+}
+
+// verifyRestore hard-kills the journaled broker (no clean close, no final
+// snapshot — exactly what a crash leaves) and restores a fresh broker from
+// the data directory, asserting the restored epoch, per-bidder allocation,
+// and prices are identical to what the live broker was serving. Ticking
+// must already be stopped.
+func verifyRestore(b *broker.Broker, w *journal.Writer, dir string, factory func() (*broker.Broker, error), prices bool) error {
+	if err := w.Err(); err != nil {
+		return fmt.Errorf("journal failed during selftest: %w", err)
+	}
+	_, ids, epoch, err := b.Snapshot()
+	if err != nil {
+		return err
+	}
+	w.Abort() // the kill
+
+	rb, rec, err := journal.Recover(dir, factory)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	if rb.Epoch() != epoch {
+		return fmt.Errorf("restored epoch %d, live broker was at %d", rb.Epoch(), epoch)
+	}
+	if re, ok := rb.RecoveredEpoch(); !ok || re != epoch {
+		return fmt.Errorf("restored broker reports recovery epoch %d (ok=%v), want %d", re, ok, epoch)
+	}
+	_, rids, _, err := rb.Snapshot()
+	if err != nil {
+		return err
+	}
+	if len(rids) != len(ids) {
+		return fmt.Errorf("restored %d bidders, live had %d", len(rids), len(ids))
+	}
+	for _, id := range ids {
+		lt, lst := b.Allocation(id)
+		rt, rst := rb.Allocation(id)
+		if lst != rst || lt != rt {
+			return fmt.Errorf("bidder %d: restored %v/%v, live %v/%v", id, rt, rst, lt, lst)
+		}
+		if prices {
+			lp, _ := b.Price(id)
+			rp, _ := rb.Price(id)
+			if math.Abs(lp-rp) > 1e-9*(1+math.Abs(lp)) {
+				return fmt.Errorf("bidder %d: restored price %.12f, live %.12f", id, rp, lp)
+			}
+		}
+	}
+	log.Printf("selftest[%s]: kill/restore ok: snapshot epoch %d + %d records → epoch %d, %d bidders identical",
+		b.Model().Name(), rec.SnapshotEpoch, rec.Records, rec.Epoch, len(rids))
+	return nil
 }
 
 // runSelftest drives the broker exclusively through the public SDK
@@ -225,13 +346,18 @@ func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch t
 // keeps closing epochs underneath. Every 4th arrival bids in the XOR
 // language. When the duration is spent the load stops, the market quiesces
 // (observed through the /v1/watch long-poll), and the final committed
-// allocation is checked against a from-scratch auction.Solve of the final
+// allocation is checked against a from-scratch solve of the final
 // snapshot — the live equivalent of the equivalence tests in internal/broker.
 func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Duration, seed int64, rate float64, k int) error {
 	ctx := context.Background()
 	// No http.Client timeout: the /v1/watch long-poll legitimately holds a
 	// request open; per-call contexts bound everything instead.
 	client := spectrum.NewClient(base)
+	if h, err := client.Health(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	} else if !h.Durable {
+		return fmt.Errorf("healthz reports durable=%v for a journaled broker", h.Durable)
+	}
 	deadline := time.Now().Add(dur)
 	traceEpochs := int(dur/epoch) + 16
 	tr := market.GenTrace(market.TraceConfig{
@@ -333,6 +459,9 @@ func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Du
 		}
 	}
 	m := b.Metrics()
+	if m.JournalErrors != 0 {
+		return fmt.Errorf("%d journal errors during selftest", m.JournalErrors)
+	}
 	log.Printf("selftest[%s]: %d trace epochs driven, %d submitted (%d XOR), %d withdrawn, %d updated; %d broker epochs (clean=%d warm=%d rebuilt=%d); final n=%d welfare=%.2f == from-scratch",
 		b.Model().Name(), replay.Epoch(), submitted, xors, withdrawn, updated, m.Epochs, m.CleanTotal, m.WarmTotal, m.RebuildTotal, in.N(), welfare)
 	// Emit the snapshot size as a sanity line (also proves serialize works

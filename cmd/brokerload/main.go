@@ -17,6 +17,15 @@
 //
 // -batch 0 issues every mutation as its own HTTP request (the per-request
 // path the batch endpoint is benchmarked against).
+//
+// -kill-after is the restart-under-load smoke (CI runs it): the -local
+// broker is journaled (into -data-dir or a temp directory), and every
+// interval the supervisor hard-kills it mid-load — no clean close, no final
+// snapshot — restores a fresh broker from the journal on the same address,
+// verifies the restored epoch and per-bidder allocation are identical to
+// the committed state at the instant of the kill, and resumes the load:
+//
+//	brokerload -local -kill-after 500ms -pace 20ms -epochs 30
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/journal"
 	"repro/internal/market"
 	"repro/pkg/spectrum"
 )
@@ -52,43 +62,47 @@ func main() {
 		pace        = flag.Duration("pace", 0, "sleep between trace steps (0 = replay as fast as possible)")
 		epoch       = flag.Duration("epoch", 100*time.Millisecond, "tick interval of the -local broker")
 		maxBidders  = flag.Int("max-bidders", 4096, "population cap of the -local broker")
+		killAfter   = flag.Duration("kill-after", 0, "with -local: hard-kill the broker at this interval, restore it from its journal on the same address, verify, and resume (restart-under-load smoke)")
+		dataDir     = flag.String("data-dir", "", "journal directory of the -local broker (default with -kill-after: a temp dir)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
 
+	if *killAfter > 0 && !*local {
+		log.Fatal("brokerload: -kill-after requires -local (it must own the broker it kills)")
+	}
+
+	// gate serializes the kill/restore window against in-flight load: every
+	// client request holds it shared, the supervisor takes it exclusively.
+	var gate sync.RWMutex
+
 	base := *addr
+	var stack *localStack
 	if *local {
-		cm, err := broker.ModelByName(*model, *delta)
-		if err != nil {
-			log.Fatalf("brokerload: %v", err)
-		}
-		b, err := broker.New(broker.Config{K: *k, Model: cm, MaxBidders: *maxBidders})
-		if err != nil {
-			log.Fatalf("brokerload: %v", err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatalf("brokerload: %v", err)
-		}
-		srv := &http.Server{Handler: broker.NewHandler(b)}
-		go srv.Serve(ln)
-		defer srv.Close()
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			t := time.NewTicker(*epoch)
-			defer t.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-t.C:
-					b.Tick()
-				}
+		factory := func() (*broker.Broker, error) {
+			cm, err := broker.ModelByName(*model, *delta)
+			if err != nil {
+				return nil, err
 			}
-		}()
-		base = fmt.Sprintf("http://%s", ln.Addr())
-		log.Printf("brokerload: local broker on %s (model=%s k=%d epoch=%s)", base, cm.Name(), *k, *epoch)
+			return broker.New(broker.Config{K: *k, Model: cm, MaxBidders: *maxBidders})
+		}
+		dir := *dataDir
+		if dir == "" && *killAfter > 0 {
+			tmp, err := os.MkdirTemp("", "brokerload-journal-")
+			if err != nil {
+				log.Fatalf("brokerload: %v", err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		stack = &localStack{factory: factory, dir: dir, addr: "127.0.0.1:0", tick: *epoch}
+		if err := stack.start(); err != nil {
+			log.Fatalf("brokerload: %v", err)
+		}
+		defer stack.shutdown()
+		base = "http://" + stack.addr
+		log.Printf("brokerload: local broker on %s (model=%s k=%d epoch=%s durable=%v)",
+			base, stack.b.Model().Name(), *k, *epoch, dir != "")
 	}
 	if base == "" {
 		log.Fatal("brokerload: pass -addr or -local")
@@ -98,7 +112,8 @@ func main() {
 	client := spectrum.NewClient(base)
 
 	// Watch epoch commits for the whole run; the server reports its own
-	// solve-and-commit latency per epoch.
+	// solve-and-commit latency per epoch. In kill mode the stream breaks at
+	// every kill, so the watcher reconnects until told to stop.
 	wctx, wcancel := context.WithCancel(ctx)
 	var watch struct {
 		sync.Mutex
@@ -110,17 +125,52 @@ func main() {
 	watchDone := make(chan struct{})
 	go func() {
 		defer close(watchDone)
-		for rep := range client.Watch(wctx, -1) {
-			watch.Lock()
-			watch.epochs++
-			watch.total += rep.Latency
-			if rep.Latency > watch.max {
-				watch.max = rep.Latency
+		since := -1
+		for {
+			for rep := range client.Watch(wctx, since) {
+				since = rep.Epoch
+				watch.Lock()
+				watch.epochs++
+				watch.total += rep.Latency
+				if rep.Latency > watch.max {
+					watch.max = rep.Latency
+				}
+				watch.welfare = rep.Welfare
+				watch.Unlock()
 			}
-			watch.welfare = rep.Welfare
-			watch.Unlock()
+			if wctx.Err() != nil || *killAfter == 0 {
+				return
+			}
+			// The server is mid-restart; the gate opens when it is back.
+			gate.RLock()
+			gate.RUnlock() //lint:ignore SA2001 the lock itself is the wait
 		}
 	}()
+
+	// The kill/restore supervisor.
+	restarts := 0
+	var killErr error
+	killCtx, killCancel := context.WithCancel(ctx)
+	killerDone := make(chan struct{})
+	if *killAfter > 0 {
+		go func() {
+			defer close(killerDone)
+			for {
+				select {
+				case <-killCtx.Done():
+					return
+				case <-time.After(*killAfter):
+				}
+				if err := killRestore(stack, &gate); err != nil {
+					killErr = err
+					return
+				}
+				restarts++
+			}
+		}()
+	} else {
+		close(killerDone)
+	}
 
 	var agg struct {
 		sync.Mutex
@@ -139,12 +189,25 @@ func main() {
 			if err := runWorker(ctx, client, workerConfig{
 				seed: *seed + int64(w), epochs: *epochs, k: *k, rate: *rate,
 				model: *model, batch: *batch, pace: *pace,
-			}, &agg.Mutex, &agg.mutations, &agg.requests, &agg.lat); err != nil {
+			}, &gate, &agg.Mutex, &agg.mutations, &agg.requests, &agg.lat); err != nil {
 				errs <- fmt.Errorf("worker %d: %w", w, err)
 			}
 		}()
 	}
 	wg.Wait()
+	killCancel()
+	<-killerDone
+	if killErr != nil {
+		log.Fatalf("brokerload: kill/restore: %v", killErr)
+	}
+	// The smoke must actually smoke: if the load drained before the first
+	// kill window elapsed, force one kill/restore round-trip now.
+	if *killAfter > 0 && restarts == 0 {
+		if err := killRestore(stack, &gate); err != nil {
+			log.Fatalf("brokerload: kill/restore: %v", err)
+		}
+		restarts++
+	}
 	elapsed := time.Since(start)
 	// Leave the watcher one more epoch to observe the tail, then stop it.
 	time.Sleep(2 * *epoch)
@@ -178,6 +241,9 @@ func main() {
 		"req_p95_ns":      pct(0.95).Nanoseconds(),
 		"req_max_ns":      pct(1.0).Nanoseconds(),
 	}
+	if *killAfter > 0 {
+		report["restarts"] = restarts
+	}
 	watch.Lock()
 	report["epochs_committed"] = watch.epochs
 	meanCommit := time.Duration(0)
@@ -206,6 +272,142 @@ func main() {
 	fmt.Printf("  epochs committed: %d, commit latency mean %s max %s, last welfare %.2f\n",
 		report["epochs_committed"], meanCommit.Round(10*time.Microsecond),
 		watch.max.Round(10*time.Microsecond), report["final_welfare"])
+	if *killAfter > 0 {
+		fmt.Printf("  kill/restore round-trips: %d (all verified allocation-identical)\n", restarts)
+	}
+}
+
+// localStack is the restartable in-process daemon of -local: broker
+// (journaled when dir is set), HTTP server, and ticker. start brings all
+// three up; crash tears them down the way a kill would (no sync, no
+// snapshot); restarts rebind the same address.
+type localStack struct {
+	factory func() (*broker.Broker, error)
+	dir     string
+	addr    string
+	tick    time.Duration
+
+	b    *broker.Broker
+	w    *journal.Writer
+	srv  *http.Server
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (s *localStack) start() error {
+	var err error
+	if s.dir != "" {
+		s.b, s.w, _, err = journal.Open(s.dir, s.factory, journal.Options{Sync: journal.SyncAlways, SnapshotEvery: 64})
+	} else {
+		s.b, err = s.factory()
+	}
+	if err != nil {
+		return err
+	}
+	var opts []broker.HandlerOption
+	if s.w != nil {
+		w := s.w
+		opts = append(opts, broker.WithJournalMetrics(func() any { return w.Stats() }))
+	}
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", s.addr, err)
+	}
+	s.addr = ln.Addr().String() // pin the port so restarts rebind it
+	s.srv = &http.Server{Handler: broker.NewHandler(s.b, opts...)}
+	go s.srv.Serve(ln)
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func(stop, done chan struct{}, b *broker.Broker) {
+		defer close(done)
+		t := time.NewTicker(s.tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				b.Tick()
+			}
+		}
+	}(s.stop, s.done, s.b)
+	return nil
+}
+
+func (s *localStack) stopTicker() {
+	close(s.stop)
+	<-s.done
+}
+
+// crash kills the running stack as a power cut would: the listener and all
+// in-flight connections are severed, the journal's file handle is dropped
+// without a sync, and the broker is simply abandoned. Ticking must already
+// be stopped.
+func (s *localStack) crash() {
+	s.srv.Close()
+	if s.w != nil {
+		s.w.Abort()
+	}
+	s.b, s.w, s.srv = nil, nil, nil
+}
+
+func (s *localStack) shutdown() {
+	if s.srv == nil {
+		return
+	}
+	s.stopTicker()
+	s.srv.Close()
+	if s.w != nil {
+		s.w.Close()
+	}
+}
+
+// killRestore is one round-trip of the restart smoke: freeze ticking,
+// record the committed state, hard-kill the stack, restore it from the
+// journal on the same address, and verify the restored broker serves the
+// identical epoch and per-bidder allocation.
+func killRestore(s *localStack, gate *sync.RWMutex) error {
+	gate.Lock()
+	defer gate.Unlock()
+	s.stopTicker()
+
+	_, ids, preEpoch, err := s.b.Snapshot()
+	if err != nil {
+		return err
+	}
+	preAlloc := make(map[broker.BidderID]string, len(ids))
+	for _, id := range ids {
+		t, st := s.b.Allocation(id)
+		preAlloc[id] = fmt.Sprintf("%v/%v", t, st)
+	}
+	t0 := time.Now()
+	s.crash()
+
+	if err := s.start(); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	if got := s.b.Epoch(); got != preEpoch {
+		return fmt.Errorf("restored epoch %d, killed at %d", got, preEpoch)
+	}
+	if re, ok := s.b.RecoveredEpoch(); !ok || re != preEpoch {
+		return fmt.Errorf("restored broker reports recovery epoch %d (ok=%v), want %d", re, ok, preEpoch)
+	}
+	_, rids, _, err := s.b.Snapshot()
+	if err != nil {
+		return err
+	}
+	if len(rids) != len(ids) {
+		return fmt.Errorf("restored %d bidders, killed with %d", len(rids), len(ids))
+	}
+	for _, id := range ids {
+		t, st := s.b.Allocation(id)
+		if got := fmt.Sprintf("%v/%v", t, st); got != preAlloc[id] {
+			return fmt.Errorf("bidder %d: restored %s, killed with %s", id, got, preAlloc[id])
+		}
+	}
+	log.Printf("brokerload: killed at epoch %d, restored %d bidders identically in %s",
+		preEpoch, len(ids), time.Since(t0).Round(time.Millisecond))
+	return nil
 }
 
 type workerConfig struct {
@@ -221,7 +423,9 @@ type workerConfig struct {
 // runWorker replays one trace stream through the SDK: each trace step's
 // mutations go out as /v1/batch requests of at most cfg.batch ops (or as
 // individual mutation requests when batch is 0), with every request timed.
-func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig,
+// Each request holds the kill gate shared, so the supervisor's exclusive
+// hold excludes in-flight load during a kill/restore window.
+func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig, gate *sync.RWMutex,
 	mu *sync.Mutex, mutations, requests *int, lat *[]time.Duration) error {
 	tr := market.GenTrace(market.TraceConfig{
 		Seed:          cfg.seed,
@@ -246,12 +450,14 @@ func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig,
 		if cfg.batch > 0 {
 			for len(ops) > 0 {
 				n := min(cfg.batch, len(ops))
+				gate.RLock()
 				t0 := time.Now()
 				res, err := client.SubmitBatch(ctx, ops[:n])
+				d := time.Since(t0)
+				gate.RUnlock()
 				if err != nil {
 					return err
 				}
-				d := time.Since(t0)
 				mu.Lock()
 				*requests++
 				*mutations += n
@@ -262,6 +468,7 @@ func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig,
 			}
 		} else {
 			for _, op := range ops {
+				gate.RLock()
 				t0 := time.Now()
 				var acc spectrum.Accepted
 				switch op.Op {
@@ -274,10 +481,11 @@ func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig,
 				case spectrum.OpWithdraw:
 					acc, err = client.Withdraw(ctx, op.ID)
 				}
+				d := time.Since(t0)
+				gate.RUnlock()
 				if err != nil {
 					return err
 				}
-				d := time.Since(t0)
 				mu.Lock()
 				*requests++
 				*mutations++

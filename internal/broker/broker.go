@@ -272,7 +272,10 @@ type Metrics struct {
 	WarmTotal    int64       `json:"warm_total"`
 	RebuildTotal int64       `json:"rebuild_total"`
 	ErrorsTotal  int64       `json:"errors_total"`
-	Last         EpochReport `json:"last"`
+	// JournalErrors counts epoch commits whose durability hook failed (the
+	// epoch stays committed in memory; the journal is behind).
+	JournalErrors int64       `json:"journal_errors"`
+	Last          EpochReport `json:"last"`
 }
 
 // Broker is the live market. All exported methods are safe for concurrent
@@ -304,8 +307,17 @@ type Broker struct {
 	idem      map[string]spectrum.OpResult
 	idemOrder []string
 
-	// tickMu serializes epoch ticks.
-	tickMu sync.Mutex
+	// tickMu serializes epoch ticks. It also guards onCommit: the hook is
+	// installed and invoked under it, so a hook never observes a half-tick.
+	tickMu   sync.Mutex
+	onCommit func(CommitRecord) error
+
+	// durable mirrors "a commit hook is attached"; recovered holds the epoch
+	// this broker was restored at (-1 = never restored); journalErrs counts
+	// commit-hook failures. All are read lock-free by the HTTP layer.
+	durable     atomic.Bool
+	recovered   atomic.Int64
+	journalErrs atomic.Int64
 
 	// rejected counts refused mutations (bad bids, unknown ids, full market).
 	rejected atomic.Int64
@@ -339,7 +351,7 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.Model == nil {
 		cfg.Model = DiskModel()
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:       cfg,
 		model:     cfg.Model,
 		bidders:   make(map[BidderID]*bidder),
@@ -351,7 +363,9 @@ func New(cfg Config) (*Broker, error) {
 		queuedSub: make(map[BidderID]bool),
 		idem:      make(map[string]spectrum.OpResult),
 		epochCh:   make(chan struct{}),
-	}, nil
+	}
+	b.recovered.Store(-1)
+	return b, nil
 }
 
 // Config returns the broker's configuration.
@@ -772,6 +786,7 @@ func (b *Broker) Metrics() Metrics {
 	defer b.mu.RUnlock()
 	m := b.metrics
 	m.Rejected = b.rejected.Load()
+	m.JournalErrors = b.journalErrs.Load()
 	return m
 }
 
@@ -903,6 +918,10 @@ func (b *Broker) Tick() EpochReport {
 	b.qmu.Lock()
 	ops := b.queue
 	b.queue = nil
+	// The id high-water mark at drain time; journaled with the epoch so a
+	// replay reproduces id assignment exactly (even across submissions that
+	// were cancelled while queued and thus never appear in ops).
+	nextID := b.nextID
 	// Remember withdrawn-before-apply ids so StatusOf answers "gone", and
 	// cancel submissions withdrawn in the same batch.
 	cancelled := make(map[BidderID]bool)
@@ -946,6 +965,9 @@ func (b *Broker) Tick() EpochReport {
 		b.metrics.Last = rep
 		b.notifyEpoch()
 		b.mu.Unlock()
+		// Idle epochs are journaled too (with no ops): the journal's epoch
+		// numbering must stay gap-free for replay to line up.
+		b.fireCommit(rep, nextID, nil)
 		return rep
 	}
 
@@ -982,5 +1004,6 @@ func (b *Broker) Tick() EpochReport {
 	b.metrics.Last = rep
 	b.notifyEpoch()
 	b.mu.Unlock()
+	b.fireCommit(rep, nextID, ops)
 	return rep
 }

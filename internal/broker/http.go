@@ -31,7 +31,7 @@ import (
 //	GET    /v1/prices         Lavi–Swamy payments       → 200 Prices (404 unless -prices)
 //	GET    /v1/snapshot       market as an instance     → 200 {epoch, ids, instance}
 //	GET    /v1/metrics        lifetime metrics          → 200 Metrics
-//	GET    /healthz           liveness                  → 200 {status, epoch}
+//	GET    /healthz           liveness + durability     → 200 Health
 //
 // Every /v1 route is additionally served under its legacy unversioned path
 // (/bids, /allocation, …) as a thin alias, so pre-/v1 clients keep working.
@@ -47,11 +47,25 @@ import (
 type Handler struct {
 	b   *Broker
 	mux *http.ServeMux
+	// journalStats, when set, is merged into /v1/metrics under "journal".
+	journalStats func() any
+}
+
+// HandlerOption configures a Handler.
+type HandlerOption func(*Handler)
+
+// WithJournalMetrics attaches the durability layer's counters: fn's result
+// is served under the "journal" key of /v1/metrics.
+func WithJournalMetrics(fn func() any) HandlerOption {
+	return func(h *Handler) { h.journalStats = fn }
 }
 
 // NewHandler wraps the broker in its HTTP API.
-func NewHandler(b *Broker) *Handler {
+func NewHandler(b *Broker, opts ...HandlerOption) *Handler {
 	h := &Handler{b: b, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(h)
+	}
 	for _, prefix := range []string{"/v1", ""} {
 		h.mux.HandleFunc(prefix+"/bids", methods(map[string]http.HandlerFunc{
 			http.MethodPost: h.submit,
@@ -435,11 +449,14 @@ func (h *Handler) prices(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, spectrum.Prices{Epoch: epoch, Prices: prices})
 }
 
-// snapshotBody wraps the serialized instance with its id mapping.
+// snapshotBody wraps the serialized instance with its id mapping and, for a
+// broker restored from a journal, the epoch recovery finished at.
 type snapshotBody struct {
-	Epoch int             `json:"epoch"`
-	IDs   []BidderID      `json:"ids"`
-	File  *serialize.File `json:"instance"`
+	Epoch          int             `json:"epoch"`
+	IDs            []BidderID      `json:"ids"`
+	File           *serialize.File `json:"instance"`
+	Recovered      bool            `json:"recovered,omitempty"`
+	RecoveredEpoch int             `json:"recovered_epoch,omitempty"`
 }
 
 func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request) {
@@ -456,13 +473,25 @@ func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request) {
 	if ids == nil {
 		ids = []BidderID{}
 	}
-	writeJSON(w, http.StatusOK, snapshotBody{Epoch: epoch, IDs: ids, File: f})
+	body := snapshotBody{Epoch: epoch, IDs: ids, File: f}
+	body.RecoveredEpoch, body.Recovered = h.b.RecoveredEpoch()
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.b.Metrics())
+	m := h.b.Metrics()
+	if h.journalStats == nil {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Metrics
+		Journal any `json:"journal"`
+	}{m, h.journalStats()})
 }
 
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": h.b.Epoch()})
+	body := spectrum.Health{Status: "ok", Epoch: h.b.Epoch(), Durable: h.b.Durable()}
+	body.RecoveredEpoch, body.Recovered = h.b.RecoveredEpoch()
+	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,290 @@
+package broker
+
+// The durability surface of the broker: a commit hook that hands every
+// committed epoch's applied mutations to a write-ahead journal, and the
+// replay entry points a restore path uses to rebuild a broker from a
+// snapshot plus a journal tail (internal/journal owns the files; this file
+// owns the state machine).
+//
+// The recovery invariant extends the repo's standing equivalence
+// discipline: because the committed allocation is pinned to be identical to
+// a from-scratch solve of the epoch's snapshot — independent of cache,
+// pool, and warm-start state — a broker rebuilt by replaying the same op
+// sequence commits the same allocation, prices, and epoch as the broker
+// that lived through it, even though the rebuilt broker's caches start
+// empty. The crash-injection suite in internal/journal asserts exactly
+// this, per interference backend, at every injected fault point.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/serialize"
+	"repro/pkg/spectrum"
+)
+
+// CommitRecord describes one committed epoch to the durability layer: the
+// epoch number, the mutation-queue high-water id at drain time (so replay
+// reproduces id assignment even across submissions cancelled while queued),
+// and the applied ops in queue order. Submit ops carry the bidder id they
+// were assigned, so replay pins ids instead of re-issuing them.
+type CommitRecord struct {
+	Epoch  int
+	NextID BidderID
+	Ops    []spectrum.Op
+	Report EpochReport
+}
+
+// SetOnCommit installs the commit hook, called synchronously after every
+// epoch commit (including idle epochs, which carry no ops — the journal's
+// epoch numbering must stay gap-free) while ticks are serialized, with no
+// broker locks held. A non-nil error is counted in Metrics.JournalErrors;
+// the epoch itself stays committed in memory. Pass nil to detach.
+func (b *Broker) SetOnCommit(fn func(CommitRecord) error) {
+	b.tickMu.Lock()
+	b.onCommit = fn
+	b.tickMu.Unlock()
+	b.durable.Store(fn != nil)
+}
+
+// Durable reports whether a commit hook is attached.
+func (b *Broker) Durable() bool { return b.durable.Load() }
+
+// MarkRecovered records that this broker was rebuilt from a journal and the
+// epoch recovery finished at; /healthz and /v1/snapshot expose it.
+func (b *Broker) MarkRecovered(epoch int) { b.recovered.Store(int64(epoch)) }
+
+// RecoveredEpoch returns the epoch this broker was restored at, and whether
+// it was restored at all.
+func (b *Broker) RecoveredEpoch() (int, bool) {
+	r := b.recovered.Load()
+	return int(r), r >= 0
+}
+
+// fireCommit invokes the commit hook for a just-committed epoch. Caller
+// holds tickMu (and no other broker locks).
+func (b *Broker) fireCommit(rep EpochReport, nextID BidderID, ops []pendingOp) {
+	if b.onCommit == nil {
+		return
+	}
+	if err := b.onCommit(CommitRecord{Epoch: rep.Epoch, NextID: nextID, Ops: wireOps(ops), Report: rep}); err != nil {
+		b.journalErrs.Add(1)
+	}
+}
+
+// wireOps converts drained pending mutations to their wire form, submit ids
+// included. The bid and values payloads are shared, not copied: the hook
+// serializes them synchronously and committed state never mutates the
+// underlying slices in place.
+func wireOps(ops []pendingOp) []spectrum.Op {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]spectrum.Op, len(ops))
+	for i := range ops {
+		p := &ops[i]
+		switch p.kind {
+		case opSubmit:
+			out[i] = spectrum.Op{Op: spectrum.OpSubmit, ID: p.id, Bid: &p.bid}
+		case opWithdraw:
+			out[i] = spectrum.Op{Op: spectrum.OpWithdraw, ID: p.id}
+		case opUpdate:
+			out[i] = spectrum.Op{Op: spectrum.OpUpdate, ID: p.id, Values: &p.values}
+		case opMove:
+			out[i] = spectrum.Op{Op: spectrum.OpMove, ID: p.id, Bid: &p.bid}
+		}
+	}
+	return out
+}
+
+// SeedBidder is one committed bidder in a full-market snapshot: its id and
+// the wire bid (geometry plus current valuation) the market knows it by.
+type SeedBidder struct {
+	ID  BidderID `json:"id"`
+	Bid Bid      `json:"bid"`
+}
+
+// SeedState is the broker's full restorable state at the last committed
+// epoch. Instance is the committed market encoded with the existing
+// snapshot serialization (internal/serialize) and is used by the restore
+// path as an integrity cross-check of the rebuilt conflict graph; it is nil
+// when the market has valuations the serializer cannot flatten.
+type SeedState struct {
+	Epoch    int
+	NextID   BidderID
+	Model    string
+	K        int
+	Bidders  []SeedBidder
+	Instance *serialize.File
+}
+
+// SeedState captures the committed market for a snapshot. It must be called
+// only while no tick is in flight (the journal writer calls it from the
+// commit hook, which ticks serialize); between ticks the applied bidder set
+// and the committed snapshot coincide.
+func (b *Broker) SeedState() SeedState {
+	in, ids, epoch, err := b.Snapshot()
+	st := SeedState{Epoch: epoch, Model: b.model.Name(), K: b.cfg.K}
+	if err == nil && in.N() > 0 {
+		if f, ferr := serialize.Encode(in); ferr == nil {
+			st.Instance = f
+		}
+	}
+	b.mu.RLock()
+	st.Bidders = make([]SeedBidder, 0, len(ids))
+	for _, id := range ids {
+		if bd := b.bidders[id]; bd != nil {
+			st.Bidders = append(st.Bidders, SeedBidder{ID: id, Bid: cloneBid(bd.bid)})
+		}
+	}
+	b.mu.RUnlock()
+	b.qmu.Lock()
+	st.NextID = b.nextID
+	b.qmu.Unlock()
+	sort.Slice(st.Bidders, func(i, j int) bool { return st.Bidders[i].ID < st.Bidders[j].ID })
+	return st
+}
+
+// stageReplayOp vets and converts one journaled wire op back into a pending
+// mutation. Replay re-validates everything: journal records are CRC-checked,
+// but a record that decodes cleanly must still not be able to drive the
+// solver into undefined territory.
+func (b *Broker) stageReplayOp(op spectrum.Op) (pendingOp, error) {
+	if op.ID <= 0 {
+		return pendingOp{}, fmt.Errorf("%w: replayed %s op without a bidder id", ErrBadBid, op.Op)
+	}
+	switch op.Op {
+	case spectrum.OpSubmit:
+		if op.Bid == nil {
+			return pendingOp{}, fmt.Errorf("%w: replayed submit carries no bid", ErrBadBid)
+		}
+		bid := *op.Bid
+		if err := b.validateBid(&bid); err != nil {
+			return pendingOp{}, err
+		}
+		return pendingOp{kind: opSubmit, id: op.ID, bid: cloneBid(bid)}, nil
+	case spectrum.OpUpdate:
+		if op.Values == nil {
+			return pendingOp{}, fmt.Errorf("%w: replayed update carries no values", ErrBadBid)
+		}
+		if err := b.validValues(*op.Values); err != nil {
+			return pendingOp{}, err
+		}
+		return pendingOp{kind: opUpdate, id: op.ID, values: cloneValues(*op.Values)}, nil
+	case spectrum.OpMove:
+		if op.Bid == nil || op.Bid.Values != nil || op.Bid.XOR != nil {
+			return pendingOp{}, fmt.Errorf("%w: replayed move must carry geometry only", ErrBadBid)
+		}
+		bid := *op.Bid
+		if err := b.model.Validate(&bid); err != nil {
+			return pendingOp{}, err
+		}
+		return pendingOp{kind: opMove, id: op.ID, bid: cloneBid(bid)}, nil
+	case spectrum.OpWithdraw:
+		return pendingOp{kind: opWithdraw, id: op.ID}, nil
+	}
+	return pendingOp{}, fmt.Errorf("%w: replayed unknown op %q", ErrBadBid, op.Op)
+}
+
+// enqueueReplay stages ops onto an empty mutation queue with pinned ids.
+func (b *Broker) enqueueReplay(staged []pendingOp) error {
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	if len(b.queue) != 0 {
+		return fmt.Errorf("broker: replay with a non-empty mutation queue")
+	}
+	for _, p := range staged {
+		if p.kind == opSubmit {
+			b.queuedSub[p.id] = true
+			b.pop++
+			if p.id > b.nextID {
+				b.nextID = p.id
+			}
+		}
+	}
+	b.queue = staged
+	return nil
+}
+
+// pinNextID installs the journaled high-water id after a replayed tick.
+func (b *Broker) pinNextID(nextID BidderID) error {
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	if nextID < b.nextID {
+		return fmt.Errorf("broker: journaled next id %d below replayed high-water %d", nextID, b.nextID)
+	}
+	b.nextID = nextID
+	return nil
+}
+
+// ReplaySeed installs a recovered full-market snapshot as the committed
+// state: the seed bidders are applied as pinned-id submissions and solved
+// in one tick that commits as the snapshot's epoch. Must be the first thing
+// that ever happens to the broker. The committed allocation and prices are
+// recomputed, not restored — by the equivalence contract they coincide with
+// what the snapshotted broker was serving at that epoch.
+func (b *Broker) ReplaySeed(epoch int, nextID BidderID, seeds []SeedBidder) error {
+	if b.Epoch() != 0 {
+		return fmt.Errorf("broker: seed replay into a broker already at epoch %d", b.Epoch())
+	}
+	b.mu.RLock()
+	used := len(b.bidders) != 0 || b.snap != nil
+	b.mu.RUnlock()
+	if used {
+		return fmt.Errorf("broker: seed replay into a non-empty broker")
+	}
+	if epoch < 1 {
+		if len(seeds) > 0 {
+			return fmt.Errorf("broker: snapshot with %d bidders at epoch %d", len(seeds), epoch)
+		}
+		return nil
+	}
+	staged := make([]pendingOp, 0, len(seeds))
+	for i, sb := range seeds {
+		if sb.ID <= 0 {
+			return fmt.Errorf("%w: seed bidder with id %d", ErrBadBid, sb.ID)
+		}
+		if i > 0 && seeds[i-1].ID >= sb.ID {
+			return fmt.Errorf("%w: seed bidder ids not strictly ascending at %d", ErrBadBid, sb.ID)
+		}
+		bid := cloneBid(sb.Bid)
+		if err := b.validateBid(&bid); err != nil {
+			return fmt.Errorf("seed bidder %d: %w", sb.ID, err)
+		}
+		staged = append(staged, pendingOp{kind: opSubmit, id: sb.ID, bid: bid})
+	}
+	b.mu.Lock()
+	b.epoch = epoch - 1
+	b.mu.Unlock()
+	if err := b.enqueueReplay(staged); err != nil {
+		return err
+	}
+	if rep := b.Tick(); rep.Epoch != epoch {
+		return fmt.Errorf("broker: seed replay committed epoch %d, want %d", rep.Epoch, epoch)
+	}
+	return b.pinNextID(nextID)
+}
+
+// ReplayEpoch re-applies one journaled epoch: the ops are enqueued in
+// record order with pinned submit ids and committed by one tick that must
+// land exactly on the record's epoch number.
+func (b *Broker) ReplayEpoch(epoch int, nextID BidderID, ops []spectrum.Op) error {
+	if cur := b.Epoch(); cur != epoch-1 {
+		return fmt.Errorf("broker: replay of epoch %d onto a broker at epoch %d", epoch, cur)
+	}
+	staged := make([]pendingOp, 0, len(ops))
+	for i, op := range ops {
+		p, err := b.stageReplayOp(op)
+		if err != nil {
+			return fmt.Errorf("replay epoch %d op %d: %w", epoch, i, err)
+		}
+		staged = append(staged, p)
+	}
+	if err := b.enqueueReplay(staged); err != nil {
+		return err
+	}
+	if rep := b.Tick(); rep.Epoch != epoch {
+		return fmt.Errorf("broker: replayed epoch committed as %d, want %d", rep.Epoch, epoch)
+	}
+	return b.pinNextID(nextID)
+}

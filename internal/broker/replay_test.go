@@ -1,0 +1,262 @@
+package broker
+
+// White-box tests of the durability surface: the commit hook must hand out
+// records that, replayed into a fresh broker, rebuild the identical
+// committed allocation epoch by epoch — the in-memory half of the recovery
+// invariant internal/journal's crash suite exercises through real files.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/valuation"
+	"repro/pkg/spectrum"
+)
+
+// TestCommitRecordReplayMatchesLive: per backend, capture every
+// CommitRecord of a churn trace (XOR mixing, updates, moves, quiet epochs)
+// and replay them into a fresh broker; after each replayed epoch the
+// allocation must match what the live broker had committed at that epoch.
+func TestCommitRecordReplayMatchesLive(t *testing.T) {
+	for _, name := range ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			live := newTestBroker(t, Config{K: 3, Model: mustModel(t, name)})
+			var recs []CommitRecord
+			live.SetOnCommit(func(r CommitRecord) error {
+				recs = append(recs, r)
+				return nil
+			})
+			if !live.Durable() {
+				t.Fatal("hooked broker not durable")
+			}
+			d := newModelDriver(t, name, live, modelTrace(name, 51, 8, true), 7)
+			var states []map[BidderID]valuation.Bundle
+			for d.step() {
+				live.Tick()
+				states = append(states, brokerAlloc(live))
+			}
+			if len(recs) != len(states) {
+				t.Fatalf("%d commit records for %d epochs", len(recs), len(states))
+			}
+
+			rb := newTestBroker(t, Config{K: 3, Model: mustModel(t, name)})
+			for i, r := range recs {
+				if r.Epoch != i+1 {
+					t.Fatalf("record %d carries epoch %d", i, r.Epoch)
+				}
+				if err := rb.ReplayEpoch(r.Epoch, r.NextID, r.Ops); err != nil {
+					t.Fatalf("replay epoch %d: %v", r.Epoch, err)
+				}
+				if !sameAlloc(brokerAlloc(rb), states[i]) {
+					t.Fatalf("%s: replayed epoch %d allocation diverged from live", name, r.Epoch)
+				}
+			}
+			if rb.Epoch() != live.Epoch() {
+				t.Fatalf("replayed broker at epoch %d, live at %d", rb.Epoch(), live.Epoch())
+			}
+		})
+	}
+}
+
+// TestSeedStateReplayResumesMidTrace: SeedState taken between ticks plus the
+// later commit records must rebuild the same market a full-history replay
+// would — the snapshot+tail restore path in miniature.
+func TestSeedStateReplayResumesMidTrace(t *testing.T) {
+	live := newTestBroker(t, Config{K: 3})
+	var recs []CommitRecord
+	live.SetOnCommit(func(r CommitRecord) error { recs = append(recs, r); return nil })
+	d := newModelDriver(t, "disk", live, modelTrace("disk", 63, 9, true), 5)
+	var states []map[BidderID]valuation.Bundle
+	var seed SeedState
+	for e := 0; d.step(); e++ {
+		live.Tick()
+		states = append(states, brokerAlloc(live))
+		if e == 4 {
+			seed = live.SeedState()
+		}
+	}
+	if seed.Epoch != 5 || seed.Model != "disk" || seed.K != 3 || seed.NextID <= 0 {
+		t.Fatalf("mid-trace seed state %+v", seed)
+	}
+	for i := 1; i < len(seed.Bidders); i++ {
+		if seed.Bidders[i-1].ID >= seed.Bidders[i].ID {
+			t.Fatal("seed bidders not strictly ascending")
+		}
+	}
+
+	rb := newTestBroker(t, Config{K: 3})
+	if err := rb.ReplaySeed(seed.Epoch, seed.NextID, seed.Bidders); err != nil {
+		t.Fatal(err)
+	}
+	if re, ok := rb.RecoveredEpoch(); ok || re >= 0 {
+		t.Fatal("ReplaySeed alone must not mark the broker recovered")
+	}
+	if !sameAlloc(brokerAlloc(rb), states[seed.Epoch-1]) {
+		t.Fatal("seeded allocation diverged from the live broker at the seed epoch")
+	}
+	for _, r := range recs {
+		if r.Epoch <= seed.Epoch {
+			continue
+		}
+		if err := rb.ReplayEpoch(r.Epoch, r.NextID, r.Ops); err != nil {
+			t.Fatalf("replay epoch %d from seed: %v", r.Epoch, err)
+		}
+		if !sameAlloc(brokerAlloc(rb), states[r.Epoch-1]) {
+			t.Fatalf("seed+tail replay diverged at epoch %d", r.Epoch)
+		}
+	}
+	if rb.Epoch() != live.Epoch() {
+		t.Fatalf("seed+tail replay ended at epoch %d, live at %d", rb.Epoch(), live.Epoch())
+	}
+}
+
+// TestIdleEpochsJournaled: ticks with an empty queue still fire the hook
+// with op-free records, keeping the journal's epoch numbering gap-free.
+func TestIdleEpochsJournaled(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	var recs []CommitRecord
+	b.SetOnCommit(func(r CommitRecord) error { recs = append(recs, r); return nil })
+	if _, err := b.Submit(Bid{Radius: 1, Values: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick() // epoch 1: the submit
+	b.Tick() // epoch 2: idle
+	b.Tick() // epoch 3: idle
+	if len(recs) != 3 {
+		t.Fatalf("%d records for 3 ticks", len(recs))
+	}
+	for i, r := range recs {
+		if r.Epoch != i+1 {
+			t.Fatalf("record %d carries epoch %d", i, r.Epoch)
+		}
+	}
+	if len(recs[0].Ops) != 1 || recs[0].Ops[0].Op != spectrum.OpSubmit || recs[0].Ops[0].ID != 1 {
+		t.Fatalf("submit epoch journaled as %+v", recs[0].Ops)
+	}
+	if recs[1].Ops != nil || recs[2].Ops != nil {
+		t.Fatal("idle epochs journaled with ops")
+	}
+	rb := newTestBroker(t, Config{K: 2})
+	for _, r := range recs {
+		if err := rb.ReplayEpoch(r.Epoch, r.NextID, r.Ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rb.Epoch() != 3 {
+		t.Fatalf("idle replay ended at epoch %d", rb.Epoch())
+	}
+}
+
+// TestCancelledQueuedSubmitPinsNextID: a submit cancelled while still queued
+// never appears in any commit record, but the id it consumed is covered by
+// the record's NextID high-water mark, so replay re-issues later ids
+// identically.
+func TestCancelledQueuedSubmitPinsNextID(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	var recs []CommitRecord
+	b.SetOnCommit(func(r CommitRecord) error { recs = append(recs, r); return nil })
+	id1, err := b.Submit(Bid{Radius: 1, Values: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Withdraw(id1); err != nil { // cancelled while queued
+		t.Fatal(err)
+	}
+	b.Tick()
+	id2, err := b.Submit(Bid{Radius: 1, Values: []float64{2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id1+1 {
+		t.Fatalf("second submit got id %d after cancelled id %d", id2, id1)
+	}
+	b.Tick()
+	// The cancelled submit is dropped from the record; its withdraw stays
+	// (a harmless no-op on replay, since the bidder never arrived).
+	if len(recs[0].Ops) != 1 || recs[0].Ops[0].Op != spectrum.OpWithdraw {
+		t.Fatalf("cancelled submit journaled: %+v", recs[0].Ops)
+	}
+	if recs[0].NextID != id1 {
+		t.Fatalf("epoch 1 high-water %d, want %d", recs[0].NextID, id1)
+	}
+
+	rb := newTestBroker(t, Config{K: 2})
+	for _, r := range recs {
+		if err := rb.ReplayEpoch(r.Epoch, r.NextID, r.Ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id3, err := rb.Submit(Bid{Radius: 1, Values: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id2+1 {
+		t.Fatalf("replayed broker issued id %d next, live would issue %d", id3, id2+1)
+	}
+}
+
+// TestReplayGuards: the replay entry points refuse sequence gaps, reused
+// brokers, malformed seeds, and malformed ops.
+func TestReplayGuards(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	if err := b.ReplayEpoch(2, 1, nil); err == nil {
+		t.Fatal("epoch-gap replay accepted")
+	}
+	if err := b.ReplayEpoch(1, 1, []spectrum.Op{{Op: spectrum.OpSubmit}}); err == nil {
+		t.Fatal("submit without an id accepted")
+	}
+	if err := b.ReplayEpoch(1, 1, []spectrum.Op{{Op: "explode", ID: 1}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if b.Epoch() != 0 {
+		t.Fatalf("failed replays advanced the epoch to %d", b.Epoch())
+	}
+
+	used := newTestBroker(t, Config{K: 2})
+	if _, err := used.Submit(Bid{Radius: 1, Values: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	used.Tick()
+	if err := used.ReplaySeed(3, 5, nil); err == nil {
+		t.Fatal("seed replay into a used broker accepted")
+	}
+
+	if err := newTestBroker(t, Config{K: 2}).ReplaySeed(2, 5, []SeedBidder{
+		{ID: 2, Bid: Bid{Radius: 1, Values: []float64{1, 2}}},
+		{ID: 2, Bid: Bid{Radius: 1, Values: []float64{1, 2}}},
+	}); err == nil {
+		t.Fatal("non-ascending seed ids accepted")
+	}
+	if err := newTestBroker(t, Config{K: 2}).ReplaySeed(0, 0, []SeedBidder{
+		{ID: 1, Bid: Bid{Radius: 1, Values: []float64{1, 2}}},
+	}); err == nil {
+		t.Fatal("epoch-0 seed with bidders accepted")
+	}
+	if err := newTestBroker(t, Config{K: 2}).ReplaySeed(0, 0, nil); err != nil {
+		t.Fatalf("empty epoch-0 seed refused: %v", err)
+	}
+}
+
+// TestCommitHookErrorsCounted: a failing hook never blocks the tick; the
+// misses are surfaced in Metrics and the hook detaches cleanly.
+func TestCommitHookErrorsCounted(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	hookErr := errors.New("disk on fire")
+	b.SetOnCommit(func(CommitRecord) error { return hookErr })
+	if rep := b.Tick(); rep.Epoch != 1 {
+		t.Fatalf("tick under a failing hook: %+v", rep)
+	}
+	b.Tick()
+	if m := b.Metrics(); m.JournalErrors != 2 {
+		t.Fatalf("JournalErrors = %d, want 2", m.JournalErrors)
+	}
+	b.SetOnCommit(nil)
+	if b.Durable() {
+		t.Fatal("detached broker still durable")
+	}
+	b.Tick()
+	if m := b.Metrics(); m.JournalErrors != 2 {
+		t.Fatalf("detached hook still counting: %d", m.JournalErrors)
+	}
+}

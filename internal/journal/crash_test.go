@@ -1,0 +1,430 @@
+package journal
+
+// The crash-injection suite. A reference broker lives through a churn trace
+// untouched; a journaled broker replays the identical mutation steps and is
+// killed at injected fault points (torn record, lost unsynced record, torn
+// snapshot temp file, interrupted truncate), restored from disk, and must —
+// at the restored epoch and at every epoch after — serve exactly the
+// allocation, prices, statuses, welfare, and epoch number the reference
+// broker had. The matrix runs every fault point against every interference
+// backend; a composed trial chains all four faults through one run.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/geom"
+	"repro/internal/market"
+	"repro/internal/valuation"
+	"repro/pkg/spectrum"
+)
+
+// testFactory builds identically-configured brokers for the trial and every
+// restore of it.
+func testFactory(t testing.TB, name string, prices bool) func() (*broker.Broker, error) {
+	t.Helper()
+	return func() (*broker.Broker, error) {
+		m, err := broker.ModelByName(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		return broker.New(broker.Config{K: 3, Model: m, Prices: prices})
+	}
+}
+
+// crashTrace draws a churn workload sized for the backend (distance-2
+// squares disk components, so it gets a sparser market).
+func crashTrace(name string, seed int64, epochs int) *market.Trace {
+	cfg := market.TraceConfig{
+		Seed:         seed,
+		Epochs:       epochs,
+		K:            3,
+		Side:         150,
+		ArrivalRate:  3,
+		MeanLifetime: 4,
+		MaxUsers:     14,
+		Model:        name,
+		// Primary-user masking streams valuation updates, so journaled
+		// epochs carry update ops too.
+		PrimaryUsers:  2,
+		PrimaryRadius: 45,
+		PrimaryActive: 0.5,
+	}
+	if name == "distance2" {
+		cfg.ArrivalRate, cfg.MaxUsers = 2, 10
+	}
+	return market.GenTrace(cfg)
+}
+
+// moveBid draws fresh geometry for the named backend from a small, dense
+// area, to exercise journaled move ops.
+func moveBid(rng *rand.Rand, name string) spectrum.Bid {
+	p := geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+	r := 1 + rng.Float64()*5
+	switch name {
+	case "protocol", "ieee80211":
+		th := rng.Float64() * 2 * math.Pi
+		q := geom.Point{X: p.X + r*math.Cos(th), Y: p.Y + r*math.Sin(th)}
+		return spectrum.Bid{Link: &geom.Link{Sender: p, Receiver: q}}
+	}
+	return spectrum.Bid{Pos: p, Radius: r}
+}
+
+// traceStep is one recorded mutation step: the ops exactly as the journaled
+// run must apply them (submit ops carry no id — the broker assigns) plus the
+// ids the reference run's submits were assigned, keyed by op index.
+type traceStep struct {
+	ops       []spectrum.Op
+	submitIDs map[int]spectrum.BidderID
+}
+
+// refEntry is one bidder's committed state in the reference run.
+type refEntry struct {
+	bundle valuation.Bundle
+	active bool
+	price  float64
+}
+
+// epochRef is the reference broker's full committed state after one epoch.
+type epochRef struct {
+	epoch   int
+	welfare float64
+	bidders map[spectrum.BidderID]refEntry
+}
+
+// recordReference runs the trace through a plain in-memory broker and
+// records every step's resolved ops and every epoch's committed state.
+func recordReference(t *testing.T, name string, prices bool, seed int64, epochs int) ([]traceStep, []epochRef) {
+	t.Helper()
+	b, err := testFactory(t, name, prices)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := crashTrace(name, seed, epochs)
+	r := market.NewOpsReplayer(tr, true)
+	moveRng := rand.New(rand.NewSource(seed * 7))
+	var steps []traceStep
+	var refs []epochRef
+	var issued []spectrum.BidderID
+	for {
+		ops, more, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every third step, relocate the lowest live bidder, so move ops are
+		// journaled and replayed alongside everything else.
+		if live := r.Live(); more && len(steps)%3 == 2 && len(live) > 0 {
+			lowest := -1
+			for tid := range live {
+				if lowest == -1 || tid < lowest {
+					lowest = tid
+				}
+			}
+			mb := moveBid(moveRng, name)
+			ops = append(ops, spectrum.Op{Op: spectrum.OpMove, ID: live[lowest], Bid: &mb})
+		}
+		results, _ := b.Batch(ops)
+		if err := r.Observe(results); err != nil {
+			t.Fatal(err)
+		}
+		st := traceStep{ops: ops, submitIDs: map[int]spectrum.BidderID{}}
+		for i, op := range ops {
+			if op.Op == spectrum.OpSubmit {
+				st.submitIDs[i] = results[i].ID
+				issued = append(issued, results[i].ID)
+			}
+		}
+		steps = append(steps, st)
+		rep := b.Tick()
+		if rep.Epoch != len(steps) {
+			t.Fatalf("reference tick committed epoch %d at step %d", rep.Epoch, len(steps))
+		}
+		ref := epochRef{epoch: rep.Epoch, welfare: rep.Welfare, bidders: map[spectrum.BidderID]refEntry{}}
+		for _, id := range issued {
+			bundle, status := b.Allocation(id)
+			e := refEntry{bundle: bundle, active: status == spectrum.StatusActive}
+			if prices {
+				e.price, _ = b.Price(id)
+			}
+			ref.bidders[id] = e
+		}
+		refs = append(refs, ref)
+		if !more {
+			break
+		}
+	}
+	return steps, refs
+}
+
+// applyStep feeds one recorded step to a broker and asserts the submit ids
+// come out exactly as the reference run's did (id-assignment determinism
+// across restores is part of the durability contract).
+func applyStep(t *testing.T, b *broker.Broker, st traceStep) {
+	t.Helper()
+	results, _ := b.Batch(st.ops)
+	if len(results) != len(st.ops) {
+		t.Fatalf("batch returned %d results for %d ops", len(results), len(st.ops))
+	}
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("replayed op %d rejected (%d): %s", i, r.Code, r.Error)
+		}
+		if want, ok := st.submitIDs[i]; ok && r.ID != want {
+			t.Fatalf("submit op %d assigned id %d, reference run got %d", i, r.ID, want)
+		}
+	}
+}
+
+// verifyEpoch asserts a broker's committed state equals the reference
+// epoch's: epoch number, welfare, and per bidder the allocation, liveness,
+// and (when priced) the payment. A bidder retired before the restored
+// snapshot is unknown to the restored broker; gone and unknown both count as
+// "not in the market".
+func verifyEpoch(t *testing.T, label string, b *broker.Broker, ref epochRef, prices bool) {
+	t.Helper()
+	if got := b.Epoch(); got != ref.epoch {
+		t.Fatalf("%s: at epoch %d, reference at %d", label, got, ref.epoch)
+	}
+	if w := b.Metrics().Last.Welfare; math.Abs(w-ref.welfare) > 1e-9*(1+math.Abs(ref.welfare)) {
+		t.Fatalf("%s epoch %d: welfare %g, reference %g", label, ref.epoch, w, ref.welfare)
+	}
+	for id, want := range ref.bidders {
+		bundle, status := b.Allocation(id)
+		active := status == spectrum.StatusActive
+		if active != want.active {
+			t.Fatalf("%s epoch %d: bidder %d status %s, reference active=%v", label, ref.epoch, id, status, want.active)
+		}
+		if bundle != want.bundle {
+			t.Fatalf("%s epoch %d: bidder %d allocated %v, reference %v", label, ref.epoch, id, bundle, want.bundle)
+		}
+		if prices {
+			p, _ := b.Price(id)
+			if math.Abs(p-want.price) > 1e-9*(1+math.Abs(want.price)) {
+				t.Fatalf("%s epoch %d: bidder %d priced %g, reference %g", label, ref.epoch, id, p, want.price)
+			}
+		}
+	}
+}
+
+// kill is one scheduled crash: fire the nth time the writer reaches point.
+type kill struct {
+	point FaultPoint
+	nth   int
+}
+
+func (k *kill) fn() FaultFn {
+	n := k.nth
+	return func(p FaultPoint) bool {
+		if p != k.point {
+			return false
+		}
+		n--
+		return n == 0
+	}
+}
+
+// lostEpochs reports how many epochs a crash at the fault point loses under
+// SyncAlways: the torn and never-synced record shapes lose the epoch being
+// committed; the snapshot-path shapes crash after the record is durable.
+func lostEpochs(p FaultPoint) int {
+	if p == FaultPartialRecord || p == FaultBeforeSync {
+		return 1
+	}
+	return 0
+}
+
+// runCrashTrial replays the recorded steps through a journaled broker,
+// crashing per the kill schedule, restoring after each crash, and verifying
+// the restored broker against the reference at the restored epoch and every
+// epoch after. strict enables the exact per-fault lost-epoch assertion
+// (valid under SyncAlways with one kill armed at a time).
+func runCrashTrial(t *testing.T, name string, prices bool, steps []traceStep, refs []epochRef, opts Options, kills []kill, strict bool) {
+	t.Helper()
+	dir := t.TempDir()
+	factory := testFactory(t, name, prices)
+	killIdx := 0
+	open := func() (*broker.Broker, *Writer, *Recovery) {
+		o := opts
+		if killIdx < len(kills) {
+			o.Fault = kills[killIdx].fn()
+		}
+		b, w, rec, err := Open(dir, factory, o)
+		if err != nil {
+			t.Fatalf("open after %d kills: %v", killIdx, err)
+		}
+		return b, w, rec
+	}
+	b, w, _ := open()
+	restores := 0
+	for s := 0; s < len(steps); {
+		applyStep(t, b, steps[s])
+		rep := b.Tick()
+		if rep.Epoch != s+1 {
+			t.Fatalf("tick at step %d committed epoch %d", s, rep.Epoch)
+		}
+		if werr := w.Err(); werr != nil {
+			if !errors.Is(werr, ErrCrashed) {
+				t.Fatalf("writer failed outside the injected fault: %v", werr)
+			}
+			fired := kills[killIdx]
+			killIdx++
+			restores++
+			var rec *Recovery
+			b, w, rec = open()
+			if rec.Epoch != s && rec.Epoch != s+1 {
+				t.Fatalf("%v crash at step %d restored epoch %d", fired.point, s, rec.Epoch)
+			}
+			if strict {
+				if want := s + 1 - lostEpochs(fired.point); rec.Epoch != want {
+					t.Fatalf("%v crash during epoch %d commit restored epoch %d, want %d",
+						fired.point, s+1, rec.Epoch, want)
+				}
+				checkCrashDebris(t, fired.point, rec)
+			}
+			if rec.Epoch > 0 {
+				if re, ok := b.RecoveredEpoch(); !ok || re != rec.Epoch {
+					t.Fatalf("restored broker reports recovered epoch %d,%v, recovery said %d", re, ok, rec.Epoch)
+				}
+				verifyEpoch(t, "restored", b, refs[rec.Epoch-1], prices)
+			}
+			s = rec.Epoch
+			continue
+		}
+		verifyEpoch(t, "journaled", b, refs[s], prices)
+		s++
+	}
+	if killIdx != len(kills) {
+		t.Fatalf("only %d of %d scheduled crashes fired", killIdx, len(kills))
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer failed after the last restore: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// One final restore from the closed files: the full trace must come back.
+	rb, rec, err := Recover(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != len(steps) {
+		t.Fatalf("final restore at epoch %d, trace committed %d", rec.Epoch, len(steps))
+	}
+	verifyEpoch(t, "final restore", rb, refs[len(refs)-1], prices)
+	if restores == 0 && len(kills) > 0 {
+		t.Fatal("no restore ever happened")
+	}
+}
+
+// checkCrashDebris asserts the restore saw the on-disk shape its fault point
+// leaves behind.
+func checkCrashDebris(t *testing.T, p FaultPoint, rec *Recovery) {
+	t.Helper()
+	switch p {
+	case FaultPartialRecord:
+		if rec.TornBytes == 0 {
+			t.Fatal("partial-record crash left no torn tail")
+		}
+	case FaultBeforeSync:
+		if rec.TornBytes != 0 {
+			t.Fatalf("before-sync crash left a torn tail of %d bytes", rec.TornBytes)
+		}
+	case FaultMidSnapshot, FaultMidTruncate:
+		if len(rec.Orphans) == 0 {
+			t.Fatalf("%v crash left no orphans for restore to clean", p)
+		}
+	}
+}
+
+// TestCrashRestoreMatrix is the acceptance matrix: for every interference
+// backend and every fault point, a kill mid-trace restores to a broker whose
+// allocation, prices, statuses, welfare, and epoch are identical to the
+// never-killed reference, and the rest of the trace replays identically.
+func TestCrashRestoreMatrix(t *testing.T) {
+	const epochs = 10
+	for _, name := range broker.ModelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			steps, refs := recordReference(t, name, true, 97, epochs)
+			for _, k := range []kill{
+				// Epoch-5 commit crashes (record-path faults)...
+				{FaultPartialRecord, 5},
+				{FaultBeforeSync, 5},
+				// ...and the second snapshot cycle (epoch 6 with
+				// SnapshotEvery 3) for the snapshot-path faults.
+				{FaultMidSnapshot, 2},
+				{FaultMidTruncate, 2},
+			} {
+				k := k
+				t.Run(k.point.String(), func(t *testing.T) {
+					runCrashTrial(t, name, true, steps, refs,
+						Options{Sync: SyncAlways, SnapshotEvery: 3}, []kill{k}, true)
+				})
+			}
+		})
+	}
+}
+
+// TestCrashRestoreChained kills one journaled broker four times in a single
+// run — once per fault point, each crash landing on the state a previous
+// restore rebuilt — with prices on, so recovery composes: a restore must be
+// a full-fidelity base for the next crash.
+func TestCrashRestoreChained(t *testing.T) {
+	const epochs = 12
+	steps, refs := recordReference(t, "disk", true, 131, epochs)
+	kills := []kill{
+		{FaultPartialRecord, 2},
+		{FaultBeforeSync, 2},
+		{FaultMidSnapshot, 1},
+		{FaultMidTruncate, 1},
+	}
+	runCrashTrial(t, "disk", true, steps, refs,
+		Options{Sync: SyncAlways, SnapshotEvery: 3}, kills, false)
+}
+
+// TestCrashRestoreSyncPolicies runs a record-path crash under the interval
+// and none sync policies: the writer still fails sticky, and the restored
+// epoch may trail the crash epoch (unsynced records) but never precede the
+// last completed snapshot, and whatever epoch comes back must be
+// reference-identical. The generic R∈{s,s+1} bound does not hold without
+// per-commit fsync, so the trial only asserts fidelity of what was restored.
+func TestCrashRestoreSyncPolicies(t *testing.T) {
+	const epochs = 8
+	steps, refs := recordReference(t, "disk", false, 53, epochs)
+	for _, pol := range []SyncPolicy{SyncEvery, SyncNone} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			factory := testFactory(t, "disk", false)
+			k := kill{FaultPartialRecord, 5}
+			b, w, _, err := Open(dir, factory, Options{Sync: pol, SnapshotEvery: 3, Fault: k.fn()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := 0
+			for ; s < len(steps); s++ {
+				applyStep(t, b, steps[s])
+				b.Tick()
+				if w.Err() != nil {
+					break
+				}
+			}
+			if !errors.Is(w.Err(), ErrCrashed) {
+				t.Fatalf("fault never fired: %v", w.Err())
+			}
+			rb, rec, err := Recover(dir, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Epoch > s+1 || rec.Epoch < rec.SnapshotEpoch {
+				t.Fatalf("restored epoch %d after crash at epoch %d (snapshot %d)", rec.Epoch, s+1, rec.SnapshotEpoch)
+			}
+			if rec.Epoch > 0 {
+				verifyEpoch(t, pol.String(), rb, refs[rec.Epoch-1], false)
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package journal
+
+// File naming, directory scanning, and whole-file reads shared by the
+// writer and the restore path.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/broker"
+	"repro/internal/serialize"
+	"repro/pkg/spectrum"
+)
+
+// SnapshotVersion guards the snapshot schema.
+const SnapshotVersion = 1
+
+// Snapshot is the on-disk full-market snapshot: everything ReplaySeed needs
+// to rebuild the committed market at Epoch, plus the broker configuration
+// it is only valid under. Instance, when present, is the committed
+// conflict structure in the repo's existing instance serialization; restore
+// uses it as an integrity cross-check of the rebuilt conflict graph.
+type Snapshot struct {
+	FormatVersion int                 `json:"format_version"`
+	Model         string              `json:"model"`
+	K             int                 `json:"k"`
+	Epoch         int                 `json:"epoch"`
+	NextID        spectrum.BidderID   `json:"next_id"`
+	Bidders       []broker.SeedBidder `json:"bidders"`
+	Instance      *serialize.File     `json:"instance,omitempty"`
+}
+
+func journalPath(dir string, base int) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%012d.log", base))
+}
+
+func snapshotPath(dir string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%012d.json", epoch))
+}
+
+// dirState is what a scan of the data directory found: snapshot epochs and
+// journal base epochs, each sorted ascending, plus stray *.tmp files.
+type dirState struct {
+	snaps    []int
+	journals []int
+	tmps     []string
+}
+
+// scanDir lists the directory's snapshot and journal files. Unrelated files
+// are ignored (the directory may hold an operator's notes); only the two
+// reserved name shapes and *.tmp leftovers are interpreted.
+func scanDir(dir string) (dirState, error) {
+	var st dirState
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, fmt.Errorf("journal: scan %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			st.tmps = append(st.tmps, filepath.Join(dir, name))
+		case strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".json"):
+			if n, ok := parseSeq(name, "snapshot-", ".json"); ok {
+				st.snaps = append(st.snaps, n)
+			}
+		case strings.HasPrefix(name, "journal-") && strings.HasSuffix(name, ".log"):
+			if n, ok := parseSeq(name, "journal-", ".log"); ok {
+				st.journals = append(st.journals, n)
+			}
+		}
+	}
+	sort.Ints(st.snaps)
+	sort.Ints(st.journals)
+	return st, nil
+}
+
+func parseSeq(name, prefix, suffix string) (int, bool) {
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	n, err := strconv.Atoi(mid)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// readSnapshot loads and vets one snapshot file.
+func readSnapshot(path string, epoch int) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("journal: snapshot %s: %w", path, err)
+	}
+	if s.FormatVersion != SnapshotVersion {
+		return nil, fmt.Errorf("journal: snapshot %s: unsupported format version %d", path, s.FormatVersion)
+	}
+	if s.Epoch != epoch {
+		return nil, fmt.Errorf("journal: snapshot %s: holds epoch %d", path, s.Epoch)
+	}
+	return &s, nil
+}
+
+// readLog decodes one journal file, checking the header's base epoch
+// against the filename. Returns the records, the valid-prefix length, and
+// the file size. A missing file is (nil, 0, 0, os.ErrNotExist); a file so
+// short its header is torn returns zero records with used 0 (the repair
+// path rewrites the header).
+func readLog(path string, wantBase int) (recs []Record, used, size int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	base, recs, used, derr := DecodeLog(data)
+	if derr != nil {
+		var ce *CorruptError
+		if errors.As(derr, &ce) {
+			ce.Path = path
+		}
+		return nil, 0, int64(len(data)), derr
+	}
+	if base >= 0 && base != wantBase {
+		return nil, 0, int64(len(data)), &CorruptError{Path: path, Offset: 8,
+			Reason: fmt.Sprintf("header base epoch %d does not match filename base %d", base, wantBase)}
+	}
+	return recs, used, int64(len(data)), nil
+}

@@ -1,0 +1,65 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzJournalDecode pins the reader's safety contract on arbitrary bytes:
+// DecodeLog never panics, a torn tail is dropped cleanly (no error, used
+// marks the valid prefix), and anything else surfaces as a typed
+// *CorruptError — with the salvaged record prefix always well-formed.
+func FuzzJournalDecode(f *testing.F) {
+	valid := encodeHeader(3)
+	for i := 1; i <= 3; i++ {
+		var err error
+		valid, err = appendRecord(valid, Record{Epoch: 3 + i, NextID: 7})
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add([]byte{})
+	f.Add(encodeHeader(0))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])    // torn payload
+	f.Add(valid[:headerSize+4])    // torn frame
+	f.Add(valid[:headerSize-2])    // torn header
+	f.Add([]byte("SWALSWALSWALSWALSWAL"))
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize+frameSize+1] ^= 0xff // CRC mismatch
+	f.Add(flipped)
+	huge := append([]byte(nil), valid[:headerSize]...)
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:], 1<<31)
+	f.Add(append(huge, frame[:]...)) // impossible declared length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, recs, used, err := DecodeLog(data)
+		if used < 0 || used > int64(len(data)) {
+			t.Fatalf("used %d outside [0, %d]", used, len(data))
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %T is not *CorruptError", err)
+			}
+			if ce.Offset < 0 || ce.Offset > int64(len(data)) {
+				t.Fatalf("corruption offset %d outside the image", ce.Offset)
+			}
+		} else if len(data) >= headerSize && base < 0 {
+			t.Fatal("full header decoded to a torn-header base")
+		}
+		for i, r := range recs {
+			if r.Epoch != base+i+1 {
+				t.Fatalf("salvaged record %d has epoch %d under base %d", i, r.Epoch, base)
+			}
+			if r.NextID < 0 {
+				t.Fatalf("salvaged record %d has negative next id %d", i, r.NextID)
+			}
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package journal is the broker's durability layer: a write-ahead log of
+// committed epoch op batches, periodic full-market snapshots with log
+// truncation, and a restore path that rebuilds a live Broker from the
+// newest valid snapshot plus the journal tail.
+//
+// # On-disk layout
+//
+// A data directory holds at most one market:
+//
+//	snapshot-000000000042.json   full market at epoch 42 (atomic: tmp+rename)
+//	journal-000000000042.log     records for epochs 43, 44, ... (one per epoch)
+//
+// A journal file opens with a 16-byte header — magic "SWAL", format
+// version, and the base epoch (which must match the filename) — followed by
+// length-prefixed records:
+//
+//	uint32 LE payload length | uint32 LE CRC-32C of payload | payload
+//
+// The payload is the JSON Record: the epoch number, the id high-water mark
+// at queue-drain time, and the committed ops in queue order (submit ops
+// carry their assigned bidder id). Every committed epoch is journaled,
+// idle ones included, so record epochs are gap-free: record i of a file
+// based at epoch E carries epoch E+i+1.
+//
+// # Crash semantics
+//
+// A crash can only truncate the log (records are appended and synced in
+// order), so the reader distinguishes two failure shapes: a file that ends
+// before a record's declared bytes is a torn tail — dropped cleanly, the
+// valid prefix stands — while a record whose bytes are all present but
+// whose CRC, JSON, or epoch sequencing is wrong is interior corruption and
+// surfaces a *CorruptError (errors.Is ErrCorrupt). FuzzJournalDecode pins
+// that DecodeLog never panics on arbitrary bytes.
+//
+// Snapshots are written to a temp file, synced, and renamed before the old
+// snapshot and journal are deleted, so every crash point leaves a
+// recoverable prefix: restore scans for the newest parseable snapshot,
+// replays its journal (a missing journal file means zero tail records),
+// and removes orphans.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/pkg/spectrum"
+)
+
+const (
+	logMagic   = "SWAL"
+	logVersion = 1
+	// headerSize is the journal file header: 4 magic + 2 version (LE) +
+	// 2 reserved + 8 base epoch (LE).
+	headerSize = 16
+	// frameSize is the per-record frame: payload length + CRC-32C.
+	frameSize = 8
+	// maxRecordBytes rejects absurd declared lengths before allocating.
+	maxRecordBytes = 64 << 20
+)
+
+// castagnoli is the CRC-32C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one journaled epoch commit.
+type Record struct {
+	// Epoch is the committed epoch number.
+	Epoch int `json:"epoch"`
+	// NextID is the broker's id high-water mark when the epoch's queue was
+	// drained; replay pins it so later ids are re-issued identically.
+	NextID spectrum.BidderID `json:"next_id"`
+	// Ops are the applied mutations in queue order (nil for idle epochs).
+	Ops []spectrum.Op `json:"ops,omitempty"`
+}
+
+// ErrCorrupt is the category sentinel for interior journal corruption;
+// *CorruptError matches it under errors.Is.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// CorruptError reports interior corruption: the bytes are all present but
+// do not form a valid record stream.
+type CorruptError struct {
+	// Path is the offending file ("" when decoding a byte slice).
+	Path string
+	// Offset is the byte offset of the bad header, frame, or record.
+	Offset int64
+	// Reason says what failed.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("journal: corrupt record stream at offset %d: %s", e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("journal: %s: corrupt at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Is matches the ErrCorrupt sentinel.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// encodeHeader builds a journal file header for the given base epoch.
+func encodeHeader(base int) []byte {
+	h := make([]byte, headerSize)
+	copy(h, logMagic)
+	binary.LittleEndian.PutUint16(h[4:], logVersion)
+	binary.LittleEndian.PutUint64(h[8:], uint64(base))
+	return h
+}
+
+// appendRecord appends one framed record to buf.
+func appendRecord(buf []byte, rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds the %d limit", len(payload), maxRecordBytes)
+	}
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, frame[:]...)
+	return append(buf, payload...), nil
+}
+
+// DecodeLog decodes an entire journal file image. It returns the base epoch
+// from the header (-1 when the file ends inside the header — a torn file
+// with no usable content), the valid records, and used, the byte offset
+// where the valid prefix ends (a torn trailing record leaves used short of
+// len(data); callers repair by truncating there).
+//
+// Torn tails — the file ending inside the header, a frame, or a record's
+// declared payload — are not errors: crashes truncate, so a short prefix is
+// the expected failure shape and is dropped cleanly. Everything else (bad
+// magic, bad version, a header/filename epoch that cannot hold, impossible
+// lengths, CRC mismatches, unparseable payloads, out-of-sequence epochs) is
+// interior corruption and returns a *CorruptError. DecodeLog never panics,
+// whatever the input.
+func DecodeLog(data []byte) (base int, recs []Record, used int64, err error) {
+	if len(data) < headerSize {
+		return -1, nil, 0, nil
+	}
+	if string(data[:4]) != logMagic {
+		return 0, nil, 0, &CorruptError{Offset: 0, Reason: "bad magic"}
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != logVersion {
+		return 0, nil, 0, &CorruptError{Offset: 4, Reason: fmt.Sprintf("unsupported version %d", v)}
+	}
+	b := binary.LittleEndian.Uint64(data[8:])
+	if b > 1<<62 {
+		return 0, nil, 0, &CorruptError{Offset: 8, Reason: fmt.Sprintf("implausible base epoch %d", b)}
+	}
+	base = int(b)
+	used = headerSize
+	for {
+		rest := data[used:]
+		if len(rest) < frameSize {
+			return base, recs, used, nil // torn frame (or clean EOF)
+		}
+		n := binary.LittleEndian.Uint32(rest[0:])
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n == 0 || n > maxRecordBytes {
+			return base, recs, used, &CorruptError{Offset: used, Reason: fmt.Sprintf("impossible record length %d", n)}
+		}
+		if len(rest) < frameSize+int(n) {
+			return base, recs, used, nil // torn payload
+		}
+		payload := rest[frameSize : frameSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return base, recs, used, &CorruptError{Offset: used, Reason: "CRC mismatch"}
+		}
+		var rec Record
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return base, recs, used, &CorruptError{Offset: used, Reason: fmt.Sprintf("bad payload: %v", jerr)}
+		}
+		if want := base + len(recs) + 1; rec.Epoch != want {
+			return base, recs, used, &CorruptError{Offset: used, Reason: fmt.Sprintf("epoch %d out of sequence (want %d)", rec.Epoch, want)}
+		}
+		if rec.NextID < 0 {
+			return base, recs, used, &CorruptError{Offset: used, Reason: fmt.Sprintf("negative next id %d", rec.NextID)}
+		}
+		recs = append(recs, rec)
+		used += int64(frameSize) + int64(n)
+	}
+}

@@ -1,0 +1,430 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/pkg/spectrum"
+)
+
+// testImage builds a valid journal file image: header at base plus n
+// sequential records carrying a little op payload.
+func testImage(t *testing.T, base, n int) []byte {
+	t.Helper()
+	img := encodeHeader(base)
+	for i := 1; i <= n; i++ {
+		v := spectrum.Additive([]float64{1, 2, float64(i)})
+		rec := Record{
+			Epoch:  base + i,
+			NextID: spectrum.BidderID(10 + i),
+			Ops:    []spectrum.Op{{Op: spectrum.OpUpdate, ID: 3, Values: &v}},
+		}
+		var err error
+		img, err = appendRecord(img, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return img
+}
+
+// TestDecodeLogTornPrefixes: a crash can only truncate the log, so EVERY
+// prefix of a valid image must decode without error — the complete records
+// stand, the torn remainder is dropped, and used marks the cut.
+func TestDecodeLogTornPrefixes(t *testing.T) {
+	img := testImage(t, 7, 3)
+	base, recs, used, err := DecodeLog(img)
+	if err != nil || base != 7 || len(recs) != 3 || used != int64(len(img)) {
+		t.Fatalf("full image: base=%d recs=%d used=%d err=%v", base, len(recs), used, err)
+	}
+	for i, r := range recs {
+		if r.Epoch != 8+i || r.NextID != spectrum.BidderID(11+i) || len(r.Ops) != 1 {
+			t.Fatalf("record %d round-tripped as %+v", i, r)
+		}
+	}
+	for cut := 0; cut < len(img); cut++ {
+		b, rs, u, err := DecodeLog(img[:cut])
+		if err != nil {
+			t.Fatalf("prefix of %d bytes errored: %v", cut, err)
+		}
+		if cut < headerSize {
+			if b != -1 || rs != nil || u != 0 {
+				t.Fatalf("torn header at %d: base=%d recs=%d used=%d", cut, b, len(rs), u)
+			}
+			continue
+		}
+		if b != 7 || u > int64(cut) {
+			t.Fatalf("prefix %d: base=%d used=%d", cut, b, u)
+		}
+		for j, r := range rs {
+			if r.Epoch != 8+j {
+				t.Fatalf("prefix %d record %d has epoch %d", cut, j, r.Epoch)
+			}
+		}
+	}
+}
+
+// TestDecodeLogCorruption: bytes that are all present but wrong are interior
+// corruption — a typed *CorruptError under errors.Is(ErrCorrupt), never a
+// silent drop, with the valid prefix still returned.
+func TestDecodeLogCorruption(t *testing.T) {
+	valid := testImage(t, 0, 2)
+	flip := func(img []byte, at int) []byte {
+		out := append([]byte(nil), img...)
+		out[at] ^= 0x40
+		return out
+	}
+	// A frame whose CRC matches a payload that is not JSON.
+	badJSON := testImage(t, 0, 1)
+	payload := []byte("not json at all")
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	badJSON = append(badJSON, frame[:]...)
+	badJSON = append(badJSON, payload...)
+	// A well-formed record carrying the wrong epoch.
+	outOfSeq := testImage(t, 0, 1)
+	outOfSeq, err := appendRecord(outOfSeq, Record{Epoch: 7, NextID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An impossible declared length.
+	hugeLen := testImage(t, 0, 1)
+	binary.LittleEndian.PutUint32(frame[0:], maxRecordBytes+1)
+	hugeLen = append(hugeLen, frame[:]...)
+
+	cases := []struct {
+		name     string
+		img      []byte
+		wantRecs int
+	}{
+		{"bad magic", flip(valid, 0), 0},
+		{"bad version", flip(valid, 4), 0},
+		{"implausible base", flip(valid, 15), 0},
+		{"crc mismatch", flip(valid, headerSize+frameSize+2), 0},
+		{"bad json", badJSON, 1},
+		{"epoch out of sequence", outOfSeq, 1},
+		{"impossible length", hugeLen, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, recs, used, err := DecodeLog(tc.img)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err %T is not *CorruptError", err)
+			}
+			if len(recs) != tc.wantRecs {
+				t.Fatalf("salvaged %d records, want %d", len(recs), tc.wantRecs)
+			}
+			if used > int64(len(tc.img)) {
+				t.Fatalf("used %d beyond the image", used)
+			}
+		})
+	}
+}
+
+// driveSteps applies steps[from:to] to a journaled broker, ticking and
+// verifying each epoch against the reference.
+func driveSteps(t *testing.T, b *broker.Broker, w *Writer, steps []traceStep, refs []epochRef, from, to int) {
+	t.Helper()
+	for s := from; s < to; s++ {
+		applyStep(t, b, steps[s])
+		if rep := b.Tick(); rep.Epoch != s+1 {
+			t.Fatalf("step %d committed epoch %d", s, rep.Epoch)
+		}
+		if err := w.Err(); err != nil {
+			t.Fatalf("writer failed at epoch %d: %v", s+1, err)
+		}
+		verifyEpoch(t, "journaled", b, refs[s], false)
+	}
+}
+
+// TestOpenFreshReopenContinues: a clean shutdown and reopen resumes the same
+// market — restored state reference-identical, journal appended in place,
+// ids still assigned identically.
+func TestOpenFreshReopenContinues(t *testing.T) {
+	steps, refs := recordReference(t, "disk", false, 11, 8)
+	dir := t.TempDir()
+	factory := testFactory(t, "disk", false)
+	opts := Options{Sync: SyncAlways, SnapshotEvery: -1}
+
+	b, w, rec, err := Open(dir, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 0 || rec.SnapshotEpoch != 0 || rec.Records != 0 {
+		t.Fatalf("fresh open recovered %+v", rec)
+	}
+	if _, ok := b.RecoveredEpoch(); ok {
+		t.Fatal("fresh broker claims to be recovered")
+	}
+	if !b.Durable() {
+		t.Fatal("journaled broker not durable")
+	}
+	driveSteps(t, b, w, steps, refs, 0, 4)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, w, rec, err = Open(dir, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != 4 || rec.Records != 4 || rec.SnapshotEpoch != 0 || rec.TornBytes != 0 {
+		t.Fatalf("reopen recovered %+v", rec)
+	}
+	verifyEpoch(t, "reopened", b, refs[3], false)
+	driveSteps(t, b, w, steps, refs, 4, len(steps))
+	st := w.Stats()
+	if st.Records != int64(len(steps)-4) || st.LastEpoch != len(steps) {
+		t.Fatalf("writer stats %+v after %d epochs", st, len(steps))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, rec, err := Recover(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Epoch != len(steps) || rec.Records != len(steps) {
+		t.Fatalf("final recover %+v", rec)
+	}
+	verifyEpoch(t, "final", rb, refs[len(refs)-1], false)
+}
+
+// TestTornTailRepairedOnOpen: garbage appended past the last record (the
+// shape an OS crash leaves) is measured by Recover and truncated off by
+// Open, which then appends cleanly where the valid prefix ended.
+func TestTornTailRepairedOnOpen(t *testing.T) {
+	steps, refs := recordReference(t, "disk", false, 13, 6)
+	dir := t.TempDir()
+	factory := testFactory(t, "disk", false)
+	opts := Options{Sync: SyncAlways, SnapshotEvery: -1}
+	b, w, _, err := Open(dir, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, b, w, steps, refs, 0, 5)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn record: a frame declaring 100 payload bytes, then only 10.
+	f, err := os.OpenFile(journalPath(dir, 0), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame [frameSize]byte
+	binary.LittleEndian.PutUint32(frame[0:], 100)
+	if _, err := f.Write(append(frame[:], make([]byte, 10)...)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b, w, rec, err := Open(dir, factory, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornBytes != frameSize+10 || rec.Epoch != 5 {
+		t.Fatalf("recovered %+v, want a %d-byte torn tail at epoch 5", rec, frameSize+10)
+	}
+	verifyEpoch(t, "repaired", b, refs[4], false)
+	driveSteps(t, b, w, steps, refs, 5, len(steps))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, rec, err = Recover(dir, factory); err != nil || rec.TornBytes != 0 || rec.Epoch != len(steps) {
+		t.Fatalf("post-repair recover %+v err=%v", rec, err)
+	}
+}
+
+// TestInteriorCorruptionRefusesRestore: a flipped byte inside a committed
+// record must fail the restore loudly — recovery never silently drops
+// epochs that are physically present.
+func TestInteriorCorruptionRefusesRestore(t *testing.T) {
+	steps, refs := recordReference(t, "disk", false, 17, 5)
+	dir := t.TempDir()
+	factory := testFactory(t, "disk", false)
+	b, w, _, err := Open(dir, factory, Options{Sync: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, b, w, steps, refs, 0, len(steps))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := journalPath(dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+frameSize+3] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir, factory); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recover over corruption: %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := Open(dir, factory, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corruption: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotTruncateCycleUnderTraffic: with SnapshotEvery 4 a full trace
+// rolls the journal every fourth epoch while mutations keep flowing; only
+// the newest generation survives on disk and restores the complete market
+// (snapshot plus its journal tail).
+func TestSnapshotTruncateCycleUnderTraffic(t *testing.T) {
+	steps, refs := recordReference(t, "disk", false, 19, 8)
+	n := len(steps)
+	wantSnaps := int64(n / 4)
+	wantBase := int(wantSnaps) * 4
+	if wantSnaps < 2 || n == wantBase {
+		t.Fatalf("trace of %d steps does not exercise two cycles plus a tail", n)
+	}
+	dir := t.TempDir()
+	factory := testFactory(t, "disk", false)
+	b, w, _, err := Open(dir, factory, Options{Sync: SyncAlways, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, b, w, steps, refs, 0, n)
+	st := w.Stats()
+	if st.Snapshots != wantSnaps || st.Truncations != wantSnaps || st.BaseEpoch != wantBase {
+		t.Fatalf("writer stats %+v, want %d snapshot cycles based at epoch %d", st, wantSnaps, wantBase)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.snaps) != 1 || ds.snaps[0] != wantBase || len(ds.journals) != 1 || ds.journals[0] != wantBase || len(ds.tmps) != 0 {
+		t.Fatalf("directory after truncation: %+v, want only generation %d", ds, wantBase)
+	}
+	rb, rec, err := Recover(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotEpoch != wantBase || rec.Records != n-wantBase || rec.Epoch != n {
+		t.Fatalf("recover after truncation %+v", rec)
+	}
+	verifyEpoch(t, "truncated", rb, refs[n-1], false)
+}
+
+// TestSnapshotNowOnShutdown: the clean-shutdown snapshot leaves a
+// snapshot-only generation (zero tail records) and a second call with
+// nothing newer is a no-op.
+func TestSnapshotNowOnShutdown(t *testing.T) {
+	steps, refs := recordReference(t, "disk", false, 23, 5)
+	dir := t.TempDir()
+	factory := testFactory(t, "disk", false)
+	b, w, _, err := Open(dir, factory, Options{Sync: SyncAlways, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, b, w, steps, refs, 0, len(steps))
+	if err := w.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SnapshotNow(); err != nil {
+		t.Fatal(err) // idempotent: nothing newer than the standing snapshot
+	}
+	if st := w.Stats(); st.Snapshots != 1 {
+		t.Fatalf("stats %+v, want exactly one snapshot", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rb, rec, err := Recover(dir, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotEpoch != len(steps) || rec.Records != 0 || rec.Epoch != len(steps) {
+		t.Fatalf("recover from shutdown snapshot %+v", rec)
+	}
+	verifyEpoch(t, "shutdown snapshot", rb, refs[len(refs)-1], false)
+}
+
+// TestConfigMismatchRefused: a data directory written under one model (or
+// channel count) must refuse to restore into a differently-configured
+// broker with ErrMismatch, not silently rebuild garbage.
+func TestConfigMismatchRefused(t *testing.T) {
+	steps, refs := recordReference(t, "disk", false, 29, 4)
+	dir := t.TempDir()
+	b, w, _, err := Open(dir, testFactory(t, "disk", false), Options{Sync: SyncAlways, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, b, w, steps, refs, 0, len(steps))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Recover(dir, testFactory(t, "ieee80211", false)); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("recover under the wrong model: %v, want ErrMismatch", err)
+	}
+	wrongK := func() (*broker.Broker, error) {
+		m, err := broker.ModelByName("disk", 1)
+		if err != nil {
+			return nil, err
+		}
+		return broker.New(broker.Config{K: 2, Model: m})
+	}
+	if _, _, err := Recover(dir, wrongK); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("recover under the wrong k: %v, want ErrMismatch", err)
+	}
+}
+
+// TestWriterSequenceGuard: a commit that skips an epoch fails the writer
+// sticky, and the broker keeps serving from memory while counting the
+// journal misses.
+func TestWriterSequenceGuard(t *testing.T) {
+	dir := t.TempDir()
+	b, w, _, err := Open(dir, testFactory(t, "disk", false), Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(broker.CommitRecord{Epoch: 5}); err == nil {
+		t.Fatal("out-of-sequence commit accepted")
+	}
+	if w.Err() == nil {
+		t.Fatal("writer not failed sticky")
+	}
+	if err := w.Commit(broker.CommitRecord{Epoch: 1}); err == nil {
+		t.Fatal("commit accepted after sticky failure")
+	}
+	if rep := b.Tick(); rep.Epoch != 1 {
+		t.Fatalf("broker stopped ticking: %+v", rep)
+	}
+	if m := b.Metrics(); m.JournalErrors == 0 {
+		t.Fatal("journal misses not counted")
+	}
+	if st := w.Stats(); st.Errors == 0 {
+		t.Fatal("writer errors not counted")
+	}
+}
+
+// TestParseSyncPolicy pins the flag spellings.
+func TestParseSyncPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncEvery, SyncNone} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync-sometimes"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

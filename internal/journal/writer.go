@@ -1,0 +1,488 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+)
+
+// SyncPolicy says when the journal fsyncs.
+type SyncPolicy int
+
+// Sync policies.
+const (
+	// SyncAlways fsyncs after every committed epoch: a crash loses nothing
+	// that was acknowledged by a tick. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncEvery fsyncs at most once per Options.SyncInterval; a crash may
+	// lose the epochs committed inside the last unsynced window.
+	SyncEvery
+	// SyncNone never fsyncs on the commit path (the OS flushes when it
+	// pleases); snapshots are still written atomically and synced.
+	SyncNone
+)
+
+// String names the policy as the -sync flag spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncEvery:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -sync flag values "always", "interval", "none".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncEvery, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("journal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+// FaultPoint names a crash-injection site inside the writer. The
+// crash-injection suite drives these; production passes no FaultFn and
+// never reaches them.
+type FaultPoint int
+
+// Fault points, in commit-path order.
+const (
+	// FaultPartialRecord crashes after half of a record's bytes reached the
+	// file: the restart sees a torn tail.
+	FaultPartialRecord FaultPoint = iota
+	// FaultBeforeSync crashes after the record was fully written but before
+	// any fsync, modeled as the record never reaching the disk (the kernel
+	// page cache of a killed machine): the restart is one epoch behind.
+	FaultBeforeSync
+	// FaultMidSnapshot crashes after half the snapshot temp file: the
+	// restart sees a stray *.tmp and an intact previous generation.
+	FaultMidSnapshot
+	// FaultMidTruncate crashes after the new snapshot and its empty journal
+	// are durable but before the old generation is deleted: the restart
+	// must pick the newest snapshot and clean the orphans.
+	FaultMidTruncate
+)
+
+// String implements fmt.Stringer.
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultPartialRecord:
+		return "partial-record"
+	case FaultBeforeSync:
+		return "before-sync"
+	case FaultMidSnapshot:
+		return "mid-snapshot"
+	case FaultMidTruncate:
+		return "mid-truncate"
+	}
+	return fmt.Sprintf("FaultPoint(%d)", int(p))
+}
+
+// FaultFn decides whether to crash at a fault point. Returning true halts
+// the writer permanently (every later call returns ErrCrashed), leaving the
+// files exactly as a kill at that instant would.
+type FaultFn func(FaultPoint) bool
+
+// ErrCrashed is the sticky error of a writer halted by an injected fault.
+var ErrCrashed = errors.New("journal: halted by injected fault")
+
+// Options configures a journal writer.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the SyncEvery window (default 100ms).
+	SyncInterval time.Duration
+	// SnapshotEvery takes a full snapshot and truncates the log every this
+	// many epochs (default 512; negative disables snapshots entirely).
+	SnapshotEvery int
+	// Fault is the crash-injection hook (tests only).
+	Fault FaultFn
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 512
+	}
+	return o
+}
+
+// Stats are the writer's lifetime counters, served under /v1/metrics.
+type Stats struct {
+	// BaseEpoch is the current journal file's base (its snapshot's epoch).
+	BaseEpoch int `json:"base_epoch"`
+	// LastEpoch is the newest journaled epoch.
+	LastEpoch int `json:"last_epoch"`
+	// Records and Bytes count appended records (lifetime, across truncations).
+	Records int64 `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// Syncs counts fsyncs of the journal file.
+	Syncs int64 `json:"syncs"`
+	// Snapshots and Truncations count completed snapshot+truncate cycles.
+	Snapshots   int64 `json:"snapshots"`
+	Truncations int64 `json:"truncations"`
+	// Errors counts commits refused because the writer is failed.
+	Errors int64 `json:"errors"`
+}
+
+// Writer appends committed epochs to the journal and rotates it through
+// snapshots. Commit is the broker's commit hook; all methods are safe for
+// concurrent use. A Writer that hits an I/O error (or an injected fault)
+// fails sticky: every later Commit returns the same error, the broker keeps
+// serving from memory, and Metrics.JournalErrors counts the misses.
+type Writer struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	src  *broker.Broker
+
+	f         *os.File
+	base      int   // base epoch of the open journal file
+	off       int64 // bytes of valid records written (incl. header)
+	lastEpoch int   // newest journaled epoch
+	unsynced  bool
+	lastSync  time.Time
+
+	err   error // sticky failure
+	stats Stats
+}
+
+// Err returns the writer's sticky failure, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns a copy of the lifetime counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.stats
+	s.BaseEpoch, s.LastEpoch = w.base, w.lastEpoch
+	return s
+}
+
+// fail records the first failure; the writer is unusable afterwards.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+		if w.f != nil {
+			w.f.Close() // release the handle; no sync — the state is suspect
+			w.f = nil
+		}
+	}
+	return w.err
+}
+
+// crash realizes an injected fault: close the handle without syncing and
+// fail sticky, leaving the files exactly as the kill would.
+func (w *Writer) crash() error {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	w.err = ErrCrashed
+	return w.err
+}
+
+// fault asks the injection hook whether to crash at p.
+func (w *Writer) fault(p FaultPoint) bool {
+	return w.opts.Fault != nil && w.opts.Fault(p)
+}
+
+// Commit journals one committed epoch. It is installed as the broker's
+// commit hook, so it runs synchronously inside the tick, serialized with
+// every other tick; epochs arrive strictly in order and gap-free.
+func (w *Writer) Commit(rec broker.CommitRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		w.stats.Errors++
+		return w.err
+	}
+	if rec.Epoch != w.lastEpoch+1 {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: commit of epoch %d after epoch %d", rec.Epoch, w.lastEpoch))
+	}
+	frame, err := appendRecord(nil, Record{Epoch: rec.Epoch, NextID: rec.NextID, Ops: rec.Ops})
+	if err != nil {
+		w.stats.Errors++
+		return w.fail(err)
+	}
+	if w.fault(FaultPartialRecord) {
+		w.f.Write(frame[:len(frame)/2])
+		return w.crash()
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: append epoch %d: %w", rec.Epoch, err))
+	}
+	if w.fault(FaultBeforeSync) {
+		// Model "the bytes never left the page cache": on a real power cut
+		// an unsynced record simply is not there after reboot. In-process we
+		// share the page cache with the restarted broker, so realize the
+		// loss by truncating the record back off.
+		w.f.Truncate(w.off)
+		return w.crash()
+	}
+	w.off += int64(len(frame))
+	w.lastEpoch = rec.Epoch
+	w.unsynced = true
+	w.stats.Records++
+	w.stats.Bytes += int64(len(frame))
+	if err := w.maybeSync(); err != nil {
+		return err
+	}
+	if w.opts.SnapshotEvery > 0 && rec.Epoch-w.base >= w.opts.SnapshotEvery {
+		return w.snapshotLocked(rec.Epoch, rec.NextID)
+	}
+	return nil
+}
+
+// maybeSync applies the sync policy after an append. Caller holds mu.
+func (w *Writer) maybeSync() error {
+	switch w.opts.Sync {
+	case SyncAlways:
+	case SyncEvery:
+		if time.Since(w.lastSync) < w.opts.SyncInterval {
+			return nil
+		}
+	case SyncNone:
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: fsync: %w", err))
+	}
+	w.unsynced = false
+	w.lastSync = time.Now()
+	w.stats.Syncs++
+	return nil
+}
+
+// Sync forces an fsync of the journal file.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail(fmt.Errorf("journal: fsync: %w", err))
+	}
+	w.unsynced = false
+	w.lastSync = time.Now()
+	w.stats.Syncs++
+	return nil
+}
+
+// SnapshotNow takes a full snapshot and truncates the journal, regardless
+// of SnapshotEvery. The caller must have quiesced ticking (brokerd calls it
+// on clean shutdown after stopping the ticker), so the broker's committed
+// state is exactly the last journaled epoch.
+func (w *Writer) SnapshotNow() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.lastEpoch <= w.base {
+		return nil // nothing newer than the standing snapshot
+	}
+	return w.snapshotLocked(w.lastEpoch, 0)
+}
+
+// snapshotLocked writes the snapshot for epoch atomically, opens the next
+// journal generation, and deletes the old one. nextID pins the snapshot's
+// id high-water mark; 0 means "use the broker's live value" (SnapshotNow,
+// where ticking is quiesced). Caller holds mu.
+//
+// Durability order: tmp write → tmp fsync → rename → dir fsync → new
+// journal (header, fsync, dir fsync) → delete old files. Every crash point
+// leaves either the old generation intact or the new one complete enough
+// to restore from; restore prefers the newest parseable snapshot and
+// treats a missing journal file as an empty tail.
+func (w *Writer) snapshotLocked(epoch int, nextID broker.BidderID) error {
+	st := w.src.SeedState()
+	if st.Epoch != epoch {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: snapshot at epoch %d but broker committed %d", epoch, st.Epoch))
+	}
+	if nextID > 0 {
+		st.NextID = nextID
+	}
+	snap := Snapshot{
+		FormatVersion: SnapshotVersion,
+		Model:         st.Model,
+		K:             st.K,
+		Epoch:         epoch,
+		NextID:        st.NextID,
+		Bidders:       st.Bidders,
+		Instance:      st.Instance,
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: encode snapshot: %w", err))
+	}
+
+	// The journal must be on disk through this epoch before the snapshot
+	// can claim it: a synced snapshot over an unsynced journal could
+	// otherwise survive a crash its own base epoch did not.
+	if w.unsynced && w.opts.Sync != SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.stats.Errors++
+			return w.fail(fmt.Errorf("journal: fsync before snapshot: %w", err))
+		}
+		w.unsynced = false
+		w.stats.Syncs++
+	}
+
+	final := snapshotPath(w.dir, epoch)
+	tmp := final + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: create snapshot: %w", err))
+	}
+	if w.fault(FaultMidSnapshot) {
+		tf.Write(data[:len(data)/2])
+		tf.Close()
+		return w.crash()
+	}
+	if _, err := tf.Write(data); err == nil {
+		err = tf.Sync()
+	}
+	if err != nil {
+		tf.Close()
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: write snapshot: %w", err))
+	}
+	if err := tf.Close(); err != nil {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: close snapshot: %w", err))
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		w.stats.Errors++
+		return w.fail(fmt.Errorf("journal: publish snapshot: %w", err))
+	}
+	if err := syncDir(w.dir); err != nil {
+		w.stats.Errors++
+		return w.fail(err)
+	}
+
+	// Open the next journal generation.
+	nf, err := createLog(w.dir, epoch)
+	if err != nil {
+		w.stats.Errors++
+		return w.fail(err)
+	}
+	oldBase := w.base
+	old := w.f
+	if w.fault(FaultMidTruncate) {
+		nf.Close()
+		return w.crash()
+	}
+	old.Close()
+	w.f, w.base, w.off, w.lastEpoch = nf, epoch, headerSize, epoch
+	w.unsynced = false
+	w.stats.Snapshots++
+
+	// Retire the previous generation. Failures here are not fatal: the
+	// restore path ignores and removes orphans.
+	os.Remove(journalPath(w.dir, oldBase))
+	if oldBase > 0 {
+		os.Remove(snapshotPath(w.dir, oldBase))
+	}
+	if err := syncDir(w.dir); err != nil {
+		w.stats.Errors++
+		return w.fail(err)
+	}
+	w.stats.Truncations++
+	return nil
+}
+
+// Close fsyncs and closes the journal. It does not snapshot; see
+// SnapshotNow for the clean-shutdown path.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	w.err = errors.New("journal: writer closed")
+	return err
+}
+
+// Abort closes the journal's file handle without syncing and fails the
+// writer, releasing resources while leaving the files exactly as a kill
+// would. The restart-under-load smoke (cmd/brokerload -kill-after) uses it
+// to hard-crash the in-process broker.
+func (w *Writer) Abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	w.err = errors.New("journal: writer aborted")
+}
+
+// createLog creates (or truncates) the journal file for base and makes its
+// header durable.
+func createLog(dir string, base int) (*os.File, error) {
+	f, err := os.OpenFile(journalPath(dir, base), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create log: %w", err)
+	}
+	if _, err := f.Write(encodeHeader(base)); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: write log header: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: open dir: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("journal: fsync dir: %w", err)
+	}
+	return nil
+}

@@ -257,6 +257,15 @@ func (c *Client) Prices(ctx context.Context) (Prices, error) {
 	return p, err
 }
 
+// Health returns the broker's liveness and durability state (whether
+// commits are journaled, and the recovery epoch if this instance was
+// restored from a journal).
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, true)
+	return h, err
+}
+
 // WaitEpoch long-polls /v1/watch until an epoch strictly greater than since
 // has committed, and returns its report. It re-polls through empty windows
 // for as long as ctx lasts.

@@ -242,6 +242,18 @@ type Prices struct {
 	Prices map[string]float64 `json:"prices"`
 }
 
+// Health is the GET /healthz body: liveness plus the broker's durability
+// state. Durable reports whether commits are journaled; Recovered (with
+// RecoveredEpoch) reports that this broker instance was restored from a
+// journal on startup and at which epoch the restore finished.
+type Health struct {
+	Status         string `json:"status"`
+	Epoch          int    `json:"epoch"`
+	Durable        bool   `json:"durable,omitempty"`
+	Recovered      bool   `json:"recovered,omitempty"`
+	RecoveredEpoch int    `json:"recovered_epoch,omitempty"`
+}
+
 // EpochReport summarizes one committed broker epoch. It is the payload of
 // GET /v1/watch events and the per-epoch section of /v1/metrics.
 type EpochReport struct {
