@@ -11,10 +11,13 @@ package repro
 import (
 	"bytes"
 	"context"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/auction"
 	"repro/internal/baseline"
@@ -488,4 +491,107 @@ func BenchmarkBrokerEpochCold(b *testing.B) {
 	for _, m := range broker.ModelNames() {
 		b.Run(m, func(b *testing.B) { benchBrokerEpoch(b, m, true) })
 	}
+}
+
+// benchMirrorStack seeds a broker with one committed epoch of 64 bids over
+// HTTP and attaches a fully synced Mirror plus its read-only HTTP frontend.
+// MaxStaleness is set far beyond the benchmark duration so no read ever
+// degrades mid-measurement: the numbers isolate steady-state read cost.
+func benchMirrorStack(b *testing.B) (brokerURL, mirrorURL string, m *spectrum.Mirror) {
+	b.Helper()
+	br, err := broker.New(broker.Config{K: 4, Prices: true, MaxBidders: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(broker.NewHandler(br))
+	b.Cleanup(srv.Close)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 64; i++ {
+		values := make([]float64, 4)
+		for j := range values {
+			values[j] = 1 + rng.Float64()*9
+		}
+		if _, err := br.Submit(broker.Bid{
+			Pos:    geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			Radius: 3 + rng.Float64()*7,
+			Values: values,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep := br.Tick(); rep.Errors > 0 {
+		b.Fatalf("seed epoch errors: %+v", rep)
+	}
+	m, err = spectrum.NewMirror(spectrum.MirrorConfig{
+		Client:       spectrum.NewClient(srv.URL),
+		MaxStaleness: time.Hour,
+		PollTimeout:  500 * time.Millisecond,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); m.Run(ctx) }()
+	b.Cleanup(func() { cancel(); <-done })
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	if err := m.WaitForEpoch(wctx, 1); err != nil {
+		b.Fatal(err)
+	}
+	msrv := httptest.NewServer(spectrum.NewMirrorHandler(m))
+	b.Cleanup(msrv.Close)
+	return srv.URL, msrv.URL, m
+}
+
+// benchReadHTTP times GET <base>/v1/allocation round trips.
+func benchReadHTTP(b *testing.B, base string) {
+	url := base + "/v1/allocation"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// BenchmarkMirrorRead compares the three read paths the replica tier offers:
+// a GET against the broker itself (shares the mutation path's locks), the
+// same GET against a brokerproxy-style Mirror frontend, and the in-process
+// Mirror accessor that a co-located reader would use. BENCH_6.json records
+// the trio; the mirror HTTP path must not be slower than the broker path and
+// the direct path runs at memory speed.
+func BenchmarkMirrorRead(b *testing.B) {
+	brokerURL, mirrorURL, m := benchMirrorStack(b)
+	b.Run("broker-http", func(b *testing.B) { benchReadHTTP(b, brokerURL) })
+	b.Run("mirror-http", func(b *testing.B) { benchReadHTTP(b, mirrorURL) })
+	b.Run("mirror-direct", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				a, err := m.Allocation()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if a.Epoch < 1 {
+					b.Fatalf("bad epoch %d", a.Epoch)
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	})
 }

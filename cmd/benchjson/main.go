@@ -6,6 +6,12 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -label baseline > BENCH_2.json
+//
+// -attach key=path embeds an external JSON document (e.g. a brokerload
+// -json report) into the record under extras.<key>, so one BENCH_<n>.json
+// can carry both micro-benchmarks and workload-level measurements:
+//
+//	... | benchjson -label x -attach read_workload=/tmp/load.json > BENCH_6.json
 package main
 
 import (
@@ -29,11 +35,25 @@ type Result struct {
 
 // Record is the file layout of BENCH_<n>.json.
 type Record struct {
-	Label      string   `json:"label"`
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Label      string                     `json:"label"`
+	Goos       string                     `json:"goos,omitempty"`
+	Goarch     string                     `json:"goarch,omitempty"`
+	CPU        string                     `json:"cpu,omitempty"`
+	Benchmarks []Result                   `json:"benchmarks"`
+	Extras     map[string]json.RawMessage `json:"extras,omitempty"`
+}
+
+// attachFlags collects repeated -attach key=path pairs.
+type attachFlags []string
+
+func (a *attachFlags) String() string { return strings.Join(*a, ",") }
+
+func (a *attachFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want key=path, got %q", v)
+	}
+	*a = append(*a, v)
+	return nil
 }
 
 // parseLine decodes one benchmark result line; ok is false for any other
@@ -64,9 +84,27 @@ func parseLine(line string) (Result, bool) {
 
 func main() {
 	label := flag.String("label", "dev", "label stored in the record (e.g. git revision or \"baseline\")")
+	var attach attachFlags
+	flag.Var(&attach, "attach", "embed a JSON file under extras.<key> (key=path, repeatable)")
 	flag.Parse()
 
 	rec := Record{Label: *label}
+	for _, kv := range attach {
+		key, path, _ := strings.Cut(kv, "=")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -attach %s: %v\n", kv, err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: -attach %s: not valid JSON\n", kv)
+			os.Exit(1)
+		}
+		if rec.Extras == nil {
+			rec.Extras = make(map[string]json.RawMessage)
+		}
+		rec.Extras[key] = json.RawMessage(raw)
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()

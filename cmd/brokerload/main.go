@@ -31,6 +31,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +40,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
@@ -64,6 +66,9 @@ func main() {
 		maxBidders  = flag.Int("max-bidders", 4096, "population cap of the -local broker")
 		killAfter   = flag.Duration("kill-after", 0, "with -local: hard-kill the broker at this interval, restore it from its journal on the same address, verify, and resume (restart-under-load smoke)")
 		dataDir     = flag.String("data-dir", "", "journal directory of the -local broker (default with -kill-after: a temp dir)")
+		readers     = flag.Int("readers", 0, "reader goroutines hammering the replica's GET /v1/allocation alongside the mutation load")
+		readRatio   = flag.Int("read-ratio", 1000, "cap reads at this many per mutation (0 = unthrottled)")
+		readAddr    = flag.String("read-addr", "", "base URL the readers target (a brokerproxy); with -local and empty, an in-process Mirror + replica handler is started automatically")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
@@ -111,6 +116,27 @@ func main() {
 	ctx := context.Background()
 	client := spectrum.NewClient(base)
 
+	// Replica read workload: readers hammer a brokerproxy (external via
+	// -read-addr, or an in-process Mirror + replica handler over the -local
+	// broker) while the mutation load churns the market.
+	readBase := *readAddr
+	if *readers > 0 && readBase == "" {
+		if !*local {
+			log.Fatal("brokerload: -readers needs -read-addr (or -local to start an in-process replica)")
+		}
+		stopReplica, url, err := startReplica(ctx, base)
+		if err != nil {
+			log.Fatalf("brokerload: replica: %v", err)
+		}
+		defer stopReplica()
+		readBase = url
+		log.Printf("brokerload: in-process replica on %s (%d readers, read-ratio %d)", readBase, *readers, *readRatio)
+	}
+
+	// latestEpoch is the newest committed epoch the watch stream has seen;
+	// readers measure staleness against it.
+	var latestEpoch atomic.Int64
+
 	// Watch epoch commits for the whole run; the server reports its own
 	// solve-and-commit latency per epoch. In kill mode the stream breaks at
 	// every kill, so the watcher reconnects until told to stop.
@@ -129,6 +155,7 @@ func main() {
 		for {
 			for rep := range client.Watch(wctx, since) {
 				since = rep.Epoch
+				latestEpoch.Store(int64(rep.Epoch))
 				watch.Lock()
 				watch.epochs++
 				watch.total += rep.Latency
@@ -178,6 +205,67 @@ func main() {
 		requests  int
 		lat       []time.Duration
 	}
+
+	// The reader pool: free-running GETs against the replica, throttled so
+	// total reads stay within read-ratio × mutations-so-far. Reads measure
+	// latency, epoch lag behind the newest committed epoch the watcher has
+	// seen, and honest 503s (the replica refusing to serve stale state).
+	var reads struct {
+		sync.Mutex
+		count    int
+		stale503 int
+		lat      []time.Duration
+		lag      []int
+	}
+	readersStop := make(chan struct{})
+	var readersWG sync.WaitGroup
+	if *readers > 0 {
+		// No retries: a 503 is a measured outcome here, not a transient.
+		rclient := spectrum.NewClient(readBase, spectrum.WithRetries(0))
+		for i := 0; i < *readers; i++ {
+			readersWG.Add(1)
+			go func() {
+				defer readersWG.Done()
+				for {
+					select {
+					case <-readersStop:
+						return
+					default:
+					}
+					if *readRatio > 0 {
+						agg.Lock()
+						muts := agg.mutations
+						agg.Unlock()
+						reads.Lock()
+						over := reads.count >= *readRatio*(muts+1)
+						reads.Unlock()
+						if over {
+							time.Sleep(time.Millisecond)
+							continue
+						}
+					}
+					t0 := time.Now()
+					alloc, err := rclient.Allocation(ctx)
+					d := time.Since(t0)
+					reads.Lock()
+					reads.count++
+					reads.lat = append(reads.lat, d)
+					if err != nil {
+						var ae *spectrum.APIError
+						if errors.As(err, &ae) && ae.Code == http.StatusServiceUnavailable {
+							reads.stale503++
+						}
+					} else if newest := int(latestEpoch.Load()); newest > alloc.Epoch {
+						reads.lag = append(reads.lag, newest-alloc.Epoch)
+					} else {
+						reads.lag = append(reads.lag, 0)
+					}
+					reads.Unlock()
+				}
+			}()
+		}
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, *concurrency)
@@ -195,6 +283,8 @@ func main() {
 		}()
 	}
 	wg.Wait()
+	close(readersStop)
+	readersWG.Wait()
 	killCancel()
 	<-killerDone
 	if killErr != nil {
@@ -244,6 +334,34 @@ func main() {
 	if *killAfter > 0 {
 		report["restarts"] = restarts
 	}
+	if *readers > 0 {
+		reads.Lock()
+		sort.Slice(reads.lat, func(i, j int) bool { return reads.lat[i] < reads.lat[j] })
+		sort.Ints(reads.lag)
+		rpct := func(p float64) time.Duration {
+			if len(reads.lat) == 0 {
+				return 0
+			}
+			return reads.lat[int(p*float64(len(reads.lat)-1))]
+		}
+		lagPct := func(p float64) int {
+			if len(reads.lag) == 0 {
+				return 0
+			}
+			return reads.lag[int(p*float64(len(reads.lag)-1))]
+		}
+		report["readers"] = *readers
+		report["reads"] = reads.count
+		report["reads_per_s"] = float64(reads.count) / elapsed.Seconds()
+		report["read_p50_ns"] = rpct(0.50).Nanoseconds()
+		report["read_p95_ns"] = rpct(0.95).Nanoseconds()
+		report["read_max_ns"] = rpct(1.0).Nanoseconds()
+		report["read_stale_503s"] = reads.stale503
+		report["staleness_epochs_p50"] = lagPct(0.50)
+		report["staleness_epochs_p95"] = lagPct(0.95)
+		report["staleness_epochs_max"] = lagPct(1.0)
+		reads.Unlock()
+	}
 	watch.Lock()
 	report["epochs_committed"] = watch.epochs
 	meanCommit := time.Duration(0)
@@ -275,6 +393,44 @@ func main() {
 	if *killAfter > 0 {
 		fmt.Printf("  kill/restore round-trips: %d (all verified allocation-identical)\n", restarts)
 	}
+	if *readers > 0 {
+		fmt.Printf("  replica reads: %d by %d readers (%.0f reads/s), p50 %v p95 %v, %d stale 503s, staleness p50/p95/max %v/%v/%v epochs\n",
+			report["reads"], *readers, report["reads_per_s"],
+			time.Duration(report["read_p50_ns"].(int64)).Round(time.Microsecond),
+			time.Duration(report["read_p95_ns"].(int64)).Round(time.Microsecond),
+			report["read_stale_503s"],
+			report["staleness_epochs_p50"], report["staleness_epochs_p95"], report["staleness_epochs_max"])
+	}
+}
+
+// startReplica brings up the in-process read tier of -readers: a
+// spectrum.Mirror following base plus the brokerproxy HTTP surface on an
+// ephemeral port. Returned stop tears both down.
+func startReplica(ctx context.Context, base string) (stop func(), url string, err error) {
+	m, err := spectrum.NewMirror(spectrum.MirrorConfig{
+		Client:       spectrum.NewClient(base),
+		MaxStaleness: 5 * time.Second,
+		PollTimeout:  500 * time.Millisecond,
+		BaseBackoff:  20 * time.Millisecond,
+		MaxBackoff:   500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	mctx, mcancel := context.WithCancel(ctx)
+	go m.Run(mctx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mcancel()
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: spectrum.NewMirrorHandler(m)}
+	go srv.Serve(ln)
+	stop = func() {
+		srv.Close()
+		mcancel()
+	}
+	return stop, "http://" + ln.Addr().String(), nil
 }
 
 // localStack is the restartable in-process daemon of -local: broker

@@ -1,0 +1,457 @@
+// Command brokerproxy is the resilient read-replica tier of the live
+// spectrum broker: it follows one upstream brokerd over the /v1/watch
+// long-poll (pkg/spectrum's Mirror), keeps a committed-epoch copy of the
+// allocation, prices, and snapshot in memory, and serves the broker's read
+// routes locally at memory speed. Point dashboards, auditors, and
+// read-heavy tooling here; point mutations at the broker.
+//
+// The replica's contract is explicit staleness, never silent wrongness: a
+// read at epoch E returns byte-for-byte what the broker itself served at E,
+// and when the proxy cannot prove its state fresh within -max-staleness it
+// answers 503 + Retry-After instead of a confident stale 200. Gaps in the
+// watch stream (missed epochs, broker restarts) trigger a full resync;
+// stream failures reconnect with capped exponential backoff plus jitter.
+//
+// Quickstart:
+//
+//	brokerd -addr :8080 -k 4 -epoch 250ms &
+//	brokerproxy -addr :8081 -upstream http://127.0.0.1:8080
+//	curl -s localhost:8081/v1/allocation     # the broker's bytes, locally
+//	curl -s localhost:8081/healthz           # lag, last-sync epoch, degraded flag
+//	curl -s localhost:8081/metrics           # resyncs, reconnects, gap events, staleness
+//
+// -selftest runs the whole tier against a deliberately hostile network and
+// exits: an in-process journaled broker is fronted by a fault-injection TCP
+// proxy (internal/chaos) that resets connections mid-body, truncates
+// responses, stalls silently, and injects latency; churn load replays
+// through the broker while the Mirror follows through the chaos; the broker
+// is hard-killed mid-load and restored from its journal; and a full network
+// blackout forces the replica into degraded mode. The run passes only if
+// the replica converges to the broker's exact final bytes, serves 503
+// during the blackout, and exits degraded mode after it lifts.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/market"
+	"repro/pkg/spectrum"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8081", "HTTP listen address of the replica")
+		upstream     = flag.String("upstream", "", "base URL of the broker to mirror (e.g. http://127.0.0.1:8080)")
+		maxStaleness = flag.Duration("max-staleness", 5*time.Second, "serve reads only while state was confirmed current within this bound; beyond it reads are 503")
+		maxLag       = flag.Int("max-lag", 0, "additionally degrade when the applied epoch lags the newest heard epoch by more than this (0 = time bound only)")
+		pollTimeout  = flag.Duration("poll-timeout", 25*time.Second, "upstream /v1/watch long-poll window")
+		baseBackoff  = flag.Duration("backoff", 100*time.Millisecond, "base reconnect backoff (full jitter, exponential)")
+		maxBackoff   = flag.Duration("max-backoff", 5*time.Second, "reconnect backoff ceiling")
+		verbose      = flag.Bool("v", false, "log every degraded/recovered transition and resync")
+		selftest     = flag.Bool("selftest", false, "run the fault-injection smoke against an in-process broker and exit")
+		seed         = flag.Int64("seed", 1, "selftest trace and fault-schedule seed")
+	)
+	flag.Parse()
+
+	if *selftest {
+		if err := runSelftest(*seed); err != nil {
+			log.Printf("brokerproxy: SELFTEST FAILED: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("brokerproxy: selftest passed")
+		return
+	}
+	if *upstream == "" {
+		log.Fatal("brokerproxy: pass -upstream (or -selftest)")
+	}
+
+	client := spectrum.NewClient(*upstream,
+		spectrum.WithBackoff(*baseBackoff), spectrum.WithMaxBackoff(*maxBackoff))
+	m, err := spectrum.NewMirror(spectrum.MirrorConfig{
+		Client:       client,
+		MaxStaleness: *maxStaleness,
+		MaxLag:       *maxLag,
+		PollTimeout:  *pollTimeout,
+		BaseBackoff:  *baseBackoff,
+		MaxBackoff:   *maxBackoff,
+		Seed:         *seed,
+	})
+	if err != nil {
+		log.Fatalf("brokerproxy: %v", err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	go func() {
+		_ = m.Run(ctx)
+	}()
+	if *verbose {
+		go logTransitions(ctx, m)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: spectrum.NewMirrorHandler(m)}
+	go func() {
+		<-ctx.Done()
+		shctx, shcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer shcancel()
+		_ = srv.Shutdown(shctx)
+	}()
+	log.Printf("brokerproxy: mirroring %s on %s (max-staleness=%s max-lag=%d)",
+		*upstream, *addr, *maxStaleness, *maxLag)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("brokerproxy: %v", err)
+	}
+}
+
+// logTransitions polls the mirror's health and logs degraded/recovered edges
+// plus resync activity — operational visibility without log spam per epoch.
+func logTransitions(ctx context.Context, m *spectrum.Mirror) {
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	degraded := false
+	var lastResyncs int64
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		h := m.Health()
+		if h.Degraded != degraded {
+			degraded = h.Degraded
+			if degraded {
+				log.Printf("brokerproxy: DEGRADED at epoch %d (staleness %dms > bound %dms)",
+					h.Epoch, h.StalenessMS, h.BoundMS)
+			} else {
+				log.Printf("brokerproxy: recovered, serving epoch %d", h.Epoch)
+			}
+		}
+		if st := m.Stats(); st.Resyncs != lastResyncs {
+			log.Printf("brokerproxy: resyncs=%d reconnects=%d gaps=%d restarts=%d (epoch %d)",
+				st.Resyncs, st.Reconnects, st.GapEvents, st.Restarts, st.Epoch)
+			lastResyncs = st.Resyncs
+		}
+	}
+}
+
+// --- selftest -------------------------------------------------------------
+
+// stack is the restartable in-process broker of the selftest (the same
+// shape brokerload's -local uses): journaled broker + HTTP server + ticker,
+// killable without a clean close and restorable on the same address.
+type stack struct {
+	dir  string
+	addr string
+	tick time.Duration
+
+	b    *broker.Broker
+	w    *journal.Writer
+	srv  *http.Server
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (s *stack) factory() (*broker.Broker, error) {
+	cm, err := broker.ModelByName("disk", 1)
+	if err != nil {
+		return nil, err
+	}
+	return broker.New(broker.Config{K: 4, Model: cm, MaxBidders: 4096, Prices: true})
+}
+
+func (s *stack) start() error {
+	var err error
+	s.b, s.w, _, err = journal.Open(s.dir, s.factory, journal.Options{Sync: journal.SyncAlways, SnapshotEvery: 64})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return err
+	}
+	s.addr = ln.Addr().String()
+	s.srv = &http.Server{Handler: broker.NewHandler(s.b)}
+	go s.srv.Serve(ln)
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func(stop, done chan struct{}, b *broker.Broker) {
+		defer close(done)
+		t := time.NewTicker(s.tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				b.Tick()
+			}
+		}
+	}(s.stop, s.done, s.b)
+	return nil
+}
+
+func (s *stack) stopTicker() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop = nil
+}
+
+func (s *stack) crash() {
+	s.srv.Close()
+	s.w.Abort()
+	s.b, s.w, s.srv = nil, nil, nil
+}
+
+// runSelftest exercises the replica tier end to end through a hostile
+// network; see the package comment for the scenario.
+func runSelftest(seed int64) error {
+	dir, err := os.MkdirTemp("", "brokerproxy-selftest-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	st := &stack{dir: dir, addr: "127.0.0.1:0", tick: 50 * time.Millisecond}
+	if err := st.start(); err != nil {
+		return err
+	}
+	defer func() {
+		if st.srv != nil {
+			st.stopTicker()
+			st.srv.Close()
+			if st.w != nil {
+				st.w.Close()
+			}
+		}
+	}()
+
+	// The Mirror sees the broker only through the chaos proxy: every third
+	// connection is injured (reset / truncate / stall in rotation) and every
+	// chunk is delayed.
+	cp, err := chaos.New(st.addr, chaos.Config{
+		Seed:            seed,
+		FaultEvery:      3,
+		FaultAfterBytes: 200,
+		StallFor:        300 * time.Millisecond,
+		Latency:         time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer cp.Close()
+
+	const maxStaleness = 1500 * time.Millisecond
+	// No keep-alives: every request dials a fresh connection, so the chaos
+	// schedule (every 3rd connection) injures a meaningful share of traffic.
+	mc := spectrum.NewClient(cp.URL(), spectrum.WithHTTPClient(&http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}))
+	m, err := spectrum.NewMirror(spectrum.MirrorConfig{
+		Client:       mc,
+		MaxStaleness: maxStaleness,
+		PollTimeout:  500 * time.Millisecond,
+		BaseBackoff:  20 * time.Millisecond,
+		MaxBackoff:   200 * time.Millisecond,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	// The replica's public face: the proxy HTTP surface under test.
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	psrv := &http.Server{Handler: spectrum.NewMirrorHandler(m)}
+	go psrv.Serve(pln)
+	defer psrv.Close()
+	proxyURL := "http://" + pln.Addr().String()
+
+	// Churn load straight at the broker (mutations are not under test; the
+	// read path is), killing and journal-restoring the broker halfway.
+	direct := spectrum.NewClient("http://" + st.addr)
+	tr := market.GenTrace(market.TraceConfig{
+		Seed: seed, Epochs: 24, K: 4, Side: 300,
+		ArrivalRate: 6, MeanLifetime: 5, MaxUsers: 120, Model: "disk",
+	})
+	replay := market.NewOpsReplayer(tr, true)
+	step := 0
+	for {
+		ops, more, err := replay.Step()
+		if err != nil {
+			return err
+		}
+		res, err := direct.SubmitBatch(ctx, ops)
+		if err != nil {
+			return fmt.Errorf("load step %d: %w", step, err)
+		}
+		if err := replay.Observe(res.Results); err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+		step++
+		if step == 12 {
+			// Hard-kill mid-load, restore from the journal on the same
+			// address. The Mirror must detect the restart and re-anchor.
+			// One flushing tick first: queued-but-uncommitted mutations are
+			// legitimately lost in a crash (the journal is per committed
+			// epoch), but this smoke tests the read path, so the replay must
+			// keep its id mapping valid across the restore.
+			st.stopTicker()
+			st.b.Tick()
+			preEpoch := st.b.Epoch()
+			st.crash()
+			if err := st.start(); err != nil {
+				return fmt.Errorf("restore: %w", err)
+			}
+			if got := st.b.Epoch(); got != preEpoch {
+				return fmt.Errorf("restored epoch %d, killed at %d", got, preEpoch)
+			}
+			log.Printf("brokerproxy: selftest killed broker at epoch %d and restored it", preEpoch)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Quiesce: stop ticking, commit one final epoch, and demand the replica
+	// converge to the broker's exact bytes.
+	st.stopTicker()
+	st.b.Tick()
+	final := st.b.Epoch()
+	if err := waitHealthy(proxyURL, final, 15*time.Second); err != nil {
+		return fmt.Errorf("replica did not converge to epoch %d: %w", final, err)
+	}
+	for _, route := range []string{"/v1/snapshot", "/v1/allocation", "/v1/prices"} {
+		want, code, err := httpGet("http://"+st.addr+route, "")
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("broker %s: code %d err %v", route, code, err)
+		}
+		got, code, err := httpGet(proxyURL+route, "")
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("replica %s: code %d err %v", route, code, err)
+		}
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("replica %s differs from broker at epoch %d (%d vs %d bytes)",
+				route, final, len(got), len(want))
+		}
+	}
+	log.Printf("brokerproxy: selftest converged byte-identically at epoch %d (%d bidders)", final, countWinners(m))
+
+	// Blackout: the replica must degrade honestly (503 + Retry-After), then
+	// recover once the network returns.
+	cp.SetBlackout(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, code, err := httpGet(proxyURL+"/v1/snapshot", "")
+		if err == nil && code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica never degraded during blackout (last code %d err %v)", code, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, code, _ := httpGet(proxyURL+"/healthz", ""); code != http.StatusServiceUnavailable {
+		return fmt.Errorf("degraded /healthz code %d, want 503", code)
+	}
+	if _, _, ra, _ := httpGetH(proxyURL + "/v1/snapshot"); ra == "" {
+		return fmt.Errorf("degraded read missing Retry-After")
+	}
+	log.Printf("brokerproxy: selftest blackout degraded the replica as required")
+
+	cp.SetBlackout(false)
+	// The broker was up the whole time — only the network was dark. One
+	// more commit proves the replica is following again, not serving a
+	// resurrected cache.
+	st.b.Tick()
+	if err := waitHealthy(proxyURL, st.b.Epoch(), 15*time.Second); err != nil {
+		return fmt.Errorf("replica did not exit degraded mode: %w", err)
+	}
+	stats := m.Stats()
+	log.Printf("brokerproxy: selftest recovered to epoch %d (syncs=%d resyncs=%d reconnects=%d gaps=%d restarts=%d; chaos: %d conns, faults %v)",
+		st.b.Epoch(), stats.Syncs, stats.Resyncs, stats.Reconnects, stats.GapEvents, stats.Restarts,
+		cp.Stats().Conns, cp.Stats().Injected)
+	if stats.Reconnects == 0 {
+		return fmt.Errorf("fault injection never forced a reconnect — the smoke did not smoke")
+	}
+	if stats.Restarts == 0 {
+		return fmt.Errorf("broker kill/restore was not detected as a restart")
+	}
+	return nil
+}
+
+// waitHealthy polls the replica's /healthz until it reports a non-degraded
+// state at exactly epoch want.
+func waitHealthy(proxyURL string, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		body, code, err := httpGet(proxyURL+"/healthz", "")
+		if err == nil && code == http.StatusOK {
+			var h spectrum.MirrorHealth
+			if jerr := json.Unmarshal(body, &h); jerr == nil {
+				if !h.Degraded && h.Epoch == want {
+					return nil
+				}
+				last = fmt.Sprintf("epoch %d degraded=%v", h.Epoch, h.Degraded)
+			}
+		} else {
+			last = fmt.Sprintf("code %d err %v", code, err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timeout (last health: %s)", last)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func httpGet(url, _ string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}
+
+func httpGetH(url string) ([]byte, int, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, resp.Header.Get("Retry-After"), err
+}
+
+func countWinners(m *spectrum.Mirror) int {
+	a, err := m.Allocation()
+	if err != nil {
+		return -1
+	}
+	return len(a.Winners)
+}

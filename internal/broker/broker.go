@@ -274,8 +274,11 @@ type Metrics struct {
 	ErrorsTotal  int64       `json:"errors_total"`
 	// JournalErrors counts epoch commits whose durability hook failed (the
 	// epoch stays committed in memory; the journal is behind).
-	JournalErrors int64       `json:"journal_errors"`
-	Last          EpochReport `json:"last"`
+	JournalErrors int64 `json:"journal_errors"`
+	// DroppedSubscribers counts watch streams the broker severed because the
+	// subscriber could not keep up (an event write exceeded its deadline).
+	DroppedSubscribers int64       `json:"dropped_subscribers"`
+	Last               EpochReport `json:"last"`
 }
 
 // Broker is the live market. All exported methods are safe for concurrent
@@ -321,6 +324,8 @@ type Broker struct {
 
 	// rejected counts refused mutations (bad bids, unknown ids, full market).
 	rejected atomic.Int64
+	// droppedSubs counts watch subscribers severed for falling behind.
+	droppedSubs atomic.Int64
 
 	// mu guards the committed state served to queries.
 	mu      sync.RWMutex
@@ -787,6 +792,7 @@ func (b *Broker) Metrics() Metrics {
 	m := b.metrics
 	m.Rejected = b.rejected.Load()
 	m.JournalErrors = b.journalErrs.Load()
+	m.DroppedSubscribers = b.droppedSubs.Load()
 	return m
 }
 

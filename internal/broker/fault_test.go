@@ -1,0 +1,414 @@
+package broker_test
+
+// The read-replica robustness matrix: a spectrum.Mirror following a live
+// broker must (a) answer byte-identically to the broker's own responses at
+// every epoch it has applied — read-your-writes for replica readers — and
+// (b) under an injured network (resets mid-body, truncated responses,
+// silent stalls, latency, blackouts, broker kill+journal-restore) always
+// reconverge and never serve a wrong-but-confident answer. This file lives
+// in package broker_test because the kill/restore scenario needs
+// internal/journal, which itself imports internal/broker.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/chaos"
+	"repro/internal/journal"
+	"repro/internal/market"
+	"repro/pkg/spectrum"
+)
+
+// faultTrace is the churn workload of this file's tests.
+func faultTrace(model string, seed int64, epochs int) *market.Trace {
+	return market.GenTrace(market.TraceConfig{
+		Seed:         seed,
+		Epochs:       epochs,
+		K:            3,
+		Side:         150,
+		ArrivalRate:  4,
+		MeanLifetime: 4,
+		MaxUsers:     24,
+		Model:        model,
+	})
+}
+
+func newFaultBroker(t *testing.T, model string) *broker.Broker {
+	t.Helper()
+	cm, err := broker.ModelByName(model, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := broker.New(broker.Config{K: 3, Model: cm, Prices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// replayStep feeds the replayer's next trace epoch into the broker as one
+// batch; false once the trace is exhausted.
+func replayStep(t *testing.T, b *broker.Broker, r *market.OpsReplayer) bool {
+	t.Helper()
+	ops, more, err := r.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _ := b.Batch(ops)
+	if err := r.Observe(results); err != nil {
+		t.Fatal(err)
+	}
+	return more
+}
+
+// fetchRaw reads one broker route's exact response bytes.
+func fetchRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d (%s)", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func startMirror(t *testing.T, base string, cfg spectrum.MirrorConfig) *spectrum.Mirror {
+	t.Helper()
+	cfg.Client = spectrum.NewClient(base, spectrum.WithHTTPClient(&http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}))
+	if cfg.PollTimeout == 0 {
+		cfg.PollTimeout = 200 * time.Millisecond
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 100 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	m, err := spectrum.NewMirror(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return m
+}
+
+// TestMirrorReadYourWritesAllBackends pins the replica consistency
+// contract for every interference backend: after each committed epoch of a
+// churn trace, the mirror's snapshot, allocation, and prices — once it has
+// applied that epoch — are byte-for-byte the broker's own responses.
+func TestMirrorReadYourWritesAllBackends(t *testing.T) {
+	for _, model := range broker.ModelNames() {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			b := newFaultBroker(t, model)
+			srv := httptest.NewServer(broker.NewHandler(b))
+			defer srv.Close()
+			m := startMirror(t, srv.URL, spectrum.MirrorConfig{})
+
+			r := market.NewOpsReplayer(faultTrace(model, 11, 6), true)
+			for epoch := 1; replayStep(t, b, r); epoch++ {
+				b.Tick()
+				wantSnap := fetchRaw(t, srv.URL+"/v1/snapshot")
+				wantAlloc := fetchRaw(t, srv.URL+"/v1/allocation")
+				wantPrices := fetchRaw(t, srv.URL+"/v1/prices")
+
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				err := m.WaitForEpoch(ctx, epoch)
+				cancel()
+				if err != nil {
+					t.Fatalf("epoch %d never reached the mirror: %v", epoch, err)
+				}
+				for _, probe := range []struct {
+					route string
+					want  []byte
+					read  func() ([]byte, int, error)
+				}{
+					{"snapshot", wantSnap, m.SnapshotJSON},
+					{"allocation", wantAlloc, m.AllocationJSON},
+					{"prices", wantPrices, m.PricesJSON},
+				} {
+					got, gotEpoch, err := probe.read()
+					if err != nil {
+						t.Fatalf("%s at epoch %d: %v", probe.route, epoch, err)
+					}
+					if gotEpoch != epoch {
+						t.Fatalf("%s: mirror at epoch %d, broker at %d", probe.route, gotEpoch, epoch)
+					}
+					if !bytes.Equal(got, probe.want) {
+						t.Fatalf("%s at epoch %d: mirror bytes differ from broker (%d vs %d bytes)",
+							probe.route, epoch, len(got), len(probe.want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMirrorConvergesUnderFaultMatrix follows a churning broker through the
+// chaos transport with every scheduled fault kind active plus injected
+// latency. Two properties: any successful mirror read during the run is
+// byte-identical to what the broker served at that read's epoch (never
+// wrong-but-confident), and after the churn the mirror converges to the
+// final committed state exactly.
+func TestMirrorConvergesUnderFaultMatrix(t *testing.T) {
+	b := newFaultBroker(t, "disk")
+	srv := httptest.NewServer(broker.NewHandler(b))
+	defer srv.Close()
+
+	cp, err := chaos.New(srv.Listener.Addr().String(), chaos.Config{
+		Seed:            3,
+		FaultEvery:      2, // every other connection is injured
+		Faults:          []chaos.Fault{chaos.Reset, chaos.Truncate, chaos.Stall},
+		FaultAfterBytes: 150,
+		StallFor:        100 * time.Millisecond,
+		Latency:         time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	m := startMirror(t, cp.URL(), spectrum.MirrorConfig{
+		MaxStaleness: 2 * time.Second,
+		PollTimeout:  150 * time.Millisecond,
+	})
+
+	// byEpoch records the broker's exact snapshot bytes at every committed
+	// epoch; a mirror read claiming epoch E must reproduce byEpoch[E].
+	byEpoch := map[int][]byte{}
+	r := market.NewOpsReplayer(faultTrace("disk", 17, 10), true)
+	confident := 0
+	for epoch := 1; replayStep(t, b, r); epoch++ {
+		b.Tick()
+		byEpoch[epoch] = fetchRaw(t, srv.URL+"/v1/snapshot")
+		// Sample the mirror mid-churn, through the faults.
+		if got, gotEpoch, err := m.SnapshotJSON(); err == nil {
+			want, ok := byEpoch[gotEpoch]
+			if !ok {
+				t.Fatalf("mirror served epoch %d, which the broker never committed", gotEpoch)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mirror served wrong bytes for epoch %d", gotEpoch)
+			}
+			confident++
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	final := b.Epoch()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.WaitForEpoch(ctx, final); err != nil {
+		t.Fatalf("mirror never converged to final epoch %d under faults: %v (stats %+v, chaos %+v)",
+			final, err, m.Stats(), cp.Stats())
+	}
+	got, gotEpoch, err := m.SnapshotJSON()
+	if err != nil || gotEpoch != final {
+		t.Fatalf("converged read: epoch %d err %v, want %d", gotEpoch, err, final)
+	}
+	if !bytes.Equal(got, byEpoch[final]) {
+		t.Fatalf("converged snapshot differs from broker at epoch %d", final)
+	}
+	st := cp.Stats()
+	injured := 0
+	for _, n := range st.Injected {
+		injured += n
+	}
+	if injured == 0 {
+		t.Fatalf("fault matrix injected nothing (%d conns) — the test did not test", st.Conns)
+	}
+	t.Logf("converged at epoch %d; %d confident mid-churn reads verified; chaos: %d conns, %v injured; mirror: %+v",
+		final, confident, st.Conns, st.Injected, m.Stats())
+}
+
+// TestMirrorBlackoutDegradesThenRecovers: when the network goes fully dark
+// the mirror keeps serving within its staleness bound, then degrades every
+// read to ErrStale rather than answering from the dead past; when the
+// network returns it re-anchors and serves fresh state again.
+func TestMirrorBlackoutDegradesThenRecovers(t *testing.T) {
+	b := newFaultBroker(t, "disk")
+	srv := httptest.NewServer(broker.NewHandler(b))
+	defer srv.Close()
+	cp, err := chaos.New(srv.Listener.Addr().String(), chaos.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	const bound = 400 * time.Millisecond
+	m := startMirror(t, cp.URL(), spectrum.MirrorConfig{
+		MaxStaleness: bound,
+		PollTimeout:  50 * time.Millisecond,
+	})
+	r := market.NewOpsReplayer(faultTrace("disk", 23, 3), true)
+	for replayStep(t, b, r) {
+		b.Tick()
+	}
+	final := b.Epoch()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.WaitForEpoch(ctx, final); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Allocation(); err != nil {
+		t.Fatalf("fresh read failed: %v", err)
+	}
+
+	cp.SetBlackout(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := m.Allocation()
+		if err != nil {
+			if !errors.Is(err, spectrum.ErrStale) {
+				t.Fatalf("degraded read returned %v, want ErrStale", err)
+			}
+			var se *spectrum.StaleError
+			if !errors.As(err, &se) {
+				t.Fatalf("stale error is not a *StaleError: %v", err)
+			}
+			if se.Age < bound {
+				t.Fatalf("rejected at age %v, inside the %v bound", se.Age, bound)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reads never degraded during blackout")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if h := m.Health(); !h.Degraded || h.Status != "degraded" {
+		t.Fatalf("health during blackout: %+v, want degraded", h)
+	}
+
+	cp.SetBlackout(false)
+	b.Tick()
+	want := b.Epoch()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel2()
+	if err := m.WaitForEpoch(ctx2, want); err != nil {
+		t.Fatalf("mirror did not recover after blackout: %v", err)
+	}
+	if _, err := m.Allocation(); err != nil {
+		t.Fatalf("post-recovery read failed: %v", err)
+	}
+	if h := m.Health(); h.Degraded {
+		t.Fatalf("health after recovery still degraded: %+v", h)
+	}
+}
+
+// TestMirrorKillRestoreResync: the broker is hard-killed mid-follow (no
+// clean close, journal handle dropped) and restored from its write-ahead
+// journal on the same address. The mirror must detect the restart, resync,
+// and converge byte-identically to the restored broker's state.
+func TestMirrorKillRestoreResync(t *testing.T) {
+	dir := t.TempDir()
+	factory := func() (*broker.Broker, error) {
+		cm, err := broker.ModelByName("disk", 1)
+		if err != nil {
+			return nil, err
+		}
+		return broker.New(broker.Config{K: 3, Model: cm, Prices: true})
+	}
+	b, w, _, err := journal.Open(dir, factory, journal.Options{Sync: journal.SyncAlways, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hsrv := &http.Server{Handler: broker.NewHandler(b)}
+	go hsrv.Serve(ln)
+
+	m := startMirror(t, "http://"+addr, spectrum.MirrorConfig{
+		MaxStaleness: 2 * time.Second,
+		PollTimeout:  100 * time.Millisecond,
+	})
+
+	r := market.NewOpsReplayer(faultTrace("disk", 29, 6), true)
+	epoch := 0
+	for replayStep(t, b, r) {
+		b.Tick()
+		epoch++
+		if epoch == 3 {
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := m.WaitForEpoch(ctx, epoch); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	// Power cut: server down, journal handle dropped without a sync.
+	hsrv.Close()
+	w.Abort()
+	preEpoch := b.Epoch()
+
+	// Restore on the same address.
+	b2, w2, rec, err := journal.Open(dir, factory, journal.Options{Sync: journal.SyncAlways, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec == nil || b2.Epoch() != preEpoch {
+		t.Fatalf("restore: epoch %d (recovery %+v), want %d", b2.Epoch(), rec, preEpoch)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv2 := &http.Server{Handler: broker.NewHandler(b2)}
+	go hsrv2.Serve(ln2)
+	defer hsrv2.Close()
+
+	// More churn on the restored broker; the mirror must follow it.
+	for replayStep(t, b2, r) {
+		b2.Tick()
+	}
+	b2.Tick()
+	final := b2.Epoch()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel2()
+	if err := m.WaitForEpoch(ctx2, final); err != nil {
+		t.Fatalf("mirror never converged on the restored broker: %v (stats %+v)", err, m.Stats())
+	}
+	want := fetchRaw(t, "http://"+addr+"/v1/snapshot")
+	got, gotEpoch, err := m.SnapshotJSON()
+	if err != nil || gotEpoch != final {
+		t.Fatalf("post-restore read: epoch %d err %v, want %d", gotEpoch, err, final)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-restore snapshot differs from the restored broker at epoch %d", final)
+	}
+	if st := m.Stats(); st.Restarts == 0 {
+		t.Fatalf("the broker restart went undetected: %+v", st)
+	}
+}

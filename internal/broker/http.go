@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -262,33 +263,85 @@ func (h *Handler) watch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// subscriberWriteTimeout bounds how long one SSE event write may block on a
+// slow subscriber before the broker severs the stream. A stalled reader must
+// never be able to wedge a broker goroutine indefinitely.
+const subscriberWriteTimeout = 10 * time.Second
+
+// sseBuffer bounds commits queued per subscriber between writes; when it
+// overflows, the oldest pending report is discarded so a lagging subscriber
+// skips forward instead of growing the broker's memory.
+const sseBuffer = 8
+
 // watchSSE streams every epoch commit after since as a server-sent event
-// until the client disconnects. Commits that land while an event is being
-// written coalesce: the next WaitEpoch returns the newest report.
+// until the client disconnects. A producer goroutine long-polls WaitEpoch
+// and feeds a bounded per-subscriber buffer (commits that land while an
+// event is being written coalesce; overflow drops the oldest); the writer
+// drains it under a per-event write deadline. A subscriber that cannot
+// absorb an event within subscriberWriteTimeout is dropped and counted in
+// Metrics.DroppedSubscribers — slowness is the subscriber's problem, never
+// the broker's.
 func (h *Handler) watchSSE(w http.ResponseWriter, r *http.Request, since int) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeErr(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported by this connection"))
 		return
 	}
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	for {
-		rep, err := h.b.WaitEpoch(r.Context(), since)
-		if err != nil {
-			return
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	events := make(chan spectrum.EpochReport, sseBuffer)
+	go func() {
+		defer close(events)
+		last := since
+		for {
+			rep, err := h.b.WaitEpoch(ctx, last)
+			if err != nil {
+				return
+			}
+			last = rep.Epoch
+			select {
+			case events <- rep:
+			default:
+				// Buffer full: shed the oldest pending report so the
+				// subscriber resumes at the freshest state it can get.
+				select {
+				case <-events:
+				default:
+				}
+				select {
+				case events <- rep:
+				default:
+				}
+			}
 		}
-		since = rep.Epoch
+	}()
+
+	for rep := range events {
 		data, err := json.Marshal(rep)
 		if err != nil {
 			return
 		}
-		if _, err := fmt.Fprintf(w, "event: epoch\ndata: %s\n\n", data); err != nil {
+		// Best effort: not every ResponseWriter supports deadlines (e.g.
+		// recorders in tests); without one a dead peer is still bounded by
+		// the server's global WriteTimeout, if configured.
+		_ = rc.SetWriteDeadline(time.Now().Add(subscriberWriteTimeout))
+		_, werr := fmt.Fprintf(w, "event: epoch\ndata: %s\n\n", data)
+		if werr == nil {
+			werr = rc.Flush()
+		}
+		if werr != nil {
+			if errors.Is(werr, os.ErrDeadlineExceeded) {
+				h.b.droppedSubs.Add(1)
+			}
 			return
 		}
-		fl.Flush()
+		_ = rc.SetWriteDeadline(time.Time{})
 	}
 }
 

@@ -1,0 +1,156 @@
+package broker
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stalledSubscriber is a fake SSE peer whose reads have wedged: every event
+// write blocks until the test releases it, then fails with
+// os.ErrDeadlineExceeded — exactly what a net/http ResponseWriter returns
+// when a write deadline expires against a peer that stopped draining its
+// socket. Simulating the kernel's timeout keeps the test fast and
+// deterministic; the contract under test is the broker's reaction, not the
+// kernel's timer.
+type stalledSubscriber struct {
+	release chan struct{}
+
+	mu       sync.Mutex
+	header   http.Header
+	status   int
+	deadline time.Time
+	writes   int
+	flushes  int
+}
+
+func newStalledSubscriber() *stalledSubscriber {
+	return &stalledSubscriber{release: make(chan struct{}), header: make(http.Header)}
+}
+
+func (s *stalledSubscriber) Header() http.Header { return s.header }
+
+func (s *stalledSubscriber) WriteHeader(code int) {
+	s.mu.Lock()
+	s.status = code
+	s.mu.Unlock()
+}
+
+// Flush implements http.Flusher (the SSE upgrade requires it).
+func (s *stalledSubscriber) Flush() {
+	s.mu.Lock()
+	s.flushes++
+	s.mu.Unlock()
+}
+
+// SetWriteDeadline is discovered by http.NewResponseController via interface
+// upgrade; recording it proves the handler armed a per-event deadline.
+func (s *stalledSubscriber) SetWriteDeadline(t time.Time) error {
+	s.mu.Lock()
+	s.deadline = t
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *stalledSubscriber) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	s.writes++
+	s.mu.Unlock()
+	<-s.release
+	return 0, os.ErrDeadlineExceeded
+}
+
+// TestSSEStalledSubscriberDropped: a subscriber that stops draining its
+// stream is severed and counted, and while it is wedged mid-write the broker
+// keeps ticking freely — commits coalesce into the bounded buffer instead of
+// backing up into Tick. Run under -race in CI.
+func TestSSEStalledSubscriberDropped(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	h := NewHandler(b)
+	sw := newStalledSubscriber()
+	req := httptest.NewRequest(http.MethodGet, "/v1/watch?since=0&stream=sse", nil)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(sw, req)
+	}()
+
+	// First commit releases the producer; its event write wedges in the
+	// fake's Write.
+	if _, err := b.Submit(Bid{Radius: 2, Values: []float64{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sw.mu.Lock()
+		writes := sw.writes
+		sw.mu.Unlock()
+		if writes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber write never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sw.mu.Lock()
+	if sw.deadline.IsZero() {
+		sw.mu.Unlock()
+		t.Fatal("handler did not arm a write deadline before the event write")
+	}
+	sw.mu.Unlock()
+
+	// The subscriber is now stalled mid-write. The broker must keep
+	// committing — more than sseBuffer epochs, so the per-subscriber buffer
+	// overflows and sheds oldest-first rather than growing.
+	for i := 0; i < sseBuffer*2; i++ {
+		b.Tick()
+	}
+
+	// Kernel "times out" the wedged write: the broker must drop and count.
+	close(sw.release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after the subscriber write timed out")
+	}
+	if got := b.Metrics().DroppedSubscribers; got != 1 {
+		t.Fatalf("DroppedSubscribers = %d, want 1", got)
+	}
+}
+
+// TestSSEDisconnectNotCountedAsDrop: an ordinary client disconnect (write
+// error that is not a deadline expiry) ends the stream without inflating the
+// dropped-subscriber count — the metric means "too slow", not "went away".
+func TestSSEDisconnectNotCountedAsDrop(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1})
+	h := NewHandler(b)
+	sw := newStalledSubscriber()
+	req := httptest.NewRequest(http.MethodGet, "/v1/watch?since=0&stream=sse", nil)
+	close(sw.release) // writes fail immediately...
+	// ...but with a plain error, not a deadline expiry.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(&brokenPipeWriter{sw}, req)
+	}()
+	b.Tick()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after the write error")
+	}
+	if got := b.Metrics().DroppedSubscribers; got != 0 {
+		t.Fatalf("DroppedSubscribers = %d, want 0 for a plain disconnect", got)
+	}
+}
+
+// brokenPipeWriter fails writes with a non-deadline error.
+type brokenPipeWriter struct{ *stalledSubscriber }
+
+func (w *brokenPipeWriter) Write(p []byte) (int, error) { return 0, os.ErrClosed }

@@ -1,0 +1,318 @@
+// Package chaos is the network fault-injection transport of the read-replica
+// robustness suite: a TCP proxy that sits between a client (the SDK, a
+// Mirror, cmd/brokerproxy) and the broker and injures the byte stream the
+// way hostile networks do — connection resets mid-body, responses truncated
+// with a clean FIN, silent stalls that neither deliver nor fail, injected
+// latency, and total blackouts. The broker process itself is untouched;
+// everything the client observes is a plain net failure, which is exactly
+// the contract the Mirror must survive.
+//
+// Faults are injected deterministically from a seeded RNG on a
+// per-connection schedule (every Nth accepted connection draws the next
+// fault from the configured set, triggering after a jittered byte
+// threshold of upstream→client traffic), so a failing test replays.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"math/rand"
+)
+
+// Fault is one injury mode a connection can draw.
+type Fault int
+
+// The fault modes.
+const (
+	// None forwards faithfully.
+	None Fault = iota
+	// Reset hard-resets the client connection (TCP RST) mid-response body.
+	Reset
+	// Truncate half-closes the client connection cleanly (FIN) mid-body:
+	// the client sees a well-formed stream that simply ends early —
+	// the nastier cousin of Reset, because nothing looks broken.
+	Truncate
+	// Stall stops forwarding without closing anything: bytes neither
+	// arrive nor fail until StallFor elapses (then the connection is
+	// reset) or the proxy cuts it.
+	Stall
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Config parameterizes a Proxy.
+type Config struct {
+	// Seed fixes the fault schedule; 0 means seed 1 (always deterministic).
+	Seed int64
+	// Latency is added before each forwarded upstream→client chunk.
+	Latency time.Duration
+	// FaultEvery injures every Nth accepted connection (0 disables
+	// scheduled faults; Blackout and CutAll still work).
+	FaultEvery int
+	// Faults is the set scheduled injuries cycle through. Empty with
+	// FaultEvery > 0 defaults to {Reset, Truncate, Stall}.
+	Faults []Fault
+	// FaultAfterBytes is the upstream→client byte threshold a scheduled
+	// injury triggers at, jittered up to 2x (default 256 — past typical
+	// response headers, so injuries land mid-body).
+	FaultAfterBytes int
+	// StallFor bounds a Stall before the connection is reset (default 2s).
+	StallFor time.Duration
+}
+
+// Stats counts what the proxy has done.
+type Stats struct {
+	Conns    int
+	Injected map[Fault]int
+}
+
+// Proxy is the chaos transport: Listen on Addr(), forward to the upstream,
+// injure per Config. Safe for concurrent use.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	mu       sync.Mutex
+	cfg      Config
+	rng      *rand.Rand
+	conns    map[net.Conn]struct{}
+	blackout bool
+	nconn    int
+	injected map[Fault]int
+	closed   bool
+}
+
+// New starts a proxy on an ephemeral localhost port forwarding to upstream
+// (a host:port address).
+func New(upstream string, cfg Config) (*Proxy, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.FaultAfterBytes <= 0 {
+		cfg.FaultAfterBytes = 256
+	}
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 2 * time.Second
+	}
+	if cfg.FaultEvery > 0 && len(cfg.Faults) == 0 {
+		cfg.Faults = []Fault{Reset, Truncate, Stall}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		conns:    make(map[net.Conn]struct{}),
+		injected: make(map[Fault]int),
+	}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the address clients should dial (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL is the http base URL of Addr.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetUpstream retargets the proxy (the kill/restore harness restarts the
+// broker on a fresh port).
+func (p *Proxy) SetUpstream(addr string) {
+	p.mu.Lock()
+	p.upstream = addr
+	p.mu.Unlock()
+}
+
+// SetBlackout toggles a total outage: existing connections are cut and new
+// ones are reset on accept until the blackout lifts.
+func (p *Proxy) SetBlackout(on bool) {
+	p.mu.Lock()
+	p.blackout = on
+	p.mu.Unlock()
+	if on {
+		p.CutAll()
+	}
+}
+
+// CutAll hard-resets every connection currently flowing through the proxy.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		hardClose(c)
+	}
+}
+
+// Stats returns a copy of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{Conns: p.nconn, Injected: make(map[Fault]int, len(p.injected))}
+	for f, n := range p.injected {
+		s.Injected[f] = n
+	}
+	return s
+}
+
+// Close stops accepting and cuts everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.CutAll()
+}
+
+// plan is one connection's injury schedule.
+type plan struct {
+	fault   Fault
+	after   int // upstream→client bytes before the injury triggers
+	latency time.Duration
+	stall   time.Duration
+}
+
+func (p *Proxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed || p.blackout {
+			p.mu.Unlock()
+			hardClose(c)
+			continue
+		}
+		p.nconn++
+		pl := plan{fault: None, latency: p.cfg.Latency, stall: p.cfg.StallFor}
+		if n := p.cfg.FaultEvery; n > 0 && p.nconn%n == 0 {
+			pl.fault = p.cfg.Faults[(p.nconn/n-1)%len(p.cfg.Faults)]
+			pl.after = p.cfg.FaultAfterBytes + p.rng.Intn(p.cfg.FaultAfterBytes+1)
+			p.injected[pl.fault]++
+		}
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		go p.handle(c, pl)
+	}
+}
+
+// track registers a conn for CutAll; untrack forgets it.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) handle(client net.Conn, pl plan) {
+	defer p.untrack(client)
+	p.mu.Lock()
+	target := p.upstream
+	p.mu.Unlock()
+	up, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		hardClose(client)
+		return
+	}
+	p.track(up)
+	defer p.untrack(up)
+
+	// client→upstream: faithful copy (requests are not injured; the read
+	// path under test is the response stream).
+	go func() {
+		_, _ = io.Copy(up, client)
+		// Client went away or was cut: take the upstream leg down too so
+		// the handler's WaitEpoch unblocks.
+		hardClose(up)
+	}()
+
+	p.copyInjured(client, up, pl)
+	hardClose(up)
+	hardClose(client)
+}
+
+// copyInjured forwards upstream→client bytes, applying the connection's
+// injury plan.
+func (p *Proxy) copyInjured(client, up net.Conn, pl plan) {
+	buf := make([]byte, 4096)
+	written := 0
+	for {
+		n, err := up.Read(buf)
+		if n > 0 {
+			if pl.latency > 0 {
+				time.Sleep(pl.latency)
+			}
+			chunk := buf[:n]
+			if pl.fault != None && written+n >= pl.after {
+				// Deliver a strict prefix so the injury is observably
+				// mid-body, then injure.
+				cut := pl.after - written
+				if cut >= n {
+					cut = n - 1
+				}
+				if cut > 0 {
+					_, _ = client.Write(chunk[:cut])
+				}
+				switch pl.fault {
+				case Reset:
+					hardClose(client)
+				case Truncate:
+					_ = client.Close() // clean FIN: stream "ends" mid-body
+				case Stall:
+					// Neither deliver nor fail: hold the line dead until
+					// the stall window elapses, then reset.
+					hardClose(up) // stop buffering upstream bytes
+					time.Sleep(pl.stall)
+					hardClose(client)
+				}
+				return
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			written += n
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// hardClose resets a TCP connection (RST, not FIN) so the peer sees a
+// connection error rather than a clean end-of-stream.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Close()
+}

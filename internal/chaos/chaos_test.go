@@ -1,0 +1,267 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigBody serves a response comfortably larger than any fault threshold so
+// every injury lands mid-body.
+func bigBody(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		for i := 0; i < 512; i++ {
+			fmt.Fprintf(w, "line %04d: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\n", i)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func upstreamAddr(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func fetch(url string) ([]byte, error) {
+	c := &http.Client{Timeout: 5 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func TestProxyForwardsFaithfully(t *testing.T) {
+	srv := bigBody(t)
+	p, err := New(upstreamAddr(t, srv), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	direct, err := fetch(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxied, err := fetch(p.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(direct) != string(proxied) {
+		t.Fatalf("proxied body differs: %d bytes direct vs %d proxied", len(direct), len(proxied))
+	}
+}
+
+func TestProxyInjectsScheduledFaults(t *testing.T) {
+	srv := bigBody(t)
+	p, err := New(upstreamAddr(t, srv), Config{
+		Seed:       7,
+		FaultEvery: 1, // every connection is injured
+		Faults:     []Fault{Reset, Truncate},
+		StallFor:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	failures := 0
+	for i := 0; i < 4; i++ {
+		body, err := fetch(p.URL() + "/")
+		// A Reset surfaces as a transport error; a Truncate may surface as
+		// an unexpected-EOF error or as a silently short body depending on
+		// framing. Either way the full body must never arrive intact.
+		if err != nil || len(body) < 512*52 {
+			failures++
+		}
+	}
+	if failures != 4 {
+		t.Fatalf("expected every request to be injured, got %d/4 failures", failures)
+	}
+	st := p.Stats()
+	if st.Conns != 4 {
+		t.Fatalf("Conns = %d, want 4", st.Conns)
+	}
+	if st.Injected[Reset] == 0 || st.Injected[Truncate] == 0 {
+		t.Fatalf("expected both fault kinds injected, got %v", st.Injected)
+	}
+}
+
+func TestProxyStallThenReset(t *testing.T) {
+	srv := bigBody(t)
+	p, err := New(upstreamAddr(t, srv), Config{
+		FaultEvery: 1,
+		Faults:     []Fault{Stall},
+		StallFor:   300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	_, err = fetch(p.URL() + "/")
+	if err == nil {
+		t.Fatal("expected stalled request to fail")
+	}
+	if d := time.Since(start); d < 250*time.Millisecond {
+		t.Fatalf("request failed after %v; a stall should hold the line silently first", d)
+	}
+}
+
+func TestProxyBlackoutAndRecovery(t *testing.T) {
+	srv := bigBody(t)
+	p, err := New(upstreamAddr(t, srv), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := fetch(p.URL() + "/"); err != nil {
+		t.Fatalf("pre-blackout request failed: %v", err)
+	}
+	p.SetBlackout(true)
+	if _, err := fetch(p.URL() + "/"); err == nil {
+		t.Fatal("expected request during blackout to fail")
+	}
+	p.SetBlackout(false)
+	if _, err := fetch(p.URL() + "/"); err != nil {
+		t.Fatalf("post-blackout request failed: %v", err)
+	}
+}
+
+func TestProxyCutAllSeversLiveStream(t *testing.T) {
+	// An endless SSE-like stream through the proxy must die when CutAll
+	// fires, not linger.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl, _ := w.(http.Flusher)
+		for i := 0; ; i++ {
+			if _, err := fmt.Fprintf(w, "data: tick %d\n\n", i); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}))
+	defer srv.Close()
+
+	p, err := New(upstreamAddr(t, srv), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := http.Get(p.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 64)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("stream did not start: %v", err)
+	}
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		p.CutAll()
+	}()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("stream survived CutAll")
+		}
+		if _, err := resp.Body.Read(buf); err != nil {
+			break
+		}
+	}
+}
+
+func TestProxySetUpstreamRetargets(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "alpha")
+	}))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "beta")
+	}))
+	defer b.Close()
+
+	p, err := New(upstreamAddr(t, a), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	body, err := fetch(p.URL() + "/")
+	if err != nil || string(body) != "alpha" {
+		t.Fatalf("first upstream: body=%q err=%v", body, err)
+	}
+	p.SetUpstream(upstreamAddr(t, b))
+	body, err = fetch(p.URL() + "/")
+	if err != nil || string(body) != "beta" {
+		t.Fatalf("retargeted upstream: body=%q err=%v", body, err)
+	}
+}
+
+func TestHardCloseSendsReset(t *testing.T) {
+	// Sanity-check the RST mechanism itself: a peer reading from a
+	// hard-closed conn sees an error, not io.EOF.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		// Wait for the client's greeting so the RST cannot race the
+		// connect handshake.
+		one := make([]byte, 1)
+		io.ReadFull(c, one)
+		c.Write([]byte("hi"))
+		hardClose(c)
+		done <- nil
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("x"))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	// Drain the greeting, then the next read should fail with ECONNRESET
+	// (not clean EOF). Allow EOF only if the kernel already merged it —
+	// on Linux with SetLinger(0) it reliably resets.
+	io.ReadFull(c, buf[:2])
+	_, err = c.Read(buf)
+	if err == nil {
+		t.Fatal("expected read error after hard close")
+	}
+	if errors.Is(err, io.EOF) {
+		t.Log("kernel delivered EOF instead of RST; acceptable but unexpected on linux")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -32,10 +33,12 @@ var (
 
 // APIError is a non-2xx API response: the HTTP status and the server's
 // structured error message. errors.Is matches it against the category
-// sentinels above.
+// sentinels above. RetryAfter carries the response's Retry-After hint
+// (zero when the server sent none); the retry loop honors it.
 type APIError struct {
-	Code int
-	Msg  string
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -63,10 +66,11 @@ func (e *APIError) Is(target error) bool {
 // Client is a typed client for the broker's /v1 API. The zero value is not
 // usable; construct with NewClient. All methods are safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
 }
 
 // Option configures a Client.
@@ -83,18 +87,25 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // retried after transport errors or 5xx responses. Default 2; 0 disables.
 func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 
-// WithBackoff sets the base delay between retries (doubling per attempt).
-// Default 100ms.
+// WithBackoff sets the base delay between retries. The ceiling doubles per
+// attempt; the actual sleep is drawn uniformly from [0, ceiling] ("full
+// jitter"), so a fleet of clients knocked over by the same outage does not
+// reconnect in lockstep. Default 100ms.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithMaxBackoff caps the per-attempt backoff ceiling (and any Retry-After
+// hint the client honors). Default 5s.
+func WithMaxBackoff(d time.Duration) Option { return func(c *Client) { c.maxBackoff = d } }
 
 // NewClient returns a client for the broker at base (e.g.
 // "http://127.0.0.1:8080").
 func NewClient(base string, opts ...Option) *Client {
 	c := &Client{
-		base:    base,
-		hc:      &http.Client{},
-		retries: 2,
-		backoff: 100 * time.Millisecond,
+		base:       base,
+		hc:         &http.Client{},
+		retries:    2,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 5 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
@@ -102,17 +113,42 @@ func NewClient(base string, opts ...Option) *Client {
 	return c
 }
 
+// retryDelay is the sleep before retry attempt a (a >= 1): full jitter over
+// an exponentially growing ceiling, capped at maxBackoff — except when the
+// failed attempt carried a Retry-After hint, which is authoritative (the
+// server knows when it will be ready; a small jitter is still added so
+// hinted clients don't stampede either). Exposed as a function of the
+// client so Mirror shares the policy.
+func (c *Client) retryDelay(a int, lastErr error) time.Duration {
+	ceiling := c.backoff << (a - 1)
+	if ceiling > c.maxBackoff || ceiling <= 0 {
+		ceiling = c.maxBackoff
+	}
+	d := time.Duration(rand.Int63n(int64(ceiling) + 1))
+	var ae *APIError
+	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
+		hint := ae.RetryAfter
+		if hint > c.maxBackoff {
+			hint = c.maxBackoff
+		}
+		jitter := time.Duration(rand.Int63n(int64(hint)/4 + 1))
+		d = hint + jitter
+	}
+	return d
+}
+
 // retryable reports whether an attempt's failure may be retried: transport
-// errors and 5xx responses — never 4xx (the request itself is wrong) and
-// never a 204 empty long-poll window (a successful response; the watch
-// loop, not the retry budget, decides whether to poll again).
+// errors, 5xx responses, and a 429 that carries a Retry-After hint (the
+// server told us when to come back) — never other 4xx (the request itself
+// is wrong) and never a 204 empty long-poll window (a successful response;
+// the watch loop, not the retry budget, decides whether to poll again).
 func retryable(err error) bool {
 	if errors.Is(err, errNoContent) {
 		return false
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Code >= 500
+		return ae.Code >= 500 || (ae.Code == http.StatusTooManyRequests && ae.RetryAfter > 0)
 	}
 	// A transport-level failure (connection refused, reset, ...).
 	return err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
@@ -139,7 +175,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any, ide
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.backoff << (a - 1)):
+			case <-time.After(c.retryDelay(a, err)):
 			}
 		}
 		if err = c.once(ctx, method, path, raw, out); err == nil || !retryable(err) {
@@ -177,14 +213,42 @@ func (c *Client) once(ctx context.Context, method, path string, raw []byte, out 
 			Error string `json:"error"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return &APIError{Code: resp.StatusCode, Msg: e.Error}
+		return &APIError{Code: resp.StatusCode, Msg: e.Error, RetryAfter: retryAfter(resp)}
 	}
-	if out != nil {
+	switch dst := out.(type) {
+	case nil:
+	case *[]byte:
+		// Raw capture: the body verbatim (the Mirror stores and re-serves
+		// these bytes, so its answers are byte-identical to the broker's).
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("spectrum: read %s %s: %w", method, path, err)
+		}
+		*dst = raw
+	default:
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return fmt.Errorf("spectrum: decode %s %s: %w", method, path, err)
 		}
 	}
 	return nil
+}
+
+// retryAfter parses a Retry-After response header: delay-seconds or an
+// HTTP-date (both forms are in the standard); absent or malformed is zero.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Submit queues a bid; it becomes active at the broker's next epoch tick.
@@ -266,24 +330,85 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 	return h, err
 }
 
+// Poll performs one /v1/watch long-poll window: it blocks until an epoch
+// strictly greater than since commits (ok=true and its report), the
+// server's window closes empty (ok=false, nil error — the server answered;
+// there is simply no newer epoch, which is itself useful liveness
+// information: the caller's state is confirmed current), or the request
+// fails. timeout <= 0 leaves the window length to the server.
+func (c *Client) Poll(ctx context.Context, since int, timeout time.Duration) (rep EpochReport, ok bool, err error) {
+	q := url.Values{"since": {strconv.Itoa(since)}}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	err = c.do(ctx, http.MethodGet, "/v1/watch?"+q.Encode(), nil, &rep, true)
+	switch {
+	case err == nil:
+		return rep, true, nil
+	case errors.Is(err, errNoContent):
+		return EpochReport{}, false, nil
+	}
+	return EpochReport{}, false, err
+}
+
 // WaitEpoch long-polls /v1/watch until an epoch strictly greater than since
 // has committed, and returns its report. It re-polls through empty windows
 // for as long as ctx lasts.
 func (c *Client) WaitEpoch(ctx context.Context, since int) (EpochReport, error) {
-	path := "/v1/watch?" + url.Values{"since": {strconv.Itoa(since)}}.Encode()
 	for {
-		var rep EpochReport
-		err := c.do(ctx, http.MethodGet, path, nil, &rep, true)
-		if err == nil {
-			return rep, nil
-		}
-		if !errors.Is(err, errNoContent) {
+		rep, ok, err := c.Poll(ctx, since, 0)
+		if err != nil {
 			return EpochReport{}, err
+		}
+		if ok {
+			return rep, nil
 		}
 		if ctx.Err() != nil {
 			return EpochReport{}, ctx.Err()
 		}
 	}
+}
+
+// WatchEvent is one delivery of a WatchEvents stream: an epoch report, or a
+// terminal error (the final event before the channel closes).
+type WatchEvent struct {
+	Report EpochReport
+	// Err, when non-nil, is why the stream is ending: the server became
+	// unreachable past the retry budget, or ctx ended (ctx.Err() then).
+	// Report is meaningless on an error event.
+	Err error
+}
+
+// WatchEvents streams epoch-commit reports until ctx ends or the server
+// becomes unreachable; unlike Watch, the reason the stream died is
+// delivered as a final WatchEvent with Err set before the channel closes,
+// so a consumer (e.g. a Mirror deciding whether to resync) can distinguish
+// cancellation from a broken upstream instead of guessing from a closed
+// channel. Commits that land while the previous report is being delivered
+// coalesce to the newest one. since names the last epoch the caller has
+// seen (-1 delivers the newest committed epoch immediately).
+func (c *Client) WatchEvents(ctx context.Context, since int) <-chan WatchEvent {
+	out := make(chan WatchEvent)
+	go func() {
+		defer close(out)
+		for {
+			rep, err := c.WaitEpoch(ctx, since)
+			if err != nil {
+				select {
+				case out <- WatchEvent{Err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			since = rep.Epoch
+			select {
+			case out <- WatchEvent{Report: rep}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
 }
 
 // Watch streams epoch-commit reports on the returned channel until ctx ends
@@ -292,18 +417,17 @@ func (c *Client) WaitEpoch(ctx context.Context, since int) (EpochReport, error) 
 // so a slow consumer observes the freshest state rather than an unbounded
 // backlog. since names the last epoch the caller has seen (use the current
 // epoch, or -1 for "deliver the newest committed epoch immediately").
+// Callers that need the stream's terminal error should use WatchEvents.
 func (c *Client) Watch(ctx context.Context, since int) <-chan EpochReport {
 	out := make(chan EpochReport)
 	go func() {
 		defer close(out)
-		for {
-			rep, err := c.WaitEpoch(ctx, since)
-			if err != nil {
+		for ev := range c.WatchEvents(ctx, since) {
+			if ev.Err != nil {
 				return
 			}
-			since = rep.Epoch
 			select {
-			case out <- rep:
+			case out <- ev.Report:
 			case <-ctx.Done():
 				return
 			}

@@ -217,3 +217,117 @@ func TestClientRetries(t *testing.T) {
 		t.Fatalf("POST attempts = %d, want 1 (no mutation retry)", posts.Load())
 	}
 }
+
+// TestClientHonorsRetryAfter: a 503 or 429 carrying Retry-After is retried,
+// and the client waits at least the advertised delay (capped at its backoff
+// ceiling) instead of its own jittered schedule.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	ctx := context.Background()
+	for _, code := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		var gets atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if gets.Add(1) == 1 {
+				w.Header().Set("Retry-After", "1") // a full second; the cap must bound the wait
+				http.Error(w, `{"error":"overloaded"}`, code)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"epoch":1,"welfare":0,"winners":[]}`))
+		}))
+		const cap = 50 * time.Millisecond
+		c := spectrum.NewClient(srv.URL, spectrum.WithRetries(2),
+			spectrum.WithBackoff(time.Millisecond), spectrum.WithMaxBackoff(cap))
+		start := time.Now()
+		alloc, err := c.Allocation(ctx)
+		elapsed := time.Since(start)
+		srv.Close()
+		if err != nil || alloc.Epoch != 1 {
+			t.Fatalf("code %d: %+v, %v (gets=%d)", code, alloc, err, gets.Load())
+		}
+		if gets.Load() != 2 {
+			t.Fatalf("code %d: GET attempts = %d, want 2", code, gets.Load())
+		}
+		if elapsed < cap {
+			t.Fatalf("code %d: retried after %v, before the %v Retry-After floor", code, elapsed, cap)
+		}
+		if elapsed > time.Second {
+			t.Fatalf("code %d: waited %v — the advertised 1s was not capped at %v", code, elapsed, cap)
+		}
+	}
+	// A 429 without Retry-After stays terminal (the market is full, not busy).
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		http.Error(w, `{"error":"full"}`, http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c := spectrum.NewClient(srv.URL, spectrum.WithRetries(3), spectrum.WithBackoff(time.Millisecond))
+	if _, err := c.Allocation(ctx); !errors.Is(err, spectrum.ErrFull) {
+		t.Fatalf("bare 429: %v", err)
+	}
+	if gets.Load() != 1 {
+		t.Fatalf("bare 429 attempts = %d, want 1", gets.Load())
+	}
+}
+
+// TestClientBackoffIsCapped: the full-jitter schedule never exceeds its
+// ceiling — with tiny bounds, exhausting every retry stays fast.
+func TestClientBackoffIsCapped(t *testing.T) {
+	var gets atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c := spectrum.NewClient(srv.URL, spectrum.WithRetries(4),
+		spectrum.WithBackoff(5*time.Millisecond), spectrum.WithMaxBackoff(20*time.Millisecond))
+	start := time.Now()
+	_, err := c.Allocation(context.Background())
+	if !errors.Is(err, spectrum.ErrServer) {
+		t.Fatalf("exhausted retries: %v", err)
+	}
+	if gets.Load() != 5 {
+		t.Fatalf("attempts = %d, want 5", gets.Load())
+	}
+	// Worst case (zero jitter luck aside): 5+10+20+20 = 55ms of sleeps.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("capped backoff took %v", elapsed)
+	}
+}
+
+// TestWatchEventsSurfacesTerminalError: when the stream dies on a
+// non-retryable error, WatchEvents delivers the error before closing —
+// consumers can tell "stream over" from "stream broken".
+func TestWatchEventsSurfacesTerminalError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"no watch for you"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := spectrum.NewClient(srv.URL, spectrum.WithRetries(0))
+	ch := c.WatchEvents(context.Background(), 0)
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed without a terminal error event")
+		}
+		if ev.Err == nil || !errors.Is(ev.Err, spectrum.ErrBadRequest) {
+			t.Fatalf("terminal event error: %v", ev.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no terminal event")
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after the terminal error")
+	}
+
+	// Plain Watch (report-only) swallows the error but still closes.
+	ch2 := c.Watch(context.Background(), 0)
+	select {
+	case _, ok := <-ch2:
+		if ok {
+			t.Fatal("Watch delivered a report from a failing stream")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Watch channel never closed")
+	}
+}

@@ -1,0 +1,567 @@
+package spectrum
+
+// Mirror is the read-replica tier of the broker: it subscribes to the
+// epoch-watch stream, keeps a local copy of the committed state
+// (allocation, prices, snapshot — the exact bytes the broker served), and
+// answers read queries at memory speed so millions of read-mostly clients
+// never touch the mutation-serialized daemon.
+//
+// The design is built for hostile networks:
+//
+//   - Consistency. A mirror that has applied epoch E answers byte-identically
+//     to what the broker itself served at E: state is captured as the
+//     broker's own response bytes and re-served verbatim, and an install is
+//     accepted only when allocation, prices, and snapshot all describe the
+//     same epoch (the fetch loop re-anchors if a tick lands between them).
+//     The mirror never merges, extrapolates, or trusts a partial read.
+//
+//   - Gap detection. The watch stream names each committed epoch. A
+//     delivery at exactly local+1 is applied as a tail sync; anything else
+//     (missed epochs on a flaky stream, coalescing after a stall, an epoch
+//     that regressed because the broker restarted from an older journal) is
+//     a gap: the mirror re-anchors with a full resync, which additionally
+//     probes /healthz and detects a restarted upstream incarnation via the
+//     recovered-epoch marker.
+//
+//   - Reconnection. Any stream or fetch failure sends the mirror through
+//     capped exponential backoff with full jitter (a fleet of replicas
+//     knocked over by one broker outage must not reconnect in lockstep),
+//     followed by a full resync — after a truncated or garbled response
+//     nothing downstream of the break is trusted.
+//
+//   - Graceful degradation. Every read is checked against an explicit
+//     staleness bound. Within the bound, reads are served from memory;
+//     beyond it the mirror returns a typed *StaleError (errors.Is
+//     ErrStale) instead of a wrong-but-confident answer, and the HTTP
+//     handler maps it to 503 + Retry-After. Freshness is confirmed both by
+//     applying a new epoch and by an empty long-poll window (the broker
+//     answering "nothing newer" proves the local state is current).
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStale is the category sentinel for reads refused because the mirror
+// cannot prove its state is within the staleness bound. errors.Is matches
+// it against the *StaleError the read methods return.
+var ErrStale = errors.New("spectrum: mirror state stale")
+
+// StaleError reports a read refused by the staleness bound: how old the
+// mirror's last confirmation is, the configured bound, and the epoch the
+// mirror is stuck at (-1 before the first sync).
+type StaleError struct {
+	Epoch int
+	Age   time.Duration
+	Bound time.Duration
+	// Lag is the epoch lag that tripped the bound when MaxLag is
+	// configured (0 when the time bound tripped instead).
+	Lag int
+}
+
+// Error implements error.
+func (e *StaleError) Error() string {
+	if e.Epoch < 0 {
+		return "spectrum: mirror state stale: no sync yet"
+	}
+	if e.Lag > 0 {
+		return fmt.Sprintf("spectrum: mirror state stale: %d epochs behind at epoch %d", e.Lag, e.Epoch)
+	}
+	return fmt.Sprintf("spectrum: mirror state stale: last confirmed %s ago at epoch %d (bound %s)",
+		e.Age.Round(time.Millisecond), e.Epoch, e.Bound)
+}
+
+// Is matches ErrStale.
+func (e *StaleError) Is(target error) bool { return target == ErrStale }
+
+// MirrorConfig parameterizes a Mirror.
+type MirrorConfig struct {
+	// Client is the SDK client of the upstream broker (required). Its
+	// *http.Client must not carry a global Timeout shorter than PollTimeout.
+	Client *Client
+	// MaxStaleness is the time bound: reads degrade to ErrStale when the
+	// mirror has not confirmed its state current for longer than this.
+	// Default 5s.
+	MaxStaleness time.Duration
+	// MaxLag additionally bounds the epoch lag: reads degrade when the
+	// mirror has heard of an upstream epoch more than MaxLag ahead of what
+	// it has applied. 0 disables the lag bound (the time bound remains).
+	MaxLag int
+	// PollTimeout is the long-poll window length. Default 25s.
+	PollTimeout time.Duration
+	// BaseBackoff and MaxBackoff shape the reconnect policy: full jitter
+	// over an exponentially growing ceiling in [BaseBackoff, MaxBackoff].
+	// Defaults 100ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed fixes the jitter stream (tests); 0 draws a random seed.
+	Seed int64
+}
+
+// mirrorState is one consistently-captured epoch: the broker's exact
+// response bytes plus their decoded forms.
+type mirrorState struct {
+	epoch     int
+	allocRaw  []byte
+	pricesRaw []byte // nil when the upstream serves prices as 404
+	snapRaw   []byte
+	alloc     Allocation
+	prices    Prices
+	pricesOK  bool
+}
+
+// Mirror is a resilient read replica of one broker. Construct with
+// NewMirror, drive with Run (one goroutine), read from any goroutine.
+type Mirror struct {
+	c   *Client
+	cfg MirrorConfig
+
+	// rng jitters reconnect backoff; only the Run goroutine touches it.
+	rng *rand.Rand
+
+	mu      sync.RWMutex
+	st      mirrorState
+	synced  bool
+	freshAt time.Time // last instant the state was confirmed current
+	// lastHeard is the newest upstream epoch observed on the stream or a
+	// health probe; lastHealth the newest upstream /healthz body (restart
+	// detection compares recovered-epoch markers across resyncs).
+	lastHeard  int
+	lastHealth Health
+	healthSeen bool
+	// changed is closed and replaced whenever state advances; WaitForEpoch
+	// blocks on it.
+	changed chan struct{}
+
+	syncs        atomic.Int64
+	resyncs      atomic.Int64
+	reconnects   atomic.Int64
+	gaps         atomic.Int64
+	restarts     atomic.Int64
+	staleRejects atomic.Int64
+}
+
+// NewMirror creates a Mirror over the given upstream client. Run must be
+// started for the mirror to sync.
+func NewMirror(cfg MirrorConfig) (*Mirror, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("spectrum: MirrorConfig.Client is required")
+	}
+	if cfg.MaxStaleness <= 0 {
+		cfg.MaxStaleness = 5 * time.Second
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 25 * time.Second
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Mirror{
+		c:       cfg.Client,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(seed)),
+		st:      mirrorState{epoch: -1},
+		changed: make(chan struct{}),
+	}, nil
+}
+
+// Run drives the sync loop until ctx ends: anchor with a full resync, then
+// follow the watch stream, re-anchoring on gaps and reconnecting with
+// jittered backoff on any failure. It returns ctx.Err() (it only ever
+// stops because the context ended — upstream failures are retried forever;
+// degradation is reported through the reads, not by giving up).
+func (m *Mirror) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := m.resync(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			attempt++
+			m.reconnects.Add(1)
+			m.sleepBackoff(ctx, attempt)
+			continue
+		}
+		attempt = 0
+		if err := m.follow(ctx); ctx.Err() != nil {
+			return ctx.Err()
+		} else if err != nil {
+			attempt++
+			m.reconnects.Add(1)
+			m.sleepBackoff(ctx, attempt)
+		}
+	}
+}
+
+// follow is the live loop: long-poll from the applied epoch, tail-sync
+// contiguous deliveries, resync on gaps. Returns the error that broke the
+// stream (a resync after reconnect re-anchors before polls resume).
+func (m *Mirror) follow(ctx context.Context) error {
+	for {
+		local := m.appliedEpoch()
+		rep, ok, err := m.c.Poll(ctx, local, m.cfg.PollTimeout)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Empty window: the broker answered "nothing newer than local"
+			// — that is a freshness proof, not a failure.
+			m.confirmFresh()
+			continue
+		}
+		m.noteHeard(rep.Epoch)
+		if rep.Epoch != local+1 {
+			// Missed epochs (flaky stream, coalescing after a stall) or a
+			// regression (broker restarted from an older journal): never
+			// trust the tail across a gap — re-anchor from a full fetch.
+			m.gaps.Add(1)
+			if err := m.resync(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.applyTail(ctx, rep.Epoch); err != nil {
+			if errors.Is(err, errEpochShifted) {
+				// The broker ticked between our fetches; the stream itself
+				// is healthy. Re-anchor at whatever is newest.
+				if err := m.resync(ctx); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+	}
+}
+
+// errEpochShifted marks a tail sync abandoned because the upstream
+// committed another epoch between fetches.
+var errEpochShifted = errors.New("spectrum: epoch advanced mid-fetch")
+
+// applyTail applies exactly epoch want: every fetched body must describe it.
+func (m *Mirror) applyTail(ctx context.Context, want int) error {
+	st, err := m.fetchState(ctx, want)
+	if err != nil {
+		return err
+	}
+	m.install(st)
+	return nil
+}
+
+// resync re-anchors the mirror from a full snapshot fetch: probe /healthz
+// (restart detection), then fetch until allocation, prices, and snapshot
+// agree on one epoch. Unlike a tail sync it accepts any consistent epoch —
+// including one behind the previously applied epoch, which happens when
+// the broker restarted from an older journal; serving the broker's real
+// (older) state with an honest epoch number is correct, serving our newer
+// ghost of a dead incarnation is not.
+func (m *Mirror) resync(ctx context.Context) error {
+	m.resyncs.Add(1)
+	h, err := m.c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	m.noteHealth(h)
+	const consistentTries = 8
+	for try := 0; try < consistentTries; try++ {
+		st, err := m.fetchState(ctx, -1)
+		if err == nil {
+			m.install(st)
+			return nil
+		}
+		if !errors.Is(err, errEpochShifted) {
+			return err
+		}
+	}
+	return fmt.Errorf("spectrum: resync: no consistent epoch after %d attempts (upstream ticking faster than it answers)", consistentTries)
+}
+
+// fetchState captures one epoch's full read state from the upstream. want
+// >= 0 demands that exact epoch; want < 0 anchors on the snapshot's epoch.
+// Every body must describe the same epoch or the fetch fails with
+// errEpochShifted.
+func (m *Mirror) fetchState(ctx context.Context, want int) (mirrorState, error) {
+	var st mirrorState
+	if err := m.c.do(ctx, http.MethodGet, "/v1/snapshot", nil, &st.snapRaw, true); err != nil {
+		return st, err
+	}
+	var snapEpoch struct {
+		Epoch int `json:"epoch"`
+	}
+	if err := json.Unmarshal(st.snapRaw, &snapEpoch); err != nil {
+		return st, fmt.Errorf("spectrum: decode snapshot: %w", err)
+	}
+	st.epoch = snapEpoch.Epoch
+	if want >= 0 && st.epoch != want {
+		return st, errEpochShifted
+	}
+	if err := m.c.do(ctx, http.MethodGet, "/v1/allocation", nil, &st.allocRaw, true); err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(st.allocRaw, &st.alloc); err != nil {
+		return st, fmt.Errorf("spectrum: decode allocation: %w", err)
+	}
+	if st.alloc.Epoch != st.epoch {
+		return st, errEpochShifted
+	}
+	err := m.c.do(ctx, http.MethodGet, "/v1/prices", nil, &st.pricesRaw, true)
+	switch {
+	case err == nil:
+		if jerr := json.Unmarshal(st.pricesRaw, &st.prices); jerr != nil {
+			return st, fmt.Errorf("spectrum: decode prices: %w", jerr)
+		}
+		if st.prices.Epoch != st.epoch {
+			return st, errEpochShifted
+		}
+		st.pricesOK = true
+	case errors.Is(err, ErrNotFound):
+		// The upstream runs without pricing; mirror that answer.
+		st.pricesRaw, st.pricesOK = nil, false
+	default:
+		return st, err
+	}
+	return st, nil
+}
+
+// install commits a consistently-fetched state and confirms freshness.
+func (m *Mirror) install(st mirrorState) {
+	m.mu.Lock()
+	regressed := m.synced && st.epoch < m.st.epoch
+	m.st = st
+	m.synced = true
+	m.freshAt = time.Now()
+	if st.epoch > m.lastHeard {
+		m.lastHeard = st.epoch
+	}
+	if regressed {
+		// The upstream is a different incarnation (journal restore lost
+		// epochs); our lastHeard belonged to the dead one.
+		m.lastHeard = st.epoch
+	}
+	close(m.changed)
+	m.changed = make(chan struct{})
+	m.mu.Unlock()
+	if regressed {
+		m.restarts.Add(1)
+	}
+	m.syncs.Add(1)
+}
+
+// confirmFresh marks the applied state as confirmed current now.
+func (m *Mirror) confirmFresh() {
+	m.mu.Lock()
+	m.freshAt = time.Now()
+	close(m.changed)
+	m.changed = make(chan struct{})
+	m.mu.Unlock()
+}
+
+// noteHeard records the newest upstream epoch observed on the stream.
+func (m *Mirror) noteHeard(epoch int) {
+	m.mu.Lock()
+	if epoch > m.lastHeard {
+		m.lastHeard = epoch
+	}
+	m.mu.Unlock()
+}
+
+// noteHealth folds a /healthz probe into restart detection: a change of
+// the recovered-epoch marker between probes means the upstream is a new
+// incarnation restored from its journal.
+func (m *Mirror) noteHealth(h Health) {
+	m.mu.Lock()
+	restarted := m.healthSeen && h.Recovered &&
+		(!m.lastHealth.Recovered || m.lastHealth.RecoveredEpoch != h.RecoveredEpoch)
+	m.lastHealth, m.healthSeen = h, true
+	if h.Epoch > m.lastHeard {
+		m.lastHeard = h.Epoch
+	}
+	m.mu.Unlock()
+	if restarted {
+		m.restarts.Add(1)
+	}
+}
+
+// sleepBackoff sleeps the attempt's reconnect delay: full jitter over an
+// exponential ceiling capped at MaxBackoff.
+func (m *Mirror) sleepBackoff(ctx context.Context, attempt int) {
+	ceiling := m.cfg.BaseBackoff << (attempt - 1)
+	if ceiling > m.cfg.MaxBackoff || ceiling <= 0 {
+		ceiling = m.cfg.MaxBackoff
+	}
+	d := time.Duration(m.rng.Int63n(int64(ceiling) + 1))
+	select {
+	case <-ctx.Done():
+	case <-time.After(d):
+	}
+}
+
+// appliedEpoch is the epoch the mirror last applied (-1 before any sync).
+func (m *Mirror) appliedEpoch() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.st.epoch
+}
+
+// Epoch returns the applied epoch and whether any state has been applied.
+func (m *Mirror) Epoch() (int, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.st.epoch, m.synced
+}
+
+// staleCheck returns nil when reads may be served, or the *StaleError to
+// refuse them with. Caller holds at least mu.RLock.
+func (m *Mirror) staleCheck() error {
+	if !m.synced {
+		return &StaleError{Epoch: -1, Bound: m.cfg.MaxStaleness}
+	}
+	if age := time.Since(m.freshAt); age > m.cfg.MaxStaleness {
+		return &StaleError{Epoch: m.st.epoch, Age: age, Bound: m.cfg.MaxStaleness}
+	}
+	if m.cfg.MaxLag > 0 && m.lastHeard-m.st.epoch > m.cfg.MaxLag {
+		return &StaleError{Epoch: m.st.epoch, Bound: m.cfg.MaxStaleness, Lag: m.lastHeard - m.st.epoch}
+	}
+	return nil
+}
+
+// reject counts and returns a staleness refusal.
+func (m *Mirror) reject(err error) error {
+	m.staleRejects.Add(1)
+	return err
+}
+
+// Allocation serves the applied epoch's allocation from memory, or
+// *StaleError beyond the staleness bound.
+func (m *Mirror) Allocation() (Allocation, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.staleCheck(); err != nil {
+		return Allocation{}, m.reject(err)
+	}
+	out := m.st.alloc
+	out.Winners = append([]Winner(nil), out.Winners...)
+	return out, nil
+}
+
+// Prices serves the applied epoch's prices from memory. A mirror of an
+// upstream that runs without pricing answers ErrNotFound, exactly as the
+// broker would; beyond the staleness bound it answers *StaleError.
+func (m *Mirror) Prices() (Prices, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.staleCheck(); err != nil {
+		return Prices{}, m.reject(err)
+	}
+	if !m.st.pricesOK {
+		return Prices{}, &APIError{Code: http.StatusNotFound, Msg: "prices disabled; start the broker with pricing enabled"}
+	}
+	out := Prices{Epoch: m.st.prices.Epoch, Prices: make(map[string]float64, len(m.st.prices.Prices))}
+	for k, v := range m.st.prices.Prices {
+		out.Prices[k] = v
+	}
+	return out, nil
+}
+
+// SnapshotJSON serves the applied epoch's /v1/snapshot body — the exact
+// bytes the broker served for it — and the epoch it describes.
+func (m *Mirror) SnapshotJSON() ([]byte, int, error) {
+	return m.rawBody(func(st *mirrorState) []byte { return st.snapRaw })
+}
+
+// AllocationJSON serves the applied epoch's /v1/allocation body verbatim.
+func (m *Mirror) AllocationJSON() ([]byte, int, error) {
+	return m.rawBody(func(st *mirrorState) []byte { return st.allocRaw })
+}
+
+// PricesJSON serves the applied epoch's /v1/prices body verbatim (nil body
+// with a nil error means the upstream serves prices as 404).
+func (m *Mirror) PricesJSON() ([]byte, int, error) {
+	return m.rawBody(func(st *mirrorState) []byte { return st.pricesRaw })
+}
+
+func (m *Mirror) rawBody(pick func(*mirrorState) []byte) ([]byte, int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if err := m.staleCheck(); err != nil {
+		return nil, m.st.epoch, m.reject(err)
+	}
+	return pick(&m.st), m.st.epoch, nil
+}
+
+// WaitForEpoch blocks until the mirror has applied an epoch >= epoch, or
+// ctx ends. It does not apply the staleness bound (the caller asked for a
+// specific epoch, not for freshness).
+func (m *Mirror) WaitForEpoch(ctx context.Context, epoch int) error {
+	for {
+		m.mu.RLock()
+		applied, ok, ch := m.st.epoch, m.synced, m.changed
+		m.mu.RUnlock()
+		if ok && applied >= epoch {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Health reports the replica's position and degradation state.
+func (m *Mirror) Health() MirrorHealth {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h := MirrorHealth{
+		Epoch:     m.st.epoch,
+		LastHeard: m.lastHeard,
+		BoundMS:   m.cfg.MaxStaleness.Milliseconds(),
+		Upstream:  m.c.base,
+	}
+	if m.synced {
+		h.Lag = m.lastHeard - m.st.epoch
+		h.StalenessMS = time.Since(m.freshAt).Milliseconds()
+	}
+	switch {
+	case !m.synced:
+		h.Status, h.Degraded = "syncing", true
+	case m.staleCheck() != nil:
+		h.Status, h.Degraded = "degraded", true
+	default:
+		h.Status = "ok"
+	}
+	return h
+}
+
+// Stats returns the lifetime resilience counters and staleness gauge.
+func (m *Mirror) Stats() MirrorStats {
+	m.mu.RLock()
+	epoch, synced, freshAt := m.st.epoch, m.synced, m.freshAt
+	m.mu.RUnlock()
+	s := MirrorStats{
+		Syncs:        m.syncs.Load(),
+		Resyncs:      m.resyncs.Load(),
+		Reconnects:   m.reconnects.Load(),
+		GapEvents:    m.gaps.Load(),
+		Restarts:     m.restarts.Load(),
+		StaleRejects: m.staleRejects.Load(),
+		Epoch:        epoch,
+	}
+	if synced {
+		s.StalenessMS = time.Since(freshAt).Milliseconds()
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package spectrum
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// NewMirrorHandler wraps a Mirror in the broker's read-side HTTP surface
+// (cmd/brokerproxy serves it):
+//
+//	GET /v1/allocation   committed allocation       → 200 (broker's bytes) | 503 stale
+//	GET /v1/prices       committed prices           → 200 (broker's bytes) | 404 | 503 stale
+//	GET /v1/snapshot     committed snapshot         → 200 (broker's bytes) | 503 stale
+//	GET /healthz         replica health             → 200 MirrorHealth | 503 degraded
+//	GET /metrics         resilience counters        → 200 MirrorStats
+//
+// The /v1 read routes are additionally served under their legacy
+// unversioned aliases, mirroring the broker. Bodies of the /v1 reads are
+// the exact bytes the broker served for the applied epoch, so a client may
+// be pointed at a replica with no observable difference — until the
+// replica cannot prove freshness, in which case it answers 503 with a
+// Retry-After instead of a wrong-but-confident 200.
+func NewMirrorHandler(m *Mirror) http.Handler {
+	mux := http.NewServeMux()
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc(prefix+"/allocation", readOnly(func(w http.ResponseWriter, r *http.Request) {
+			serveRaw(w, m, m.AllocationJSON)
+		}))
+		mux.HandleFunc(prefix+"/prices", readOnly(func(w http.ResponseWriter, r *http.Request) {
+			serveRaw(w, m, m.PricesJSON)
+		}))
+		mux.HandleFunc(prefix+"/snapshot", readOnly(func(w http.ResponseWriter, r *http.Request) {
+			serveRaw(w, m, m.SnapshotJSON)
+		}))
+		mux.HandleFunc(prefix+"/metrics", readOnly(func(w http.ResponseWriter, r *http.Request) {
+			writeMirrorJSON(w, http.StatusOK, m.Stats())
+		}))
+	}
+	mux.HandleFunc("/healthz", readOnly(func(w http.ResponseWriter, r *http.Request) {
+		h := m.Health()
+		code := http.StatusOK
+		if h.Degraded {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", retryAfterSecs(m))
+		}
+		writeMirrorJSON(w, code, h)
+	}))
+	// The broker's mutation routes answer 405 here rather than a bare 404,
+	// so an SDK client mistakenly pointed at a replica for writes gets told
+	// what is wrong. Their GET forms (bid status, watch) are not mirrored
+	// and stay 404.
+	for _, prefix := range []string{"/v1", ""} {
+		for _, route := range []string{"/bids", "/bids/", "/batch"} {
+			mux.HandleFunc(prefix+route, func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodGet {
+					writeMirrorJSON(w, http.StatusNotFound,
+						map[string]string{"error": "route not mirrored; query the broker directly"})
+					return
+				}
+				w.Header().Set("Allow", http.MethodGet)
+				writeMirrorJSON(w, http.StatusMethodNotAllowed,
+					map[string]string{"error": "read replica is read-only; send mutations to the upstream broker"})
+			})
+		}
+	}
+	return mux
+}
+
+// readOnly admits GET (and HEAD via GET semantics), answering anything else
+// with the API's structured 405.
+func readOnly(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeMirrorJSON(w, http.StatusMethodNotAllowed,
+				map[string]string{"error": "method " + r.Method + " not allowed on a read replica; use GET (mutations go to the broker)"})
+			return
+		}
+		fn(w, r)
+	}
+}
+
+// serveRaw answers with the broker's stored bytes for one read route,
+// degrading to 503 + Retry-After on staleness and to the broker's own 404
+// semantics for disabled prices (nil body, nil error).
+func serveRaw(w http.ResponseWriter, m *Mirror, read func() ([]byte, int, error)) {
+	body, _, err := read()
+	switch {
+	case errors.Is(err, ErrStale):
+		w.Header().Set("Retry-After", retryAfterSecs(m))
+		writeMirrorJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
+		writeMirrorJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	case body == nil:
+		writeMirrorJSON(w, http.StatusNotFound,
+			map[string]string{"error": "prices disabled; start the broker with pricing enabled"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// retryAfterSecs advises a degraded reader when to come back: a quarter of
+// the staleness bound, clamped to [1s, 30s] — long enough to shed load off
+// a struggling replica, short enough to recover quickly once it resyncs.
+func retryAfterSecs(m *Mirror) string {
+	secs := int(m.cfg.MaxStaleness.Seconds() / 4)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
+func writeMirrorJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

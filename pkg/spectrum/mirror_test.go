@@ -1,0 +1,362 @@
+package spectrum_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/geom"
+	"repro/pkg/spectrum"
+)
+
+func startTestMirror(t *testing.T, base string, cfg spectrum.MirrorConfig) *spectrum.Mirror {
+	t.Helper()
+	if cfg.Client == nil {
+		cfg.Client = spectrum.NewClient(base)
+	}
+	if cfg.PollTimeout == 0 {
+		cfg.PollTimeout = 100 * time.Millisecond
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 5 * time.Millisecond
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 50 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	m, err := spectrum.NewMirror(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+	return m
+}
+
+// TestMirrorServesBrokerBytes: the basic replica loop — sync, follow one
+// commit, serve the broker's exact bytes and decoded reads.
+func TestMirrorServesBrokerBytes(t *testing.T) {
+	b, err := broker.New(broker.Config{K: 2, Prices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(broker.NewHandler(b))
+	defer srv.Close()
+	m := startTestMirror(t, srv.URL, spectrum.MirrorConfig{})
+
+	if _, err := m.Allocation(); !errors.Is(err, spectrum.ErrStale) {
+		t.Fatalf("read before first sync: %v, want ErrStale", err)
+	}
+
+	if _, err := b.Submit(broker.Bid{Radius: 2, Values: []float64{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.WaitForEpoch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	alloc, err := m.Allocation()
+	if err != nil || alloc.Epoch != 1 || alloc.Welfare != 7 || len(alloc.Winners) != 1 {
+		t.Fatalf("mirror allocation: %+v, %v", alloc, err)
+	}
+	prices, err := m.Prices()
+	if err != nil || prices.Epoch != 1 {
+		t.Fatalf("mirror prices: %+v, %v", prices, err)
+	}
+	if e, ok := m.Epoch(); !ok || e != 1 {
+		t.Fatalf("Epoch() = %d, %v", e, ok)
+	}
+
+	for _, probe := range []struct {
+		route string
+		read  func() ([]byte, int, error)
+	}{
+		{"/v1/snapshot", m.SnapshotJSON},
+		{"/v1/allocation", m.AllocationJSON},
+		{"/v1/prices", m.PricesJSON},
+	} {
+		resp, err := http.Get(srv.URL + probe.route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got, epoch, err := probe.read()
+		if err != nil || epoch != 1 {
+			t.Fatalf("%s: epoch %d err %v", probe.route, epoch, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: mirror bytes differ from broker", probe.route)
+		}
+	}
+
+	h := m.Health()
+	if h.Degraded || h.Status != "ok" || h.Epoch != 1 {
+		t.Fatalf("health: %+v", h)
+	}
+	if st := m.Stats(); st.Syncs == 0 || st.Epoch != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMirrorPricesDisabled: an upstream without pricing makes the mirror's
+// Prices read a 404-category error, exactly like the broker's own route.
+func TestMirrorPricesDisabled(t *testing.T) {
+	b, err := broker.New(broker.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(broker.NewHandler(b))
+	defer srv.Close()
+	m := startTestMirror(t, srv.URL, spectrum.MirrorConfig{})
+	b.Tick()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.WaitForEpoch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Prices(); !errors.Is(err, spectrum.ErrNotFound) {
+		t.Fatalf("disabled prices: %v, want ErrNotFound", err)
+	}
+	body, _, err := m.PricesJSON()
+	if err != nil || body != nil {
+		t.Fatalf("PricesJSON with disabled prices: body=%v err=%v, want nil/nil", body, err)
+	}
+}
+
+// TestMirrorDetectsGapAndResyncs forces an epoch gap deterministically: a
+// middleware blackholes /v1/watch (serving empty 204 windows, which the
+// mirror rightly treats as freshness proofs) while the broker commits twice;
+// when the watch path reopens, the mirror receives local+2, counts a gap
+// event, and re-anchors with a full resync.
+func TestMirrorDetectsGapAndResyncs(t *testing.T) {
+	b, err := broker.New(broker.Config{K: 2, Prices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blackhole atomic.Bool
+	h := broker.NewHandler(b)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if blackhole.Load() && r.URL.Path == "/v1/watch" {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	m := startTestMirror(t, srv.URL, spectrum.MirrorConfig{})
+
+	if _, err := b.Submit(broker.Bid{Radius: 2, Values: []float64{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.WaitForEpoch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	blackhole.Store(true)
+	if _, err := b.Submit(broker.Bid{Pos: geom.Point{X: 80}, Radius: 2, Values: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	b.Tick()
+	blackhole.Store(false)
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := m.WaitForEpoch(ctx2, 3); err != nil {
+		t.Fatalf("mirror never crossed the gap: %v (stats %+v)", err, m.Stats())
+	}
+	st := m.Stats()
+	if st.GapEvents == 0 {
+		t.Fatalf("gap went uncounted: %+v", st)
+	}
+	if st.Resyncs < 2 { // the anchor resync plus the gap-triggered one
+		t.Fatalf("gap did not trigger a resync: %+v", st)
+	}
+	alloc, err := m.Allocation()
+	if err != nil || alloc.Epoch != 3 {
+		t.Fatalf("post-gap allocation: %+v, %v", alloc, err)
+	}
+}
+
+// TestMirrorHandlerHTTP pins the proxy surface: 503 + Retry-After while the
+// replica cannot prove freshness, the broker's exact bytes once it can,
+// structured 405s for mutations, and health/metrics routes.
+func TestMirrorHandlerHTTP(t *testing.T) {
+	b, err := broker.New(broker.Config{K: 2, Prices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsrv := httptest.NewServer(broker.NewHandler(b))
+	defer bsrv.Close()
+	m := startTestMirror(t, bsrv.URL, spectrum.MirrorConfig{})
+	psrv := httptest.NewServer(spectrum.NewMirrorHandler(m))
+	defer psrv.Close()
+
+	// Unsynced: every read is an honest 503 with retry advice.
+	resp, err := http.Get(psrv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("unsynced read: %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp, err = http.Get(psrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unsynced healthz: %d", resp.StatusCode)
+	}
+
+	// Mutations have no business on a replica.
+	resp, err = http.Post(psrv.URL+"/v1/allocation", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST on replica: %d, Allow %q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	// The broker's mutation routes answer a structured 405 (not a bare
+	// 404), on /v1 and legacy paths alike; their GET forms are 404 since
+	// bid status is not mirrored.
+	for _, path := range []string{"/v1/bids", "/bids", "/v1/batch", "/batch", "/v1/bids/7/move"} {
+		resp, err = http.Post(psrv.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") != http.MethodGet {
+			t.Fatalf("POST %s on replica: %d, Allow %q", path, resp.StatusCode, resp.Header.Get("Allow"))
+		}
+	}
+	resp, err = http.Get(psrv.URL + "/v1/bids/7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET bid status on replica: %d", resp.StatusCode)
+	}
+
+	// Synced: the replica's responses are the broker's bytes, on both the
+	// /v1 and legacy unversioned routes.
+	if _, err := b.Submit(broker.Bid{Radius: 2, Values: []float64{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.WaitForEpoch(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range []string{"/v1/snapshot", "/snapshot", "/v1/allocation", "/allocation", "/v1/prices", "/prices"} {
+		canonical := route
+		if canonical[0] != '/' || canonical[1] != 'v' {
+			canonical = "/v1" + route
+		}
+		wresp, err := http.Get(bsrv.URL + canonical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := io.ReadAll(wresp.Body)
+		wresp.Body.Close()
+		gresp, err := http.Get(psrv.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(gresp.Body)
+		gresp.Body.Close()
+		if gresp.StatusCode != http.StatusOK || gresp.Header.Get("Content-Type") != "application/json" {
+			t.Fatalf("%s: %d %q", route, gresp.StatusCode, gresp.Header.Get("Content-Type"))
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: replica bytes differ from broker", route)
+		}
+	}
+
+	var health spectrum.MirrorHealth
+	if resp := getJSON(t, psrv.URL+"/healthz", &health); resp != http.StatusOK {
+		t.Fatalf("healthz: %d", resp)
+	}
+	if health.Degraded || health.Epoch != 1 || health.Status != "ok" {
+		t.Fatalf("healthz body: %+v", health)
+	}
+	var stats spectrum.MirrorStats
+	if resp := getJSON(t, psrv.URL+"/metrics", &stats); resp != http.StatusOK {
+		t.Fatalf("metrics: %d", resp)
+	}
+	if stats.Syncs == 0 || stats.Epoch != 1 {
+		t.Fatalf("metrics body: %+v", stats)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("decode %s: %v (%s)", url, err, body)
+	}
+	return resp.StatusCode
+}
+
+// TestMirrorStaleRejectCounting: degraded reads are counted, and the typed
+// StaleError carries the diagnostic fields the 503 body is built from.
+func TestMirrorStaleRejectCounting(t *testing.T) {
+	b, err := broker.New(broker.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(broker.NewHandler(b))
+	defer srv.Close()
+	m := startTestMirror(t, srv.URL, spectrum.MirrorConfig{})
+
+	var se *spectrum.StaleError
+	_, err = m.Allocation()
+	if !errors.As(err, &se) || se.Epoch != -1 {
+		t.Fatalf("pre-sync stale error: %v", err)
+	}
+	_, _, _ = m.SnapshotJSON()
+	if st := m.Stats(); st.StaleRejects < 2 {
+		t.Fatalf("StaleRejects = %d, want >= 2", st.StaleRejects)
+	}
+}

@@ -254,6 +254,53 @@ type Health struct {
 	RecoveredEpoch int    `json:"recovered_epoch,omitempty"`
 }
 
+// MirrorHealth is the GET /healthz body of a read replica (cmd/brokerproxy
+// or an embedded Mirror): the epoch the replica has applied, the newest
+// upstream epoch it has heard of, and how stale its state is against the
+// configured bound. Status is "syncing" before the first successful sync,
+// "degraded" while the staleness bound is exceeded (reads are refused with
+// ErrStale / HTTP 503), and "ok" otherwise.
+type MirrorHealth struct {
+	Status string `json:"status"`
+	// Epoch is the last epoch the mirror fully applied (-1 before the
+	// first sync); LastHeard is the newest upstream epoch the mirror has
+	// observed on the watch stream, and Lag their difference.
+	Epoch     int `json:"epoch"`
+	LastHeard int `json:"last_heard_epoch"`
+	Lag       int `json:"lag"`
+	// StalenessMS is the time since the mirror last confirmed its state
+	// current (a successful sync or an empty watch window); BoundMS is the
+	// configured ceiling beyond which reads degrade.
+	StalenessMS int64 `json:"staleness_ms"`
+	BoundMS     int64 `json:"staleness_bound_ms"`
+	Degraded    bool  `json:"degraded"`
+	// Upstream is the broker base URL the mirror replicates.
+	Upstream string `json:"upstream,omitempty"`
+}
+
+// MirrorStats is the GET /metrics body of a read replica: lifetime counters
+// of the resilience machinery plus the current staleness gauge.
+type MirrorStats struct {
+	// Syncs counts successful state installs (tail syncs and resyncs);
+	// Resyncs the subset forced by a gap, restart, or reconnect (full
+	// re-anchor instead of trusting the stream tail).
+	Syncs   int64 `json:"syncs"`
+	Resyncs int64 `json:"resyncs"`
+	// Reconnects counts watch-stream breaks (transport errors, truncated
+	// bodies, broker restarts) that sent the mirror through backoff.
+	Reconnects int64 `json:"reconnects"`
+	// GapEvents counts watch deliveries whose epoch was not local+1;
+	// Restarts the subset where the upstream was detected as a different
+	// incarnation (recovered-epoch change or epoch regression).
+	GapEvents int64 `json:"gap_events"`
+	Restarts  int64 `json:"restarts"`
+	// StaleRejects counts reads refused with ErrStale (proxy: HTTP 503).
+	StaleRejects int64 `json:"stale_rejects"`
+	// Epoch and StalenessMS gauge the replica's current position.
+	Epoch       int   `json:"epoch"`
+	StalenessMS int64 `json:"staleness_ms"`
+}
+
 // EpochReport summarizes one committed broker epoch. It is the payload of
 // GET /v1/watch events and the per-epoch section of /v1/metrics.
 type EpochReport struct {

@@ -14,11 +14,16 @@
 # (BenchmarkBrokerEpoch{Warm,Cold}/{disk,distance2,protocol,ieee80211});
 # BENCH_5.json adds the /v1 ingestion paths
 # (BenchmarkBatchSubmit/{per-request,batch64}: one POST /v1/batch of 64 ops
-# vs 64 individual requests, both through the pkg/spectrum SDK).
+# vs 64 individual requests, both through the pkg/spectrum SDK);
+# BENCH_6.json adds the read-replica tier
+# (BenchmarkMirrorRead/{broker-http,mirror-http,mirror-direct}) plus, under
+# extras.read_workload, a brokerload mixed mutate+read run against an
+# in-process Mirror frontend with replica read latency and staleness
+# percentiles.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 # A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
@@ -28,7 +33,16 @@ if [ -e "$out" ] && [ "${FORCE:-0}" != "1" ]; then
   exit 1
 fi
 
+# Mixed read/write workload: a local journal-less broker stack, 4 mutating
+# workers, and 4 readers hammering a Mirror replica at up to 1000 reads per
+# mutation. The -json report (throughput, read percentiles, staleness in
+# epochs, honest 503 count) lands under extras.read_workload.
+workload="$(mktemp)"
+trap 'rm -f "$workload"' EXIT
+go run ./cmd/brokerload -local -epochs 30 -epoch 40ms -pace 5ms -concurrency 4 \
+  -batch 32 -readers 4 -read-ratio 1000 -json > "$workload"
+
 go test -run '^$' -count 1 -benchmem \
-  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch|BenchmarkBatchSubmit' \
-  . | go run ./cmd/benchjson -label "$label" > "$out"
+  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch|BenchmarkBatchSubmit|BenchmarkMirrorRead' \
+  . | go run ./cmd/benchjson -label "$label" -attach "read_workload=$workload" > "$out"
 echo "bench: wrote $out" >&2
