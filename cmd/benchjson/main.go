@@ -12,6 +12,13 @@
 // can carry both micro-benchmarks and workload-level measurements:
 //
 //	... | benchjson -label x -attach read_workload=/tmp/load.json > BENCH_6.json
+//
+// -best collapses the repeated lines a `go test -count=N` run emits per
+// benchmark down to the fastest sample (minimum ns/op, keeping that run's
+// B/op and allocs/op), recording how many samples were folded in. Combined
+// with a fixed -benchtime iteration count this makes the recorded numbers a
+// min-of-N protocol — the standard way to cut scheduler noise out of a
+// committed baseline.
 package main
 
 import (
@@ -31,6 +38,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Samples is how many -count repetitions this entry was min-picked
+	// from; only set (and > 1) when -best folded repeated lines.
+	Samples int `json:"samples,omitempty"`
 }
 
 // Record is the file layout of BENCH_<n>.json.
@@ -82,8 +92,36 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// bestOf keeps, per benchmark name, the sample with the lowest ns/op —
+// B/op and allocs/op come from that same run, not a mix — and stamps each
+// survivor with the number of samples it was picked from. First-appearance
+// order is preserved so the record diffs cleanly against -count=1 files.
+func bestOf(in []Result) []Result {
+	order := make([]string, 0, len(in))
+	byName := make(map[string]Result, len(in))
+	seen := make(map[string]int, len(in))
+	for _, r := range in {
+		seen[r.Name]++
+		prev, ok := byName[r.Name]
+		if !ok {
+			order = append(order, r.Name)
+			byName[r.Name] = r
+		} else if r.NsPerOp < prev.NsPerOp {
+			byName[r.Name] = r
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		r := byName[name]
+		r.Samples = seen[name]
+		out = append(out, r)
+	}
+	return out
+}
+
 func main() {
 	label := flag.String("label", "dev", "label stored in the record (e.g. git revision or \"baseline\")")
+	best := flag.Bool("best", false, "fold -count=N repetitions of a benchmark to the fastest sample (min ns/op)")
 	var attach attachFlags
 	flag.Var(&attach, "attach", "embed a JSON file under extras.<key> (key=path, repeatable)")
 	flag.Parse()
@@ -128,6 +166,9 @@ func main() {
 	if len(rec.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *best {
+		rec.Benchmarks = bestOf(rec.Benchmarks)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

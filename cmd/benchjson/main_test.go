@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestBestOfMinPicks(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA-8", Iterations: 100, NsPerOp: 120, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkB-8", Iterations: 100, NsPerOp: 50},
+		{Name: "BenchmarkA-8", Iterations: 100, NsPerOp: 90, BytesPerOp: 48, AllocsPerOp: 1},
+		{Name: "BenchmarkA-8", Iterations: 100, NsPerOp: 110, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkB-8", Iterations: 100, NsPerOp: 55},
+	}
+	out := bestOf(in)
+	if len(out) != 2 {
+		t.Fatalf("want 2 folded benchmarks, got %d", len(out))
+	}
+	a, b := out[0], out[1]
+	if a.Name != "BenchmarkA-8" || b.Name != "BenchmarkB-8" {
+		t.Fatalf("first-appearance order lost: %q, %q", a.Name, b.Name)
+	}
+	if a.NsPerOp != 90 || a.BytesPerOp != 48 || a.AllocsPerOp != 1 {
+		t.Errorf("A should be the whole fastest sample, got %+v", a)
+	}
+	if a.Samples != 3 || b.Samples != 2 {
+		t.Errorf("sample counts: A=%d B=%d", a.Samples, b.Samples)
+	}
+	if b.NsPerOp != 50 {
+		t.Errorf("B min ns/op: got %v", b.NsPerOp)
+	}
+}
+
+func TestParseLineMemColumns(t *testing.T) {
+	r, ok := parseLine("BenchmarkBrokerEpochWarm/disk-8   \t 300\t 41234 ns/op\t 1024 B/op\t 17 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Iterations != 300 || r.NsPerOp != 41234 || r.BytesPerOp != 1024 || r.AllocsPerOp != 17 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if _, ok := parseLine("PASS"); ok {
+		t.Error("PASS parsed as a benchmark")
+	}
+}

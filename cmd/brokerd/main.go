@@ -66,6 +66,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/journal"
 	"repro/internal/market"
+	"repro/internal/scenario"
 	"repro/internal/serialize"
 	"repro/internal/valuation"
 	"repro/pkg/spectrum"
@@ -113,7 +114,23 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		log.Printf("brokerd: selftest passed for all backends (%v) (cold=%v prices=%v)", broker.ModelNames(), *cold, *prices)
+		// Scenario phase: a mobility workload (Move ops through /v1/batch
+		// against the free-running ticker) and the lease workload (every
+		// retirement broker-enforced), each re-verified from scratch.
+		for _, scName := range []string{"vehicular", "leases"} {
+			cfg := broker.Config{
+				K:          *k,
+				Workers:    *workers,
+				MaxBidders: *maxBidders,
+				Prices:     *prices,
+				Cold:       *cold,
+			}
+			if err := selftestScenario(scName, cfg, *selftest, *epoch, *seed); err != nil {
+				log.Printf("brokerd: SELFTEST FAILED (scenario %s): %v", scName, err)
+				os.Exit(1)
+			}
+		}
+		log.Printf("brokerd: selftest passed for all backends (%v) and scenarios (cold=%v prices=%v)", broker.ModelNames(), *cold, *prices)
 		os.Exit(0)
 	}
 
@@ -287,6 +304,105 @@ func selftestBackend(name string, delta float64, cfg broker.Config, dur, epoch t
 	return runErr
 }
 
+// selftestScenario replays one named workload from internal/scenario through
+// the full HTTP stack: an in-memory broker, listener, and free-running epoch
+// ticker, driven one POST /v1/batch per trace step via the public SDK. The
+// mobility scenarios push Move ops through the API at epoch rate; the lease
+// scenario submits TTL'd bids and never withdraws, so every departure is
+// broker-enforced. After the replay the committed allocation is verified
+// against a from-scratch solve, and the scenario's own machinery must have
+// fired (moves applied, leases expired).
+func selftestScenario(name string, cfg broker.Config, dur, epoch time.Duration, seed int64) error {
+	sc, err := scenario.ByName(name)
+	if err != nil {
+		return err
+	}
+	if sc.MaxBidders > 0 {
+		cfg.MaxBidders = sc.MaxBidders
+	}
+	b, err := broker.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: broker.NewHandler(b)}
+	go srv.Serve(ln)
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(epoch)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopTicker:
+				return
+			case <-t.C:
+				b.Tick()
+			}
+		}
+	}()
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := spectrum.NewClient(fmt.Sprintf("http://%s", ln.Addr()))
+	p := scenario.Params{Seed: seed, Epochs: int(dur/epoch) + 8, K: cfg.K}
+	replay := market.NewOpsReplayer(sc.Trace(p), true)
+	replay.Lenient() // scenario 429 pressure is workload, not failure
+	deadline := time.Now().Add(dur)
+	runErr := func() error {
+		for time.Now().Before(deadline) {
+			ops, more, err := replay.Step()
+			if err != nil {
+				return err
+			}
+			if len(ops) > 0 {
+				res, err := client.SubmitBatch(ctx, ops)
+				if err != nil {
+					return err
+				}
+				if err := replay.Observe(res.Results); err != nil {
+					return err
+				}
+			}
+			if !more {
+				break
+			}
+			time.Sleep(epoch)
+		}
+		return nil
+	}()
+	close(stopTicker)
+	<-tickerDone
+	if runErr != nil {
+		return runErr
+	}
+	n, welfare, err := verifyFinal(b)
+	if err != nil {
+		return err
+	}
+	m := b.Metrics()
+	switch sc {
+	case scenario.Vehicular, scenario.Pedestrian:
+		if m.Moved == 0 || replay.Moves() == 0 {
+			return fmt.Errorf("mobility scenario applied no moves (emitted %d)", replay.Moves())
+		}
+	case scenario.Leases:
+		if m.Expired == 0 {
+			return fmt.Errorf("lease scenario expired nothing")
+		}
+		if m.Withdrawn != m.Expired {
+			return fmt.Errorf("%d departures but %d lease expirations — a client withdraw slipped in", m.Withdrawn, m.Expired)
+		}
+	}
+	log.Printf("selftest[scenario %s]: %d trace epochs, %d submitted, %d moved, %d expired, %d tolerated 429s; final n=%d welfare=%.2f == from-scratch",
+		name, replay.Epoch(), m.Submitted, m.Moved, m.Expired, replay.Rejected429(), n, welfare)
+	return nil
+}
+
 // verifyRestore hard-kills the journaled broker (no clean close, no final
 // snapshot — exactly what a crash leaves) and restores a fresh broker from
 // the data directory, asserting the restored epoch, per-bidder allocation,
@@ -420,17 +536,46 @@ func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Du
 	if err != nil {
 		return fmt.Errorf("watch: %w", err)
 	}
+	n, welfare, err := verifyFinal(b)
+	if err != nil {
+		return err
+	}
+	m := b.Metrics()
+	if m.JournalErrors != 0 {
+		return fmt.Errorf("%d journal errors during selftest", m.JournalErrors)
+	}
+	log.Printf("selftest[%s]: %d trace epochs driven, %d submitted (%d XOR), %d withdrawn, %d updated; %d broker epochs (clean=%d warm=%d rebuilt=%d); final n=%d welfare=%.2f == from-scratch",
+		b.Model().Name(), replay.Epoch(), submitted, xors, withdrawn, updated, m.Epochs, m.CleanTotal, m.WarmTotal, m.RebuildTotal, n, welfare)
+	// Emit the snapshot size as a sanity line (also proves serialize works
+	// on the live market).
+	in, _, _, err := b.Snapshot()
+	if err != nil {
+		return err
+	}
+	var sz bytes.Buffer
+	if err := serialize.Write(&sz, in); err != nil {
+		return err
+	}
+	log.Printf("selftest[%s]: final snapshot serializes to %d bytes", b.Model().Name(), sz.Len())
+	return nil
+}
+
+// verifyFinal forces one synchronous tick and checks the committed allocation
+// against a from-scratch auction solve of the final snapshot — the live
+// equivalent of the equivalence tests in internal/broker. Returns the market
+// size and welfare of the verified allocation.
+func verifyFinal(b *broker.Broker) (int, float64, error) {
 	b.Tick()
 	in, ids, _, err := b.Snapshot()
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	got := make(auction.Allocation, len(ids))
 	welfare := 0.0
 	for i, id := range ids {
 		t, st := b.Allocation(id)
 		if st != broker.StatusActive {
-			return fmt.Errorf("active bidder %d has status %v", id, st)
+			return 0, 0, fmt.Errorf("active bidder %d has status %v", id, st)
 		}
 		got[i] = t
 		if t != valuation.Empty {
@@ -438,38 +583,25 @@ func runSelftest(base string, b *broker.Broker, model string, dur, epoch time.Du
 		}
 	}
 	if !in.Feasible(got) {
-		return fmt.Errorf("final allocation infeasible")
+		return 0, 0, fmt.Errorf("final allocation infeasible")
 	}
 	var ref auction.Allocation
 	refWelfare := 0.0
 	if in.N() > 0 {
 		res, err := auction.Solve(in, auction.Options{Derandomize: true})
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 		ref, refWelfare = res.Alloc, res.Welfare
 	}
 	if math.Abs(welfare-refWelfare) > 1e-6*(1+math.Abs(refWelfare)) {
-		return fmt.Errorf("streamed welfare %.6f vs from-scratch %.6f", welfare, refWelfare)
+		return 0, 0, fmt.Errorf("streamed welfare %.6f vs from-scratch %.6f", welfare, refWelfare)
 	}
 	for i := range got {
 		if got[i] != ref[i] {
-			return fmt.Errorf("allocation of bidder %d differs from from-scratch solve (%v vs %v)",
+			return 0, 0, fmt.Errorf("allocation of bidder %d differs from from-scratch solve (%v vs %v)",
 				ids[i], got[i], ref[i])
 		}
 	}
-	m := b.Metrics()
-	if m.JournalErrors != 0 {
-		return fmt.Errorf("%d journal errors during selftest", m.JournalErrors)
-	}
-	log.Printf("selftest[%s]: %d trace epochs driven, %d submitted (%d XOR), %d withdrawn, %d updated; %d broker epochs (clean=%d warm=%d rebuilt=%d); final n=%d welfare=%.2f == from-scratch",
-		b.Model().Name(), replay.Epoch(), submitted, xors, withdrawn, updated, m.Epochs, m.CleanTotal, m.WarmTotal, m.RebuildTotal, in.N(), welfare)
-	// Emit the snapshot size as a sanity line (also proves serialize works
-	// on the live market).
-	var sz bytes.Buffer
-	if err := serialize.Write(&sz, in); err != nil {
-		return err
-	}
-	log.Printf("selftest[%s]: final snapshot serializes to %d bytes", b.Model().Name(), sz.Len())
-	return nil
+	return in.N(), welfare, nil
 }

@@ -46,6 +46,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/journal"
 	"repro/internal/market"
+	"repro/internal/scenario"
 	"repro/pkg/spectrum"
 )
 
@@ -69,9 +70,28 @@ func main() {
 		readers     = flag.Int("readers", 0, "reader goroutines hammering the replica's GET /v1/allocation alongside the mutation load")
 		readRatio   = flag.Int("read-ratio", 1000, "cap reads at this many per mutation (0 = unthrottled)")
 		readAddr    = flag.String("read-addr", "", "base URL the readers target (a brokerproxy); with -local and empty, an in-process Mirror + replica handler is started automatically")
+		scenName    = flag.String("scenario", "", "named workload from internal/scenario ("+joinNames()+"); replaces the default churn trace (worker w still replays -seed + w)")
 		jsonOut     = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
+
+	var scen *scenario.Scenario
+	if *scenName != "" {
+		var err error
+		if scen, err = scenario.ByName(*scenName); err != nil {
+			log.Fatalf("brokerload: %v", err)
+		}
+		// A scenario is designed against a specific admission cap (the
+		// flash crowd's 429 pressure is the workload); honor it in -local
+		// mode unless the operator overrode the cap explicitly.
+		if scen.MaxBidders > 0 {
+			explicit := false
+			flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "max-bidders" })
+			if !explicit {
+				*maxBidders = scen.MaxBidders
+			}
+		}
+	}
 
 	if *killAfter > 0 && !*local {
 		log.Fatal("brokerload: -kill-after requires -local (it must own the broker it kills)")
@@ -147,6 +167,7 @@ func main() {
 		total   time.Duration
 		max     time.Duration
 		welfare float64
+		expired int
 	}
 	watchDone := make(chan struct{})
 	go func() {
@@ -163,6 +184,7 @@ func main() {
 					watch.max = rep.Latency
 				}
 				watch.welfare = rep.Welfare
+				watch.expired += rep.Expired
 				watch.Unlock()
 			}
 			if wctx.Err() != nil || *killAfter == 0 {
@@ -203,6 +225,8 @@ func main() {
 		sync.Mutex
 		mutations int
 		requests  int
+		moves     int
+		rejected  int
 		lat       []time.Duration
 	}
 
@@ -274,10 +298,15 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := runWorker(ctx, client, workerConfig{
+			moved, rejected, err := runWorker(ctx, client, workerConfig{
 				seed: *seed + int64(w), epochs: *epochs, k: *k, rate: *rate,
-				model: *model, batch: *batch, pace: *pace,
-			}, &gate, &agg.Mutex, &agg.mutations, &agg.requests, &agg.lat); err != nil {
+				model: *model, batch: *batch, pace: *pace, scen: scen,
+			}, &gate, &agg.Mutex, &agg.mutations, &agg.requests, &agg.lat)
+			agg.Lock()
+			agg.moves += moved
+			agg.rejected += rejected
+			agg.Unlock()
+			if err != nil {
 				errs <- fmt.Errorf("worker %d: %w", w, err)
 			}
 		}()
@@ -333,6 +362,21 @@ func main() {
 	}
 	if *killAfter > 0 {
 		report["restarts"] = restarts
+	}
+	if scen != nil {
+		report["scenario"] = scen.Name
+		report["moves"] = agg.moves
+		report["rejected_429"] = agg.rejected
+		// Expired withdrawals are broker-side events; the -local broker's
+		// metrics are authoritative, a remote target is read off the watch
+		// stream (a lower bound when epochs coalesce).
+		if stack != nil {
+			report["expired"] = int(stack.b.Metrics().Expired)
+		} else {
+			watch.Lock()
+			report["expired"] = watch.expired
+			watch.Unlock()
+		}
 	}
 	if *readers > 0 {
 		reads.Lock()
@@ -392,6 +436,10 @@ func main() {
 		watch.max.Round(10*time.Microsecond), report["final_welfare"])
 	if *killAfter > 0 {
 		fmt.Printf("  kill/restore round-trips: %d (all verified allocation-identical)\n", restarts)
+	}
+	if scen != nil {
+		fmt.Printf("  scenario %q: %d moves, %d lease expirations, %d admission 429s\n",
+			scen.Name, agg.moves, report["expired"], agg.rejected)
 	}
 	if *readers > 0 {
 		fmt.Printf("  replica reads: %d by %d readers (%.0f reads/s), p50 %v p95 %v, %d stale 503s, staleness p50/p95/max %v/%v/%v epochs\n",
@@ -574,33 +622,45 @@ type workerConfig struct {
 	model  string
 	batch  int
 	pace   time.Duration
+	scen   *scenario.Scenario
 }
 
 // runWorker replays one trace stream through the SDK: each trace step's
 // mutations go out as /v1/batch requests of at most cfg.batch ops (or as
 // individual mutation requests when batch is 0), with every request timed.
 // Each request holds the kill gate shared, so the supervisor's exclusive
-// hold excludes in-flight load during a kill/restore window.
+// hold excludes in-flight load during a kill/restore window. It returns the
+// move ops emitted and the admission 429s tolerated (scenario runs only).
 func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig, gate *sync.RWMutex,
-	mu *sync.Mutex, mutations, requests *int, lat *[]time.Duration) error {
-	tr := market.GenTrace(market.TraceConfig{
-		Seed:          cfg.seed,
-		Epochs:        cfg.epochs,
-		K:             cfg.k,
-		Side:          300,
-		ArrivalRate:   cfg.rate,
-		MeanLifetime:  5,
-		PrimaryUsers:  3,
-		PrimaryRadius: 60,
-		PrimaryActive: 0.5,
-		MaxUsers:      120,
-		Model:         cfg.model,
-	})
+	mu *sync.Mutex, mutations, requests *int, lat *[]time.Duration) (int, int, error) {
+	var tr *market.Trace
+	if cfg.scen != nil {
+		tr = cfg.scen.Trace(scenario.Params{Seed: cfg.seed, Epochs: cfg.epochs, K: cfg.k, Model: cfg.model})
+	} else {
+		tr = market.GenTrace(market.TraceConfig{
+			Seed:          cfg.seed,
+			Epochs:        cfg.epochs,
+			K:             cfg.k,
+			Side:          300,
+			ArrivalRate:   cfg.rate,
+			MeanLifetime:  5,
+			PrimaryUsers:  3,
+			PrimaryRadius: 60,
+			PrimaryActive: 0.5,
+			MaxUsers:      120,
+			Model:         cfg.model,
+		})
+	}
 	replay := market.NewOpsReplayer(tr, true)
+	if cfg.scen != nil {
+		// Scenario runs tolerate admission 429s by design: the flash-crowd
+		// workload exists to drive the broker into its cap.
+		replay.Lenient()
+	}
 	for {
 		ops, more, err := replay.Step()
 		if err != nil {
-			return err
+			return replay.Moves(), replay.Rejected429(), err
 		}
 		results := make([]spectrum.OpResult, 0, len(ops))
 		if cfg.batch > 0 {
@@ -612,7 +672,7 @@ func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig, g
 				d := time.Since(t0)
 				gate.RUnlock()
 				if err != nil {
-					return err
+					return replay.Moves(), replay.Rejected429(), err
 				}
 				mu.Lock()
 				*requests++
@@ -640,7 +700,16 @@ func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig, g
 				d := time.Since(t0)
 				gate.RUnlock()
 				if err != nil {
-					return err
+					// In scenario mode a per-request submit can bounce off the
+					// admission cap just like a batched one; surface it to the
+					// replayer as the per-item 429 it would have been.
+					var ae *spectrum.APIError
+					if cfg.scen != nil && op.Op == spectrum.OpSubmit &&
+						errors.As(err, &ae) && ae.Code == http.StatusTooManyRequests {
+						results = append(results, spectrum.OpResult{Code: 429, Error: ae.Msg})
+						continue
+					}
+					return replay.Moves(), replay.Rejected429(), err
 				}
 				mu.Lock()
 				*requests++
@@ -651,19 +720,32 @@ func runWorker(ctx context.Context, client *spectrum.Client, cfg workerConfig, g
 			}
 		}
 		if err := replay.Observe(results); err != nil {
-			return err
+			return replay.Moves(), replay.Rejected429(), err
 		}
 		if !more {
-			return nil
+			return replay.Moves(), replay.Rejected429(), nil
 		}
 		if cfg.pace > 0 {
 			select {
 			case <-ctx.Done():
-				return ctx.Err()
+				return replay.Moves(), replay.Rejected429(), ctx.Err()
 			case <-time.After(cfg.pace):
 			}
 		}
 	}
+}
+
+// joinNames lists the scenario registry for -scenario's usage string.
+func joinNames() string {
+	names := scenario.Names()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "|"
+		}
+		out += n
+	}
+	return out
 }
 
 func min(a, b int) int {

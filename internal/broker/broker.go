@@ -248,7 +248,13 @@ type bidder struct {
 	// support shrank, XOR atom set changed, or the valuation switched form);
 	// consumed (and cleared) by planEpoch.
 	forceRebuild bool
-	nbrs         map[BidderID]struct{}
+	// expires is the absolute epoch at which the broker withdraws this bid
+	// itself (Bid.LeaseEpochs counted from the activation epoch); 0 means no
+	// lease. A deterministic function of the submit op and its commit epoch,
+	// so journal replay reproduces the expiration schedule without the
+	// synthesized withdrawals ever being journaled.
+	expires int
+	nbrs    map[BidderID]struct{}
 }
 
 // setValues installs a validated valuation on the bidder.
@@ -261,17 +267,20 @@ func (bd *bidder) setValues(v Values, k int) {
 
 // Metrics aggregates over the broker's lifetime.
 type Metrics struct {
-	Epochs       int         `json:"epochs"`
-	Submitted    int64       `json:"submitted"`
-	Withdrawn    int64       `json:"withdrawn"`
-	Updated      int64       `json:"updated"`
-	Moved        int64       `json:"moved"`
-	Rejected     int64       `json:"rejected"`
-	TotalWelfare float64     `json:"total_welfare"`
-	CleanTotal   int64       `json:"clean_total"`
-	WarmTotal    int64       `json:"warm_total"`
-	RebuildTotal int64       `json:"rebuild_total"`
-	ErrorsTotal  int64       `json:"errors_total"`
+	Epochs    int   `json:"epochs"`
+	Submitted int64 `json:"submitted"`
+	Withdrawn int64 `json:"withdrawn"`
+	Updated   int64 `json:"updated"`
+	Moved     int64 `json:"moved"`
+	// Expired counts broker-enforced lease expirations (a subset of the
+	// departures in Withdrawn's sense: every expiry is also a departure).
+	Expired      int64   `json:"expired"`
+	Rejected     int64   `json:"rejected"`
+	TotalWelfare float64 `json:"total_welfare"`
+	CleanTotal   int64   `json:"clean_total"`
+	WarmTotal    int64   `json:"warm_total"`
+	RebuildTotal int64   `json:"rebuild_total"`
+	ErrorsTotal  int64   `json:"errors_total"`
 	// JournalErrors counts epoch commits whose durability hook failed (the
 	// epoch stays committed in memory; the journal is behind).
 	JournalErrors int64 `json:"journal_errors"`
@@ -423,11 +432,18 @@ func (b *Broker) validValues(v Values) error {
 	return nil
 }
 
+// maxLeaseEpochs bounds a bid's TTL (a negative lease would expire a bid
+// into the past; an absurdly large one is almost certainly a client bug).
+const maxLeaseEpochs = 1 << 30
+
 // validateBid vets a full submission: valuation against the channel count,
-// geometry against the interference model.
+// geometry against the interference model, lease within range.
 func (b *Broker) validateBid(bid *Bid) error {
 	if err := b.validValues(bidValues(bid)); err != nil {
 		return err
+	}
+	if bid.LeaseEpochs < 0 || bid.LeaseEpochs > maxLeaseEpochs {
+		return fmt.Errorf("%w: lease %d epochs out of range [0,%d]", ErrBadBid, bid.LeaseEpochs, maxLeaseEpochs)
 	}
 	return b.model.Validate(bid)
 }
@@ -490,7 +506,7 @@ func (b *Broker) Update(id BidderID, v Values) error {
 // unchanged). The conflict model computes the incremental edge delta at the
 // next tick.
 func (b *Broker) Move(id BidderID, bid Bid) error {
-	if bid.Values != nil || bid.XOR != nil {
+	if bid.Values != nil || bid.XOR != nil || bid.LeaseEpochs != 0 {
 		b.rejected.Add(1)
 		return fmt.Errorf("%w: a move carries geometry only", ErrBadBid)
 	}
@@ -610,7 +626,7 @@ func (b *Broker) Batch(ops []spectrum.Op) ([]spectrum.OpResult, int) {
 				results[i] = opResultErr(op.ID, 400, fmt.Errorf("%w: move carries no geometry", ErrBadBid))
 				continue
 			}
-			if op.Bid.Values != nil || op.Bid.XOR != nil {
+			if op.Bid.Values != nil || op.Bid.XOR != nil || op.Bid.LeaseEpochs != 0 {
 				results[i] = opResultErr(op.ID, 400, fmt.Errorf("%w: a move carries geometry only", ErrBadBid))
 				continue
 			}
@@ -842,6 +858,12 @@ func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd, mov int) {
 				key:  b.model.Key(&op.bid),
 				nbrs: make(map[BidderID]struct{}),
 			}
+			if op.bid.LeaseEpochs > 0 {
+				// The bid activates in the epoch being committed (b.epoch+1)
+				// and lives LeaseEpochs epochs; the tick committing
+				// activation+LeaseEpochs withdraws it.
+				nb.expires = b.epoch + 1 + op.bid.LeaseEpochs
+			}
 			nb.setValues(bidValues(&op.bid), b.cfg.K)
 			b.bidders[nb.id] = nb
 			b.applyDelta(b.model.Arrive(nb.id, &nb.bid))
@@ -908,6 +930,32 @@ func (b *Broker) applyQueue(ops []pendingOp) (arr, dep, upd, mov int) {
 	return arr, dep, upd, mov
 }
 
+// dueLeases collects the bidders whose lease runs out in the epoch about to
+// be committed, as synthesized withdrawals in ascending-id order. They are
+// applied ahead of the drained client ops and never journaled: expiry is a
+// deterministic function of each journaled submit's LeaseEpochs and commit
+// epoch, so replay recomputes the identical schedule (and a same-epoch
+// client withdraw of an expiring bid lands on an already-removed bidder —
+// one departure, never two). Caller holds mu.Lock.
+func (b *Broker) dueLeases() []pendingOp {
+	n := b.epoch + 1
+	var ids []BidderID
+	for id, bd := range b.bidders {
+		if bd.expires > 0 && bd.expires <= n {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ops := make([]pendingOp, len(ids))
+	for i, id := range ids {
+		ops[i] = pendingOp{kind: opWithdraw, id: id}
+	}
+	return ops
+}
+
 // Tick closes the current epoch: queued mutations are applied, the conflict
 // graph re-partitioned, dirty components re-solved (fanned across the worker
 // pool), and the new allocation committed. Queries keep serving the previous
@@ -952,14 +1000,22 @@ func (b *Broker) Tick() EpochReport {
 		kept = append(kept, op)
 	}
 	ops = kept
+	// Leases running out this epoch become synthesized withdrawals applied
+	// ahead of the client ops (see dueLeases). Their ids are marked retired
+	// under the same qmu hold so StatusOf flips to gone atomically with the
+	// drain.
+	expiry := b.dueLeases()
+	for _, op := range expiry {
+		b.retired[op.id] = true
+	}
 	b.qmu.Unlock()
 
-	// Idle fast path: nothing changed, so the committed state is already
-	// this epoch's answer — skip the re-partition and the map rebuilds
-	// (unless a component failed last epoch and must retry).
-	if len(ops) == 0 && b.snap != nil && b.metrics.Last.Errors == 0 {
+	// Idle fast path: nothing changed and no lease is due, so the committed
+	// state is already this epoch's answer — skip the re-partition and the
+	// map rebuilds (unless a component failed last epoch and must retry).
+	if len(ops) == 0 && len(expiry) == 0 && b.snap != nil && b.metrics.Last.Errors == 0 {
 		rep := b.metrics.Last
-		rep.Arrivals, rep.Departures, rep.Updates, rep.Moves = 0, 0, 0, 0
+		rep.Arrivals, rep.Departures, rep.Updates, rep.Moves, rep.Expired = 0, 0, 0, 0, 0
 		rep.ColumnsGenerated, rep.PoolAdded, rep.Errors = 0, 0, 0
 		rep.Clean, rep.WarmResolves, rep.Rebuilds = rep.Components, 0, 0
 		b.epoch++
@@ -978,7 +1034,8 @@ func (b *Broker) Tick() EpochReport {
 	}
 
 	rep := EpochReport{Epoch: b.epoch + 1}
-	rep.Arrivals, rep.Departures, rep.Updates, rep.Moves = b.applyQueue(ops)
+	rep.Arrivals, rep.Departures, rep.Updates, rep.Moves = b.applyQueue(append(expiry, ops...))
+	rep.Expired = len(expiry)
 	b.qmu.Lock()
 	b.pop -= rep.Departures
 	b.qmu.Unlock()
@@ -1002,6 +1059,7 @@ func (b *Broker) Tick() EpochReport {
 	b.metrics.Withdrawn += int64(rep.Departures)
 	b.metrics.Updated += int64(rep.Updates)
 	b.metrics.Moved += int64(rep.Moves)
+	b.metrics.Expired += int64(rep.Expired)
 	b.metrics.TotalWelfare += rep.Welfare
 	b.metrics.CleanTotal += int64(rep.Clean)
 	b.metrics.WarmTotal += int64(rep.WarmResolves)

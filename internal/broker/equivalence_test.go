@@ -77,7 +77,7 @@ func TestIncrementalMatchesColdGlobalSolve(t *testing.T) {
 		for {
 			e := replay.Epoch()
 			more, err := replay.Step(
-				func(tid int) error {
+				func(tid int, _ bool) error {
 					err := b.Withdraw(live[tid])
 					delete(live, tid)
 					b.Tick()
@@ -91,6 +91,7 @@ func TestIncrementalMatchesColdGlobalSolve(t *testing.T) {
 					checkAgainstReference(t, b, seed, e)
 					return err
 				},
+				nil, // static trace: no mobility events
 				nil, // trace has no primaries, so no mask updates
 			)
 			if err != nil {

@@ -1,0 +1,284 @@
+package broker
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/market"
+	"repro/pkg/spectrum"
+)
+
+// Temporal-lease semantics: a bid submitted with LeaseEpochs = L activates at
+// some epoch A and is withdrawn by the broker itself at the tick that commits
+// epoch A+L — no client withdraw, no background timer, just a synthesized
+// withdrawal at epoch commit. These tests pin the lifecycle arithmetic, the
+// queue-interaction edge cases, and the equivalence of broker-enforced expiry
+// with an explicit client withdraw of the same lifetime.
+
+func leasedBid(lease int) Bid {
+	return Bid{Radius: 2, Values: []float64{4, 1}, LeaseEpochs: lease}
+}
+
+// A lease of L epochs is active for exactly epochs A..A+L-1 and gone at A+L.
+func TestLeaseExpiresOnSchedule(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	id, err := b.Submit(leasedBid(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Tick() // epoch 1: activation
+	if rep.Arrivals != 1 || rep.Active != 1 || rep.Expired != 0 {
+		t.Fatalf("activation epoch: %+v", rep)
+	}
+	rep = b.Tick() // epoch 2: still within the lease
+	if rep.Active != 1 || rep.Expired != 0 || rep.Departures != 0 {
+		t.Fatalf("mid-lease epoch: %+v", rep)
+	}
+	rep = b.Tick() // epoch 3 = activation + 2: the broker withdraws
+	if rep.Expired != 1 || rep.Departures != 1 || rep.Active != 0 {
+		t.Fatalf("expiry epoch: %+v", rep)
+	}
+	if st := b.StatusOf(id); st != StatusGone {
+		t.Fatalf("expired bidder reports %v, want gone", st)
+	}
+	m := b.Metrics()
+	if m.Expired != 1 || m.Withdrawn != 1 {
+		t.Fatalf("metrics after expiry: expired=%d withdrawn=%d", m.Expired, m.Withdrawn)
+	}
+	// Nothing left to expire: later epochs are quiet.
+	if rep = b.Tick(); rep.Expired != 0 || rep.Departures != 0 {
+		t.Fatalf("post-expiry epoch not quiet: %+v", rep)
+	}
+}
+
+// The shortest lease: one epoch of service, gone at the very next commit.
+func TestLeaseOfOneEpoch(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	if _, err := b.Submit(leasedBid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if rep := b.Tick(); rep.Active != 1 {
+		t.Fatalf("activation epoch: %+v", rep)
+	}
+	if rep := b.Tick(); rep.Expired != 1 || rep.Active != 0 {
+		t.Fatalf("expiry epoch: %+v", rep)
+	}
+}
+
+// Leases are validated like any other bid field.
+func TestLeaseValidation(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	if _, err := b.Submit(leasedBid(-1)); !errors.Is(err, ErrBadBid) {
+		t.Fatalf("negative lease accepted: %v", err)
+	}
+	if _, err := b.Submit(leasedBid(maxLeaseEpochs + 1)); !errors.Is(err, ErrBadBid) {
+		t.Fatalf("absurd lease accepted: %v", err)
+	}
+}
+
+// A move op carries geometry only; smuggling a lease extension through Move
+// (direct or batched) is rejected before it can touch the queue.
+func TestMoveCannotCarryLease(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	id, err := b.Submit(leasedBid(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	if err := b.Move(id, Bid{Radius: 2, LeaseEpochs: 3}); !errors.Is(err, ErrBadBid) {
+		t.Fatalf("Move with a lease accepted: %v", err)
+	}
+	res, _ := b.Batch([]spectrum.Op{{Op: spectrum.OpMove, ID: id, Bid: &Bid{Radius: 2, LeaseEpochs: 3}}})
+	if res[0].OK() || res[0].Code != 400 {
+		t.Fatalf("batched move with a lease: %+v", res[0])
+	}
+}
+
+// A leased submission cancelled while still queued must neither activate nor
+// leave a phantom expiry behind, and its admission-cap slot must be returned.
+func TestLeaseCancelledWhileQueued(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1, MaxBidders: 1})
+	id, err := b.Submit(Bid{Radius: 1, Values: []float64{1}, LeaseEpochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Withdraw(id); err != nil {
+		t.Fatal(err)
+	}
+	if rep := b.Tick(); rep.Arrivals != 0 || rep.Departures != 0 || rep.Expired != 0 {
+		t.Fatalf("cancelled queued lease produced events: %+v", rep)
+	}
+	// The slot is free again: one fresh (unleased) submit fits, a second hits
+	// the cap — so the cancelled lease gave back exactly one population slot.
+	id2, err := b.Submit(Bid{Radius: 1, Values: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(Bid{Radius: 1, Values: []float64{1}}); !errors.Is(err, ErrFull) {
+		t.Fatalf("cap probe: %v", err)
+	}
+	// And the dead lease never fires: no expiries ever, the unleased bid stays.
+	for e := 0; e < 4; e++ {
+		if rep := b.Tick(); rep.Expired != 0 || rep.Departures != 0 {
+			t.Fatalf("phantom expiry from a cancelled queued lease: %+v", rep)
+		}
+	}
+	if st := b.StatusOf(id); st != StatusGone {
+		t.Fatalf("cancelled lease reports %v, want gone", st)
+	}
+	if st := b.StatusOf(id2); st != StatusActive {
+		t.Fatalf("survivor reports %v, want active", st)
+	}
+}
+
+// Lease expiry and a client withdraw landing on the same tick retire the
+// bidder exactly once: one departure, one freed population slot.
+func TestLeaseExpirySameEpochAsWithdraw(t *testing.T) {
+	b := newTestBroker(t, Config{K: 1, MaxBidders: 1})
+	id, err := b.Submit(Bid{Radius: 1, Values: []float64{1}, LeaseEpochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := b.Tick(); rep.Active != 1 {
+		t.Fatalf("activation epoch: %+v", rep)
+	}
+	// Queue a client withdraw for the very epoch the lease runs out.
+	if err := b.Withdraw(id); err != nil {
+		t.Fatal(err)
+	}
+	rep := b.Tick()
+	if rep.Expired != 1 || rep.Departures != 1 || rep.Active != 0 {
+		t.Fatalf("double-withdraw epoch: %+v", rep)
+	}
+	// Population accounting: exactly one slot exists and it is free.
+	if _, err := b.Submit(Bid{Radius: 1, Values: []float64{1}}); err != nil {
+		t.Fatalf("slot not freed after same-epoch expiry+withdraw: %v", err)
+	}
+	if _, err := b.Submit(Bid{Radius: 1, Values: []float64{1}}); !errors.Is(err, ErrFull) {
+		t.Fatalf("slot freed twice: %v", err)
+	}
+}
+
+// Leased submits through /v1/batch replay idempotently: the same key returns
+// the stored result without creating a second bidder — before activation,
+// and even after the original lease has expired.
+func TestLeaseBatchIdempotentReplay(t *testing.T) {
+	b := newTestBroker(t, Config{K: 2})
+	bid := leasedBid(1)
+	ops := []spectrum.Op{{Op: spectrum.OpSubmit, Key: "lease-sub-1", Bid: &bid}}
+	res, _ := b.Batch(ops)
+	if !res[0].OK() || res[0].Replayed {
+		t.Fatalf("first submit: %+v", res[0])
+	}
+	id := res[0].ID
+	replay, _ := b.Batch(ops)
+	if !replay[0].OK() || !replay[0].Replayed || replay[0].ID != id {
+		t.Fatalf("pre-tick replay: %+v", replay[0])
+	}
+	if rep := b.Tick(); rep.Arrivals != 1 || rep.Active != 1 {
+		t.Fatalf("duplicate submit slipped through the key: %+v", rep)
+	}
+	if rep := b.Tick(); rep.Expired != 1 || rep.Active != 0 {
+		t.Fatalf("expiry epoch: %+v", rep)
+	}
+	// A retry arriving after the lease already expired still replays the
+	// stored result — it must not resurrect the bidder.
+	replay, _ = b.Batch(ops)
+	if !replay[0].OK() || !replay[0].Replayed || replay[0].ID != id {
+		t.Fatalf("post-expiry replay: %+v", replay[0])
+	}
+	if rep := b.Tick(); rep.Arrivals != 0 || rep.Active != 0 {
+		t.Fatalf("post-expiry replay resurrected the bidder: %+v", rep)
+	}
+}
+
+// The lease equivalence contract: a broker expiring leases itself must walk
+// exactly the same epoch trajectory as a broker whose clients withdraw
+// explicitly at the same lifetimes — identical allocations and welfare every
+// epoch, on both the warm and the Cold (no cache, no pool) configuration —
+// and the lease broker's committed allocation must still equal a from-scratch
+// solve of its own snapshot (the standing incremental==cold-global pin).
+func TestLeaseMatchesClientWithdrawTwin(t *testing.T) {
+	cfg := market.TraceConfig{
+		Seed: 13, Epochs: 20, K: 3, Side: 140,
+		ArrivalRate: 4, MeanLifetime: 3, MaxUsers: 32,
+	}
+	plainTr := market.GenTrace(cfg)
+	cfg.Lease = true
+	leaseTr := market.GenTrace(cfg)
+
+	leased := newTestBroker(t, Config{K: 3})
+	leasedCold := newTestBroker(t, Config{K: 3, Cold: true})
+	twin := newTestBroker(t, Config{K: 3})
+	rl := market.NewOpsReplayer(leaseTr, false)
+	rlc := market.NewOpsReplayer(leaseTr, false)
+	rt := market.NewOpsReplayer(plainTr, false)
+
+	step := func(b *Broker, r *market.OpsReplayer) bool {
+		t.Helper()
+		ops, more, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _ := b.Batch(ops)
+		if err := r.Observe(results); err != nil {
+			t.Fatal(err)
+		}
+		return more
+	}
+	for e := 0; ; e++ {
+		more := step(leased, rl)
+		step(leasedCold, rlc)
+		step(twin, rt)
+		lrep := leased.Tick()
+		crep := leasedCold.Tick()
+		trep := twin.Tick()
+		// Warm and cold lease brokers stay identical even past the trace.
+		if !sameAlloc(brokerAlloc(leased), brokerAlloc(leasedCold)) {
+			t.Fatalf("epoch %d: warm and cold lease brokers diverged", e)
+		}
+		if crep.Clean != 0 || crep.WarmResolves != 0 {
+			t.Fatalf("cold lease broker used the cache: %+v", crep)
+		}
+		checkAgainstReference(t, leased, 13, e)
+		if !more {
+			// One tick past the trace: the twin's withdraws stopped with the
+			// trace, but the lease broker keeps expiring on its own — only
+			// bids leased beyond the horizon survive.
+			beyond := 0
+			for _, te := range leaseTr.Epochs {
+				for _, a := range te.Arrivals {
+					if a.Departs > cfg.Epochs {
+						beyond++
+					}
+				}
+			}
+			if lrep.Active != beyond {
+				t.Fatalf("post-trace: %d active, want the %d bids leased beyond the horizon",
+					lrep.Active, beyond)
+			}
+			break
+		}
+		// In-trace lockstep: broker ids are assigned in submit order and the
+		// lease trace is the plain trace's byte-identical arrival stream, so
+		// the allocation maps must coincide key for key.
+		if !sameAlloc(brokerAlloc(leased), brokerAlloc(twin)) {
+			t.Fatalf("epoch %d: lease expiry and client withdraw diverged", e)
+		}
+		if math.Abs(lrep.Welfare-trep.Welfare) > 1e-9*(1+math.Abs(trep.Welfare)) {
+			t.Fatalf("epoch %d: lease welfare %g vs twin %g", e, lrep.Welfare, trep.Welfare)
+		}
+		// What the broker expires, the twin's clients withdrew.
+		if lrep.Expired != trep.Departures {
+			t.Fatalf("epoch %d: %d expiries vs %d twin departures", e, lrep.Expired, trep.Departures)
+		}
+	}
+	m := leased.Metrics()
+	if m.Expired == 0 {
+		t.Fatal("lease broker expired nothing over the whole trace")
+	}
+	if tm := twin.Metrics(); tm.Expired != 0 {
+		t.Fatalf("twin broker expired %d bids — its trace must not carry leases", tm.Expired)
+	}
+}

@@ -134,7 +134,16 @@ func (b *Broker) SeedState() SeedState {
 	st.Bidders = make([]SeedBidder, 0, len(ids))
 	for _, id := range ids {
 		if bd := b.bidders[id]; bd != nil {
-			st.Bidders = append(st.Bidders, SeedBidder{ID: id, Bid: cloneBid(bd.bid)})
+			sb := SeedBidder{ID: id, Bid: cloneBid(bd.bid)}
+			if bd.expires > 0 {
+				// Seed bids re-activate at the snapshot epoch, so the lease
+				// is rewritten to the epochs remaining: the restored broker
+				// expires the bid at the same absolute epoch the live one
+				// would have (expired bidders are already gone, so the
+				// remainder is always >= 1).
+				sb.Bid.LeaseEpochs = bd.expires - epoch
+			}
+			st.Bidders = append(st.Bidders, sb)
 		}
 	}
 	b.mu.RUnlock()
@@ -172,7 +181,7 @@ func (b *Broker) stageReplayOp(op spectrum.Op) (pendingOp, error) {
 		}
 		return pendingOp{kind: opUpdate, id: op.ID, values: cloneValues(*op.Values)}, nil
 	case spectrum.OpMove:
-		if op.Bid == nil || op.Bid.Values != nil || op.Bid.XOR != nil {
+		if op.Bid == nil || op.Bid.Values != nil || op.Bid.XOR != nil || op.Bid.LeaseEpochs != 0 {
 			return pendingOp{}, fmt.Errorf("%w: replayed move must carry geometry only", ErrBadBid)
 		}
 		bid := *op.Bid

@@ -55,7 +55,7 @@ func E17(quick bool) *Table {
 		replay := market.NewReplayer(tr)
 		for {
 			more, err := replay.Step(
-				func(tid int) error {
+				func(tid int, _ bool) error {
 					err := b.Withdraw(live[tid])
 					delete(live, tid)
 					return err
@@ -65,6 +65,7 @@ func E17(quick bool) *Table {
 					live[a.ID] = id
 					return err
 				},
+				nil, // static trace: no mobility events
 				func(tid int, values []float64) error {
 					return b.Update(live[tid], broker.Additive(values))
 				},

@@ -119,6 +119,7 @@ var All = []Experiment{
 	{"E17", "Online broker vs from-scratch re-solves", E17},
 	{"E18", "Cross-model online broker welfare", E18},
 	{"E19", "Durable broker: journal length vs recovery time", E19},
+	{"E20", "Scenario workloads: mobility, flash crowds, diurnal waves, leases", E20},
 	{"A1", "Ablation: certified vs measured ρ in the LP", A1},
 	{"A2", "Ablation: rounding samples vs derandomization", A2},
 	{"A3", "Ablation: LP rounding vs local-ratio (k=1)", A3},

@@ -95,17 +95,24 @@ type epochRef struct {
 	bidders map[spectrum.BidderID]refEntry
 }
 
-// recordReference runs the trace through a plain in-memory broker and
-// records every step's resolved ops and every epoch's committed state.
+// recordReference runs the standard churn trace through a plain in-memory
+// broker and records every step's resolved ops and every epoch's committed
+// state.
 func recordReference(t *testing.T, name string, prices bool, seed int64, epochs int) ([]traceStep, []epochRef) {
+	t.Helper()
+	return recordTraceReference(t, name, prices, crashTrace(name, seed, epochs))
+}
+
+// recordTraceReference is recordReference over an arbitrary trace (the lease
+// crash suite feeds broker-expired workloads through the same recorder).
+func recordTraceReference(t *testing.T, name string, prices bool, tr *market.Trace) ([]traceStep, []epochRef) {
 	t.Helper()
 	b, err := testFactory(t, name, prices)()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := crashTrace(name, seed, epochs)
 	r := market.NewOpsReplayer(tr, true)
-	moveRng := rand.New(rand.NewSource(seed * 7))
+	moveRng := rand.New(rand.NewSource(tr.Config.Seed * 7))
 	var steps []traceStep
 	var refs []epochRef
 	var issued []spectrum.BidderID

@@ -22,9 +22,9 @@ func FuzzJournalDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(encodeHeader(0))
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])    // torn payload
-	f.Add(valid[:headerSize+4])    // torn frame
-	f.Add(valid[:headerSize-2])    // torn header
+	f.Add(valid[:len(valid)-3]) // torn payload
+	f.Add(valid[:headerSize+4]) // torn frame
+	f.Add(valid[:headerSize-2]) // torn header
 	f.Add([]byte("SWALSWALSWALSWALSWAL"))
 	flipped := append([]byte(nil), valid...)
 	flipped[headerSize+frameSize+1] ^= 0xff // CRC mismatch

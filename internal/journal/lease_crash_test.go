@@ -1,0 +1,210 @@
+package journal
+
+// Durability of broker-enforced leases. Lease expirations are synthesized at
+// epoch commit and deliberately NOT journaled: replay re-derives them from
+// the journaled submits (the TTL rides on the bid), and a snapshot seed
+// carries each survivor's remaining lease so a restored broker expires it at
+// the same absolute epoch the live one would have. These trials pin exactly
+// that: kill a journaled broker mid-lease-workload at every fault point,
+// restore it, and the expiration schedule — which bids vanish at which epoch,
+// with no client withdraw anywhere in the op stream — must match the
+// never-killed reference for the rest of the run, including epochs past the
+// end of the trace where expiry is the only thing still happening.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/market"
+	"repro/pkg/spectrum"
+)
+
+// leaseCrashTrace is the crash-suite churn shape with every lifetime carried
+// as a LeaseEpochs TTL instead of a client withdraw.
+func leaseCrashTrace(name string, seed int64, epochs int) *market.Trace {
+	return market.GenTrace(market.TraceConfig{
+		Seed:          seed,
+		Epochs:        epochs,
+		K:             3,
+		Side:          150,
+		ArrivalRate:   3,
+		MeanLifetime:  4,
+		MaxUsers:      14,
+		Model:         name,
+		Lease:         true,
+		PrimaryUsers:  2,
+		PrimaryRadius: 45,
+		PrimaryActive: 0.5,
+	})
+}
+
+// requireBrokerExpiry asserts the recorded workload actually exercises
+// broker-side expiry: no withdraw op anywhere, yet bidders leave the market.
+func requireBrokerExpiry(t *testing.T, steps []traceStep, refs []epochRef) {
+	t.Helper()
+	for s, st := range steps {
+		for _, op := range st.ops {
+			if op.Op == spectrum.OpWithdraw {
+				t.Fatalf("lease trace emitted a client withdraw at step %d", s)
+			}
+		}
+	}
+	wasActive := map[spectrum.BidderID]bool{}
+	expired := false
+	for _, ref := range refs {
+		for id, e := range ref.bidders {
+			if wasActive[id] && !e.active {
+				expired = true
+			}
+			if e.active {
+				wasActive[id] = true
+			}
+		}
+	}
+	if !expired {
+		t.Fatal("no bidder ever left the market — the lease workload expired nothing")
+	}
+}
+
+// TestLeaseCrashRestoreMatrix runs the full fault-point matrix over a lease
+// workload: every crash restores to a broker that reproduces the reference
+// run's expirations epoch for epoch, even though no expiration was ever
+// journaled as an op.
+func TestLeaseCrashRestoreMatrix(t *testing.T) {
+	const epochs = 12
+	for _, name := range []string{"disk", "protocol"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			steps, refs := recordTraceReference(t, name, true, leaseCrashTrace(name, 71, epochs))
+			requireBrokerExpiry(t, steps, refs)
+			for _, k := range []kill{
+				{FaultPartialRecord, 5},
+				{FaultBeforeSync, 5},
+				// Snapshot-path faults land on the second snapshot cycle, so
+				// the restore seeds from a snapshot whose bidders carry
+				// rewritten remaining leases.
+				{FaultMidSnapshot, 2},
+				{FaultMidTruncate, 2},
+			} {
+				k := k
+				t.Run(k.point.String(), func(t *testing.T) {
+					runCrashTrial(t, name, true, steps, refs,
+						Options{Sync: SyncAlways, SnapshotEvery: 3}, []kill{k}, true)
+				})
+			}
+		})
+	}
+}
+
+// compareLeaseBrokers asserts two brokers agree on every bidder ever issued:
+// same liveness, and the same bundle for the live ones (a restored broker may
+// know a long-retired bidder as unknown where the reference says gone — both
+// are "not in the market").
+func compareLeaseBrokers(t *testing.T, label string, ref, got *broker.Broker, issued []spectrum.BidderID) {
+	t.Helper()
+	for _, id := range issued {
+		rb, rs := ref.Allocation(id)
+		gb, gs := got.Allocation(id)
+		ra, ga := rs == spectrum.StatusActive, gs == spectrum.StatusActive
+		if ra != ga {
+			t.Fatalf("%s: bidder %d active=%v, reference active=%v", label, id, ga, ra)
+		}
+		if ra && rb != gb {
+			t.Fatalf("%s: bidder %d allocated %v, reference %v", label, id, gb, rb)
+		}
+	}
+}
+
+// TestLeaseRestoreExpirySchedule kills a journaled lease broker mid-snapshot,
+// restores it, and runs it side by side with a never-killed twin to the end
+// of the trace and six epochs beyond — where no op ever arrives and the
+// remaining-lease arithmetic of the restored snapshot is the only thing
+// deciding who expires when.
+func TestLeaseRestoreExpirySchedule(t *testing.T) {
+	tr := leaseCrashTrace("disk", 77, 10)
+	factory := testFactory(t, "disk", false)
+	ref, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	k := kill{FaultMidSnapshot, 2}
+	jb, w, _, err := Open(dir, factory, Options{Sync: SyncAlways, SnapshotEvery: 2, Fault: k.fn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := market.NewOpsReplayer(tr, true)
+	var issued []spectrum.BidderID
+	restored := false
+	for s := 0; ; s++ {
+		ops, more, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, _ := ref.Batch(ops)
+		if err := r.Observe(refRes); err != nil {
+			t.Fatal(err)
+		}
+		jRes, _ := jb.Batch(ops)
+		for i := range ops {
+			if ops[i].Op == spectrum.OpWithdraw {
+				t.Fatalf("lease trace emitted a client withdraw at step %d", s)
+			}
+			if ops[i].Op == spectrum.OpSubmit {
+				if jRes[i].ID != refRes[i].ID {
+					t.Fatalf("step %d: journaled submit got id %d, reference %d", s, jRes[i].ID, refRes[i].ID)
+				}
+				issued = append(issued, refRes[i].ID)
+			}
+		}
+		refRep := ref.Tick()
+		jRep := jb.Tick()
+		if w != nil {
+			if werr := w.Err(); werr != nil {
+				if !errors.Is(werr, ErrCrashed) {
+					t.Fatalf("writer failed outside the injected fault: %v", werr)
+				}
+				// Mid-snapshot under SyncAlways: the epoch's record is already
+				// durable, so the restore lands exactly on the crash epoch.
+				var rec *Recovery
+				jb, rec, err = Recover(dir, factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec.Epoch != s+1 {
+					t.Fatalf("mid-snapshot crash at epoch %d restored epoch %d", s+1, rec.Epoch)
+				}
+				w, restored = nil, true
+				jRep = jb.Metrics().Last
+			}
+		}
+		if jRep.Expired != refRep.Expired || jRep.Active != refRep.Active {
+			t.Fatalf("epoch %d: expired/active %d/%d, reference %d/%d",
+				refRep.Epoch, jRep.Expired, jRep.Active, refRep.Expired, refRep.Active)
+		}
+		compareLeaseBrokers(t, "in-trace", ref, jb, issued)
+		if !more {
+			break
+		}
+	}
+	if !restored {
+		t.Fatal("the injected fault never fired")
+	}
+	// Past the trace: no ops at all. Expiry is the only dynamic left, and the
+	// restored broker must keep firing it on the reference's exact schedule.
+	expiredBeyond := 0
+	for i := 0; i < 6; i++ {
+		refRep := ref.Tick()
+		jRep := jb.Tick()
+		if jRep.Epoch != refRep.Epoch || jRep.Expired != refRep.Expired || jRep.Active != refRep.Active {
+			t.Fatalf("post-trace epoch %d: expired/active %d/%d, reference (epoch %d) %d/%d",
+				jRep.Epoch, jRep.Expired, jRep.Active, refRep.Epoch, refRep.Expired, refRep.Active)
+		}
+		expiredBeyond += jRep.Expired
+		compareLeaseBrokers(t, "post-trace", ref, jb, issued)
+	}
+	if expiredBeyond == 0 {
+		t.Fatal("nothing expired past the trace — the schedule comparison never bit")
+	}
+}

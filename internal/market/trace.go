@@ -42,7 +42,35 @@ type TraceConfig struct {
 	// same arrivals — ids, epochs, positions, radii, values, departures —
 	// under every model.
 	Model string
+	// Rate, when non-nil, overrides ArrivalRate with a per-epoch expected
+	// arrival count (the flash-crowd and diurnal scenarios). Only the mean
+	// fed to the Poisson draw changes — a nil Rate reproduces the historical
+	// stream byte for byte.
+	Rate func(epoch int) float64
+	// Lease turns every arrival into a broker-enforced temporal lease: the
+	// drawn lifetime becomes the arrival's LeaseEpochs TTL and the replay
+	// emits no client withdraw for it — the broker expires the bid itself at
+	// epoch commit. Departs is still populated (same lifetime), so the
+	// replayer's own bookkeeping and the population dynamics are unchanged.
+	Lease bool
+	// Mobility gives bidders continuous waypoint motion; the zero value
+	// leaves them static. Waypoints and speeds draw from an independent RNG
+	// stream (the link-orientation idiom), so enabling mobility never
+	// perturbs the arrival/value stream of a seed.
+	Mobility Mobility
 }
+
+// Mobility configures random-waypoint motion: each bidder repeatedly picks a
+// uniform destination in the service area and a per-leg speed in
+// [SpeedMin, SpeedMax] (distance units per epoch), advancing every epoch and
+// emitting a Move event. SpeedMax <= 0 disables motion.
+type Mobility struct {
+	SpeedMin float64
+	SpeedMax float64
+}
+
+// Enabled reports whether the trace generates Move events.
+func (m Mobility) Enabled() bool { return m.SpeedMax > 0 }
 
 // LinkModel reports whether the trace's arrivals carry link geometry.
 func (c TraceConfig) LinkModel() bool {
@@ -84,6 +112,11 @@ type Arrival struct {
 	Link geom.Link
 	// Values are the additive per-channel values (length K).
 	Values []float64
+	// Lease is the broker-enforced TTL in epochs (TraceConfig.Lease traces);
+	// 0 means the departure is a client withdraw as usual. When set it equals
+	// Departs-Epoch, so broker-side expiry and the replayer's bookkeeping
+	// retire the bidder on the same epoch.
+	Lease int
 }
 
 // Primary is a primary transmitter occupying one channel inside a disk;
@@ -94,10 +127,21 @@ type Primary struct {
 	Channel int
 }
 
+// TraceMove is one per-epoch mobility event: the bidder's new transmitter
+// position. Link-model geometry translates rigidly (the sender moves to Pos,
+// the receiver keeps its original offset).
+type TraceMove struct {
+	ID  int
+	Pos geom.Point
+}
+
 // TraceEpoch is one epoch's events.
 type TraceEpoch struct {
 	// Arrivals lists the users arriving this epoch (population-capped).
 	Arrivals []Arrival
+	// Moves lists the mobility events of users that arrived in earlier
+	// epochs and are still live (TraceConfig.Mobility traces).
+	Moves []TraceMove
 	// ActivePrimaries indexes into Trace.Primaries.
 	ActivePrimaries []int
 }
@@ -125,6 +169,13 @@ func GenTrace(cfg TraceConfig) *Trace {
 	if cfg.LinkModel() {
 		linkRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 	}
+	// Waypoint draws likewise come from their own stream: a mobility trace
+	// has the exact arrivals of its static counterpart.
+	var moveRng *rand.Rand
+	var movers []*mover
+	if cfg.Mobility.Enabled() {
+		moveRng = rand.New(rand.NewSource(cfg.Seed ^ 0x6D6F7665)) // "move"
+	}
 	tr := &Trace{Config: cfg}
 	tr.Primaries = make([]Primary, cfg.PrimaryUsers)
 	for i := range tr.Primaries {
@@ -140,7 +191,11 @@ func GenTrace(cfg TraceConfig) *Trace {
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		active -= departures[epoch]
 		te := TraceEpoch{}
-		arrivals := poissonish(rng, cfg.ArrivalRate)
+		rate := cfg.ArrivalRate
+		if cfg.Rate != nil {
+			rate = cfg.Rate(epoch)
+		}
+		arrivals := poissonish(rng, rate)
 		for i := 0; i < arrivals && active < cfg.MaxUsers; i++ {
 			life := 1 + int(rng.ExpFloat64()*cfg.MeanLifetime)
 			a := Arrival{
@@ -150,6 +205,9 @@ func GenTrace(cfg TraceConfig) *Trace {
 				Pos:     geom.Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side},
 				Radius:  3 + rng.Float64()*7,
 				Values:  make([]float64, cfg.K),
+			}
+			if cfg.Lease {
+				a.Lease = life
 			}
 			for j := range a.Values {
 				a.Values[j] = 1 + rng.Float64()*(10-1)
@@ -166,6 +224,26 @@ func GenTrace(cfg TraceConfig) *Trace {
 			departures[a.Departs]++
 			te.Arrivals = append(te.Arrivals, a)
 		}
+		if moveRng != nil {
+			// Earlier arrivals still live advance one waypoint step each
+			// (ascending-id order keeps the draw sequence deterministic);
+			// this epoch's arrivals start moving next epoch.
+			kept := movers[:0]
+			for _, m := range movers {
+				if m.departs <= epoch {
+					continue
+				}
+				kept = append(kept, m)
+				m.advance(moveRng, cfg.Mobility, cfg.Side)
+				te.Moves = append(te.Moves, TraceMove{ID: m.id, Pos: m.pos})
+			}
+			movers = kept
+			for _, a := range te.Arrivals {
+				nm := &mover{id: a.ID, departs: a.Departs, pos: a.Pos}
+				nm.retarget(moveRng, cfg.Mobility, cfg.Side)
+				movers = append(movers, nm)
+			}
+		}
 		for p := range tr.Primaries {
 			if rng.Float64() < cfg.PrimaryActive {
 				te.ActivePrimaries = append(te.ActivePrimaries, p)
@@ -174,6 +252,31 @@ func GenTrace(cfg TraceConfig) *Trace {
 		tr.Epochs = append(tr.Epochs, te)
 	}
 	return tr
+}
+
+// mover is the generation-time state of one waypoint-mobile bidder.
+type mover struct {
+	id, departs int
+	pos, dest   geom.Point
+	speed       float64
+}
+
+// advance moves one epoch's worth of distance toward the current waypoint,
+// retargeting (new destination + per-leg speed) on arrival.
+func (m *mover) advance(rng *rand.Rand, mob Mobility, side float64) {
+	d := m.pos.Dist(m.dest)
+	if d <= m.speed {
+		m.pos = m.dest
+		m.retarget(rng, mob, side)
+		return
+	}
+	m.pos.X += (m.dest.X - m.pos.X) / d * m.speed
+	m.pos.Y += (m.dest.Y - m.pos.Y) / d * m.speed
+}
+
+func (m *mover) retarget(rng *rand.Rand, mob Mobility, side float64) {
+	m.dest = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	m.speed = mob.SpeedMin + rng.Float64()*(mob.SpeedMax-mob.SpeedMin)
 }
 
 // MaskFor returns the channel mask of a secondary user at pos under the
@@ -208,25 +311,31 @@ func poissonish(rng *rand.Rand, mean float64) int {
 	return k - 1
 }
 
-// Replayer walks a trace epoch by epoch and translates it into the three
+// Replayer walks a trace epoch by epoch and translates it into the four
 // mutations a live market understands: departures due this epoch, arrivals
-// (with values masked by the epoch's active primaries), and mask-refresh
-// updates for surviving users whose primary cover changed. Experiment E17
-// and brokerd -selftest both drive internal/broker through this one
-// translation (market.Run, which rebuilds whole epochs rather than applying
-// deltas, replays the same trace via MaskFor directly), so masking and
-// departure semantics cannot drift between the consumers.
+// (with values masked by the epoch's active primaries), waypoint moves, and
+// mask-refresh updates for surviving users whose primary cover changed.
+// Experiment E17 and brokerd -selftest both drive internal/broker through
+// this one translation (market.Run, which rebuilds whole epochs rather than
+// applying deltas, replays the same trace via MaskFor directly), so masking
+// and departure semantics cannot drift between the consumers.
 type Replayer struct {
 	tr    *Trace
 	next  int
 	live  []int // live trace ids in arrival order
 	byID  map[int]Arrival
 	masks map[int]uint64
+	pos   map[int]geom.Point // current positions (waypoint moves update them)
 }
 
 // NewReplayer starts a replay at epoch 0.
 func NewReplayer(tr *Trace) *Replayer {
-	r := &Replayer{tr: tr, byID: make(map[int]Arrival), masks: make(map[int]uint64)}
+	r := &Replayer{
+		tr:    tr,
+		byID:  make(map[int]Arrival),
+		masks: make(map[int]uint64),
+		pos:   make(map[int]geom.Point),
+	}
 	for e := range tr.Epochs {
 		for _, a := range tr.Epochs[e].Arrivals {
 			r.byID[a.ID] = a
@@ -239,14 +348,18 @@ func NewReplayer(tr *Trace) *Replayer {
 func (r *Replayer) Epoch() int { return r.next }
 
 // Step plays one epoch through the callbacks, in deterministic order:
-// depart(tid) for each user whose lifetime ended (arrival order), then
-// arrive(a, maskedValues) for each arrival, then update(tid, maskedValues)
-// for each surviving earlier user whose channel mask changed. Any callback
-// may be nil to skip that mutation kind (updates are meaningless without
-// primaries, for example). Returns false once the trace is exhausted.
+// depart(tid, leased) for each user whose lifetime ended (arrival order;
+// leased marks a broker-enforced lease the consumer must NOT withdraw — the
+// broker expires it itself, the replayer only drops its handle), then
+// arrive(a, maskedValues) for each arrival, then move(tid, pos) for each
+// mobility event, then update(tid, maskedValues) for each surviving earlier
+// user whose channel mask (computed at its current position) changed. Any
+// callback may be nil to skip that mutation kind. Returns false once the
+// trace is exhausted.
 func (r *Replayer) Step(
-	depart func(tid int) error,
+	depart func(tid int, leased bool) error,
 	arrive func(a Arrival, values []float64) error,
+	move func(tid int, pos geom.Point) error,
 	update func(tid int, values []float64) error,
 ) (bool, error) {
 	if r.next >= len(r.tr.Epochs) {
@@ -258,10 +371,11 @@ func (r *Replayer) Step(
 
 	kept := r.live[:0]
 	for _, tid := range r.live {
-		if r.byID[tid].Departs <= e {
+		if a := r.byID[tid]; a.Departs <= e {
 			delete(r.masks, tid)
+			delete(r.pos, tid)
 			if depart != nil {
-				if err := depart(tid); err != nil {
+				if err := depart(tid, a.Lease > 0); err != nil {
 					return false, err
 				}
 			}
@@ -275,8 +389,21 @@ func (r *Replayer) Step(
 		mask, _ := r.tr.MaskFor(e, a.Pos, k)
 		r.live = append(r.live, a.ID)
 		r.masks[a.ID] = mask
+		r.pos[a.ID] = a.Pos
 		if arrive != nil {
 			if err := arrive(a, MaskedValues(a.Values, mask)); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	for _, mv := range r.tr.Epochs[e].Moves {
+		if _, ok := r.pos[mv.ID]; !ok {
+			continue // departed this epoch; the generator won't emit these, but stay safe
+		}
+		r.pos[mv.ID] = mv.Pos
+		if move != nil {
+			if err := move(mv.ID, mv.Pos); err != nil {
 				return false, err
 			}
 		}
@@ -285,7 +412,7 @@ func (r *Replayer) Step(
 	newCount := len(r.tr.Epochs[e].Arrivals)
 	for _, tid := range r.live[:len(r.live)-newCount] {
 		a := r.byID[tid]
-		mask, _ := r.tr.MaskFor(e, a.Pos, k)
+		mask, _ := r.tr.MaskFor(e, r.pos[tid], k)
 		if mask == r.masks[tid] {
 			continue
 		}

@@ -3,6 +3,7 @@ package market
 import (
 	"fmt"
 
+	"repro/internal/geom"
 	"repro/pkg/spectrum"
 )
 
@@ -17,7 +18,7 @@ import (
 // interference model: link geometry for link-model traces, the transmitter
 // disk otherwise, with the given (already primary-masked) additive values.
 func (tr *Trace) BidFor(a Arrival, values []float64) spectrum.Bid {
-	bid := spectrum.Bid{Values: values}
+	bid := spectrum.Bid{Values: values, LeaseEpochs: a.Lease}
 	if tr.Config.LinkModel() {
 		l := a.Link
 		bid.Link = &l
@@ -25,6 +26,23 @@ func (tr *Trace) BidFor(a Arrival, values []float64) spectrum.Bid {
 		bid.Pos, bid.Radius = a.Pos, a.Radius
 	}
 	return bid
+}
+
+// MoveBidFor translates a mobility event into the geometry-only wire bid of
+// a move op: the transmitter disk at the new position, or — for link-model
+// traces — the whole link translated rigidly (sender at pos, receiver at its
+// original offset).
+func (tr *Trace) MoveBidFor(a Arrival, pos geom.Point) spectrum.Bid {
+	if tr.Config.LinkModel() {
+		return spectrum.Bid{Link: &geom.Link{
+			Sender: pos,
+			Receiver: geom.Point{
+				X: pos.X + (a.Link.Receiver.X - a.Link.Sender.X),
+				Y: pos.Y + (a.Link.Receiver.Y - a.Link.Sender.Y),
+			},
+		}}
+	}
+	return spectrum.Bid{Pos: pos, Radius: a.Radius}
 }
 
 // MixedBidFor is BidFor under the shared XOR-mixing convention
@@ -37,18 +55,27 @@ func (tr *Trace) MixedBidFor(a Arrival, values []float64) spectrum.Bid {
 }
 
 // OpsReplayer walks a trace epoch by epoch and emits each epoch's mutations
-// as one ordered spectrum op list — departures, then arrivals, then
-// valuation updates, exactly the Replayer's callback order — sized for a
-// single POST /v1/batch (or Broker.Batch) call per trace step. Observe feeds
-// the batch results back to learn the broker ids assigned to arrivals.
+// as one ordered spectrum op list — departures, then arrivals, then moves,
+// then valuation updates, exactly the Replayer's callback order — sized for
+// a single POST /v1/batch (or Broker.Batch) call per trace step. Observe
+// feeds the batch results back to learn the broker ids assigned to arrivals.
+//
+// Leased arrivals (Arrival.Lease > 0) carry their TTL on the submit bid and
+// emit no withdraw op: the broker expires them at epoch commit, and the
+// replayer silently drops its handle when the lease runs out.
 type OpsReplayer struct {
-	tr    *Trace
-	r     *Replayer
-	mixed bool
-	live  map[int]spectrum.BidderID
+	tr      *Trace
+	r       *Replayer
+	mixed   bool
+	lenient bool
+	live    map[int]spectrum.BidderID
 	// pending maps result indices of the last Step's submit ops to the
 	// trace ids awaiting their broker id.
 	pending map[int]int
+	// moves and rejected count emitted move ops and tolerated per-item 429
+	// rejections over the replay's lifetime.
+	moves    int
+	rejected int
 }
 
 // NewOpsReplayer starts a replay at epoch 0. mixed selects the shared
@@ -61,6 +88,19 @@ func NewOpsReplayer(tr *Trace, mixed bool) *OpsReplayer {
 		live:  make(map[int]spectrum.BidderID),
 	}
 }
+
+// Lenient makes Observe tolerate per-item 429 (admission-cap) rejections of
+// submits instead of failing the replay: the rejected arrival is treated as
+// never having entered the market and its later events are skipped. The
+// flash-crowd scenario runs lenient by design — driving the broker into 429
+// pressure is the point. Any other rejection still errors.
+func (o *OpsReplayer) Lenient() { o.lenient = true }
+
+// Moves returns the number of move ops emitted so far.
+func (o *OpsReplayer) Moves() int { return o.moves }
+
+// Rejected429 returns the number of tolerated per-item 429 rejections.
+func (o *OpsReplayer) Rejected429() int { return o.rejected }
 
 // Epoch returns the next trace epoch Step will play.
 func (o *OpsReplayer) Epoch() int { return o.r.Epoch() }
@@ -80,9 +120,16 @@ func (o *OpsReplayer) Step() (ops []spectrum.Op, more bool, err error) {
 	}
 	pending := make(map[int]int)
 	more, err = o.r.Step(
-		func(tid int) error {
-			ops = append(ops, spectrum.Op{Op: spectrum.OpWithdraw, ID: o.live[tid]})
+		func(tid int, leased bool) error {
+			id, ok := o.live[tid]
+			if !ok {
+				return nil // rejected at admission (lenient mode); nothing to retire
+			}
 			delete(o.live, tid)
+			if leased {
+				return nil // the broker expires the bid itself at epoch commit
+			}
+			ops = append(ops, spectrum.Op{Op: spectrum.OpWithdraw, ID: id})
 			return nil
 		},
 		func(a Arrival, values []float64) error {
@@ -96,12 +143,26 @@ func (o *OpsReplayer) Step() (ops []spectrum.Op, more bool, err error) {
 			ops = append(ops, spectrum.Op{Op: spectrum.OpSubmit, Bid: &bid})
 			return nil
 		},
+		func(tid int, pos geom.Point) error {
+			id, ok := o.live[tid]
+			if !ok {
+				return nil
+			}
+			bid := o.tr.MoveBidFor(o.r.byID[tid], pos)
+			ops = append(ops, spectrum.Op{Op: spectrum.OpMove, ID: id, Bid: &bid})
+			o.moves++
+			return nil
+		},
 		func(tid int, values []float64) error {
+			id, ok := o.live[tid]
+			if !ok {
+				return nil
+			}
 			v := spectrum.Additive(values)
 			if o.mixed {
 				v = spectrum.MixedTraceValues(tid, values)
 			}
-			ops = append(ops, spectrum.Op{Op: spectrum.OpUpdate, ID: o.live[tid], Values: &v})
+			ops = append(ops, spectrum.Op{Op: spectrum.OpUpdate, ID: id, Values: &v})
 			return nil
 		},
 	)
@@ -116,12 +177,19 @@ func (o *OpsReplayer) Step() (ops []spectrum.Op, more bool, err error) {
 
 // Observe records the broker ids the last Step's submits were assigned and
 // surfaces any per-item rejection as an error (a trace replay expects every
-// mutation to be accepted).
+// mutation to be accepted, unless Lenient tolerates admission 429s).
 func (o *OpsReplayer) Observe(results []spectrum.OpResult) error {
 	pending := o.pending
 	o.pending = nil
 	for i, r := range results {
 		if !r.OK() {
+			if _, isSubmit := pending[i]; isSubmit && o.lenient && r.Code == 429 {
+				// Admission cap: the arrival never entered the market; its
+				// later trace events are skipped via the missing live entry.
+				o.rejected++
+				delete(pending, i)
+				continue
+			}
 			return fmt.Errorf("market: batch op %d rejected (%d): %s", i, r.Code, r.Error)
 		}
 		if tid, ok := pending[i]; ok {

@@ -1,0 +1,198 @@
+// Package scenario names the repository's workload generators: seeded,
+// deterministic trace shapes layered on market.TraceConfig/GenTrace that
+// open the workload space beyond constant-rate Poisson churn. Each scenario
+// stresses a different part of the live broker:
+//
+//   - vehicular / pedestrian — random-waypoint mobility; every live bidder
+//     emits a Move event per epoch, hammering Broker.Move and the
+//     incremental conflict-edge rewiring (distance-2 especially);
+//   - flashcrowd — a demand spike an order of magnitude over baseline,
+//     driven into a deliberately small admission cap so per-item 429
+//     pressure and batch throughput are exercised, not just modeled;
+//   - diurnal — a sinusoidal day/night arrival wave, the slow version of
+//     the same admission story;
+//   - leases — every bid carries a LeaseEpochs TTL and nobody ever sends a
+//     withdraw: the broker retires expired bids itself at epoch commit.
+//
+// A scenario plus a seed names one reproducible workload everywhere:
+// cmd/brokerload -scenario, brokerd -selftest, and experiment E20 all build
+// their traces here.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/market"
+)
+
+// Params selects one concrete run of a scenario. Zero fields take the
+// scenario's defaults (Epochs 60, K 3, the scenario's preferred model).
+type Params struct {
+	Seed   int64
+	Epochs int
+	K      int
+	// Model names the interference backend the trace's geometry targets
+	// ("" = disk).
+	Model string
+}
+
+func (p Params) withDefaults() Params {
+	if p.Epochs <= 0 {
+		p.Epochs = 60
+	}
+	if p.K <= 0 {
+		p.K = 3
+	}
+	return p
+}
+
+// Scenario is one named workload generator.
+type Scenario struct {
+	Name        string
+	Description string
+	// MaxBidders is the broker admission cap the scenario is designed
+	// against (0 = the broker's default). The flashcrowd scenario sets it
+	// below its own demand peak on purpose: the 429 pressure is the
+	// workload, so harnesses honouring this cap reproduce it.
+	MaxBidders int
+	// Config builds the trace configuration for one run.
+	Config func(p Params) market.TraceConfig
+}
+
+// Trace generates the scenario's workload for one run.
+func (s *Scenario) Trace(p Params) *market.Trace {
+	return market.GenTrace(s.Config(p))
+}
+
+// Vehicular is fast random-waypoint mobility: long-lived bidders crossing
+// the service area at vehicle speeds, every live bidder moving every epoch.
+var Vehicular = &Scenario{
+	Name:        "vehicular",
+	Description: "fast waypoint mobility; every live bidder emits a Move per epoch",
+	Config: func(p Params) market.TraceConfig {
+		cfg := baseConfig(p)
+		cfg.ArrivalRate = 4
+		cfg.MeanLifetime = 8
+		cfg.MaxUsers = 64
+		cfg.Mobility = market.Mobility{SpeedMin: 18, SpeedMax: 35}
+		return cfg
+	},
+}
+
+// Pedestrian is the same waypoint model at walking speeds: positions drift
+// instead of jump, so conflict-edge deltas stay small but constant.
+var Pedestrian = &Scenario{
+	Name:        "pedestrian",
+	Description: "slow waypoint mobility; small but constant conflict-edge drift",
+	Config: func(p Params) market.TraceConfig {
+		cfg := baseConfig(p)
+		cfg.ArrivalRate = 4
+		cfg.MeanLifetime = 8
+		cfg.MaxUsers = 64
+		cfg.Mobility = market.Mobility{SpeedMin: 1.5, SpeedMax: 4}
+		return cfg
+	},
+}
+
+// Flashcrowd is a tenfold demand spike over a short window, aimed at an
+// admission cap sized below the spike: the broker must shed load with
+// per-item 429s and keep clearing the market for everyone it admitted.
+var Flashcrowd = &Scenario{
+	Name:        "flashcrowd",
+	Description: "10x arrival burst into a small admission cap; per-item 429 shedding",
+	MaxBidders:  48,
+	Config: func(p Params) market.TraceConfig {
+		cfg := baseConfig(p)
+		cfg.ArrivalRate = 2
+		cfg.MeanLifetime = 6
+		cfg.MaxUsers = 160 // trace-side cap well above the broker's 48
+		start, width := p.Epochs/3, p.Epochs/10+1
+		cfg.Rate = func(epoch int) float64 {
+			if epoch >= start && epoch < start+width {
+				return 20
+			}
+			return 2
+		}
+		return cfg
+	},
+}
+
+// Diurnal is a sinusoidal day/night arrival wave (period 24 epochs): the
+// slow-motion admission story, plus steady batch-throughput variation.
+var Diurnal = &Scenario{
+	Name:        "diurnal",
+	Description: "sinusoidal day/night arrival wave (period 24 epochs)",
+	Config: func(p Params) market.TraceConfig {
+		cfg := baseConfig(p)
+		cfg.ArrivalRate = 5
+		cfg.MeanLifetime = 4
+		cfg.MaxUsers = 96
+		cfg.Rate = func(epoch int) float64 {
+			return 5 * (1 + 0.9*math.Sin(2*math.Pi*float64(epoch)/24))
+		}
+		return cfg
+	},
+}
+
+// Leases is broker-enforced churn: every bid carries its drawn lifetime as
+// a LeaseEpochs TTL and no client ever withdraws — the broker expires bids
+// at epoch commit, and the expiry schedule must survive journal replay and
+// kill/restore exactly.
+var Leases = &Scenario{
+	Name:        "leases",
+	Description: "every bid carries a TTL; the broker expires bids at epoch commit",
+	Config: func(p Params) market.TraceConfig {
+		cfg := baseConfig(p)
+		cfg.ArrivalRate = 5
+		cfg.MeanLifetime = 4
+		cfg.MaxUsers = 64
+		cfg.Lease = true
+		// No primaries: a lease trace emits submits only, so replays stay
+		// valid even against a free-running ticker that expires bids
+		// between trace steps.
+		cfg.PrimaryUsers = 0
+		cfg.PrimaryActive = 0
+		return cfg
+	},
+}
+
+// baseConfig is the shared geometry every scenario starts from.
+func baseConfig(p Params) market.TraceConfig {
+	p = p.withDefaults()
+	return market.TraceConfig{
+		Seed:          p.Seed,
+		Epochs:        p.Epochs,
+		K:             p.K,
+		Side:          300,
+		PrimaryUsers:  2,
+		PrimaryRadius: 60,
+		PrimaryActive: 0.5,
+		Model:         p.Model,
+	}
+}
+
+// All lists the named scenarios in presentation order.
+var All = []*Scenario{Vehicular, Pedestrian, Flashcrowd, Diurnal, Leases}
+
+// Names returns the scenario names, sorted.
+func Names() []string {
+	names := make([]string, len(All))
+	for i, s := range All {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName resolves a scenario by name.
+func ByName(name string) (*Scenario, error) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+}

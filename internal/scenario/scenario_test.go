@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/market"
+)
+
+func TestByName(t *testing.T) {
+	for _, s := range All {
+		got, err := ByName(s.Name)
+		if err != nil || got != s {
+			t.Fatalf("ByName(%q) = %v, %v", s.Name, got, err)
+		}
+	}
+	if _, err := ByName("rushhour"); err == nil {
+		t.Fatal("ByName accepted an unknown scenario")
+	}
+	if len(Names()) != len(All) {
+		t.Fatalf("Names() lists %d of %d scenarios", len(Names()), len(All))
+	}
+}
+
+// TestScenarioTracesDeterministic: a scenario plus a seed names one exact
+// workload — arrivals, moves, leases, everything.
+func TestScenarioTracesDeterministic(t *testing.T) {
+	p := Params{Seed: 21, Epochs: 30}
+	for _, s := range All {
+		a, b := s.Trace(p), s.Trace(p)
+		if len(a.Epochs) != len(b.Epochs) {
+			t.Fatalf("%s: epoch counts differ", s.Name)
+		}
+		for e := range a.Epochs {
+			ae, be := a.Epochs[e], b.Epochs[e]
+			if len(ae.Arrivals) != len(be.Arrivals) || len(ae.Moves) != len(be.Moves) {
+				t.Fatalf("%s epoch %d: event counts differ across identical runs", s.Name, e)
+			}
+			for i := range ae.Arrivals {
+				x, y := ae.Arrivals[i], be.Arrivals[i]
+				if x.ID != y.ID || x.Pos != y.Pos || x.Departs != y.Departs || x.Lease != y.Lease {
+					t.Fatalf("%s epoch %d arrival %d differs across identical runs", s.Name, e, i)
+				}
+			}
+			for i := range ae.Moves {
+				if ae.Moves[i] != be.Moves[i] {
+					t.Fatalf("%s epoch %d move %d differs across identical runs", s.Name, e, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioShapes pins what each scenario is for: mobility scenarios
+// move, the lease scenario leases (and never mask-updates), the wave
+// scenarios actually vary demand.
+func TestScenarioShapes(t *testing.T) {
+	p := Params{Seed: 3, Epochs: 40}
+	for _, s := range []*Scenario{Vehicular, Pedestrian} {
+		tr := s.Trace(p)
+		moves := 0
+		for _, te := range tr.Epochs {
+			moves += len(te.Moves)
+		}
+		if moves == 0 {
+			t.Errorf("%s: no Move events", s.Name)
+		}
+	}
+	tr := Leases.Trace(p)
+	arrivals := 0
+	for _, te := range tr.Epochs {
+		for _, a := range te.Arrivals {
+			if a.Lease <= 0 {
+				t.Fatalf("leases: arrival %d has no TTL", a.ID)
+			}
+			arrivals++
+		}
+	}
+	if arrivals == 0 {
+		t.Fatal("leases: no arrivals")
+	}
+	if len(tr.Primaries) != 0 {
+		t.Fatal("leases: scenario must not generate primaries (submit-only op stream)")
+	}
+	flash := Flashcrowd.Trace(p)
+	peak, off := 0, 0
+	for e, te := range flash.Epochs {
+		if e >= p.Epochs/3 && e < p.Epochs/3+p.Epochs/10+1 {
+			peak += len(te.Arrivals)
+		} else {
+			off += len(te.Arrivals)
+		}
+	}
+	if peak <= off {
+		t.Fatalf("flashcrowd: burst window (%d arrivals) not above baseline (%d)", peak, off)
+	}
+	if Flashcrowd.MaxBidders <= 0 {
+		t.Fatal("flashcrowd: no admission cap to push against")
+	}
+}
+
+// driveBroker replays a scenario synchronously (one batch + one tick per
+// trace step) into a fresh broker and returns the replayer and metrics.
+func driveBroker(t *testing.T, s *Scenario, p Params) (*market.OpsReplayer, broker.Metrics) {
+	t.Helper()
+	b, err := broker.New(broker.Config{K: 3, MaxBidders: s.MaxBidders})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := market.NewOpsReplayer(s.Trace(p), true)
+	r.Lenient()
+	for {
+		ops, more, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _ := b.Batch(ops)
+		if err := r.Observe(results); err != nil {
+			t.Fatal(err)
+		}
+		b.Tick()
+		if !more {
+			break
+		}
+	}
+	return r, b.Metrics()
+}
+
+// testLeaseAlignment drives the lease scenario synchronously and pins the
+// expiry schedule: in-trace, the broker's post-tick population must equal
+// the replayer's live set every single epoch (lease expiry lands on exactly
+// the epoch a client withdraw of the same lifetime would); past the trace
+// the broker keeps expiring on its own.
+func testLeaseAlignment(t *testing.T, p Params) {
+	t.Helper()
+	b, err := broker.New(broker.Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Leases.Trace(p)
+	r := market.NewOpsReplayer(tr, true)
+	for {
+		ops, more, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _ := b.Batch(ops)
+		if err := r.Observe(results); err != nil {
+			t.Fatal(err)
+		}
+		rep := b.Tick()
+		if more {
+			if rep.Active != len(r.Live()) {
+				t.Fatalf("epoch %d: broker active %d, replayer live %d — expiry schedules diverged",
+					rep.Epoch, rep.Active, len(r.Live()))
+			}
+			continue
+		}
+		// One tick past the trace: only bids leased beyond the horizon
+		// survive (the broker withdraws the rest itself).
+		beyond := 0
+		for _, te := range tr.Epochs {
+			for _, a := range te.Arrivals {
+				if a.Departs > p.Epochs {
+					beyond++
+				}
+			}
+		}
+		if rep.Active != beyond {
+			t.Fatalf("post-trace epoch %d: broker active %d, want the %d bids leased beyond the horizon",
+				rep.Epoch, rep.Active, beyond)
+		}
+		break
+	}
+	m := b.Metrics()
+	if m.Expired == 0 {
+		t.Error("leases: broker expired nothing")
+	}
+	if m.Withdrawn != m.Expired {
+		t.Errorf("leases: %d departures but %d expirations — someone sent a client withdraw", m.Withdrawn, m.Expired)
+	}
+}
+
+// TestScenariosEndToEnd drives every scenario through a live broker and
+// checks the machinery it exists to stress actually fired.
+func TestScenariosEndToEnd(t *testing.T) {
+	p := Params{Seed: 9, Epochs: 40}
+
+	r, m := driveBroker(t, Vehicular, p)
+	if m.Moved == 0 || r.Moves() == 0 {
+		t.Errorf("vehicular: broker applied no moves (replayer emitted %d)", r.Moves())
+	}
+
+	testLeaseAlignment(t, p)
+
+	r, m = driveBroker(t, Flashcrowd, p)
+	if r.Rejected429() == 0 {
+		t.Error("flashcrowd: no 429 admission pressure against the scenario cap")
+	}
+	if m.Last.Active > Flashcrowd.MaxBidders {
+		t.Errorf("flashcrowd: %d active above the %d cap", m.Last.Active, Flashcrowd.MaxBidders)
+	}
+
+	if _, m = driveBroker(t, Diurnal, p); m.Submitted == 0 {
+		t.Error("diurnal: no arrivals reached the broker")
+	}
+}

@@ -63,6 +63,13 @@ type Bid struct {
 	// XOR lists the atomic bids of an XOR valuation: a bundle is worth the
 	// best atom it contains.
 	XOR []XORAtom `json:"xor,omitempty"`
+	// LeaseEpochs is an optional temporal lease: a TTL in epochs, counted
+	// from the epoch the bid becomes active. After LeaseEpochs committed
+	// epochs the broker withdraws the bid itself at epoch commit — no client
+	// withdraw is needed (or expected). 0 means the bid stays until
+	// withdrawn. The lease is fixed at submit time; updates and moves cannot
+	// change it.
+	LeaseEpochs int `json:"lease_epochs,omitempty"`
 }
 
 // XORAtom is one atomic bid of an XOR valuation on the wire.
@@ -310,6 +317,9 @@ type EpochReport struct {
 	Departures int `json:"departures"`
 	Updates    int `json:"updates"`
 	Moves      int `json:"moves"`
+	// Expired counts the departures above that were broker-enforced lease
+	// expirations (Bid.LeaseEpochs) rather than client withdraws.
+	Expired int `json:"expired,omitempty"`
 	// Components is the epoch's component count; Clean of them were served
 	// entirely from cache, WarmResolves re-solved on a persistent master
 	// (valuation-only change), Rebuilds built a fresh (pool-seeded) master.

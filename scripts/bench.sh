@@ -4,6 +4,14 @@
 #
 # Usage: scripts/bench.sh [out.json] [label]
 #
+# Noise protocol (BENCH_7 onward): every benchmark runs a fixed iteration
+# count (-benchtime 500x, no auto-tuning) five times (-count 5), and
+# benchjson -best keeps the fastest sample per benchmark (its "samples"
+# field records the fold). Min-of-N over fixed-size runs is the standard
+# way to strip scheduler and turbo noise out of a committed baseline;
+# comparing BENCH files therefore compares best-case steady-state cost,
+# not whatever the machine was doing that day.
+#
 # The committed BENCH_<n>.json files pin one measurement per PR so speedups
 # are asserted against a recorded baseline, not a guess. BENCH_2.json holds
 # the cold-start (rebuild-per-solve simplex) baseline that PR 2's
@@ -19,11 +27,14 @@
 # (BenchmarkMirrorRead/{broker-http,mirror-http,mirror-direct}) plus, under
 # extras.read_workload, a brokerload mixed mutate+read run against an
 # in-process Mirror frontend with replica read latency and staleness
-# percentiles.
+# percentiles; BENCH_7.json switches to the best-of-5 protocol above and
+# adds two scenario workload reports under extras.scenario_{vehicular,leases}
+# (waypoint-mobility Move churn and broker-enforced lease expiry through the
+# live /v1 stack, with request/commit latency percentiles).
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 # A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
@@ -38,11 +49,25 @@ fi
 # mutation. The -json report (throughput, read percentiles, staleness in
 # epochs, honest 503 count) lands under extras.read_workload.
 workload="$(mktemp)"
-trap 'rm -f "$workload"' EXIT
+scen_vehicular="$(mktemp)"
+scen_leases="$(mktemp)"
+trap 'rm -f "$workload" "$scen_vehicular" "$scen_leases"' EXIT
 go run ./cmd/brokerload -local -epochs 30 -epoch 40ms -pace 5ms -concurrency 4 \
   -batch 32 -readers 4 -read-ratio 1000 -json > "$workload"
 
-go test -run '^$' -count 1 -benchmem \
+# Scenario workloads (internal/scenario): vehicular waypoint mobility — the
+# Move-heavy path — and temporal leases, where every departure is synthesized
+# by the broker at epoch commit. Latency percentiles for these live here (the
+# E20 table stays byte-reproducible by design and carries no timings).
+go run ./cmd/brokerload -local -scenario vehicular -epochs 30 -epoch 40ms \
+  -pace 5ms -concurrency 2 -json > "$scen_vehicular"
+go run ./cmd/brokerload -local -scenario leases -epochs 30 -epoch 40ms \
+  -pace 5ms -concurrency 2 -json > "$scen_leases"
+
+go test -run '^$' -count 5 -benchtime 500x -benchmem \
   -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch|BenchmarkBatchSubmit|BenchmarkMirrorRead' \
-  . | go run ./cmd/benchjson -label "$label" -attach "read_workload=$workload" > "$out"
+  . | go run ./cmd/benchjson -label "$label" -best \
+  -attach "read_workload=$workload" \
+  -attach "scenario_vehicular=$scen_vehicular" \
+  -attach "scenario_leases=$scen_leases" > "$out"
 echo "bench: wrote $out" >&2
