@@ -1,0 +1,180 @@
+// Command reprovet statically enforces this repository's determinism, RNG,
+// and wire contracts (see internal/analysis for the rules).
+//
+// Two ways to run it:
+//
+//	# standalone, over package patterns (what scripts/lint.sh does):
+//	go run ./cmd/reprovet ./...
+//
+//	# as a go vet backend (what CI does), covering test files too:
+//	go build -o /tmp/reprovet ./cmd/reprovet
+//	go vet -vettool=/tmp/reprovet ./...
+//
+// The vettool mode speaks cmd/go's vet protocol directly (the -V=full and
+// -flags handshakes plus the per-package vet.cfg JSON), so it needs no
+// golang.org/x/tools dependency: dependency types are read from the export
+// data the go command already built.
+//
+// Exit status: 0 clean, 1 usage/internal error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol handshake 1: `reprovet -V=full` must print a single
+	// "name version <id>" line; cmd/go folds it into its build cache key,
+	// so the id hashes the binary (a rebuilt reprovet invalidates cached
+	// vet verdicts).
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("reprovet version %s\n", selfID())
+		return
+	}
+
+	// Protocol handshake 2: `reprovet -flags` prints the tool's flags as
+	// JSON; reprovet keeps zero flags, so the set is empty.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	if len(args) == 0 || args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
+		usage()
+		os.Exit(1)
+	}
+
+	// Vet protocol: the go command invokes `reprovet <objdir>/vet.cfg`
+	// once per package.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0]))
+	}
+
+	os.Exit(standalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: reprovet <packages>   (e.g. reprovet ./...)\n\nanalyzers:\n")
+	for _, a := range analysis.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+}
+
+// selfID returns a content hash of the running binary.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// vetConfig mirrors cmd/go's per-package vet.cfg JSON (the fields reprovet
+// reads).
+type vetConfig struct {
+	ID           string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	VetxOnly     bool
+	VetxOutput   string
+	GoVersion    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes the single package described by a vet.cfg.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprovet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprovet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command caches and re-feeds the vetx (facts) output of each
+	// package's vet run to its dependents; reprovet's analyzers are
+	// fact-free, so an empty file suffices — but it must exist, or the go
+	// command re-runs the tool every time.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "reprovet: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts: nothing to analyze.
+		return 0
+	}
+
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.GoFiles, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "reprovet: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprovet: %v\n", err)
+		return 1
+	}
+	return report(diags)
+}
+
+// standalone loads package patterns itself (via go list -export) and
+// analyzes every matched package.
+func standalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprovet: %v\n", err)
+		return 1
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprovet: %v\n", err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	return report(all)
+}
+
+func report(diags []analysis.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	return 2
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureDirs lists the fixture packages each analyzer suite loads. The
+// fixtures live under testdata (so ./... wildcards never build them) but
+// their import paths embed the critical segments — internal/broker,
+// internal/journal, internal/lp — that scope the rules.
+var fixtureDirs = map[string][]string{
+	"mapiter":   {"./testdata/src/mapiter/internal/broker"},
+	"rngpurity": {"./testdata/src/rngpurity/gen"},
+	"wallclock": {"./testdata/src/wallclock/internal/journal"},
+	"wiretags": {
+		"./testdata/src/wiretags/pkg/spectrum",
+		"./testdata/src/wiretags/internal/broker",
+	},
+	"floateq": {"./testdata/src/floateq/internal/lp"},
+}
+
+// TestAnalyzersOnFixtures checks every fixture package against its
+// `// want "regexp"` comments, analysistest-style: each want must be matched
+// by a diagnostic on its line, and every diagnostic must be wanted.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	for name, dirs := range fixtureDirs {
+		t.Run(name, func(t *testing.T) {
+			pkgs, err := Load(".", dirs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pkg := range pkgs {
+				diags, err := RunAnalyzers(pkg, All())
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkWants(t, pkg, diags)
+			}
+		})
+	}
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// checkWants cross-checks diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for filename, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", filename, i+1)
+			for _, q := range quotedRe.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", key, q, err)
+				}
+				wants[key] = append(wants[key], &expectation{re: regexp.MustCompile(pat)})
+			}
+		}
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, e := range wants[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, es := range wants {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: want %q, got no matching diagnostic", key, e.re)
+			}
+		}
+	}
+}
+
+// TestWaiverMisuse pins the directive hygiene rules: a reasonless directive
+// reports itself and does not waive, and an unknown rule name is reported.
+// (These diagnostics land on the directive's own line, where a want comment
+// cannot sit — the directive would swallow it as its reason.)
+func TestWaiverMisuse(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/waivers/internal/lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkgs[0], All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d: %s [%s]", d.Pos.Line, d.Message, d.Analyzer))
+	}
+	wantSubstrings := []string{
+		"reprovet:floateq directive needs a reason",
+		"exact float == between computed values a and b", // the reasonless directive must NOT waive
+		`unknown reprovet directive "frobnicate"`,
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wantSubstrings), strings.Join(got, "\n"))
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+}
+
+// TestReprovetSelf pins the repository clean under its own analyzers: every
+// remaining map range, wall-clock read, and float comparison in the critical
+// packages is either provably benign or carries a reasoned waiver.
+func TestReprovetSelf(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestGoVetVettool runs the real acceptance path end to end: build the
+// reprovet binary and drive it through `go vet -vettool`, which exercises
+// the -V=full/-flags handshakes and the vet.cfg unitchecker mode over every
+// package (test files included).
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole repository")
+	}
+	bin := filepath.Join(t.TempDir(), "reprovet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/reprovet")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reprovet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = "../.."
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=reprovet ./... failed: %v\n%s", err, out)
+	}
+}

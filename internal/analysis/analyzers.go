@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the reprovet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, RNGPurity, WallClock, WireTags, FloatEq}
+}

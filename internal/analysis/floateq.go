@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between two computed floating-point values in the
+// solver packages.
+//
+// This is the lp tie-window bug class: PR 4 fixed a simplex leaving-row
+// rule whose tie set drifted because candidate ratios were compared for
+// exact equality against a running value instead of against the true
+// minimum within a tolerance. Exact float equality between two computed
+// values is almost never what a solver means; ties must be judged through
+// an explicit tolerance helper so near-equal values resolve identically on
+// every path (warm and cold, incremental and from-scratch).
+//
+// Comparisons against a constant (x == 0, x != 1) are allowed: they test
+// for exact sentinel values that arithmetic either produces exactly or not
+// at all, and flagging them would bury the real findings. Deliberate exact
+// comparisons — sort tie-breaks, memoization guards — are waived in place
+// with `//reprovet:floateq <reason>` or hidden behind a function listed in
+// floatEqHelpers.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact ==/!= between computed floats in solver packages",
+	Run:  runFloatEq,
+}
+
+// floatEqHelpers are the approved tolerance/equality helpers: exact float
+// comparison inside a function with one of these names is the helper's job
+// and is not flagged.
+var floatEqHelpers = map[string]bool{
+	"approxEq": true,
+	"almostEq": true,
+	"feq":      true,
+	"within":   true,
+}
+
+func runFloatEq(pass *Pass) error {
+	if !SolverPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		var fn *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				fn = d
+			}
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isComputedFloat(pass, bin.X) || !isComputedFloat(pass, bin.Y) {
+				return true
+			}
+			if fn != nil && floatEqHelpers[fn.Name.Name] {
+				return true
+			}
+			if pass.Waived(pass.Analyzer.WaiverRule(), bin.Pos()) {
+				return true
+			}
+			pass.Reportf(bin.Pos(), "exact float %s between computed values %s and %s; judge ties through a tolerance helper (or waive a deliberate exact comparison with //reprovet:floateq <reason>)",
+				bin.Op, types.ExprString(bin.X), types.ExprString(bin.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+// isComputedFloat reports whether e has floating-point type and is not a
+// compile-time constant.
+func isComputedFloat(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

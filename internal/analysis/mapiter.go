@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in determinism-critical packages unless
+// the loop body is provably order-independent or explicitly waived.
+//
+// Go randomizes map iteration order per range statement, so any loop whose
+// effect depends on visit order is a nondeterminism bug in packages whose
+// output is pinned byte-identical (equivalence tests, golden hashes, journal
+// replay). The analyzer accepts three shapes without a waiver:
+//
+//   - collect-then-sort: the body only appends to slices, and every such
+//     slice is passed to a recognized sort call later in the same function;
+//   - commutative accumulation: the body only writes map elements
+//     (m[k] = v, delete), integer/boolean accumulators (+=, |=, ++, &&=,
+//     x = x || ...), or variables declared inside the loop body;
+//   - any mix of the two, possibly nested in if/block statements.
+//
+// Everything else — early return, float accumulation (float addition is not
+// associative), appends that are never sorted, calls with side effects —
+// needs either a sort or a `//reprovet:unordered <reason>` waiver.
+var MapIter = &Analyzer{
+	Name:   "mapiter",
+	Doc:    "flag order-dependent range over maps in determinism-critical packages",
+	Waiver: "unordered",
+	Run:    runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	if !DeterminismCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		var fn *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.FuncDecl); ok {
+				fn = d
+			}
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Waived(pass.Analyzer.WaiverRule(), rs.Pos()) {
+				return true
+			}
+			if reason, ok := orderIndependent(pass, fn, rs); !ok {
+				pass.Reportf(rs.Pos(), "range over map %s in determinism-critical package: %s (sort the keys, or waive with //reprovet:unordered <reason>)",
+					types.ExprString(rs.X), reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderIndependent reports whether every statement of the loop body is one
+// of the recognized commutative shapes; on failure the reason names the
+// first offending construct.
+func orderIndependent(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) (string, bool) {
+	c := &mapIterChecker{pass: pass, fn: fn, rs: rs}
+	if !c.benignBlock(rs.Body) {
+		return c.reason, false
+	}
+	// Every appended-to slice must be sorted after the loop.
+	for _, target := range c.appends {
+		if !sortedAfter(pass, fn, rs, target) {
+			c.reason = "appends to " + types.ExprString(target) + " which is never sorted afterwards"
+			return c.reason, false
+		}
+	}
+	return "", true
+}
+
+type mapIterChecker struct {
+	pass    *Pass
+	fn      *ast.FuncDecl
+	rs      *ast.RangeStmt
+	appends []ast.Expr // slice lvalues appended to in the body
+	reason  string
+}
+
+func (c *mapIterChecker) fail(n ast.Node, reason string) bool {
+	if c.reason == "" {
+		c.reason = reason
+	}
+	_ = n
+	return false
+}
+
+func (c *mapIterChecker) benignBlock(b *ast.BlockStmt) bool {
+	for _, st := range b.List {
+		if !c.benignStmt(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *mapIterChecker) benignStmt(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		return c.benignAssign(s)
+	case *ast.IncDecStmt:
+		if c.isIntLvalue(s.X) || c.localLvalue(s.X) {
+			return true
+		}
+		return c.fail(s, "++/-- on non-integer state "+types.ExprString(s.X))
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return c.fail(s, "statement with unprovable iteration-order effect")
+	case *ast.IfStmt:
+		if s.Init != nil && !c.benignStmt(s.Init) {
+			return false
+		}
+		if !c.benignBlock(s.Body) {
+			return false
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return c.benignBlock(e)
+			case *ast.IfStmt:
+				return c.benignStmt(e)
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.benignBlock(s)
+	case *ast.DeclStmt:
+		return true // declares loop-local state
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			return true
+		}
+		return c.fail(s, "goto out of a map range")
+	case *ast.RangeStmt:
+		// A nested range is fine iff it is itself benign under the same
+		// accumulator rules (nested map ranges get their own check at
+		// their own position, but their bodies still write outer state).
+		return c.benignBlock(s.Body)
+	case *ast.ForStmt:
+		if s.Init != nil && !c.benignStmt(s.Init) {
+			return false
+		}
+		if s.Post != nil && !c.benignStmt(s.Post) {
+			return false
+		}
+		return c.benignBlock(s.Body)
+	default:
+		return c.fail(st, "statement with unprovable iteration-order effect")
+	}
+}
+
+// benignAssign vets one assignment inside the loop body.
+func (c *mapIterChecker) benignAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.DEFINE:
+		return true // declares loop-local state
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if c.localLvalue(lhs) || isBlank(lhs) {
+				continue
+			}
+			if _, isIndex := lhs.(*ast.IndexExpr); isIndex && c.isMapIndex(lhs) {
+				continue // m[k] = v: map writes commute across key order
+			}
+			// x = append(x, ...) — allowed if x is sorted after the loop.
+			if i < len(s.Rhs) && c.isSelfAppend(lhs, s.Rhs[i]) {
+				c.appends = append(c.appends, lhs)
+				continue
+			}
+			// x = x || expr / x = x && expr: boolean absorption commutes.
+			if i < len(s.Rhs) && c.isBoolAbsorb(lhs, s.Rhs[i]) {
+				continue
+			}
+			return c.fail(s, "assigns "+types.ExprString(lhs)+" whose final value depends on iteration order")
+		}
+		return true
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.SUB_ASSIGN:
+		lhs := s.Lhs[0]
+		if c.localLvalue(lhs) {
+			return true
+		}
+		if c.isIntLvalue(lhs) {
+			return true
+		}
+		return c.fail(s, "compound assignment to non-integer state "+types.ExprString(lhs)+" (float accumulation is order-dependent)")
+	default:
+		return c.fail(s, "assignment with unprovable iteration-order effect")
+	}
+}
+
+// localLvalue reports whether e is (rooted at) a variable declared inside
+// the range body — per-iteration state that cannot leak order.
+func (c *mapIterChecker) localLvalue(e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.rs.Body.Pos() && obj.Pos() <= c.rs.Body.End()
+}
+
+func (c *mapIterChecker) isIntLvalue(e ast.Expr) bool {
+	tv, ok := c.pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+func (c *mapIterChecker) isMapIndex(e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := c.pass.Info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isSelfAppend matches x = append(x, ...).
+func (c *mapIterChecker) isSelfAppend(lhs, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := c.pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == types.ExprString(lhs)
+}
+
+// isBoolAbsorb matches x = x || e and x = x && e.
+func (c *mapIterChecker) isBoolAbsorb(lhs, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.LOR && bin.Op != token.LAND) {
+		return false
+	}
+	return types.ExprString(bin.X) == types.ExprString(lhs)
+}
+
+// sortFuncs are the recognized "subsequently sorted" calls; the sorted
+// slice is the first argument.
+var sortFuncs = map[string]bool{
+	"sort.Slice":       true,
+	"sort.SliceStable": true,
+	"sort.Sort":        true,
+	"sort.Stable":      true,
+	"sort.Strings":     true,
+	"sort.Ints":        true,
+	"sort.Float64s":    true,
+	"slices.Sort":      true,
+	"slices.SortFunc":  true,
+}
+
+// sortedAfter reports whether target is passed to a recognized sort call
+// positioned after the range statement within the enclosing function.
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, rs *ast.RangeStmt, target ast.Expr) bool {
+	if fn == nil {
+		return false
+	}
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, isPkg := pass.Info.Uses[pkgID].(*types.PkgName); !isPkg || pn == nil {
+			return true
+		}
+		if !sortFuncs[pkgID.Name+"."+sel.Sel.Name] {
+			return true
+		}
+		if types.ExprString(call.Args[0]) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// rootIdent walks selector/index/star expressions down to their base
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RNGPurity forbids the global math/rand stream and wall-clock-seeded
+// sources outside _test.go.
+//
+// Every RNG stream in this repository is pinned by golden hashes (trace
+// generation, scenario workloads, per-trial experiment seeds), and the
+// pinning only means anything if all randomness flows from injected,
+// explicitly seeded *rand.Rand values. The package-level math/rand
+// functions draw from a shared global source — seeded per-process and
+// mutated by every caller — so any use threads hidden cross-package state
+// through the stream and breaks reproducibility. Seeding a source from
+// time.Now() does the same thing more directly.
+//
+// Waive a genuinely stream-irrelevant use (e.g. client-side retry jitter)
+// with `//reprovet:rngpurity <reason>`.
+var RNGPurity = &Analyzer{
+	Name: "rngpurity",
+	Doc:  "forbid global math/rand functions and wall-clock-seeded RNG sources outside tests",
+	Run:  runRNGPurity,
+}
+
+// randConstructors are the math/rand package-level functions that do NOT
+// touch the global stream: they build new sources/generators.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *rand.Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runRNGPurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn := randPkgFunc(pass, n)
+				if fn == nil || randConstructors[fn.Name()] {
+					return true
+				}
+				if !pass.Waived(pass.Analyzer.WaiverRule(), n.Pos()) {
+					pass.Reportf(n.Pos(), "rand.%s draws from the global math/rand stream; inject a seeded *rand.Rand instead (or waive with //reprovet:rngpurity <reason>)", fn.Name())
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := randPkgFunc(pass, sel)
+				if fn == nil || !randConstructors[fn.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if pos, found := findsWallClockCall(pass, arg); found && !pass.Waived(pass.Analyzer.WaiverRule(), pos) {
+						pass.Reportf(pos, "rand.%s seeded from the wall clock; use an explicit injected seed (or waive with //reprovet:rngpurity <reason>)", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// randPkgFunc resolves sel to a math/rand (or math/rand/v2) package-level
+// function, or nil.
+func randPkgFunc(pass *Pass, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return nil // a method on *rand.Rand is exactly what we want people to use
+	}
+	return fn
+}
+
+// findsWallClockCall reports the position of a time.Now (or time.Since /
+// time.Until) reference anywhere inside e.
+func findsWallClockCall(pass *Pass, e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && isWallClockFunc(fn) {
+			pos, found = sel.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// isWallClockFunc matches time.Now, time.Since, and time.Until.
+func isWallClockFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}

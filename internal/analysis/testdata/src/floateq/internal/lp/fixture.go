@@ -1,0 +1,34 @@
+// Package lp is a floateq fixture: its import path embeds internal/lp, so
+// exact comparison between computed floats is flagged.
+package lp
+
+// exactCompare judges a tie exactly: flagged.
+func exactCompare(a, b float64) bool {
+	return a == b // want "exact float == between computed values a and b"
+}
+
+// constSentinel is allowed: comparing against a constant tests an exact
+// sentinel value.
+func constSentinel(x float64) bool {
+	return x == 0 || x != 1.5
+}
+
+// approxEq is an approved tolerance helper: the exact comparison is its job.
+func approxEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < tol && d > -tol
+}
+
+// viaHelper judges ties the approved way.
+func viaHelper(a, b float64) bool {
+	return approxEq(a, b, 1e-9)
+}
+
+// waivedGuard documents a deliberate exact comparison.
+func waivedGuard(a, b float64) bool {
+	//reprovet:floateq memoization guard: tests exact replay of a previously computed value
+	return a != b
+}

@@ -1,0 +1,69 @@
+// Package broker is a mapiter fixture: its import path embeds
+// internal/broker, so the analyzer treats it as determinism-critical.
+package broker
+
+import "sort"
+
+// earlyReturn leaks iteration order through which key wins.
+func earlyReturn(m map[int]int) int {
+	for k, v := range m { // want "statement with unprovable iteration-order effect"
+		if v > 10 {
+			return k
+		}
+	}
+	return -1
+}
+
+// unsortedAppend collects keys but never sorts them.
+func unsortedAppend(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "appends to out which is never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// floatAccum accumulates floats, which is order-dependent.
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "compound assignment to non-integer state sum"
+		sum += v
+	}
+	return sum
+}
+
+// collectThenSort is the approved shape: append, then sort.
+func collectThenSort(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// commutative only writes counters, map elements, and loop-locals.
+func commutative(m map[int]int, dst map[int]bool) (n int, any bool) {
+	for k, v := range m {
+		local := v * 2
+		if local > 3 {
+			n++
+			dst[k] = true
+			any = any || v > 100
+		}
+		delete(dst, -k)
+	}
+	return n, any
+}
+
+// waived carries an explicit order-independence claim.
+func waived(m map[int]int) int {
+	best := -1
+	//reprovet:unordered max over all values; commutative despite the comparison
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,32 @@
+// Package gen is an rngpurity fixture.
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalStream draws from the shared global source.
+func globalStream() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global math/rand stream"
+}
+
+// clockSeeded builds a source from the wall clock.
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock" "rand.NewSource seeded from the wall clock"
+}
+
+// injected is the approved shape: an explicit seed.
+func injected(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// methodUse draws from an injected generator — exactly what the rule wants.
+func methodUse(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// waivedJitter is deliberately unseeded, and says why.
+func waivedJitter() time.Duration {
+	return time.Duration(rand.Int63n(100)) //reprovet:rngpurity retry jitter: timing-only randomness
+}

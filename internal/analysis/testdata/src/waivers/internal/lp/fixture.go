@@ -1,0 +1,13 @@
+// Package lp is the waiver-misuse fixture: a directive with no reason does
+// not waive (and is itself reported), and a directive naming an unknown rule
+// is reported. TestWaiverMisuse asserts the exact diagnostics.
+package lp
+
+// reasonless tries to waive without saying why.
+func reasonless(a, b float64) bool {
+	//reprovet:floateq
+	return a == b
+}
+
+//reprovet:frobnicate such a rule does not exist
+func unknownRule() {}

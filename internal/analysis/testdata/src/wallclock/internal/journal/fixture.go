@@ -1,0 +1,26 @@
+// Package journal is a wallclock fixture: its import path embeds
+// internal/journal, so Recover and DecodeLog root the reachability walk.
+package journal
+
+import "time"
+
+// Recover is a replay root; everything it reaches is clock-free.
+func Recover() {
+	decodeTail()
+	stamp()
+}
+
+// decodeTail is reachable from Recover and reads the clock: flagged.
+func decodeTail() {
+	_ = time.Now() // want "time.Now in decodeTail, which is reachable from the replay path"
+}
+
+// stamp is reachable too, but its read is annotated as metrics-only.
+func stamp() {
+	_ = time.Now() //reprovet:wallclock log timestamp only; never enters restored state
+}
+
+// unreachable reads the clock but is not on the replay path: not flagged.
+func unreachable() time.Time {
+	return time.Now()
+}

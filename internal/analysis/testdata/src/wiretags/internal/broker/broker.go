@@ -1,0 +1,20 @@
+// Package broker is the alias-pinning half of the wiretags fixture: its
+// import path embeds internal/broker and it imports a package named
+// spectrum, so every exported type name shared with spectrum must be an
+// alias.
+package broker
+
+import "repro/internal/analysis/testdata/src/wiretags/pkg/spectrum"
+
+// Good is alias-pinned: broker and clients marshal the same bytes.
+type Good = spectrum.Good
+
+// Dup redeclares a wire type instead of aliasing it, forking the schema.
+type Dup struct { // want "broker type Dup shadows wire type spectrum.Dup but is not an alias"
+	A int `json:"x"`
+}
+
+// LocalOnly shares no name with spectrum and owes nothing to the rule.
+type LocalOnly struct {
+	N int
+}

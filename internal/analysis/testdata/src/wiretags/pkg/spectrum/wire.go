@@ -1,0 +1,32 @@
+// Package spectrum is a wiretags fixture: this file is named wire.go, so
+// every exported struct in it is held to the explicit-unique-json-tag rule.
+package spectrum
+
+// Good follows the contract.
+type Good struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Skipped string `json:"-"`
+	hidden  int
+}
+
+// Missing lacks a tag on an exported field.
+type Missing struct {
+	Name string // want "exported field Name has no json tag"
+}
+
+// Unnamed has a tag that never names the wire field.
+type Unnamed struct {
+	V int `json:",omitempty"` // want "json tag does not name the wire field"
+}
+
+// Dup reuses a wire name.
+type Dup struct {
+	A int `json:"x"`
+	B int `json:"x"` // want "duplicated by fields A and B"
+}
+
+// Waived documents why one field intentionally uses default marshalling.
+type Waived struct {
+	Legacy float64 //reprovet:wiretags legacy field pinned by golden bytes under its Go name
+}

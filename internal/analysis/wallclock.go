@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WallClock forbids time.Now / time.Since / time.Until in code statically
+// reachable from the replay path.
+//
+// The durability contract says a broker rebuilt by replaying its journal is
+// identical to the broker that lived through the epochs — which can only
+// hold if nothing on the replay path reads the wall clock into state. The
+// analyzer roots at the replay entry points (declared in wallClockRoots),
+// walks the package-internal static call graph (direct calls and function
+// references; dynamic calls through interfaces or stored function values
+// are out of scope and documented as such), and flags every wall-clock read
+// in a reachable function.
+//
+// Timing that is genuinely observational — epoch latency metrics, log
+// timestamps — is waived in place with `//reprovet:wallclock <reason>`,
+// which doubles as the allowlist the ISSUE calls for: every surviving
+// wall-clock read on the replay path carries a human-auditable reason.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads in code reachable from the journal replay path",
+	Run:  runWallClock,
+}
+
+// wallClockRoots maps a package-path suffix to the functions rooting the
+// replay-reachable subgraph. Methods are named "Type.Method" (pointer
+// receivers without the *).
+var wallClockRoots = map[string][]string{
+	// The journal restore path: newest snapshot + tail replay.
+	"internal/journal": {"Recover", "DecodeLog"},
+	// The broker's replay entry points and the epoch-apply they drive.
+	// Tick is rooted explicitly: ReplayEpoch and ReplaySeed both commit
+	// through it, and a wall-clock dependency introduced anywhere under
+	// Tick would flow straight into replayed state.
+	"internal/broker": {"Broker.ReplayEpoch", "Broker.ReplaySeed", "Broker.Tick"},
+}
+
+func runWallClock(pass *Pass) error {
+	var roots []string
+	for suffix, names := range wallClockRoots {
+		if matchesAny(pass.Pkg.Path(), []string{suffix}) {
+			roots = append(roots, names...)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	sort.Strings(roots)
+
+	// Collect this package's function declarations.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	byName := make(map[string]*types.Func)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+			byName[funcKey(obj)] = obj
+		}
+	}
+
+	// Build edges: fn -> package-local functions it references (calls or
+	// takes the value of — a referenced function can be called later, so
+	// reference counts as reachability).
+	edges := make(map[*types.Func][]*types.Func)
+	for obj, fd := range decls {
+		seen := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || seen[callee] {
+				return true
+			}
+			if _, local := decls[callee]; local {
+				seen[callee] = true
+				edges[obj] = append(edges[obj], callee)
+			}
+			return true
+		})
+	}
+
+	// BFS from the roots.
+	reachable := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for _, name := range roots {
+		if obj, ok := byName[name]; ok {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[cur] {
+			if !reachable[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Report wall-clock reads inside reachable bodies.
+	for obj, fd := range decls {
+		if !reachable[obj] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isWallClockFunc(fn) {
+				return true
+			}
+			if !pass.Waived(pass.Analyzer.WaiverRule(), sel.Pos()) {
+				pass.Reportf(sel.Pos(), "time.%s in %s, which is reachable from the replay path (%s); replayed state must not depend on wall time (waive metrics-only timing with //reprovet:wallclock <reason>)",
+					fn.Name(), funcKey(obj), strings.Join(roots, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcKey names a function the way wallClockRoots does: "F" or
+// "Type.Method".
+func funcKey(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

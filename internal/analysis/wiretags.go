@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"reflect"
+	"strings"
+)
+
+// WireTags enforces the wire-schema contract:
+//
+//  1. In files named wire.go, every exported field of an exported struct
+//     carries an explicit, unique json tag. Wire bytes are pinned
+//     byte-identical across broker, journal replay, and mirror; a field
+//     that falls back to Go's default field-name marshalling silently
+//     couples the wire format to an identifier rename, and a duplicated
+//     tag makes unmarshalling order-dependent.
+//  2. In internal/broker, every exported type whose name also exists as an
+//     exported type of pkg/spectrum must be a type alias of it — the
+//     construction that makes server and clients marshal the same bytes.
+//     A drifted redeclaration (a copy instead of an alias) would compile
+//     fine and split the schema.
+var WireTags = &Analyzer{
+	Name: "wiretags",
+	Doc:  "require explicit unique json tags on wire structs and alias-pinned broker wire types",
+	Run:  runWireTags,
+}
+
+func runWireTags(pass *Pass) error {
+	for _, f := range pass.Files {
+		if path.Base(pass.Fset.Position(f.Pos()).Filename) != "wire.go" {
+			continue
+		}
+		checkWireFile(pass, f)
+	}
+	if matchesAny(pass.Pkg.Path(), []string{"internal/broker"}) {
+		checkAliasPinning(pass)
+	}
+	return nil
+}
+
+// checkWireFile vets the json tags of every exported struct in one wire.go.
+func checkWireFile(pass *Pass, f *ast.File) {
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !ts.Name.IsExported() {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			seen := make(map[string]string) // tag name -> field name
+			for _, field := range st.Fields.List {
+				names := field.Names
+				exported := false
+				fieldName := ""
+				if len(names) == 0 {
+					// Embedded field: marshals under its type name.
+					fieldName = types.ExprString(field.Type)
+					exported = ast.IsExported(strings.TrimPrefix(path.Base(fieldName), "*"))
+				} else {
+					for _, n := range names {
+						if n.IsExported() {
+							exported = true
+							fieldName = n.Name
+						}
+					}
+				}
+				if !exported {
+					continue
+				}
+				if pass.Waived(pass.Analyzer.WaiverRule(), field.Pos()) {
+					continue
+				}
+				if field.Tag == nil {
+					pass.Reportf(field.Pos(), "wire struct %s: exported field %s has no json tag; wire fields need explicit names", ts.Name.Name, fieldName)
+					continue
+				}
+				tagVal := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+				jsonTag, ok := tagVal.Lookup("json")
+				if !ok {
+					pass.Reportf(field.Pos(), "wire struct %s: exported field %s has no json tag; wire fields need explicit names", ts.Name.Name, fieldName)
+					continue
+				}
+				name, _, _ := strings.Cut(jsonTag, ",")
+				if name == "" {
+					pass.Reportf(field.Pos(), "wire struct %s: field %s's json tag does not name the wire field (tag %q)", ts.Name.Name, fieldName, jsonTag)
+					continue
+				}
+				if name == "-" {
+					continue // explicitly excluded from the wire
+				}
+				if prev, dup := seen[name]; dup {
+					pass.Reportf(field.Pos(), "wire struct %s: json tag %q duplicated by fields %s and %s", ts.Name.Name, name, prev, fieldName)
+					continue
+				}
+				seen[name] = fieldName
+			}
+		}
+	}
+}
+
+// checkAliasPinning requires broker-side redeclarations of spectrum wire
+// names to be aliases.
+func checkAliasPinning(pass *Pass) {
+	var spectrum *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() == "spectrum" && strings.HasSuffix(imp.Path(), "spectrum") {
+			spectrum = imp
+			break
+		}
+	}
+	if spectrum == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() {
+			continue
+		}
+		sObj, ok := spectrum.Scope().Lookup(name).(*types.TypeName)
+		if !ok || !sObj.Exported() {
+			continue
+		}
+		if tn.IsAlias() && types.Identical(tn.Type(), sObj.Type()) {
+			continue
+		}
+		if pass.Waived(pass.Analyzer.WaiverRule(), tn.Pos()) {
+			continue
+		}
+		pass.Reportf(tn.Pos(), "broker type %s shadows wire type %s.%s but is not an alias of it; redeclaring wire types forks the schema (use `type %s = spectrum.%s`)",
+			name, spectrum.Name(), name, name, name)
+	}
+}

@@ -37,6 +37,7 @@ func Greedy(in *auction.Instance) auction.Allocation {
 			}
 		}
 		sort.Slice(cands, func(a, b int) bool {
+			//reprovet:floateq sort comparator: exact equality with an index tie-break is a deterministic total order; a tolerance would break strict weak ordering
 			if cands[a].gain != cands[b].gain {
 				return cands[a].gain > cands[b].gain
 			}
@@ -107,6 +108,7 @@ func EdgeLP(in *auction.Instance) (set []int, value, lpOpt float64, err error) {
 	}
 	sort.Slice(order, func(a, b2 int) bool {
 		xa, xb := sol.X[order[a]], sol.X[order[b2]]
+		//reprovet:floateq sort comparator: exact inequality with a bid-value tie-break is a deterministic total order over the fixed LP solution
 		if xa != xb {
 			return xa > xb
 		}

@@ -151,6 +151,7 @@ func sameAtomSet(a, b map[valuation.Bundle]bool) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	//reprovet:unordered pure membership test; every visit order yields the same result
 	for t := range a {
 		if !b[t] {
 			return false
@@ -964,7 +965,7 @@ func (b *Broker) dueLeases() []pendingOp {
 func (b *Broker) Tick() EpochReport {
 	b.tickMu.Lock()
 	defer b.tickMu.Unlock()
-	start := time.Now()
+	start := time.Now() //reprovet:wallclock epoch latency metric only; never read into committed state or the journal
 
 	// Phase 1 (exclusive): drain and apply mutations atomically with
 	// respect to readers, then partition and plan the solve.
@@ -1020,7 +1021,7 @@ func (b *Broker) Tick() EpochReport {
 		rep.Clean, rep.WarmResolves, rep.Rebuilds = rep.Components, 0, 0
 		b.epoch++
 		rep.Epoch = b.epoch
-		rep.Latency = time.Since(start)
+		rep.Latency = time.Since(start) //reprovet:wallclock observational latency metric; excluded from equivalence checks
 		b.metrics.Epochs++
 		b.metrics.TotalWelfare += rep.Welfare
 		b.metrics.CleanTotal += int64(rep.Clean)
@@ -1053,7 +1054,7 @@ func (b *Broker) Tick() EpochReport {
 	// Phase 3 (exclusive): commit.
 	b.mu.Lock()
 	b.commitEpoch(plan, &rep)
-	rep.Latency = time.Since(start)
+	rep.Latency = time.Since(start) //reprovet:wallclock observational latency metric; excluded from equivalence checks
 	b.metrics.Epochs++
 	b.metrics.Submitted += int64(rep.Arrivals)
 	b.metrics.Withdrawn += int64(rep.Departures)

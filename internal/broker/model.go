@@ -131,11 +131,25 @@ func (m *pairwise) RhoBound() float64       { return m.rho }
 func (m *pairwise) Validate(bid *Bid) error { return m.validate(bid) }
 func (m *pairwise) Key(bid *Bid) float64    { return m.key(toGeom(bid)) }
 
+// others returns the live bidder ids (excluding id) ascending — like
+// distance2's diskNbrs/sortedBase, this keeps every delta's element order
+// deterministic across runs even though m.bids is a map.
+func (m *pairwise) others(id BidderID) []BidderID {
+	out := make([]BidderID, 0, len(m.bids))
+	for oid := range m.bids {
+		if oid != id {
+			out = append(out, oid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 func (m *pairwise) Arrive(id BidderID, bid *Bid) EdgeDelta {
 	g := toGeom(bid)
 	var d EdgeDelta
-	for oid, og := range m.bids {
-		if m.conflict(g, og) {
+	for _, oid := range m.others(id) {
+		if m.conflict(g, m.bids[oid]) {
 			d.Added = append(d.Added, [2]BidderID{id, oid})
 		}
 	}
@@ -155,10 +169,8 @@ func (m *pairwise) Move(id BidderID, bid *Bid) EdgeDelta {
 	}
 	g := toGeom(bid)
 	var d EdgeDelta
-	for oid, og := range m.bids {
-		if oid == id {
-			continue
-		}
+	for _, oid := range m.others(id) {
+		og := m.bids[oid]
 		had, has := m.conflict(old, og), m.conflict(g, og)
 		switch {
 		case has && !had:

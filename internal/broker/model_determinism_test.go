@@ -1,0 +1,50 @@
+package broker
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestPairwiseDeltaOrderDeterministic pins the fix for the pairwise models'
+// delta construction. Arrive and Move used to range the live-bid map
+// directly, so the element order of EdgeDelta.Added/Removed followed Go's
+// randomized map iteration: two brokers fed the identical op sequence could
+// hand their warm-start machinery differently ordered deltas. Before the fix
+// (iterate m.others(id), ascending) this test fails almost surely; after it,
+// every construction yields the same delta, ascending by neighbor id.
+func TestPairwiseDeltaOrderDeterministic(t *testing.T) {
+	const live = 40
+	run := func() (added, removed [][2]BidderID) {
+		m := DiskModel()
+		// All bids overlap, so the probe's Arrive conflicts with every
+		// live bidder and its Move away destroys all those edges.
+		for i := 0; i < live; i++ {
+			m.Arrive(BidderID(i), &Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 1})
+		}
+		added = m.Arrive(BidderID(1000), &Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 1}).Added
+		removed = m.Move(BidderID(1000), &Bid{Pos: geom.Point{X: 1e6, Y: 1e6}, Radius: 1}).Removed
+		return added, removed
+	}
+
+	wantAdded, wantRemoved := run()
+	if len(wantAdded) != live || len(wantRemoved) != live {
+		t.Fatalf("probe should conflict with all %d live bidders: added %d, removed %d", live, len(wantAdded), len(wantRemoved))
+	}
+	for _, d := range [][][2]BidderID{wantAdded, wantRemoved} {
+		if !sort.SliceIsSorted(d, func(i, j int) bool { return d[i][1] < d[j][1] }) {
+			t.Errorf("delta not in ascending neighbor order: %v", d)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		added, removed := run()
+		if !reflect.DeepEqual(added, wantAdded) {
+			t.Fatalf("trial %d: Arrive delta order diverged:\n got %v\nwant %v", trial, added, wantAdded)
+		}
+		if !reflect.DeepEqual(removed, wantRemoved) {
+			t.Fatalf("trial %d: Move delta order diverged:\n got %v\nwant %v", trial, removed, wantRemoved)
+		}
+	}
+}

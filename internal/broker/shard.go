@@ -145,10 +145,18 @@ func (b *Broker) buildGlobal() *globalState {
 	s.vals = make([]valuation.Valuation, n)
 	for i, id := range ids {
 		s.vals[i] = b.bidders[id].val
+		// Insert adjacency in ascending neighbor order: graph.Graph keeps
+		// per-vertex neighbor lists in insertion order, so ranging the nbrs
+		// map directly would leak map order into the conflict structure.
+		var js []int
 		for nid := range b.bidders[id].nbrs {
 			if j := s.idx[nid]; j > i {
-				s.g.AddEdge(i, j)
+				js = append(js, j)
 			}
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			s.g.AddEdge(i, j)
 		}
 	}
 	return s

@@ -264,6 +264,7 @@ func decompose(in *auction.Instance, sol *auction.LPSolution, alpha float64) ([]
 			excess -= move
 			reduced := e.alloc.Clone()
 			reduced[sup.cols[c].V] = valuation.Empty
+			//reprovet:floateq move is math.Min(e.lambda, excess); equality tests exactly which argument Min returned
 			if move == e.lambda {
 				e.alloc = reduced
 			} else {

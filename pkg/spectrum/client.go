@@ -124,14 +124,14 @@ func (c *Client) retryDelay(a int, lastErr error) time.Duration {
 	if ceiling > c.maxBackoff || ceiling <= 0 {
 		ceiling = c.maxBackoff
 	}
-	d := time.Duration(rand.Int63n(int64(ceiling) + 1))
+	d := time.Duration(rand.Int63n(int64(ceiling) + 1)) //reprovet:rngpurity retry jitter: timing-only randomness, deliberately unseeded and never observable in pinned streams
 	var ae *APIError
 	if errors.As(lastErr, &ae) && ae.RetryAfter > 0 {
 		hint := ae.RetryAfter
 		if hint > c.maxBackoff {
 			hint = c.maxBackoff
 		}
-		jitter := time.Duration(rand.Int63n(int64(hint)/4 + 1))
+		jitter := time.Duration(rand.Int63n(int64(hint)/4 + 1)) //reprovet:rngpurity retry jitter on server hint: timing-only randomness
 		d = hint + jitter
 	}
 	return d
