@@ -11,6 +11,7 @@ package repro
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -346,69 +347,113 @@ func BenchmarkExactOPTSmall(b *testing.B) {
 	}
 }
 
-// benchBrokerEpoch measures one steady-state broker epoch with small churn
-// (one departure + one arrival per tick) over a market spread into many
-// conflict components, per interference backend. Warm keeps the component
-// cache, persistent masters, and column pool; Cold re-solves every component
-// from scratch each epoch — the pair quantifies what the incremental path
-// buys under each model. The distance-2 backend gets a sparser market (its
-// squared conflict graph is much denser at equal population).
-func benchBrokerEpoch(b *testing.B, model string, cold bool) {
+// benchMakeBid draws constant-density benchmark geometry for the named
+// backend: positions uniform over a side×side square, disk radii (and link
+// lengths) in [3, 10), K=4 valuations.
+func benchMakeBid(rng *rand.Rand, model string, side float64) broker.Bid {
+	values := make([]float64, 4)
+	for j := range values {
+		values[j] = 1 + rng.Float64()*9
+	}
+	pos := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	r := 3 + rng.Float64()*7
+	if model == "protocol" || model == "ieee80211" {
+		th := rng.Float64() * 2 * math.Pi
+		return broker.Bid{
+			Link: &geom.Link{
+				Sender:   pos,
+				Receiver: geom.Point{X: pos.X + r*math.Cos(th), Y: pos.Y + r*math.Sin(th)},
+			},
+			Values: values,
+		}
+	}
+	return broker.Bid{Pos: pos, Radius: r, Values: values}
+}
+
+// benchSide is the square side holding n bidders at the bench tier's
+// constant density (~2000 area units per bidder; 3333 for distance-2, whose
+// squared conflict graph is much denser at equal population). The 80-bidder
+// tier keeps the historical 400×400 market for comparability with earlier
+// BENCH files.
+func benchSide(model string, n int) float64 {
+	if n <= 80 {
+		return 400
+	}
+	per := 2000.0
+	if model == "distance2" {
+		per = 3333
+	}
+	return math.Sqrt(float64(n) * per)
+}
+
+// benchBroker is a prepopulated broker reused across benchmark reruns (-count)
+// — a 10k-bidder prepopulation re-solves thousands of components and would
+// otherwise dominate every rerun's setup. Steady-state churn keeps the
+// population and density constant, so reuse does not drift the workload.
+type benchBroker struct {
+	br   *broker.Broker
+	live []broker.BidderID
+	rng  *rand.Rand
+}
+
+var benchBrokers = map[string]*benchBroker{}
+
+func getBenchBroker(b *testing.B, model string, n int, cold bool) *benchBroker {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%v", model, n, cold)
+	if s, ok := benchBrokers[key]; ok {
+		return s
+	}
 	cm, err := broker.ModelByName(model, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	br, err := broker.New(broker.Config{K: 4, Model: cm, Cold: cold, MaxBidders: 4096})
+	br, err := broker.New(broker.Config{K: 4, Model: cm, Cold: cold, MaxBidders: n + 64})
 	if err != nil {
 		b.Fatal(err)
 	}
-	n := 80
-	if model == "distance2" {
-		n = 48
+	pop := n
+	if n <= 80 && model == "distance2" {
+		pop = 48 // historical small-tier population for the dense distance-2 market
 	}
-	isLink := model == "protocol" || model == "ieee80211"
-	rng := rand.New(rand.NewSource(42))
-	makeBid := func() broker.Bid {
-		values := make([]float64, 4)
-		for j := range values {
-			values[j] = 1 + rng.Float64()*9
-		}
-		pos := geom.Point{X: rng.Float64() * 400, Y: rng.Float64() * 400}
-		r := 3 + rng.Float64()*7
-		if isLink {
-			th := rng.Float64() * 2 * math.Pi
-			return broker.Bid{
-				Link: &geom.Link{
-					Sender:   pos,
-					Receiver: geom.Point{X: pos.X + r*math.Cos(th), Y: pos.Y + r*math.Sin(th)},
-				},
-				Values: values,
-			}
-		}
-		return broker.Bid{Pos: pos, Radius: r, Values: values}
-	}
-	var live []broker.BidderID
-	for i := 0; i < n; i++ {
-		id, err := br.Submit(makeBid())
+	side := benchSide(model, n)
+	s := &benchBroker{br: br, rng: rand.New(rand.NewSource(42))}
+	for i := 0; i < pop; i++ {
+		id, err := br.Submit(benchMakeBid(s.rng, model, side))
 		if err != nil {
 			b.Fatal(err)
 		}
-		live = append(live, id)
+		s.live = append(s.live, id)
 	}
-	br.Tick()
+	if rep := br.Tick(); rep.Errors > 0 {
+		b.Fatalf("prepopulation epoch errors: %+v", rep)
+	}
+	benchBrokers[key] = s
+	return s
+}
+
+// benchBrokerEpoch measures one steady-state broker epoch with small churn
+// (one departure + one arrival per tick) over a market spread into many
+// conflict components, per interference backend and population tier. Warm
+// keeps the component cache, persistent masters, and column pool; Cold
+// re-solves every component from scratch each epoch — the pair quantifies
+// what the incremental path buys under each model.
+func benchBrokerEpoch(b *testing.B, model string, n int, cold bool) {
+	s := getBenchBroker(b, model, n, cold)
+	side := benchSide(model, n)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := br.Withdraw(live[0]); err != nil {
+		if err := s.br.Withdraw(s.live[0]); err != nil {
 			b.Fatal(err)
 		}
-		live = live[1:]
-		id, err := br.Submit(makeBid())
+		s.live = s.live[1:]
+		id, err := s.br.Submit(benchMakeBid(s.rng, model, side))
 		if err != nil {
 			b.Fatal(err)
 		}
-		live = append(live, id)
-		rep := br.Tick()
+		s.live = append(s.live, id)
+		rep := s.br.Tick()
 		if rep.Errors > 0 {
 			b.Fatalf("epoch errors: %+v", rep)
 		}
@@ -483,13 +528,99 @@ func BenchmarkBatchSubmit(b *testing.B) {
 
 func BenchmarkBrokerEpochWarm(b *testing.B) {
 	for _, m := range broker.ModelNames() {
-		b.Run(m, func(b *testing.B) { benchBrokerEpoch(b, m, false) })
+		b.Run(m+"/80", func(b *testing.B) { benchBrokerEpoch(b, m, 80, false) })
+		b.Run(m+"/10k", func(b *testing.B) { benchBrokerEpoch(b, m, 10000, false) })
 	}
 }
 
+// Cold stays small-only: re-solving every component from scratch at 10k
+// bidders measures the LP tier, not the epoch path.
 func BenchmarkBrokerEpochCold(b *testing.B) {
 	for _, m := range broker.ModelNames() {
-		b.Run(m, func(b *testing.B) { benchBrokerEpoch(b, m, true) })
+		b.Run(m+"/80", func(b *testing.B) { benchBrokerEpoch(b, m, 80, true) })
+	}
+}
+
+// benchChurnModel is a prepopulated bare ConflictModel shared across
+// benchmark reruns; linear prepopulation at 10k is O(n²) and would otherwise
+// dominate every -count rerun.
+type benchChurnModel struct {
+	m    broker.ConflictModel
+	bids []broker.Bid
+	live []broker.BidderID
+	next broker.BidderID
+	rng  *rand.Rand
+}
+
+var benchChurnModels = map[string]*benchChurnModel{}
+
+func getChurnModel(b *testing.B, model string, n int, indexed bool) *benchChurnModel {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%v", model, n, indexed)
+	if s, ok := benchChurnModels[key]; ok {
+		return s
+	}
+	delta := 1.0
+	if model == "ieee80211" {
+		delta = 0.5
+	}
+	var cm broker.ConflictModel
+	var err error
+	if indexed {
+		cm, err = broker.ModelByName(model, delta)
+	} else {
+		cm, err = broker.LinearModelByName(model, delta)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := benchSide(model, n)
+	s := &benchChurnModel{m: cm, rng: rand.New(rand.NewSource(42))}
+	for i := 0; i < n; i++ {
+		s.next++
+		bid := benchMakeBid(s.rng, model, side)
+		s.bids = append(s.bids, bid)
+		s.live = append(s.live, s.next)
+		cm.Arrive(s.next, &bid)
+	}
+	benchChurnModels[key] = s
+	return s
+}
+
+// benchConflictChurn measures bare edge-delta maintenance — one Depart, one
+// Arrive, and one Move per iteration against a steady n-bidder population —
+// with no broker, solver, or allocation work in the loop. The grid/linear
+// pair is the spatial index's headline number: BENCH_8.json requires ≥5× at
+// 10k.
+func benchConflictChurn(b *testing.B, model string, n int, indexed bool) {
+	s := getChurnModel(b, model, n, indexed)
+	side := benchSide(model, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.m.Depart(s.live[0])
+		s.live = s.live[1:]
+		s.bids = s.bids[1:]
+		s.next++
+		bid := benchMakeBid(s.rng, model, side)
+		s.bids = append(s.bids, bid)
+		s.live = append(s.live, s.next)
+		s.m.Arrive(s.next, &bid)
+		j := len(s.live) / 2
+		moved := benchMakeBid(s.rng, model, side)
+		s.bids[j] = moved
+		s.m.Move(s.live[j], &moved)
+	}
+}
+
+// BenchmarkConflictChurn drives the mutation-churn microbench per backend.
+// The linear baseline runs at 10k only; at 100k its O(n) scans (and O(n²)
+// prepopulation) make the comparison pointless, so that tier is grid-only.
+func BenchmarkConflictChurn(b *testing.B) {
+	for _, m := range broker.ModelNames() {
+		b.Run(m+"/10k/grid", func(b *testing.B) { benchConflictChurn(b, m, 10000, true) })
+		b.Run(m+"/10k/linear", func(b *testing.B) { benchConflictChurn(b, m, 10000, false) })
+		b.Run(m+"/100k/grid", func(b *testing.B) { benchConflictChurn(b, m, 100000, true) })
 	}
 }
 

@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -65,6 +67,7 @@ func main() {
 		pace        = flag.Duration("pace", 0, "sleep between trace steps (0 = replay as fast as possible)")
 		epoch       = flag.Duration("epoch", 100*time.Millisecond, "tick interval of the -local broker")
 		maxBidders  = flag.Int("max-bidders", 4096, "population cap of the -local broker")
+		bidders     = flag.Int("bidders", 0, "prepopulate the market with this many constant-density bidders (chunked batch submits) before the churn workload; drives the large-market tier")
 		killAfter   = flag.Duration("kill-after", 0, "with -local: hard-kill the broker at this interval, restore it from its journal on the same address, verify, and resume (restart-under-load smoke)")
 		dataDir     = flag.String("data-dir", "", "journal directory of the -local broker (default with -kill-after: a temp dir)")
 		readers     = flag.Int("readers", 0, "reader goroutines hammering the replica's GET /v1/allocation alongside the mutation load")
@@ -95,6 +98,17 @@ func main() {
 
 	if *killAfter > 0 && !*local {
 		log.Fatal("brokerload: -kill-after requires -local (it must own the broker it kills)")
+	}
+
+	// A prepopulated market must fit under the admission cap with headroom
+	// for the churn workload on top; raise the -local cap unless the operator
+	// pinned it explicitly.
+	if *bidders > 0 && *local {
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "max-bidders" })
+		if !explicit && *maxBidders < *bidders+1024 {
+			*maxBidders = *bidders + 1024
+		}
 	}
 
 	// gate serializes the kill/restore window against in-flight load: every
@@ -135,6 +149,22 @@ func main() {
 
 	ctx := context.Background()
 	client := spectrum.NewClient(base)
+
+	// Large-market prepopulation: -bidders N seeds the market with N bidders
+	// at constant density (the same ~2000 area units per bidder the
+	// 10k-bidder benchmark tier uses) through chunked /v1/batch submits, so
+	// the churn workload then runs against a dense standing population.
+	prepopulated := 0
+	var prepElapsed time.Duration
+	if *bidders > 0 {
+		t0 := time.Now()
+		var err error
+		if prepopulated, err = prepopulate(ctx, client, *bidders, *model, *k, *seed, *batch); err != nil {
+			log.Fatalf("brokerload: prepopulate: %v", err)
+		}
+		prepElapsed = time.Since(t0)
+		log.Printf("brokerload: prepopulated %d bidders in %s", prepopulated, prepElapsed.Round(time.Millisecond))
+	}
 
 	// Replica read workload: readers hammer a brokerproxy (external via
 	// -read-addr, or an in-process Mirror + replica handler over the -local
@@ -363,6 +393,10 @@ func main() {
 	if *killAfter > 0 {
 		report["restarts"] = restarts
 	}
+	if *bidders > 0 {
+		report["prepopulated"] = prepopulated
+		report["prepopulate_ns"] = prepElapsed.Nanoseconds()
+	}
 	if scen != nil {
 		report["scenario"] = scen.Name
 		report["moves"] = agg.moves
@@ -427,6 +461,9 @@ func main() {
 		return
 	}
 	fmt.Printf("brokerload: %d workers × %d trace epochs against %s\n", *concurrency, *epochs, base)
+	if *bidders > 0 {
+		fmt.Printf("  prepopulated: %d bidders in %s\n", prepopulated, prepElapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("  mutations: %d in %s (%.0f mutations/s) over %d requests (batch ≤ %d)\n",
 		agg.mutations, elapsed.Round(time.Millisecond), report["mutations_per_s"], agg.requests, *batch)
 	fmt.Printf("  request latency: p50 %s  p95 %s  max %s\n",
@@ -449,6 +486,56 @@ func main() {
 			report["read_stale_503s"],
 			report["staleness_epochs_p50"], report["staleness_epochs_p95"], report["staleness_epochs_max"])
 	}
+}
+
+// prepopulate seeds the market with n constant-density bidders (side grows
+// as sqrt(n), ~2000 area units per bidder — the large-market benchmark
+// tier's density) via chunked /v1/batch submits. It returns how many submits
+// the broker accepted; any admission rejection is an error, since the cap
+// was sized for the prepopulation up front.
+func prepopulate(ctx context.Context, client *spectrum.Client, n int, model string, k int, seed int64, batch int) (int, error) {
+	if batch <= 0 {
+		batch = 64
+	}
+	side := math.Sqrt(float64(n) * 2000)
+	isLink := model == "protocol" || model == "ieee80211"
+	rng := rand.New(rand.NewSource(seed))
+	accepted := 0
+	for accepted < n {
+		chunk := min(batch, n-accepted)
+		ops := make([]spectrum.Op, chunk)
+		for i := range ops {
+			values := make([]float64, k)
+			for j := range values {
+				values[j] = 1 + rng.Float64()*9
+			}
+			pos := spectrum.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+			r := 3 + rng.Float64()*7
+			bid := spectrum.Bid{Pos: pos, Radius: r, Values: values}
+			if isLink {
+				th := rng.Float64() * 2 * math.Pi
+				bid = spectrum.Bid{
+					Link: &spectrum.Link{
+						Sender:   pos,
+						Receiver: spectrum.Point{X: pos.X + r*math.Cos(th), Y: pos.Y + r*math.Sin(th)},
+					},
+					Values: values,
+				}
+			}
+			ops[i] = spectrum.Op{Op: spectrum.OpSubmit, Bid: &bid}
+		}
+		res, err := client.SubmitBatch(ctx, ops)
+		if err != nil {
+			return accepted, err
+		}
+		for i, r := range res.Results {
+			if r.Code != 202 {
+				return accepted, fmt.Errorf("submit %d rejected: %d %s", accepted+i, r.Code, r.Error)
+			}
+		}
+		accepted += chunk
+	}
+	return accepted, nil
 }
 
 // startReplica brings up the in-process read tier of -readers: a

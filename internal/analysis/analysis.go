@@ -276,6 +276,7 @@ var criticalSegments = []string{
 	"internal/lp",
 	"internal/graph",
 	"internal/scenario",
+	"internal/spatial",
 }
 
 // DeterminismCritical reports whether the import path is held to the

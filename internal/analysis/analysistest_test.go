@@ -15,7 +15,10 @@ import (
 // their import paths embed the critical segments — internal/broker,
 // internal/journal, internal/lp — that scope the rules.
 var fixtureDirs = map[string][]string{
-	"mapiter":   {"./testdata/src/mapiter/internal/broker"},
+	"mapiter": {
+		"./testdata/src/mapiter/internal/broker",
+		"./testdata/src/mapiter/internal/spatial",
+	},
 	"rngpurity": {"./testdata/src/rngpurity/gen"},
 	"wallclock": {"./testdata/src/wallclock/internal/journal"},
 	"wiretags": {

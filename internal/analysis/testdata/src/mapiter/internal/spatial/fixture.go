@@ -1,0 +1,53 @@
+// Package spatial is a mapiter fixture: its import path embeds
+// internal/spatial, so the grid index package is held to the
+// determinism-critical map-iteration rule. The shapes mirror the real
+// package's idioms — bucket maps filtered into a slice that is sorted (or
+// waived) afterwards.
+package spatial
+
+import "sort"
+
+// bucketLeak iterates cell buckets and lets the first hit win — the
+// neighbor set then depends on map order.
+func bucketLeak(cells map[int][]int) int {
+	for _, bucket := range cells { // want "statement with unprovable iteration-order effect"
+		if len(bucket) > 0 {
+			return bucket[0]
+		}
+	}
+	return -1
+}
+
+// unsortedCandidates collects candidate ids across buckets but never
+// restores a canonical order.
+func unsortedCandidates(cells map[int][]int) []int {
+	var out []int
+	for _, bucket := range cells { // want "appends to out which is never sorted afterwards"
+		out = append(out, bucket...)
+	}
+	return out
+}
+
+// sortedCandidates is the approved query shape: filter every bucket into
+// out, then sort ascending — byte-deterministic regardless of bucket order.
+func sortedCandidates(cells map[int][]int) []int {
+	var out []int
+	for _, bucket := range cells {
+		out = append(out, bucket...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// maxReach is the waived reduction the grid's rebucket policy uses: a max
+// over live reaches is the same under every visit order.
+func maxReach(items map[int]float64) float64 {
+	var max float64
+	//reprovet:unordered max over live reaches; every visit order yields the same maximum
+	for _, r := range items {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}

@@ -35,6 +35,7 @@
 package broker
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"math"
@@ -173,6 +174,11 @@ type Config struct {
 	// MaxBidders caps the population (active plus queued submissions);
 	// Submit returns ErrFull beyond it. <= 0 means DefaultMaxBidders.
 	MaxBidders int
+	// CompCacheCap bounds the component solve cache. Entries are retained
+	// across epochs — a component that dissolves under churn and re-forms
+	// later hits its cached solution — and evicted least-recently-used
+	// beyond the cap. 0 means DefaultCompCacheCap; negative means unbounded.
+	CompCacheCap int
 	// Cold disables the component cache, the persistent masters, and the
 	// column pool: every epoch re-solves every component from scratch. The
 	// reference path for the equivalence tests and the warm-vs-cold
@@ -185,6 +191,12 @@ type Config struct {
 
 // DefaultMaxBidders bounds the population when Config.MaxBidders is unset.
 const DefaultMaxBidders = 512
+
+// DefaultCompCacheCap bounds the component solve cache when
+// Config.CompCacheCap is unset. Sized so the cache comfortably holds every
+// component of a full default market plus a churn tail of dissolved shapes,
+// while capping the retained masters' memory under adversarial churn.
+const DefaultCompCacheCap = 4096
 
 // Bidder states, re-exported from the wire schema.
 const (
@@ -282,6 +294,9 @@ type Metrics struct {
 	WarmTotal    int64   `json:"warm_total"`
 	RebuildTotal int64   `json:"rebuild_total"`
 	ErrorsTotal  int64   `json:"errors_total"`
+	// Evicted counts component cache entries dropped by the LRU cap
+	// (Config.CompCacheCap).
+	Evicted int64 `json:"evicted"`
 	// JournalErrors counts epoch commits whose durability hook failed (the
 	// epoch stays committed in memory; the journal is behind).
 	JournalErrors int64 `json:"journal_errors"`
@@ -338,13 +353,21 @@ type Broker struct {
 	droppedSubs atomic.Int64
 
 	// mu guards the committed state served to queries.
-	mu      sync.RWMutex
-	epoch   int
-	bidders map[BidderID]*bidder
-	alloc   map[BidderID]valuation.Bundle
-	prices  map[BidderID]float64
-	comps   map[string]*compEntry
-	pool    map[BidderID][]valuation.Bundle
+	mu    sync.RWMutex
+	epoch int
+	// lastPlan is the epoch of the last planned (non-idle) commit — the
+	// liveness horizon for warm re-solves: idle ticks advance epoch but
+	// consume no forceRebuild flags, so an entry that served at lastPlan is
+	// still structurally current (see compEntry.lastEpoch).
+	lastPlan int
+	bidders  map[BidderID]*bidder
+	alloc    map[BidderID]valuation.Bundle
+	prices   map[BidderID]float64
+	comps    map[string]*compEntry
+	// lru orders the cache entries by recency (front = touched this epoch);
+	// commitEpoch evicts from the back past Config.CompCacheCap.
+	lru  *list.List
+	pool map[BidderID][]valuation.Bundle
 	// snap is the global state the last committed epoch was solved on;
 	// Snapshot serves it so snapshot and allocation always describe the
 	// same epoch, even while the next epoch's solve is in flight.
@@ -363,6 +386,9 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.MaxBidders <= 0 {
 		cfg.MaxBidders = DefaultMaxBidders
 	}
+	if cfg.CompCacheCap == 0 {
+		cfg.CompCacheCap = DefaultCompCacheCap
+	}
 	if cfg.Model == nil {
 		cfg.Model = DiskModel()
 	}
@@ -373,6 +399,7 @@ func New(cfg Config) (*Broker, error) {
 		alloc:     make(map[BidderID]valuation.Bundle),
 		prices:    make(map[BidderID]float64),
 		comps:     make(map[string]*compEntry),
+		lru:       list.New(),
 		pool:      make(map[BidderID][]valuation.Bundle),
 		retired:   make(map[BidderID]bool),
 		queuedSub: make(map[BidderID]bool),

@@ -1,0 +1,186 @@
+package broker
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// churnBroker drives n epochs of seeded submit/withdraw/move churn against b
+// and calls check after every tick with the epoch's report.
+func churnBroker(t *testing.T, b *Broker, seed int64, epochs int, check func(epoch int, rep EpochReport)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var live []BidderID
+	for epoch := 0; epoch < epochs; epoch++ {
+		for op := 0; op < 3; op++ {
+			switch {
+			case len(live) < 6 || rng.Intn(3) == 0:
+				bid := Bid{
+					Pos:    geom.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+					Radius: 2 + rng.Float64()*4,
+					Values: []float64{1 + rng.Float64()*9, 1 + rng.Float64()*9},
+				}
+				id, err := b.Submit(bid)
+				if err != nil {
+					t.Fatalf("submit: %v", err)
+				}
+				live = append(live, id)
+			case rng.Intn(2) == 0:
+				i := rng.Intn(len(live))
+				if err := b.Withdraw(live[i]); err != nil {
+					t.Fatalf("withdraw: %v", err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			default:
+				i := rng.Intn(len(live))
+				bid := Bid{
+					Pos:    geom.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+					Radius: 2 + rng.Float64()*4,
+				}
+				if err := b.Move(live[i], bid); err != nil {
+					t.Fatalf("move: %v", err)
+				}
+			}
+		}
+		rep := b.Tick()
+		check(epoch, rep)
+	}
+}
+
+// TestCompCacheCappedEquivalence pins that capping the component solve cache
+// changes only how much work each epoch does, never what it allocates: a
+// cap-1 broker (evicting nearly everything every epoch) commits exactly the
+// same allocation, welfare, and epoch numbering as an unbounded one under
+// identical churn, and actually evicts.
+func TestCompCacheCappedEquivalence(t *testing.T) {
+	mk := func(cap int) *Broker {
+		b, err := New(Config{K: 2, CompCacheCap: cap, Workers: 1})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return b
+	}
+	capped := mk(1)
+	unbounded := mk(-1)
+
+	type epochPin struct {
+		welfare float64
+		active  int
+	}
+	const epochs = 40
+	pins := make([]epochPin, 0, epochs)
+	churnBroker(t, unbounded, 99, epochs, func(_ int, rep EpochReport) {
+		pins = append(pins, epochPin{welfare: rep.Welfare, active: rep.Active})
+	})
+	churnBroker(t, capped, 99, epochs, func(epoch int, rep EpochReport) {
+		want := pins[epoch]
+		if rep.Welfare != want.welfare || rep.Active != want.active {
+			t.Fatalf("epoch %d: capped cache diverged: welfare %v (want %v), active %d (want %d)",
+				epoch, rep.Welfare, want.welfare, rep.Active, want.active)
+		}
+	})
+
+	// Every live bidder's committed bundle must agree bit-for-bit.
+	for id := BidderID(0); id < 200; id++ {
+		bu, su := unbounded.Allocation(id)
+		bc, sc := capped.Allocation(id)
+		if bu != bc || su != sc {
+			t.Fatalf("bidder %d: capped alloc %v/%v, unbounded %v/%v", id, bc, sc, bu, su)
+		}
+	}
+
+	if ev := capped.Metrics().Evicted; ev == 0 {
+		t.Fatal("cap-1 cache never evicted under churn")
+	}
+	if ev := unbounded.Metrics().Evicted; ev != 0 {
+		t.Fatalf("unbounded cache evicted %d entries", ev)
+	}
+}
+
+// TestCompCacheRetention pins the new retention behavior the LRU buys: a
+// component that dissolves (its member moves away) and later re-forms with
+// identical membership, edges, and valuations is served clean from the
+// cache, with no re-solve at all.
+func TestCompCacheRetention(t *testing.T) {
+	b, err := New(Config{K: 2, Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	home := Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 3, Values: []float64{5, 4}}
+	other := Bid{Pos: geom.Point{X: 100, Y: 100}, Radius: 3, Values: []float64{2, 7}}
+	a, err := b.Submit(home)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := b.Submit(other); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if rep := b.Tick(); rep.Rebuilds != 2 {
+		t.Fatalf("first epoch: %d rebuilds, want 2", rep.Rebuilds)
+	}
+
+	// Move a next to the other bidder: both singleton components dissolve
+	// into one pair component (one rebuild).
+	if err := b.Move(a, Bid{Pos: geom.Point{X: 99, Y: 100}, Radius: 3}); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if rep := b.Tick(); rep.Rebuilds != 1 || rep.Clean != 0 {
+		t.Fatalf("merge epoch: rebuilds=%d clean=%d, want 1/0", rep.Rebuilds, rep.Clean)
+	}
+
+	// Move a home again: the original two singleton components re-form and
+	// both must hit the retained cache clean — before the LRU, commitEpoch
+	// dropped every entry not in the current epoch, forcing two rebuilds.
+	if err := b.Move(a, Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 3}); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if rep := b.Tick(); rep.Clean != 2 || rep.Rebuilds != 0 || rep.WarmResolves != 0 {
+		t.Fatalf("re-form epoch: clean=%d rebuilds=%d warm=%d, want 2/0/0", rep.Clean, rep.Rebuilds, rep.WarmResolves)
+	}
+}
+
+// TestCompCacheRevivedUpdateRebuilds pins the safety rule for revived
+// entries: a cache entry that sat out epochs may be reused clean (equal
+// versions pin identical valuations) but never warm re-solved — its members'
+// forceRebuild flags were consumed while it sat out, so a valuation change
+// on re-formation must rebuild.
+func TestCompCacheRevivedUpdateRebuilds(t *testing.T) {
+	b, err := New(Config{K: 2, Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, err := b.Submit(Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 3, Values: []float64{5, 4}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	c, err := b.Submit(Bid{Pos: geom.Point{X: 100, Y: 100}, Radius: 3, Values: []float64{2, 7}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	b.Tick()
+	// Merge the components, then split them again while also updating a's
+	// valuation in the same epoch: a's old singleton entry is revived by
+	// key but its versions no longer match, and it did not serve last
+	// epoch, so it must rebuild (not warm re-solve).
+	if err := b.Move(a, Bid{Pos: geom.Point{X: 99, Y: 100}, Radius: 3}); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	b.Tick()
+	if err := b.Move(a, Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 3}); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if err := b.Update(a, Values{Additive: []float64{6, 4}}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	rep := b.Tick()
+	if rep.WarmResolves != 0 {
+		t.Fatalf("revived entry with moved valuations warm re-solved (rebuilds=%d warm=%d clean=%d)",
+			rep.Rebuilds, rep.WarmResolves, rep.Clean)
+	}
+	if rep.Rebuilds != 1 || rep.Clean != 1 {
+		t.Fatalf("re-form epoch: rebuilds=%d clean=%d, want 1 rebuild (a) and 1 clean (c)", rep.Rebuilds, rep.Clean)
+	}
+	_ = c
+}

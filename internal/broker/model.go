@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/models"
+	"repro/internal/spatial"
 )
 
 // ConflictModel is a pluggable interference backend for the live market: it
@@ -32,6 +33,11 @@ import (
 //   - Validate and Key are pure functions of the bid and safe for concurrent
 //     use (they run on the submission path, outside the broker's locks).
 //     Arrive, Depart, and Move are serialized by the broker's epoch tick.
+//   - The returned EdgeDelta aliases scratch owned by the model: its slices
+//     are valid only until the next Arrive/Depart/Move call on the same
+//     model. Consumers must finish with (or copy) a delta before issuing the
+//     next mutation — the broker applies each delta to its adjacency
+//     immediately, inside the same queue drain.
 //
 // A ConflictModel instance is owned by exactly one Broker; do not share one
 // across brokers.
@@ -117,13 +123,32 @@ func validateLinkGeometry(bid *Bid) error {
 // pairwise implements the models whose conflicts are a predicate over bidder
 // pairs (disk, protocol, IEEE 802.11): an arrival adds exactly its own edges,
 // a departure removes exactly its own, so the deltas are trivial.
+//
+// Candidate discovery goes through the spatial grid when one is attached:
+// place anchors each bidder so that conflict(a, b) implies
+// dist(anchor_a, anchor_b) ≤ reach_a + reach_b, making Neighbors a provable
+// superset of the conflict partners at O(local density) cost. With grid ==
+// nil the model falls back to the brute-force all-bidder scan — the
+// reference the grid==linear equivalence tests and churn benchmarks pin
+// against. Both paths yield candidates in ascending id order, so the deltas
+// are byte-identical.
 type pairwise struct {
 	name     string
 	rho      float64
 	validate func(*Bid) error
 	key      func(geomBid) float64
 	conflict func(a, b geomBid) bool
+	place    func(geomBid) (geom.Point, float64) // grid anchor + reach
 	bids     map[BidderID]geomBid
+	grid     *spatial.Grid[BidderID] // nil ⇒ linear candidate scan
+
+	// Mutation scratch, reused across calls; returned EdgeDeltas alias
+	// added/removed (see the ConflictModel ownership contract).
+	cand    []BidderID
+	candB   []BidderID
+	candU   []BidderID
+	added   [][2]BidderID
+	removed [][2]BidderID
 }
 
 func (m *pairwise) Name() string            { return m.name }
@@ -131,11 +156,14 @@ func (m *pairwise) RhoBound() float64       { return m.rho }
 func (m *pairwise) Validate(bid *Bid) error { return m.validate(bid) }
 func (m *pairwise) Key(bid *Bid) float64    { return m.key(toGeom(bid)) }
 
-// others returns the live bidder ids (excluding id) ascending — like
-// distance2's diskNbrs/sortedBase, this keeps every delta's element order
-// deterministic across runs even though m.bids is a map.
-func (m *pairwise) others(id BidderID) []BidderID {
-	out := make([]BidderID, 0, len(m.bids))
+// candidates appends to out (which must come in empty) the ids that could
+// conflict with geometry g, excluding id, in ascending order: the grid's
+// neighbor superset when indexed, every live bidder otherwise.
+func (m *pairwise) candidates(id BidderID, g geomBid, out []BidderID) []BidderID {
+	if m.grid != nil {
+		p, reach := m.place(g)
+		return m.grid.Neighbors(p, reach, id, out)
+	}
 	for oid := range m.bids {
 		if oid != id {
 			out = append(out, oid)
@@ -145,20 +173,51 @@ func (m *pairwise) others(id BidderID) []BidderID {
 	return out
 }
 
+// mergeIDs appends the union of two ascending id slices to dst, ascending
+// and deduplicated.
+func mergeIDs(dst, a, b []BidderID) []BidderID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case b[j] < a[i]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
 func (m *pairwise) Arrive(id BidderID, bid *Bid) EdgeDelta {
 	g := toGeom(bid)
-	var d EdgeDelta
-	for _, oid := range m.others(id) {
+	m.cand = m.candidates(id, g, m.cand[:0])
+	m.added = m.added[:0]
+	for _, oid := range m.cand {
 		if m.conflict(g, m.bids[oid]) {
-			d.Added = append(d.Added, [2]BidderID{id, oid})
+			m.added = append(m.added, [2]BidderID{id, oid})
 		}
 	}
 	m.bids[id] = g
-	return d
+	if m.grid != nil {
+		p, reach := m.place(g)
+		m.grid.Insert(id, p, reach)
+	}
+	return EdgeDelta{Added: m.added}
 }
 
 func (m *pairwise) Depart(id BidderID) EdgeDelta {
 	delete(m.bids, id)
+	if m.grid != nil {
+		m.grid.Remove(id)
+	}
 	return EdgeDelta{}
 }
 
@@ -168,26 +227,44 @@ func (m *pairwise) Move(id BidderID, bid *Bid) EdgeDelta {
 		return m.Arrive(id, bid)
 	}
 	g := toGeom(bid)
-	var d EdgeDelta
-	for _, oid := range m.others(id) {
+	// An edge can only appear or vanish with a bidder that the old or the
+	// new geometry reaches, so the union of the two neighbor queries covers
+	// the whole delta. The linear path already scans everyone.
+	if m.grid != nil {
+		po, ro := m.place(old)
+		pn, rn := m.place(g)
+		m.cand = m.grid.Neighbors(po, ro, id, m.cand[:0])
+		m.candB = m.grid.Neighbors(pn, rn, id, m.candB[:0])
+		m.candU = mergeIDs(m.candU[:0], m.cand, m.candB)
+	} else {
+		m.candU = m.candidates(id, old, m.candU[:0])
+	}
+	m.added, m.removed = m.added[:0], m.removed[:0]
+	for _, oid := range m.candU {
 		og := m.bids[oid]
 		had, has := m.conflict(old, og), m.conflict(g, og)
 		switch {
 		case has && !had:
-			d.Added = append(d.Added, [2]BidderID{id, oid})
+			m.added = append(m.added, [2]BidderID{id, oid})
 		case had && !has:
-			d.Removed = append(d.Removed, [2]BidderID{id, oid})
+			m.removed = append(m.removed, [2]BidderID{id, oid})
 		}
 	}
 	m.bids[id] = g
-	return d
+	if m.grid != nil {
+		p, reach := m.place(g)
+		m.grid.Update(id, p, reach)
+	}
+	return EdgeDelta{Added: m.added, Removed: m.removed}
 }
 
 // DiskModel is the disk conflict model of Proposition 9: bidders are
 // transmitters with interference disks, conflicting iff the disks intersect.
 // The default backend; matches models.Disk.
-func DiskModel() ConflictModel {
-	return &pairwise{
+func DiskModel() ConflictModel { return diskModel(true) }
+
+func diskModel(indexed bool) ConflictModel {
+	m := &pairwise{
 		name:     "disk",
 		rho:      models.DiskRho,
 		validate: validateDiskGeometry,
@@ -195,18 +272,46 @@ func DiskModel() ConflictModel {
 		conflict: func(a, b geomBid) bool {
 			return models.DisksConflict(a.pos, b.pos, a.radius, b.radius)
 		},
-		bids: make(map[BidderID]geomBid),
+		// The disk itself is the interaction range: the grid's candidate
+		// filter dist(p, q) ≤ r_p + r_q is exactly the conflict predicate.
+		place: func(g geomBid) (geom.Point, float64) { return g.pos, g.radius },
+		bids:  make(map[BidderID]geomBid),
+	}
+	if indexed {
+		m.grid = spatial.New[BidderID]()
+	}
+	return m
+}
+
+// linkPlace anchors a link bid for the grid at its sender with reach
+// (2+delta)·length. Both link models' conflicts imply one link's sender is
+// within (1+delta)·max(len_a, len_b) of some endpoint of the other, and each
+// endpoint is within its own length of its sender, so conflicting senders
+// are within (2+delta)·len_a + (2+delta)·len_b ≥ actual distance — the grid
+// query is a provable superset of the conflict partners:
+//
+//   - protocol: dist(s_b, r_a) < (1+delta)·len_a gives
+//     dist(s_a, s_b) ≤ len_a + (1+delta)·len_a = (2+delta)·len_a
+//     (and symmetrically for the other disjunct);
+//   - ieee802.11: some endpoint pair within (1+delta)·max(len_a, len_b) gives
+//     dist(s_a, s_b) ≤ len_a + (1+delta)(len_a+len_b) + len_b
+//     ≤ (2+delta)·len_a + (2+delta)·len_b.
+func linkPlace(delta float64) func(geomBid) (geom.Point, float64) {
+	return func(g geomBid) (geom.Point, float64) {
+		return g.link.Sender, (2 + delta) * g.link.Length()
 	}
 }
 
 // ProtocolModel is the protocol interference model of Proposition 13 with
 // parameter delta > 0: bidders are sender→receiver links, conflicting if
 // either sender disturbs the other's receiver. Matches models.Protocol.
-func ProtocolModel(delta float64) (ConflictModel, error) {
+func ProtocolModel(delta float64) (ConflictModel, error) { return protocolModel(delta, true) }
+
+func protocolModel(delta float64, indexed bool) (ConflictModel, error) {
 	if !(delta > 0) || !finite(delta) {
 		return nil, fmt.Errorf("broker: protocol model needs delta > 0, got %g", delta)
 	}
-	return &pairwise{
+	m := &pairwise{
 		name:     "protocol",
 		rho:      models.ProtocolRhoBound(delta),
 		validate: validateLinkGeometry,
@@ -214,17 +319,24 @@ func ProtocolModel(delta float64) (ConflictModel, error) {
 		conflict: func(a, b geomBid) bool {
 			return models.ProtocolConflicts(a.link, b.link, delta)
 		},
-		bids: make(map[BidderID]geomBid),
-	}, nil
+		place: linkPlace(delta),
+		bids:  make(map[BidderID]geomBid),
+	}
+	if indexed {
+		m.grid = spatial.New[BidderID]()
+	}
+	return m, nil
 }
 
 // IEEE80211Model is the bidirectional protocol model (Alicherry et al.) with
 // parameter delta > 0. Matches models.IEEE80211.
-func IEEE80211Model(delta float64) (ConflictModel, error) {
+func IEEE80211Model(delta float64) (ConflictModel, error) { return ieee80211Model(delta, true) }
+
+func ieee80211Model(delta float64, indexed bool) (ConflictModel, error) {
 	if !(delta > 0) || !finite(delta) {
 		return nil, fmt.Errorf("broker: ieee802.11 model needs delta > 0, got %g", delta)
 	}
-	return &pairwise{
+	m := &pairwise{
 		name:     "ieee802.11",
 		rho:      models.IEEE80211Rho,
 		validate: validateLinkGeometry,
@@ -232,8 +344,13 @@ func IEEE80211Model(delta float64) (ConflictModel, error) {
 		conflict: func(a, b geomBid) bool {
 			return models.IEEE80211Conflicts(a.link, b.link, delta)
 		},
-		bids: make(map[BidderID]geomBid),
-	}, nil
+		place: linkPlace(delta),
+		bids:  make(map[BidderID]geomBid),
+	}
+	if indexed {
+		m.grid = spatial.New[BidderID]()
+	}
+	return m, nil
 }
 
 // pairKey orders an unordered bidder pair.
@@ -257,15 +374,37 @@ type distance2 struct {
 	bids map[BidderID]geomBid
 	base map[BidderID]map[BidderID]struct{} // disk adjacency
 	wit  map[pairKey]int                    // conflict-edge witness counts
+	grid *spatial.Grid[BidderID]            // nil ⇒ linear diskNbrs scan
+
+	// Mutation scratch, reused across calls. Arrive, depart, and Move keep
+	// separate delta buffers because Move runs a depart and an Arrive
+	// back-to-back and then nets both into its own output; nbrScratch holds
+	// the outer neighbor list while baseScratch serves the nested sortedBase
+	// calls, so the two must stay distinct.
+	nbrScratch  []BidderID
+	baseScratch []BidderID
+	arrAdded    [][2]BidderID
+	depRemoved  [][2]BidderID
+	moveAdded   [][2]BidderID
+	moveRemoved [][2]BidderID
+	net         map[pairKey]int
+	order       []pairKey
 }
 
 // Distance2Model builds the distance-2 disk backend.
-func Distance2Model() ConflictModel {
-	return &distance2{
+func Distance2Model() ConflictModel { return distance2Model(true) }
+
+func distance2Model(indexed bool) ConflictModel {
+	m := &distance2{
 		bids: make(map[BidderID]geomBid),
 		base: make(map[BidderID]map[BidderID]struct{}),
 		wit:  make(map[pairKey]int),
+		net:  make(map[pairKey]int),
 	}
+	if indexed {
+		m.grid = spatial.New[BidderID]()
+	}
+	return m
 }
 
 func (m *distance2) Name() string            { return "distance2-disk" }
@@ -273,12 +412,18 @@ func (m *distance2) RhoBound() float64       { return models.Distance2DiskRho }
 func (m *distance2) Validate(bid *Bid) error { return validateDiskGeometry(bid) }
 func (m *distance2) Key(bid *Bid) float64    { return -bid.Radius }
 
-// diskNbrs returns the ids whose disks intersect g's, sorted — together with
-// sortedBase this keeps every delta's element order deterministic across runs
-// (the broker consumes deltas as sets, but determinism keeps replays
-// reproducible).
-func (m *distance2) diskNbrs(self BidderID, g geomBid) []BidderID {
-	var out []BidderID
+// diskNbrs appends to out (which must come in empty) the ids whose disks
+// intersect g's, ascending — together with sortedBase this keeps every
+// delta's element order deterministic across runs (the broker consumes
+// deltas as sets, but determinism keeps replays reproducible). With a grid
+// attached the query is exact, not a superset: for disk geometry the grid's
+// candidate filter dist ≤ r_g + r_other IS the disk conflict predicate.
+// Two-hop discovery stays on the maintained base adjacency, so the grid is
+// consulted once per mutation, not once per hop.
+func (m *distance2) diskNbrs(self BidderID, g geomBid, out []BidderID) []BidderID {
+	if m.grid != nil {
+		return m.grid.Neighbors(g.pos, g.radius, self, out)
+	}
 	for oid, og := range m.bids {
 		if oid != self && models.DisksConflict(g.pos, og.pos, g.radius, og.radius) {
 			out = append(out, oid)
@@ -288,10 +433,9 @@ func (m *distance2) diskNbrs(self BidderID, g geomBid) []BidderID {
 	return out
 }
 
-// sortedBase returns u's disk neighbors ascending (deterministic two-hop
-// iteration order for the delta loops).
-func (m *distance2) sortedBase(u BidderID) []BidderID {
-	out := make([]BidderID, 0, len(m.base[u]))
+// sortedBase appends u's disk neighbors to out (which must come in empty),
+// ascending (deterministic two-hop iteration order for the delta loops).
+func (m *distance2) sortedBase(u BidderID, out []BidderID) []BidderID {
 	for v := range m.base[u] {
 		out = append(out, v)
 	}
@@ -325,13 +469,15 @@ func (m *distance2) dec(u, v BidderID, skip BidderID, d *EdgeDelta) {
 
 func (m *distance2) Arrive(id BidderID, bid *Bid) EdgeDelta {
 	g := toGeom(bid)
-	nbrs := m.diskNbrs(id, g)
-	var d EdgeDelta
+	m.nbrScratch = m.diskNbrs(id, g, m.nbrScratch[:0])
+	nbrs := m.nbrScratch
+	d := EdgeDelta{Added: m.arrAdded[:0]}
 	for _, u := range nbrs {
 		// Direct disk edge id–u.
 		m.inc(id, u, &d)
 		// u's existing disk neighbors are now two hops from id via u.
-		for _, v := range m.sortedBase(u) {
+		m.baseScratch = m.sortedBase(u, m.baseScratch[:0])
+		for _, v := range m.baseScratch {
 			m.inc(id, v, &d)
 		}
 	}
@@ -348,6 +494,10 @@ func (m *distance2) Arrive(id BidderID, bid *Bid) EdgeDelta {
 		m.base[u][id] = struct{}{}
 	}
 	m.base[id] = adj
+	if m.grid != nil {
+		m.grid.Insert(id, g.pos, g.radius)
+	}
+	m.arrAdded = d.Added
 	return d
 }
 
@@ -359,11 +509,13 @@ func (m *distance2) Depart(id BidderID) EdgeDelta {
 // incident to that bidder (pass a non-live id to report everything, as Move
 // does).
 func (m *distance2) depart(id, skip BidderID) EdgeDelta {
-	var d EdgeDelta
-	nbrs := m.sortedBase(id)
+	d := EdgeDelta{Removed: m.depRemoved[:0]}
+	m.nbrScratch = m.sortedBase(id, m.nbrScratch[:0])
+	nbrs := m.nbrScratch
 	for _, u := range nbrs {
 		m.dec(id, u, skip, &d)
-		for _, v := range m.sortedBase(u) {
+		m.baseScratch = m.sortedBase(u, m.baseScratch[:0])
+		for _, v := range m.baseScratch {
 			if v != id {
 				m.dec(id, v, skip, &d)
 			}
@@ -379,6 +531,10 @@ func (m *distance2) depart(id, skip BidderID) EdgeDelta {
 	}
 	delete(m.base, id)
 	delete(m.bids, id)
+	if m.grid != nil {
+		m.grid.Remove(id)
+	}
+	m.depRemoved = d.Removed
 	return d
 }
 
@@ -387,34 +543,37 @@ func (m *distance2) Move(id BidderID, bid *Bid) EdgeDelta {
 		return m.Arrive(id, bid)
 	}
 	// Re-insert and net out the two deltas: an edge destroyed by the
-	// departure and re-created by the arrival never happened.
+	// departure and re-created by the arrival never happened. The two legs
+	// write disjoint delta buffers (depRemoved / arrAdded), so both survive
+	// to the netting below.
 	out := m.depart(id, -1) // report incident removals too
 	in := m.Arrive(id, bid)
-	net := make(map[pairKey]int)
-	order := make([]pairKey, 0, len(out.Removed)+len(in.Added))
+	clear(m.net)
+	m.order = m.order[:0]
 	for _, e := range out.Removed {
 		k := pk(e[0], e[1])
-		if _, seen := net[k]; !seen {
-			order = append(order, k)
+		if _, seen := m.net[k]; !seen {
+			m.order = append(m.order, k)
 		}
-		net[k]--
+		m.net[k]--
 	}
 	for _, e := range in.Added {
 		k := pk(e[0], e[1])
-		if _, seen := net[k]; !seen {
-			order = append(order, k)
+		if _, seen := m.net[k]; !seen {
+			m.order = append(m.order, k)
 		}
-		net[k]++
+		m.net[k]++
 	}
-	var d EdgeDelta
-	for _, k := range order {
+	d := EdgeDelta{Added: m.moveAdded[:0], Removed: m.moveRemoved[:0]}
+	for _, k := range m.order {
 		switch {
-		case net[k] > 0:
+		case m.net[k] > 0:
 			d.Added = append(d.Added, [2]BidderID{k.a, k.b})
-		case net[k] < 0:
+		case m.net[k] < 0:
 			d.Removed = append(d.Removed, [2]BidderID{k.a, k.b})
 		}
 	}
+	m.moveAdded, m.moveRemoved = d.Added, d.Removed
 	return d
 }
 
@@ -423,15 +582,29 @@ func (m *distance2) Move(id BidderID, bid *Bid) EdgeDelta {
 // "ieee80211" (or "ieee802.11"). delta parameterizes the link models and is
 // ignored by the disk models.
 func ModelByName(name string, delta float64) (ConflictModel, error) {
+	return modelByName(name, delta, true)
+}
+
+// LinearModelByName builds the named backend with the spatial index
+// disabled: candidate discovery falls back to the brute-force O(n) scan of
+// every live bidder. The result is behaviorally identical — byte-for-byte
+// deltas — to ModelByName's; it exists as the oracle for the grid==linear
+// equivalence tests and as the baseline the mutation-churn benchmarks
+// measure the spatial index against.
+func LinearModelByName(name string, delta float64) (ConflictModel, error) {
+	return modelByName(name, delta, false)
+}
+
+func modelByName(name string, delta float64, indexed bool) (ConflictModel, error) {
 	switch name {
 	case "", "disk":
-		return DiskModel(), nil
+		return diskModel(indexed), nil
 	case "distance2", "distance2-disk":
-		return Distance2Model(), nil
+		return distance2Model(indexed), nil
 	case "protocol":
-		return ProtocolModel(delta)
+		return protocolModel(delta, indexed)
 	case "ieee80211", "ieee802.11":
-		return IEEE80211Model(delta)
+		return ieee80211Model(delta, indexed)
 	}
 	return nil, fmt.Errorf("broker: unknown interference model %q (want disk, distance2, protocol, or ieee80211)", name)
 }

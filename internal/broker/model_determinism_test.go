@@ -24,8 +24,10 @@ func TestPairwiseDeltaOrderDeterministic(t *testing.T) {
 		for i := 0; i < live; i++ {
 			m.Arrive(BidderID(i), &Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 1})
 		}
-		added = m.Arrive(BidderID(1000), &Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 1}).Added
-		removed = m.Move(BidderID(1000), &Bid{Pos: geom.Point{X: 1e6, Y: 1e6}, Radius: 1}).Removed
+		// Deltas alias model-owned scratch (ConflictModel ownership
+		// contract), so copy Arrive's before issuing the Move.
+		added = append([][2]BidderID(nil), m.Arrive(BidderID(1000), &Bid{Pos: geom.Point{X: 0, Y: 0}, Radius: 1}).Added...)
+		removed = append([][2]BidderID(nil), m.Move(BidderID(1000), &Bid{Pos: geom.Point{X: 1e6, Y: 1e6}, Radius: 1}).Removed...)
 		return added, removed
 	}
 

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"container/list"
 	"fmt"
 	"runtime"
 	"sort"
@@ -32,6 +33,14 @@ type compEntry struct {
 	halves   [2]auction.Allocation
 	iters    int
 	payments []float64
+	// elem is the entry's node in the broker's LRU list (nil until first
+	// committed); lastEpoch is the epoch the entry last served in. A revived
+	// entry (lastEpoch behind the current epoch) may be reused clean — equal
+	// versions pin bit-identical valuations — but never warm re-solved: the
+	// members' forceRebuild flags were consumed in epochs this entry sat out,
+	// so its persistent master may carry structurally poisoned columns.
+	elem      *list.Element
+	lastEpoch int
 }
 
 type jobKind int
@@ -237,19 +246,24 @@ func (b *Broker) planEpoch() *epochPlan {
 				plan.clean++
 				continue
 			}
-			// Same membership, moved valuations: warm re-solve in place —
-			// the persistent master reprices its column pool and restarts
-			// simplex from the previous optimal basis.
-			e.versions = versions
-			plan.entries = append(plan.entries, e)
-			plan.jobs = append(plan.jobs, &solveJob{
-				entry:   e,
-				kind:    jobWarm,
-				newInst: e.inst.WithBidders(vals),
-				newVals: vals,
-			})
-			plan.warm++
-			continue
+			if e.lastEpoch == b.lastPlan {
+				// Same membership, moved valuations, and the entry served
+				// last epoch: warm re-solve in place — the persistent master
+				// reprices its column pool and restarts simplex from the
+				// previous optimal basis.
+				e.versions = versions
+				plan.entries = append(plan.entries, e)
+				plan.jobs = append(plan.jobs, &solveJob{
+					entry:   e,
+					kind:    jobWarm,
+					newInst: e.inst.WithBidders(vals),
+					newVals: vals,
+				})
+				plan.warm++
+				continue
+			}
+			// Revived from deeper in the LRU with moved valuations: fall
+			// through to a rebuild (see the compEntry.lastEpoch comment).
 		}
 		// Membership changed (or Cold, or a structural valuation change):
 		// fresh conflict structure and master, seeded with the bundles its
@@ -384,12 +398,14 @@ func (b *Broker) runJob(j *solveJob) {
 	}
 }
 
-// commitEpoch publishes the epoch: the component cache is replaced with the
-// entries seen this epoch (evicting stale keys), the bundle pool absorbs the
-// re-solved components' columns, the size-decomposition half is chosen
-// globally by total welfare, and the allocation and prices maps are rebuilt.
-// A component whose solve failed contributes nothing this epoch and is NOT
-// cached — its stale versions/nil solution must not masquerade as clean, so
+// commitEpoch publishes the epoch: the epoch's entries move to the front of
+// the component cache (entries from dissolved components are retained so a
+// re-forming component hits its cached solution, and the LRU tail beyond
+// Config.CompCacheCap is evicted), the bundle pool absorbs the re-solved
+// components' columns, the size-decomposition half is chosen globally by
+// total welfare, and the allocation and prices maps are rebuilt. A component
+// whose solve failed contributes nothing this epoch and is dropped from the
+// cache — its stale versions/nil solution must not masquerade as clean, so
 // the next epoch re-plans it as a rebuild. Caller holds mu.Lock.
 func (b *Broker) commitEpoch(plan *epochPlan, rep *EpochReport) {
 	failed := make(map[*compEntry]bool)
@@ -400,13 +416,20 @@ func (b *Broker) commitEpoch(plan *epochPlan, rep *EpochReport) {
 		}
 	}
 
-	newComps := make(map[string]*compEntry, len(plan.entries))
 	for _, e := range plan.entries {
-		if !failed[e] {
-			newComps[e.key] = e
+		if failed[e] {
+			// Drop whatever the cache holds under this key: the failed
+			// entry itself, or — when a rebuild of a revived key failed —
+			// the stale entry the rebuild was to replace.
+			if old, ok := b.comps[e.key]; ok {
+				b.dropComp(old)
+			}
+			continue
 		}
+		e.lastEpoch = b.epoch + 1 // the epoch being committed (b.epoch++ below)
+		b.storeComp(e)
 	}
-	b.comps = newComps
+	b.metrics.Evicted += b.evictComps()
 
 	for _, j := range plan.jobs {
 		if j.err != nil {
@@ -492,7 +515,50 @@ func (b *Broker) commitEpoch(plan *epochPlan, rep *EpochReport) {
 	b.prices = prices
 	b.snap = plan.state
 	b.epoch++
+	b.lastPlan = b.epoch
 	rep.Epoch = b.epoch
+}
+
+// storeComp installs (or refreshes) a cache entry at the front of the LRU,
+// replacing any different entry holding the same key (a rebuild of a revived
+// key supersedes the stale entry). Caller holds mu.Lock.
+func (b *Broker) storeComp(e *compEntry) {
+	if old, ok := b.comps[e.key]; ok && old != e {
+		b.dropComp(old)
+	}
+	b.comps[e.key] = e
+	if e.elem != nil {
+		b.lru.MoveToFront(e.elem)
+		return
+	}
+	e.elem = b.lru.PushFront(e)
+}
+
+// dropComp removes an entry from the cache and the LRU. Caller holds mu.Lock.
+func (b *Broker) dropComp(e *compEntry) {
+	if e.elem != nil {
+		b.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	if b.comps[e.key] == e {
+		delete(b.comps, e.key)
+	}
+}
+
+// evictComps drops LRU-tail entries beyond Config.CompCacheCap (negative =
+// unbounded) and returns how many went. This epoch's entries were just moved
+// to the front, so eviction only reaches them if the cap is smaller than one
+// epoch's component count — correct either way, the next epoch rebuilds.
+// Caller holds mu.Lock.
+func (b *Broker) evictComps() (evicted int64) {
+	if b.cfg.CompCacheCap < 0 {
+		return 0
+	}
+	for b.lru.Len() > b.cfg.CompCacheCap {
+		b.dropComp(b.lru.Back().Value.(*compEntry))
+		evicted++
+	}
+	return evicted
 }
 
 // poolAdd records a generated bundle for the bidder, deduplicated and

@@ -1,0 +1,72 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzGridNeighbors drives the grid with an op stream decoded from the fuzz
+// input and pins, after every mutation, a NeighborsOf query of the touched
+// item against the all-pairs scan. The decoder quantizes coordinates and
+// reaches so the fuzzer can explore degenerate layouts (co-located anchors,
+// reach ties, items straddling cell boundaries) without drowning in float
+// noise.
+func FuzzGridNeighbors(f *testing.F) {
+	f.Add([]byte{0, 10, 20, 1, 1, 30, 40, 2, 2, 0, 0})
+	f.Add([]byte{3, 200, 200, 255, 0, 1, 1, 1, 1, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New[int64]()
+		b := newBrute()
+		var next int64
+		live := []int64{}
+		for i := 0; i+3 < len(data); i += 4 {
+			op := data[i] % 3
+			p := geom.Point{
+				X: float64(int(data[i+1])-128) / 4,
+				Y: float64(int(data[i+2])-128) / 4,
+			}
+			reach := 0.25 * float64(1+data[i+3]%64)
+			var probe int64 = -1
+			switch {
+			case op == 0 || len(live) == 0: // insert
+				next++
+				g.Insert(next, p, reach)
+				b.insert(next, p, reach)
+				live = append(live, next)
+				probe = next
+			case op == 1: // remove
+				idx := int(data[i+1]) % len(live)
+				id := live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				g.Remove(id)
+				b.remove(id)
+			default: // update
+				id := live[int(data[i+3])%len(live)]
+				g.Update(id, p, reach)
+				b.insert(id, p, reach)
+				probe = id
+			}
+			if g.Len() != len(b.items) {
+				t.Fatalf("size drift: grid %d, brute %d", g.Len(), len(b.items))
+			}
+			if probe >= 0 {
+				want := b.neighbors(b.items[probe].pos, b.items[probe].reach, probe)
+				got := g.NeighborsOf(probe, nil)
+				if !sameIDs(got, want) {
+					t.Fatalf("NeighborsOf(%d) = %v, brute %v", probe, got, want)
+				}
+				if !sort.SliceIsSorted(got, func(a, c int) bool { return got[a] < got[c] }) {
+					t.Fatalf("NeighborsOf(%d) not ascending: %v", probe, got)
+				}
+			}
+			if g.Len() > 0 {
+				if m := g.MaxReach(); math.IsNaN(m) || m <= 0 {
+					t.Fatalf("bad maxReach %g", m)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package spatial is the deterministic spatial-index substrate of the live
+// broker's conflict maintenance: a uniform grid over anchored items in the
+// plane, supporting O(local density) candidate queries where the conflict
+// models used to scan every live bidder.
+//
+// The contract the conflict backends build on:
+//
+//   - Every item is an (anchor point, reach radius) pair chosen by the
+//     caller so that its conflict predicate implies proximity:
+//     conflict(a, b) ⇒ dist(anchor_a, anchor_b) ≤ reach_a + reach_b.
+//     (Disk models use the disk itself; link models use the sender with
+//     reach (2+Δ)·length — see the derivations in internal/broker/model.go.)
+//   - Neighbors returns exactly the ids j with
+//     dist(p, anchor_j) ≤ reach + reach_j — a provable superset of the
+//     conflicts of a query item (p, reach) — in ascending id order, so the
+//     edge deltas built from it are byte-deterministic under the reprovet
+//     contract regardless of internal bucket order.
+//   - The grid is a pure function of the operation sequence: cell size,
+//     bucket contents, and rebucket points depend only on the Insert /
+//     Update / Remove history, never on map iteration order or time.
+//
+// Cell-size policy: the cell edge tracks the maximum live reach (the
+// model's interaction radius). The grid rebuckets — rebuilds every bucket
+// at a new cell size — when an outlier grows the maximum reach beyond
+// growFactor × the current cell (queries would otherwise scan a box of
+// ever-more cells), and when the maximum reach shrinks below the cell /
+// shrinkFactor (buckets would otherwise grow dense and queries degrade
+// back toward a linear scan). Between rebuckets the invariant
+// cell/shrinkFactor ≤ maxReach ≤ growFactor·cell holds, so a query for
+// reach r touches O(((r+maxReach)/cell)²) = O((r/maxReach)²) cells.
+package spatial
+
+import (
+	"cmp"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// growFactor and shrinkFactor bound the drift between the cell edge and the
+// maximum live reach before the grid rebuckets (see the package comment).
+const (
+	growFactor   = 2.0
+	shrinkFactor = 4.0
+)
+
+type cellKey struct{ x, y int64 }
+
+type entry struct {
+	pos   geom.Point
+	reach float64
+	cell  cellKey
+}
+
+// Grid is a deterministic uniform-grid spatial index over items identified
+// by an ordered key type (the broker instantiates it with BidderID). The
+// zero value is not usable; call New. A Grid is not safe for concurrent
+// mutation; the broker serializes all mutating calls under its epoch tick,
+// mirroring the ConflictModel contract.
+type Grid[ID cmp.Ordered] struct {
+	cell      float64
+	items     map[ID]entry
+	cells     map[cellKey][]ID
+	maxReach  float64
+	rebuckets int
+}
+
+// New creates an empty grid. The cell size is derived from the first
+// insertion's reach and maintained by the rebucket policy thereafter.
+func New[ID cmp.Ordered]() *Grid[ID] {
+	return &Grid[ID]{
+		items: make(map[ID]entry),
+		cells: make(map[cellKey][]ID),
+	}
+}
+
+// Len returns the number of live items.
+func (g *Grid[ID]) Len() int { return len(g.items) }
+
+// CellSize returns the current cell edge (0 while empty and never
+// inserted). Exposed for tests pinning the rebucket policy.
+func (g *Grid[ID]) CellSize() float64 { return g.cell }
+
+// MaxReach returns the maximum reach among live items.
+func (g *Grid[ID]) MaxReach() float64 { return g.maxReach }
+
+// Rebuckets returns how many times the grid has rebuilt its buckets.
+func (g *Grid[ID]) Rebuckets() int { return g.rebuckets }
+
+// At returns the stored anchor and reach of id.
+func (g *Grid[ID]) At(id ID) (geom.Point, float64, bool) {
+	e, ok := g.items[id]
+	return e.pos, e.reach, ok
+}
+
+func (g *Grid[ID]) keyOf(p geom.Point) cellKey {
+	return cellKey{
+		x: int64(math.Floor(p.X / g.cell)),
+		y: int64(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert registers id at anchor p with the given reach (replacing any
+// existing registration — Insert and Update are synonyms). reach must be
+// positive and finite; the conflict models validate geometry before it ever
+// reaches the grid.
+func (g *Grid[ID]) Insert(id ID, p geom.Point, reach float64) {
+	if old, ok := g.items[id]; ok {
+		if old.pos == p && old.reach == reach {
+			return
+		}
+		g.removeFromCell(id, old.cell)
+		delete(g.items, id)
+		if old.reach == g.maxReach {
+			g.recomputeMaxReach()
+		}
+	}
+	if g.cell == 0 {
+		g.cell = reach
+	}
+	if reach > g.maxReach {
+		g.maxReach = reach
+	}
+	ck := g.keyOf(p)
+	g.items[id] = entry{pos: p, reach: reach, cell: ck}
+	g.cells[ck] = append(g.cells[ck], id)
+	g.maybeRebucket()
+}
+
+// Update relocates id (a registered item) to a new anchor and reach.
+func (g *Grid[ID]) Update(id ID, p geom.Point, reach float64) { g.Insert(id, p, reach) }
+
+// Remove unregisters id; unknown ids are a no-op.
+func (g *Grid[ID]) Remove(id ID) {
+	e, ok := g.items[id]
+	if !ok {
+		return
+	}
+	g.removeFromCell(id, e.cell)
+	delete(g.items, id)
+	if e.reach == g.maxReach {
+		g.recomputeMaxReach()
+	}
+	g.maybeRebucket()
+}
+
+// removeFromCell deletes id from its bucket. Buckets are unordered sets
+// (Neighbors sorts its output), so the removal swap-deletes.
+func (g *Grid[ID]) removeFromCell(id ID, ck cellKey) {
+	ids := g.cells[ck]
+	for i, other := range ids {
+		if other == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(g.cells, ck)
+	} else {
+		g.cells[ck] = ids
+	}
+}
+
+// recomputeMaxReach rescans after the holder of the maximum departed.
+func (g *Grid[ID]) recomputeMaxReach() {
+	max := 0.0
+	//reprovet:unordered max over live reaches; every visit order yields the same maximum
+	for _, e := range g.items {
+		if e.reach > max {
+			max = e.reach
+		}
+	}
+	g.maxReach = max
+}
+
+// maybeRebucket rebuilds every bucket at cell = maxReach when the current
+// cell size has drifted outside [maxReach/growFactor, maxReach·shrinkFactor]
+// — an outlier grew the interaction radius past what the buckets were sized
+// for, or the outliers left and the buckets are now too coarse.
+func (g *Grid[ID]) maybeRebucket() {
+	if len(g.items) == 0 || g.maxReach == 0 {
+		return
+	}
+	if g.maxReach > g.cell*growFactor || g.maxReach < g.cell/shrinkFactor {
+		g.rebucket(g.maxReach)
+	}
+}
+
+// rebucket rebuilds the buckets at a new cell edge. Bucket insertion runs
+// in ascending id order purely so the grid's internal state is itself a
+// deterministic function of the op history (Neighbors would sort anyway).
+func (g *Grid[ID]) rebucket(cell float64) {
+	g.cell = cell
+	g.rebuckets++
+	ids := make([]ID, 0, len(g.items))
+	for id := range g.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	g.cells = make(map[cellKey][]ID, len(g.cells))
+	for _, id := range ids {
+		e := g.items[id]
+		e.cell = g.keyOf(e.pos)
+		g.items[id] = e
+		g.cells[e.cell] = append(g.cells[e.cell], id)
+	}
+}
+
+// Neighbors appends to out every id j ≠ exclude with
+// dist(p, anchor_j) ≤ reach + reach_j, in ascending id order, and returns
+// the extended slice (pass a reused scratch slice truncated to [:0] to
+// amortize allocation). For a query item placed by the models' anchoring
+// contract this is a provable superset of its conflict partners.
+func (g *Grid[ID]) Neighbors(p geom.Point, reach float64, exclude ID, out []ID) []ID {
+	if len(g.items) == 0 {
+		return out
+	}
+	base := len(out)
+	w := reach + g.maxReach
+	x0 := int64(math.Floor((p.X - w) / g.cell))
+	x1 := int64(math.Floor((p.X + w) / g.cell))
+	y0 := int64(math.Floor((p.Y - w) / g.cell))
+	y1 := int64(math.Floor((p.Y + w) / g.cell))
+	filter := func(ids []ID) {
+		for _, id := range ids {
+			if id == exclude {
+				continue
+			}
+			e := g.items[id]
+			if p.Dist(e.pos) <= reach+e.reach {
+				out = append(out, id)
+			}
+		}
+	}
+	// A query whose reach dwarfs the cell size (an outlier arriving before
+	// its insertion triggers a rebucket) would walk a huge, mostly empty
+	// box; iterating the occupied buckets instead bounds the work by the
+	// live population. Both paths visit the same buckets; the ascending-id
+	// sort below makes the output identical either way.
+	if boxCells := (x1 - x0 + 1) * (y1 - y0 + 1); boxCells > int64(len(g.cells)) {
+		//reprovet:unordered buckets are filtered into out, which is sorted ascending below; bucket visit order is immaterial
+		for ck, ids := range g.cells {
+			if ck.x < x0 || ck.x > x1 || ck.y < y0 || ck.y > y1 {
+				continue
+			}
+			filter(ids)
+		}
+	} else {
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				filter(g.cells[cellKey{x, y}])
+			}
+		}
+	}
+	added := out[base:]
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	return out
+}
+
+// NeighborsOf is Neighbors anchored at a registered item: candidates for
+// id's own conflicts, excluding id itself. Unknown ids return out unchanged.
+func (g *Grid[ID]) NeighborsOf(id ID, out []ID) []ID {
+	e, ok := g.items[id]
+	if !ok {
+		return out
+	}
+	return g.Neighbors(e.pos, e.reach, id, out)
+}

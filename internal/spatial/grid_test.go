@@ -1,0 +1,211 @@
+package spatial
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// brute is the all-pairs reference the grid is pinned against.
+type brute struct {
+	items map[int64]entry
+}
+
+func newBrute() *brute { return &brute{items: make(map[int64]entry)} }
+
+func (b *brute) insert(id int64, p geom.Point, reach float64) {
+	b.items[id] = entry{pos: p, reach: reach}
+}
+
+func (b *brute) remove(id int64) { delete(b.items, id) }
+
+func (b *brute) neighbors(p geom.Point, reach float64, exclude int64) []int64 {
+	var out []int64
+	for id, e := range b.items {
+		if id != exclude && p.Dist(e.pos) <= reach+e.reach {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkAll compares every live item's neighbor query (and a few synthetic
+// probes) between grid and brute force.
+func checkAll(t *testing.T, g *Grid[int64], b *brute, probes []geom.Point, step int) {
+	t.Helper()
+	if g.Len() != len(b.items) {
+		t.Fatalf("step %d: grid has %d items, brute %d", step, g.Len(), len(b.items))
+	}
+	ids := make([]int64, 0, len(b.items))
+	for id := range b.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e := b.items[id]
+		want := b.neighbors(e.pos, e.reach, id)
+		got := g.NeighborsOf(id, nil)
+		if !sameIDs(got, want) {
+			t.Fatalf("step %d: NeighborsOf(%d) = %v, brute force %v", step, id, got, want)
+		}
+	}
+	for i, p := range probes {
+		r := 1 + float64(i)*3
+		want := b.neighbors(p, r, -1)
+		got := g.Neighbors(p, r, -1, nil)
+		if !sameIDs(got, want) {
+			t.Fatalf("step %d: probe %v r=%g: grid %v, brute %v", step, p, r, got, want)
+		}
+	}
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGridMatchesBruteForceChurn drives a grid through randomized insert /
+// update / remove churn with widely mixed reaches (forcing grow and shrink
+// rebuckets) and pins every query against the all-pairs scan after every
+// mutation.
+func TestGridMatchesBruteForceChurn(t *testing.T) {
+	probes := []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 50}, {X: -30, Y: 80}}
+	totalRebuckets := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New[int64]()
+		b := newBrute()
+		var next int64
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(4); {
+			case op == 0 || len(b.items) < 5: // insert
+				next++
+				p := geom.Point{X: rng.Float64()*200 - 50, Y: rng.Float64()*200 - 50}
+				// Reaches span three orders of magnitude so the churn
+				// crosses both rebucket thresholds repeatedly.
+				reach := []float64{0.2, 1, 5, 40}[rng.Intn(4)] * (0.5 + rng.Float64())
+				g.Insert(next, p, reach)
+				b.insert(next, p, reach)
+			case op == 1: // remove
+				id := randID(rng, b)
+				g.Remove(id)
+				b.remove(id)
+			default: // update (move and/or resize)
+				id := randID(rng, b)
+				p := geom.Point{X: rng.Float64()*200 - 50, Y: rng.Float64()*200 - 50}
+				reach := []float64{0.2, 1, 5, 40}[rng.Intn(4)] * (0.5 + rng.Float64())
+				g.Update(id, p, reach)
+				b.insert(id, p, reach)
+			}
+			checkAll(t, g, b, probes, step)
+		}
+		totalRebuckets += g.Rebuckets()
+	}
+	if totalRebuckets == 0 {
+		t.Fatal("churn with mixed reaches never rebucketed on any seed")
+	}
+}
+
+func randID(rng *rand.Rand, b *brute) int64 {
+	ids := make([]int64, 0, len(b.items))
+	for id := range b.items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestGridDeterministic pins byte-determinism: two grids fed the identical
+// op sequence return identical Neighbors slices (order included) and agree
+// on cell size and rebucket count at every step.
+func TestGridDeterministic(t *testing.T) {
+	run := func() ([][]int64, []float64) {
+		rng := rand.New(rand.NewSource(7))
+		g := New[int64]()
+		var outs [][]int64
+		var cells []float64
+		for i := int64(1); i <= 120; i++ {
+			p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			g.Insert(i, p, 0.5+rng.Float64()*20)
+			if i%7 == 0 {
+				g.Remove(i - 3)
+			}
+			outs = append(outs, append([]int64(nil), g.Neighbors(p, 5, -1, nil)...))
+			cells = append(cells, g.CellSize())
+		}
+		return outs, cells
+	}
+	o1, c1 := run()
+	for trial := 0; trial < 10; trial++ {
+		o2, c2 := run()
+		if !reflect.DeepEqual(o1, o2) || !reflect.DeepEqual(c1, c2) {
+			t.Fatalf("trial %d: grid state diverged across identical op sequences", trial)
+		}
+	}
+}
+
+// TestGridRebucketPolicy pins the cell-size invariant: after any mutation,
+// cell/shrinkFactor ≤ maxReach ≤ growFactor·cell (while non-empty).
+func TestGridRebucketPolicy(t *testing.T) {
+	g := New[int64]()
+	check := func(when string) {
+		t.Helper()
+		if g.Len() == 0 {
+			return
+		}
+		if g.MaxReach() > g.CellSize()*growFactor || g.MaxReach() < g.CellSize()/shrinkFactor {
+			t.Fatalf("%s: cell %g vs maxReach %g violates the rebucket invariant",
+				when, g.CellSize(), g.MaxReach())
+		}
+	}
+	g.Insert(1, geom.Point{X: 0, Y: 0}, 1)
+	check("first insert")
+	if g.CellSize() != 1 {
+		t.Fatalf("cell seeded to %g, want the first reach 1", g.CellSize())
+	}
+	// An outlier 100× the basis must force a grow rebucket.
+	g.Insert(2, geom.Point{X: 50, Y: 50}, 100)
+	check("outlier growth")
+	if g.Rebuckets() == 0 {
+		t.Fatal("outlier growth did not rebucket")
+	}
+	// Removing the outlier must eventually shrink the cells back.
+	g.Remove(2)
+	check("outlier departure")
+	if g.CellSize() > 4 {
+		t.Fatalf("cell stayed at %g after the outlier left", g.CellSize())
+	}
+	// Scratch-reuse shape: Neighbors must append to the passed slice.
+	scratch := make([]int64, 0, 8)
+	out := g.Neighbors(geom.Point{X: 0, Y: 0}, 1, -1, scratch[:0])
+	if len(out) != 1 || out[0] != 1 {
+		t.Fatalf("query after churn = %v, want [1]", out)
+	}
+}
+
+// TestGridRemoveUnknown pins no-op semantics for unknown ids and empties.
+func TestGridRemoveUnknown(t *testing.T) {
+	g := New[int64]()
+	g.Remove(99)
+	if out := g.Neighbors(geom.Point{}, 1, -1, nil); len(out) != 0 {
+		t.Fatalf("empty grid returned %v", out)
+	}
+	g.Insert(1, geom.Point{X: 1, Y: 1}, 2)
+	g.Remove(99)
+	g.Remove(1)
+	g.Remove(1)
+	if g.Len() != 0 {
+		t.Fatalf("grid kept %d items after removals", g.Len())
+	}
+}

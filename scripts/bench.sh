@@ -30,11 +30,16 @@
 # percentiles; BENCH_7.json switches to the best-of-5 protocol above and
 # adds two scenario workload reports under extras.scenario_{vehicular,leases}
 # (waypoint-mobility Move churn and broker-enforced lease expiry through the
-# live /v1 stack, with request/commit latency percentiles).
+# live /v1 stack, with request/commit latency percentiles); BENCH_8.json adds
+# the large-market tier (BenchmarkBrokerEpochWarm/{model}/10k, fewer fixed
+# iterations — each op is a full 10k-bidder epoch) and the spatial-index churn
+# microbench (BenchmarkConflictChurn/{model}/10k/{grid,linear} plus
+# /100k/grid; the grid column must be ≥5× the linear one at 10k), with the
+# scratch-reuse before/after allocation note under extras.scratch_reuse.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 label="${2:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}"
 
 # A committed BENCH_<n>.json is a recorded baseline; refuse to clobber it by
@@ -51,7 +56,9 @@ fi
 workload="$(mktemp)"
 scen_vehicular="$(mktemp)"
 scen_leases="$(mktemp)"
-trap 'rm -f "$workload" "$scen_vehicular" "$scen_leases"' EXIT
+scratch_note="$(mktemp)"
+raw="$(mktemp)"
+trap 'rm -f "$workload" "$scen_vehicular" "$scen_leases" "$scratch_note" "$raw"' EXIT
 go run ./cmd/brokerload -local -epochs 30 -epoch 40ms -pace 5ms -concurrency 4 \
   -batch 32 -readers 4 -read-ratio 1000 -json > "$workload"
 
@@ -64,10 +71,34 @@ go run ./cmd/brokerload -local -scenario vehicular -epochs 30 -epoch 40ms \
 go run ./cmd/brokerload -local -scenario leases -epochs 30 -epoch 40ms \
   -pace 5ms -concurrency 2 -json > "$scen_leases"
 
+# Scratch-reuse note (PR 10): the delta hot path now reuses model-owned
+# scratch; "before" pins the last pre-reuse warm-epoch allocations at the
+# 80-bidder tier (BENCH_7-era code), "after" is this file's recorded
+# BenchmarkBrokerEpochWarm/{model}/80 allocs_per_op.
+cat > "$scratch_note" <<'EOF'
+{
+  "note": "conflict-delta hot path reuses per-model scratch (EdgeDelta aliases model-owned slices, valid until the next mutating call); before = warm-epoch allocs/op at the 80-bidder tier prior to the change, after = BenchmarkBrokerEpochWarm/{model}/80 allocs_per_op recorded in this file",
+  "before_allocs_per_op_warm80": {"disk": 804, "distance2": 546, "protocol": 811, "ieee80211": 833}
+}
+EOF
+
+# Benchmarks run in tiers with per-tier fixed iteration counts (one op of the
+# 10k warm-epoch tier is a full 10k-bidder broker epoch, ~300ms, so it gets
+# fewer iterations); benchjson parses line-wise, so the concatenated streams
+# fold into one record.
 go test -run '^$' -count 5 -benchtime 500x -benchmem \
-  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBrokerEpoch|BenchmarkBatchSubmit|BenchmarkMirrorRead' \
-  . | go run ./cmd/benchjson -label "$label" -best \
+  -bench 'BenchmarkSimplexDense|BenchmarkColumnGenerationLP|BenchmarkMechanismRun|BenchmarkRoundingSampled|BenchmarkRoundingDerandomized|BenchmarkBatchSubmit|BenchmarkMirrorRead' \
+  . > "$raw"
+go test -run '^$' -count 5 -benchtime 500x -benchmem \
+  -bench 'BenchmarkBrokerEpoch/.*/80' . >> "$raw"
+go test -run '^$' -count 3 -benchtime 30x -benchmem \
+  -bench 'BenchmarkBrokerEpochWarm/.*/10k' . >> "$raw"
+go test -run '^$' -count 5 -benchtime 200x -benchmem \
+  -bench 'BenchmarkConflictChurn' . >> "$raw"
+
+go run ./cmd/benchjson -label "$label" -best \
   -attach "read_workload=$workload" \
   -attach "scenario_vehicular=$scen_vehicular" \
-  -attach "scenario_leases=$scen_leases" > "$out"
+  -attach "scenario_leases=$scen_leases" \
+  -attach "scratch_reuse=$scratch_note" < "$raw" > "$out"
 echo "bench: wrote $out" >&2
